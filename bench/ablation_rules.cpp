@@ -1,0 +1,107 @@
+// Ablation bench (beyond the paper, motivated by its §VII discussion):
+// which parts of the proposed scheme matter?
+//   * history vote depth 1 (react instantly) vs 5 (paper) vs 10
+//   * the rule-3 forced fairness swap on/off
+//   * HPE with matrix vs regression predictor
+//   * an idealized fine-grained predictor (regression at window granularity)
+// All reported as mean weighted IPC/Watt improvement over the static
+// (never-swap) baseline on the same random pairs.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/extended.hpp"
+#include "core/oracle.hpp"
+#include "core/sampling.hpp"
+#include "core/proposed.hpp"
+#include "mathx/stats.hpp"
+#include "metrics/speedup.hpp"
+
+int main() {
+  using namespace amps;
+  const auto ctx = bench::make_context(/*default_pairs=*/12);
+  bench::print_header("Ablation — scheme components vs static baseline", ctx);
+
+  const wl::BenchmarkCatalog catalog;
+  const harness::ExperimentRunner runner(ctx.scale);
+  const auto models = bench::build_models(runner, catalog);
+  const auto pairs = harness::sample_pairs(catalog, ctx.pairs, ctx.seed);
+
+  auto proposed_variant = [&](int history, bool forced) {
+    sched::ProposedConfig cfg;
+    cfg.window_size = ctx.scale.window_size;
+    cfg.history_depth = history;
+    cfg.forced_swap_interval = ctx.scale.context_switch_interval;
+    cfg.enable_forced_swap = forced;
+    return harness::SchedulerFactory(
+        [cfg] { return std::make_unique<sched::ProposedScheduler>(cfg); });
+  };
+  auto extended_variant = [&]() {
+    sched::ExtendedConfig cfg;
+    cfg.window_size = ctx.scale.window_size;
+    cfg.history_depth = ctx.scale.history_depth;
+    cfg.forced_swap_interval = ctx.scale.context_switch_interval;
+    return harness::SchedulerFactory(
+        [cfg] { return std::make_unique<sched::ExtendedProposedScheduler>(cfg); });
+  };
+  auto sampling_variant = [&]() {
+    sched::SamplingConfig cfg;
+    cfg.decision_interval = ctx.scale.context_switch_interval;
+    return harness::SchedulerFactory(
+        [cfg] { return std::make_unique<sched::SamplingScheduler>(cfg); });
+  };
+  auto fine_predictor = [&]() {
+    sched::OracleConfig cfg;
+    cfg.window_size = ctx.scale.window_size;
+    return harness::SchedulerFactory([cfg, &models] {
+      return std::make_unique<sched::OracleScheduler>(*models.regression, cfg);
+    });
+  };
+
+  struct Variant {
+    const char* label;
+    harness::SchedulerFactory factory;
+  };
+  const Variant variants[] = {
+      {"proposed (paper: history 5, forced swap on)", proposed_variant(5, true)},
+      {"proposed, history 1 (no vote damping)", proposed_variant(1, true)},
+      {"proposed, history 10", proposed_variant(10, true)},
+      {"proposed, forced swap OFF", proposed_variant(5, false)},
+      {"proposed-extended (+IPC/MPKI guards, phase reset)", extended_variant()},
+      {"hpe-matrix (2 ms interval)", runner.hpe_factory(*models.matrix)},
+      {"hpe-regression (2 ms interval)", runner.hpe_factory(*models.regression)},
+      {"fine-grained regression predictor", fine_predictor()},
+      {"sampling (Kumar/Becchi-style, 2 ms)", sampling_variant()},
+      {"round-robin", runner.round_robin_factory()},
+  };
+
+  // Static baseline per pair, computed once.
+  std::vector<metrics::PairRunResult> base;
+  for (const auto& p : pairs)
+    base.push_back(runner.run_pair(p, runner.static_factory()));
+
+  Table table({"variant", "mean weighted improvement vs static %",
+               "mean swaps per run"});
+  for (const auto& v : variants) {
+    std::vector<double> improvements;
+    double swaps = 0.0;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const auto r = runner.run_pair(pairs[i], v.factory);
+      improvements.push_back(
+          metrics::to_improvement_pct(r.weighted_ipw_speedup_vs(base[i])));
+      swaps += static_cast<double>(r.swap_count);
+    }
+    table.row()
+        .cell(v.label)
+        .cell(mathx::mean(improvements), 2)
+        .cell(swaps / static_cast<double>(pairs.size()), 1);
+  }
+  bench::emit("ablation_rules", table);
+  std::cout << "\nReading guide: improvements over static come entirely from "
+               "correcting bad initial assignments and chasing phases; on "
+               "samples where the random initial assignment is already "
+               "good, dynamic schemes pay their swap/fairness costs and go "
+               "slightly negative. Round-Robin's unconditional swapping "
+               "should always sit at the bottom.\n";
+  return 0;
+}

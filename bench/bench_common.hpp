@@ -1,0 +1,71 @@
+// Shared plumbing for the experiment benches: environment knobs, the
+// standard header every binary prints, and the (expensive, shared) HPE
+// model construction.
+//
+// Knobs:
+//   AMPS_SCALE=ci|paper   simulation scale (default ci)
+//   AMPS_PAIRS=<n>        number of random benchmark pairs
+//   AMPS_SEED=<n>         pair-sampling seed (default 2012)
+#pragma once
+
+#include <fstream>
+#include <iostream>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "core/hpe.hpp"
+#include "harness/experiment.hpp"
+#include "harness/sampler.hpp"
+#include "sim/scale.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::bench {
+
+struct BenchContext {
+  sim::SimScale scale;
+  std::uint64_t seed;
+  int pairs;
+};
+
+inline BenchContext make_context(int default_pairs) {
+  BenchContext ctx;
+  ctx.scale = sim::SimScale::from_env();
+  ctx.seed = env_seed();
+  ctx.pairs = env_pairs(default_pairs);
+  return ctx;
+}
+
+inline void print_header(const std::string& title, const BenchContext& ctx) {
+  print_banner(std::cout, title);
+  std::cout << "scale: " << (env_paper_scale() ? "paper" : "ci")
+            << " (interval=" << ctx.scale.context_switch_interval
+            << " cycles, run=" << ctx.scale.run_length
+            << " instr, window=" << ctx.scale.window_size
+            << ", history=" << ctx.scale.history_depth
+            << ", overhead=" << ctx.scale.swap_overhead << " cycles)"
+            << "  seed=" << ctx.seed << "  pairs=" << ctx.pairs << "\n\n";
+}
+
+/// Prints the table to stdout and, when AMPS_CSV_DIR is set, also writes
+/// it to <AMPS_CSV_DIR>/<slug>.csv for plotting.
+inline void emit(const std::string& slug, const Table& table) {
+  table.print(std::cout);
+  if (const auto dir = env_string("AMPS_CSV_DIR")) {
+    std::ofstream out(*dir + "/" + slug + ".csv");
+    if (out) {
+      table.print_csv(out);
+    } else {
+      std::cerr << "[warn] cannot write " << *dir << "/" << slug << ".csv\n";
+    }
+  }
+}
+
+/// Profiles the nine representative benchmarks and fits both HPE models.
+inline sched::HpeModels build_models(const harness::ExperimentRunner& runner,
+                                     const wl::BenchmarkCatalog& catalog) {
+  std::cout << "[profiling the 9 representative benchmarks on both cores...]"
+            << std::endl;
+  return runner.build_models(catalog);
+}
+
+}  // namespace amps::bench

@@ -1,0 +1,44 @@
+// Paper Fig. 1: "Performance-per-watt achieved for various workloads on two
+// different core types A and B." Core A is the FP core, core B the INT core.
+// Expected shape: equake/fpstress better on A, CRC32/intstress better on B,
+// gcc/mcf roughly equal.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/solo.hpp"
+
+int main() {
+  using namespace amps;
+  const auto ctx = bench::make_context(/*default_pairs=*/0);
+  bench::print_header("Fig. 1 — IPC/Watt per workload on core A (FP) vs core B (INT)",
+                      ctx);
+
+  const wl::BenchmarkCatalog catalog;
+  const sim::CoreConfig fp = sim::fp_core_config();
+  const sim::CoreConfig intc = sim::int_core_config();
+
+  Table table({"workload", "flavor", "IPC/W core A (FP)", "IPC/W core B (INT)",
+               "B/A ratio", "better core"});
+  for (const char* name :
+       {"equake", "fpstress", "gcc", "mcf", "CRC32", "intstress"}) {
+    const auto& spec = catalog.by_name(name);
+    const auto on_fp = sim::run_solo(fp, spec, ctx.scale.run_length);
+    const auto on_int = sim::run_solo(intc, spec, ctx.scale.run_length);
+    const double a = on_fp.ipc_per_watt();
+    const double b = on_int.ipc_per_watt();
+    const double ratio = b / a;
+    const char* better =
+        ratio > 1.05 ? "B (INT)" : (ratio < 0.95 ? "A (FP)" : "~equal");
+    table.row()
+        .cell(name)
+        .cell(wl::to_string(spec.flavor()))
+        .cell(a, 4)
+        .cell(b, 4)
+        .cell(ratio, 3)
+        .cell(better);
+  }
+  bench::emit("fig1", table);
+  std::cout << "\nPaper shape: A wins equake/fpstress, B wins CRC32/intstress,"
+               " gcc/mcf ~equal.\n";
+  return 0;
+}

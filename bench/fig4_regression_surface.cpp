@@ -1,0 +1,40 @@
+// Paper Fig. 4: the non-linear regression fit of the performance/watt
+// ratio surface over (%INT, %FP), derived from the same profiling samples
+// as the Fig. 3 matrix. Prints the fitted coefficients, the fit quality
+// and a grid of surface values (the textual equivalent of the 3-D plot).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "mathx/least_squares.hpp"
+
+int main() {
+  using namespace amps;
+  const auto ctx = bench::make_context(0);
+  bench::print_header(
+      "Fig. 4 — regression surface: IPC/Watt ratio = f(%INT, %FP)", ctx);
+
+  const wl::BenchmarkCatalog catalog;
+  const harness::ExperimentRunner runner(ctx.scale);
+  const auto models = bench::build_models(runner, catalog);
+  const auto& surf = *models.regression;
+
+  std::cout << "samples: " << models.samples.size()
+            << "   degree: " << surf.poly().degree()
+            << "   R^2 on training samples: " << surf.r2() << "\n\n";
+
+  std::cout << "coefficients (basis 1, x1, x2, x1^2, x1*x2, x2^2; "
+               "x1=%INT/100, x2=%FP/100):\n  ";
+  for (double c : surf.poly().coefficients()) std::cout << c << "  ";
+  std::cout << "\n\nsurface grid (rows %INT, cols %FP):\n";
+
+  Table grid({"INT% \\ FP%", "0", "20", "40", "60", "80", "100"});
+  for (int int_pct = 0; int_pct <= 100; int_pct += 20) {
+    grid.row().cell(std::to_string(int_pct));
+    for (int fp_pct = 0; fp_pct <= 100; fp_pct += 20)
+      grid.cell(surf.predict_ratio(int_pct, fp_pct), 2);
+  }
+  bench::emit("fig4_grid", grid);
+  std::cout << "\nShape: ratio rises with %INT (INT core wins) and falls "
+               "with %FP (FP core wins), matching the paper's 3-D plot.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Paper §VIII generality claim: "The methodology described here for an INT
+// and FP cores can be followed for other types of asymmetric cores."
+// This bench builds a big/little AMP (the HPE paper's original asymmetry
+// style) and compares static, Round-Robin and the utility-factor scheduler
+// (Saez et al. [16]-style, driven by the same hardware counters the
+// proposed scheme uses). Expected shape: the utility scheduler steers the
+// compute-bound thread to the big core and beats both baselines on
+// IPC/Watt whenever the pairing is heterogeneous in memory-boundedness.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/round_robin.hpp"
+#include "core/utility.hpp"
+#include "mathx/stats.hpp"
+#include "metrics/speedup.hpp"
+
+int main() {
+  using namespace amps;
+  const auto ctx = bench::make_context(/*default_pairs=*/10);
+  bench::print_header("§VIII — generality: big/little AMP with a utility-factor scheduler",
+                      ctx);
+
+  const wl::BenchmarkCatalog catalog;
+  const harness::ExperimentRunner runner(ctx.scale, sim::big_core_config(),
+                                         sim::little_core_config());
+  const auto pairs = harness::sample_pairs(catalog, ctx.pairs, ctx.seed);
+
+  auto utility_factory = [&]() {
+    sched::UtilityConfig cfg;
+    cfg.decision_interval = ctx.scale.context_switch_interval;
+    cfg.big_core_index = 0;
+    return harness::SchedulerFactory(
+        [cfg] { return std::make_unique<sched::UtilityScheduler>(cfg); });
+  };
+
+  Table table({"workload pair", "utility vs static %", "utility vs RR %"});
+  std::vector<double> vs_static, vs_rr;
+  for (const auto& pair : pairs) {
+    const auto stat = runner.run_pair(pair, runner.static_factory());
+    const auto rr = runner.run_pair(pair, runner.round_robin_factory());
+    const auto util = runner.run_pair(pair, utility_factory());
+    const double ws = metrics::to_improvement_pct(
+        util.weighted_ipw_speedup_vs(stat));
+    const double wr =
+        metrics::to_improvement_pct(util.weighted_ipw_speedup_vs(rr));
+    vs_static.push_back(ws);
+    vs_rr.push_back(wr);
+    table.row().cell(harness::pair_label(pair)).cell(ws, 2).cell(wr, 2);
+  }
+  bench::emit("generality_biglittle", table);
+  std::cout << "\nmean: vs static " << mathx::mean(vs_static)
+            << "%   vs Round-Robin " << mathx::mean(vs_rr) << "%\n";
+  std::cout << "Shape: counter-driven scheduling transfers to size-"
+               "asymmetric cores — clearly positive vs Round-Robin, and "
+               "near-neutral vs static at CI scale (utility decisions need "
+               "two persistent intervals, which is late in a short run; "
+               "AMPS_SCALE=paper amortizes that). Biggest wins come from "
+               "pairs mixing memory-bound and compute-bound threads.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// The original HPE work's other asymmetry style (§V: a core that "runs at
+// a higher frequency, while the other ... at a lower frequency"): two
+// microarchitecturally identical cores, one at full clock and one at half
+// clock / reduced voltage. The same counter-driven methodology applies:
+// the utility-factor scheduler sends memory-bound threads (which barely
+// lose performance at half clock) to the slow, efficient core and keeps
+// compute-bound threads on the fast one.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/round_robin.hpp"
+#include "core/utility.hpp"
+#include "mathx/stats.hpp"
+#include "metrics/speedup.hpp"
+
+int main() {
+  using namespace amps;
+  const auto ctx = bench::make_context(/*default_pairs=*/10);
+  bench::print_header(
+      "HPE-style frequency asymmetry: fast core + half-clock core", ctx);
+
+  const wl::BenchmarkCatalog catalog;
+  const harness::ExperimentRunner runner(ctx.scale, sim::fast_core_config(),
+                                         sim::slow_core_config());
+  const auto pairs = harness::sample_pairs(catalog, ctx.pairs, ctx.seed);
+
+  auto utility_factory = [&]() {
+    sched::UtilityConfig cfg;
+    cfg.decision_interval = ctx.scale.context_switch_interval;
+    cfg.big_core_index = 0;  // the fast core plays the "big" role
+    // Half clock costs compute-bound threads ~2x: demand a much larger
+    // utility gap than on the big/little pair before paying a swap.
+    cfg.swap_margin = 1.35;
+    return harness::SchedulerFactory(
+        [cfg] { return std::make_unique<sched::UtilityScheduler>(cfg); });
+  };
+
+  Table table({"workload pair", "utility vs static %", "utility vs RR %"});
+  std::vector<double> vs_static, vs_rr;
+  for (const auto& pair : pairs) {
+    const auto stat = runner.run_pair(pair, runner.static_factory());
+    const auto rr = runner.run_pair(pair, runner.round_robin_factory());
+    const auto util = runner.run_pair(pair, utility_factory());
+    const double ws =
+        metrics::to_improvement_pct(util.weighted_ipw_speedup_vs(stat));
+    const double wr =
+        metrics::to_improvement_pct(util.weighted_ipw_speedup_vs(rr));
+    vs_static.push_back(ws);
+    vs_rr.push_back(wr);
+    table.row().cell(harness::pair_label(pair)).cell(ws, 2).cell(wr, 2);
+  }
+  bench::emit("generality_frequency", table);
+  std::cout << "\nmeans: vs static " << mathx::mean(vs_static)
+            << "%   vs Round-Robin " << mathx::mean(vs_rr) << "%\n";
+  std::cout << "Shape: the counter-driven machinery transfers unchanged and "
+               "crushes Round-Robin (which drags compute-bound threads onto "
+               "the half-clock core). The slightly negative vs-static column "
+               "is itself instructive: the utility policy optimizes "
+               "*performance*, but at half clock/voltage the slow core is "
+               "the IPC-per-watt sweet spot for nearly every thread, so "
+               "performance-driven swaps onto the fast core give up "
+               "efficiency — exactly why the paper derives its rules "
+               "against the performance/watt objective directly (§III).\n";
+  return 0;
+}

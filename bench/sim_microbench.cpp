@@ -1,0 +1,105 @@
+// Google-benchmark microbenchmarks of the simulator substrates: stream
+// generation rate, cache/predictor access costs and whole-core simulation
+// throughput (simulated instructions and cycles per wall-second). These
+// guard the simulator's own performance, not the paper's results.
+#include <benchmark/benchmark.h>
+
+#include "sim/core.hpp"
+#include "sim/system.hpp"
+#include "uarch/branch_predictor.hpp"
+#include "uarch/cache.hpp"
+#include "workload/benchmark.hpp"
+#include "workload/stream.hpp"
+
+namespace {
+
+using namespace amps;
+
+const wl::BenchmarkCatalog& catalog() {
+  static const wl::BenchmarkCatalog instance;
+  return instance;
+}
+
+void BM_StreamGeneration(benchmark::State& state) {
+  wl::InstructionStream stream(catalog().by_name("gcc"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamGeneration);
+
+void BM_CacheAccess(benchmark::State& state) {
+  uarch::Cache cache(
+      {.size_bytes = 4096, .line_bytes = 64, .associativity = 2});
+  Prng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.below(1 << 16), false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_BranchPredictor(benchmark::State& state) {
+  uarch::BranchPredictor bp;
+  Prng rng(2);
+  std::uint64_t pc = 0x1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bp.access(pc, rng.chance(0.8)));
+    pc += 4;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredictor);
+
+void BM_SoloCoreCycles(benchmark::State& state) {
+  // Whole-core simulation speed in simulated cycles/second. The benchmark
+  // name argument selects the workload flavor.
+  const char* names[] = {"bitcount", "equake", "mcf"};
+  const auto& spec = catalog().by_name(names[state.range(0)]);
+  sim::Core core(sim::int_core_config());
+  sim::ThreadContext thread(0, spec);
+  core.attach(&thread);
+  Cycles now = 0;
+  for (auto _ : state) {
+    core.tick(now);
+    ++now;
+  }
+  core.detach();
+  state.SetItemsProcessed(state.iterations());
+  state.counters["sim_ipc"] =
+      static_cast<double>(thread.committed_total()) / static_cast<double>(now);
+}
+BENCHMARK(BM_SoloCoreCycles)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_DualCoreStep(benchmark::State& state) {
+  sim::DualCoreSystem system(sim::int_core_config(), sim::fp_core_config(),
+                             100);
+  sim::ThreadContext t0(0, catalog().by_name("gzip"));
+  sim::ThreadContext t1(1, catalog().by_name("swim"));
+  system.attach_threads(&t0, &t1);
+  for (auto _ : state) system.step();
+  state.SetItemsProcessed(state.iterations());
+  state.counters["committed"] = static_cast<double>(
+      t0.committed_total() + t1.committed_total());
+}
+BENCHMARK(BM_DualCoreStep);
+
+void BM_SwapCost(benchmark::State& state) {
+  // Wall cost of the swap machinery itself (flush + replay bookkeeping).
+  sim::DualCoreSystem system(sim::int_core_config(), sim::fp_core_config(),
+                             /*swap_overhead=*/1);
+  sim::ThreadContext t0(0, catalog().by_name("sha"));
+  sim::ThreadContext t1(1, catalog().by_name("ammp"));
+  system.attach_threads(&t0, &t1);
+  for (int i = 0; i < 1000; ++i) system.step();  // warm pipelines
+  for (auto _ : state) {
+    system.swap_threads();
+    system.step();  // complete the 1-cycle migration
+    system.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwapCost);
+
+}  // namespace

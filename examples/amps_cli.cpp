@@ -1,0 +1,196 @@
+// amps_cli: one driver for the whole library — list workloads, run any
+// scheduler on any pair, and print summary or full reports.
+//
+//   amps_cli list
+//   amps_cli run <benchA> <benchB> [--scheduler=S] [--report] [--csv]
+//                [--cycles=N]
+//
+// Schedulers: static | round-robin | proposed | proposed-extended |
+//             hpe-matrix | hpe-regression | sampling
+// (HPE variants profile the nine representative benchmarks first.)
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/extended.hpp"
+#include "core/proposed.hpp"
+#include "core/round_robin.hpp"
+#include "core/sampling.hpp"
+#include "core/static_sched.hpp"
+#include "harness/experiment.hpp"
+#include "metrics/report.hpp"
+#include "workload/benchmark.hpp"
+
+namespace {
+
+using namespace amps;
+
+int do_list() {
+  const wl::BenchmarkCatalog catalog;
+  Table table({"name", "suite", "flavor", "phases", "%INT", "%FP"});
+  for (const auto& b : catalog.all()) {
+    const isa::InstrMix avg = b.average_mix();
+    table.row()
+        .cell(b.name)
+        .cell(wl::to_string(b.suite))
+        .cell(wl::to_string(b.flavor()))
+        .cell(static_cast<long long>(b.num_phases()))
+        .cell(100.0 * avg.int_fraction(), 1)
+        .cell(100.0 * avg.fp_fraction(), 1);
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+struct Options {
+  std::string bench_a, bench_b;
+  std::string scheduler = "proposed";
+  bool full_report = false;
+  bool csv = false;
+  Cycles cycles = 0;  // 0 = run to the scale's instruction budget
+};
+
+int do_run(const Options& opt) {
+  const wl::BenchmarkCatalog catalog;
+  if (!catalog.contains(opt.bench_a) || !catalog.contains(opt.bench_b)) {
+    std::cerr << "unknown benchmark (try 'amps_cli list')\n";
+    return 1;
+  }
+  const sim::SimScale scale = sim::SimScale::from_env();
+  const harness::ExperimentRunner runner(scale);
+
+  // HPE variants need the offline profiling pass.
+  sched::HpeModels models;
+  const bool needs_models = opt.scheduler.rfind("hpe", 0) == 0;
+  if (needs_models) {
+    std::cerr << "[profiling representative benchmarks...]\n";
+    models = runner.build_models(catalog);
+  }
+
+  auto make_scheduler = [&]() -> std::unique_ptr<sched::Scheduler> {
+    if (opt.scheduler == "static")
+      return std::make_unique<sched::StaticScheduler>();
+    if (opt.scheduler == "round-robin")
+      return std::make_unique<sched::RoundRobinScheduler>(
+          scale.context_switch_interval);
+    if (opt.scheduler == "proposed") {
+      sched::ProposedConfig cfg;
+      cfg.window_size = scale.window_size;
+      cfg.history_depth = scale.history_depth;
+      cfg.forced_swap_interval = scale.context_switch_interval;
+      return std::make_unique<sched::ProposedScheduler>(cfg);
+    }
+    if (opt.scheduler == "proposed-extended") {
+      sched::ExtendedConfig cfg;
+      cfg.window_size = scale.window_size;
+      cfg.history_depth = scale.history_depth;
+      cfg.forced_swap_interval = scale.context_switch_interval;
+      return std::make_unique<sched::ExtendedProposedScheduler>(cfg);
+    }
+    if (opt.scheduler == "hpe-matrix")
+      return std::make_unique<sched::HpeScheduler>(
+          *models.matrix, sched::HpeConfig{scale.context_switch_interval, 1.05});
+    if (opt.scheduler == "hpe-regression")
+      return std::make_unique<sched::HpeScheduler>(
+          *models.regression,
+          sched::HpeConfig{scale.context_switch_interval, 1.05});
+    if (opt.scheduler == "sampling") {
+      sched::SamplingConfig cfg;
+      cfg.decision_interval = scale.context_switch_interval;
+      return std::make_unique<sched::SamplingScheduler>(cfg);
+    }
+    return nullptr;
+  };
+
+  auto scheduler = make_scheduler();
+  if (!scheduler) {
+    std::cerr << "unknown scheduler '" << opt.scheduler << "'\n";
+    return 1;
+  }
+
+  sim::DualCoreSystem system(runner.int_core(), runner.fp_core(),
+                             scale.swap_overhead);
+  sim::ThreadContext t0(0, catalog.by_name(opt.bench_a));
+  sim::ThreadContext t1(1, catalog.by_name(opt.bench_b));
+  system.attach_threads(&t0, &t1);
+  scheduler->on_start(system);
+
+  const Cycles limit = opt.cycles != 0 ? opt.cycles : scale.max_cycles();
+  while (system.now() < limit &&
+         t0.committed_total() < scale.run_length &&
+         t1.committed_total() < scale.run_length) {
+    system.step();
+    scheduler->tick(system);
+  }
+
+  if (opt.full_report) {
+    metrics::print_system_report(std::cout, system);
+    return 0;
+  }
+
+  const auto result = metrics::snapshot_run(scheduler->name(), system, t0, t1,
+                                            scheduler->decision_points());
+  Table table({"thread", "committed", "cycles", "IPC", "IPC/Watt", "swaps"});
+  for (const auto& t : result.threads) {
+    table.row()
+        .cell(t.benchmark)
+        .cell(static_cast<unsigned long long>(t.committed))
+        .cell(static_cast<unsigned long long>(t.cycles))
+        .cell(t.ipc, 3)
+        .cell(t.ipc_per_watt, 4)
+        .cell(static_cast<unsigned long long>(t.swaps));
+  }
+  if (opt.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    std::cout << "scheduler " << scheduler->name() << ": "
+              << result.decision_points << " decisions, " << result.swap_count
+              << " swaps, total cycles " << result.total_cycles << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    // Smoke default: a short proposed-scheduler run.
+    Options opt;
+    opt.bench_a = "ammp";
+    opt.bench_b = "sha";
+    return do_run(opt);
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "list") return do_list();
+  if (cmd == "run") {
+    if (argc < 4) {
+      std::cerr << "usage: amps_cli run <benchA> <benchB> [--scheduler=S] "
+                   "[--report] [--csv] [--cycles=N]\n";
+      return 1;
+    }
+    Options opt;
+    opt.bench_a = argv[2];
+    opt.bench_b = argv[3];
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--scheduler=", 0) == 0) {
+        opt.scheduler = arg.substr(12);
+      } else if (arg == "--report") {
+        opt.full_report = true;
+      } else if (arg == "--csv") {
+        opt.csv = true;
+      } else if (arg.rfind("--cycles=", 0) == 0) {
+        opt.cycles = static_cast<amps::Cycles>(std::atoll(arg.c_str() + 9));
+      } else {
+        std::cerr << "unknown option " << arg << "\n";
+        return 1;
+      }
+    }
+    return do_run(opt);
+  }
+  std::cerr << "usage: amps_cli list | run ...\n";
+  return 1;
+}

@@ -1,0 +1,58 @@
+// Deep-dive inspection of one scheduled run: executes a pair under the
+// proposed scheduler and prints the full Wattch-style system report —
+// per-component energy breakdown, cache hit rates, stall accounting,
+// functional-unit utilization and per-thread statistics.
+//
+//   ./inspect_run [benchmarkA] [benchmarkB] [cycles]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/proposed.hpp"
+#include "metrics/report.hpp"
+#include "sim/scale.hpp"
+#include "workload/benchmark.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amps;
+
+  const wl::BenchmarkCatalog catalog;
+  const std::string name_a = argc > 1 ? argv[1] : "mcf";
+  const std::string name_b = argc > 2 ? argv[2] : "fpstress";
+  const Cycles cycles =
+      argc > 3 ? static_cast<Cycles>(std::atoll(argv[3])) : 500'000;
+  if (!catalog.contains(name_a) || !catalog.contains(name_b)) {
+    std::cerr << "unknown benchmark name\n";
+    return 1;
+  }
+
+  const sim::SimScale scale = sim::SimScale::from_env();
+  sim::DualCoreSystem system(sim::int_core_config(), sim::fp_core_config(),
+                             scale.swap_overhead);
+  sim::ThreadContext t0(0, catalog.by_name(name_a));
+  sim::ThreadContext t1(1, catalog.by_name(name_b));
+  system.attach_threads(&t0, &t1);
+
+  sched::ProposedConfig cfg;
+  cfg.window_size = scale.window_size;
+  cfg.history_depth = scale.history_depth;
+  cfg.forced_swap_interval = scale.context_switch_interval;
+  sched::ProposedScheduler scheduler(cfg);
+  scheduler.on_start(system);
+
+  for (Cycles i = 0; i < cycles; ++i) {
+    system.step();
+    scheduler.tick(system);
+  }
+
+  metrics::print_system_report(std::cout, system);
+  std::cout << "\nscheduler '" << scheduler.name() << "': "
+            << scheduler.decision_points() << " decision points, "
+            << scheduler.swaps_requested() << " swaps ("
+            << scheduler.forced_swaps() << " forced for fairness)\n";
+  if (!scheduler.swap_timeline().empty()) {
+    std::cout << "swap timeline (cycle):";
+    for (Cycles c : scheduler.swap_timeline()) std::cout << " " << c;
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Compares all scheduling schemes on one benchmark pair: static baseline,
+// Round-Robin, HPE (matrix and regression variants) and the proposed
+// dynamic scheme. Prints IPC/Watt per thread and the weighted/geometric
+// speedups over the static baseline.
+//
+//   ./scheduler_comparison [benchmarkA] [benchmarkB]
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness/experiment.hpp"
+#include "metrics/speedup.hpp"
+#include "workload/benchmark.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amps;
+
+  const wl::BenchmarkCatalog catalog;
+  const std::string name_a = argc > 1 ? argv[1] : "swim";
+  const std::string name_b = argc > 2 ? argv[2] : "gzip";
+  if (!catalog.contains(name_a) || !catalog.contains(name_b)) {
+    std::cerr << "unknown benchmark name\n";
+    return 1;
+  }
+
+  const sim::SimScale scale = sim::SimScale::from_env();
+  const harness::ExperimentRunner runner(scale);
+  const harness::BenchmarkPair pair{&catalog.by_name(name_a),
+                                    &catalog.by_name(name_b)};
+
+  std::cout << "Profiling the nine representative benchmarks to fit the HPE "
+               "prediction models...\n";
+  const auto models = runner.build_models(catalog);
+  std::cout << "  regression fit R^2 = " << models.regression->r2() << "\n\n";
+
+  struct Entry {
+    const char* label;
+    harness::SchedulerFactory factory;
+  };
+  const Entry entries[] = {
+      {"static", runner.static_factory()},
+      {"round-robin", runner.round_robin_factory()},
+      {"hpe-matrix", runner.hpe_factory(*models.matrix)},
+      {"hpe-regression", runner.hpe_factory(*models.regression)},
+      {"proposed", runner.proposed_factory()},
+  };
+
+  const auto baseline = runner.run_pair(pair, entries[0].factory);
+
+  Table table({"scheduler", name_a + " IPC/W", name_b + " IPC/W",
+               "weighted speedup", "geometric speedup", "swaps"});
+  for (const Entry& e : entries) {
+    const auto r = runner.run_pair(pair, e.factory);
+    table.row()
+        .cell(e.label)
+        .cell(r.threads[0].ipc_per_watt, 4)
+        .cell(r.threads[1].ipc_per_watt, 4)
+        .cell(r.weighted_ipw_speedup_vs(baseline), 4)
+        .cell(r.geometric_ipw_speedup_vs(baseline), 4)
+        .cell(static_cast<long long>(r.swap_count));
+  }
+  table.print(std::cout);
+  return 0;
+}

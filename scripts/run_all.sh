@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite and regenerates every paper
+# figure, mirroring the repository's canonical verification commands.
+#
+# Knobs: AMPS_SCALE=ci|paper  AMPS_PAIRS=<n>  AMPS_SEED=<n>  AMPS_CSV_DIR=<dir>
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

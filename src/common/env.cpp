@@ -1,0 +1,37 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace amps {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(s->c_str(), &end, 10);
+  if (end == s->c_str()) return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+bool env_paper_scale() {
+  auto s = env_string("AMPS_SCALE");
+  return s && *s == "paper";
+}
+
+int env_pairs(int fallback) {
+  return static_cast<int>(env_int("AMPS_PAIRS", fallback));
+}
+
+std::uint64_t env_seed() {
+  return static_cast<std::uint64_t>(env_int("AMPS_SEED", 2012));
+}
+
+bool env_verbose() { return env_int("AMPS_VERBOSE", 0) != 0; }
+
+}  // namespace amps

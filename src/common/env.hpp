@@ -1,0 +1,34 @@
+// Environment-variable knobs shared by benches and examples.
+//
+//   AMPS_SCALE   = ci | paper      (default ci)   — simulation scale preset
+//   AMPS_PAIRS   = <n>                            — #random benchmark pairs
+//   AMPS_SEED    = <n>                            — master experiment seed
+//   AMPS_VERBOSE = 0|1                            — extra logging
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace amps {
+
+/// Reads an environment variable, empty optional when unset or empty.
+std::optional<std::string> env_string(const char* name);
+
+/// Reads an integer environment variable; `fallback` when unset/invalid.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// True when AMPS_SCALE=paper (full 4M-cycle intervals, long runs).
+bool env_paper_scale();
+
+/// Number of random benchmark pairs experiments should use.
+/// Default: `fallback` (benches pass their own CI-friendly default).
+int env_pairs(int fallback);
+
+/// Master seed for experiment reproducibility (default 2012, the paper year).
+std::uint64_t env_seed();
+
+/// True when AMPS_VERBOSE is set to a non-zero value.
+bool env_verbose();
+
+}  // namespace amps

@@ -1,0 +1,25 @@
+// Minimal leveled logging to stderr. Not thread-safe across messages by
+// design (the simulator is single-threaded; harness workers log whole lines).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace amps {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/// Process-wide minimum level (default Info; Debug when AMPS_VERBOSE=1).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+#define AMPS_LOG_DEBUG(...) ::amps::detail::vlog(::amps::LogLevel::Debug, __VA_ARGS__)
+#define AMPS_LOG_INFO(...) ::amps::detail::vlog(::amps::LogLevel::Info, __VA_ARGS__)
+#define AMPS_LOG_WARN(...) ::amps::detail::vlog(::amps::LogLevel::Warn, __VA_ARGS__)
+#define AMPS_LOG_ERROR(...) ::amps::detail::vlog(::amps::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace amps

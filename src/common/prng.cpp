@@ -1,0 +1,15 @@
+#include "common/prng.hpp"
+
+namespace amps {
+
+std::uint64_t stable_hash(const char* s) noexcept {
+  // FNV-1a 64-bit.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (; *s; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace amps

@@ -1,0 +1,143 @@
+// Deterministic pseudo-random number generation.
+//
+// Workload generation must be exactly reproducible and *independent of the
+// core a thread runs on* (a swapped thread continues the same instruction
+// stream), so every stochastic component owns its own Prng seeded from a
+// stable (benchmark, stream) pair. xoshiro256** is used for speed and
+// quality; SplitMix64 expands seeds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace amps {
+
+/// SplitMix64 step; used to expand a single 64-bit seed into a full state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit generator.
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds from a single 64-bit value via SplitMix64 expansion.
+  explicit Prng(std::uint64_t seed = 0xA3C59AC2F1B1ED1AULL) noexcept { reseed(seed); }
+
+  /// Re-initializes the state deterministically from `seed`.
+  void reseed(std::uint64_t seed) noexcept {
+    for (auto& s : state_) s = splitmix64(seed);
+    // Avoid the all-zero state (cannot occur from splitmix64, but be safe).
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses Lemire's method.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // Multiply-shift rejection-free-enough reduction; bias is negligible for
+    // the ranges used here (< 2^32) but we keep the rejection loop for
+    // statistical tests.
+    __uint128_t m = static_cast<__uint128_t>((*this)()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Geometric distribution: number of failures before first success,
+  /// success probability p in (0, 1].
+  std::uint64_t geometric(double p) noexcept {
+    if (p >= 1.0) return 0;
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    // floor(log(u) / log(1-p))
+    return static_cast<std::uint64_t>(__builtin_log(u) / __builtin_log1p(-p));
+  }
+
+  /// Samples an index from unnormalized weights (linear scan; weights are
+  /// tiny in this codebase — at most a handful of phases / instr classes).
+  std::size_t weighted(std::span<const double> weights) noexcept {
+    double total = 0;
+    for (double w : weights) total += w;
+    double r = uniform() * total;
+    for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+      r -= weights[i];
+      if (r < 0) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  /// Current internal state, exposed so thread contexts can be checkpointed
+  /// and migrated between cores bit-exactly.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+
+  /// Restores a previously captured state.
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept { state_ = s; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Stable 64-bit hash of a string; used to derive per-benchmark seeds so
+/// that adding benchmarks to the catalog never perturbs existing streams.
+std::uint64_t stable_hash(const char* s) noexcept;
+
+/// Combines two seeds into a new one (order-sensitive).
+constexpr std::uint64_t combine_seeds(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+}  // namespace amps

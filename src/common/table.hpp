@@ -1,0 +1,48 @@
+// Fixed-width console table and CSV emission for bench/experiment output.
+//
+// Bench binaries print paper-style tables; keeping the formatting in one
+// place makes the outputs uniform and testable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace amps {
+
+/// Accumulates rows of string cells and renders either an aligned console
+/// table or CSV. Cells are stored as strings; numeric helpers format with a
+/// fixed precision suited to the paper's figures.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(long long value);
+  Table& cell(unsigned long long value);
+  Table& cell(int value) { return cell(static_cast<long long>(value)); }
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const noexcept { return header_.size(); }
+
+  /// Renders an aligned, pipe-separated table.
+  void print(std::ostream& os) const;
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+std::string format_double(double value, int precision = 2);
+
+/// Prints a section banner used by every experiment binary.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace amps

@@ -1,0 +1,40 @@
+// Fundamental scalar types shared across the AMPS libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace amps {
+
+/// Simulated clock cycles. All timing in the simulator is expressed in
+/// cycles of the (common) core clock; the paper assumes 2 GHz, so 2 ms of
+/// wall time equals 4,000,000 cycles.
+using Cycles = std::uint64_t;
+
+/// Committed (retired) instruction counts.
+using InstrCount = std::uint64_t;
+
+/// Dynamic energy in abstract nanojoules. Absolute calibration follows a
+/// Wattch-like model (see power/energy_model.hpp); only ratios matter for
+/// the reproduced results.
+using Energy = double;
+
+/// Identifies one of the two hardware contexts / threads in the dual-core.
+using ThreadId = int;
+
+/// Identifies one of the two asymmetric cores.
+enum class CoreKind : std::uint8_t {
+  Int = 0,  ///< strong integer datapath, weak floating point (paper "INT core")
+  Fp = 1,   ///< strong floating point datapath, weak integer (paper "FP core")
+};
+
+/// Human-readable name of a core kind ("INT"/"FP").
+constexpr const char* to_string(CoreKind k) noexcept {
+  return k == CoreKind::Int ? "INT" : "FP";
+}
+
+/// The other core in the dual-core pair.
+constexpr CoreKind other(CoreKind k) noexcept {
+  return k == CoreKind::Int ? CoreKind::Fp : CoreKind::Int;
+}
+
+}  // namespace amps

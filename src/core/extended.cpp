@@ -1,0 +1,126 @@
+#include "core/extended.hpp"
+
+#include <cassert>
+
+namespace amps::sched {
+
+ExtendedProposedScheduler::ExtendedProposedScheduler(const ExtendedConfig& cfg)
+    : Scheduler("proposed-extended"),
+      cfg_(cfg),
+      monitors_{WindowMonitor(cfg.window_size), WindowMonitor(cfg.window_size)},
+      detectors_{PhaseDetector(cfg.phase), PhaseDetector(cfg.phase)} {
+  assert(cfg.window_size > 0 && cfg.history_depth > 0);
+}
+
+void ExtendedProposedScheduler::on_start(sim::DualCoreSystem& system) {
+  for (std::size_t i = 0; i < 2; ++i) {
+    sim::ThreadContext* t = system.thread_on(i);
+    monitors_[static_cast<std::size_t>(t->id())].reset(system, *t);
+  }
+  last_swap_cycle_ = system.now();
+}
+
+void ExtendedProposedScheduler::tick(sim::DualCoreSystem& system) {
+  if (system.swap_in_progress()) return;
+
+  bool new_window = false;
+  bool phase_changed = false;
+  for (std::size_t i = 0; i < 2; ++i) {
+    sim::ThreadContext* t = system.thread_on(i);
+    const auto tid = static_cast<std::size_t>(t->id());
+    if (const auto sample = monitors_[tid].poll(system, *t)) {
+      new_window = true;
+      phase_changed |= detectors_[tid].update(*sample);
+    }
+  }
+  if (phase_changed) {
+    // Re-fill the vote with windows from the new phase only.
+    history_.clear();
+    ++phase_resets_;
+  }
+  if (!new_window) return;
+  if (!monitors_[0].has_sample() || !monitors_[1].has_sample()) return;
+
+  evaluate(system);
+}
+
+bool ExtendedProposedScheduler::guarded_tentative(
+    const sim::DualCoreSystem& system) {
+  PairComposition comp;
+  const WindowSample* on_int = nullptr;  // thread currently on the INT core
+  const WindowSample* on_fp = nullptr;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const sim::ThreadContext* t = system.thread_on(i);
+    const WindowSample& s =
+        monitors_[static_cast<std::size_t>(t->id())].latest();
+    if (system.core(i).config().kind == CoreKind::Int) {
+      comp.int_pct_on_int_core = s.int_pct;
+      comp.fp_pct_on_int_core = s.fp_pct;
+      on_int = &s;
+    } else {
+      comp.int_pct_on_fp_core = s.int_pct;
+      comp.fp_pct_on_fp_core = s.fp_pct;
+      on_fp = &s;
+    }
+  }
+
+  // Which sub-rule fired decides which thread the swap is rescuing.
+  const bool int_rule = comp.int_pct_on_fp_core >= cfg_.thresholds.int_surge &&
+                        comp.int_pct_on_int_core <= cfg_.thresholds.int_drop;
+  const bool fp_rule = comp.fp_pct_on_int_core >= cfg_.thresholds.fp_surge &&
+                       comp.fp_pct_on_fp_core <= cfg_.thresholds.fp_drop;
+  if (!int_rule && !fp_rule) return false;
+
+  // §VII guards: the rescued thread must actually be suffering from the
+  // weak units — not from memory stalls (high MPKI) — and must not already
+  // run at healthy IPC.
+  const WindowSample& rescued = int_rule ? *on_fp : *on_int;
+  if (rescued.l2_mpki >= cfg_.mem_bound_mpki || rescued.ipc >= cfg_.healthy_ipc) {
+    ++vetoes_;
+    return false;
+  }
+  return true;
+}
+
+void ExtendedProposedScheduler::evaluate(sim::DualCoreSystem& system) {
+  count_decision();
+  history_.push_back(guarded_tentative(system));
+  while (history_.size() > static_cast<std::size_t>(cfg_.history_depth))
+    history_.pop_front();
+
+  if (history_.size() == static_cast<std::size_t>(cfg_.history_depth)) {
+    int votes = 0;
+    for (bool v : history_) votes += v ? 1 : 0;
+    if (2 * votes > cfg_.history_depth) {
+      do_swap(system);
+      history_.clear();
+      last_swap_cycle_ = system.now();
+      return;
+    }
+  }
+
+  if (cfg_.enable_forced_swap &&
+      system.now() - last_swap_cycle_ >= cfg_.forced_swap_interval) {
+    PairComposition comp;
+    for (std::size_t i = 0; i < 2; ++i) {
+      const sim::ThreadContext* t = system.thread_on(i);
+      const WindowSample& s =
+          monitors_[static_cast<std::size_t>(t->id())].latest();
+      if (system.core(i).config().kind == CoreKind::Int) {
+        comp.int_pct_on_int_core = s.int_pct;
+        comp.fp_pct_on_int_core = s.fp_pct;
+      } else {
+        comp.int_pct_on_fp_core = s.int_pct;
+        comp.fp_pct_on_fp_core = s.fp_pct;
+      }
+    }
+    if (same_flavor_conflict(comp, cfg_.thresholds)) {
+      do_swap(system);
+      ++forced_;
+      history_.clear();
+      last_swap_cycle_ = system.now();
+    }
+  }
+}
+
+}  // namespace amps::sched

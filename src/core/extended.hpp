@@ -1,0 +1,75 @@
+// The paper's stated future work (§VII): "We plan to improve upon these
+// scenarios by including the performance (IPC) and last-level cache miss
+// rate information into our swapping conditions."
+//
+// ExtendedProposedScheduler = the Fig. 5 composition rules, plus:
+//  * a memory-bound veto — a thread whose window L2 MPKI exceeds a
+//    threshold gains nothing from stronger arithmetic units, so a swap on
+//    its behalf is suppressed (the mcf-style mispredict the paper calls
+//    out);
+//  * an IPC guard — if the thread the rules want to rescue is already
+//    running at healthy IPC on its "wrong" core, the weak units are not
+//    actually the bottleneck and the swap is suppressed;
+//  * phase-change fast path — a Sherwood-style detector clears the vote
+//    history when a thread's composition shifts abruptly, so the majority
+//    vote re-fills with fresh windows instead of averaging across the
+//    phase boundary.
+#pragma once
+
+#include <deque>
+
+#include "core/monitor.hpp"
+#include "core/phase_detector.hpp"
+#include "core/scheduler.hpp"
+#include "core/swap_rules.hpp"
+
+namespace amps::sched {
+
+struct ExtendedConfig {
+  InstrCount window_size = 1000;
+  int history_depth = 5;
+  Cycles forced_swap_interval = 150'000;
+  SwapRuleThresholds thresholds;
+  bool enable_forced_swap = true;
+
+  /// L2 misses per kilo-instruction above which a thread counts as
+  /// memory-bound (swaps on its behalf are vetoed).
+  double mem_bound_mpki = 12.0;
+  /// IPC at or above which a thread is "healthy" on its current core, so
+  /// the rules' rescue swap is unnecessary.
+  double healthy_ipc = 1.0;
+  PhaseDetectorConfig phase;
+};
+
+class ExtendedProposedScheduler final : public Scheduler {
+ public:
+  explicit ExtendedProposedScheduler(const ExtendedConfig& cfg);
+
+  void on_start(sim::DualCoreSystem& system) override;
+  void tick(sim::DualCoreSystem& system) override;
+
+  [[nodiscard]] const ExtendedConfig& config() const noexcept { return cfg_; }
+  /// Rule-2 swaps suppressed by the memory-bound / IPC guards.
+  [[nodiscard]] std::uint64_t vetoes() const noexcept { return vetoes_; }
+  /// Vote-history resets triggered by the phase detector.
+  [[nodiscard]] std::uint64_t phase_resets() const noexcept {
+    return phase_resets_;
+  }
+  [[nodiscard]] std::uint64_t forced_swaps() const noexcept { return forced_; }
+
+ private:
+  void evaluate(sim::DualCoreSystem& system);
+  /// The Fig. 5 tentative decision with the §VII vetoes applied.
+  [[nodiscard]] bool guarded_tentative(const sim::DualCoreSystem& system);
+
+  ExtendedConfig cfg_;
+  WindowMonitor monitors_[2];
+  PhaseDetector detectors_[2];
+  std::deque<bool> history_;
+  Cycles last_swap_cycle_ = 0;
+  std::uint64_t vetoes_ = 0;
+  std::uint64_t phase_resets_ = 0;
+  std::uint64_t forced_ = 0;
+};
+
+}  // namespace amps::sched

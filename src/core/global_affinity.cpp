@@ -1,0 +1,79 @@
+#include "core/global_affinity.hpp"
+
+namespace amps::sched {
+
+GlobalAffinityScheduler::GlobalAffinityScheduler(
+    const GlobalAffinityConfig& cfg)
+    : cfg_(cfg) {}
+
+void GlobalAffinityScheduler::on_start(sim::MulticoreSystem& system) {
+  state_.assign(system.num_cores(), CoreState{});
+  last_swap_ = system.now();
+}
+
+void GlobalAffinityScheduler::tick(sim::MulticoreSystem& system) {
+  bool any_window = false;
+  const double alpha = 1.0 / static_cast<double>(cfg_.history_depth);
+
+  // Bias state travels with *cores* here, but the thread occupying a core
+  // only changes through our own swaps (which reset nothing — the very
+  // next windows re-measure the new occupant, and the EMA converges within
+  // a history depth, mirroring the dual-core scheme's vote refill).
+  for (std::size_t i = 0; i < system.num_cores(); ++i) {
+    const sim::ThreadContext* t = system.thread_on(i);
+    CoreState& st = state_[i];
+    if (!st.primed) {
+      st.last_counts = t->committed();
+      st.next_boundary = t->committed_total() + cfg_.window_size;
+      st.primed = true;
+      continue;
+    }
+    if (t->committed_total() < st.next_boundary) continue;
+    const isa::InstrCounts delta = t->committed().since(st.last_counts);
+    st.last_counts = t->committed();
+    st.next_boundary = t->committed_total() + cfg_.window_size;
+    const double bias = delta.int_pct() - delta.fp_pct();
+    st.bias = (1.0 - alpha) * st.bias + alpha * bias;
+    any_window = true;
+  }
+  if (!any_window) return;
+  if (system.now() - last_swap_ < cfg_.swap_cooldown) return;
+  evaluate(system);
+}
+
+void GlobalAffinityScheduler::evaluate(sim::MulticoreSystem& system) {
+  ++decisions_;
+
+  // Worst violation: most INT-biased occupant of an FP core vs most
+  // FP-biased occupant of an INT core.
+  double best_gap = 0.0;
+  std::size_t best_fp_core = 0, best_int_core = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < system.num_cores(); ++i) {
+    if (system.migrating(i)) continue;
+    for (std::size_t j = 0; j < system.num_cores(); ++j) {
+      if (i == j || system.migrating(j)) continue;
+      if (system.core(i).config().kind != CoreKind::Fp ||
+          system.core(j).config().kind != CoreKind::Int)
+        continue;
+      const double gap = state_[i].bias - state_[j].bias;
+      if (gap > cfg_.bias_margin && gap > best_gap) {
+        best_gap = gap;
+        best_fp_core = i;
+        best_int_core = j;
+        found = true;
+      }
+    }
+  }
+  if (!found) return;
+
+  system.swap_threads(best_fp_core, best_int_core);
+  // The occupants moved; the monitoring state (window counters AND the
+  // smoothed bias) tracks the occupant, so it moves with them — otherwise
+  // the next window delta would difference two unrelated threads' counters.
+  std::swap(state_[best_fp_core], state_[best_int_core]);
+  ++swaps_;
+  last_swap_ = system.now();
+}
+
+}  // namespace amps::sched

@@ -1,0 +1,93 @@
+// N-core generalization of the proposed scheme (§VI-D: the hardware
+// approach "is scalable and OS-independent"). Each thread is monitored
+// over committed-instruction windows exactly as in the dual-core scheme;
+// the scheduler maintains a per-thread *flavor bias* (%INT − %FP, smoothed
+// over the history depth) and repairs the worst affinity violation with
+// one pairwise swap per decision: the most INT-biased thread sitting on an
+// FP core exchanges places with the most FP-biased thread sitting on an
+// INT core, provided their bias gap clears a margin. Decisions stay
+// pairwise and local — the property that makes the scheme scale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/mix.hpp"
+#include "sim/multicore.hpp"
+
+namespace amps::sched {
+
+struct GlobalAffinityConfig {
+  InstrCount window_size = 1000;
+  /// EMA depth: bias is smoothed as a running mean over roughly this many
+  /// windows (the dual-core scheme's history vote, in streaming form).
+  int history_depth = 5;
+  /// Required bias gap (percentage points) between the two candidates
+  /// before a swap fires.
+  double bias_margin = 25.0;
+  /// Global cooldown between swaps (lets migrations settle).
+  Cycles swap_cooldown = 10'000;
+};
+
+class GlobalAffinityScheduler {
+ public:
+  explicit GlobalAffinityScheduler(const GlobalAffinityConfig& cfg = {});
+
+  void on_start(sim::MulticoreSystem& system);
+  /// Call once per simulated cycle.
+  void tick(sim::MulticoreSystem& system);
+
+  [[nodiscard]] std::uint64_t swaps_requested() const noexcept {
+    return swaps_;
+  }
+  [[nodiscard]] std::uint64_t decision_points() const noexcept {
+    return decisions_;
+  }
+  /// Smoothed flavor bias of the thread currently on core i.
+  [[nodiscard]] double bias_of_core(std::size_t i) const noexcept {
+    return state_[i].bias;
+  }
+
+ private:
+  struct CoreState {
+    isa::InstrCounts last_counts;
+    InstrCount next_boundary = 0;
+    double bias = 0.0;  ///< smoothed %INT - %FP of the occupant thread
+    bool primed = false;
+  };
+
+  void evaluate(sim::MulticoreSystem& system);
+
+  GlobalAffinityConfig cfg_;
+  std::vector<CoreState> state_;  // indexed by core
+  Cycles last_swap_ = 0;
+  std::uint64_t swaps_ = 0;
+  std::uint64_t decisions_ = 0;
+};
+
+/// Round-Robin for N cores: every interval, rotate by swapping one pair
+/// (cycling through adjacent pairs) — the obvious fairness baseline.
+class MulticoreRoundRobin {
+ public:
+  explicit MulticoreRoundRobin(Cycles interval) : interval_(interval) {}
+
+  void on_start(sim::MulticoreSystem& system) {
+    next_ = system.now() + interval_;
+  }
+  void tick(sim::MulticoreSystem& system) {
+    if (system.now() < next_) return;
+    next_ += interval_;
+    const std::size_t n = system.num_cores();
+    const std::size_t a = pair_ % n;
+    const std::size_t b = (pair_ + 1) % n;
+    ++pair_;
+    system.swap_threads(a, b);
+  }
+
+ private:
+  Cycles interval_;
+  Cycles next_ = 0;
+  std::size_t pair_ = 0;
+};
+
+}  // namespace amps::sched

@@ -1,0 +1,162 @@
+#include "core/hpe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace amps::sched {
+
+namespace {
+// Ratio observations live comfortably within [0.1, 4]; the histogram used
+// for the per-cell statistical mode clamps outliers to the edge bins.
+constexpr double kRatioLo = 0.1;
+constexpr double kRatioHi = 4.0;
+constexpr std::size_t kRatioBins = 78;  // 0.05-wide bins
+
+double clamp_ratio(double r) {
+  return std::clamp(r, 0.05, 20.0);
+}
+
+std::size_t cell_index(int row, int col, int bins) {
+  return static_cast<std::size_t>(row) * static_cast<std::size_t>(bins) +
+         static_cast<std::size_t>(col);
+}
+}  // namespace
+
+RatioMatrix::RatioMatrix(int bins_per_axis) : bins_(bins_per_axis) {
+  if (bins_per_axis <= 0)
+    throw std::invalid_argument("RatioMatrix: bins must be > 0");
+  values_.assign(static_cast<std::size_t>(bins_) * static_cast<std::size_t>(bins_), 1.0);
+  counts_.assign(static_cast<std::size_t>(bins_) * static_cast<std::size_t>(bins_), 0);
+}
+
+int RatioMatrix::bin_of(double pct) const noexcept {
+  const double width = 100.0 / bins_;
+  int b = static_cast<int>(pct / width);
+  return std::clamp(b, 0, bins_ - 1);
+}
+
+void RatioMatrix::fit(std::span<const ProfileSample> samples) {
+  std::vector<mathx::Histogram> hists(
+      static_cast<std::size_t>(bins_) * static_cast<std::size_t>(bins_),
+      mathx::Histogram(kRatioLo, kRatioHi, kRatioBins));
+  for (const auto& s : samples) {
+    const std::size_t idx =
+        cell_index(bin_of(s.int_pct), bin_of(s.fp_pct), bins_);
+    hists[idx].add(s.ratio);
+  }
+  for (std::size_t i = 0; i < hists.size(); ++i) {
+    counts_[i] = hists[i].count();
+    if (counts_[i] > 0) values_[i] = hists[i].mode();
+  }
+  // Fill never-visited cells from the nearest populated cell (Manhattan
+  // distance, deterministic scan order) so predictions are total.
+  for (int r = 0; r < bins_; ++r) {
+    for (int c = 0; c < bins_; ++c) {
+      const std::size_t idx = cell_index(r, c, bins_);
+      if (counts_[idx] > 0) continue;
+      int best_d = bins_ * 2 + 1;
+      double best_v = 1.0;
+      for (int rr = 0; rr < bins_; ++rr)
+        for (int cc = 0; cc < bins_; ++cc) {
+          const std::size_t j = cell_index(rr, cc, bins_);
+          if (counts_[j] == 0) continue;
+          const int d = std::abs(rr - r) + std::abs(cc - c);
+          if (d < best_d) {
+            best_d = d;
+            best_v = values_[j];
+          }
+        }
+      values_[idx] = best_v;
+    }
+  }
+  fitted_ = true;
+}
+
+double RatioMatrix::predict_ratio(double int_pct, double fp_pct) const {
+  return clamp_ratio(values_[cell_index(bin_of(int_pct), bin_of(fp_pct), bins_)]);
+}
+
+double RatioMatrix::cell(int int_bin, int fp_bin) const {
+  return values_.at(cell_index(int_bin, fp_bin, bins_));
+}
+
+std::size_t RatioMatrix::cell_count(int int_bin, int fp_bin) const {
+  return counts_.at(cell_index(int_bin, fp_bin, bins_));
+}
+
+RegressionSurface::RegressionSurface(int degree) : degree_(degree) {
+  if (degree <= 0) throw std::invalid_argument("RegressionSurface: degree");
+}
+
+void RegressionSurface::fit(std::span<const ProfileSample> samples) {
+  if (samples.empty())
+    throw std::invalid_argument("RegressionSurface: no samples");
+  std::vector<mathx::Sample2D> pts;
+  pts.reserve(samples.size());
+  for (const auto& s : samples)
+    pts.push_back({.x1 = s.int_pct / 100.0, .x2 = s.fp_pct / 100.0,
+                   .y = s.ratio});
+  fit_ = mathx::fit_poly2(pts, degree_, 1e-6);
+  r2_ = mathx::r_squared(fit_, pts);
+  fitted_ = true;
+}
+
+double RegressionSurface::predict_ratio(double int_pct, double fp_pct) const {
+  return clamp_ratio(fit_(int_pct / 100.0, fp_pct / 100.0));
+}
+
+HpeScheduler::HpeScheduler(const HpePredictionModel& model,
+                           const HpeConfig& cfg)
+    : Scheduler(std::string("hpe-") + model.kind()), model_(&model), cfg_(cfg) {}
+
+void HpeScheduler::on_start(sim::DualCoreSystem& system) {
+  for (std::size_t i = 0; i < 2; ++i) {
+    sim::ThreadContext* t = system.thread_on(i);
+    per_thread_[static_cast<std::size_t>(t->id())].last_counts = t->committed();
+  }
+  next_decision_ = system.now() + cfg_.decision_interval;
+}
+
+void HpeScheduler::tick(sim::DualCoreSystem& system) {
+  if (system.now() < next_decision_) return;
+  next_decision_ += cfg_.decision_interval;
+  if (system.swap_in_progress()) return;
+  count_decision();
+
+  // Estimated speedup of moving each thread to the *other* core, from the
+  // instruction composition observed over the last interval.
+  double est[2] = {1.0, 1.0};
+  for (std::size_t i = 0; i < 2; ++i) {
+    sim::ThreadContext* t = system.thread_on(i);
+    IntervalState& st = per_thread_[static_cast<std::size_t>(t->id())];
+    const isa::InstrCounts delta = t->committed().since(st.last_counts);
+    st.last_counts = t->committed();
+    if (delta.total() == 0) continue;  // stalled thread: no information
+    const double ratio =
+        model_->predict_ratio(delta.int_pct(), delta.fp_pct());
+    est[i] = system.core(i).config().kind == CoreKind::Int
+                 ? 1.0 / ratio  // INT -> FP move
+                 : ratio;       // FP -> INT move
+  }
+
+  const double est_weighted_speedup = 0.5 * (est[0] + est[1]);
+  if (est_weighted_speedup > cfg_.swap_speedup_threshold) do_swap(system);
+}
+
+HpeModels build_hpe_models(const sim::CoreConfig& int_core,
+                           const sim::CoreConfig& fp_core,
+                           const wl::BenchmarkCatalog& catalog,
+                           const ProfilerConfig& cfg) {
+  HpeModels m;
+  const Profiler profiler(int_core, fp_core, cfg);
+  const auto nine = catalog.representative_nine();
+  m.samples = profiler.profile_all(nine);
+  m.matrix = std::make_unique<RatioMatrix>(5);
+  m.matrix->fit(m.samples);
+  m.regression = std::make_unique<RegressionSurface>(2);
+  m.regression->fit(m.samples);
+  return m;
+}
+
+}  // namespace amps::sched

@@ -1,0 +1,129 @@
+// The reference scheme: Hardware-monitoring-and-Prediction-Engine (HPE)
+// scheduling, Srinivasan et al. [8], extended per paper §V to
+// flavor-asymmetric cores and the IPC/Watt metric. Two prediction models
+// are provided, both fit from offline profiling samples:
+//
+//  * RatioMatrix — 5x5 bins over (%INT, %FP), each holding the statistical
+//    mode of the observed IPC/Watt ratios (paper Fig. 3).
+//  * RegressionSurface — a non-linear (bivariate polynomial) least-squares
+//    fit of the same samples (paper Fig. 4).
+//
+// The scheduler re-evaluates once per context-switch interval ("2 ms") and
+// swaps when the estimated weighted speedup of the swapped configuration
+// exceeds 1.05 (paper §V).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/profiler.hpp"
+#include "core/scheduler.hpp"
+#include "isa/mix.hpp"
+#include "mathx/least_squares.hpp"
+#include "mathx/stats.hpp"
+
+namespace amps::sched {
+
+/// Predicts the IPC/Watt ratio (INT core / FP core) of a thread from its
+/// observed instruction composition.
+class HpePredictionModel {
+ public:
+  virtual ~HpePredictionModel() = default;
+  [[nodiscard]] virtual double predict_ratio(double int_pct,
+                                             double fp_pct) const = 0;
+  [[nodiscard]] virtual const char* kind() const noexcept = 0;
+};
+
+/// Paper Fig. 3: binned matrix of ratio modes with nearest-neighbor fill
+/// for bins the profiling never visited.
+class RatioMatrix final : public HpePredictionModel {
+ public:
+  explicit RatioMatrix(int bins_per_axis = 5);
+
+  /// Builds the matrix from profiling samples. Bins collect all ratios
+  /// observed at that composition; the cell value is the statistical mode
+  /// (paper: "replaced the multiple values ... by the statistical mode").
+  void fit(std::span<const ProfileSample> samples);
+
+  [[nodiscard]] double predict_ratio(double int_pct,
+                                     double fp_pct) const override;
+  [[nodiscard]] const char* kind() const noexcept override { return "matrix"; }
+
+  [[nodiscard]] int bins() const noexcept { return bins_; }
+  /// Cell value (row = INT bin, col = FP bin); NaN-free after fit().
+  [[nodiscard]] double cell(int int_bin, int fp_bin) const;
+  /// Number of raw observations that landed in the cell.
+  [[nodiscard]] std::size_t cell_count(int int_bin, int fp_bin) const;
+
+ private:
+  [[nodiscard]] int bin_of(double pct) const noexcept;
+
+  int bins_;
+  std::vector<double> values_;       // bins x bins
+  std::vector<std::size_t> counts_;  // raw observations per cell
+  bool fitted_ = false;
+};
+
+/// Paper Fig. 4: bivariate polynomial regression of the ratio surface.
+class RegressionSurface final : public HpePredictionModel {
+ public:
+  explicit RegressionSurface(int degree = 2);
+
+  void fit(std::span<const ProfileSample> samples);
+
+  [[nodiscard]] double predict_ratio(double int_pct,
+                                     double fp_pct) const override;
+  [[nodiscard]] const char* kind() const noexcept override {
+    return "regression";
+  }
+
+  [[nodiscard]] const mathx::Poly2Fit& poly() const noexcept { return fit_; }
+  /// Fit quality on the training samples.
+  [[nodiscard]] double r2() const noexcept { return r2_; }
+
+ private:
+  int degree_;
+  mathx::Poly2Fit fit_;
+  double r2_ = 0.0;
+  bool fitted_ = false;
+};
+
+struct HpeConfig {
+  Cycles decision_interval = 150'000;  ///< the "2 ms" period
+  double swap_speedup_threshold = 1.05;
+};
+
+class HpeScheduler final : public Scheduler {
+ public:
+  /// `model` must outlive the scheduler.
+  HpeScheduler(const HpePredictionModel& model, const HpeConfig& cfg = {});
+
+  void on_start(sim::DualCoreSystem& system) override;
+  void tick(sim::DualCoreSystem& system) override;
+
+  [[nodiscard]] const HpeConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct IntervalState {
+    isa::InstrCounts last_counts;
+  };
+
+  const HpePredictionModel* model_;
+  HpeConfig cfg_;
+  Cycles next_decision_ = 0;
+  IntervalState per_thread_[2];  // indexed by ThreadId
+};
+
+/// Fits both models from the paper's nine representative benchmarks and
+/// returns them (used by benches and the harness).
+struct HpeModels {
+  std::vector<ProfileSample> samples;
+  std::unique_ptr<RatioMatrix> matrix;
+  std::unique_ptr<RegressionSurface> regression;
+};
+HpeModels build_hpe_models(const sim::CoreConfig& int_core,
+                           const sim::CoreConfig& fp_core,
+                           const wl::BenchmarkCatalog& catalog,
+                           const ProfilerConfig& cfg);
+
+}  // namespace amps::sched

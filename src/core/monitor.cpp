@@ -1,0 +1,50 @@
+#include "core/monitor.hpp"
+
+namespace amps::sched {
+
+void WindowMonitor::reset(const sim::DualCoreSystem& system,
+                          const sim::ThreadContext& thread) {
+  last_counts_ = thread.committed();
+  last_cycles_ = thread.cycles();
+  last_energy_ = system.live_energy(thread);
+  last_l2_misses_ = system.live_l2_misses(thread);
+  next_boundary_ = thread.committed_total() + window_;
+  primed_ = true;
+}
+
+std::optional<WindowSample> WindowMonitor::poll(
+    const sim::DualCoreSystem& system, const sim::ThreadContext& thread) {
+  if (!primed_) reset(system, thread);
+  if (thread.committed_total() < next_boundary_) return std::nullopt;
+
+  const isa::InstrCounts delta = thread.committed().since(last_counts_);
+  const Cycles dc = thread.cycles() - last_cycles_;
+  const Energy energy_now = system.live_energy(thread);
+  const Energy de = energy_now - last_energy_;
+
+  const std::uint64_t l2_now = system.live_l2_misses(thread);
+
+  WindowSample s;
+  s.int_pct = delta.int_pct();
+  s.fp_pct = delta.fp_pct();
+  s.committed = delta.total();
+  s.ipc = dc ? static_cast<double>(delta.total()) / static_cast<double>(dc)
+             : 0.0;
+  s.ipc_per_watt = de > 0.0 ? static_cast<double>(delta.total()) / de : 0.0;
+  s.at_cycle = system.now();
+  s.l2_mpki = delta.total()
+                  ? 1000.0 * static_cast<double>(l2_now - last_l2_misses_) /
+                        static_cast<double>(delta.total())
+                  : 0.0;
+
+  last_counts_ = thread.committed();
+  last_cycles_ = thread.cycles();
+  last_energy_ = energy_now;
+  last_l2_misses_ = l2_now;
+  next_boundary_ = thread.committed_total() + window_;
+  latest_ = s;
+  has_sample_ = true;
+  return s;
+}
+
+}  // namespace amps::sched

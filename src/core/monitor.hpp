@@ -1,0 +1,63 @@
+// Online hardware-counter monitor (paper §VI-A): per-thread sampling of
+// committed-instruction composition, IPC and energy over fixed
+// committed-instruction windows. This is the "low-cost non-invasive
+// hardware mechanism" — it reads only counters a real core exposes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+#include "isa/mix.hpp"
+#include "sim/system.hpp"
+#include "sim/thread_context.hpp"
+
+namespace amps::sched {
+
+/// One completed monitoring window.
+struct WindowSample {
+  double int_pct = 0.0;
+  double fp_pct = 0.0;
+  double ipc = 0.0;
+  double ipc_per_watt = 0.0;
+  InstrCount committed = 0;  ///< instructions in the window (>= window size)
+  Cycles at_cycle = 0;       ///< system time when the window closed
+  /// L2 misses per 1000 committed instructions in the window (MPKI) — the
+  /// LLC-miss signal the paper's §VII extension adds to the swap rules.
+  double l2_mpki = 0.0;
+};
+
+/// Watches one thread; poll() returns a sample each time the thread
+/// crosses a committed-instruction window boundary.
+class WindowMonitor {
+ public:
+  explicit WindowMonitor(InstrCount window_size) : window_(window_size) {}
+
+  /// Checks the thread's counters; returns a completed window sample when
+  /// the boundary has been crossed since the last poll, otherwise nullopt.
+  std::optional<WindowSample> poll(const sim::DualCoreSystem& system,
+                                   const sim::ThreadContext& thread);
+
+  /// Latest completed sample (empty percentages before the first window).
+  [[nodiscard]] const WindowSample& latest() const noexcept { return latest_; }
+  [[nodiscard]] bool has_sample() const noexcept { return has_sample_; }
+
+  [[nodiscard]] InstrCount window_size() const noexcept { return window_; }
+
+  /// Forgets progress (e.g., after an external reconfiguration).
+  void reset(const sim::DualCoreSystem& system,
+             const sim::ThreadContext& thread);
+
+ private:
+  InstrCount window_;
+  InstrCount next_boundary_ = 0;
+  isa::InstrCounts last_counts_;
+  Cycles last_cycles_ = 0;
+  Energy last_energy_ = 0.0;
+  std::uint64_t last_l2_misses_ = 0;
+  WindowSample latest_;
+  bool has_sample_ = false;
+  bool primed_ = false;
+};
+
+}  // namespace amps::sched

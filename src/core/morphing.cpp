@@ -1,0 +1,159 @@
+#include "core/morphing.hpp"
+
+#include <cassert>
+
+namespace amps::sched {
+
+namespace {
+
+/// Majority over a full history window.
+bool majority(const std::deque<bool>& votes, int depth) {
+  if (votes.size() < static_cast<std::size_t>(depth)) return false;
+  int yes = 0;
+  for (bool v : votes) yes += v ? 1 : 0;
+  return 2 * yes > depth;
+}
+
+void push_bounded(std::deque<bool>* votes, bool value, int depth) {
+  votes->push_back(value);
+  while (votes->size() > static_cast<std::size_t>(depth)) votes->pop_front();
+}
+
+}  // namespace
+
+MorphScheduler::MorphScheduler(const MorphConfig& cfg)
+    : Scheduler("morphing"),
+      cfg_(cfg),
+      monitors_{WindowMonitor(cfg.window_size), WindowMonitor(cfg.window_size)} {
+  assert(cfg.window_size > 0 && cfg.history_depth > 0);
+}
+
+void MorphScheduler::on_start(sim::DualCoreSystem& system) {
+  for (std::size_t i = 0; i < 2; ++i) {
+    sim::ThreadContext* t = system.thread_on(i);
+    monitors_[static_cast<std::size_t>(t->id())].reset(system, *t);
+  }
+  last_action_ = system.now();
+}
+
+PairComposition MorphScheduler::composition(
+    const sim::DualCoreSystem& system) const {
+  // In morphed mode core 0 is the strong core; the labeling below maps the
+  // *baseline* roles (core 0 = INT chassis, core 1 = FP chassis), which is
+  // exactly what the Fig. 5 thresholds were derived against.
+  PairComposition c;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const sim::ThreadContext* t = system.thread_on(i);
+    const WindowSample& s =
+        monitors_[static_cast<std::size_t>(t->id())].latest();
+    if (i == 0) {
+      c.int_pct_on_int_core = s.int_pct;
+      c.fp_pct_on_int_core = s.fp_pct;
+    } else {
+      c.int_pct_on_fp_core = s.int_pct;
+      c.fp_pct_on_fp_core = s.fp_pct;
+    }
+  }
+  return c;
+}
+
+void MorphScheduler::enter_morphed(sim::DualCoreSystem& system) {
+  // The more compute-intensive thread takes the strong core (core 0).
+  double demand[2];
+  for (std::size_t i = 0; i < 2; ++i) {
+    const sim::ThreadContext* t = system.thread_on(i);
+    const WindowSample& s =
+        monitors_[static_cast<std::size_t>(t->id())].latest();
+    demand[i] = s.int_pct + s.fp_pct;
+  }
+  const bool swap = demand[1] > demand[0];
+  system.morph_cores(sim::morphed_strong_core_config(),
+                     sim::morphed_weak_core_config(), cfg_.morph_overhead,
+                     swap);
+  mode_ = Mode::Morphed;
+  ++morphs_;
+  swap_votes_.clear();
+  conflict_votes_.clear();
+  diverge_votes_.clear();
+  last_action_ = system.now();
+}
+
+void MorphScheduler::exit_morphed(sim::DualCoreSystem& system) {
+  // Back to the INT/FP pair; put the more INT-leaning thread on core 0.
+  double int_bias[2];
+  for (std::size_t i = 0; i < 2; ++i) {
+    const sim::ThreadContext* t = system.thread_on(i);
+    const WindowSample& s =
+        monitors_[static_cast<std::size_t>(t->id())].latest();
+    int_bias[i] = s.int_pct - s.fp_pct;
+  }
+  const bool swap = int_bias[1] > int_bias[0];
+  system.morph_cores(sim::int_core_config(), sim::fp_core_config(),
+                     cfg_.morph_overhead, swap);
+  mode_ = Mode::Baseline;
+  ++morphs_;
+  swap_votes_.clear();
+  conflict_votes_.clear();
+  diverge_votes_.clear();
+  last_action_ = system.now();
+}
+
+void MorphScheduler::tick(sim::DualCoreSystem& system) {
+  if (system.swap_in_progress()) return;
+
+  bool new_window = false;
+  for (std::size_t i = 0; i < 2; ++i) {
+    sim::ThreadContext* t = system.thread_on(i);
+    if (monitors_[static_cast<std::size_t>(t->id())].poll(system, *t))
+      new_window = true;
+  }
+  if (!new_window) return;
+  if (!monitors_[0].has_sample() || !monitors_[1].has_sample()) return;
+
+  evaluate(system);
+}
+
+void MorphScheduler::evaluate(sim::DualCoreSystem& system) {
+  count_decision();
+  const PairComposition comp = composition(system);
+
+  if (mode_ == Mode::Baseline) {
+    push_bounded(&swap_votes_, should_swap(comp, cfg_.thresholds),
+                 cfg_.history_depth);
+    push_bounded(&conflict_votes_, same_flavor_conflict(comp, cfg_.thresholds),
+                 cfg_.history_depth);
+
+    if (majority(swap_votes_, cfg_.history_depth)) {
+      do_swap(system);
+      swap_votes_.clear();
+      last_action_ = system.now();
+      return;
+    }
+    if (majority(conflict_votes_, cfg_.history_depth)) {
+      enter_morphed(system);
+    }
+    return;
+  }
+
+  // Morphed mode: watch for the flavors to diverge again — the pattern
+  // where one thread is INT-heavy while the other is FP-heavy, i.e. the
+  // baseline AMP would serve both well simultaneously.
+  const bool diverged =
+      (comp.int_pct_on_int_core >= cfg_.thresholds.int_surge &&
+       comp.fp_pct_on_fp_core >= cfg_.thresholds.fp_surge) ||
+      (comp.int_pct_on_fp_core >= cfg_.thresholds.int_surge &&
+       comp.fp_pct_on_int_core >= cfg_.thresholds.fp_surge);
+  push_bounded(&diverge_votes_, diverged, cfg_.history_depth);
+  if (majority(diverge_votes_, cfg_.history_depth)) {
+    exit_morphed(system);
+    return;
+  }
+
+  // Fairness: share the strong core between the same-flavor threads.
+  if (system.now() - last_action_ >= cfg_.fairness_interval) {
+    do_swap(system);
+    last_action_ = system.now();
+  }
+}
+
+}  // namespace amps::sched

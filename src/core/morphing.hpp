@@ -1,0 +1,72 @@
+// Core-morphing scheduler — the authors' prior approach (ref. [5],
+// PACT'11) that this paper's swap-only scheme is positioned against
+// (§III: morphing "requires special hardware ... to avoid the added
+// complexity ... we explore the benefits of only thread swapping").
+//
+// Behavior:
+//  * Baseline mode (INT + FP cores): the Fig. 5 rules drive thread swaps
+//    exactly like the proposed scheme. When both threads persistently share
+//    one flavor (the same-flavor conflict the swap-only scheme can only
+//    mitigate with fairness swaps), the cores *morph*: the INT core absorbs
+//    the FP core's strong floating-point datapath, producing one
+//    strong-everywhere core and one weak-everywhere core, and the more
+//    compute-intensive thread takes the strong core.
+//  * Morphed mode: when the threads' flavors diverge again, morph back to
+//    the baseline INT/FP pair with affinity-correct assignment. A periodic
+//    fairness swap shares the strong core between same-flavor threads.
+//
+// The price of morphing is modeled faithfully: a reconfiguration overhead
+// several times the swap cost, plus a standing leakage premium on the
+// morphed configurations (the muxes/crossbars that make morphing possible).
+#pragma once
+
+#include <deque>
+
+#include "core/monitor.hpp"
+#include "core/scheduler.hpp"
+#include "core/swap_rules.hpp"
+#include "sim/core_config.hpp"
+
+namespace amps::sched {
+
+struct MorphConfig {
+  InstrCount window_size = 1000;
+  int history_depth = 5;
+  SwapRuleThresholds thresholds;
+  /// Reconfiguration cost in cycles (swap overhead is typically ~100).
+  Cycles morph_overhead = 500;
+  Cycles swap_overhead = 100;  ///< used for plain swaps in baseline mode
+  /// Fairness: in morphed mode, exchange the strong-core occupant at this
+  /// period (mirrors the swap-only scheme's rule 3).
+  Cycles fairness_interval = 150'000;
+};
+
+class MorphScheduler final : public Scheduler {
+ public:
+  explicit MorphScheduler(const MorphConfig& cfg);
+
+  void on_start(sim::DualCoreSystem& system) override;
+  void tick(sim::DualCoreSystem& system) override;
+
+  enum class Mode { Baseline, Morphed };
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  [[nodiscard]] std::uint64_t morphs() const noexcept { return morphs_; }
+
+ private:
+  void evaluate(sim::DualCoreSystem& system);
+  void enter_morphed(sim::DualCoreSystem& system);
+  void exit_morphed(sim::DualCoreSystem& system);
+  [[nodiscard]] PairComposition composition(
+      const sim::DualCoreSystem& system) const;
+
+  MorphConfig cfg_;
+  WindowMonitor monitors_[2];
+  Mode mode_ = Mode::Baseline;
+  std::deque<bool> swap_votes_;      // baseline: rule-2 tentative decisions
+  std::deque<bool> conflict_votes_;  // baseline: same-flavor conflicts
+  std::deque<bool> diverge_votes_;   // morphed: flavors diverged again
+  Cycles last_action_ = 0;
+  std::uint64_t morphs_ = 0;
+};
+
+}  // namespace amps::sched

@@ -1,0 +1,49 @@
+#include "core/oracle.hpp"
+
+namespace amps::sched {
+
+OracleScheduler::OracleScheduler(const HpePredictionModel& model,
+                                 const OracleConfig& cfg)
+    : Scheduler("fine-predictor"),
+      model_(&model),
+      cfg_(cfg),
+      monitors_{WindowMonitor(cfg.window_size), WindowMonitor(cfg.window_size)} {}
+
+void OracleScheduler::on_start(sim::DualCoreSystem& system) {
+  for (std::size_t i = 0; i < 2; ++i) {
+    sim::ThreadContext* t = system.thread_on(i);
+    monitors_[static_cast<std::size_t>(t->id())].reset(system, *t);
+  }
+  last_swap_ = system.now();
+}
+
+void OracleScheduler::tick(sim::DualCoreSystem& system) {
+  if (system.swap_in_progress()) return;
+
+  bool new_window = false;
+  for (std::size_t i = 0; i < 2; ++i) {
+    sim::ThreadContext* t = system.thread_on(i);
+    if (monitors_[static_cast<std::size_t>(t->id())].poll(system, *t))
+      new_window = true;
+  }
+  if (!new_window) return;
+  if (!monitors_[0].has_sample() || !monitors_[1].has_sample()) return;
+  if (system.now() - last_swap_ < cfg_.swap_cooldown) return;
+  count_decision();
+
+  double est[2] = {1.0, 1.0};
+  for (std::size_t i = 0; i < 2; ++i) {
+    const sim::ThreadContext* t = system.thread_on(i);
+    const WindowSample& s =
+        monitors_[static_cast<std::size_t>(t->id())].latest();
+    const double ratio = model_->predict_ratio(s.int_pct, s.fp_pct);
+    est[i] = system.core(i).config().kind == CoreKind::Int ? 1.0 / ratio
+                                                           : ratio;
+  }
+  if (0.5 * (est[0] + est[1]) > cfg_.swap_speedup_threshold) {
+    do_swap(system);
+    last_swap_ = system.now();
+  }
+}
+
+}  // namespace amps::sched

@@ -1,0 +1,36 @@
+// An idealized fine-grained predictor-based scheduler used as an ablation
+// upper reference (not from the paper): it runs the HPE regression
+// predictor at the *proposed scheme's* window granularity with no history
+// damping. It isolates how much of the proposed scheme's gain comes from
+// decision granularity versus from the composition-rule heuristic.
+#pragma once
+
+#include "core/hpe.hpp"
+#include "core/monitor.hpp"
+#include "core/scheduler.hpp"
+
+namespace amps::sched {
+
+struct OracleConfig {
+  InstrCount window_size = 1000;
+  double swap_speedup_threshold = 1.05;
+  /// Minimum cycles between swaps (prevents degenerate thrash when the
+  /// predictor sits exactly at the threshold).
+  Cycles swap_cooldown = 5'000;
+};
+
+class OracleScheduler final : public Scheduler {
+ public:
+  OracleScheduler(const HpePredictionModel& model, const OracleConfig& cfg = {});
+
+  void on_start(sim::DualCoreSystem& system) override;
+  void tick(sim::DualCoreSystem& system) override;
+
+ private:
+  const HpePredictionModel* model_;
+  OracleConfig cfg_;
+  WindowMonitor monitors_[2];
+  Cycles last_swap_ = 0;
+};
+
+}  // namespace amps::sched

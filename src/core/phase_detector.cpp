@@ -1,0 +1,47 @@
+#include "core/phase_detector.hpp"
+
+#include <cmath>
+
+namespace amps::sched {
+
+PhaseDetector::PhaseDetector(const PhaseDetectorConfig& cfg) : cfg_(cfg) {}
+
+void PhaseDetector::reset() noexcept {
+  primed_ = false;
+  cooldown_ = 0;
+  ema_ = {0.0, 0.0, 0.0};
+}
+
+bool PhaseDetector::update(const WindowSample& sample) {
+  ++windows_;
+  const std::array<double, 3> v = {
+      sample.int_pct, sample.fp_pct,
+      100.0 - sample.int_pct - sample.fp_pct};
+
+  if (!primed_) {
+    ema_ = v;
+    primed_ = true;
+    return false;
+  }
+
+  double distance = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) distance += std::fabs(v[i] - ema_[i]);
+
+  bool changed = false;
+  if (cooldown_ > 0) {
+    --cooldown_;
+  } else if (distance > cfg_.change_threshold) {
+    changed = true;
+    ++changes_;
+    cooldown_ = cfg_.cooldown_windows;
+    ema_ = v;  // snap to the new phase
+  }
+
+  if (!changed) {
+    for (std::size_t i = 0; i < 3; ++i)
+      ema_[i] = (1.0 - cfg_.ema_alpha) * ema_[i] + cfg_.ema_alpha * v[i];
+  }
+  return changed;
+}
+
+}  // namespace amps::sched

@@ -1,0 +1,55 @@
+// Online phase-change detection in the spirit of Sherwood et al. (paper
+// ref. [6]): track an exponential moving average of the committed
+// instruction-composition vector and flag a phase change when a fresh
+// window's composition departs from it by more than a threshold (Manhattan
+// distance), with hysteresis so one noisy window does not retrigger.
+#pragma once
+
+#include <array>
+
+#include "core/monitor.hpp"
+
+namespace amps::sched {
+
+struct PhaseDetectorConfig {
+  /// EMA smoothing factor for the stable-phase composition estimate.
+  double ema_alpha = 0.25;
+  /// Manhattan distance (in percentage points over the %INT/%FP/%other
+  /// 3-vector) that signals a phase change.
+  double change_threshold = 20.0;
+  /// Windows to wait after a detected change before another may fire.
+  int cooldown_windows = 3;
+};
+
+/// Feeds on completed WindowSamples of one thread; update() returns true
+/// exactly on the windows where a phase change is detected.
+class PhaseDetector {
+ public:
+  explicit PhaseDetector(const PhaseDetectorConfig& cfg = {});
+
+  /// Consumes one completed window; true when this window starts a new
+  /// phase relative to the running estimate.
+  bool update(const WindowSample& sample);
+
+  [[nodiscard]] std::uint64_t changes_detected() const noexcept {
+    return changes_;
+  }
+  [[nodiscard]] std::uint64_t windows_seen() const noexcept { return windows_; }
+
+  /// Current stable-phase composition estimate (%INT, %FP, %other).
+  [[nodiscard]] const std::array<double, 3>& estimate() const noexcept {
+    return ema_;
+  }
+
+  void reset() noexcept;
+
+ private:
+  PhaseDetectorConfig cfg_;
+  std::array<double, 3> ema_{};
+  bool primed_ = false;
+  int cooldown_ = 0;
+  std::uint64_t changes_ = 0;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace amps::sched

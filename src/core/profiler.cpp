@@ -1,0 +1,41 @@
+#include "core/profiler.hpp"
+
+#include <algorithm>
+
+namespace amps::sched {
+
+Profiler::Profiler(sim::CoreConfig int_core, sim::CoreConfig fp_core,
+                   const ProfilerConfig& cfg)
+    : int_core_(std::move(int_core)), fp_core_(std::move(fp_core)), cfg_(cfg) {}
+
+void Profiler::profile(const wl::BenchmarkSpec& spec,
+                       std::vector<ProfileSample>* out) const {
+  // Identical instance seed on both cores -> identical instruction streams;
+  // interval k on one core covers (approximately) the same program region
+  // as interval k on the other, which is how the paper pairs observations.
+  const auto on_int = sim::run_solo(int_core_, spec, cfg_.run_length,
+                                    cfg_.sample_interval, /*seed=*/0);
+  const auto on_fp = sim::run_solo(fp_core_, spec, cfg_.run_length,
+                                   cfg_.sample_interval, /*seed=*/0);
+
+  const std::size_t n = std::min(on_int.samples.size(), on_fp.samples.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto& si = on_int.samples[k];
+    const auto& sf = on_fp.samples[k];
+    if (si.ipc_per_watt <= 0.0 || sf.ipc_per_watt <= 0.0) continue;
+    ProfileSample p;
+    p.int_pct = 0.5 * (si.int_pct + sf.int_pct);
+    p.fp_pct = 0.5 * (si.fp_pct + sf.fp_pct);
+    p.ratio = si.ipc_per_watt / sf.ipc_per_watt;
+    out->push_back(p);
+  }
+}
+
+std::vector<ProfileSample> Profiler::profile_all(
+    std::span<const wl::BenchmarkSpec* const> specs) const {
+  std::vector<ProfileSample> out;
+  for (const wl::BenchmarkSpec* spec : specs) profile(*spec, &out);
+  return out;
+}
+
+}  // namespace amps::sched

@@ -1,0 +1,50 @@
+// Offline profiling pass (paper §V steps 1-2): run representative
+// benchmarks solo on both core types, sample (%INT, %FP, IPC/Watt) every
+// context-switch interval, and pair the per-interval observations into
+// ratio samples that feed the HPE ratio matrix and regression surface.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/core_config.hpp"
+#include "sim/solo.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::sched {
+
+/// One paired observation: composition plus the IPC/Watt ratio
+/// (INT core / FP core) at the same execution interval.
+struct ProfileSample {
+  double int_pct = 0.0;
+  double fp_pct = 0.0;
+  double ratio = 1.0;
+};
+
+struct ProfilerConfig {
+  InstrCount run_length = 300'000;  ///< per-benchmark profiling budget
+  Cycles sample_interval = 150'000; ///< the "2 ms" sampling period
+};
+
+class Profiler {
+ public:
+  Profiler(sim::CoreConfig int_core, sim::CoreConfig fp_core,
+           const ProfilerConfig& cfg = {});
+
+  /// Profiles one benchmark on both cores; appends paired samples.
+  void profile(const wl::BenchmarkSpec& spec, std::vector<ProfileSample>* out) const;
+
+  /// Profiles a set (typically BenchmarkCatalog::representative_nine()).
+  [[nodiscard]] std::vector<ProfileSample> profile_all(
+      std::span<const wl::BenchmarkSpec* const> specs) const;
+
+  [[nodiscard]] const ProfilerConfig& config() const noexcept { return cfg_; }
+
+ private:
+  sim::CoreConfig int_core_;
+  sim::CoreConfig fp_core_;
+  ProfilerConfig cfg_;
+};
+
+}  // namespace amps::sched

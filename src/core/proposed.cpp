@@ -1,0 +1,87 @@
+#include "core/proposed.hpp"
+
+#include <cassert>
+
+namespace amps::sched {
+
+ProposedScheduler::ProposedScheduler(const ProposedConfig& cfg)
+    : Scheduler("proposed"),
+      cfg_(cfg),
+      monitors_{WindowMonitor(cfg.window_size), WindowMonitor(cfg.window_size)} {
+  assert(cfg.window_size > 0 && cfg.history_depth > 0);
+}
+
+void ProposedScheduler::on_start(sim::DualCoreSystem& system) {
+  for (std::size_t i = 0; i < 2; ++i) {
+    sim::ThreadContext* t = system.thread_on(i);
+    monitors_[static_cast<std::size_t>(t->id())].reset(system, *t);
+  }
+  last_swap_cycle_ = system.now();
+}
+
+PairComposition ProposedScheduler::composition(
+    const sim::DualCoreSystem& system) const {
+  PairComposition c;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const sim::ThreadContext* t = system.thread_on(i);
+    const WindowSample& s =
+        monitors_[static_cast<std::size_t>(t->id())].latest();
+    if (system.core(i).config().kind == CoreKind::Int) {
+      c.int_pct_on_int_core = s.int_pct;
+      c.fp_pct_on_int_core = s.fp_pct;
+    } else {
+      c.int_pct_on_fp_core = s.int_pct;
+      c.fp_pct_on_fp_core = s.fp_pct;
+    }
+  }
+  return c;
+}
+
+void ProposedScheduler::tick(sim::DualCoreSystem& system) {
+  if (system.swap_in_progress()) return;
+
+  bool new_window = false;
+  for (std::size_t i = 0; i < 2; ++i) {
+    sim::ThreadContext* t = system.thread_on(i);
+    if (monitors_[static_cast<std::size_t>(t->id())].poll(system, *t))
+      new_window = true;
+  }
+  if (!new_window) return;
+  if (!monitors_[0].has_sample() || !monitors_[1].has_sample()) return;
+
+  evaluate(system);
+}
+
+void ProposedScheduler::evaluate(sim::DualCoreSystem& system) {
+  count_decision();
+  const PairComposition comp = composition(system);
+
+  // Tentative decision for this window; majority over the history depth
+  // triggers the actual swap (paper §VI-B).
+  history_.push_back(should_swap(comp, cfg_.thresholds));
+  while (history_.size() > static_cast<std::size_t>(cfg_.history_depth))
+    history_.pop_front();
+
+  if (history_.size() == static_cast<std::size_t>(cfg_.history_depth)) {
+    int votes = 0;
+    for (bool v : history_) votes += v ? 1 : 0;
+    if (2 * votes > cfg_.history_depth) {
+      do_swap(system);
+      history_.clear();
+      last_swap_cycle_ = system.now();
+      return;
+    }
+  }
+
+  // Rule 3: fairness swap for same-flavor pairs after a quiet interval.
+  if (cfg_.enable_forced_swap &&
+      system.now() - last_swap_cycle_ >= cfg_.forced_swap_interval &&
+      same_flavor_conflict(comp, cfg_.thresholds)) {
+    do_swap(system);
+    ++forced_;
+    history_.clear();
+    last_swap_cycle_ = system.now();
+  }
+}
+
+}  // namespace amps::sched

@@ -1,0 +1,50 @@
+// The paper's proposed dynamic thread-scheduling scheme (§VI): fine-grained
+// committed-instruction windows, the Fig. 5 instruction-composition swap
+// rules, a majority vote over the last `history_depth` windows to ride out
+// unstable phases (§VI-B), and a forced fairness swap for same-flavor pairs
+// every context-switch interval.
+#pragma once
+
+#include <deque>
+
+#include "core/monitor.hpp"
+#include "core/scheduler.hpp"
+#include "core/swap_rules.hpp"
+
+namespace amps::sched {
+
+struct ProposedConfig {
+  InstrCount window_size = 1000;  ///< committed instructions per window
+  int history_depth = 5;          ///< windows per majority vote
+  Cycles forced_swap_interval = 150'000;  ///< the "2 ms" fairness period
+  SwapRuleThresholds thresholds;
+  bool enable_forced_swap = true;  ///< ablation knob (rule 3 on/off)
+};
+
+class ProposedScheduler final : public Scheduler {
+ public:
+  explicit ProposedScheduler(const ProposedConfig& cfg);
+
+  void on_start(sim::DualCoreSystem& system) override;
+  void tick(sim::DualCoreSystem& system) override;
+
+  [[nodiscard]] const ProposedConfig& config() const noexcept { return cfg_; }
+  /// Forced fairness swaps taken (subset of swaps_requested()).
+  [[nodiscard]] std::uint64_t forced_swaps() const noexcept { return forced_; }
+
+ private:
+  /// Latest window composition labeled by core kind; valid only when both
+  /// monitors have produced at least one sample.
+  [[nodiscard]] PairComposition composition(
+      const sim::DualCoreSystem& system) const;
+
+  void evaluate(sim::DualCoreSystem& system);
+
+  ProposedConfig cfg_;
+  WindowMonitor monitors_[2];  // indexed by ThreadId (0/1)
+  std::deque<bool> history_;   // tentative decisions, newest at back
+  Cycles last_swap_cycle_ = 0;
+  std::uint64_t forced_ = 0;
+};
+
+}  // namespace amps::sched

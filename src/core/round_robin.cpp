@@ -1,0 +1,3 @@
+#include "core/round_robin.hpp"
+
+// Header-only implementation; this TU anchors the vtable.

@@ -1,0 +1,71 @@
+#include "core/sampling.hpp"
+
+namespace amps::sched {
+
+SamplingScheduler::SamplingScheduler(const SamplingConfig& cfg)
+    : Scheduler("sampling"), cfg_(cfg) {}
+
+void SamplingScheduler::on_start(sim::DualCoreSystem& system) {
+  state_ = State::Idle;
+  state_until_ = system.now() + cfg_.decision_interval;
+}
+
+SamplingScheduler::Snapshot SamplingScheduler::snapshot(
+    const sim::DualCoreSystem& system) const {
+  Snapshot s;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const sim::ThreadContext* t = system.thread_on(i);
+    s.committed += t->committed_total();
+    s.energy += system.live_energy(*t);
+  }
+  return s;
+}
+
+double SamplingScheduler::ipw_since(const sim::DualCoreSystem& system,
+                                    const Snapshot& from) const {
+  const Snapshot now = snapshot(system);
+  const Energy de = now.energy - from.energy;
+  if (de <= 0.0) return 0.0;
+  return static_cast<double>(now.committed - from.committed) / de;
+}
+
+void SamplingScheduler::tick(sim::DualCoreSystem& system) {
+  if (system.now() < state_until_ || system.swap_in_progress()) return;
+
+  switch (state_) {
+    case State::Idle:
+      // Decision point: start measuring the incumbent assignment.
+      count_decision();
+      mark_ = snapshot(system);
+      state_ = State::MeasureCurrent;
+      state_until_ = system.now() + cfg_.sample_cycles;
+      break;
+
+    case State::MeasureCurrent:
+      incumbent_ipw_ = ipw_since(system, mark_);
+      do_swap(system);
+      state_ = State::Warmup;
+      state_until_ = system.now() + system.swap_overhead() + cfg_.warmup_cycles;
+      break;
+
+    case State::Warmup:
+      mark_ = snapshot(system);
+      state_ = State::MeasureSwapped;
+      state_until_ = system.now() + cfg_.sample_cycles;
+      break;
+
+    case State::MeasureSwapped: {
+      const double swapped_ipw = ipw_since(system, mark_);
+      if (swapped_ipw > incumbent_ipw_ * cfg_.keep_threshold) {
+        ++kept_;  // the swapped configuration wins; stay
+      } else {
+        do_swap(system);  // revert
+      }
+      state_ = State::Idle;
+      state_until_ = system.now() + cfg_.decision_interval;
+      break;
+    }
+  }
+}
+
+}  // namespace amps::sched

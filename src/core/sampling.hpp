@@ -1,0 +1,62 @@
+// Sampling-based scheduling — the related-work baseline of Kumar et al.
+// [3] and Becchi & Crowley [10] (paper §II): instead of predicting, the
+// scheduler periodically *measures*. At every decision interval it samples
+// the current assignment, force-swaps, warms up, samples the swapped
+// assignment, and keeps whichever configuration delivered the better
+// combined IPC/Watt. Robust but pays two forced migrations plus sampling
+// noise per decision — exactly the cost the paper's predictive schemes
+// avoid.
+#pragma once
+
+#include "core/scheduler.hpp"
+
+namespace amps::sched {
+
+struct SamplingConfig {
+  Cycles decision_interval = 150'000;  ///< how often to re-evaluate
+  Cycles sample_cycles = 10'000;       ///< measurement span per configuration
+  Cycles warmup_cycles = 3'000;        ///< post-swap cycles excluded from
+                                       ///< measurement (cold caches)
+  /// The swapped configuration must beat the incumbent by this factor to
+  /// be kept (hysteresis against sampling noise).
+  double keep_threshold = 1.02;
+};
+
+class SamplingScheduler final : public Scheduler {
+ public:
+  explicit SamplingScheduler(const SamplingConfig& cfg = {});
+
+  void on_start(sim::DualCoreSystem& system) override;
+  void tick(sim::DualCoreSystem& system) override;
+
+  [[nodiscard]] const SamplingConfig& config() const noexcept { return cfg_; }
+  /// Decisions that kept the swapped configuration.
+  [[nodiscard]] std::uint64_t kept_swapped() const noexcept { return kept_; }
+
+ private:
+  enum class State {
+    Idle,            // waiting for the next decision interval
+    MeasureCurrent,  // sampling the incumbent assignment
+    Warmup,          // swapped; letting caches warm
+    MeasureSwapped,  // sampling the swapped assignment
+  };
+
+  struct Snapshot {
+    InstrCount committed = 0;
+    Energy energy = 0.0;
+  };
+
+  [[nodiscard]] Snapshot snapshot(const sim::DualCoreSystem& system) const;
+  /// Combined IPC/Watt (= instructions per unit energy) since `from`.
+  [[nodiscard]] double ipw_since(const sim::DualCoreSystem& system,
+                                 const Snapshot& from) const;
+
+  SamplingConfig cfg_;
+  State state_ = State::Idle;
+  Cycles state_until_ = 0;
+  Snapshot mark_;
+  double incumbent_ipw_ = 0.0;
+  std::uint64_t kept_ = 0;
+};
+
+}  // namespace amps::sched

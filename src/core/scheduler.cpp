@@ -1,0 +1,3 @@
+#include "core/scheduler.hpp"
+
+// Interface-only translation unit: keeps the vtable anchored here.

@@ -1,0 +1,64 @@
+// Scheduler interface. A scheduler observes the running DualCoreSystem
+// (hardware performance counters only — it never looks inside the workload
+// models) and requests thread swaps. The harness calls tick() after every
+// simulated cycle; implementations keep their own notion of decision
+// granularity (per committed-instruction window for the proposed scheme,
+// per context-switch interval for HPE and Round-Robin).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace amps::sched {
+
+class Scheduler {
+ public:
+  explicit Scheduler(std::string name) : name_(std::move(name)) {}
+  virtual ~Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Called once per simulated cycle, after the system stepped.
+  virtual void tick(sim::DualCoreSystem& system) = 0;
+
+  /// Called once right after threads are attached, before the first cycle.
+  virtual void on_start(sim::DualCoreSystem& /*system*/) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Number of scheduling evaluations taken so far (paper §VI-D counts
+  /// these against the number of actual swaps).
+  [[nodiscard]] std::uint64_t decision_points() const noexcept {
+    return decisions_;
+  }
+  [[nodiscard]] std::uint64_t swaps_requested() const noexcept {
+    return swaps_;
+  }
+
+  /// Cycle timestamps of every swap this scheduler requested — the swap
+  /// timeline (diagnostics; printed by the inspect_run example).
+  [[nodiscard]] const std::vector<Cycles>& swap_timeline() const noexcept {
+    return swap_times_;
+  }
+
+ protected:
+  void count_decision() noexcept { ++decisions_; }
+  /// Requests the swap and tracks it.
+  void do_swap(sim::DualCoreSystem& system) {
+    swap_times_.push_back(system.now());
+    system.swap_threads();
+    ++swaps_;
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t swaps_ = 0;
+  std::vector<Cycles> swap_times_;
+};
+
+}  // namespace amps::sched

@@ -1,0 +1,3 @@
+#include "core/static_sched.hpp"
+
+// Header-only implementation; this TU anchors the vtable.

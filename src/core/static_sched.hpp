@@ -1,0 +1,16 @@
+// Static scheduling: keep the OS's initial thread-to-core assignment for
+// the whole run (the paper's "baseline mode"). Used as the common baseline
+// all speedups are computed against.
+#pragma once
+
+#include "core/scheduler.hpp"
+
+namespace amps::sched {
+
+class StaticScheduler final : public Scheduler {
+ public:
+  StaticScheduler() : Scheduler("static") {}
+  void tick(sim::DualCoreSystem& /*system*/) override {}
+};
+
+}  // namespace amps::sched

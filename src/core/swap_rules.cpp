@@ -1,0 +1,22 @@
+#include "core/swap_rules.hpp"
+
+namespace amps::sched {
+
+bool should_swap(const PairComposition& c, const SwapRuleThresholds& t) noexcept {
+  const bool int_rule = c.int_pct_on_fp_core >= t.int_surge &&
+                        c.int_pct_on_int_core <= t.int_drop;
+  const bool fp_rule = c.fp_pct_on_int_core >= t.fp_surge &&
+                       c.fp_pct_on_fp_core <= t.fp_drop;
+  return int_rule || fp_rule;
+}
+
+bool same_flavor_conflict(const PairComposition& c,
+                          const SwapRuleThresholds& t) noexcept {
+  const bool both_int = c.int_pct_on_fp_core >= t.int_surge &&
+                        c.int_pct_on_int_core >= t.int_surge;
+  const bool both_fp = c.fp_pct_on_int_core >= t.fp_surge &&
+                       c.fp_pct_on_fp_core >= t.fp_surge;
+  return both_int || both_fp;
+}
+
+}  // namespace amps::sched

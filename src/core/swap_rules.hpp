@@ -1,0 +1,44 @@
+// The swap-rule engine of the proposed scheme — paper Fig. 5, verbatim:
+//
+//   2. Do Swap if:
+//      i.  (%INT_FP >= 55) and (%INT_INT <= 35)   OR
+//      ii. (%FP_INT >= 20) and (%FP_FP <= 7)
+//   3. If no_swap for 2 ms, do Swap if:
+//      i.  (%INT_FP >= 55) and (%INT_INT >= 55)   OR
+//      ii. (%FP_INT >= 20) and (%FP_FP >= 20)
+//
+// where X_C is the percentage of X-type instructions of the thread
+// currently on core C. Rule 2 swaps only when *both* threads benefit;
+// rule 3 is the fairness forced swap for same-flavor pairs.
+#pragma once
+
+namespace amps::sched {
+
+/// Thresholds (percent). Defaults are the paper's; the ablation bench
+/// perturbs them.
+struct SwapRuleThresholds {
+  double int_surge = 55.0;  ///< %INT on FP core that signals INT affinity
+  double int_drop = 35.0;   ///< %INT on INT core low enough to vacate it
+  double fp_surge = 20.0;   ///< %FP on INT core that signals FP affinity
+  double fp_drop = 7.0;     ///< %FP on FP core low enough to vacate it
+};
+
+/// Committed-instruction composition of the two threads, labeled by the
+/// core each currently occupies.
+struct PairComposition {
+  double int_pct_on_fp_core = 0.0;  ///< %INT of the thread on the FP core
+  double int_pct_on_int_core = 0.0; ///< %INT of the thread on the INT core
+  double fp_pct_on_int_core = 0.0;  ///< %FP of the thread on the INT core
+  double fp_pct_on_fp_core = 0.0;   ///< %FP of the thread on the FP core
+};
+
+/// Rule 2: mutually beneficial swap.
+[[nodiscard]] bool should_swap(const PairComposition& c,
+                               const SwapRuleThresholds& t = {}) noexcept;
+
+/// Rule 3 condition: both threads share the same flavor, so fairness
+/// requires periodic forced swaps.
+[[nodiscard]] bool same_flavor_conflict(const PairComposition& c,
+                                        const SwapRuleThresholds& t = {}) noexcept;
+
+}  // namespace amps::sched

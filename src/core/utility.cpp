@@ -1,0 +1,59 @@
+#include "core/utility.hpp"
+
+namespace amps::sched {
+
+UtilityScheduler::UtilityScheduler(const UtilityConfig& cfg)
+    : Scheduler("utility"), cfg_(cfg) {}
+
+void UtilityScheduler::on_start(sim::DualCoreSystem& system) {
+  for (std::size_t i = 0; i < 2; ++i) {
+    sim::ThreadContext* t = system.thread_on(i);
+    IntervalState& st = per_thread_[static_cast<std::size_t>(t->id())];
+    st.last_committed = t->committed_total();
+    st.last_l2_misses = system.live_l2_misses(*t);
+  }
+  next_decision_ = system.now() + cfg_.decision_interval;
+}
+
+void UtilityScheduler::tick(sim::DualCoreSystem& system) {
+  if (system.now() < next_decision_) return;
+  next_decision_ += cfg_.decision_interval;
+  if (system.swap_in_progress()) return;
+  count_decision();
+
+  // Per-interval MPKI of the threads on each core.
+  double mpki[2] = {0.0, 0.0};
+  bool have_data = true;
+  for (std::size_t i = 0; i < 2; ++i) {
+    sim::ThreadContext* t = system.thread_on(i);
+    IntervalState& st = per_thread_[static_cast<std::size_t>(t->id())];
+    const InstrCount committed = t->committed_total() - st.last_committed;
+    const std::uint64_t misses =
+        system.live_l2_misses(*t) - st.last_l2_misses;
+    st.last_committed = t->committed_total();
+    st.last_l2_misses = system.live_l2_misses(*t);
+    if (committed == 0) {
+      have_data = false;
+      continue;
+    }
+    mpki[i] = 1000.0 * static_cast<double>(misses) /
+              static_cast<double>(committed);
+  }
+  if (!have_data) return;
+
+  const std::size_t big = cfg_.big_core_index;
+  const std::size_t little = 1 - big;
+  // Swap when the little-core thread would use the big core distinctly
+  // better than its current occupant, and the condition persists across
+  // intervals (a single post-migration cold-cache interval is not enough).
+  if (utility(mpki[little]) > utility(mpki[big]) * cfg_.swap_margin) {
+    if (++consecutive_hits_ >= cfg_.persistence) {
+      do_swap(system);
+      consecutive_hits_ = 0;
+    }
+  } else {
+    consecutive_hits_ = 0;
+  }
+}
+
+}  // namespace amps::sched

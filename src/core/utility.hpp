@@ -1,0 +1,55 @@
+// Utility-factor scheduling for size-asymmetric (big/little) AMPs, after
+// Saez et al. [16] (paper §II): a thread's "utility" of the big core is
+// inversely related to how memory-bound it is — a thread stalled on LLC
+// misses cannot exploit the big core's wide window, so the big core should
+// go to the thread with the lower miss rate. Together with the big/little
+// CoreConfigs this demonstrates the paper's §VIII claim that the
+// monitoring/swap methodology generalizes beyond INT/FP-flavored cores.
+#pragma once
+
+#include "core/scheduler.hpp"
+#include "isa/mix.hpp"
+
+namespace amps::sched {
+
+struct UtilityConfig {
+  Cycles decision_interval = 150'000;
+  /// MPKI-to-utility decay: utility = 1 / (1 + k * MPKI).
+  double mpki_weight = 0.08;
+  /// The little-core thread's utility must exceed the big-core thread's by
+  /// this factor to trigger a swap (hysteresis).
+  double swap_margin = 1.10;
+  /// The margin must hold for this many consecutive decision intervals
+  /// before the swap fires — rejects post-migration cold-cache transients.
+  int persistence = 2;
+  /// Which core index (0/1) is the big core.
+  std::size_t big_core_index = 0;
+};
+
+class UtilityScheduler final : public Scheduler {
+ public:
+  explicit UtilityScheduler(const UtilityConfig& cfg = {});
+
+  void on_start(sim::DualCoreSystem& system) override;
+  void tick(sim::DualCoreSystem& system) override;
+
+  [[nodiscard]] const UtilityConfig& config() const noexcept { return cfg_; }
+
+  /// Utility factor for a thread with the given interval MPKI.
+  [[nodiscard]] double utility(double mpki) const noexcept {
+    return 1.0 / (1.0 + cfg_.mpki_weight * mpki);
+  }
+
+ private:
+  struct IntervalState {
+    InstrCount last_committed = 0;
+    std::uint64_t last_l2_misses = 0;
+  };
+
+  UtilityConfig cfg_;
+  Cycles next_decision_ = 0;
+  IntervalState per_thread_[2];  // indexed by ThreadId
+  int consecutive_hits_ = 0;     // intervals the swap condition has held
+};
+
+}  // namespace amps::sched

@@ -1,0 +1,142 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/proposed.hpp"
+#include "core/round_robin.hpp"
+#include "core/static_sched.hpp"
+#include "harness/parallel.hpp"
+#include "metrics/speedup.hpp"
+
+namespace amps::harness {
+
+ExperimentRunner::ExperimentRunner(sim::SimScale scale)
+    : ExperimentRunner(scale, sim::int_core_config(), sim::fp_core_config()) {}
+
+ExperimentRunner::ExperimentRunner(sim::SimScale scale, sim::CoreConfig core_a,
+                                   sim::CoreConfig core_b)
+    : scale_(scale),
+      int_core_(std::move(core_a)),
+      fp_core_(std::move(core_b)) {}
+
+metrics::PairRunResult ExperimentRunner::run_pair(
+    const BenchmarkPair& pair, sched::Scheduler& scheduler) const {
+  sim::DualCoreSystem system(int_core_, fp_core_, scale_.swap_overhead);
+  sim::ThreadContext t0(0, *pair.first);
+  sim::ThreadContext t1(1, *pair.second);
+  system.attach_threads(&t0, &t1);
+  scheduler.on_start(system);
+
+  // The paper runs "until one of the threads completed" its instruction
+  // budget; a generous cycle bound guards against pathological stalls.
+  const Cycles max_cycles = scale_.max_cycles();
+  while (t0.committed_total() < scale_.run_length &&
+         t1.committed_total() < scale_.run_length &&
+         system.now() < max_cycles) {
+    system.step();
+    scheduler.tick(system);
+  }
+
+  return metrics::snapshot_run(scheduler.name(), system, t0, t1,
+                               scheduler.decision_points());
+}
+
+metrics::PairRunResult ExperimentRunner::run_pair(
+    const BenchmarkPair& pair, const SchedulerFactory& factory) const {
+  auto scheduler = factory();
+  return run_pair(pair, *scheduler);
+}
+
+SchedulerFactory ExperimentRunner::proposed_factory() const {
+  return proposed_factory(scale_.window_size, scale_.history_depth);
+}
+
+SchedulerFactory ExperimentRunner::proposed_factory(InstrCount window,
+                                                    int history) const {
+  sched::ProposedConfig cfg;
+  cfg.window_size = window;
+  cfg.history_depth = history;
+  cfg.forced_swap_interval = scale_.context_switch_interval;
+  return [cfg] { return std::make_unique<sched::ProposedScheduler>(cfg); };
+}
+
+SchedulerFactory ExperimentRunner::hpe_factory(
+    const sched::HpePredictionModel& model) const {
+  sched::HpeConfig cfg;
+  cfg.decision_interval = scale_.context_switch_interval;
+  return [cfg, &model] {
+    return std::make_unique<sched::HpeScheduler>(model, cfg);
+  };
+}
+
+SchedulerFactory ExperimentRunner::round_robin_factory(
+    int interval_multiplier) const {
+  const Cycles interval =
+      scale_.context_switch_interval *
+      static_cast<Cycles>(std::max(1, interval_multiplier));
+  return [interval] {
+    return std::make_unique<sched::RoundRobinScheduler>(interval);
+  };
+}
+
+SchedulerFactory ExperimentRunner::static_factory() const {
+  return [] { return std::make_unique<sched::StaticScheduler>(); };
+}
+
+sched::HpeModels ExperimentRunner::build_models(
+    const wl::BenchmarkCatalog& catalog) const {
+  sched::ProfilerConfig cfg;
+  cfg.run_length = scale_.run_length;
+  // The paper samples every 2 ms over 500 M-instruction runs, i.e. dozens
+  // of observations per benchmark. Scaled-down runs keep the *sample count*
+  // (not the absolute period) so the fitted models see a comparable spread
+  // of compositions.
+  cfg.sample_interval = std::max<Cycles>(1, scale_.context_switch_interval / 6);
+  return sched::build_hpe_models(int_core_, fp_core_, catalog, cfg);
+}
+
+std::vector<ComparisonRow> compare_schedulers(
+    const ExperimentRunner& runner, std::span<const BenchmarkPair> pairs,
+    const SchedulerFactory& test, const SchedulerFactory& reference) {
+  // Pair runs are independent; fan out across the worker pool. Rows are
+  // written into index-stable slots so the output matches a serial run.
+  std::vector<ComparisonRow> rows(pairs.size());
+  parallel_for(pairs.size(), [&](std::size_t i) {
+    const BenchmarkPair& pair = pairs[i];
+    const auto test_result = runner.run_pair(pair, test);
+    const auto ref_result = runner.run_pair(pair, reference);
+    ComparisonRow& row = rows[i];
+    row.label = pair_label(pair);
+    row.weighted_improvement_pct = metrics::to_improvement_pct(
+        test_result.weighted_ipw_speedup_vs(ref_result));
+    row.geometric_improvement_pct = metrics::to_improvement_pct(
+        test_result.geometric_ipw_speedup_vs(ref_result));
+    row.swap_fraction = test_result.swap_fraction();
+  });
+  return rows;
+}
+
+std::vector<std::size_t> select_worst_mid_best(
+    std::span<const ComparisonRow> rows, std::size_t k) {
+  std::vector<std::size_t> order(rows.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rows[a].weighted_improvement_pct < rows[b].weighted_improvement_pct;
+  });
+
+  std::vector<std::size_t> out;
+  if (order.empty()) return out;
+  const std::size_t n = order.size();
+  if (n <= 3 * k) {
+    return order;  // show everything, already sorted worst -> best
+  }
+  out.reserve(3 * k);
+  for (std::size_t i = 0; i < k; ++i) out.push_back(order[i]);  // worst
+  const std::size_t mid_start = n / 2 - k / 2;
+  for (std::size_t i = 0; i < k; ++i) out.push_back(order[mid_start + i]);
+  for (std::size_t i = n - k; i < n; ++i) out.push_back(order[i]);  // best
+  return out;
+}
+
+}  // namespace amps::harness

@@ -1,0 +1,92 @@
+// ExperimentRunner: executes one two-thread workload on the heterogeneous
+// dual-core under a given scheduler and captures the paper's metrics.
+// Scheduler comparisons (Figs. 7-9) run the identical pair (same seeds,
+// same initial assignment) under each scheme and ratio the per-thread
+// IPC/Watt results.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hpe.hpp"
+#include "core/scheduler.hpp"
+#include "harness/sampler.hpp"
+#include "metrics/run_result.hpp"
+#include "sim/scale.hpp"
+
+namespace amps::harness {
+
+/// Factory producing a fresh scheduler per run (schedulers are stateful).
+using SchedulerFactory = std::function<std::unique_ptr<sched::Scheduler>()>;
+
+class ExperimentRunner {
+ public:
+  /// Uses the canonical INT/FP core pair from sim/core_config.hpp.
+  explicit ExperimentRunner(sim::SimScale scale);
+
+  /// Arbitrary asymmetric pair (e.g., big/little) — core 0 gets `core_a`.
+  ExperimentRunner(sim::SimScale scale, sim::CoreConfig core_a,
+                   sim::CoreConfig core_b);
+
+  /// Runs `pair` (first member starts on the INT core) under `scheduler`
+  /// until one thread commits `scale.run_length` instructions.
+  metrics::PairRunResult run_pair(const BenchmarkPair& pair,
+                                  sched::Scheduler& scheduler) const;
+
+  /// Convenience: build-from-factory and run.
+  metrics::PairRunResult run_pair(const BenchmarkPair& pair,
+                                  const SchedulerFactory& factory) const;
+
+  [[nodiscard]] const sim::SimScale& scale() const noexcept { return scale_; }
+  [[nodiscard]] const sim::CoreConfig& int_core() const noexcept {
+    return int_core_;
+  }
+  [[nodiscard]] const sim::CoreConfig& fp_core() const noexcept {
+    return fp_core_;
+  }
+
+  // --- canonical scheduler factories at this runner's scale --------------
+  [[nodiscard]] SchedulerFactory proposed_factory() const;
+  [[nodiscard]] SchedulerFactory proposed_factory(
+      InstrCount window, int history) const;
+  /// HPE with the given prediction model (model must outlive the runs).
+  [[nodiscard]] SchedulerFactory hpe_factory(
+      const sched::HpePredictionModel& model) const;
+  [[nodiscard]] SchedulerFactory round_robin_factory(
+      int interval_multiplier = 1) const;
+  [[nodiscard]] SchedulerFactory static_factory() const;
+
+  /// Fits the HPE models once at this scale (profiling the nine
+  /// representative benchmarks).
+  [[nodiscard]] sched::HpeModels build_models(
+      const wl::BenchmarkCatalog& catalog) const;
+
+ private:
+  sim::SimScale scale_;
+  sim::CoreConfig int_core_;
+  sim::CoreConfig fp_core_;
+};
+
+/// One row of the Fig. 7 / Fig. 8 comparisons.
+struct ComparisonRow {
+  std::string label;
+  double weighted_improvement_pct = 0.0;
+  double geometric_improvement_pct = 0.0;
+  double swap_fraction = 0.0;  ///< proposed scheme: swaps / decision points
+};
+
+/// Runs every pair under both factories and returns per-pair improvements
+/// of `test` over `reference`, in pair order.
+std::vector<ComparisonRow> compare_schedulers(
+    const ExperimentRunner& runner, std::span<const BenchmarkPair> pairs,
+    const SchedulerFactory& test, const SchedulerFactory& reference);
+
+/// Fig. 7/8 display selection: the paper shows the 10 worst, 10 middle and
+/// 10 best of the 80 pairs by weighted improvement. Returns indices into
+/// `rows` (at most 3*k, fewer when rows are scarce), ordered worst->best.
+std::vector<std::size_t> select_worst_mid_best(
+    std::span<const ComparisonRow> rows, std::size_t k);
+
+}  // namespace amps::harness

@@ -1,0 +1,31 @@
+#include "harness/overhead.hpp"
+
+#include "mathx/stats.hpp"
+#include "metrics/speedup.hpp"
+
+namespace amps::harness {
+
+std::vector<OverheadPoint> run_overhead_sweep(
+    const sim::SimScale& base_scale, std::span<const BenchmarkPair> pairs,
+    const sched::HpePredictionModel& model, const OverheadSweepConfig& cfg) {
+  std::vector<OverheadPoint> points;
+  points.reserve(cfg.overheads.size());
+  for (const Cycles overhead : cfg.overheads) {
+    sim::SimScale scale = base_scale;
+    scale.swap_overhead = overhead;
+    const ExperimentRunner runner(scale);
+    const auto rows = compare_schedulers(runner, pairs,
+                                         runner.proposed_factory(),
+                                         runner.hpe_factory(model));
+    std::vector<double> improvements;
+    improvements.reserve(rows.size());
+    for (const auto& row : rows)
+      improvements.push_back(row.weighted_improvement_pct);
+    points.push_back({.swap_overhead = overhead,
+                      .mean_weighted_improvement_pct =
+                          mathx::mean(improvements)});
+  }
+  return points;
+}
+
+}  // namespace amps::harness

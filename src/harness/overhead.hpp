@@ -1,0 +1,28 @@
+// Reconfiguration-overhead sweep (paper §VI-C): both the proposed scheme
+// and the HPE reference re-run with swap overheads from 100 cycles up to
+// 1 M cycles; the paper reports the mean weighted improvement dropping by
+// only ~0.9 % across that whole range.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace amps::harness {
+
+struct OverheadPoint {
+  Cycles swap_overhead = 0;
+  double mean_weighted_improvement_pct = 0.0;  ///< proposed over HPE
+};
+
+struct OverheadSweepConfig {
+  std::vector<Cycles> overheads = {100, 1'000, 10'000, 100'000, 1'000'000};
+};
+
+std::vector<OverheadPoint> run_overhead_sweep(
+    const sim::SimScale& base_scale, std::span<const BenchmarkPair> pairs,
+    const sched::HpePredictionModel& model,
+    const OverheadSweepConfig& cfg = {});
+
+}  // namespace amps::harness

@@ -1,0 +1,40 @@
+// Parallel experiment execution. Pair runs are completely independent
+// (each builds its own DualCoreSystem and scheduler; HPE prediction models
+// are shared read-only), so experiments fan out across a small thread pool.
+// Results are written into index-stable slots, keeping output bit-identical
+// to a serial run.
+//
+// AMPS_THREADS overrides the worker count (default: hardware concurrency,
+// at least 1).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace amps::harness {
+
+/// Number of workers to use: AMPS_THREADS when set, else
+/// std::thread::hardware_concurrency() (minimum 1).
+std::size_t default_worker_count();
+
+/// Runs fn(i) for every i in [0, count), distributing indices over
+/// `workers` threads (serial when workers <= 1 or count <= 1). fn must be
+/// safe to call concurrently for distinct indices. Exceptions thrown by fn
+/// are rethrown (the first one, after all workers join).
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t workers = 0);
+
+/// Maps items to results in parallel with index-stable ordering.
+template <typename T, typename Fn>
+auto parallel_map(const std::vector<T>& items, Fn&& fn,
+                  std::size_t workers = 0) {
+  using Result = decltype(fn(items.front()));
+  std::vector<Result> results(items.size());
+  parallel_for(
+      items.size(),
+      [&](std::size_t i) { results[i] = fn(items[i]); }, workers);
+  return results;
+}
+
+}  // namespace amps::harness

@@ -1,0 +1,30 @@
+#include "harness/replication.hpp"
+
+#include "mathx/stats.hpp"
+
+namespace amps::harness {
+
+ReplicationResult replicate_comparison(const ExperimentRunner& runner,
+                                       const wl::BenchmarkCatalog& catalog,
+                                       const SchedulerFactory& test,
+                                       const SchedulerFactory& reference,
+                                       const ReplicationConfig& cfg) {
+  ReplicationResult result;
+  result.per_seed_mean_weighted_pct.reserve(cfg.seeds.size());
+  for (const std::uint64_t seed : cfg.seeds) {
+    const auto pairs = sample_pairs(catalog, cfg.pairs_per_seed, seed);
+    const auto rows = compare_schedulers(runner, pairs, test, reference);
+    std::vector<double> improvements;
+    improvements.reserve(rows.size());
+    for (const auto& row : rows)
+      improvements.push_back(row.weighted_improvement_pct);
+    result.per_seed_mean_weighted_pct.push_back(mathx::mean(improvements));
+  }
+  result.mean = mathx::mean(result.per_seed_mean_weighted_pct);
+  result.stddev = mathx::stddev(result.per_seed_mean_weighted_pct);
+  result.min = mathx::min_of(result.per_seed_mean_weighted_pct);
+  result.max = mathx::max_of(result.per_seed_mean_weighted_pct);
+  return result;
+}
+
+}  // namespace amps::harness

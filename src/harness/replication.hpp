@@ -1,0 +1,36 @@
+// Replication across pair-sampling seeds: the paper's 80 random pairs are
+// a single sample; this layer re-draws the pair set under several seeds and
+// reports mean, standard deviation and extreme of the headline statistic,
+// exposing how much of a result is sampling luck.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace amps::harness {
+
+/// Result of one replicated comparison.
+struct ReplicationResult {
+  std::vector<double> per_seed_mean_weighted_pct;  ///< one entry per seed
+  double mean = 0.0;     ///< grand mean of per-seed means
+  double stddev = 0.0;   ///< spread across seeds
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct ReplicationConfig {
+  int pairs_per_seed = 8;
+  std::vector<std::uint64_t> seeds = {2012, 1, 7, 42, 12345};
+};
+
+/// Runs `test` vs `reference` over fresh random pair sets for every seed
+/// and aggregates the per-seed mean weighted IPC/Watt improvements.
+ReplicationResult replicate_comparison(const ExperimentRunner& runner,
+                                       const wl::BenchmarkCatalog& catalog,
+                                       const SchedulerFactory& test,
+                                       const SchedulerFactory& reference,
+                                       const ReplicationConfig& cfg = {});
+
+}  // namespace amps::harness

@@ -1,0 +1,47 @@
+#include "harness/sampler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/prng.hpp"
+
+namespace amps::harness {
+
+std::vector<BenchmarkPair> sample_pairs(const wl::BenchmarkCatalog& catalog,
+                                        int n, std::uint64_t seed) {
+  const auto all = catalog.all();
+  const std::size_t count = all.size();
+  const std::size_t max_pairs = count * (count - 1) / 2;
+  if (n < 0 || static_cast<std::size_t>(n) > max_pairs)
+    throw std::invalid_argument("sample_pairs: n out of range");
+
+  Prng rng(combine_seeds(seed, 0x9A1B5ULL));
+  std::vector<std::pair<std::size_t, std::size_t>> chosen;
+  chosen.reserve(static_cast<std::size_t>(n));
+  while (chosen.size() < static_cast<std::size_t>(n)) {
+    std::size_t a = rng.below(count);
+    std::size_t b = rng.below(count);
+    if (a == b) continue;
+    const auto key = std::minmax(a, b);
+    if (std::find(chosen.begin(), chosen.end(),
+                  std::pair<std::size_t, std::size_t>(key.first, key.second)) !=
+        chosen.end())
+      continue;
+    chosen.emplace_back(key.first, key.second);
+  }
+
+  std::vector<BenchmarkPair> out;
+  out.reserve(chosen.size());
+  for (auto [a, b] : chosen) {
+    // Random initial assignment: which member lands on the INT core.
+    if (rng.chance(0.5)) std::swap(a, b);
+    out.emplace_back(&all[a], &all[b]);
+  }
+  return out;
+}
+
+std::string pair_label(const BenchmarkPair& pair) {
+  return pair.first->name + "+" + pair.second->name;
+}
+
+}  // namespace amps::harness

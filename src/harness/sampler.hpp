@@ -1,0 +1,26 @@
+// Random multiprogrammed-workload sampling: the paper draws 80 random
+// combinations of two benchmarks from the 37-benchmark pool (§VII) and
+// assigns them to cores randomly. Sampling is deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "workload/benchmark.hpp"
+
+namespace amps::harness {
+
+using BenchmarkPair =
+    std::pair<const wl::BenchmarkSpec*, const wl::BenchmarkSpec*>;
+
+/// Samples `n` distinct unordered pairs of *different* benchmarks; the
+/// order within a pair (random) is the initial core assignment (first ->
+/// core 0 = INT core). Throws when n exceeds the number of distinct pairs.
+std::vector<BenchmarkPair> sample_pairs(const wl::BenchmarkCatalog& catalog,
+                                        int n, std::uint64_t seed);
+
+/// Human-readable "a+b" label for a pair.
+std::string pair_label(const BenchmarkPair& pair);
+
+}  // namespace amps::harness

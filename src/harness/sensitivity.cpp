@@ -1,0 +1,37 @@
+#include "harness/sensitivity.hpp"
+
+#include "harness/parallel.hpp"
+#include "mathx/stats.hpp"
+#include "metrics/speedup.hpp"
+
+namespace amps::harness {
+
+std::vector<SensitivityCell> run_sensitivity(
+    const ExperimentRunner& runner, std::span<const BenchmarkPair> pairs,
+    const sched::HpePredictionModel& model, const SensitivityConfig& cfg) {
+  // Reference (HPE) runs, one per pair, computed concurrently.
+  const auto hpe = runner.hpe_factory(model);
+  std::vector<metrics::PairRunResult> refs(pairs.size());
+  parallel_for(pairs.size(),
+               [&](std::size_t i) { refs[i] = runner.run_pair(pairs[i], hpe); });
+
+  std::vector<SensitivityCell> cells;
+  for (const InstrCount window : cfg.window_sizes) {
+    for (const int history : cfg.history_depths) {
+      const auto proposed = runner.proposed_factory(window, history);
+      std::vector<double> improvements(pairs.size());
+      parallel_for(pairs.size(), [&](std::size_t i) {
+        const auto result = runner.run_pair(pairs[i], proposed);
+        improvements[i] = metrics::to_improvement_pct(
+            result.weighted_ipw_speedup_vs(refs[i]));
+      });
+      cells.push_back({.window_size = window,
+                       .history_depth = history,
+                       .mean_weighted_improvement_pct =
+                           mathx::mean(improvements)});
+    }
+  }
+  return cells;
+}
+
+}  // namespace amps::harness

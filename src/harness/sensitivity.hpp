@@ -1,0 +1,31 @@
+// Window-size x history-depth sensitivity sweep (paper Fig. 6): mean
+// weighted IPC/Watt improvement of the proposed scheme over HPE across a
+// set of random pairs, for each (window, history) cell.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace amps::harness {
+
+struct SensitivityCell {
+  InstrCount window_size = 0;
+  int history_depth = 0;
+  double mean_weighted_improvement_pct = 0.0;
+};
+
+struct SensitivityConfig {
+  std::vector<InstrCount> window_sizes = {500, 1000, 2000};
+  std::vector<int> history_depths = {5, 10};
+};
+
+/// Runs the full sweep. HPE reference results are computed once per pair
+/// and reused across cells. `model` is the HPE prediction model.
+std::vector<SensitivityCell> run_sensitivity(
+    const ExperimentRunner& runner, std::span<const BenchmarkPair> pairs,
+    const sched::HpePredictionModel& model,
+    const SensitivityConfig& cfg = {});
+
+}  // namespace amps::harness

@@ -1,0 +1,20 @@
+#include "isa/instruction.hpp"
+
+namespace amps::isa {
+
+const char* to_string(InstrClass cls) noexcept {
+  switch (cls) {
+    case InstrClass::IntAlu: return "IntAlu";
+    case InstrClass::IntMul: return "IntMul";
+    case InstrClass::IntDiv: return "IntDiv";
+    case InstrClass::FpAlu: return "FpAlu";
+    case InstrClass::FpMul: return "FpMul";
+    case InstrClass::FpDiv: return "FpDiv";
+    case InstrClass::Load: return "Load";
+    case InstrClass::Store: return "Store";
+    case InstrClass::Branch: return "Branch";
+  }
+  return "?";
+}
+
+}  // namespace amps::isa

@@ -1,0 +1,80 @@
+// Micro-op model. The simulator consumes a dynamic stream of decoded
+// micro-ops; there is no static program text (workloads are statistical
+// models, see workload/), so a micro-op carries everything the pipeline
+// needs: class, synthetic PC, dependency distances and memory address.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace amps::isa {
+
+/// Operation classes. These mirror the unit taxonomy of the paper's
+/// Table II (FP/INT x DIV/MUL/ALU) plus memory and control.
+enum class InstrClass : std::uint8_t {
+  IntAlu = 0,
+  IntMul,
+  IntDiv,
+  FpAlu,
+  FpMul,
+  FpDiv,
+  Load,
+  Store,
+  Branch,
+};
+
+inline constexpr std::size_t kNumInstrClasses = 9;
+
+/// All classes, for iteration.
+inline constexpr std::array<InstrClass, kNumInstrClasses> kAllInstrClasses = {
+    InstrClass::IntAlu, InstrClass::IntMul, InstrClass::IntDiv,
+    InstrClass::FpAlu,  InstrClass::FpMul,  InstrClass::FpDiv,
+    InstrClass::Load,   InstrClass::Store,  InstrClass::Branch,
+};
+
+const char* to_string(InstrClass cls) noexcept;
+
+/// True for FpAlu/FpMul/FpDiv — the paper's "%FP" counter counts exactly
+/// these (floating-point arithmetic), not FP loads/stores.
+constexpr bool is_fp(InstrClass cls) noexcept {
+  return cls == InstrClass::FpAlu || cls == InstrClass::FpMul ||
+         cls == InstrClass::FpDiv;
+}
+
+/// True for IntAlu/IntMul/IntDiv — the paper's "%INT" counter.
+constexpr bool is_int(InstrClass cls) noexcept {
+  return cls == InstrClass::IntAlu || cls == InstrClass::IntMul ||
+         cls == InstrClass::IntDiv;
+}
+
+constexpr bool is_mem(InstrClass cls) noexcept {
+  return cls == InstrClass::Load || cls == InstrClass::Store;
+}
+
+constexpr bool is_branch(InstrClass cls) noexcept {
+  return cls == InstrClass::Branch;
+}
+
+/// True when the op writes a floating-point destination register (consumes
+/// an FP rename register / FP issue-queue slot).
+constexpr bool writes_fp_reg(InstrClass cls) noexcept { return is_fp(cls); }
+
+/// One dynamic micro-op.
+struct MicroOp {
+  InstrClass cls = InstrClass::IntAlu;
+  /// Synthetic program counter; drives the branch predictor and I-cache.
+  std::uint64_t pc = 0;
+  /// Effective address for Load/Store; 0 otherwise.
+  std::uint64_t mem_addr = 0;
+  /// Distances (in dynamic instructions, looking backwards) to the producers
+  /// of the two source operands. 0 means "no register dependence" or the
+  /// producer already retired far in the past.
+  std::uint16_t dep1 = 0;
+  std::uint16_t dep2 = 0;
+  /// Architectural branch outcome (Branch only).
+  bool branch_taken = false;
+};
+
+}  // namespace amps::isa

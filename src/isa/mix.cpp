@@ -1,0 +1,123 @@
+#include "isa/mix.hpp"
+
+#include <cmath>
+
+namespace amps::isa {
+
+double InstrMix::total() const noexcept {
+  double acc = 0.0;
+  for (double v : f_) acc += v;
+  return acc;
+}
+
+void InstrMix::normalize() noexcept {
+  const double t = total();
+  if (t <= 0.0) return;
+  for (double& v : f_) v /= t;
+}
+
+bool InstrMix::valid(double tol) const noexcept {
+  for (double v : f_)
+    if (v < 0.0) return false;
+  return std::fabs(total() - 1.0) <= tol;
+}
+
+double InstrMix::int_fraction() const noexcept {
+  return (*this)[InstrClass::IntAlu] + (*this)[InstrClass::IntMul] +
+         (*this)[InstrClass::IntDiv];
+}
+
+double InstrMix::fp_fraction() const noexcept {
+  return (*this)[InstrClass::FpAlu] + (*this)[InstrClass::FpMul] +
+         (*this)[InstrClass::FpDiv];
+}
+
+double InstrMix::mem_fraction() const noexcept {
+  return (*this)[InstrClass::Load] + (*this)[InstrClass::Store];
+}
+
+double InstrMix::branch_fraction() const noexcept {
+  return (*this)[InstrClass::Branch];
+}
+
+InstrMix InstrMix::lerp(const InstrMix& a, const InstrMix& b, double t) noexcept {
+  InstrMix out;
+  for (InstrClass cls : kAllInstrClasses)
+    out[cls] = (1.0 - t) * a[cls] + t * b[cls];
+  return out;
+}
+
+InstrMix InstrMix::from_aggregate(double int_frac, double fp_frac,
+                                  double mem_frac, double branch_frac) noexcept {
+  InstrMix m;
+  m[InstrClass::IntAlu] = int_frac * 0.85;
+  m[InstrClass::IntMul] = int_frac * 0.12;
+  m[InstrClass::IntDiv] = int_frac * 0.03;
+  m[InstrClass::FpAlu] = fp_frac * 0.55;
+  m[InstrClass::FpMul] = fp_frac * 0.33;
+  m[InstrClass::FpDiv] = fp_frac * 0.12;
+  m[InstrClass::Load] = mem_frac * (2.0 / 3.0);
+  m[InstrClass::Store] = mem_frac * (1.0 / 3.0);
+  m[InstrClass::Branch] = branch_frac;
+  m.normalize();
+  return m;
+}
+
+InstrCount InstrCounts::total() const noexcept {
+  InstrCount acc = 0;
+  for (InstrCount v : c_) acc += v;
+  return acc;
+}
+
+InstrCount InstrCounts::int_count() const noexcept {
+  return count(InstrClass::IntAlu) + count(InstrClass::IntMul) +
+         count(InstrClass::IntDiv);
+}
+
+InstrCount InstrCounts::fp_count() const noexcept {
+  return count(InstrClass::FpAlu) + count(InstrClass::FpMul) +
+         count(InstrClass::FpDiv);
+}
+
+InstrCount InstrCounts::mem_count() const noexcept {
+  return count(InstrClass::Load) + count(InstrClass::Store);
+}
+
+InstrCount InstrCounts::branch_count() const noexcept {
+  return count(InstrClass::Branch);
+}
+
+double InstrCounts::int_pct() const noexcept {
+  const InstrCount t = total();
+  return t ? 100.0 * static_cast<double>(int_count()) / static_cast<double>(t)
+           : 0.0;
+}
+
+double InstrCounts::fp_pct() const noexcept {
+  const InstrCount t = total();
+  return t ? 100.0 * static_cast<double>(fp_count()) / static_cast<double>(t)
+           : 0.0;
+}
+
+InstrMix InstrCounts::to_mix() const noexcept {
+  InstrMix m;
+  const InstrCount t = total();
+  if (t == 0) return m;
+  for (InstrClass cls : kAllInstrClasses)
+    m[cls] = static_cast<double>(count(cls)) / static_cast<double>(t);
+  return m;
+}
+
+InstrCounts& InstrCounts::operator+=(const InstrCounts& rhs) noexcept {
+  for (std::size_t i = 0; i < kNumInstrClasses; ++i) c_[i] += rhs.c_[i];
+  return *this;
+}
+
+InstrCounts InstrCounts::since(const InstrCounts& earlier) const noexcept {
+  InstrCounts out;
+  for (std::size_t i = 0; i < kNumInstrClasses; ++i)
+    out.c_[i] = c_[i] - earlier.c_[i];
+  return out;
+}
+
+}  // namespace amps::isa

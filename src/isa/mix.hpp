@@ -1,0 +1,92 @@
+// Instruction-mix vectors: fractions per InstrClass. Used both as workload
+// model parameters (workload/) and as committed-instruction counters
+// observed by the hardware monitor (core/).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace amps::isa {
+
+/// Fractions per instruction class; a valid mix is non-negative and sums
+/// to ~1. Accessors use InstrClass for type safety.
+class InstrMix {
+ public:
+  constexpr InstrMix() = default;
+
+  constexpr double operator[](InstrClass cls) const noexcept {
+    return f_[static_cast<std::size_t>(cls)];
+  }
+  constexpr double& operator[](InstrClass cls) noexcept {
+    return f_[static_cast<std::size_t>(cls)];
+  }
+
+  /// Sum of all fractions.
+  [[nodiscard]] double total() const noexcept;
+  /// Scales so total() == 1. No-op on an all-zero mix.
+  void normalize() noexcept;
+  /// True when non-negative and total() within `tol` of 1.
+  [[nodiscard]] bool valid(double tol = 1e-6) const noexcept;
+
+  /// Combined fraction of integer arithmetic ops (paper's %INT).
+  [[nodiscard]] double int_fraction() const noexcept;
+  /// Combined fraction of floating-point arithmetic ops (paper's %FP).
+  [[nodiscard]] double fp_fraction() const noexcept;
+  /// Combined fraction of loads + stores.
+  [[nodiscard]] double mem_fraction() const noexcept;
+  /// Fraction of branches.
+  [[nodiscard]] double branch_fraction() const noexcept;
+
+  /// Linear interpolation between two mixes: (1-t)*a + t*b.
+  static InstrMix lerp(const InstrMix& a, const InstrMix& b, double t) noexcept;
+
+  /// Convenience builder from the aggregate knobs workload models use.
+  /// Splits `int_frac` over ALU/MUL/DIV as 85/12/3 and `fp_frac` over
+  /// ALU/MUL/DIV as 55/33/12 (typical SPEC-like arithmetic breakdowns),
+  /// and `mem_frac` over loads/stores 2:1.
+  static InstrMix from_aggregate(double int_frac, double fp_frac,
+                                 double mem_frac, double branch_frac) noexcept;
+
+ private:
+  std::array<double, kNumInstrClasses> f_{};
+};
+
+/// Committed-instruction counters per class (hardware-counter model).
+class InstrCounts {
+ public:
+  constexpr InstrCounts() = default;
+
+  void add(InstrClass cls, InstrCount n = 1) noexcept {
+    c_[static_cast<std::size_t>(cls)] += n;
+  }
+  [[nodiscard]] InstrCount count(InstrClass cls) const noexcept {
+    return c_[static_cast<std::size_t>(cls)];
+  }
+  [[nodiscard]] InstrCount total() const noexcept;
+  [[nodiscard]] InstrCount int_count() const noexcept;
+  [[nodiscard]] InstrCount fp_count() const noexcept;
+  [[nodiscard]] InstrCount mem_count() const noexcept;
+  [[nodiscard]] InstrCount branch_count() const noexcept;
+
+  /// Percentage (0..100) of integer arithmetic ops; 0 when empty.
+  [[nodiscard]] double int_pct() const noexcept;
+  /// Percentage (0..100) of floating-point arithmetic ops; 0 when empty.
+  [[nodiscard]] double fp_pct() const noexcept;
+
+  /// Empirical mix (fractions); all-zero when no instructions counted.
+  [[nodiscard]] InstrMix to_mix() const noexcept;
+
+  void reset() noexcept { c_.fill(0); }
+
+  InstrCounts& operator+=(const InstrCounts& rhs) noexcept;
+  /// Element-wise difference (this - rhs); callers guarantee monotonicity.
+  [[nodiscard]] InstrCounts since(const InstrCounts& earlier) const noexcept;
+
+ private:
+  std::array<InstrCount, kNumInstrClasses> c_{};
+};
+
+}  // namespace amps::isa

@@ -1,0 +1,80 @@
+#include "mathx/least_squares.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace amps::mathx {
+
+std::vector<double> poly2_features(double x1, double x2, int degree) {
+  std::vector<double> f;
+  f.reserve(poly2_num_terms(degree));
+  for (int total = 0; total <= degree; ++total)
+    for (int i = total; i >= 0; --i) {
+      const int j = total - i;
+      f.push_back(std::pow(x1, i) * std::pow(x2, j));
+    }
+  return f;
+}
+
+std::size_t poly2_num_terms(int degree) {
+  return static_cast<std::size_t>((degree + 1) * (degree + 2) / 2);
+}
+
+double Poly2Fit::operator()(double x1, double x2) const {
+  const auto f = poly2_features(x1, x2, degree_);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < f.size() && i < coeffs_.size(); ++i)
+    acc += coeffs_[i] * f[i];
+  return acc;
+}
+
+Poly2Fit fit_poly2(std::span<const Sample2D> samples, int degree,
+                   double ridge_lambda) {
+  if (samples.empty()) throw std::invalid_argument("fit_poly2: no samples");
+  const std::size_t terms = poly2_num_terms(degree);
+
+  Matrix design(samples.size(), terms);
+  std::vector<double> y(samples.size());
+  for (std::size_t r = 0; r < samples.size(); ++r) {
+    const auto f = poly2_features(samples[r].x1, samples[r].x2, degree);
+    for (std::size_t c = 0; c < terms; ++c) design(r, c) = f[c];
+    y[r] = samples[r].y;
+  }
+
+  Matrix normal = design.gram();
+  for (std::size_t i = 0; i < terms; ++i) normal(i, i) += ridge_lambda;
+  auto rhs = design.transpose_times(y);
+  return Poly2Fit(degree, solve_linear(std::move(normal), std::move(rhs)));
+}
+
+double r_squared(const Poly2Fit& fit, std::span<const Sample2D> samples) {
+  if (samples.empty()) return 0.0;
+  double mean = 0.0;
+  for (const auto& s : samples) mean += s.y;
+  mean /= static_cast<double>(samples.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (const auto& s : samples) {
+    const double e = s.y - fit(s.x1, s.x2);
+    ss_res += e * e;
+    const double d = s.y - mean;
+    ss_tot += d * d;
+  }
+  if (ss_tot == 0.0) {
+    // Constant response: perfect iff residuals vanish (up to the tiny ridge
+    // perturbation fit_poly2 applies by default).
+    return ss_res <= 1e-9 * static_cast<double>(samples.size()) ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+double rmse(const Poly2Fit& fit, std::span<const Sample2D> samples) {
+  if (samples.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& s : samples) {
+    const double e = s.y - fit(s.x1, s.x2);
+    acc += e * e;
+  }
+  return std::sqrt(acc / static_cast<double>(samples.size()));
+}
+
+}  // namespace amps::mathx

@@ -1,0 +1,59 @@
+// Polynomial least-squares fitting used by the HPE regression surface
+// (paper Fig. 4): fit ratio(x1, x2) over (%INT, %FP) samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mathx/matrix.hpp"
+
+namespace amps::mathx {
+
+/// One observation for a 2-input regression.
+struct Sample2D {
+  double x1 = 0.0;  ///< first predictor (e.g., %INT of the thread)
+  double x2 = 0.0;  ///< second predictor (e.g., %FP)
+  double y = 0.0;   ///< response (e.g., IPC/Watt ratio INT-core / FP-core)
+};
+
+/// Full bivariate polynomial basis of total degree <= `degree`:
+/// {1, x1, x2, x1^2, x1*x2, x2^2, ...}. Returns the feature vector.
+std::vector<double> poly2_features(double x1, double x2, int degree);
+
+/// Number of terms in the degree-`degree` bivariate basis.
+std::size_t poly2_num_terms(int degree);
+
+/// Fitted bivariate polynomial model.
+class Poly2Fit {
+ public:
+  Poly2Fit() = default;
+  Poly2Fit(int degree, std::vector<double> coeffs)
+      : degree_(degree), coeffs_(std::move(coeffs)) {}
+
+  /// Evaluates the fitted surface at (x1, x2).
+  [[nodiscard]] double operator()(double x1, double x2) const;
+
+  [[nodiscard]] int degree() const noexcept { return degree_; }
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
+    return coeffs_;
+  }
+
+ private:
+  int degree_ = 0;
+  std::vector<double> coeffs_;
+};
+
+/// Least-squares fit of a degree-`degree` bivariate polynomial with optional
+/// ridge regularization lambda (>=0) for numerical robustness when samples
+/// cluster. Throws std::invalid_argument when samples are empty.
+Poly2Fit fit_poly2(std::span<const Sample2D> samples, int degree,
+                   double ridge_lambda = 1e-9);
+
+/// Coefficient of determination R^2 of `fit` on `samples` (1 = perfect).
+double r_squared(const Poly2Fit& fit, std::span<const Sample2D> samples);
+
+/// Root-mean-square error of `fit` on `samples`.
+double rmse(const Poly2Fit& fit, std::span<const Sample2D> samples);
+
+}  // namespace amps::mathx

@@ -1,0 +1,51 @@
+// Small dense row-major matrix with just enough linear algebra for the
+// HPE regression fit (normal equations + partial-pivot Gaussian solve).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace amps::mathx {
+
+/// Dense row-major matrix of doubles. Sizes in this codebase are tiny
+/// (regression design matrices with < 10 columns), so no blocking/SIMD.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// A^T * A (cols x cols).
+  [[nodiscard]] Matrix gram() const;
+  /// A^T * v for a vector of length rows().
+  [[nodiscard]] std::vector<double> transpose_times(
+      const std::vector<double>& v) const;
+  /// A * v for a vector of length cols().
+  [[nodiscard]] std::vector<double> times(const std::vector<double>& v) const;
+
+  /// Matrix product (this * rhs). Throws std::invalid_argument on shape
+  /// mismatch.
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for square A via Gaussian elimination with partial
+/// pivoting. Throws std::runtime_error if A is (numerically) singular.
+std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+}  // namespace amps::mathx

@@ -1,0 +1,118 @@
+#include "mathx/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace amps::mathx {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) throw std::invalid_argument("geomean: non-positive value");
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                   v.end());
+  return 0.5 * (hi + v[mid - 1]);
+}
+
+double min_of(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double mean_lowest(std::span<const double> xs, std::size_t k) {
+  if (xs.empty() || k == 0) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  k = std::min(k, v.size());
+  std::partial_sort(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k), v.end());
+  return mean(std::span<const double>(v.data(), k));
+}
+
+double mean_highest(std::span<const double> xs, std::size_t k) {
+  if (xs.empty() || k == 0) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  k = std::min(k, v.size());
+  std::partial_sort(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k), v.end(),
+                    std::greater<>());
+  return mean(std::span<const double>(v.data(), k));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0)
+    throw std::invalid_argument("Histogram: bad range/bins");
+}
+
+void Histogram::add(double value) noexcept {
+  auto idx = static_cast<std::ptrdiff_t>((value - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+  sum_ += value;
+}
+
+double Histogram::mode(double fallback) const noexcept {
+  if (total_ == 0) return fallback;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < counts_.size(); ++i)
+    if (counts_[i] > counts_[best]) best = i;
+  return lo_ + (static_cast<double>(best) + 0.5) * width_;
+}
+
+double Histogram::mean(double fallback) const noexcept {
+  return total_ ? sum_ / static_cast<double>(total_) : fallback;
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace amps::mathx

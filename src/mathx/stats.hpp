@@ -1,0 +1,76 @@
+// Descriptive statistics used throughout the harness: means (arithmetic,
+// geometric, weighted), dispersion, and the binned statistical mode the HPE
+// ratio matrix relies on (paper §V step 3).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace amps::mathx {
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);  ///< sample stddev (n-1); 0 if n<2
+
+/// Geometric mean; all inputs must be > 0 (throws std::invalid_argument).
+double geomean(std::span<const double> xs);
+
+/// Arithmetic median (on a copy; does not reorder the input).
+double median(std::span<const double> xs);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Mean of the k smallest values (paper Fig. 9: "5 worst cases").
+double mean_lowest(std::span<const double> xs, std::size_t k);
+/// Mean of the k largest values (paper Fig. 9: "5 best cases").
+double mean_highest(std::span<const double> xs, std::size_t k);
+
+/// Fixed-bin histogram over [lo, hi) used to compute statistical modes of
+/// ratio observations. Values outside the range are clamped to the edge
+/// bins so no observation is lost.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bin_count(std::size_t bin) const {
+    return counts_.at(bin);
+  }
+  [[nodiscard]] std::size_t num_bins() const noexcept { return counts_.size(); }
+
+  /// Center value of the most populated bin; ties resolve to the lowest bin.
+  /// Returns fallback when the histogram is empty.
+  [[nodiscard]] double mode(double fallback = 0.0) const noexcept;
+
+  /// Arithmetic mean of all added values (exact, not binned).
+  [[nodiscard]] double mean(double fallback = 0.0) const noexcept;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Streaming mean/variance (Welford) for long interval series.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace amps::mathx

@@ -1,0 +1,128 @@
+#include "metrics/report.hpp"
+
+#include <ostream>
+
+#include "common/table.hpp"
+#include "power/accountant.hpp"
+
+namespace amps::metrics {
+
+namespace {
+
+void print_cache_line(std::ostream& os, const uarch::Cache& cache) {
+  const auto& s = cache.stats();
+  os << "    " << cache.name() << ": " << s.accesses() << " accesses, "
+     << format_double(100.0 * (1.0 - s.miss_rate()), 1) << "% hit, "
+     << s.writebacks << " writebacks\n";
+}
+
+}  // namespace
+
+void print_core_report(std::ostream& os, const sim::Core& core) {
+  os << "core " << core.config().name << " (" << to_string(core.config().kind)
+     << " flavor):\n";
+
+  // Energy breakdown.
+  const power::PowerAccountant& acc = core.power();
+  const Energy total = acc.total();
+  os << "  energy total " << format_double(total, 1) << " (abstract nJ):\n";
+  for (std::size_t i = 0; i < power::kNumComponents; ++i) {
+    const auto c = static_cast<power::Component>(i);
+    const Energy e = acc.component(c);
+    if (e <= 0.0) continue;
+    os << "    " << power::to_string(c) << ": " << format_double(e, 1) << " ("
+       << format_double(total > 0 ? 100.0 * e / total : 0.0, 1) << "%)\n";
+  }
+
+  // Caches.
+  os << "  caches:\n";
+  print_cache_line(os, core.caches().il1());
+  print_cache_line(os, core.caches().dl1());
+  print_cache_line(os, core.caches().l2());
+  os << "    memory accesses: " << core.caches().memory_accesses() << "\n";
+
+  // Branch predictor.
+  os << "  branch predictor: " << core.bpred().lookups() << " lookups, "
+     << format_double(100.0 * core.bpred().misprediction_rate(), 2)
+     << "% mispredict\n";
+
+  // Functional units.
+  os << "  functional-unit ops:";
+  for (isa::InstrClass cls :
+       {isa::InstrClass::IntAlu, isa::InstrClass::IntMul,
+        isa::InstrClass::IntDiv, isa::InstrClass::FpAlu,
+        isa::InstrClass::FpMul, isa::InstrClass::FpDiv}) {
+    os << " " << isa::to_string(cls) << "="
+       << core.exec_units().pool(cls).ops_issued();
+  }
+  os << "\n";
+
+  // Stalls.
+  const sim::StallStats& st = core.stalls();
+  os << "  front-end stall events: rob=" << st.rob_full
+     << " int_reg=" << st.int_reg << " fp_reg=" << st.fp_reg
+     << " int_isq=" << st.int_isq_full << " fp_isq=" << st.fp_isq_full
+     << " lsq=" << st.lsq_full << " icache=" << st.icache
+     << " redirect=" << st.redirect << "\n";
+
+  // Window occupancy.
+  os << "  mean occupancy: INTREG="
+     << format_double(core.int_regs().mean_occupancy(), 1) << "/"
+     << core.int_regs().capacity() << " FPREG="
+     << format_double(core.fp_regs().mean_occupancy(), 1) << "/"
+     << core.fp_regs().capacity() << "\n";
+  os << "  committed ops: " << core.committed_ops() << "\n";
+}
+
+void print_thread_report(std::ostream& os, const sim::DualCoreSystem& system,
+                         const sim::ThreadContext& thread) {
+  const isa::InstrCounts& c = thread.committed();
+  const InstrCount total = c.total();
+  const Energy energy = system.live_energy(thread);
+  const std::uint64_t l2 = system.live_l2_misses(thread);
+  os << "thread '" << thread.name() << "' (id " << thread.id() << "):\n";
+  os << "  committed " << total << " instructions in " << thread.cycles()
+     << " cycles (IPC " << format_double(thread.ipc(), 3) << ")\n";
+  os << "  composition: %INT=" << format_double(c.int_pct(), 1)
+     << " %FP=" << format_double(c.fp_pct(), 1) << " %mem="
+     << format_double(total ? 100.0 * static_cast<double>(c.mem_count()) /
+                                  static_cast<double>(total)
+                            : 0.0,
+                      1)
+     << " %branch="
+     << format_double(total ? 100.0 * static_cast<double>(c.branch_count()) /
+                                  static_cast<double>(total)
+                            : 0.0,
+                      1)
+     << "\n";
+  os << "  energy " << format_double(energy, 1) << " -> IPC/Watt "
+     << format_double(energy > 0 ? static_cast<double>(total) / energy : 0.0, 4)
+     << "\n";
+  os << "  L2 misses " << l2 << " (MPKI "
+     << format_double(total ? 1000.0 * static_cast<double>(l2) /
+                                  static_cast<double>(total)
+                            : 0.0,
+                      2)
+     << "), swaps " << thread.swaps() << "\n";
+}
+
+void print_system_report(std::ostream& os, const sim::DualCoreSystem& system) {
+  os << "=== dual-core system @ cycle " << system.now() << " ===\n";
+  os << "swaps: " << system.swap_count() << " (overhead "
+     << system.swap_overhead() << " cycles each)\n\n";
+  for (std::size_t i = 0; i < 2; ++i) {
+    print_core_report(os, system.core(i));
+    os << "\n";
+  }
+  for (std::size_t i = 0; i < 2; ++i) {
+    const sim::ThreadContext* t = system.thread_on(i);
+    if (t != nullptr) {
+      print_thread_report(os, system, *t);
+      os << "  currently on core " << i << " ("
+         << to_string(system.core(i).config().kind) << ")\n\n";
+    }
+  }
+  os << "total energy: " << format_double(system.total_energy(), 1) << "\n";
+}
+
+}  // namespace amps::metrics

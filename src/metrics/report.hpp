@@ -1,0 +1,27 @@
+// Detailed run reports: Wattch-style per-component energy breakdowns,
+// cache and branch-predictor statistics, stall accounting and resource
+// occupancies — everything a simulator user needs to see *why* a core's
+// IPC/Watt came out the way it did.
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/core.hpp"
+#include "sim/system.hpp"
+
+namespace amps::metrics {
+
+/// Per-core report: energy breakdown by component (absolute and percent),
+/// cache hit rates, predictor accuracy, FU issue counts, stall counters
+/// and mean occupancies of the rename/ISQ pools.
+void print_core_report(std::ostream& os, const sim::Core& core);
+
+/// Per-thread report: committed composition, IPC, IPC/Watt, swaps, L2
+/// misses (MPKI).
+void print_thread_report(std::ostream& os, const sim::DualCoreSystem& system,
+                         const sim::ThreadContext& thread);
+
+/// Whole-system report: both cores, both threads, totals.
+void print_system_report(std::ostream& os, const sim::DualCoreSystem& system);
+
+}  // namespace amps::metrics

@@ -1,0 +1,61 @@
+#include "metrics/run_result.hpp"
+
+#include <stdexcept>
+
+#include "metrics/speedup.hpp"
+
+namespace amps::metrics {
+
+std::vector<double> PairRunResult::ipw_ratios_vs(
+    const PairRunResult& base) const {
+  std::vector<double> ratios;
+  ratios.reserve(2);
+  for (int i = 0; i < 2; ++i) {
+    if (threads[i].benchmark != base.threads[i].benchmark)
+      throw std::invalid_argument(
+          "ipw_ratios_vs: comparing runs of different pairs");
+    if (base.threads[i].ipc_per_watt <= 0.0)
+      throw std::invalid_argument("ipw_ratios_vs: baseline has zero IPC/Watt");
+    ratios.push_back(threads[i].ipc_per_watt / base.threads[i].ipc_per_watt);
+  }
+  return ratios;
+}
+
+double PairRunResult::weighted_ipw_speedup_vs(const PairRunResult& base) const {
+  const auto ratios = ipw_ratios_vs(base);
+  return weighted_speedup(ratios);
+}
+
+double PairRunResult::geometric_ipw_speedup_vs(const PairRunResult& base) const {
+  const auto ratios = ipw_ratios_vs(base);
+  return geometric_speedup(ratios);
+}
+
+PairRunResult snapshot_run(const std::string& scheduler_name,
+                           const sim::DualCoreSystem& system,
+                           const sim::ThreadContext& t0,
+                           const sim::ThreadContext& t1,
+                           std::uint64_t decision_points) {
+  PairRunResult r;
+  r.scheduler = scheduler_name;
+  const sim::ThreadContext* ts[2] = {&t0, &t1};
+  for (int i = 0; i < 2; ++i) {
+    const sim::ThreadContext& t = *ts[i];
+    ThreadRunStats& s = r.threads[i];
+    s.benchmark = t.name();
+    s.committed = t.committed_total();
+    s.cycles = t.cycles();
+    s.energy = system.live_energy(t);
+    s.ipc = t.ipc();
+    s.ipc_per_watt =
+        s.energy > 0.0 ? static_cast<double>(s.committed) / s.energy : 0.0;
+    s.swaps = t.swaps();
+  }
+  r.total_cycles = system.now();
+  r.swap_count = system.swap_count();
+  r.decision_points = decision_points;
+  r.total_energy = system.total_energy();
+  return r;
+}
+
+}  // namespace amps::metrics

@@ -1,0 +1,59 @@
+// Result records for one scheduled run of a two-thread workload, and the
+// comparisons between scheduling schemes the paper's figures plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/system.hpp"
+
+namespace amps::metrics {
+
+/// Final statistics of one thread after a run.
+struct ThreadRunStats {
+  std::string benchmark;
+  InstrCount committed = 0;
+  Cycles cycles = 0;
+  Energy energy = 0.0;
+  double ipc = 0.0;
+  double ipc_per_watt = 0.0;
+  std::uint64_t swaps = 0;
+};
+
+/// Snapshot of a completed two-thread run under one scheduler.
+struct PairRunResult {
+  std::string scheduler;
+  ThreadRunStats threads[2];
+  Cycles total_cycles = 0;
+  std::uint64_t swap_count = 0;
+  std::uint64_t decision_points = 0;  ///< scheduler evaluations taken
+  Energy total_energy = 0.0;
+
+  /// Per-thread IPC/Watt ratios against a baseline run of the same pair.
+  [[nodiscard]] std::vector<double> ipw_ratios_vs(
+      const PairRunResult& base) const;
+
+  /// Weighted IPC/Watt speedup over `base` (arithmetic mean of ratios).
+  [[nodiscard]] double weighted_ipw_speedup_vs(const PairRunResult& base) const;
+  /// Geometric IPC/Watt speedup over `base`.
+  [[nodiscard]] double geometric_ipw_speedup_vs(const PairRunResult& base) const;
+
+  /// Fraction of decision points that actually swapped (paper §VI-D:
+  /// "much less than 1%").
+  [[nodiscard]] double swap_fraction() const noexcept {
+    return decision_points
+               ? static_cast<double>(swap_count) /
+                     static_cast<double>(decision_points)
+               : 0.0;
+  }
+};
+
+/// Captures the end-of-run state of `system` + its threads.
+PairRunResult snapshot_run(const std::string& scheduler_name,
+                           const sim::DualCoreSystem& system,
+                           const sim::ThreadContext& t0,
+                           const sim::ThreadContext& t1,
+                           std::uint64_t decision_points);
+
+}  // namespace amps::metrics

@@ -1,0 +1,15 @@
+#include "metrics/speedup.hpp"
+
+#include "mathx/stats.hpp"
+
+namespace amps::metrics {
+
+double weighted_speedup(std::span<const double> ratios) {
+  return mathx::mean(ratios);
+}
+
+double geometric_speedup(std::span<const double> ratios) {
+  return mathx::geomean(ratios);
+}
+
+}  // namespace amps::metrics

@@ -1,0 +1,23 @@
+// Speedup metrics exactly as the paper uses them (§VII): per-thread
+// IPC/Watt ratios combined as a *weighted* speedup (arithmetic mean of the
+// ratios) and a *geometric* speedup (geometric mean — penalizes schemes
+// that help one thread at the other's expense; "system fairness").
+#pragma once
+
+#include <span>
+
+namespace amps::metrics {
+
+/// Arithmetic mean of per-thread metric ratios (new / base).
+double weighted_speedup(std::span<const double> ratios);
+
+/// Geometric mean of per-thread metric ratios.
+double geometric_speedup(std::span<const double> ratios);
+
+/// Converts a speedup factor into the percentage improvement the paper
+/// plots: (speedup - 1) * 100.
+constexpr double to_improvement_pct(double speedup) noexcept {
+  return (speedup - 1.0) * 100.0;
+}
+
+}  // namespace amps::metrics

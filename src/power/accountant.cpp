@@ -1,0 +1,72 @@
+#include "power/accountant.hpp"
+
+namespace amps::power {
+
+const char* to_string(Component c) noexcept {
+  switch (c) {
+    case Component::Frontend: return "frontend";
+    case Component::Rename: return "rename";
+    case Component::Window: return "window";
+    case Component::Regfile: return "regfile";
+    case Component::Exec: return "exec";
+    case Component::CacheL1: return "l1";
+    case Component::CacheL2: return "l2";
+    case Component::Memory: return "memory";
+    case Component::Leakage: return "leakage";
+  }
+  return "?";
+}
+
+void PowerAccountant::on_fetch(unsigned n) noexcept {
+  add(Component::Frontend, model_->fetch_decode_energy() * n);
+}
+
+void PowerAccountant::on_bpred_lookup() noexcept {
+  add(Component::Frontend, model_->bpred_energy());
+}
+
+void PowerAccountant::on_rename(unsigned n) noexcept {
+  add(Component::Rename, model_->rename_energy() * n);
+}
+
+void PowerAccountant::on_dispatch(unsigned n) noexcept {
+  add(Component::Window, (model_->isq_energy() + model_->rob_energy()) * n);
+}
+
+void PowerAccountant::on_lsq_insert() noexcept {
+  add(Component::Window, model_->lsq_energy());
+}
+
+void PowerAccountant::on_issue(isa::InstrClass cls) noexcept {
+  add(Component::Exec, model_->exec_energy(cls));
+  add(Component::Regfile, model_->regfile_energy());  // operand reads
+}
+
+void PowerAccountant::on_commit(unsigned n) noexcept {
+  add(Component::Window, model_->rob_energy() * n);
+  add(Component::Regfile, model_->regfile_energy() * n);  // result write
+}
+
+void PowerAccountant::on_l1_access() noexcept {
+  add(Component::CacheL1, model_->l1_energy());
+}
+
+void PowerAccountant::on_l2_access() noexcept {
+  add(Component::CacheL2, model_->l2_energy());
+}
+
+void PowerAccountant::on_memory_access() noexcept {
+  add(Component::Memory, model_->memory_energy());
+}
+
+void PowerAccountant::on_cycle() noexcept {
+  add(Component::Leakage, model_->leakage_per_cycle());
+}
+
+Energy PowerAccountant::total() const noexcept {
+  Energy acc = 0.0;
+  for (Energy e : by_component_) acc += e;
+  return acc;
+}
+
+}  // namespace amps::power

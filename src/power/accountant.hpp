@@ -1,0 +1,70 @@
+// PowerAccountant: the per-core energy ledger. The core pipeline reports
+// microarchitectural events; the accountant prices them with the core's
+// EnergyModel and keeps a per-component breakdown (Wattch-style report).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+#include "power/energy_model.hpp"
+
+namespace amps::power {
+
+/// Energy breakdown components.
+enum class Component : std::uint8_t {
+  Frontend = 0,  // fetch + decode + branch predictor
+  Rename,
+  Window,        // ISQ + ROB + LSQ bookkeeping
+  Regfile,
+  Exec,          // functional units
+  CacheL1,
+  CacheL2,
+  Memory,
+  Leakage,
+};
+inline constexpr std::size_t kNumComponents = 9;
+
+const char* to_string(Component c) noexcept;
+
+class PowerAccountant {
+ public:
+  explicit PowerAccountant(const EnergyModel& model) : model_(&model) {}
+
+  // --- event hooks called by the core pipeline -------------------------
+  void on_fetch(unsigned n_instrs) noexcept;
+  void on_bpred_lookup() noexcept;
+  void on_rename(unsigned n_instrs) noexcept;
+  void on_dispatch(unsigned n_instrs) noexcept;     // ISQ/ROB writes
+  void on_lsq_insert() noexcept;
+  void on_issue(isa::InstrClass cls) noexcept;      // FU op + regfile reads
+  void on_commit(unsigned n_instrs) noexcept;       // ROB retire + reg write
+  void on_l1_access() noexcept;
+  void on_l2_access() noexcept;
+  void on_memory_access() noexcept;
+  void on_cycle() noexcept;                         // leakage
+
+  // --- queries ----------------------------------------------------------
+  [[nodiscard]] Energy total() const noexcept;
+  [[nodiscard]] Energy component(Component c) const noexcept {
+    return by_component_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] const EnergyModel& model() const noexcept { return *model_; }
+
+  /// Points future events at a new energy model (core morphing changes the
+  /// hardware under the ledger); accumulated energy is preserved.
+  void rebind_model(const EnergyModel& model) noexcept { model_ = &model; }
+
+  void reset() noexcept { by_component_.fill(0.0); }
+
+ private:
+  void add(Component c, double e) noexcept {
+    by_component_[static_cast<std::size_t>(c)] += e;
+  }
+
+  const EnergyModel* model_;
+  std::array<Energy, kNumComponents> by_component_{};
+};
+
+}  // namespace amps::power

@@ -1,0 +1,107 @@
+#include "power/energy_model.hpp"
+
+#include <cmath>
+
+namespace amps::power {
+
+EnergyParams EnergyParams::scaled_for_dvfs(std::uint32_t clock_divider) const {
+  if (clock_divider <= 1) return *this;
+  EnergyParams p = *this;
+  const double d = static_cast<double>(clock_divider);
+  const double dyn = 1.0 / (d * d);  // E_dyn ~ C * V^2, V ~ f
+  const double leak = 1.0 / d;       // I_leak roughly ~ V
+  // Off-chip DRAM (memory_access) has its own supply and does not scale
+  // with the core's operating point.
+  for (double* e : {&p.fetch_decode, &p.rename, &p.isq_op, &p.rob_op,
+                    &p.regfile_op, &p.bpred, &p.lsq_op, &p.l1_access,
+                    &p.l2_access, &p.int_alu, &p.int_mul, &p.int_div,
+                    &p.fp_alu, &p.fp_mul, &p.fp_div})
+    *e *= dyn;
+  p.leak_base *= leak;
+  p.leak_per_area *= leak;
+  return p;
+}
+
+namespace {
+
+/// CACTI-like scaling: per-access energy grows ~sqrt(size / reference).
+double scale(double base, double size, double reference) {
+  return base * std::sqrt(size / reference);
+}
+
+double pool_area(const uarch::FuSpec& spec, double class_weight,
+                 double pipelined_factor) {
+  return static_cast<double>(spec.units) * class_weight *
+         (spec.pipelined ? pipelined_factor : 1.0);
+}
+
+/// Per-op execution energy: proportional to the class weight; stronger
+/// (pipelined) datapaths pay a modest per-op premium for their extra
+/// latches, consistent with Wattch's pipelined-unit model.
+double pool_op_energy(const uarch::FuSpec& spec, double base) {
+  return base * (spec.pipelined ? 1.15 : 0.85);
+}
+
+}  // namespace
+
+EnergyModel::EnergyModel(const StructureSizes& sizes, const EnergyParams& params)
+    : sizes_(sizes), params_(params) {
+  e_fetch_ = params.fetch_decode;
+  e_rename_ = scale(params.rename,
+                    static_cast<double>(sizes.int_regs + sizes.fp_regs), 128.0);
+  e_isq_ = scale(params.isq_op,
+                 static_cast<double>(sizes.int_isq + sizes.fp_isq), 48.0);
+  e_rob_ = scale(params.rob_op, static_cast<double>(sizes.rob), 96.0);
+  e_regfile_ = scale(params.regfile_op,
+                     static_cast<double>(sizes.int_regs + sizes.fp_regs), 128.0);
+  e_bpred_ = params.bpred;
+  e_lsq_ = scale(params.lsq_op, static_cast<double>(sizes.lsq), 32.0);
+
+  e_l1_ = scale(params.l1_access, static_cast<double>(sizes.dl1_bytes), 4096.0);
+  e_l2_ = scale(params.l2_access, static_cast<double>(sizes.l2_bytes),
+                131072.0);
+  e_mem_ = params.memory_access;
+
+  const auto& x = sizes.exec;
+  e_exec_[static_cast<std::size_t>(isa::InstrClass::IntAlu)] =
+      pool_op_energy(x.int_alu, params.int_alu);
+  e_exec_[static_cast<std::size_t>(isa::InstrClass::IntMul)] =
+      pool_op_energy(x.int_mul, params.int_mul);
+  e_exec_[static_cast<std::size_t>(isa::InstrClass::IntDiv)] =
+      pool_op_energy(x.int_div, params.int_div);
+  e_exec_[static_cast<std::size_t>(isa::InstrClass::FpAlu)] =
+      pool_op_energy(x.fp_alu, params.fp_alu);
+  e_exec_[static_cast<std::size_t>(isa::InstrClass::FpMul)] =
+      pool_op_energy(x.fp_mul, params.fp_mul);
+  e_exec_[static_cast<std::size_t>(isa::InstrClass::FpDiv)] =
+      pool_op_energy(x.fp_div, params.fp_div);
+  // Loads/stores pay an AGU (IntAlu-class) execution cost; branches the
+  // compare cost.
+  e_exec_[static_cast<std::size_t>(isa::InstrClass::Load)] = params.int_alu;
+  e_exec_[static_cast<std::size_t>(isa::InstrClass::Store)] = params.int_alu;
+  e_exec_[static_cast<std::size_t>(isa::InstrClass::Branch)] = params.int_alu;
+
+  // Abstract area: storage structures (normalized) + FU complement.
+  double area = 0.0;
+  area += static_cast<double>(sizes.rob) / 96.0;
+  area += static_cast<double>(sizes.int_regs + sizes.fp_regs) / 128.0;
+  area += static_cast<double>(sizes.int_isq + sizes.fp_isq) / 48.0;
+  area += static_cast<double>(sizes.lsq) / 32.0;
+  area += static_cast<double>(sizes.il1_bytes + sizes.dl1_bytes) / 8192.0;
+  area += static_cast<double>(sizes.l2_bytes) / 131072.0;
+  area += pool_area(x.int_alu, params.area_int_alu, params.area_pipelined_factor);
+  area += pool_area(x.int_mul, params.area_int_mul, params.area_pipelined_factor);
+  area += pool_area(x.int_div, params.area_int_div, params.area_pipelined_factor);
+  area += pool_area(x.fp_alu, params.area_fp_alu, params.area_pipelined_factor);
+  area += pool_area(x.fp_mul, params.area_fp_mul, params.area_pipelined_factor);
+  area += pool_area(x.fp_div, params.area_fp_div, params.area_pipelined_factor);
+  area_ = area;
+
+  e_leak_ = params.leak_base + params.leak_per_area * area_;
+}
+
+double EnergyModel::exec_energy(isa::InstrClass cls) const noexcept {
+  return e_exec_[static_cast<std::size_t>(cls)];
+}
+
+}  // namespace amps::power

@@ -1,0 +1,123 @@
+// Wattch/CACTI-style analytical energy model.
+//
+// The original work measures power with Wattch + CACTI (paper §IV). Neither
+// is available, so this module reproduces their *structure*: per-access
+// dynamic energies that scale with structure sizes (CACTI's size->energy
+// trend, here a sqrt law), per-op functional-unit energies that grow with
+// datapath strength, and per-cycle leakage proportional to an area
+// estimate. Absolute numbers are abstract nanojoule-like units; the results
+// the paper reports are ratios, which only require the *relative* costs to
+// be sane (big FP datapath leaks more; misses cost far more than hits...).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+#include "uarch/func_unit.hpp"
+
+namespace amps::power {
+
+/// Plain-number description of everything on a core that stores state or
+/// burns energy. Produced by sim::CoreConfig (kept as raw numbers here to
+/// avoid a dependency cycle between power/ and sim/).
+struct StructureSizes {
+  std::uint32_t rob = 96;
+  std::uint32_t int_regs = 64;
+  std::uint32_t fp_regs = 64;
+  std::uint32_t int_isq = 24;
+  std::uint32_t fp_isq = 24;
+  std::uint32_t lsq = 32;  // loads + stores
+  std::uint64_t il1_bytes = 4 * 1024;
+  std::uint64_t dl1_bytes = 4 * 1024;
+  std::uint64_t l2_bytes = 128 * 1024;
+  uarch::ExecUnits::Config exec;
+};
+
+/// Tunable coefficients (defaults are the calibrated values used by all
+/// experiments; tests pin the derived relationships, not the constants).
+struct EnergyParams {
+  // Dynamic per-event base energies (at the reference structure sizes).
+  double fetch_decode = 0.15;
+  double rename = 0.05;
+  double isq_op = 0.08;
+  double rob_op = 0.06;
+  double regfile_op = 0.08;
+  double bpred = 0.03;
+  double lsq_op = 0.05;
+  double l1_access = 0.10;
+  double l2_access = 0.40;
+  double memory_access = 6.0;
+
+  // Per-op energies by arithmetic class (strong-pipeline reference).
+  double int_alu = 0.10;
+  double int_mul = 0.35;
+  double int_div = 1.20;
+  double fp_alu = 0.50;
+  double fp_mul = 0.70;
+  double fp_div = 2.40;
+
+  // Leakage.
+  double leak_base = 0.06;          ///< clock tree + misc, per cycle
+  double leak_per_area = 0.008;     ///< per abstract area unit, per cycle
+
+  // Area weights for the FU-area estimate.
+  double area_int_alu = 1.0;
+  double area_int_mul = 2.5;
+  double area_int_div = 3.5;
+  double area_fp_alu = 3.0;
+  double area_fp_mul = 4.0;
+  double area_fp_div = 5.0;
+  double area_pipelined_factor = 1.6;  ///< pipelined units are larger
+
+  /// DVFS scaling: a core clocked at 1/divider of the reference frequency
+  /// runs at a proportionally lower voltage, so dynamic energy per op
+  /// falls ~quadratically and leakage ~linearly. Returns the adjusted
+  /// coefficient set for that operating point.
+  [[nodiscard]] EnergyParams scaled_for_dvfs(std::uint32_t clock_divider) const;
+};
+
+/// Derived, per-core energy table. Construct once per core; thereafter all
+/// queries are O(1) loads.
+class EnergyModel {
+ public:
+  EnergyModel(const StructureSizes& sizes, const EnergyParams& params = {});
+
+  /// Per committed/processed instruction front-end + bookkeeping energies.
+  [[nodiscard]] double fetch_decode_energy() const noexcept { return e_fetch_; }
+  [[nodiscard]] double rename_energy() const noexcept { return e_rename_; }
+  [[nodiscard]] double isq_energy() const noexcept { return e_isq_; }
+  [[nodiscard]] double rob_energy() const noexcept { return e_rob_; }
+  [[nodiscard]] double regfile_energy() const noexcept { return e_regfile_; }
+  [[nodiscard]] double bpred_energy() const noexcept { return e_bpred_; }
+  [[nodiscard]] double lsq_energy() const noexcept { return e_lsq_; }
+
+  /// Execution energy for one op of `cls` (arithmetic classes only; memory
+  /// classes return the AGU≈IntAlu cost).
+  [[nodiscard]] double exec_energy(isa::InstrClass cls) const noexcept;
+
+  [[nodiscard]] double l1_energy() const noexcept { return e_l1_; }
+  [[nodiscard]] double l2_energy() const noexcept { return e_l2_; }
+  [[nodiscard]] double memory_energy() const noexcept { return e_mem_; }
+
+  /// Static (leakage + clock) energy burned every cycle regardless of
+  /// activity.
+  [[nodiscard]] double leakage_per_cycle() const noexcept { return e_leak_; }
+
+  /// Abstract area estimate (diagnostics; FP core > INT core).
+  [[nodiscard]] double area() const noexcept { return area_; }
+
+  [[nodiscard]] const StructureSizes& sizes() const noexcept { return sizes_; }
+  [[nodiscard]] const EnergyParams& params() const noexcept { return params_; }
+
+ private:
+  StructureSizes sizes_;
+  EnergyParams params_;
+  double e_fetch_, e_rename_, e_isq_, e_rob_, e_regfile_, e_bpred_, e_lsq_;
+  double e_l1_, e_l2_, e_mem_;
+  double e_exec_[isa::kNumInstrClasses];
+  double e_leak_;
+  double area_;
+};
+
+}  // namespace amps::power

@@ -1,0 +1,422 @@
+#include "sim/core.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace amps::sim {
+
+namespace {
+constexpr std::uint64_t kLineShift = 6;  // 64-byte fetch lines
+
+/// All core-internal latencies are configured in *core* cycles; the
+/// simulator's timebase is the global (reference) clock, so a down-clocked
+/// core's latencies stretch by its divider. Off-chip DRAM latency is wall
+/// time and stays as-is.
+CoreConfig stretch_to_global_clock(CoreConfig cfg) {
+  const std::uint32_t d = cfg.clock_divider;
+  if (d <= 1) return cfg;
+  for (uarch::FuSpec* spec :
+       {&cfg.exec.int_alu, &cfg.exec.int_mul, &cfg.exec.int_div,
+        &cfg.exec.fp_alu, &cfg.exec.fp_mul, &cfg.exec.fp_div})
+    spec->latency *= d;
+  cfg.mem_lat.l1_hit *= d;
+  cfg.mem_lat.l2_hit *= d;
+  cfg.mispredict_penalty *= d;
+  return cfg;
+}
+}  // namespace
+
+Core::Core(const CoreConfig& cfg)
+    : Core(stretch_to_global_clock(cfg), /*already_stretched=*/true, nullptr) {}
+
+Core::Core(const CoreConfig& cfg, uarch::SharedL2* shared_l2)
+    : Core(stretch_to_global_clock(cfg), /*already_stretched=*/true,
+           shared_l2) {}
+
+Core::Core(const CoreConfig& cfg, bool, uarch::SharedL2* shared_l2)
+    : cfg_(cfg),
+      caches_(cfg.il1, cfg.dl1, cfg.l2, cfg.mem_lat, cfg.prefetch_next_line,
+              shared_l2),
+      bpred_(cfg.bpred),
+      exec_(cfg.exec),
+      energy_model_(cfg.structure_sizes(),
+                    cfg.energy_params.scaled_for_dvfs(cfg.clock_divider)),
+      power_(energy_model_),
+      int_regs_("INTREG", cfg.int_rename_regs),
+      fp_regs_("FPREG", cfg.fp_rename_regs),
+      int_isq_slots_("INTISQ", cfg.int_isq_entries),
+      fp_isq_slots_("FPISQ", cfg.fp_isq_entries),
+      lq_slots_("LQ", cfg.lq_entries),
+      sq_slots_("SQ", cfg.sq_entries),
+      rob_(cfg.rob_entries) {
+  std::string why;
+  if (!cfg.validate(&why)) throw std::invalid_argument("Core: " + why);
+  int_isq_.reserve(cfg.int_isq_entries);
+  fp_isq_.reserve(cfg.fp_isq_entries);
+  lq_.reserve(cfg.lq_entries);
+  sq_.reserve(cfg.sq_entries);
+}
+
+void Core::attach(ThreadContext* thread) {
+  assert(thread_ == nullptr && "attach: core already has a thread");
+  assert(rob_count_ == 0 && "attach: pipeline not empty");
+  thread_ = thread;
+  attach_energy_ = power_.total();
+  attach_l2_misses_ = caches_.l2_demand_misses();
+  head_seq_ = thread->next_seq();
+  last_fetch_line_ = ~0ULL;
+  fetch_resume_at_ = 0;
+  redirect_pending_ = false;
+}
+
+ThreadContext* Core::detach() {
+  if (thread_ == nullptr) return nullptr;
+
+  // Squash in-flight ops oldest-first and hand them back for replay.
+  std::deque<isa::MicroOp> squashed;
+  for (std::size_t i = 0; i < rob_count_; ++i)
+    squashed.push_back(rob_[(rob_head_ + i) % rob_.size()].op);
+  thread_->unfetch(std::move(squashed));
+
+  rob_head_ = 0;
+  rob_count_ = 0;
+  int_isq_.clear();
+  fp_isq_.clear();
+  lq_.clear();
+  sq_.clear();
+  int_regs_.clear();
+  fp_regs_.clear();
+  int_isq_slots_.clear();
+  fp_isq_slots_.clear();
+  lq_slots_.clear();
+  sq_slots_.clear();
+  exec_.reset_occupancy();
+  branch_port_free_ = 0;
+  redirect_pending_ = false;
+  fetch_resume_at_ = 0;
+
+  thread_->add_energy(energy_since_attach());
+  thread_->add_l2_misses(l2_misses_since_attach());
+  ThreadContext* out = thread_;
+  thread_ = nullptr;
+  return out;
+}
+
+void Core::reconfigure(const CoreConfig& cfg) {
+  if (thread_ != nullptr)
+    throw std::logic_error("Core::reconfigure: detach the thread first");
+  std::string why;
+  if (!cfg.validate(&why))
+    throw std::invalid_argument("Core::reconfigure: " + why);
+  if (cfg.clock_divider != cfg_.clock_divider)
+    throw std::invalid_argument(
+        "Core::reconfigure: changing the operating point is not supported "
+        "(the cache hierarchy's latencies are fixed at construction)");
+
+  cfg_ = stretch_to_global_clock(cfg);
+  exec_ = uarch::ExecUnits(cfg_.exec);
+  energy_model_ = power::EnergyModel(
+      cfg_.structure_sizes(),
+      cfg_.energy_params.scaled_for_dvfs(cfg_.clock_divider));
+  power_.rebind_model(energy_model_);
+
+  rob_.assign(cfg.rob_entries, RobEntry{});
+  rob_head_ = 0;
+  rob_count_ = 0;
+  int_regs_.reset_capacity(cfg.int_rename_regs);
+  fp_regs_.reset_capacity(cfg.fp_rename_regs);
+  int_isq_slots_.reset_capacity(cfg.int_isq_entries);
+  fp_isq_slots_.reset_capacity(cfg.fp_isq_entries);
+  lq_slots_.reset_capacity(cfg.lq_entries);
+  sq_slots_.reset_capacity(cfg.sq_entries);
+  // Caches and branch-predictor contents persist: morphing rearranges the
+  // datapath, not the memory arrays.
+}
+
+std::size_t Core::rob_index_of(std::uint64_t seq) const noexcept {
+  return (rob_head_ + static_cast<std::size_t>(seq - head_seq_)) % rob_.size();
+}
+
+bool Core::dep_ready(std::uint64_t seq, std::uint16_t dist,
+                     Cycles now) const noexcept {
+  if (dist == 0 || dist > seq) return true;   // no producer
+  const std::uint64_t pseq = seq - dist;
+  if (pseq < head_seq_) return true;          // producer already retired
+  const RobEntry& p = rob_[rob_index_of(pseq)];
+  return p.issued && p.complete_at <= now;
+}
+
+bool Core::operands_ready(const RobEntry& e, Cycles now) const noexcept {
+  return dep_ready(e.seq, e.op.dep1, now) && dep_ready(e.seq, e.op.dep2, now);
+}
+
+void Core::charge_mem(uarch::MemLevel level) noexcept {
+  power_.on_l1_access();
+  if (level != uarch::MemLevel::L1) power_.on_l2_access();
+  if (level == uarch::MemLevel::Memory) power_.on_memory_access();
+}
+
+void Core::tick(Cycles now) {
+  power_.on_cycle();
+  if (thread_ == nullptr) return;  // idle: leakage only
+
+  thread_->add_cycles(1);
+  // DVFS: a down-clocked core's pipeline only advances on its own clock
+  // edges; leakage (already voltage-scaled) accrues every global cycle.
+  if (cfg_.clock_divider > 1 && now % cfg_.clock_divider != 0) return;
+  int_regs_.tick();
+  fp_regs_.tick();
+  int_isq_slots_.tick();
+  fp_isq_slots_.tick();
+
+  commit_stage(now);
+  issue_stage(now);
+  fetch_stage(now);
+}
+
+void Core::commit_stage(Cycles now) {
+  unsigned retired = 0;
+  while (rob_count_ > 0 && retired < cfg_.commit_width) {
+    RobEntry& head = rob_[rob_head_];
+    if (!head.issued || head.complete_at > now) break;
+
+    const isa::InstrClass cls = head.op.cls;
+    thread_->committed().add(cls);
+    ++committed_ops_;
+    power_.on_commit(1);
+
+    // Release renamed destination register.
+    if (isa::is_int(cls) || cls == isa::InstrClass::Load)
+      int_regs_.release();
+    else if (isa::is_fp(cls))
+      fp_regs_.release();
+
+    if (cls == isa::InstrClass::Load) {
+      lq_slots_.release();
+    } else if (cls == isa::InstrClass::Store) {
+      // Stores update the data cache at retirement (store-buffer model);
+      // latency is off the critical path, energy is not.
+      const auto acc = caches_.data_access(head.op.mem_addr, true, now);
+      charge_mem(acc.level);
+      sq_slots_.release();
+    }
+
+    rob_head_ = (rob_head_ + 1) % rob_.size();
+    --rob_count_;
+    ++head_seq_;
+    ++retired;
+  }
+}
+
+void Core::issue_stage(Cycles now) {
+  unsigned budget = cfg_.issue_width;
+
+  // Integer queue: arithmetic via the INT pools, branches via the branch
+  // port. Oldest-first.
+  for (auto it = int_isq_.begin(); it != int_isq_.end() && budget > 0;) {
+    RobEntry& e = rob_[*it];
+    if (!operands_ready(e, now)) {
+      ++it;
+      continue;
+    }
+    Cycles done = 0;
+    if (e.op.cls == isa::InstrClass::Branch) {
+      if (branch_port_free_ <= now) {
+        branch_port_free_ = now + 1;
+        done = now + 1;
+      }
+    } else {
+      done = exec_.try_issue(e.op.cls, now);
+    }
+    if (done == 0) {
+      ++it;  // structural hazard; try younger ops (out-of-order select)
+      continue;
+    }
+    e.issued = true;
+    e.complete_at = done;
+    power_.on_issue(e.op.cls);
+    int_isq_slots_.release();
+    it = int_isq_.erase(it);
+    --budget;
+  }
+
+  // Floating-point queue.
+  for (auto it = fp_isq_.begin(); it != fp_isq_.end() && budget > 0;) {
+    RobEntry& e = rob_[*it];
+    if (!operands_ready(e, now)) {
+      ++it;
+      continue;
+    }
+    const Cycles done = exec_.try_issue(e.op.cls, now);
+    if (done == 0) {
+      ++it;
+      continue;
+    }
+    e.issued = true;
+    e.complete_at = done;
+    power_.on_issue(e.op.cls);
+    fp_isq_slots_.release();
+    it = fp_isq_.erase(it);
+    --budget;
+  }
+
+  // One load per cycle through the load port; the access starts after a
+  // 1-cycle AGU stage.
+  if (budget > 0) {
+    for (auto it = lq_.begin(); it != lq_.end(); ++it) {
+      RobEntry& e = rob_[*it];
+      if (!operands_ready(e, now)) continue;
+      const auto acc = caches_.data_access(e.op.mem_addr, false, now);
+      charge_mem(acc.level);
+      e.issued = true;
+      e.complete_at = now + 1 + acc.latency;
+      power_.on_issue(e.op.cls);
+      lq_.erase(it);
+      --budget;
+      break;
+    }
+  }
+
+  // One store per cycle: address generation only; data is written at commit.
+  if (budget > 0) {
+    for (auto it = sq_.begin(); it != sq_.end(); ++it) {
+      RobEntry& e = rob_[*it];
+      if (!operands_ready(e, now)) continue;
+      e.issued = true;
+      e.complete_at = now + 1;
+      power_.on_issue(e.op.cls);
+      sq_.erase(it);
+      break;
+    }
+  }
+}
+
+void Core::fetch_stage(Cycles now) {
+  // Resolve an outstanding mispredict redirect: the front end restarts a
+  // fixed penalty after the branch executes.
+  if (redirect_pending_) {
+    if (redirect_seq_ < head_seq_) {
+      // Branch already retired (possible this same cycle); restart now.
+      redirect_pending_ = false;
+    } else {
+      const RobEntry& b = rob_[rob_index_of(redirect_seq_)];
+      if (b.issued && b.complete_at <= now) {
+        fetch_resume_at_ =
+            std::max(fetch_resume_at_, b.complete_at + cfg_.mispredict_penalty);
+        redirect_pending_ = false;
+      } else {
+        ++stalls_.redirect;
+        return;
+      }
+    }
+  }
+  if (now < fetch_resume_at_) {
+    ++stalls_.redirect;
+    return;
+  }
+
+  for (unsigned i = 0; i < cfg_.fetch_width; ++i) {
+    if (rob_count_ == rob_.size()) {
+      ++stalls_.rob_full;
+      break;
+    }
+    const isa::MicroOp& op = thread_->peek();
+
+    // Instruction cache: one lookup per new fetch line.
+    const std::uint64_t line = op.pc >> kLineShift;
+    if (line != last_fetch_line_) {
+      const auto acc = caches_.fetch(op.pc, now);
+      charge_mem(acc.level);
+      last_fetch_line_ = line;
+      if (acc.level != uarch::MemLevel::L1) {
+        fetch_resume_at_ = now + acc.latency;
+        ++stalls_.icache;
+        break;
+      }
+    }
+
+    // Structural resources; check everything before consuming the op.
+    const isa::InstrClass cls = op.cls;
+    const bool needs_int_reg = isa::is_int(cls) || cls == isa::InstrClass::Load;
+    const bool needs_fp_reg = isa::is_fp(cls);
+    if (needs_int_reg && int_regs_.available() == 0) {
+      ++stalls_.int_reg;
+      break;
+    }
+    if (needs_fp_reg && fp_regs_.available() == 0) {
+      ++stalls_.fp_reg;
+      break;
+    }
+    if ((isa::is_int(cls) || cls == isa::InstrClass::Branch) &&
+        int_isq_slots_.available() == 0) {
+      ++stalls_.int_isq_full;
+      break;
+    }
+    if (isa::is_fp(cls) && fp_isq_slots_.available() == 0) {
+      ++stalls_.fp_isq_full;
+      break;
+    }
+    if (cls == isa::InstrClass::Load && lq_slots_.available() == 0) {
+      ++stalls_.lsq_full;
+      break;
+    }
+    if (cls == isa::InstrClass::Store && sq_slots_.available() == 0) {
+      ++stalls_.lsq_full;
+      break;
+    }
+
+    // Dispatch.
+    const std::size_t idx = (rob_head_ + rob_count_) % rob_.size();
+    rob_[idx] = RobEntry{.op = op, .seq = thread_->next_seq(),
+                         .complete_at = 0, .issued = false};
+    ++rob_count_;
+    thread_->advance_seq();
+    thread_->pop();
+
+    power_.on_fetch(1);
+    power_.on_rename(1);
+    power_.on_dispatch(1);
+    if (needs_int_reg) int_regs_.acquire();
+    if (needs_fp_reg) fp_regs_.acquire();
+
+    bool mispredicted = false;
+    switch (cls) {
+      case isa::InstrClass::Load:
+        lq_slots_.acquire();
+        power_.on_lsq_insert();
+        lq_.push_back(static_cast<std::uint32_t>(idx));
+        break;
+      case isa::InstrClass::Store:
+        sq_slots_.acquire();
+        power_.on_lsq_insert();
+        sq_.push_back(static_cast<std::uint32_t>(idx));
+        break;
+      case isa::InstrClass::Branch:
+        power_.on_bpred_lookup();
+        mispredicted = bpred_.access(rob_[idx].op.pc, rob_[idx].op.branch_taken);
+        int_isq_slots_.acquire();
+        int_isq_.push_back(static_cast<std::uint32_t>(idx));
+        break;
+      default:
+        if (isa::is_fp(cls)) {
+          fp_isq_slots_.acquire();
+          fp_isq_.push_back(static_cast<std::uint32_t>(idx));
+        } else {
+          int_isq_slots_.acquire();
+          int_isq_.push_back(static_cast<std::uint32_t>(idx));
+        }
+        break;
+    }
+
+    if (mispredicted) {
+      // No wrong-path modeling: the front end waits for the branch to
+      // execute, then pays the redirect penalty.
+      redirect_pending_ = true;
+      redirect_seq_ = rob_[idx].seq;
+      break;
+    }
+  }
+}
+
+}  // namespace amps::sim

@@ -1,0 +1,180 @@
+// Cycle-level out-of-order core model (SESC-style substitute).
+//
+// Pipeline per cycle: commit (in order, from the ROB head) -> issue
+// (oldest-first from the INT/FP issue queues and the load/store queues,
+// gated by operand readiness and functional-unit availability) -> fetch/
+// rename/dispatch (stalls on I-cache misses, branch-mispredict redirects
+// and structural hazards: ROB, rename registers, ISQ, LSQ).
+//
+// Simplifications relative to a full simulator, none of which affect the
+// asymmetry the paper studies: no wrong-path execution (the front end
+// stalls from a mispredicted branch's dispatch until it resolves), no
+// memory disambiguation (loads never conflict with older stores), and
+// stores write the cache at commit.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/types.hpp"
+#include "power/accountant.hpp"
+#include "power/energy_model.hpp"
+#include "sim/core_config.hpp"
+#include "sim/thread_context.hpp"
+#include "uarch/branch_predictor.hpp"
+#include "uarch/cache.hpp"
+#include "uarch/func_unit.hpp"
+#include "uarch/structures.hpp"
+
+namespace amps::sim {
+
+/// Cycles lost per stall reason (diagnostics; a cycle may record several).
+struct StallStats {
+  std::uint64_t rob_full = 0;
+  std::uint64_t int_reg = 0;
+  std::uint64_t fp_reg = 0;
+  std::uint64_t int_isq_full = 0;
+  std::uint64_t fp_isq_full = 0;
+  std::uint64_t lsq_full = 0;
+  std::uint64_t icache = 0;
+  std::uint64_t redirect = 0;
+};
+
+class Core {
+ public:
+  explicit Core(const CoreConfig& cfg);
+
+  /// Core whose L2 traffic goes to a shared array (must outlive the core).
+  /// Models the shared-cache organization the paper's §VI-C overhead
+  /// discussion contrasts with private caches.
+  Core(const CoreConfig& cfg, uarch::SharedL2* shared_l2);
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  /// Binds a thread to the core. The pipeline must be empty (fresh core or
+  /// after detach). Caches and predictor state persist across attachments —
+  /// that is the post-swap warm-up cost the paper's overhead discussion
+  /// includes.
+  void attach(ThreadContext* thread);
+
+  /// Flushes the pipeline, returns squashed uncommitted ops to the thread
+  /// for replay, settles the thread's energy account, and unbinds it.
+  /// Returns the detached thread (nullptr when idle).
+  ThreadContext* detach();
+
+  [[nodiscard]] ThreadContext* thread() const noexcept { return thread_; }
+
+  /// Advances one clock cycle at global time `now` (monotonic). An idle
+  /// core only burns leakage.
+  void tick(Cycles now);
+
+  /// Core morphing (paper ref. [5]): rebuilds the execution datapath and
+  /// window structures to `cfg` while keeping caches, predictor state and
+  /// the accumulated energy ledger. Only legal while no thread is attached
+  /// (the pipeline must be empty); throws std::logic_error otherwise.
+  void reconfigure(const CoreConfig& cfg);
+
+  // --- introspection ------------------------------------------------------
+  [[nodiscard]] const CoreConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const power::PowerAccountant& power() const noexcept {
+    return power_;
+  }
+  [[nodiscard]] Energy energy() const noexcept { return power_.total(); }
+  /// Energy burned since the current thread was attached.
+  [[nodiscard]] Energy energy_since_attach() const noexcept {
+    return power_.total() - attach_energy_;
+  }
+  /// L2 misses since the current thread was attached (all attributable to
+  /// it: the core runs one thread at a time, and with a shared L2 only
+  /// this core's own demand misses are counted).
+  [[nodiscard]] std::uint64_t l2_misses_since_attach() const noexcept {
+    return caches_.l2_demand_misses() - attach_l2_misses_;
+  }
+  [[nodiscard]] const uarch::CacheHierarchy& caches() const noexcept {
+    return caches_;
+  }
+  [[nodiscard]] const uarch::BranchPredictor& bpred() const noexcept {
+    return bpred_;
+  }
+  [[nodiscard]] const uarch::ExecUnits& exec_units() const noexcept {
+    return exec_;
+  }
+  [[nodiscard]] const StallStats& stalls() const noexcept { return stalls_; }
+  [[nodiscard]] std::uint64_t committed_ops() const noexcept {
+    return committed_ops_;
+  }
+  /// Number of ops currently in flight (ROB occupancy).
+  [[nodiscard]] std::size_t in_flight() const noexcept { return rob_count_; }
+
+  [[nodiscard]] const uarch::ResourcePool& int_regs() const noexcept {
+    return int_regs_;
+  }
+  [[nodiscard]] const uarch::ResourcePool& fp_regs() const noexcept {
+    return fp_regs_;
+  }
+
+ private:
+  /// Delegated constructor taking a config whose latencies are already
+  /// stretched to the global clock.
+  Core(const CoreConfig& cfg, bool already_stretched,
+       uarch::SharedL2* shared_l2);
+
+  struct RobEntry {
+    isa::MicroOp op;
+    std::uint64_t seq = 0;       // thread-relative dynamic sequence number
+    Cycles complete_at = 0;      // valid when issued
+    bool issued = false;
+  };
+
+  void commit_stage(Cycles now);
+  void issue_stage(Cycles now);
+  void fetch_stage(Cycles now);
+
+  [[nodiscard]] bool dep_ready(std::uint64_t seq, std::uint16_t dist,
+                               Cycles now) const noexcept;
+  [[nodiscard]] bool operands_ready(const RobEntry& e, Cycles now) const noexcept;
+  [[nodiscard]] std::size_t rob_index_of(std::uint64_t seq) const noexcept;
+  void charge_mem(uarch::MemLevel level) noexcept;
+
+  CoreConfig cfg_;
+  uarch::CacheHierarchy caches_;
+  uarch::BranchPredictor bpred_;
+  uarch::ExecUnits exec_;
+  power::EnergyModel energy_model_;
+  power::PowerAccountant power_;
+
+  uarch::ResourcePool int_regs_;
+  uarch::ResourcePool fp_regs_;
+  uarch::ResourcePool int_isq_slots_;
+  uarch::ResourcePool fp_isq_slots_;
+  uarch::ResourcePool lq_slots_;
+  uarch::ResourcePool sq_slots_;
+
+  std::vector<RobEntry> rob_;  // ring buffer, capacity = cfg.rob_entries
+  std::size_t rob_head_ = 0;
+  std::size_t rob_count_ = 0;
+  std::uint64_t head_seq_ = 0;  // seq of the entry at rob_head_ (if any)
+
+  // Indices (into the ROB ring) of dispatched-but-unissued ops.
+  std::vector<std::uint32_t> int_isq_;
+  std::vector<std::uint32_t> fp_isq_;
+  std::vector<std::uint32_t> lq_;
+  std::vector<std::uint32_t> sq_;
+
+  Cycles branch_port_free_ = 0;  // single branch-resolution port
+
+  // Front-end state.
+  std::uint64_t last_fetch_line_ = ~0ULL;
+  Cycles fetch_resume_at_ = 0;
+  bool redirect_pending_ = false;
+  std::uint64_t redirect_seq_ = 0;
+
+  ThreadContext* thread_ = nullptr;
+  Energy attach_energy_ = 0.0;
+  std::uint64_t attach_l2_misses_ = 0;
+  std::uint64_t committed_ops_ = 0;
+  StallStats stalls_;
+};
+
+}  // namespace amps::sim

@@ -1,0 +1,166 @@
+#include "sim/core_config.hpp"
+
+namespace amps::sim {
+
+power::StructureSizes CoreConfig::structure_sizes() const noexcept {
+  power::StructureSizes s;
+  s.rob = rob_entries;
+  s.int_regs = int_rename_regs;
+  s.fp_regs = fp_rename_regs;
+  s.int_isq = int_isq_entries;
+  s.fp_isq = fp_isq_entries;
+  s.lsq = lq_entries + sq_entries;
+  s.il1_bytes = il1.size_bytes;
+  s.dl1_bytes = dl1.size_bytes;
+  s.l2_bytes = l2.size_bytes;
+  s.exec = exec;
+  return s;
+}
+
+bool CoreConfig::validate(std::string* why) const {
+  auto fail = [&](const char* reason) {
+    if (why != nullptr) *why = name + ": " + reason;
+    return false;
+  };
+  if (fetch_width == 0 || commit_width == 0 || issue_width == 0)
+    return fail("widths must be > 0");
+  if (rob_entries == 0) return fail("rob_entries must be > 0");
+  if (int_rename_regs == 0 || fp_rename_regs == 0)
+    return fail("rename registers must be > 0");
+  if (int_isq_entries == 0 || fp_isq_entries == 0)
+    return fail("issue queues must be > 0");
+  if (lq_entries == 0 || sq_entries == 0) return fail("LSQ must be > 0");
+  if (clock_divider == 0) return fail("clock_divider must be >= 1");
+  if (!il1.valid() || !dl1.valid() || !l2.valid())
+    return fail("invalid cache geometry");
+  return true;
+}
+
+CoreConfig int_core_config() {
+  CoreConfig c;
+  c.name = "INT-core";
+  c.kind = CoreKind::Int;
+  // Strong integer window (Table I: INT core has the larger INTREG/INTISQ).
+  c.int_rename_regs = 96;
+  c.fp_rename_regs = 48;
+  c.int_isq_entries = 32;
+  c.fp_isq_entries = 16;
+  // Table II, INT row: pipelined integer datapath, two 1-cycle ALUs;
+  // weak non-pipelined FP units.
+  c.exec.int_alu = {.units = 2, .latency = 1, .pipelined = true};
+  c.exec.int_mul = {.units = 1, .latency = 3, .pipelined = true};
+  c.exec.int_div = {.units = 1, .latency = 12, .pipelined = true};
+  c.exec.fp_alu = {.units = 1, .latency = 8, .pipelined = false};
+  c.exec.fp_mul = {.units = 1, .latency = 10, .pipelined = false};
+  c.exec.fp_div = {.units = 1, .latency = 30, .pipelined = false};
+  return c;
+}
+
+CoreConfig fp_core_config() {
+  CoreConfig c;
+  c.name = "FP-core";
+  c.kind = CoreKind::Fp;
+  // Strong FP window.
+  c.int_rename_regs = 48;
+  c.fp_rename_regs = 96;
+  c.int_isq_entries = 16;
+  c.fp_isq_entries = 32;
+  // Table II, FP row: pipelined FP datapath (two 4-cycle FP ALUs); weak
+  // non-pipelined integer units (single 2-cycle ALU).
+  c.exec.fp_alu = {.units = 2, .latency = 4, .pipelined = true};
+  c.exec.fp_mul = {.units = 1, .latency = 4, .pipelined = true};
+  c.exec.fp_div = {.units = 1, .latency = 12, .pipelined = true};
+  c.exec.int_alu = {.units = 1, .latency = 2, .pipelined = false};
+  c.exec.int_mul = {.units = 1, .latency = 5, .pipelined = false};
+  c.exec.int_div = {.units = 1, .latency = 20, .pipelined = false};
+  return c;
+}
+
+CoreConfig morphed_strong_core_config() {
+  // INT core chassis + the FP core's strong floating-point datapath.
+  CoreConfig c = int_core_config();
+  c.name = "MORPH-strong";
+  c.fp_rename_regs = 96;
+  c.fp_isq_entries = 32;
+  c.exec.fp_alu = {.units = 2, .latency = 4, .pipelined = true};
+  c.exec.fp_mul = {.units = 1, .latency = 4, .pipelined = true};
+  c.exec.fp_div = {.units = 1, .latency = 12, .pipelined = true};
+  c.energy_params.leak_base *= 1.25;  // morphing mux/crossbar overhead
+  return c;
+}
+
+CoreConfig morphed_weak_core_config() {
+  // FP core chassis stripped of its strong FP datapath: weak on all fronts.
+  CoreConfig c = fp_core_config();
+  c.name = "MORPH-weak";
+  c.fp_rename_regs = 48;
+  c.fp_isq_entries = 16;
+  c.exec.fp_alu = {.units = 1, .latency = 8, .pipelined = false};
+  c.exec.fp_mul = {.units = 1, .latency = 10, .pipelined = false};
+  c.exec.fp_div = {.units = 1, .latency = 30, .pipelined = false};
+  c.energy_params.leak_base *= 1.25;
+  return c;
+}
+
+CoreConfig big_core_config() {
+  CoreConfig c = symmetric_core_config();
+  c.name = "BIG-core";
+  return c;
+}
+
+CoreConfig little_core_config() {
+  CoreConfig c;
+  c.name = "LITTLE-core";
+  c.kind = CoreKind::Int;  // flavor tag unused for size asymmetry
+  c.fetch_width = 2;
+  c.commit_width = 2;
+  c.issue_width = 2;
+  c.rob_entries = 32;
+  c.int_rename_regs = 32;
+  c.fp_rename_regs = 32;
+  c.int_isq_entries = 8;
+  c.fp_isq_entries = 8;
+  c.lq_entries = 8;
+  c.sq_entries = 8;
+  c.bpred.table_entries = 1024;
+  c.bpred.history_bits = 8;
+  c.exec.int_alu = {.units = 1, .latency = 1, .pipelined = true};
+  c.exec.int_mul = {.units = 1, .latency = 4, .pipelined = false};
+  c.exec.int_div = {.units = 1, .latency = 16, .pipelined = false};
+  c.exec.fp_alu = {.units = 1, .latency = 5, .pipelined = true};
+  c.exec.fp_mul = {.units = 1, .latency = 6, .pipelined = false};
+  c.exec.fp_div = {.units = 1, .latency = 16, .pipelined = false};
+  return c;
+}
+
+CoreConfig fast_core_config() {
+  CoreConfig c = symmetric_core_config();
+  c.name = "FAST-core";
+  return c;
+}
+
+CoreConfig slow_core_config() {
+  CoreConfig c = symmetric_core_config();
+  c.name = "SLOW-core";
+  c.clock_divider = 2;  // half frequency, ~quarter dynamic energy per op
+  return c;
+}
+
+CoreConfig symmetric_core_config() {
+  CoreConfig c;
+  c.name = "SYM-core";
+  c.kind = CoreKind::Int;  // flavor tag is meaningless for the symmetric core
+  c.int_rename_regs = 96;
+  c.fp_rename_regs = 96;
+  c.int_isq_entries = 32;
+  c.fp_isq_entries = 32;
+  c.exec.int_alu = {.units = 2, .latency = 1, .pipelined = true};
+  c.exec.int_mul = {.units = 1, .latency = 3, .pipelined = true};
+  c.exec.int_div = {.units = 1, .latency = 12, .pipelined = true};
+  c.exec.fp_alu = {.units = 2, .latency = 4, .pipelined = true};
+  c.exec.fp_mul = {.units = 1, .latency = 4, .pipelined = true};
+  c.exec.fp_div = {.units = 1, .latency = 12, .pipelined = true};
+  return c;
+}
+
+}  // namespace amps::sim

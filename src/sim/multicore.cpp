@@ -1,0 +1,84 @@
+#include "sim/multicore.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace amps::sim {
+
+MulticoreSystem::MulticoreSystem(std::vector<CoreConfig> configs,
+                                 Cycles swap_overhead)
+    : swap_overhead_(swap_overhead) {
+  if (configs.size() < 2)
+    throw std::invalid_argument("MulticoreSystem: need at least 2 cores");
+  slots_.reserve(configs.size());
+  for (auto& cfg : configs) {
+    Slot slot;
+    slot.core = std::make_unique<Core>(cfg);
+    slots_.push_back(std::move(slot));
+  }
+}
+
+void MulticoreSystem::attach_threads(
+    const std::vector<ThreadContext*>& threads) {
+  if (threads.size() != slots_.size())
+    throw std::invalid_argument("MulticoreSystem: thread/core count mismatch");
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    assert(threads[i] != nullptr);
+    slots_[i].thread = threads[i];
+    slots_[i].core->attach(threads[i]);
+  }
+}
+
+void MulticoreSystem::swap_threads(std::size_t a, std::size_t b) {
+  if (a == b || a >= slots_.size() || b >= slots_.size()) return;
+  if (slots_[a].migrating || slots_[b].migrating) return;
+
+  slots_[a].core->detach();
+  slots_[b].core->detach();
+  std::swap(slots_[a].thread, slots_[b].thread);
+  slots_[a].thread->count_swap();
+  slots_[b].thread->count_swap();
+  slots_[a].migrating = true;
+  slots_[b].migrating = true;
+  ++swaps_;
+  pending_.push_back({.a = a, .b = b, .resume_at = now_ + swap_overhead_,
+                      .idle_energy_start = slots_[a].core->energy() +
+                                           slots_[b].core->energy()});
+}
+
+void MulticoreSystem::step() {
+  // Complete due migrations before ticking.
+  for (std::size_t p = 0; p < pending_.size();) {
+    PendingSwap& ps = pending_[p];
+    if (now_ >= ps.resume_at) {
+      const Energy idle = slots_[ps.a].core->energy() +
+                          slots_[ps.b].core->energy() - ps.idle_energy_start;
+      slots_[ps.a].thread->add_energy(idle * 0.5);
+      slots_[ps.b].thread->add_energy(idle * 0.5);
+      slots_[ps.a].core->attach(slots_[ps.a].thread);
+      slots_[ps.b].core->attach(slots_[ps.b].thread);
+      slots_[ps.a].migrating = false;
+      slots_[ps.b].migrating = false;
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(p));
+    } else {
+      ++p;
+    }
+  }
+  for (Slot& slot : slots_) slot.core->tick(now_);
+  ++now_;
+}
+
+Energy MulticoreSystem::live_energy(const ThreadContext& t) const {
+  Energy e = t.energy();
+  for (const Slot& slot : slots_)
+    if (slot.core->thread() == &t) e += slot.core->energy_since_attach();
+  return e;
+}
+
+Energy MulticoreSystem::total_energy() const noexcept {
+  Energy acc = 0.0;
+  for (const Slot& slot : slots_) acc += slot.core->energy();
+  return acc;
+}
+
+}  // namespace amps::sim

@@ -1,0 +1,11 @@
+#include "sim/scale.hpp"
+
+#include "common/env.hpp"
+
+namespace amps::sim {
+
+SimScale SimScale::from_env() noexcept {
+  return env_paper_scale() ? paper() : ci();
+}
+
+}  // namespace amps::sim

@@ -1,0 +1,55 @@
+#include "sim/solo.hpp"
+
+#include "sim/core.hpp"
+#include "sim/thread_context.hpp"
+
+namespace amps::sim {
+
+SoloResult run_solo(const CoreConfig& cfg, const wl::BenchmarkSpec& spec,
+                    InstrCount run_length, Cycles sample_interval,
+                    std::uint64_t instance_seed) {
+  Core core(cfg);
+  ThreadContext thread(/*id=*/0, spec, instance_seed);
+  core.attach(&thread);
+
+  SoloResult result;
+  const Cycles max_cycles = run_length * 40;
+  Cycles now = 0;
+  Cycles next_sample = sample_interval;
+  isa::InstrCounts last_counts;
+  Energy last_energy = 0.0;
+  Cycles last_cycles = 0;
+
+  while (thread.committed_total() < run_length && now < max_cycles) {
+    core.tick(now);
+    ++now;
+    if (sample_interval != 0 && now >= next_sample) {
+      const isa::InstrCounts delta = thread.committed().since(last_counts);
+      const Energy e = core.energy_since_attach();
+      const Energy de = e - last_energy;
+      const Cycles dc = now - last_cycles;
+      SoloSample s;
+      s.int_pct = delta.int_pct();
+      s.fp_pct = delta.fp_pct();
+      s.committed = delta.total();
+      s.ipc = dc ? static_cast<double>(delta.total()) / static_cast<double>(dc)
+                 : 0.0;
+      s.ipc_per_watt =
+          de > 0.0 ? static_cast<double>(delta.total()) / de : 0.0;
+      result.samples.push_back(s);
+      last_counts = thread.committed();
+      last_energy = e;
+      last_cycles = now;
+      next_sample += sample_interval;
+    }
+  }
+
+  core.detach();
+  result.committed = thread.committed_total();
+  result.cycles = thread.cycles();
+  result.energy = thread.energy();
+  result.l2_misses = thread.l2_misses();
+  return result;
+}
+
+}  // namespace amps::sim

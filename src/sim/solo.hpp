@@ -1,0 +1,54 @@
+// Solo runs: one benchmark alone on one core. Used by the offline
+// profiling passes (HPE matrix/regression, paper §V; swap-rule derivation,
+// §VI-A) and by the Fig. 1 core-affinity experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/core_config.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::sim {
+
+/// One fixed-cycle-interval sample of a solo run.
+struct SoloSample {
+  double int_pct = 0.0;  ///< %INT of instructions committed in the interval
+  double fp_pct = 0.0;   ///< %FP committed in the interval
+  double ipc = 0.0;
+  double ipc_per_watt = 0.0;
+  InstrCount committed = 0;  ///< instructions committed in the interval
+};
+
+/// Aggregate outcome of a solo run.
+struct SoloResult {
+  std::vector<SoloSample> samples;
+  InstrCount committed = 0;
+  Cycles cycles = 0;
+  Energy energy = 0.0;
+  std::uint64_t l2_misses = 0;
+
+  /// L2 misses per kilo-instruction over the whole run.
+  [[nodiscard]] double l2_mpki() const noexcept {
+    return committed ? 1000.0 * static_cast<double>(l2_misses) /
+                           static_cast<double>(committed)
+                     : 0.0;
+  }
+
+  [[nodiscard]] double ipc() const noexcept {
+    return cycles ? static_cast<double>(committed) / static_cast<double>(cycles)
+                  : 0.0;
+  }
+  [[nodiscard]] double ipc_per_watt() const noexcept {
+    return energy > 0.0 ? static_cast<double>(committed) / energy : 0.0;
+  }
+};
+
+/// Runs `spec` alone on a core built from `cfg` until `run_length`
+/// instructions commit (bounded at 40x that in cycles), sampling every
+/// `sample_interval` cycles (0 = no samples).
+SoloResult run_solo(const CoreConfig& cfg, const wl::BenchmarkSpec& spec,
+                    InstrCount run_length, Cycles sample_interval = 0,
+                    std::uint64_t instance_seed = 0);
+
+}  // namespace amps::sim

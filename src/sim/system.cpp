@@ -1,0 +1,108 @@
+#include "sim/system.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace amps::sim {
+
+DualCoreSystem::DualCoreSystem(const CoreConfig& a, const CoreConfig& b,
+                               Cycles swap_overhead,
+                               std::optional<uarch::CacheConfig> shared_l2)
+    : swap_overhead_(swap_overhead) {
+  if (shared_l2.has_value())
+    shared_l2_ = std::make_unique<uarch::SharedL2>(*shared_l2);
+  cores_[0] = std::make_unique<Core>(a, shared_l2_.get());
+  cores_[1] = std::make_unique<Core>(b, shared_l2_.get());
+}
+
+void DualCoreSystem::attach_threads(ThreadContext* t0, ThreadContext* t1) {
+  assert(t0 != nullptr && t1 != nullptr);
+  threads_[0] = t0;
+  threads_[1] = t1;
+  cores_[0]->attach(t0);
+  cores_[1]->attach(t1);
+}
+
+void DualCoreSystem::swap_threads() {
+  if (swap_pending_) return;  // already migrating
+  assert(threads_[0] != nullptr && threads_[1] != nullptr);
+  cores_[0]->detach();
+  cores_[1]->detach();
+  std::swap(threads_[0], threads_[1]);
+  threads_[0]->count_swap();
+  threads_[1]->count_swap();
+  ++swaps_;
+  swap_pending_ = true;
+  swap_resume_at_ = now_ + swap_overhead_;
+  swap_idle_energy_start_ = total_energy();
+}
+
+void DualCoreSystem::morph_cores(const CoreConfig& cfg0,
+                                 const CoreConfig& cfg1, Cycles overhead,
+                                 bool also_swap_threads) {
+  if (swap_pending_) return;  // a reconfiguration is already in flight
+  assert(threads_[0] != nullptr && threads_[1] != nullptr);
+  cores_[0]->detach();
+  cores_[1]->detach();
+  cores_[0]->reconfigure(cfg0);
+  cores_[1]->reconfigure(cfg1);
+  if (also_swap_threads) {
+    std::swap(threads_[0], threads_[1]);
+    threads_[0]->count_swap();
+    threads_[1]->count_swap();
+    ++swaps_;
+  }
+  ++morphs_;
+  swap_pending_ = true;
+  swap_resume_at_ = now_ + overhead;
+  swap_idle_energy_start_ = total_energy();
+}
+
+void DualCoreSystem::step() {
+  if (swap_pending_ && now_ >= swap_resume_at_) {
+    // Charge the idle (migration) energy to the threads, half each, so
+    // system IPC/Watt accounts for the overhead the paper studies (§VI-C).
+    const Energy idle = total_energy() - swap_idle_energy_start_;
+    threads_[0]->add_energy(idle * 0.5);
+    threads_[1]->add_energy(idle * 0.5);
+    cores_[0]->attach(threads_[0]);
+    cores_[1]->attach(threads_[1]);
+    swap_pending_ = false;
+  }
+  cores_[0]->tick(now_);
+  cores_[1]->tick(now_);
+  ++now_;
+}
+
+Cycles DualCoreSystem::run_until_committed(InstrCount target,
+                                           Cycles max_cycles) {
+  const Cycles start = now_;
+  while (threads_[0]->committed_total() < target ||
+         threads_[1]->committed_total() < target) {
+    if (max_cycles != 0 && now_ - start >= max_cycles) break;
+    step();
+  }
+  return now_ - start;
+}
+
+std::size_t DualCoreSystem::core_of(ThreadId tid) const {
+  if (threads_[0] != nullptr && threads_[0]->id() == tid) return 0;
+  if (threads_[1] != nullptr && threads_[1]->id() == tid) return 1;
+  throw std::out_of_range("core_of: unknown thread id");
+}
+
+Energy DualCoreSystem::live_energy(const ThreadContext& t) const {
+  Energy e = t.energy();
+  for (std::size_t i = 0; i < 2; ++i)
+    if (cores_[i]->thread() == &t) e += cores_[i]->energy_since_attach();
+  return e;
+}
+
+std::uint64_t DualCoreSystem::live_l2_misses(const ThreadContext& t) const {
+  std::uint64_t m = t.l2_misses();
+  for (std::size_t i = 0; i < 2; ++i)
+    if (cores_[i]->thread() == &t) m += cores_[i]->l2_misses_since_attach();
+  return m;
+}
+
+}  // namespace amps::sim

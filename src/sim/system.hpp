@@ -1,0 +1,106 @@
+// DualCoreSystem: the paper's heterogeneous dual-core running two thread
+// contexts, with the thread-swap machinery (pipeline flush, architectural
+// state exchange over `swap_overhead` cycles, cold caches afterwards).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/types.hpp"
+#include "sim/core.hpp"
+#include "sim/core_config.hpp"
+#include "sim/thread_context.hpp"
+#include "uarch/cache.hpp"
+
+namespace amps::sim {
+
+class DualCoreSystem {
+ public:
+  /// Core 0 takes `a`, core 1 takes `b`. The canonical AMP uses
+  /// int_core_config() and fp_core_config().
+  /// `shared_l2`: when set, both cores share one L2 of this geometry (with
+  /// port contention) instead of their private arrays — the shared-cache
+  /// organization the paper's §VI-C overhead discussion contrasts against:
+  /// after a swap the L2 stays warm and migration is cheaper.
+  DualCoreSystem(const CoreConfig& a, const CoreConfig& b,
+                 Cycles swap_overhead = 100,
+                 std::optional<uarch::CacheConfig> shared_l2 = std::nullopt);
+
+  /// The shared L2, when configured.
+  [[nodiscard]] const uarch::SharedL2* shared_l2() const noexcept {
+    return shared_l2_.get();
+  }
+
+  /// Binds the two threads (t0 to core 0, t1 to core 1). Must be called
+  /// once before stepping.
+  void attach_threads(ThreadContext* t0, ThreadContext* t1);
+
+  /// Requests a thread swap. Both pipelines flush immediately; the cores
+  /// sit idle (leaking) for `swap_overhead` cycles while architectural
+  /// state migrates, then resume with exchanged threads.
+  void swap_threads();
+
+  /// Core morphing (paper ref. [5]): flushes both pipelines, rebuilds the
+  /// cores to the given configurations (cache geometry must be unchanged),
+  /// optionally exchanges the two threads in the same step, and idles for
+  /// `overhead` cycles before resuming. No-op request while a previous
+  /// reconfiguration is still in flight.
+  void morph_cores(const CoreConfig& cfg0, const CoreConfig& cfg1,
+                   Cycles overhead, bool also_swap_threads = false);
+
+  /// Number of morph reconfigurations performed.
+  [[nodiscard]] std::uint64_t morph_count() const noexcept { return morphs_; }
+
+  /// Advances the whole system one clock cycle.
+  void step();
+
+  /// Steps until both threads have committed at least `target` instructions
+  /// or `max_cycles` elapsed (0 = no cycle bound). Returns cycles stepped.
+  Cycles run_until_committed(InstrCount target, Cycles max_cycles = 0);
+
+  [[nodiscard]] Cycles now() const noexcept { return now_; }
+  [[nodiscard]] bool swap_in_progress() const noexcept { return swap_pending_; }
+  [[nodiscard]] std::uint64_t swap_count() const noexcept { return swaps_; }
+  [[nodiscard]] Cycles swap_overhead() const noexcept { return swap_overhead_; }
+
+  [[nodiscard]] Core& core(std::size_t i) { return *cores_[i]; }
+  [[nodiscard]] const Core& core(std::size_t i) const { return *cores_[i]; }
+
+  /// The thread currently assigned to core `i` (also valid mid-swap, when
+  /// it reports the post-swap assignment).
+  [[nodiscard]] ThreadContext* thread_on(std::size_t i) const noexcept {
+    return threads_[i];
+  }
+
+  /// Core index the thread with `tid` is (or will be) assigned to.
+  [[nodiscard]] std::size_t core_of(ThreadId tid) const;
+
+  /// Live cumulative energy of a thread, including the not-yet-settled
+  /// share accrued since it was attached to its current core.
+  [[nodiscard]] Energy live_energy(const ThreadContext& t) const;
+
+  /// Live cumulative L2 misses attributed to a thread (settled + current
+  /// attachment).
+  [[nodiscard]] std::uint64_t live_l2_misses(const ThreadContext& t) const;
+
+  /// Total energy burned by both cores since construction.
+  [[nodiscard]] Energy total_energy() const noexcept {
+    return cores_[0]->energy() + cores_[1]->energy();
+  }
+
+ private:
+  std::unique_ptr<uarch::SharedL2> shared_l2_;  // must precede cores_
+  std::array<std::unique_ptr<Core>, 2> cores_;
+  std::array<ThreadContext*, 2> threads_{};  // logical assignment
+  Cycles now_ = 0;
+  Cycles swap_overhead_;
+  bool swap_pending_ = false;
+  Cycles swap_resume_at_ = 0;
+  Energy swap_idle_energy_start_ = 0.0;
+  std::uint64_t swaps_ = 0;
+  std::uint64_t morphs_ = 0;
+};
+
+}  // namespace amps::sim

@@ -1,0 +1,27 @@
+#include "sim/thread_context.hpp"
+
+namespace amps::sim {
+
+ThreadContext::ThreadContext(ThreadId id, const wl::BenchmarkSpec& spec,
+                             std::uint64_t instance_seed)
+    : id_(id),
+      source_(std::make_unique<wl::StreamSource>(spec, instance_seed)) {}
+
+ThreadContext::ThreadContext(ThreadId id, std::unique_ptr<wl::OpSource> source)
+    : id_(id), source_(std::move(source)) {}
+
+const isa::MicroOp& ThreadContext::peek() {
+  if (lookahead_.empty()) lookahead_.push_back(source_->next());
+  return lookahead_.front();
+}
+
+void ThreadContext::pop() { lookahead_.pop_front(); }
+
+void ThreadContext::unfetch(std::deque<isa::MicroOp>&& squashed) {
+  // Squashed ops precede anything still in the lookahead.
+  rewind_seq(squashed.size());
+  for (auto it = squashed.rbegin(); it != squashed.rend(); ++it)
+    lookahead_.push_front(*it);
+}
+
+}  // namespace amps::sim

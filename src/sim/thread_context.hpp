@@ -1,0 +1,103 @@
+// ThreadContext: everything that migrates with a thread when it swaps
+// between cores — the instruction stream (architectural state proxy), the
+// replay buffer of squashed-but-uncommitted ops, and cumulative committed /
+// cycle / energy statistics used by the schedulers.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "isa/mix.hpp"
+#include "workload/source.hpp"
+
+namespace amps::sim {
+
+class ThreadContext {
+ public:
+  /// Statistical-model thread (the default): draws from an
+  /// InstructionStream built over `spec`.
+  ThreadContext(ThreadId id, const wl::BenchmarkSpec& spec,
+                std::uint64_t instance_seed = 0);
+
+  /// Thread drawing from an arbitrary micro-op source (e.g., a recorded
+  /// trace via wl::TraceSource).
+  ThreadContext(ThreadId id, std::unique_ptr<wl::OpSource> source);
+
+  [[nodiscard]] ThreadId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept {
+    return source_->name();
+  }
+  [[nodiscard]] const wl::OpSource& source() const noexcept {
+    return *source_;
+  }
+
+  /// Next micro-op without consuming it (fills the lookahead from the
+  /// stream on demand).
+  const isa::MicroOp& peek();
+  /// Consumes the op returned by the last peek().
+  void pop();
+
+  /// Returns squashed, uncommitted ops (oldest first) for re-execution
+  /// after a pipeline flush. They are replayed before any new stream ops.
+  void unfetch(std::deque<isa::MicroOp>&& squashed);
+
+  /// Per-thread dynamic sequence number of the next op to fetch. Producer
+  /// dependencies are expressed as distances from this numbering.
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+  void advance_seq() noexcept { ++next_seq_; }
+  void rewind_seq(std::uint64_t n) noexcept { next_seq_ -= n; }
+
+  // --- cumulative statistics (updated by the core while attached) -------
+  isa::InstrCounts& committed() noexcept { return committed_; }
+  [[nodiscard]] const isa::InstrCounts& committed() const noexcept {
+    return committed_;
+  }
+  [[nodiscard]] InstrCount committed_total() const noexcept {
+    return committed_.total();
+  }
+
+  void add_cycles(Cycles n) noexcept { cycles_ += n; }
+  [[nodiscard]] Cycles cycles() const noexcept { return cycles_; }
+
+  void add_energy(Energy e) noexcept { energy_ += e; }
+  [[nodiscard]] Energy energy() const noexcept { return energy_; }
+
+  /// Number of times this thread has been migrated between cores.
+  void count_swap() noexcept { ++swaps_; }
+  [[nodiscard]] std::uint64_t swaps() const noexcept { return swaps_; }
+
+  /// Last-level-cache misses attributed to this thread (settled at detach,
+  /// like energy). Used by the extended swap rules (paper §VII future
+  /// work: add LLC-miss information to the swapping conditions).
+  void add_l2_misses(std::uint64_t n) noexcept { l2_misses_ += n; }
+  [[nodiscard]] std::uint64_t l2_misses() const noexcept { return l2_misses_; }
+
+  /// IPC over the thread's whole life (0 when no cycles ran).
+  [[nodiscard]] double ipc() const noexcept {
+    return cycles_ ? static_cast<double>(committed_total()) /
+                         static_cast<double>(cycles_)
+                   : 0.0;
+  }
+  /// Lifetime IPC/Watt. Power is energy/cycles, so IPC/Watt reduces to
+  /// instructions per unit energy: (I/C) / (E/C) = I/E.
+  [[nodiscard]] double ipc_per_watt() const noexcept {
+    return energy_ > 0.0 ? static_cast<double>(committed_total()) / energy_
+                         : 0.0;
+  }
+
+ private:
+  ThreadId id_;
+  std::unique_ptr<wl::OpSource> source_;
+  std::deque<isa::MicroOp> lookahead_;
+  std::uint64_t next_seq_ = 0;
+
+  isa::InstrCounts committed_;
+  Cycles cycles_ = 0;
+  Energy energy_ = 0.0;
+  std::uint64_t swaps_ = 0;
+  std::uint64_t l2_misses_ = 0;
+};
+
+}  // namespace amps::sim

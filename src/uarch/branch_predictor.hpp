@@ -1,0 +1,58 @@
+// Gshare branch predictor with 2-bit saturating counters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace amps::uarch {
+
+struct BranchPredictorConfig {
+  std::uint32_t table_entries = 4096;  ///< power of two
+  std::uint32_t history_bits = 12;
+};
+
+/// Classic gshare: PC xor global-history indexes a table of 2-bit
+/// saturating counters. Deterministic and cheap; the workload models'
+/// `branch_noise` knob sets the floor misprediction rate.
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const BranchPredictorConfig& cfg = {});
+
+  /// Predicted direction for a branch at `pc`.
+  [[nodiscard]] bool predict(std::uint64_t pc) const noexcept;
+
+  /// Trains with the architectural outcome and advances global history.
+  void update(std::uint64_t pc, bool taken) noexcept;
+
+  /// Clears table and history (used when a different thread's context is
+  /// swapped in with `SwapCosts.flush_predictor`).
+  void reset() noexcept;
+
+  [[nodiscard]] std::uint64_t lookups() const noexcept { return lookups_; }
+  [[nodiscard]] std::uint64_t mispredictions() const noexcept {
+    return mispredicts_;
+  }
+  [[nodiscard]] double misprediction_rate() const noexcept {
+    return lookups_ ? static_cast<double>(mispredicts_) /
+                          static_cast<double>(lookups_)
+                    : 0.0;
+  }
+
+  /// Predicts, records stats against the architectural outcome, trains,
+  /// and returns true when the prediction was wrong.
+  bool access(std::uint64_t pc, bool taken) noexcept;
+
+ private:
+  [[nodiscard]] std::size_t index(std::uint64_t pc) const noexcept;
+
+  std::uint32_t mask_;
+  std::uint32_t history_mask_;
+  std::uint32_t history_ = 0;
+  std::vector<std::uint8_t> table_;  // 2-bit counters, init weakly-taken
+  std::uint64_t lookups_ = 0;
+  std::uint64_t mispredicts_ = 0;
+};
+
+}  // namespace amps::uarch

@@ -1,0 +1,168 @@
+#include "uarch/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace amps::uarch {
+
+bool CacheConfig::valid() const noexcept {
+  if (size_bytes == 0 || line_bytes == 0 || associativity == 0) return false;
+  if (!std::has_single_bit(size_bytes) || !std::has_single_bit(line_bytes))
+    return false;
+  if (size_bytes % (static_cast<std::uint64_t>(line_bytes) * associativity) != 0)
+    return false;
+  return std::has_single_bit(num_sets());
+}
+
+Cache::Cache(const CacheConfig& cfg, std::string name)
+    : cfg_(cfg), name_(std::move(name)) {
+  if (!cfg.valid()) throw std::invalid_argument("Cache: invalid config " + name_);
+  lines_.resize(cfg.num_lines());
+  set_shift_ = static_cast<std::uint64_t>(std::countr_zero(
+      static_cast<std::uint64_t>(cfg.line_bytes)));
+  set_mask_ = cfg.num_sets() - 1;
+}
+
+Cache::AccessResult Cache::access(std::uint64_t addr, bool is_write) noexcept {
+  const std::uint64_t line_addr = addr >> set_shift_;
+  const std::uint64_t set = line_addr & set_mask_;
+  const std::uint64_t tag = line_addr >> std::countr_zero(set_mask_ + 1);
+  Line* base = lines_.data() + set * cfg_.associativity;
+
+  ++lru_clock_;
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = lru_clock_;
+      line.dirty = line.dirty || is_write;
+      ++stats_.hits;
+      return {.hit = true, .writeback = false};
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+
+  ++stats_.misses;
+  const bool wb = victim->valid && victim->dirty;
+  std::uint64_t victim_addr = 0;
+  if (wb) {
+    ++stats_.writebacks;
+    const auto set_bits = static_cast<std::uint64_t>(std::countr_zero(set_mask_ + 1));
+    victim_addr = ((victim->tag << set_bits) | set) << set_shift_;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = lru_clock_;
+  victim->dirty = is_write;
+  return {.hit = false, .writeback = wb, .victim_addr = victim_addr};
+}
+
+bool Cache::probe(std::uint64_t addr) const noexcept {
+  const std::uint64_t line_addr = addr >> set_shift_;
+  const std::uint64_t set = line_addr & set_mask_;
+  const std::uint64_t tag = line_addr >> std::countr_zero(set_mask_ + 1);
+  const Line* base = lines_.data() + set * cfg_.associativity;
+  for (std::uint32_t w = 0; w < cfg_.associativity; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+void Cache::flush() noexcept {
+  for (auto& line : lines_) line = Line{};
+}
+
+SharedL2::SharedL2(const CacheConfig& cfg, Cycles port_conflict_penalty)
+    : cache_(cfg, "sharedL2"), penalty_(port_conflict_penalty) {}
+
+SharedL2::Result SharedL2::access(std::uint64_t addr, bool is_write,
+                                  Cycles now) noexcept {
+  Result r;
+  if (now == last_access_cycle_) {
+    ++accesses_this_cycle_;
+    ++conflicts_;
+    r.queue_delay = penalty_ * accesses_this_cycle_;
+  } else {
+    last_access_cycle_ = now;
+    accesses_this_cycle_ = 0;
+  }
+  r.hit = cache_.access(addr, is_write).hit;
+  return r;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheConfig& il1, const CacheConfig& dl1,
+                               const CacheConfig& l2,
+                               const MemoryLatencies& lat,
+                               bool prefetch_next_line, SharedL2* shared_l2)
+    : il1_(il1, "IL1"), dl1_(dl1, "DL1"), l2_(l2, "L2"), lat_(lat),
+      shared_l2_(shared_l2), prefetch_next_line_(prefetch_next_line) {}
+
+MemAccess CacheHierarchy::l2_access(std::uint64_t addr, bool is_write,
+                                    Cycles now) noexcept {
+  if (shared_l2_ != nullptr) {
+    const SharedL2::Result r = shared_l2_->access(addr, is_write, now);
+    if (r.hit)
+      return {.latency = lat_.l2_hit + r.queue_delay, .level = MemLevel::L2};
+    ++memory_accesses_;
+    ++l2_demand_misses_;
+    return {.latency = lat_.memory + r.queue_delay, .level = MemLevel::Memory};
+  }
+  const auto r = l2_.access(addr, is_write);
+  if (r.hit) return {.latency = lat_.l2_hit, .level = MemLevel::L2};
+  if (r.writeback) ++memory_accesses_;
+  ++memory_accesses_;
+  ++l2_demand_misses_;
+  return {.latency = lat_.memory, .level = MemLevel::Memory};
+}
+
+MemAccess CacheHierarchy::fetch(std::uint64_t pc, Cycles now) noexcept {
+  if (il1_.access(pc, false).hit)
+    return {.latency = lat_.l1_hit, .level = MemLevel::L1};
+  return l2_access(pc, false, now);
+}
+
+MemAccess CacheHierarchy::data_access(std::uint64_t addr, bool is_write,
+                                      Cycles now) noexcept {
+  const std::uint64_t line = addr >> 6;
+  const auto l1 = dl1_.access(addr, is_write);
+  if (l1.hit) {
+    // Tagged prefetching: the *first* demand hit on a prefetched line both
+    // proves the prefetch useful and triggers the next one, so a steady
+    // stream stays fully covered.
+    if (prefetch_next_line_ && line == last_prefetched_line_) {
+      ++prefetch_.useful;
+      last_prefetched_line_ = ~0ULL;  // count each prefetch at most once
+      prefetch_line(line + 1, now);
+    }
+    return {.latency = lat_.l1_hit, .level = MemLevel::L1};
+  }
+  // Miss (and any dirty victim writeback) goes to L2; write-allocate.
+  if (l1.writeback) (void)l2_access(l1.victim_addr, true, now);
+  const MemAccess out = l2_access(addr, false, now);
+
+  if (prefetch_next_line_) prefetch_line(line + 1, now);
+  return out;
+}
+
+void CacheHierarchy::prefetch_line(std::uint64_t line, Cycles now) noexcept {
+  // Off the critical path: latency is hidden, only the traffic/energy is
+  // visible through the cache statistics.
+  const std::uint64_t addr = line << 6;
+  const auto pf = dl1_.access(addr, false);
+  if (pf.hit) return;
+  if (pf.writeback) (void)l2_access(pf.victim_addr, true, now);
+  (void)l2_access(addr, false, now);
+  ++prefetch_.issued;
+  last_prefetched_line_ = line;
+}
+
+void CacheHierarchy::flush_all() noexcept {
+  il1_.flush();
+  dl1_.flush();
+  l2_.flush();
+}
+
+}  // namespace amps::uarch

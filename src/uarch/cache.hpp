@@ -1,0 +1,207 @@
+// Set-associative write-back caches and the two-level private hierarchy of
+// the paper's cores (Table I: 4 KB IL1, 4 KB DL1, 128 KB L2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace amps::uarch {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 4 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t associativity = 2;
+
+  [[nodiscard]] std::uint64_t num_lines() const noexcept {
+    return size_bytes / line_bytes;
+  }
+  [[nodiscard]] std::uint64_t num_sets() const noexcept {
+    return num_lines() / associativity;
+  }
+  /// True when sizes are powers of two and consistent.
+  [[nodiscard]] bool valid() const noexcept;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+
+  [[nodiscard]] std::uint64_t accesses() const noexcept { return hits + misses; }
+  [[nodiscard]] double miss_rate() const noexcept {
+    const std::uint64_t a = accesses();
+    return a ? static_cast<double>(misses) / static_cast<double>(a) : 0.0;
+  }
+};
+
+/// One set-associative write-back, write-allocate cache with true-LRU
+/// replacement. Tag-only model: no data are stored, only presence/dirty.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg, std::string name = "cache");
+
+  struct AccessResult {
+    bool hit = false;
+    bool writeback = false;           ///< a dirty victim was evicted
+    std::uint64_t victim_addr = 0;    ///< base address of the evicted line
+  };
+
+  /// Looks up `addr`; on miss, allocates the line (evicting LRU).
+  AccessResult access(std::uint64_t addr, bool is_write) noexcept;
+
+  /// True when the line holding `addr` is currently resident (no state
+  /// change; used by tests).
+  [[nodiscard]] bool probe(std::uint64_t addr) const noexcept;
+
+  /// Invalidates everything (loses dirty data — callers account for
+  /// writeback traffic via stats if they care).
+  void flush() noexcept;
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // higher = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig cfg_;
+  std::string name_;
+  std::vector<Line> lines_;  // sets * ways, row-major by set
+  std::uint64_t lru_clock_ = 0;
+  CacheStats stats_;
+  std::uint64_t set_shift_;
+  std::uint64_t set_mask_;
+};
+
+/// Latencies of the memory system (cycles), applied by CacheHierarchy.
+struct MemoryLatencies {
+  Cycles l1_hit = 2;
+  Cycles l2_hit = 12;
+  Cycles memory = 120;
+};
+
+/// Statistics of the optional next-line prefetcher.
+struct PrefetchStats {
+  std::uint64_t issued = 0;   ///< prefetches injected into DL1
+  std::uint64_t useful = 0;   ///< demand hits on prefetched lines
+};
+
+/// Which level serviced a memory access (drives energy accounting).
+enum class MemLevel : std::uint8_t { L1, L2, Memory };
+
+/// Outcome of one fetch/data access through the hierarchy.
+struct MemAccess {
+  Cycles latency = 0;
+  MemLevel level = MemLevel::L1;
+};
+
+/// A shared last-level cache with a single port: when both cores hit it in
+/// the same global cycle, the later access queues behind the earlier one.
+/// Models the "shared cache used for exchanging architectural states" the
+/// paper's §VI-C overhead discussion mentions — after a thread swap the
+/// shared L2 stays warm, so only the L1s must refill.
+class SharedL2 {
+ public:
+  SharedL2(const CacheConfig& cfg, Cycles port_conflict_penalty = 4);
+
+  /// Accesses the shared array at global time `now`; returns {hit, extra
+  /// latency from port contention}.
+  struct Result {
+    bool hit = false;
+    Cycles queue_delay = 0;
+  };
+  Result access(std::uint64_t addr, bool is_write, Cycles now) noexcept;
+
+  [[nodiscard]] const Cache& cache() const noexcept { return cache_; }
+  [[nodiscard]] std::uint64_t port_conflicts() const noexcept {
+    return conflicts_;
+  }
+
+ private:
+  Cache cache_;
+  Cycles penalty_;
+  Cycles last_access_cycle_ = ~0ULL;
+  unsigned accesses_this_cycle_ = 0;
+  std::uint64_t conflicts_ = 0;
+};
+
+/// A core-private IL1 + DL1 + unified L2. Returns total access latency and
+/// records per-level stats; the power model charges per-access energies
+/// from the same counters.
+class CacheHierarchy {
+ public:
+  /// `prefetch_next_line`: on a DL1 demand miss, also allocate the next
+  /// sequential line (simple tagged next-line prefetcher — effective for
+  /// the streaming FP workloads, useless for pointer chasing).
+  /// `shared_l2`: when non-null the private L2 is bypassed and all L2
+  /// traffic goes to the shared array (which must outlive the hierarchy).
+  CacheHierarchy(const CacheConfig& il1, const CacheConfig& dl1,
+                 const CacheConfig& l2, const MemoryLatencies& lat,
+                 bool prefetch_next_line = false,
+                 SharedL2* shared_l2 = nullptr);
+
+  /// Instruction fetch of the line containing `pc` at global time `now`.
+  MemAccess fetch(std::uint64_t pc, Cycles now = 0) noexcept;
+  /// Data load/store at `addr` at global time `now`.
+  MemAccess data_access(std::uint64_t addr, bool is_write,
+                        Cycles now = 0) noexcept;
+
+  [[nodiscard]] const Cache& il1() const noexcept { return il1_; }
+  [[nodiscard]] const Cache& dl1() const noexcept { return dl1_; }
+  [[nodiscard]] const Cache& l2() const noexcept { return l2_; }
+  [[nodiscard]] const MemoryLatencies& latencies() const noexcept { return lat_; }
+
+  /// Memory (DRAM) accesses caused by L2 misses — used by the power model.
+  [[nodiscard]] std::uint64_t memory_accesses() const noexcept {
+    return memory_accesses_;
+  }
+
+  [[nodiscard]] const PrefetchStats& prefetch_stats() const noexcept {
+    return prefetch_;
+  }
+  [[nodiscard]] bool prefetch_enabled() const noexcept {
+    return prefetch_next_line_;
+  }
+
+  [[nodiscard]] bool has_shared_l2() const noexcept {
+    return shared_l2_ != nullptr;
+  }
+  /// The L2 actually in use (private array, or the shared one).
+  [[nodiscard]] const Cache& effective_l2() const noexcept {
+    return shared_l2_ != nullptr ? shared_l2_->cache() : l2_;
+  }
+  /// L2 misses caused by *this* hierarchy's traffic — attribution stays
+  /// per-core even when the array is shared.
+  [[nodiscard]] std::uint64_t l2_demand_misses() const noexcept {
+    return l2_demand_misses_;
+  }
+
+  void flush_all() noexcept;
+
+ private:
+  void prefetch_line(std::uint64_t line, Cycles now) noexcept;
+  /// L2 lookup routed to the private or shared array.
+  [[nodiscard]] MemAccess l2_access(std::uint64_t addr, bool is_write,
+                                    Cycles now) noexcept;
+
+  Cache il1_;
+  Cache dl1_;
+  Cache l2_;
+  MemoryLatencies lat_;
+  SharedL2* shared_l2_ = nullptr;
+  std::uint64_t memory_accesses_ = 0;
+  std::uint64_t l2_demand_misses_ = 0;
+  bool prefetch_next_line_ = false;
+  PrefetchStats prefetch_;
+  std::uint64_t last_prefetched_line_ = ~0ULL;
+};
+
+}  // namespace amps::uarch

@@ -1,0 +1,75 @@
+// Functional units per paper Table II: each unit class has a unit count, an
+// execution latency, and a pipelined flag. Strong datapaths have more,
+// faster, pipelined units; weak ones have a single, slower, non-pipelined
+// unit — this is the root of the dual-core asymmetry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace amps::uarch {
+
+/// Static description of one execution-unit class (e.g., "FP MUL").
+struct FuSpec {
+  std::uint32_t units = 1;
+  Cycles latency = 1;
+  bool pipelined = true;
+};
+
+/// A pool of identical execution units of one class. Tracks per-unit
+/// occupancy; pipelined units accept one op per cycle, non-pipelined units
+/// block until the in-flight op completes.
+class FuPool {
+ public:
+  explicit FuPool(const FuSpec& spec);
+
+  /// Attempts to start an op at cycle `now`. Returns the completion cycle,
+  /// or 0 when no unit can accept the op this cycle.
+  Cycles try_issue(Cycles now) noexcept;
+
+  [[nodiscard]] const FuSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::uint64_t ops_issued() const noexcept { return issued_; }
+  /// Cycles during which at least one op was started (utilization proxy for
+  /// the power model's clock-gating estimate).
+  [[nodiscard]] std::uint64_t busy_events() const noexcept { return issued_; }
+
+  void reset_occupancy() noexcept;
+
+ private:
+  FuSpec spec_;
+  /// For pipelined units: the last cycle the unit accepted an op.
+  /// For non-pipelined units: the cycle the unit becomes free.
+  std::vector<Cycles> unit_free_or_last_issue_;
+  std::uint64_t issued_ = 0;
+};
+
+/// The full execution-unit complement of a core: one pool per arithmetic
+/// class (Table II taxonomy). Loads/stores/branches use ports modeled in
+/// the core itself.
+class ExecUnits {
+ public:
+  struct Config {
+    FuSpec int_alu, int_mul, int_div;
+    FuSpec fp_alu, fp_mul, fp_div;
+  };
+
+  explicit ExecUnits(const Config& cfg);
+
+  /// Routes an arithmetic op to its pool; 0 when stalled. Must not be
+  /// called for Load/Store/Branch.
+  Cycles try_issue(isa::InstrClass cls, Cycles now) noexcept;
+
+  [[nodiscard]] const FuPool& pool(isa::InstrClass cls) const;
+  void reset_occupancy() noexcept;
+
+ private:
+  FuPool* pool_for(isa::InstrClass cls) noexcept;
+
+  FuPool int_alu_, int_mul_, int_div_;
+  FuPool fp_alu_, fp_mul_, fp_div_;
+};
+
+}  // namespace amps::uarch

@@ -1,0 +1,65 @@
+// Counted pipeline resources (rename registers, queue slots). The core
+// models issue queues and the ROB as real structures; bounded resources that
+// only gate dispatch are modeled as counting pools with stall statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace amps::uarch {
+
+/// A named counting resource: acquire at dispatch, release at commit.
+/// Tracks utilization statistics used by the power model (average occupancy
+/// drives the clock-gated dynamic-energy estimate) and by tests.
+class ResourcePool {
+ public:
+  ResourcePool(std::string name, std::uint32_t capacity);
+
+  /// Takes `n` items; returns false (and records a stall) when unavailable.
+  bool acquire(std::uint32_t n = 1) noexcept;
+  /// Returns `n` items. Asserts against over-release in debug builds.
+  void release(std::uint32_t n = 1) noexcept;
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint32_t in_use() const noexcept { return in_use_; }
+  [[nodiscard]] std::uint32_t available() const noexcept {
+    return capacity_ - in_use_;
+  }
+  [[nodiscard]] std::uint64_t acquires() const noexcept { return acquires_; }
+  [[nodiscard]] std::uint64_t stalls() const noexcept { return stalls_; }
+  [[nodiscard]] std::uint32_t high_water() const noexcept { return high_water_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Accumulates current occupancy; call once per simulated cycle.
+  void tick() noexcept {
+    occupancy_sum_ += in_use_;
+    ++ticks_;
+  }
+  /// Mean occupancy over all ticks (0 when never ticked).
+  [[nodiscard]] double mean_occupancy() const noexcept {
+    return ticks_ ? static_cast<double>(occupancy_sum_) /
+                        static_cast<double>(ticks_)
+                  : 0.0;
+  }
+
+  /// Releases everything (pipeline flush on thread swap).
+  void clear() noexcept { in_use_ = 0; }
+
+  /// Changes the capacity (core morphing reconfigures structure sizes).
+  /// Only legal while the pool is empty; throws std::logic_error otherwise.
+  void reset_capacity(std::uint32_t capacity);
+
+ private:
+  std::string name_;
+  std::uint32_t capacity_;
+  std::uint32_t in_use_ = 0;
+  std::uint32_t high_water_ = 0;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t occupancy_sum_ = 0;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace amps::uarch

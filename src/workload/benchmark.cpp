@@ -1,0 +1,109 @@
+#include "workload/benchmark.hpp"
+
+#include <stdexcept>
+
+namespace amps::wl {
+
+const char* to_string(Suite suite) noexcept {
+  switch (suite) {
+    case Suite::Spec: return "SPEC";
+    case Suite::MiBench: return "MiBench";
+    case Suite::MediaBench: return "MediaBench";
+    case Suite::Synthetic: return "Synthetic";
+  }
+  return "?";
+}
+
+const char* to_string(Flavor flavor) noexcept {
+  switch (flavor) {
+    case Flavor::IntIntensive: return "INT-intensive";
+    case Flavor::FpIntensive: return "FP-intensive";
+    case Flavor::Mixed: return "Mixed";
+  }
+  return "?";
+}
+
+isa::InstrMix BenchmarkSpec::average_mix() const noexcept {
+  isa::InstrMix acc;
+  double total_dwell = 0.0;
+  for (const auto& p : phases) total_dwell += p.dwell_mean;
+  if (total_dwell <= 0.0) return acc;
+  for (const auto& p : phases) {
+    const double w = p.dwell_mean / total_dwell;
+    for (isa::InstrClass cls : isa::kAllInstrClasses)
+      acc[cls] += w * p.mix[cls];
+  }
+  return acc;
+}
+
+Flavor BenchmarkSpec::flavor() const noexcept {
+  const isa::InstrMix avg = average_mix();
+  const double int_pct = 100.0 * avg.int_fraction();
+  const double fp_pct = 100.0 * avg.fp_fraction();
+  if (fp_pct >= 40.0) return Flavor::FpIntensive;
+  if (int_pct >= 45.0 && fp_pct < 10.0) return Flavor::IntIntensive;
+  return Flavor::Mixed;
+}
+
+bool BenchmarkSpec::validate(std::string* why) const {
+  auto fail = [&](const char* reason) {
+    if (why != nullptr) *why = name + ": " + reason;
+    return false;
+  };
+  if (name.empty()) return fail("empty name");
+  if (phases.empty()) return fail("no phases");
+  for (const auto& p : phases) {
+    std::string phase_why;
+    if (!p.validate(&phase_why)) {
+      if (why != nullptr) *why = name + "/" + p.name + ": " + phase_why;
+      return false;
+    }
+  }
+  if (!transitions.empty()) {
+    if (transitions.size() != phases.size() * phases.size())
+      return fail("transition matrix shape mismatch");
+    for (std::size_t r = 0; r < phases.size(); ++r) {
+      double row = 0.0;
+      for (std::size_t c = 0; c < phases.size(); ++c) {
+        const double w = transitions[r * phases.size() + c];
+        if (w < 0.0) return fail("negative transition weight");
+        row += w;
+      }
+      if (row <= 0.0) return fail("transition row sums to zero");
+    }
+  }
+  return true;
+}
+
+const BenchmarkSpec& BenchmarkCatalog::by_name(std::string_view name) const {
+  for (const auto& s : specs_)
+    if (s.name == name) return s;
+  throw std::out_of_range("unknown benchmark: " + std::string(name));
+}
+
+bool BenchmarkCatalog::contains(std::string_view name) const noexcept {
+  for (const auto& s : specs_)
+    if (s.name == name) return true;
+  return false;
+}
+
+std::vector<const BenchmarkSpec*> BenchmarkCatalog::representative_nine() const {
+  // The paper's profiling set (§V, §VI-A): INT-intensive {bitcount, sha,
+  // intstress}, FP-intensive {fpstress, equake, ammp}, mixed {apsi, ffti, pi}.
+  static constexpr const char* kNames[] = {
+      "bitcount", "sha", "intstress", "fpstress", "equake",
+      "ammp",     "apsi", "ffti",     "pi"};
+  std::vector<const BenchmarkSpec*> out;
+  out.reserve(9);
+  for (const char* n : kNames) out.push_back(&by_name(n));
+  return out;
+}
+
+std::vector<std::string> BenchmarkCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& s : specs_) out.push_back(s.name);
+  return out;
+}
+
+}  // namespace amps::wl

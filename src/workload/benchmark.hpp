@@ -1,0 +1,85 @@
+// Benchmark specifications and the 37-entry catalog mirroring the paper's
+// workload pool (15 SPEC-like, 14 MiBench-like, 1 mediabench-like, 7
+// synthetic). Real suites are unavailable, so each entry is a statistical
+// model whose parameters reproduce the published flavor of the program
+// (INT- vs FP-intensive, memory-bound, phase behavior).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/phase.hpp"
+
+namespace amps::wl {
+
+/// Origin suite tags (informational; used in reports).
+enum class Suite : std::uint8_t { Spec, MiBench, MediaBench, Synthetic };
+
+const char* to_string(Suite suite) noexcept;
+
+/// Computational flavor of a benchmark, derived from its average mix.
+/// Matches the paper's grouping (INT-intensive / FP-intensive / mixed).
+enum class Flavor : std::uint8_t { IntIntensive, FpIntensive, Mixed };
+
+const char* to_string(Flavor flavor) noexcept;
+
+/// A complete statistical benchmark model.
+struct BenchmarkSpec {
+  std::string name;
+  Suite suite = Suite::Synthetic;
+  std::vector<PhaseSpec> phases;
+
+  /// Row-major phase-transition weights (phases x phases). Empty means
+  /// round-robin phase order. Self-transitions are allowed (the dwell is
+  /// re-sampled on re-entry).
+  std::vector<double> transitions;
+
+  /// Per-benchmark stream seed; derived from the name so catalog growth
+  /// never perturbs existing benchmarks.
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] std::size_t num_phases() const noexcept { return phases.size(); }
+
+  /// Dwell-weighted average instruction mix across phases.
+  [[nodiscard]] isa::InstrMix average_mix() const noexcept;
+
+  /// Flavor classification using the paper's rough thresholds: INT-intensive
+  /// when avg %INT >= 45 and %FP < 10; FP-intensive when avg %FP >= 40;
+  /// otherwise mixed.
+  [[nodiscard]] Flavor flavor() const noexcept;
+
+  /// Structural validation of all phases and the transition matrix.
+  [[nodiscard]] bool validate(std::string* why = nullptr) const;
+};
+
+/// The benchmark pool. Construction builds all 37 entries; the catalog is
+/// immutable afterwards.
+class BenchmarkCatalog {
+ public:
+  BenchmarkCatalog();
+
+  [[nodiscard]] std::span<const BenchmarkSpec> all() const noexcept {
+    return specs_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return specs_.size(); }
+
+  /// Lookup by name; throws std::out_of_range for unknown names.
+  [[nodiscard]] const BenchmarkSpec& by_name(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const noexcept;
+
+  /// The nine representative benchmarks both the HPE extension (paper §V)
+  /// and the proposed scheme's rule derivation (paper §VI-A) profile:
+  /// 3 INT-intensive, 3 FP-intensive, 3 mixed.
+  [[nodiscard]] std::vector<const BenchmarkSpec*> representative_nine() const;
+
+  /// All names, in catalog order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::vector<BenchmarkSpec> specs_;
+};
+
+}  // namespace amps::wl

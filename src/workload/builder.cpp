@@ -1,0 +1,97 @@
+#include "workload/builder.hpp"
+
+#include <stdexcept>
+
+#include "common/prng.hpp"
+
+namespace amps::wl {
+
+WorkloadBuilder::WorkloadBuilder(std::string name) {
+  spec_.name = std::move(name);
+  spec_.suite = Suite::Synthetic;
+  spec_.seed = stable_hash(spec_.name.c_str());
+}
+
+PhaseSpec& WorkloadBuilder::last() {
+  if (spec_.phases.empty())
+    throw std::logic_error("WorkloadBuilder: no phase added yet");
+  return spec_.phases.back();
+}
+
+WorkloadBuilder& WorkloadBuilder::int_phase(std::string name, double int_frac,
+                                            double mem_frac,
+                                            std::uint64_t working_set) {
+  spec_.phases.push_back(
+      make_int_phase(std::move(name), int_frac, mem_frac, working_set));
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::fp_phase(std::string name, double fp_frac,
+                                           double mem_frac,
+                                           std::uint64_t working_set) {
+  spec_.phases.push_back(
+      make_fp_phase(std::move(name), fp_frac, mem_frac, working_set));
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::mixed_phase(std::string name,
+                                              double int_frac, double fp_frac,
+                                              double mem_frac,
+                                              std::uint64_t working_set) {
+  spec_.phases.push_back(make_mixed_phase(std::move(name), int_frac, fp_frac,
+                                          mem_frac, working_set));
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::memory_phase(std::string name,
+                                               double mem_frac,
+                                               std::uint64_t working_set,
+                                               double far_miss_frac) {
+  spec_.phases.push_back(make_memory_phase(std::move(name), mem_frac,
+                                           working_set, far_miss_frac));
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::phase(PhaseSpec spec) {
+  spec_.phases.push_back(std::move(spec));
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::dwell(double mean_instructions,
+                                        double jitter) {
+  last().dwell_mean = mean_instructions;
+  last().dwell_jitter = jitter;
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::dependencies(double int_mean,
+                                               double fp_mean) {
+  last().dep_mean_int = int_mean;
+  last().dep_mean_fp = fp_mean;
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::branches(double taken_bias, double noise) {
+  last().branch_taken_bias = taken_bias;
+  last().branch_noise = noise;
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::code_footprint(std::uint64_t bytes) {
+  last().code_footprint = bytes;
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::transitions(std::vector<double> weights) {
+  spec_.transitions = std::move(weights);
+  return *this;
+}
+
+BenchmarkSpec WorkloadBuilder::build() const {
+  std::string why;
+  if (!spec_.validate(&why))
+    throw std::invalid_argument("WorkloadBuilder: " + why);
+  return spec_;
+}
+
+}  // namespace amps::wl

@@ -1,0 +1,56 @@
+// Fluent builder for user-defined synthetic benchmarks — the public API
+// examples use to model their own workloads without editing the catalog.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/benchmark.hpp"
+
+namespace amps::wl {
+
+/// Builds a BenchmarkSpec incrementally. Example:
+///
+///   auto spec = WorkloadBuilder("mykernel")
+///                   .int_phase("setup", /*int=*/0.6, /*mem=*/0.2, 32 << 10)
+///                   .dwell(50'000)
+///                   .fp_phase("solve", /*fp=*/0.5, /*mem=*/0.3, 256 << 10)
+///                   .dwell(200'000)
+///                   .build();
+class WorkloadBuilder {
+ public:
+  explicit WorkloadBuilder(std::string name);
+
+  /// Appends an archetypal phase (see workload/phase.hpp helpers).
+  WorkloadBuilder& int_phase(std::string name, double int_frac,
+                             double mem_frac, std::uint64_t working_set);
+  WorkloadBuilder& fp_phase(std::string name, double fp_frac, double mem_frac,
+                            std::uint64_t working_set);
+  WorkloadBuilder& mixed_phase(std::string name, double int_frac,
+                               double fp_frac, double mem_frac,
+                               std::uint64_t working_set);
+  WorkloadBuilder& memory_phase(std::string name, double mem_frac,
+                                std::uint64_t working_set,
+                                double far_miss_frac);
+  /// Appends a fully custom phase.
+  WorkloadBuilder& phase(PhaseSpec spec);
+
+  // The following modify the most recently added phase.
+  WorkloadBuilder& dwell(double mean_instructions, double jitter = 0.3);
+  WorkloadBuilder& dependencies(double int_mean, double fp_mean);
+  WorkloadBuilder& branches(double taken_bias, double noise);
+  WorkloadBuilder& code_footprint(std::uint64_t bytes);
+
+  /// Sets the phase-transition matrix (row-major, phases x phases).
+  WorkloadBuilder& transitions(std::vector<double> weights);
+
+  /// Validates and returns the spec. Throws std::invalid_argument with the
+  /// validation reason on malformed specs.
+  [[nodiscard]] BenchmarkSpec build() const;
+
+ private:
+  PhaseSpec& last();
+  BenchmarkSpec spec_;
+};
+
+}  // namespace amps::wl

@@ -1,0 +1,284 @@
+// The 37-benchmark pool (paper §IV): 15 SPEC-like, 14 MiBench-like, 1
+// mediabench-like, 7 synthetic. Parameters encode each program's published
+// character: instruction mix, working set relative to the 4 KB DL1 /
+// 128 KB L2 of the paper's cores, branch behavior, and phase structure.
+// Dwell times are chosen so that some programs change phases well inside a
+// scheduler decision interval and others are stable — the regime the
+// paper's evaluation spans.
+#include "workload/benchmark.hpp"
+
+#include "common/prng.hpp"
+
+namespace amps::wl {
+
+namespace {
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+
+BenchmarkSpec finish(BenchmarkSpec spec) {
+  spec.seed = stable_hash(spec.name.c_str());
+  return spec;
+}
+
+/// Single-phase benchmark helper.
+BenchmarkSpec single(std::string name, Suite suite, PhaseSpec phase) {
+  BenchmarkSpec b;
+  b.name = std::move(name);
+  b.suite = suite;
+  phase.dwell_mean = 1e12;  // effectively never leaves the phase
+  b.phases.push_back(std::move(phase));
+  return finish(std::move(b));
+}
+
+/// Multi-phase benchmark with round-robin phase order.
+BenchmarkSpec multi(std::string name, Suite suite,
+                    std::vector<PhaseSpec> phases) {
+  BenchmarkSpec b;
+  b.name = std::move(name);
+  b.suite = suite;
+  b.phases = std::move(phases);
+  return finish(std::move(b));
+}
+
+}  // namespace
+
+BenchmarkCatalog::BenchmarkCatalog() {
+  specs_.reserve(37);
+
+  // ---------------------------------------------------------------- SPEC --
+  {  // gcc: integer compiler; irregular control flow, medium working set.
+    auto p1 = make_int_phase("parse", 0.42, 0.30, 96 * kKiB);
+    p1.branch_noise = 0.10;
+    p1.code_footprint = 8 * kKiB;  // large code: some IL1 pressure
+    p1.dwell_mean = 70'000;
+    auto p2 = make_memory_phase("rtl", 0.42, 160 * kKiB, 0.05);
+    p2.dwell_mean = 50'000;
+    specs_.push_back(multi("gcc", Suite::Spec, {p1, p2}));
+  }
+  {  // mcf: pointer-chasing network simplex; memory bound on both cores.
+    auto p = make_memory_phase("simplex", 0.48, 4 * kMiB, 0.35);
+    p.dep_mean_int = 2.5;
+    specs_.push_back(single("mcf", Suite::Spec, p));
+  }
+  {  // equake: FP earthquake simulation; streaming sparse matrix kernels.
+    auto p1 = make_fp_phase("smvp", 0.54, 0.22, 192 * kKiB);
+    p1.dwell_mean = 120'000;
+    auto p2 = make_fp_phase("time_integration", 0.46, 0.20, 64 * kKiB);
+    p2.dwell_mean = 60'000;
+    specs_.push_back(multi("equake", Suite::Spec, {p1, p2}));
+  }
+  {  // ammp: FP molecular mechanics; long FP dependency chains.
+    auto p = make_fp_phase("mm_fv_update", 0.56, 0.18, 96 * kKiB);
+    p.dep_mean_fp = 2.8;
+    specs_.push_back(single("ammp", Suite::Spec, p));
+  }
+  {  // apsi: meteorology; alternates INT-index and FP-compute phases.
+    auto p1 = make_int_phase("indexing", 0.52, 0.26, 48 * kKiB);
+    p1.dwell_mean = 80'000;
+    auto p2 = make_fp_phase("physics", 0.48, 0.26, 96 * kKiB);
+    p2.dwell_mean = 90'000;
+    specs_.push_back(multi("apsi", Suite::Spec, {p1, p2}));
+  }
+  {  // swim: shallow-water FP stencil; heavily streaming.
+    auto p = make_fp_phase("stencil", 0.56, 0.24, 256 * kKiB);
+    p.stream_frac = 0.95;
+    specs_.push_back(single("swim", Suite::Spec, p));
+  }
+  {  // bzip2: integer compression; sort-heavy and stream phases alternate.
+    auto p1 = make_int_phase("sort", 0.50, 0.28, 200 * kKiB);
+    p1.branch_noise = 0.12;
+    p1.dwell_mean = 100'000;
+    auto p2 = make_int_phase("huffman", 0.58, 0.20, 24 * kKiB);
+    p2.dwell_mean = 60'000;
+    specs_.push_back(multi("bzip2", Suite::Spec, {p1, p2}));
+  }
+  {  // gzip: integer LZ77 compression.
+    auto p = make_int_phase("deflate", 0.54, 0.26, 64 * kKiB);
+    p.branch_noise = 0.08;
+    specs_.push_back(single("gzip", Suite::Spec, p));
+  }
+  {  // vpr: FPGA place & route; branchy integer with small working set.
+    auto p1 = make_int_phase("place", 0.50, 0.24, 32 * kKiB);
+    p1.branch_noise = 0.11;
+    p1.dwell_mean = 80'000;
+    auto p2 = make_mixed_phase("route_cost", 0.38, 0.14, 0.26, 48 * kKiB);
+    p2.dwell_mean = 60'000;
+    specs_.push_back(multi("vpr", Suite::Spec, {p1, p2}));
+  }
+  {  // art: FP neural-network image recognition; memory heavy.
+    auto p = make_fp_phase("match", 0.46, 0.30, 192 * kKiB);
+    p.stream_frac = 0.75;
+    specs_.push_back(single("art", Suite::Spec, p));
+  }
+  {  // mesa: software 3D rendering; moderate FP with integer setup.
+    auto p1 = make_mixed_phase("vertex", 0.30, 0.34, 0.24, 48 * kKiB);
+    p1.dwell_mean = 50'000;
+    auto p2 = make_int_phase("raster", 0.48, 0.30, 32 * kKiB);
+    p2.dwell_mean = 60'000;
+    specs_.push_back(multi("mesa", Suite::Spec, {p1, p2}));
+  }
+  {  // applu: FP PDE solver.
+    auto p = make_fp_phase("ssor", 0.54, 0.22, 160 * kKiB);
+    specs_.push_back(single("applu", Suite::Spec, p));
+  }
+  {  // mgrid: FP multigrid; long streaming passes at varying grid sizes.
+    auto p1 = make_fp_phase("fine_grid", 0.54, 0.24, 256 * kKiB);
+    p1.dwell_mean = 120'000;
+    auto p2 = make_fp_phase("coarse_grid", 0.46, 0.28, 32 * kKiB);
+    p2.dwell_mean = 40'000;
+    specs_.push_back(multi("mgrid", Suite::Spec, {p1, p2}));
+  }
+  {  // twolf: standard-cell placement; branchy integer.
+    auto p = make_int_phase("anneal", 0.50, 0.26, 24 * kKiB);
+    p.branch_noise = 0.13;
+    specs_.push_back(single("twolf", Suite::Spec, p));
+  }
+  {  // parser: English parser; pointer-heavy integer.
+    auto p = make_memory_phase("link_grammar", 0.38, 40 * kKiB, 0.02);
+    p.branch_noise = 0.1;
+    specs_.push_back(single("parser", Suite::Spec, p));
+  }
+
+  // ------------------------------------------------------------- MiBench --
+  {  // bitcount: pure register-resident integer kernel.
+    auto p = make_int_phase("count", 0.78, 0.06, 2 * kKiB);
+    p.dep_mean_int = 7.0;
+    specs_.push_back(single("bitcount", Suite::MiBench, p));
+  }
+  {  // sha: integer hashing; high ILP, tiny footprint.
+    auto p = make_int_phase("rounds", 0.72, 0.14, 4 * kKiB);
+    p.dep_mean_int = 4.0;
+    p.branch_taken_bias = 0.95;
+    p.branch_noise = 0.01;
+    specs_.push_back(single("sha", Suite::MiBench, p));
+  }
+  {  // CRC32: tight integer table-lookup loop.
+    auto p = make_int_phase("crc_loop", 0.62, 0.28, 2 * kKiB);
+    p.dep_mean_int = 2.5;  // serial CRC chain
+    p.branch_taken_bias = 0.98;
+    p.branch_noise = 0.005;
+    specs_.push_back(single("CRC32", Suite::MiBench, p));
+  }
+  {  // dijkstra: integer graph traversal, irregular memory.
+    auto p = make_memory_phase("relax", 0.40, 80 * kKiB, 0.04);
+    specs_.push_back(single("dijkstra", Suite::MiBench, p));
+  }
+  {  // qsort: comparison sort; data-dependent branches.
+    auto p = make_int_phase("partition", 0.48, 0.30, 96 * kKiB);
+    p.branch_noise = 0.18;
+    specs_.push_back(single("qsort", Suite::MiBench, p));
+  }
+  {  // susan: image smoothing; integer MAC-heavy with small FP phase.
+    auto p1 = make_int_phase("smooth", 0.58, 0.26, 48 * kKiB);
+    p1.dwell_mean = 70'000;
+    auto p2 = make_mixed_phase("corners", 0.40, 0.12, 0.26, 48 * kKiB);
+    p2.dwell_mean = 40'000;
+    specs_.push_back(multi("susan", Suite::MiBench, {p1, p2}));
+  }
+  {  // jpeg: DCT codec; integer multiply heavy.
+    auto p1 = make_int_phase("dct", 0.60, 0.24, 16 * kKiB);
+    p1.dwell_mean = 60'000;
+    auto p2 = make_int_phase("entropy", 0.52, 0.24, 8 * kKiB);
+    p2.branch_noise = 0.1;
+    p2.dwell_mean = 50'000;
+    specs_.push_back(multi("jpeg", Suite::MiBench, {p1, p2}));
+  }
+  {  // ffti: fixed/floating FFT; alternates butterfly FP and bit-reverse INT.
+    auto p1 = make_fp_phase("butterfly", 0.44, 0.28, 32 * kKiB);
+    p1.dwell_mean = 60'000;
+    auto p2 = make_int_phase("bit_reverse", 0.50, 0.30, 32 * kKiB);
+    p2.dwell_mean = 50'000;
+    specs_.push_back(multi("ffti", Suite::MiBench, {p1, p2}));
+  }
+  {  // adpcm_enc: speech codec, serial integer.
+    auto p = make_int_phase("encode", 0.64, 0.22, 4 * kKiB);
+    p.dep_mean_int = 2.8;
+    specs_.push_back(single("adpcm_enc", Suite::MiBench, p));
+  }
+  {  // adpcm_dec: decoder twin, slightly lighter dependencies.
+    auto p = make_int_phase("decode", 0.62, 0.24, 4 * kKiB);
+    p.dep_mean_int = 3.2;
+    specs_.push_back(single("adpcm_dec", Suite::MiBench, p));
+  }
+  {  // stringsearch: Boyer-Moore; branch dominated.
+    auto p = make_int_phase("search", 0.52, 0.30, 8 * kKiB);
+    p.branch_noise = 0.15;
+    specs_.push_back(single("stringsearch", Suite::MiBench, p));
+  }
+  {  // blowfish: Feistel cipher; integer ALU + table lookups.
+    auto p = make_int_phase("feistel", 0.60, 0.28, 8 * kKiB);
+    p.dep_mean_int = 3.5;
+    specs_.push_back(single("blowfish", Suite::MiBench, p));
+  }
+  {  // rijndael: AES; integer with table lookups, high ILP.
+    auto p = make_int_phase("aes_rounds", 0.58, 0.30, 12 * kKiB);
+    p.dep_mean_int = 6.5;
+    specs_.push_back(single("rijndael", Suite::MiBench, p));
+  }
+  {  // basicmath: scalar math functions; FP-leaning mix.
+    auto p = make_mixed_phase("solvers", 0.30, 0.34, 0.22, 8 * kKiB);
+    p.dep_mean_fp = 3.2;
+    specs_.push_back(single("basicmath", Suite::MiBench, p));
+  }
+
+  // ---------------------------------------------------------- MediaBench --
+  {  // epic: wavelet image coder; FP filter + INT quantize phases.
+    auto p1 = make_fp_phase("wavelet", 0.42, 0.30, 64 * kKiB);
+    p1.dwell_mean = 70'000;
+    auto p2 = make_int_phase("quantize", 0.54, 0.26, 32 * kKiB);
+    p2.dwell_mean = 50'000;
+    specs_.push_back(multi("epic", Suite::MediaBench, {p1, p2}));
+  }
+
+  // ----------------------------------------------------------- Synthetic --
+  {  // intstress: maximal integer pressure (paper Fig. 1 / profiling set).
+    auto p = make_int_phase("int_stress", 0.80, 0.08, 2 * kKiB);
+    p.dep_mean_int = 9.0;  // high ILP: exposes the strong INT datapath
+    specs_.push_back(single("intstress", Suite::Synthetic, p));
+  }
+  {  // fpstress: maximal FP pressure.
+    auto p = make_fp_phase("fp_stress", 0.62, 0.18, 8 * kKiB);
+    p.dep_mean_fp = 7.0;
+    specs_.push_back(single("fpstress", Suite::Synthetic, p));
+  }
+  {  // memstress: cache-busting loads/stores.
+    auto p = make_memory_phase("mem_stress", 0.56, 2 * kMiB, 0.25);
+    specs_.push_back(single("memstress", Suite::Synthetic, p));
+  }
+  {  // branchstress: unpredictable control flow.
+    auto p = make_int_phase("branch_stress", 0.42, 0.18, 8 * kKiB);
+    p.mix = isa::InstrMix::from_aggregate(0.42, 0.02, 0.18, 0.38);
+    p.branch_noise = 0.35;
+    specs_.push_back(single("branchstress", Suite::Synthetic, p));
+  }
+  {  // mixstress: rapid INT<->FP phase flipping, faster than any 2 ms
+    //  interval — the adversarial case for coarse-grained scheduling.
+    auto p1 = make_int_phase("int_burst", 0.70, 0.12, 4 * kKiB);
+    p1.dwell_mean = 30'000;
+    p1.dwell_jitter = 0.5;
+    auto p2 = make_fp_phase("fp_burst", 0.55, 0.16, 8 * kKiB);
+    p2.dwell_mean = 30'000;
+    p2.dwell_jitter = 0.5;
+    specs_.push_back(multi("mixstress", Suite::Synthetic, {p1, p2}));
+  }
+  {  // pi: arctan series; tight FP loop with integer loop control.
+    auto p = make_mixed_phase("series", 0.34, 0.36, 0.12, 2 * kKiB);
+    p.dep_mean_fp = 2.6;  // serial accumulation
+    p.branch_taken_bias = 0.99;
+    p.branch_noise = 0.002;
+    specs_.push_back(single("pi", Suite::Synthetic, p));
+  }
+  {  // phaseshift: long, clean INT/FP phases that any dynamic scheme should
+    //  catch; separates schedulers by reaction latency only.
+    auto p1 = make_int_phase("int_phase", 0.72, 0.12, 8 * kKiB);
+    p1.dwell_mean = 150'000;
+    p1.dwell_jitter = 0.15;
+    auto p2 = make_fp_phase("fp_phase", 0.58, 0.18, 16 * kKiB);
+    p2.dwell_mean = 150'000;
+    p2.dwell_jitter = 0.15;
+    specs_.push_back(multi("phaseshift", Suite::Synthetic, {p1, p2}));
+  }
+}
+
+}  // namespace amps::wl

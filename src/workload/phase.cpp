@@ -1,0 +1,99 @@
+#include "workload/phase.hpp"
+
+namespace amps::wl {
+
+namespace {
+bool fail(std::string* why, const char* reason) {
+  if (why != nullptr) *why = reason;
+  return false;
+}
+}  // namespace
+
+bool PhaseSpec::validate(std::string* why) const {
+  if (!mix.valid(1e-3)) return fail(why, "mix does not sum to 1");
+  if (dep_mean_int < 1.0 || dep_mean_fp < 1.0)
+    return fail(why, "dependency distances must be >= 1");
+  if (working_set == 0) return fail(why, "working_set must be > 0");
+  if (stream_frac < 0.0 || stream_frac > 1.0)
+    return fail(why, "stream_frac out of [0,1]");
+  if (far_miss_frac < 0.0 || far_miss_frac > 1.0)
+    return fail(why, "far_miss_frac out of [0,1]");
+  if (stream_frac + far_miss_frac > 1.0)
+    return fail(why, "stream_frac + far_miss_frac exceeds 1");
+  if (code_footprint < 64) return fail(why, "code_footprint too small");
+  if (branch_taken_bias < 0.0 || branch_taken_bias > 1.0)
+    return fail(why, "branch_taken_bias out of [0,1]");
+  if (branch_noise < 0.0 || branch_noise > 1.0)
+    return fail(why, "branch_noise out of [0,1]");
+  if (dwell_mean < 1.0) return fail(why, "dwell_mean must be >= 1");
+  if (dwell_jitter < 0.0 || dwell_jitter >= 1.0)
+    return fail(why, "dwell_jitter out of [0,1)");
+  return true;
+}
+
+PhaseSpec make_int_phase(std::string name, double int_frac, double mem_frac,
+                         std::uint64_t working_set) {
+  PhaseSpec p;
+  p.name = std::move(name);
+  const double branch = 0.12;
+  const double fp = std::max(0.0, 1.0 - int_frac - mem_frac - branch) * 0.1;
+  p.mix = isa::InstrMix::from_aggregate(int_frac, fp, mem_frac, branch);
+  p.dep_mean_int = 5.0;
+  p.dep_mean_fp = 6.0;
+  p.working_set = working_set;
+  p.stream_frac = 0.7;
+  p.branch_taken_bias = 0.8;
+  p.branch_noise = 0.05;
+  return p;
+}
+
+PhaseSpec make_fp_phase(std::string name, double fp_frac, double mem_frac,
+                        std::uint64_t working_set) {
+  PhaseSpec p;
+  p.name = std::move(name);
+  const double branch = 0.06;
+  const double int_frac = std::max(0.05, 1.0 - fp_frac - mem_frac - branch);
+  p.mix = isa::InstrMix::from_aggregate(int_frac, fp_frac, mem_frac, branch);
+  p.dep_mean_int = 8.0;
+  p.dep_mean_fp = 4.0;
+  p.working_set = working_set;
+  p.stream_frac = 0.85;  // FP codes are typically array-streaming
+  p.branch_taken_bias = 0.92;
+  p.branch_noise = 0.015;
+  return p;
+}
+
+PhaseSpec make_mixed_phase(std::string name, double int_frac, double fp_frac,
+                           double mem_frac, std::uint64_t working_set) {
+  PhaseSpec p;
+  p.name = std::move(name);
+  const double branch =
+      std::max(0.02, 1.0 - int_frac - fp_frac - mem_frac);
+  p.mix = isa::InstrMix::from_aggregate(int_frac, fp_frac, mem_frac, branch);
+  p.dep_mean_int = 6.0;
+  p.dep_mean_fp = 5.0;
+  p.working_set = working_set;
+  p.stream_frac = 0.65;
+  p.branch_taken_bias = 0.85;
+  p.branch_noise = 0.03;
+  return p;
+}
+
+PhaseSpec make_memory_phase(std::string name, double mem_frac,
+                            std::uint64_t working_set, double far_miss_frac) {
+  PhaseSpec p;
+  p.name = std::move(name);
+  const double branch = 0.1;
+  const double int_frac = std::max(0.05, 1.0 - mem_frac - branch - 0.02);
+  p.mix = isa::InstrMix::from_aggregate(int_frac, 0.02, mem_frac, branch);
+  p.dep_mean_int = 3.0;  // pointer chasing serializes
+  p.dep_mean_fp = 6.0;
+  p.working_set = working_set;
+  p.stream_frac = 0.2;
+  p.far_miss_frac = far_miss_frac;
+  p.branch_taken_bias = 0.7;
+  p.branch_noise = 0.08;
+  return p;
+}
+
+}  // namespace amps::wl

@@ -1,0 +1,73 @@
+// Phase model: a benchmark is a small Markov machine over execution phases,
+// each with its own instruction mix, dependency structure, memory locality
+// and branch behavior. Program phases are the property the paper's
+// fine-grained scheduler exploits (paper §I, §VI-B), so they are modeled
+// explicitly rather than emerging from real program binaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/mix.hpp"
+
+namespace amps::wl {
+
+/// Statistical description of one execution phase.
+struct PhaseSpec {
+  std::string name;
+
+  /// Instruction-class mix the phase draws from.
+  isa::InstrMix mix;
+
+  /// Mean register-dependency distance (dynamic instructions) for integer
+  /// and floating-point producers. Short distances serialize execution
+  /// (long dependency chains); large distances expose ILP.
+  double dep_mean_int = 6.0;
+  double dep_mean_fp = 4.0;
+
+  /// Data working-set size in bytes. Compared against DL1 (4 KB) and L2
+  /// (128 KB) this determines the phase's cache behavior.
+  std::uint64_t working_set = 16 * 1024;
+
+  /// Fraction of memory accesses that stream sequentially (spatial
+  /// locality); the rest are uniform over the working set.
+  double stream_frac = 0.6;
+
+  /// Fraction of memory accesses that touch a large cold region and
+  /// (almost) always miss to memory — models pointer-chasing workloads
+  /// such as mcf.
+  double far_miss_frac = 0.0;
+
+  /// Code footprint of the phase's hot loop in bytes (drives IL1).
+  std::uint64_t code_footprint = 1024;
+
+  /// Probability a conditional branch is taken when it follows its bias.
+  double branch_taken_bias = 0.85;
+
+  /// Fraction of branches whose outcome is data-dependent noise the
+  /// predictor cannot learn; sets the floor misprediction rate.
+  double branch_noise = 0.04;
+
+  /// Mean dwell time in this phase, in dynamic instructions, and the
+  /// relative +/- jitter applied per visit. Dwell times straddling the
+  /// scheduler decision intervals are what make fine- vs coarse-grained
+  /// scheduling differ.
+  double dwell_mean = 200'000.0;
+  double dwell_jitter = 0.3;
+
+  /// Validates ranges; returns false (and leaves a reason in `why` when
+  /// non-null) on out-of-range parameters.
+  [[nodiscard]] bool validate(std::string* why = nullptr) const;
+};
+
+/// Convenience constructors for the archetypal phases the catalog uses.
+PhaseSpec make_int_phase(std::string name, double int_frac, double mem_frac,
+                         std::uint64_t working_set);
+PhaseSpec make_fp_phase(std::string name, double fp_frac, double mem_frac,
+                        std::uint64_t working_set);
+PhaseSpec make_mixed_phase(std::string name, double int_frac, double fp_frac,
+                           double mem_frac, std::uint64_t working_set);
+PhaseSpec make_memory_phase(std::string name, double mem_frac,
+                            std::uint64_t working_set, double far_miss_frac);
+
+}  // namespace amps::wl

@@ -1,0 +1,33 @@
+#include "workload/source.hpp"
+
+#include <stdexcept>
+
+namespace amps::wl {
+
+namespace {
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+}  // namespace
+
+TraceSource::TraceSource(std::string path)
+    : path_(std::move(path)),
+      name_("trace:" + basename_of(path_)),
+      reader_(std::make_unique<TraceReader>(path_)) {
+  if (reader_->count() == 0)
+    throw std::runtime_error("TraceSource: empty trace " + path_);
+}
+
+isa::MicroOp TraceSource::next() {
+  auto op = reader_->next();
+  if (!op) {
+    // Wrap: reopen from the start so the source never runs dry.
+    reader_ = std::make_unique<TraceReader>(path_);
+    ++wraps_;
+    op = reader_->next();
+  }
+  return *op;
+}
+
+}  // namespace amps::wl

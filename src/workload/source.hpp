@@ -1,0 +1,64 @@
+// OpSource: the abstraction a ThreadContext draws micro-ops from. The
+// default source is the statistical InstructionStream; TraceSource replays
+// a recorded binary trace instead (deterministic cross-run / cross-tool
+// comparisons on the exact same dynamic instruction sequence).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "isa/instruction.hpp"
+#include "workload/stream.hpp"
+#include "workload/trace.hpp"
+
+namespace amps::wl {
+
+/// Endless micro-op producer.
+class OpSource {
+ public:
+  virtual ~OpSource() = default;
+  virtual isa::MicroOp next() = 0;
+  [[nodiscard]] virtual const std::string& name() const noexcept = 0;
+};
+
+/// Statistical-model source (the default).
+class StreamSource final : public OpSource {
+ public:
+  /// `spec` must outlive the source.
+  explicit StreamSource(const BenchmarkSpec& spec,
+                        std::uint64_t instance_seed = 0)
+      : stream_(spec, instance_seed) {}
+
+  isa::MicroOp next() override { return stream_.next(); }
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return stream_.spec().name;
+  }
+  [[nodiscard]] const InstructionStream& stream() const noexcept {
+    return stream_;
+  }
+
+ private:
+  InstructionStream stream_;
+};
+
+/// Replays a recorded trace file; wraps around at the end so the source is
+/// endless like the statistical models (the wrap count is exposed).
+class TraceSource final : public OpSource {
+ public:
+  /// Throws std::runtime_error on open/format errors or an empty trace.
+  explicit TraceSource(std::string path);
+
+  isa::MicroOp next() override;
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] std::uint64_t wraps() const noexcept { return wraps_; }
+
+ private:
+  std::string path_;
+  std::string name_;
+  std::unique_ptr<TraceReader> reader_;
+  std::uint64_t wraps_ = 0;
+};
+
+}  // namespace amps::wl

@@ -1,0 +1,114 @@
+#include "workload/stream.hpp"
+
+#include <algorithm>
+
+namespace amps::wl {
+
+namespace {
+constexpr std::uint64_t kCodeRegionStride = 64 * 1024;   // per-phase code
+constexpr std::uint64_t kFarRegionBytes = 64ULL << 20;   // 64 MiB cold heap
+constexpr std::uint64_t kAccessGranularity = 8;          // bytes per access
+}  // namespace
+
+InstructionStream::InstructionStream(const BenchmarkSpec& spec,
+                                     std::uint64_t instance_seed)
+    : spec_(&spec), rng_(combine_seeds(spec.seed, instance_seed)) {
+  // Private, non-aliasing address-space slice per stream instance: high bits
+  // come from the combined seed so two streams never share cache lines.
+  const std::uint64_t slice = combine_seeds(spec.seed, instance_seed ^ 0x5EEDULL);
+  data_base_ = (slice & 0xFFFFULL) << 28;
+  code_base_ = data_base_ + (1ULL << 26);
+  far_base_ = data_base_ + (1ULL << 27);
+  enter_phase(0);
+}
+
+void InstructionStream::enter_phase(std::size_t idx) {
+  phase_idx_ = idx;
+  const PhaseSpec& p = spec_->phases[idx];
+  const double jit = rng_.uniform(1.0 - p.dwell_jitter, 1.0 + p.dwell_jitter);
+  const double dwell = std::max(1.0, p.dwell_mean * jit);
+  remaining_in_phase_ =
+      dwell >= 1e18 ? ~0ULL : static_cast<std::uint64_t>(dwell);
+  for (std::size_t i = 0; i < isa::kNumInstrClasses; ++i)
+    class_weights_[i] = p.mix[static_cast<isa::InstrClass>(i)];
+  code_offset_ = 0;
+  stream_ptr_ = 0;
+}
+
+std::size_t InstructionStream::pick_next_phase() {
+  const std::size_t n = spec_->phases.size();
+  if (n == 1) return 0;
+  if (spec_->transitions.empty()) return (phase_idx_ + 1) % n;
+  const double* row = spec_->transitions.data() + phase_idx_ * n;
+  return rng_.weighted(std::span<const double>(row, n));
+}
+
+std::uint64_t InstructionStream::gen_mem_addr(const PhaseSpec& p) {
+  const double r = rng_.uniform();
+  if (r < p.far_miss_frac) {
+    // Pointer-chase into a cold region: jump far enough that lines are
+    // never re-used before eviction.
+    far_ptr_ = (far_ptr_ + 64 * (1 + rng_.below(1024))) % kFarRegionBytes;
+    return far_base_ + far_ptr_;
+  }
+  if (r < p.far_miss_frac + p.stream_frac) {
+    stream_ptr_ = (stream_ptr_ + kAccessGranularity) % p.working_set;
+    return data_base_ + stream_ptr_;
+  }
+  return data_base_ + rng_.below(p.working_set / kAccessGranularity) *
+                          kAccessGranularity;
+}
+
+std::uint16_t InstructionStream::gen_dep(double mean) {
+  // 1 + Geometric with the requested mean; clamp into u16.
+  const double p = 1.0 / std::max(1.0, mean);
+  const std::uint64_t d = 1 + rng_.geometric(p);
+  return static_cast<std::uint16_t>(std::min<std::uint64_t>(d, 0xFFFF));
+}
+
+isa::MicroOp InstructionStream::next() {
+  if (remaining_in_phase_ == 0) {
+    enter_phase(pick_next_phase());
+    ++phase_changes_;
+  }
+  --remaining_in_phase_;
+  ++emitted_;
+
+  const PhaseSpec& p = spec_->phases[phase_idx_];
+  isa::MicroOp op;
+  op.cls = static_cast<isa::InstrClass>(rng_.weighted(class_weights_));
+
+  // PC walks the phase's hot loop; phases live in disjoint code regions.
+  op.pc = code_base_ + phase_idx_ * kCodeRegionStride + code_offset_;
+  code_offset_ += 4;
+  if (code_offset_ >= p.code_footprint) code_offset_ = 0;
+
+  switch (op.cls) {
+    case isa::InstrClass::Load:
+    case isa::InstrClass::Store:
+      op.mem_addr = gen_mem_addr(p);
+      op.dep1 = gen_dep(p.dep_mean_int);
+      break;
+    case isa::InstrClass::Branch:
+      if (rng_.chance(p.branch_noise)) {
+        op.branch_taken = rng_.chance(0.5);
+      } else {
+        op.branch_taken = rng_.chance(p.branch_taken_bias);
+      }
+      op.dep1 = gen_dep(p.dep_mean_int);
+      break;
+    case isa::InstrClass::FpAlu:
+    case isa::InstrClass::FpMul:
+    case isa::InstrClass::FpDiv:
+      op.dep1 = gen_dep(p.dep_mean_fp);
+      if (rng_.chance(0.6)) op.dep2 = gen_dep(p.dep_mean_fp * 2.0);
+      break;
+    default:  // integer arithmetic
+      op.dep1 = gen_dep(p.dep_mean_int);
+      if (rng_.chance(0.5)) op.dep2 = gen_dep(p.dep_mean_int * 2.0);
+      break;
+  }
+  return op;
+}
+
+}  // namespace amps::wl

@@ -1,0 +1,77 @@
+// InstructionStream: the stateful, deterministic generator that turns a
+// BenchmarkSpec into an endless dynamic micro-op stream.
+//
+// Key property (relied on by the swap machinery): the stream is part of the
+// *thread context*, not the core. A thread migrated between cores resumes
+// the identical instruction sequence — only timing/energy differ.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/prng.hpp"
+#include "isa/instruction.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::wl {
+
+class InstructionStream {
+ public:
+  /// `spec` must outlive the stream (catalog-owned in practice).
+  /// `instance_seed` perturbs the benchmark seed so two copies of the same
+  /// benchmark (or reruns) can produce distinct streams when desired.
+  explicit InstructionStream(const BenchmarkSpec& spec,
+                             std::uint64_t instance_seed = 0);
+
+  /// Generates the next dynamic micro-op.
+  isa::MicroOp next();
+
+  /// Total micro-ops generated so far.
+  [[nodiscard]] InstrCount emitted() const noexcept { return emitted_; }
+
+  [[nodiscard]] const BenchmarkSpec& spec() const noexcept { return *spec_; }
+  [[nodiscard]] std::size_t current_phase_index() const noexcept {
+    return phase_idx_;
+  }
+  [[nodiscard]] const PhaseSpec& current_phase() const noexcept {
+    return spec_->phases[phase_idx_];
+  }
+
+  /// Number of phase transitions taken so far (diagnostics / tests).
+  [[nodiscard]] std::uint64_t phase_changes() const noexcept {
+    return phase_changes_;
+  }
+
+  /// Base of this stream's private data region. Distinct per instance so
+  /// co-scheduled threads never alias in the (per-core) caches.
+  [[nodiscard]] std::uint64_t data_base() const noexcept { return data_base_; }
+
+ private:
+  void enter_phase(std::size_t idx);
+  std::size_t pick_next_phase();
+  std::uint64_t gen_mem_addr(const PhaseSpec& p);
+  std::uint16_t gen_dep(double mean);
+
+  const BenchmarkSpec* spec_;
+  Prng rng_;
+
+  std::size_t phase_idx_ = 0;
+  std::uint64_t remaining_in_phase_ = 0;
+  std::uint64_t phase_changes_ = 0;
+  std::array<double, isa::kNumInstrClasses> class_weights_{};
+
+  InstrCount emitted_ = 0;
+
+  // Code address state: each phase owns a distinct synthetic code region;
+  // the PC walks the phase's hot loop so IL1 behavior is realistic.
+  std::uint64_t code_base_ = 0;
+  std::uint64_t code_offset_ = 0;
+
+  // Data address state.
+  std::uint64_t data_base_ = 0;
+  std::uint64_t stream_ptr_ = 0;  // sequential-access cursor within the WS
+  std::uint64_t far_base_ = 0;    // cold region for far_miss accesses
+  std::uint64_t far_ptr_ = 0;
+};
+
+}  // namespace amps::wl

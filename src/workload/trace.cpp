@@ -1,0 +1,151 @@
+#include "workload/trace.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "workload/stream.hpp"
+
+namespace amps::wl {
+
+namespace {
+
+constexpr std::size_t kRecordBytes = 22;
+
+void put_u16(unsigned char* p, std::uint16_t v) {
+  p[0] = static_cast<unsigned char>(v & 0xFF);
+  p[1] = static_cast<unsigned char>(v >> 8);
+}
+
+void put_u64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint16_t get_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void encode(const isa::MicroOp& op, unsigned char* rec) {
+  rec[0] = static_cast<unsigned char>(op.cls);
+  rec[1] = op.branch_taken ? 1 : 0;
+  put_u16(rec + 2, op.dep1);
+  put_u16(rec + 4, op.dep2);
+  put_u64(rec + 6, op.pc);
+  put_u64(rec + 14, op.mem_addr);
+}
+
+isa::MicroOp decode(const unsigned char* rec) {
+  isa::MicroOp op;
+  op.cls = static_cast<isa::InstrClass>(rec[0]);
+  op.branch_taken = (rec[1] & 1) != 0;
+  op.dep1 = get_u16(rec + 2);
+  op.dep2 = get_u16(rec + 4);
+  op.pc = get_u64(rec + 6);
+  op.mem_addr = get_u64(rec + 14);
+  return op;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr)
+    throw std::runtime_error("TraceWriter: cannot open " + path);
+  unsigned char header[16];
+  put_u64(header, (static_cast<std::uint64_t>(kTraceVersion) << 32) |
+                      kTraceMagic);
+  put_u64(header + 8, 0);  // count, patched on close
+  if (std::fwrite(header, 1, sizeof header, file_) != sizeof header)
+    throw std::runtime_error("TraceWriter: header write failed");
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::append(const isa::MicroOp& op) {
+  if (file_ == nullptr) throw std::logic_error("TraceWriter: already closed");
+  unsigned char rec[kRecordBytes];
+  encode(op, rec);
+  if (std::fwrite(rec, 1, sizeof rec, file_) != sizeof rec)
+    throw std::runtime_error("TraceWriter: record write failed");
+  ++count_;
+}
+
+void TraceWriter::close() {
+  if (file_ == nullptr) return;
+  unsigned char buf[8];
+  put_u64(buf, count_);
+  std::fseek(file_, 8, SEEK_SET);
+  (void)std::fwrite(buf, 1, sizeof buf, file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr)
+    throw std::runtime_error("TraceReader: cannot open " + path);
+  unsigned char header[16];
+  if (std::fread(header, 1, sizeof header, file_) != sizeof header) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw std::runtime_error("TraceReader: truncated header");
+  }
+  const std::uint64_t magic_version = get_u64(header);
+  if ((magic_version & 0xFFFFFFFFULL) != kTraceMagic) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw std::runtime_error("TraceReader: bad magic");
+  }
+  if ((magic_version >> 32) != kTraceVersion) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw std::runtime_error("TraceReader: unsupported version");
+  }
+  count_ = get_u64(header + 8);
+}
+
+TraceReader::~TraceReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::optional<isa::MicroOp> TraceReader::next() {
+  if (file_ == nullptr || consumed_ >= count_) return std::nullopt;
+  unsigned char rec[kRecordBytes];
+  if (std::fread(rec, 1, sizeof rec, file_) != sizeof rec)
+    throw std::runtime_error("TraceReader: truncated record");
+  ++consumed_;
+  return decode(rec);
+}
+
+void record_trace(const BenchmarkSpec& spec, InstrCount n,
+                  const std::string& path, std::uint64_t instance_seed) {
+  InstructionStream stream(spec, instance_seed);
+  TraceWriter writer(path);
+  for (InstrCount i = 0; i < n; ++i) writer.append(stream.next());
+  writer.close();
+}
+
+TraceSummary summarize_trace(const std::string& path) {
+  TraceReader reader(path);
+  TraceSummary s;
+  std::unordered_set<std::uint64_t> code_lines;
+  std::unordered_set<std::uint64_t> data_lines;
+  while (auto op = reader.next()) {
+    ++s.ops;
+    s.counts.add(op->cls);
+    if (isa::is_branch(op->cls) && op->branch_taken) ++s.taken_branches;
+    code_lines.insert(op->pc >> 6);
+    if (isa::is_mem(op->cls)) data_lines.insert(op->mem_addr >> 6);
+  }
+  s.code_bytes_touched = code_lines.size() * 64;
+  s.data_bytes_touched = data_lines.size() * 64;
+  return s;
+}
+
+}  // namespace amps::wl

@@ -1,0 +1,87 @@
+// Micro-op trace record / replay. The statistical workload models generate
+// streams on the fly; for debugging, cross-tool comparison and regression
+// pinning it is useful to freeze a stream into a compact binary trace file
+// (SESC-style) and to analyze or replay it later.
+//
+// File format (little-endian):
+//   magic  u32  'A''M''P''T'
+//   version u32 (currently 1)
+//   count  u64  number of records
+//   record x count:
+//     cls u8, flags u8 (bit0 = branch_taken), dep1 u16, dep2 u16,
+//     pc u64, mem_addr u64                                  (22 bytes)
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "isa/instruction.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::wl {
+
+inline constexpr std::uint32_t kTraceMagic = 0x54504D41;  // "AMPT"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Streams micro-ops into a trace file. The header's record count is
+/// patched on close() (or destruction).
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void append(const isa::MicroOp& op);
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  /// Finalizes the header and closes the file. Idempotent.
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t count_ = 0;
+};
+
+/// Reads a trace file sequentially. Throws std::runtime_error on open or
+/// format errors.
+class TraceReader {
+ public:
+  explicit TraceReader(const std::string& path);
+  ~TraceReader();
+
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  /// Next op, or nullopt at end of trace.
+  std::optional<isa::MicroOp> next();
+
+  /// Total records per the header.
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t consumed() const noexcept { return consumed_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t count_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+/// Records the first `n` micro-ops of `spec`'s stream into `path`.
+void record_trace(const BenchmarkSpec& spec, InstrCount n,
+                  const std::string& path, std::uint64_t instance_seed = 0);
+
+/// Aggregate statistics of a trace file.
+struct TraceSummary {
+  std::uint64_t ops = 0;
+  isa::InstrCounts counts;
+  std::uint64_t taken_branches = 0;
+  std::uint64_t code_bytes_touched = 0;  ///< distinct 64-byte PC lines * 64
+  std::uint64_t data_bytes_touched = 0;  ///< distinct 64-byte data lines * 64
+};
+
+/// Scans a trace and computes its summary (single pass, bounded memory).
+TraceSummary summarize_trace(const std::string& path);
+
+}  // namespace amps::wl

@@ -1,0 +1,74 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace amps {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("AMPS_TEST_VAR");
+    unsetenv("AMPS_SCALE");
+    unsetenv("AMPS_PAIRS");
+    unsetenv("AMPS_SEED");
+  }
+};
+
+TEST_F(EnvTest, StringUnsetIsEmpty) {
+  unsetenv("AMPS_TEST_VAR");
+  EXPECT_FALSE(env_string("AMPS_TEST_VAR").has_value());
+}
+
+TEST_F(EnvTest, StringEmptyValueIsEmpty) {
+  setenv("AMPS_TEST_VAR", "", 1);
+  EXPECT_FALSE(env_string("AMPS_TEST_VAR").has_value());
+}
+
+TEST_F(EnvTest, StringRoundTrips) {
+  setenv("AMPS_TEST_VAR", "hello", 1);
+  ASSERT_TRUE(env_string("AMPS_TEST_VAR").has_value());
+  EXPECT_EQ(*env_string("AMPS_TEST_VAR"), "hello");
+}
+
+TEST_F(EnvTest, IntParsesAndFallsBack) {
+  setenv("AMPS_TEST_VAR", "123", 1);
+  EXPECT_EQ(env_int("AMPS_TEST_VAR", 7), 123);
+  setenv("AMPS_TEST_VAR", "notanumber", 1);
+  EXPECT_EQ(env_int("AMPS_TEST_VAR", 7), 7);
+  unsetenv("AMPS_TEST_VAR");
+  EXPECT_EQ(env_int("AMPS_TEST_VAR", 7), 7);
+}
+
+TEST_F(EnvTest, IntParsesNegative) {
+  setenv("AMPS_TEST_VAR", "-5", 1);
+  EXPECT_EQ(env_int("AMPS_TEST_VAR", 0), -5);
+}
+
+TEST_F(EnvTest, PaperScaleDetection) {
+  setenv("AMPS_SCALE", "paper", 1);
+  EXPECT_TRUE(env_paper_scale());
+  setenv("AMPS_SCALE", "ci", 1);
+  EXPECT_FALSE(env_paper_scale());
+  unsetenv("AMPS_SCALE");
+  EXPECT_FALSE(env_paper_scale());
+}
+
+TEST_F(EnvTest, PairsFallback) {
+  unsetenv("AMPS_PAIRS");
+  EXPECT_EQ(env_pairs(12), 12);
+  setenv("AMPS_PAIRS", "30", 1);
+  EXPECT_EQ(env_pairs(12), 30);
+}
+
+TEST_F(EnvTest, SeedDefaultsToPaperYear) {
+  unsetenv("AMPS_SEED");
+  EXPECT_EQ(env_seed(), 2012u);
+  setenv("AMPS_SEED", "99", 1);
+  EXPECT_EQ(env_seed(), 99u);
+}
+
+}  // namespace
+}  // namespace amps

@@ -1,0 +1,41 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amps {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::Info;
+};
+
+TEST_F(LogTest, LevelRoundTrips) {
+  set_log_level(LogLevel::Warn);
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+}
+
+TEST_F(LogTest, LevelsAreOrdered) {
+  EXPECT_LT(static_cast<int>(LogLevel::Debug), static_cast<int>(LogLevel::Info));
+  EXPECT_LT(static_cast<int>(LogLevel::Info), static_cast<int>(LogLevel::Warn));
+  EXPECT_LT(static_cast<int>(LogLevel::Warn), static_cast<int>(LogLevel::Error));
+}
+
+TEST_F(LogTest, MacrosDoNotCrashAtAnyLevel) {
+  for (LogLevel level :
+       {LogLevel::Debug, LogLevel::Info, LogLevel::Warn, LogLevel::Error}) {
+    set_log_level(level);
+    AMPS_LOG_DEBUG("debug %d", 1);
+    AMPS_LOG_INFO("info %s", "x");
+    AMPS_LOG_WARN("warn %f", 2.0);
+    AMPS_LOG_ERROR("error");
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace amps

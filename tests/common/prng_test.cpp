@@ -1,0 +1,161 @@
+#include "common/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace amps {
+namespace {
+
+TEST(Prng, DeterministicForSameSeed) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, ReseedRestartsSequence) {
+  Prng a(7);
+  const std::uint64_t first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  Prng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Prng, UniformRangeRespectsBounds) {
+  Prng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Prng, UniformMeanIsCentered) {
+  Prng rng(11);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Prng, BelowStaysBelow) {
+  Prng rng(13);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Prng, BelowCoversAllValues) {
+  Prng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Prng, RangeInclusive) {
+  Prng rng(19);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Prng, ChanceExtremes) {
+  Prng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Prng, ChanceFrequencyTracksP) {
+  Prng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Prng, GeometricMeanMatches) {
+  Prng rng(31);
+  const double p = 0.2;
+  double acc = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) acc += static_cast<double>(rng.geometric(p));
+  // Mean of geometric (failures before success) is (1-p)/p = 4.
+  EXPECT_NEAR(acc / n, (1.0 - p) / p, 0.15);
+}
+
+TEST(Prng, GeometricWithPOneIsZero) {
+  Prng rng(37);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Prng, WeightedRespectsWeights) {
+  Prng rng(41);
+  const std::array<double, 3> w = {1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Prng, WeightedEmptyReturnsZero) {
+  Prng rng(43);
+  EXPECT_EQ(rng.weighted(std::span<const double>{}), 0u);
+}
+
+TEST(Prng, StateRoundTrip) {
+  Prng a(47);
+  (void)a();
+  (void)a();
+  const auto st = a.state();
+  Prng b(0);
+  b.set_state(st);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(StableHash, DeterministicAndDistinct) {
+  EXPECT_EQ(stable_hash("gcc"), stable_hash("gcc"));
+  EXPECT_NE(stable_hash("gcc"), stable_hash("mcf"));
+  EXPECT_NE(stable_hash(""), stable_hash("a"));
+}
+
+TEST(CombineSeeds, OrderSensitive) {
+  EXPECT_NE(combine_seeds(1, 2), combine_seeds(2, 1));
+  EXPECT_EQ(combine_seeds(1, 2), combine_seeds(1, 2));
+}
+
+TEST(SplitMix, AdvancesState) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace amps

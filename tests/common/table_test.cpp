@@ -1,0 +1,73 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace amps {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row().cell("a").cell(1.5, 2);
+  t.row().cell("longer").cell(10.25, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 10.25 |"), std::string::npos);
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row().cell("x").cell("y").cell("z");
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t({"x"});
+  t.row().cell("a,b");
+  t.row().cell("quote\"inside");
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table t({"x", "y"});
+  t.row().cell("plain").cell(3LL);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("plain,3"), std::string::npos);
+}
+
+TEST(Table, NumericCellFormatting) {
+  Table t({"v"});
+  t.row().cell(3.14159, 3);
+  t.row().cell(static_cast<long long>(-42));
+  t.row().cell(static_cast<unsigned long long>(7));
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("3.142"), std::string::npos);
+  EXPECT_NE(out.find("-42"), std::string::npos);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.0, 2), "1.00");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_double(2.555, 2), "2.56");
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Fig. 1");
+  EXPECT_NE(os.str().find("= Fig. 1 ="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amps

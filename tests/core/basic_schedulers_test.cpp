@@ -1,0 +1,112 @@
+// Tests for the simple schedulers: Round-Robin, Static, and the
+// fine-grained-predictor (oracle) ablation scheduler.
+#include <gtest/gtest.h>
+
+#include "core/oracle.hpp"
+#include "core/round_robin.hpp"
+#include "core/static_sched.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::sched {
+namespace {
+
+class BasicSchedulersTest : public ::testing::Test {
+ protected:
+  BasicSchedulersTest()
+      : system_(sim::int_core_config(), sim::fp_core_config(), 100),
+        t0_(0, catalog_.by_name("gzip")),
+        t1_(1, catalog_.by_name("swim")) {
+    system_.attach_threads(&t0_, &t1_);
+  }
+
+  void drive(Scheduler& sched, Cycles cycles) {
+    sched.on_start(system_);
+    for (Cycles i = 0; i < cycles; ++i) {
+      system_.step();
+      sched.tick(system_);
+    }
+  }
+
+  wl::BenchmarkCatalog catalog_;
+  sim::DualCoreSystem system_;
+  sim::ThreadContext t0_;
+  sim::ThreadContext t1_;
+};
+
+TEST_F(BasicSchedulersTest, StaticNeverSwaps) {
+  StaticScheduler sched;
+  drive(sched, 100'000);
+  EXPECT_EQ(sched.swaps_requested(), 0u);
+  EXPECT_EQ(sched.decision_points(), 0u);
+  EXPECT_EQ(system_.swap_count(), 0u);
+  EXPECT_EQ(sched.name(), "static");
+}
+
+TEST_F(BasicSchedulersTest, RoundRobinSwapsEveryInterval) {
+  RoundRobinScheduler sched(20'000);
+  drive(sched, 100'000);
+  // 100k cycles / 20k interval = ~5 swaps (migration overhead shifts the
+  // later ones slightly).
+  EXPECT_GE(sched.swaps_requested(), 4u);
+  EXPECT_LE(sched.swaps_requested(), 5u);
+  EXPECT_EQ(sched.decision_points(), sched.swaps_requested());
+}
+
+TEST_F(BasicSchedulersTest, RoundRobinAlternatesAssignment) {
+  RoundRobinScheduler sched(10'000);
+  sched.on_start(system_);
+  sim::ThreadContext* initial_on_0 = system_.thread_on(0);
+  bool saw_swapped = false, saw_restored = false;
+  for (Cycles i = 0; i < 60'000; ++i) {
+    system_.step();
+    sched.tick(system_);
+    if (system_.thread_on(0) != initial_on_0) saw_swapped = true;
+    if (saw_swapped && system_.thread_on(0) == initial_on_0)
+      saw_restored = true;
+  }
+  EXPECT_TRUE(saw_swapped);
+  EXPECT_TRUE(saw_restored);
+}
+
+TEST_F(BasicSchedulersTest, RoundRobinIntervalAccessor) {
+  RoundRobinScheduler sched(123);
+  EXPECT_EQ(sched.interval(), 123u);
+  EXPECT_EQ(sched.name(), "round-robin");
+}
+
+TEST_F(BasicSchedulersTest, OracleRespectsCooldown) {
+  // Build a quick regression model from synthetic samples.
+  std::vector<ProfileSample> samples;
+  for (double i = 0; i <= 100; i += 10)
+    for (double f = 0; f <= 100 - i; f += 10)
+      samples.push_back({i, f, 1.0 + 0.004 * i - 0.006 * f});
+  RegressionSurface surf(2);
+  surf.fit(samples);
+
+  OracleConfig cfg;
+  cfg.window_size = 1000;
+  cfg.swap_cooldown = 1'000'000;  // effectively one swap max
+  OracleScheduler sched(surf, cfg);
+  drive(sched, 150'000);
+  EXPECT_LE(sched.swaps_requested(), 1u);
+  EXPECT_EQ(sched.name(), "fine-predictor");
+}
+
+TEST_F(BasicSchedulersTest, OracleSwapsTowardAffinity) {
+  std::vector<ProfileSample> samples;
+  for (double i = 0; i <= 100; i += 10)
+    for (double f = 0; f <= 100 - i; f += 10)
+      samples.push_back({i, f, 1.0 + 0.01 * i - 0.015 * f});
+  RegressionSurface surf(2);
+  surf.fit(samples);
+
+  // gzip (INT) on INT core + swim (FP) on FP core is already affine: with
+  // this clean monotone model the estimated swapped speedup is < 1, so no
+  // swap should ever fire.
+  OracleScheduler sched(surf);
+  drive(sched, 150'000);
+  EXPECT_EQ(sched.swaps_requested(), 0u);
+}
+
+}  // namespace
+}  // namespace amps::sched

@@ -1,0 +1,133 @@
+#include "core/extended.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmark.hpp"
+#include "workload/builder.hpp"
+
+namespace amps::sched {
+namespace {
+
+ExtendedConfig default_cfg() {
+  ExtendedConfig cfg;
+  cfg.window_size = 1000;
+  cfg.history_depth = 5;
+  cfg.forced_swap_interval = 150'000;
+  return cfg;
+}
+
+struct Outcome {
+  std::uint64_t swaps = 0;
+  std::uint64_t vetoes = 0;
+  std::uint64_t phase_resets = 0;
+  bool t0_on_core1 = false;
+};
+
+Outcome run(const wl::BenchmarkSpec& b0, const wl::BenchmarkSpec& b1,
+            const ExtendedConfig& cfg, Cycles cycles = 300'000) {
+  sim::DualCoreSystem system(sim::int_core_config(), sim::fp_core_config(),
+                             100);
+  sim::ThreadContext t0(0, b0);
+  sim::ThreadContext t1(1, b1);
+  system.attach_threads(&t0, &t1);
+  ExtendedProposedScheduler sched(cfg);
+  sched.on_start(system);
+  for (Cycles i = 0; i < cycles; ++i) {
+    system.step();
+    sched.tick(system);
+  }
+  return {.swaps = sched.swaps_requested(),
+          .vetoes = sched.vetoes(),
+          .phase_resets = sched.phase_resets(),
+          .t0_on_core1 = system.thread_on(1) == &t0};
+}
+
+class ExtendedTest : public ::testing::Test {
+ protected:
+  wl::BenchmarkCatalog catalog_;
+};
+
+TEST_F(ExtendedTest, StillCorrectsMisassignedPair) {
+  const Outcome r = run(catalog_.by_name("ammp"), catalog_.by_name("bitcount"),
+                        default_cfg());
+  EXPECT_GE(r.swaps, 1u);
+  EXPECT_TRUE(r.t0_on_core1);  // ammp (FP) ends on the FP core
+}
+
+TEST_F(ExtendedTest, MemoryBoundThreadIsVetoed) {
+  // A nominally INT-heavy (58 % INT) but strongly memory-bound workload on
+  // the FP core: the baseline rule 2.i would swap it toward the INT core;
+  // the extension recognizes the huge MPKI and suppresses the pointless
+  // swap (paper §VII's mcf case). The INT-core thread is arranged so that
+  // neither its %INT (30 <= 35) nor its %FP (5 < 20) triggers other rules.
+  wl::PhaseSpec low_int_phase;
+  low_int_phase.name = "lowint";
+  low_int_phase.mix = isa::InstrMix::from_aggregate(0.30, 0.05, 0.30, 0.35);
+  low_int_phase.working_set = 8 * 1024;
+  low_int_phase.dwell_mean = 1e12;
+  const wl::BenchmarkSpec low_int =
+      wl::WorkloadBuilder("low_int").phase(low_int_phase).build();
+
+  const wl::BenchmarkSpec membound =
+      wl::WorkloadBuilder("membound_int")
+          .memory_phase("chase", /*mem_frac=*/0.30, /*working_set=*/4 << 20,
+                        /*far_miss_frac=*/0.45)
+          .build();
+
+  ExtendedConfig cfg = default_cfg();
+  cfg.mem_bound_mpki = 8.0;
+  const Outcome ext = run(low_int, membound, cfg);
+  EXPECT_GT(ext.vetoes, 0u);
+  EXPECT_EQ(ext.swaps, 0u);
+}
+
+TEST_F(ExtendedTest, HealthyIpcGuardSuppressesSwap) {
+  ExtendedConfig cfg = default_cfg();
+  cfg.healthy_ipc = 0.01;  // absurdly low: every thread counts as healthy
+  const Outcome r = run(catalog_.by_name("ammp"), catalog_.by_name("bitcount"),
+                        cfg);
+  // Every rule-2 swap is vetoed by the IPC guard.
+  EXPECT_GT(r.vetoes, 0u);
+  EXPECT_EQ(r.swaps, 0u);
+}
+
+TEST_F(ExtendedTest, PhaseResetsOnPhaseHeavyWorkload) {
+  const Outcome r = run(catalog_.by_name("phaseshift"),
+                        catalog_.by_name("mcf"), default_cfg(), 600'000);
+  EXPECT_GT(r.phase_resets, 0u);
+}
+
+TEST_F(ExtendedTest, ForcedFairnessSwapStillWorks) {
+  ExtendedConfig cfg = default_cfg();
+  cfg.forced_swap_interval = 50'000;
+  sim::DualCoreSystem system(sim::int_core_config(), sim::fp_core_config(),
+                             100);
+  sim::ThreadContext t0(0, catalog_.by_name("bitcount"));
+  sim::ThreadContext t1(1, catalog_.by_name("sha"));
+  system.attach_threads(&t0, &t1);
+  ExtendedProposedScheduler sched(cfg);
+  sched.on_start(system);
+  for (Cycles i = 0; i < 400'000; ++i) {
+    system.step();
+    sched.tick(system);
+  }
+  EXPECT_GE(sched.forced_swaps(), 2u);
+}
+
+TEST_F(ExtendedTest, NameAndConfigAccessors) {
+  ExtendedProposedScheduler sched(default_cfg());
+  EXPECT_EQ(sched.name(), "proposed-extended");
+  EXPECT_EQ(sched.config().window_size, 1000u);
+}
+
+TEST_F(ExtendedTest, DeterministicRuns) {
+  const auto a = run(catalog_.by_name("equake"), catalog_.by_name("gzip"),
+                     default_cfg());
+  const auto b = run(catalog_.by_name("equake"), catalog_.by_name("gzip"),
+                     default_cfg());
+  EXPECT_EQ(a.swaps, b.swaps);
+  EXPECT_EQ(a.vetoes, b.vetoes);
+}
+
+}  // namespace
+}  // namespace amps::sched

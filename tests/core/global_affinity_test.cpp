@@ -1,0 +1,116 @@
+#include "core/global_affinity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workload/benchmark.hpp"
+
+namespace amps::sched {
+namespace {
+
+class GlobalAffinityTest : public ::testing::Test {
+ protected:
+  /// Cores 0,1 = INT; cores 2,3 = FP.
+  static std::vector<sim::CoreConfig> four_core_amp() {
+    return {sim::int_core_config(), sim::int_core_config(),
+            sim::fp_core_config(), sim::fp_core_config()};
+  }
+
+  /// Builds a 4-thread system with the given benchmark names (thread i on
+  /// core i) and drives it under the scheduler for `cycles`.
+  struct Run {
+    std::unique_ptr<sim::MulticoreSystem> system;
+    std::vector<std::unique_ptr<sim::ThreadContext>> threads;
+    GlobalAffinityScheduler scheduler;
+
+    explicit Run(const GlobalAffinityConfig& cfg = {}) : scheduler(cfg) {}
+  };
+
+  Run make_run(const char* n0, const char* n1, const char* n2, const char* n3,
+               Cycles cycles, const GlobalAffinityConfig& cfg = {}) {
+    Run run(cfg);
+    run.system = std::make_unique<sim::MulticoreSystem>(four_core_amp(), 100);
+    const char* names[4] = {n0, n1, n2, n3};
+    for (int i = 0; i < 4; ++i)
+      run.threads.push_back(std::make_unique<sim::ThreadContext>(
+          i, catalog_.by_name(names[static_cast<std::size_t>(i)])));
+    run.system->attach_threads({run.threads[0].get(), run.threads[1].get(),
+                                run.threads[2].get(), run.threads[3].get()});
+    run.scheduler.on_start(*run.system);
+    for (Cycles i = 0; i < cycles; ++i) {
+      run.system->step();
+      run.scheduler.tick(*run.system);
+    }
+    return run;
+  }
+
+  wl::BenchmarkCatalog catalog_;
+};
+
+TEST_F(GlobalAffinityTest, RepairsFullyInvertedAssignment) {
+  // FP threads on the INT cores and vice versa: both violating pairs must
+  // be fixed (two swaps).
+  auto run = make_run("equake", "ammp", "bitcount", "sha", 400'000);
+  EXPECT_GE(run.scheduler.swaps_requested(), 2u);
+  // All INT-affine threads end on INT cores.
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto& name = run.system->thread_on(i)->name();
+    EXPECT_TRUE(name == "bitcount" || name == "sha") << name;
+  }
+  for (std::size_t i = 2; i < 4; ++i) {
+    const auto& name = run.system->thread_on(i)->name();
+    EXPECT_TRUE(name == "equake" || name == "ammp") << name;
+  }
+}
+
+TEST_F(GlobalAffinityTest, LeavesCorrectAssignmentAlone) {
+  auto run = make_run("bitcount", "sha", "equake", "ammp", 300'000);
+  EXPECT_EQ(run.scheduler.swaps_requested(), 0u);
+}
+
+TEST_F(GlobalAffinityTest, FixesSingleViolatingPair) {
+  // Only threads 1 (FP-affine, on INT core) and 2 (INT-affine, on FP core)
+  // violate; exactly one swap should fix it.
+  auto run = make_run("bitcount", "equake", "sha", "ammp", 300'000);
+  EXPECT_EQ(run.scheduler.swaps_requested(), 1u);
+  EXPECT_EQ(run.system->thread_on(1)->name(), "sha");
+  EXPECT_EQ(run.system->thread_on(2)->name(), "equake");
+}
+
+TEST_F(GlobalAffinityTest, BiasesTrackFlavors) {
+  auto run = make_run("bitcount", "sha", "equake", "ammp", 200'000);
+  // INT-core occupants show strongly positive bias, FP-core ones negative.
+  EXPECT_GT(run.scheduler.bias_of_core(0), 30.0);
+  EXPECT_GT(run.scheduler.bias_of_core(1), 30.0);
+  EXPECT_LT(run.scheduler.bias_of_core(2), 0.0);
+  EXPECT_LT(run.scheduler.bias_of_core(3), 0.0);
+}
+
+TEST_F(GlobalAffinityTest, MarginSuppressesMarginalSwaps) {
+  GlobalAffinityConfig strict;
+  strict.bias_margin = 1000.0;  // unreachable
+  auto run = make_run("equake", "ammp", "bitcount", "sha", 200'000, strict);
+  EXPECT_EQ(run.scheduler.swaps_requested(), 0u);
+}
+
+TEST_F(GlobalAffinityTest, RoundRobinRotatesPairs) {
+  sim::MulticoreSystem system(four_core_amp(), 100);
+  std::vector<std::unique_ptr<sim::ThreadContext>> threads;
+  const char* names[4] = {"sha", "gzip", "equake", "swim"};
+  for (int i = 0; i < 4; ++i)
+    threads.push_back(std::make_unique<sim::ThreadContext>(
+        i, catalog_.by_name(names[static_cast<std::size_t>(i)])));
+  system.attach_threads({threads[0].get(), threads[1].get(),
+                         threads[2].get(), threads[3].get()});
+  MulticoreRoundRobin rr(20'000);
+  rr.on_start(system);
+  for (Cycles i = 0; i < 150'000; ++i) {
+    system.step();
+    rr.tick(system);
+  }
+  EXPECT_GE(system.swap_count(), 5u);
+}
+
+}  // namespace
+}  // namespace amps::sched

@@ -1,0 +1,196 @@
+#include "core/hpe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::sched {
+namespace {
+
+// Profiling the nine representative benchmarks is the expensive part;
+// share one profile across the whole suite.
+class HpeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new wl::BenchmarkCatalog();
+    ProfilerConfig cfg;
+    cfg.run_length = 60'000;
+    cfg.sample_interval = 15'000;
+    models_ = new HpeModels(build_hpe_models(
+        sim::int_core_config(), sim::fp_core_config(), *catalog_, cfg));
+  }
+  static void TearDownTestSuite() {
+    delete models_;
+    delete catalog_;
+    models_ = nullptr;
+    catalog_ = nullptr;
+  }
+
+  static wl::BenchmarkCatalog* catalog_;
+  static HpeModels* models_;
+};
+
+wl::BenchmarkCatalog* HpeTest::catalog_ = nullptr;
+HpeModels* HpeTest::models_ = nullptr;
+
+TEST_F(HpeTest, ProfilerProducesSamples) {
+  EXPECT_GT(models_->samples.size(), 9u);
+  for (const auto& s : models_->samples) {
+    EXPECT_GE(s.int_pct, 0.0);
+    EXPECT_LE(s.int_pct, 100.0);
+    EXPECT_GE(s.fp_pct, 0.0);
+    EXPECT_LE(s.fp_pct, 100.0);
+    EXPECT_GT(s.ratio, 0.0);
+  }
+}
+
+TEST_F(HpeTest, MatrixPredictsIntAffinityAboveOne) {
+  // 80% INT / 2% FP: INT core must look better (paper Fig. 3 example: 1.3).
+  const double r = models_->matrix->predict_ratio(80.0, 2.0);
+  EXPECT_GT(r, 1.05);
+  EXPECT_LT(r, 2.5);
+}
+
+TEST_F(HpeTest, MatrixPredictsFpAffinityBelowOne) {
+  const double r = models_->matrix->predict_ratio(20.0, 50.0);
+  EXPECT_LT(r, 0.95);
+  EXPECT_GT(r, 0.3);
+}
+
+TEST_F(HpeTest, MatrixCellsAreTotalAfterFit) {
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 5; ++j) {
+      const double v = models_->matrix->cell(i, j);
+      EXPECT_GT(v, 0.0) << i << "," << j;
+      EXPECT_LT(v, 10.0);
+    }
+}
+
+TEST_F(HpeTest, MatrixHasPopulatedAndFilledCells) {
+  std::size_t populated = 0;
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 5; ++j)
+      if (models_->matrix->cell_count(i, j) > 0) ++populated;
+  EXPECT_GT(populated, 3u);   // profiling visited several compositions
+  EXPECT_LT(populated, 25u);  // ...but not the whole plane (fill logic runs)
+}
+
+TEST_F(HpeTest, RegressionFitsWell) {
+  EXPECT_GT(models_->regression->r2(), 0.6);
+}
+
+TEST_F(HpeTest, RegressionAgreesWithMatrixOnSigns) {
+  EXPECT_GT(models_->regression->predict_ratio(80.0, 2.0), 1.0);
+  EXPECT_LT(models_->regression->predict_ratio(15.0, 55.0), 1.0);
+}
+
+TEST_F(HpeTest, PredictionsAreClamped) {
+  // Even absurd extrapolations stay within the clamp band.
+  for (const HpePredictionModel* m :
+       {static_cast<const HpePredictionModel*>(models_->matrix.get()),
+        static_cast<const HpePredictionModel*>(models_->regression.get())}) {
+    for (double x : {0.0, 100.0})
+      for (double y : {0.0, 100.0}) {
+        const double r = m->predict_ratio(x, y);
+        EXPECT_GE(r, 0.05);
+        EXPECT_LE(r, 20.0);
+      }
+  }
+}
+
+TEST_F(HpeTest, SchedulerSwapsMisassignedPair) {
+  sim::DualCoreSystem system(sim::int_core_config(), sim::fp_core_config(),
+                             100);
+  sim::ThreadContext t0(0, catalog_->by_name("fpstress"));  // FP on INT core
+  sim::ThreadContext t1(1, catalog_->by_name("intstress"));
+  system.attach_threads(&t0, &t1);
+  HpeConfig cfg;
+  cfg.decision_interval = 20'000;
+  HpeScheduler sched(*models_->regression, cfg);
+  sched.on_start(system);
+  for (Cycles i = 0; i < 100'000; ++i) {
+    system.step();
+    sched.tick(system);
+  }
+  EXPECT_GE(sched.swaps_requested(), 1u);
+  EXPECT_EQ(system.thread_on(1), &t0);  // fpstress ended on the FP core
+}
+
+TEST_F(HpeTest, SchedulerKeepsGoodAssignment) {
+  sim::DualCoreSystem system(sim::int_core_config(), sim::fp_core_config(),
+                             100);
+  sim::ThreadContext t0(0, catalog_->by_name("intstress"));
+  sim::ThreadContext t1(1, catalog_->by_name("fpstress"));
+  system.attach_threads(&t0, &t1);
+  HpeConfig cfg;
+  cfg.decision_interval = 20'000;
+  HpeScheduler sched(*models_->regression, cfg);
+  sched.on_start(system);
+  for (Cycles i = 0; i < 100'000; ++i) {
+    system.step();
+    sched.tick(system);
+  }
+  EXPECT_EQ(sched.swaps_requested(), 0u);
+}
+
+TEST_F(HpeTest, SchedulerDecidesOncePerInterval) {
+  sim::DualCoreSystem system(sim::int_core_config(), sim::fp_core_config(),
+                             100);
+  sim::ThreadContext t0(0, catalog_->by_name("gzip"));
+  sim::ThreadContext t1(1, catalog_->by_name("swim"));
+  system.attach_threads(&t0, &t1);
+  HpeConfig cfg;
+  cfg.decision_interval = 10'000;
+  HpeScheduler sched(*models_->matrix, cfg);
+  sched.on_start(system);
+  for (Cycles i = 0; i < 100'000; ++i) {
+    system.step();
+    sched.tick(system);
+  }
+  EXPECT_GE(sched.decision_points(), 8u);
+  EXPECT_LE(sched.decision_points(), 11u);
+}
+
+TEST_F(HpeTest, SchedulerNameEncodesModel) {
+  HpeScheduler a(*models_->matrix);
+  HpeScheduler b(*models_->regression);
+  EXPECT_EQ(a.name(), "hpe-matrix");
+  EXPECT_EQ(b.name(), "hpe-regression");
+}
+
+TEST(RatioMatrixUnit, RejectsBadBins) {
+  EXPECT_THROW(RatioMatrix(0), std::invalid_argument);
+}
+
+TEST(RatioMatrixUnit, UnfittedPredictsUnity) {
+  RatioMatrix m(5);
+  EXPECT_DOUBLE_EQ(m.predict_ratio(50.0, 50.0), 1.0);
+}
+
+TEST(RatioMatrixUnit, FitUsesStatisticalMode) {
+  RatioMatrix m(5);
+  std::vector<ProfileSample> samples;
+  // Bin (int 0-20, fp 0-20): many 1.2s and one far outlier 3.0 -> mode 1.2.
+  for (int i = 0; i < 10; ++i) samples.push_back({10.0, 10.0, 1.2});
+  samples.push_back({10.0, 10.0, 3.0});
+  m.fit(samples);
+  EXPECT_NEAR(m.predict_ratio(10.0, 10.0), 1.2, 0.06);
+}
+
+TEST(RatioMatrixUnit, EmptyCellsFilledFromNearestNeighbor) {
+  RatioMatrix m(5);
+  std::vector<ProfileSample> samples = {{90.0, 5.0, 1.4}};
+  m.fit(samples);
+  // Every cell inherits the single populated cell's value.
+  EXPECT_NEAR(m.predict_ratio(5.0, 90.0), 1.4, 0.06);
+}
+
+TEST(RegressionSurfaceUnit, RejectsBadDegreeAndEmpty) {
+  EXPECT_THROW(RegressionSurface(0), std::invalid_argument);
+  RegressionSurface s(2);
+  EXPECT_THROW(s.fit({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amps::sched

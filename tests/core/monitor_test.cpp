@@ -1,0 +1,98 @@
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmark.hpp"
+
+namespace amps::sched {
+namespace {
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest()
+      : system_(sim::int_core_config(), sim::fp_core_config(), 100),
+        t0_(0, catalog_.by_name("bitcount")),
+        t1_(1, catalog_.by_name("ammp")) {
+    system_.attach_threads(&t0_, &t1_);
+  }
+
+  wl::BenchmarkCatalog catalog_;
+  sim::DualCoreSystem system_;
+  sim::ThreadContext t0_;
+  sim::ThreadContext t1_;
+};
+
+TEST_F(MonitorTest, NoSampleBeforeWindowCompletes) {
+  WindowMonitor mon(1000);
+  EXPECT_FALSE(mon.poll(system_, t0_).has_value());
+  EXPECT_FALSE(mon.has_sample());
+}
+
+TEST_F(MonitorTest, SampleAfterWindowBoundary) {
+  WindowMonitor mon(1000);
+  (void)mon.poll(system_, t0_);  // primes the monitor
+  while (t0_.committed_total() < 1200) system_.step();
+  const auto s = mon.poll(system_, t0_);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_GE(s->committed, 1000u);
+  EXPECT_GT(s->ipc, 0.0);
+  EXPECT_GT(s->ipc_per_watt, 0.0);
+  EXPECT_TRUE(mon.has_sample());
+  EXPECT_EQ(mon.latest().committed, s->committed);
+}
+
+TEST_F(MonitorTest, CompositionMatchesWorkload) {
+  WindowMonitor mon(2000);
+  (void)mon.poll(system_, t0_);
+  while (t0_.committed_total() < 2500) system_.step();
+  const auto s = mon.poll(system_, t0_);
+  ASSERT_TRUE(s.has_value());
+  // bitcount: ~78% INT, ~0.5% FP.
+  EXPECT_GT(s->int_pct, 60.0);
+  EXPECT_LT(s->fp_pct, 10.0);
+}
+
+TEST_F(MonitorTest, ConsecutiveWindowsAreDisjoint) {
+  WindowMonitor mon(500);
+  (void)mon.poll(system_, t0_);
+  std::uint64_t samples = 0;
+  InstrCount total_in_windows = 0;
+  while (t0_.committed_total() < 6000) {
+    system_.step();
+    if (const auto s = mon.poll(system_, t0_)) {
+      ++samples;
+      total_in_windows += s->committed;
+    }
+  }
+  EXPECT_GE(samples, 8u);
+  // Windows tile the committed stream without overlap.
+  EXPECT_LE(total_in_windows, t0_.committed_total());
+}
+
+TEST_F(MonitorTest, ResetRestartsWindow) {
+  WindowMonitor mon(1000);
+  (void)mon.poll(system_, t0_);
+  while (t0_.committed_total() < 900) system_.step();
+  mon.reset(system_, t0_);
+  // Boundary is now current+1000, so no sample until ~1900 committed.
+  EXPECT_FALSE(mon.poll(system_, t0_).has_value());
+  while (t0_.committed_total() < 2000) system_.step();
+  EXPECT_TRUE(mon.poll(system_, t0_).has_value());
+}
+
+TEST_F(MonitorTest, WindowSizeAccessor) {
+  WindowMonitor mon(1234);
+  EXPECT_EQ(mon.window_size(), 1234u);
+}
+
+TEST_F(MonitorTest, AtCycleStampsSystemTime) {
+  WindowMonitor mon(1000);
+  (void)mon.poll(system_, t0_);
+  while (t0_.committed_total() < 1100) system_.step();
+  const auto s = mon.poll(system_, t0_);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->at_cycle, system_.now());
+}
+
+}  // namespace
+}  // namespace amps::sched

@@ -1,0 +1,99 @@
+#include "core/phase_detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amps::sched {
+namespace {
+
+WindowSample sample(double int_pct, double fp_pct) {
+  WindowSample s;
+  s.int_pct = int_pct;
+  s.fp_pct = fp_pct;
+  return s;
+}
+
+TEST(PhaseDetector, FirstWindowPrimesWithoutChange) {
+  PhaseDetector d;
+  EXPECT_FALSE(d.update(sample(60, 5)));
+  EXPECT_EQ(d.changes_detected(), 0u);
+  EXPECT_EQ(d.windows_seen(), 1u);
+}
+
+TEST(PhaseDetector, StableCompositionNeverFires) {
+  PhaseDetector d;
+  for (int i = 0; i < 100; ++i)
+    EXPECT_FALSE(d.update(sample(60.0 + (i % 3), 5.0)));
+  EXPECT_EQ(d.changes_detected(), 0u);
+}
+
+TEST(PhaseDetector, AbruptShiftFires) {
+  PhaseDetector d;
+  for (int i = 0; i < 10; ++i) (void)d.update(sample(70, 3));
+  EXPECT_TRUE(d.update(sample(10, 55)));
+  EXPECT_EQ(d.changes_detected(), 1u);
+}
+
+TEST(PhaseDetector, CooldownSuppressesRetrigger) {
+  PhaseDetectorConfig cfg;
+  cfg.cooldown_windows = 3;
+  PhaseDetector d(cfg);
+  (void)d.update(sample(70, 3));
+  EXPECT_TRUE(d.update(sample(10, 55)));
+  // Another big jump right after falls inside the cooldown.
+  EXPECT_FALSE(d.update(sample(70, 3)));
+  EXPECT_EQ(d.changes_detected(), 1u);
+}
+
+TEST(PhaseDetector, RefiresAfterCooldown) {
+  PhaseDetectorConfig cfg;
+  cfg.cooldown_windows = 2;
+  PhaseDetector d(cfg);
+  (void)d.update(sample(70, 3));
+  EXPECT_TRUE(d.update(sample(10, 55)));
+  (void)d.update(sample(10, 55));  // cooldown 1
+  (void)d.update(sample(10, 55));  // cooldown 0
+  EXPECT_TRUE(d.update(sample(70, 3)));
+  EXPECT_EQ(d.changes_detected(), 2u);
+}
+
+TEST(PhaseDetector, EstimateTracksEma) {
+  PhaseDetectorConfig cfg;
+  cfg.ema_alpha = 0.5;
+  PhaseDetector d(cfg);
+  (void)d.update(sample(60, 10));
+  (void)d.update(sample(70, 10));
+  EXPECT_NEAR(d.estimate()[0], 65.0, 1e-9);
+}
+
+TEST(PhaseDetector, SnapOnChange) {
+  PhaseDetector d;
+  (void)d.update(sample(70, 3));
+  (void)d.update(sample(10, 55));  // change: estimate snaps
+  EXPECT_NEAR(d.estimate()[0], 10.0, 1e-9);
+  EXPECT_NEAR(d.estimate()[1], 55.0, 1e-9);
+}
+
+TEST(PhaseDetector, SlowDriftFollowsWithoutFiring) {
+  PhaseDetectorConfig cfg;
+  cfg.change_threshold = 25.0;
+  PhaseDetector d(cfg);
+  double int_pct = 70.0;
+  bool fired = false;
+  for (int i = 0; i < 60; ++i) {
+    int_pct -= 1.0;  // drift well below threshold per window
+    fired |= d.update(sample(int_pct, 5));
+  }
+  EXPECT_FALSE(fired);
+  EXPECT_NEAR(d.estimate()[0], int_pct, 5.0);
+}
+
+TEST(PhaseDetector, ResetForgets) {
+  PhaseDetector d;
+  (void)d.update(sample(70, 3));
+  d.reset();
+  // After reset, the next window primes silently even if very different.
+  EXPECT_FALSE(d.update(sample(5, 60)));
+}
+
+}  // namespace
+}  // namespace amps::sched

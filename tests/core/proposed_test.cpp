@@ -1,0 +1,135 @@
+#include "core/proposed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmark.hpp"
+
+namespace amps::sched {
+namespace {
+
+struct RunOutcome {
+  std::uint64_t swaps = 0;
+  std::uint64_t forced = 0;
+  std::uint64_t decisions = 0;
+  bool t0_ends_on_core1 = false;
+};
+
+RunOutcome run(const char* bench0, const char* bench1,
+               const ProposedConfig& cfg, Cycles cycles = 300'000) {
+  wl::BenchmarkCatalog catalog;
+  sim::DualCoreSystem system(sim::int_core_config(), sim::fp_core_config(),
+                             100);
+  sim::ThreadContext t0(0, catalog.by_name(bench0));
+  sim::ThreadContext t1(1, catalog.by_name(bench1));
+  system.attach_threads(&t0, &t1);
+  ProposedScheduler sched(cfg);
+  sched.on_start(system);
+  for (Cycles i = 0; i < cycles; ++i) {
+    system.step();
+    sched.tick(system);
+  }
+  return {.swaps = sched.swaps_requested(),
+          .forced = sched.forced_swaps(),
+          .decisions = sched.decision_points(),
+          .t0_ends_on_core1 = system.thread_on(1) == &t0};
+}
+
+ProposedConfig default_cfg() {
+  ProposedConfig cfg;
+  cfg.window_size = 1000;
+  cfg.history_depth = 5;
+  cfg.forced_swap_interval = 150'000;
+  return cfg;
+}
+
+TEST(ProposedScheduler, CorrectsMisassignedPair) {
+  // equake (FP) starts on the INT core, bitcount (INT) on the FP core:
+  // the Fig. 5 rules must swap them, exactly once, quickly.
+  const RunOutcome r = run("equake", "bitcount", default_cfg());
+  EXPECT_GE(r.swaps, 1u);
+  EXPECT_LE(r.swaps, 3u);
+  EXPECT_TRUE(r.t0_ends_on_core1);  // equake ends on the FP core
+}
+
+TEST(ProposedScheduler, LeavesWellAssignedPairAlone) {
+  // bitcount (INT) on INT core + equake (FP) on FP core: no rule fires and
+  // the flavors differ, so the fairness rule stays quiet too.
+  const RunOutcome r = run("bitcount", "equake", default_cfg());
+  EXPECT_EQ(r.swaps, 0u);
+}
+
+TEST(ProposedScheduler, ForcedSwapForSameFlavorPair) {
+  // Two INT-intensive threads: rule 2 can never fire; rule 3 must force a
+  // fairness swap every forced_swap_interval.
+  ProposedConfig cfg = default_cfg();
+  cfg.forced_swap_interval = 50'000;
+  const RunOutcome r = run("bitcount", "sha", cfg, 400'000);
+  EXPECT_GE(r.forced, 2u);
+  EXPECT_EQ(r.swaps, r.forced);  // all swaps were fairness swaps
+}
+
+TEST(ProposedScheduler, ForcedSwapCanBeDisabled) {
+  ProposedConfig cfg = default_cfg();
+  cfg.forced_swap_interval = 50'000;
+  cfg.enable_forced_swap = false;
+  const RunOutcome r = run("bitcount", "sha", cfg, 400'000);
+  EXPECT_EQ(r.swaps, 0u);
+}
+
+TEST(ProposedScheduler, DecisionPointsTrackWindows) {
+  const RunOutcome r = run("gzip", "swim", default_cfg());
+  // Decisions happen at window boundaries of either thread; with two
+  // threads committing >100k instructions total there must be many.
+  EXPECT_GT(r.decisions, 50u);
+}
+
+TEST(ProposedScheduler, SwapFractionWellBelowOnePercent) {
+  // Paper §VI-D: "in much less than 1% of the ... decision-making points,
+  // swapping of threads actually happened".
+  const RunOutcome r = run("equake", "bitcount", default_cfg());
+  ASSERT_GT(r.decisions, 0u);
+  EXPECT_LT(static_cast<double>(r.swaps) / static_cast<double>(r.decisions),
+            0.01);
+}
+
+TEST(ProposedScheduler, HistoryDepthDampensReaction) {
+  // A deeper history requires more consistent windows before swapping, so
+  // it can never swap sooner than a shallow history on the same workload.
+  ProposedConfig shallow = default_cfg();
+  shallow.history_depth = 1;
+  ProposedConfig deep = default_cfg();
+  deep.history_depth = 9;
+  const RunOutcome rs = run("mixstress", "mcf", shallow);
+  const RunOutcome rd = run("mixstress", "mcf", deep);
+  EXPECT_GE(rs.swaps, rd.swaps);
+}
+
+TEST(ProposedScheduler, NoSwapsDuringMigration) {
+  // tick() must be a no-op while a swap is in flight; this is exercised
+  // implicitly by using a huge overhead and checking the swap counter never
+  // exceeds what distinct migrations allow.
+  wl::BenchmarkCatalog catalog;
+  sim::DualCoreSystem system(sim::int_core_config(), sim::fp_core_config(),
+                             50'000);
+  sim::ThreadContext t0(0, catalog.by_name("equake"));
+  sim::ThreadContext t1(1, catalog.by_name("bitcount"));
+  system.attach_threads(&t0, &t1);
+  ProposedScheduler sched(default_cfg());
+  sched.on_start(system);
+  for (Cycles i = 0; i < 200'000; ++i) {
+    system.step();
+    sched.tick(system);
+  }
+  EXPECT_LE(sched.swaps_requested(), 3u);
+}
+
+TEST(ProposedScheduler, ConfigAccessor) {
+  ProposedConfig cfg = default_cfg();
+  cfg.window_size = 512;
+  ProposedScheduler sched(cfg);
+  EXPECT_EQ(sched.config().window_size, 512u);
+  EXPECT_EQ(sched.name(), "proposed");
+}
+
+}  // namespace
+}  // namespace amps::sched

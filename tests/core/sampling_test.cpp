@@ -1,0 +1,91 @@
+#include "core/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmark.hpp"
+
+namespace amps::sched {
+namespace {
+
+SamplingConfig fast_cfg() {
+  SamplingConfig cfg;
+  cfg.decision_interval = 30'000;
+  cfg.sample_cycles = 5'000;
+  cfg.warmup_cycles = 1'000;
+  return cfg;
+}
+
+struct Outcome {
+  std::uint64_t swaps = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t kept = 0;
+  bool t0_on_core1 = false;
+};
+
+Outcome run(const char* b0, const char* b1, const SamplingConfig& cfg,
+            Cycles cycles = 300'000) {
+  wl::BenchmarkCatalog catalog;
+  sim::DualCoreSystem system(sim::int_core_config(), sim::fp_core_config(),
+                             100);
+  sim::ThreadContext t0(0, catalog.by_name(b0));
+  sim::ThreadContext t1(1, catalog.by_name(b1));
+  system.attach_threads(&t0, &t1);
+  SamplingScheduler sched(cfg);
+  sched.on_start(system);
+  for (Cycles i = 0; i < cycles; ++i) {
+    system.step();
+    sched.tick(system);
+  }
+  return {.swaps = sched.swaps_requested(),
+          .decisions = sched.decision_points(),
+          .kept = sched.kept_swapped(),
+          .t0_on_core1 = system.thread_on(1) == &t0};
+}
+
+TEST(SamplingScheduler, AlwaysSamplesBothConfigurations) {
+  const Outcome r = run("gzip", "swim", fast_cfg());
+  // Every decision costs at least one forced swap (the sampling swap).
+  EXPECT_GE(r.decisions, 5u);
+  EXPECT_GE(r.swaps, r.decisions);
+}
+
+TEST(SamplingScheduler, KeepsBetterConfigurationForMisassignedPair) {
+  // fpstress on INT core + intstress on FP core: the swapped configuration
+  // measures clearly better, so sampling keeps it.
+  const Outcome r = run("fpstress", "intstress", fast_cfg());
+  EXPECT_GE(r.kept, 1u);
+  EXPECT_TRUE(r.t0_on_core1);  // fpstress ends on the FP core
+}
+
+TEST(SamplingScheduler, RevertsWhenIncumbentIsBetter) {
+  // Correctly assigned stress pair: the swapped sample loses and the
+  // scheduler reverts every time.
+  const Outcome r = run("intstress", "fpstress", fast_cfg());
+  EXPECT_EQ(r.kept, 0u);
+  EXPECT_FALSE(r.t0_on_core1);  // intstress still on the INT core
+  // Each decision took exactly two swaps: sample + revert.
+  EXPECT_EQ(r.swaps, 2 * r.decisions);
+}
+
+TEST(SamplingScheduler, HysteresisResistsNoise) {
+  SamplingConfig sticky = fast_cfg();
+  sticky.keep_threshold = 10.0;  // effectively never accept the swap
+  const Outcome r = run("fpstress", "intstress", sticky, 200'000);
+  EXPECT_EQ(r.kept, 0u);
+}
+
+TEST(SamplingScheduler, NameAndConfig) {
+  SamplingScheduler sched(fast_cfg());
+  EXPECT_EQ(sched.name(), "sampling");
+  EXPECT_EQ(sched.config().sample_cycles, 5'000u);
+}
+
+TEST(SamplingScheduler, Deterministic) {
+  const Outcome a = run("apsi", "CRC32", fast_cfg());
+  const Outcome b = run("apsi", "CRC32", fast_cfg());
+  EXPECT_EQ(a.swaps, b.swaps);
+  EXPECT_EQ(a.kept, b.kept);
+}
+
+}  // namespace
+}  // namespace amps::sched

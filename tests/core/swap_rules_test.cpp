@@ -1,0 +1,103 @@
+#include "core/swap_rules.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amps::sched {
+namespace {
+
+// Shorthand: composition {%INT on FP core, %INT on INT core,
+//                         %FP on INT core, %FP on FP core}.
+PairComposition comp(double int_fp, double int_int, double fp_int,
+                     double fp_fp) {
+  return {.int_pct_on_fp_core = int_fp,
+          .int_pct_on_int_core = int_int,
+          .fp_pct_on_int_core = fp_int,
+          .fp_pct_on_fp_core = fp_fp};
+}
+
+TEST(SwapRules, IntRuleFiresExactlyAtThresholds) {
+  // Fig. 5 rule 2.i: %INT_FP >= 55 and %INT_INT <= 35.
+  EXPECT_TRUE(should_swap(comp(55, 35, 0, 50)));
+  EXPECT_FALSE(should_swap(comp(54.9, 35, 0, 50)));
+  EXPECT_FALSE(should_swap(comp(55, 35.1, 0, 50)));
+}
+
+TEST(SwapRules, FpRuleFiresExactlyAtThresholds) {
+  // Fig. 5 rule 2.ii: %FP_INT >= 20 and %FP_FP <= 7.
+  EXPECT_TRUE(should_swap(comp(0, 50, 20, 7)));
+  EXPECT_FALSE(should_swap(comp(0, 50, 19.9, 7)));
+  EXPECT_FALSE(should_swap(comp(0, 50, 20, 7.1)));
+}
+
+TEST(SwapRules, EitherRuleSuffices) {
+  EXPECT_TRUE(should_swap(comp(80, 10, 0, 60)));   // INT rule only
+  EXPECT_TRUE(should_swap(comp(10, 60, 40, 2)));   // FP rule only
+  EXPECT_TRUE(should_swap(comp(60, 20, 30, 5)));   // both
+  EXPECT_FALSE(should_swap(comp(40, 50, 10, 30)));
+}
+
+TEST(SwapRules, WellAssignedPairDoesNotSwap) {
+  // INT thread already on INT core (high %INT_INT), FP thread on FP core.
+  EXPECT_FALSE(should_swap(comp(/*int_fp=*/10, /*int_int=*/70,
+                                /*fp_int=*/2, /*fp_fp=*/50)));
+}
+
+TEST(SwapRules, SameFlavorConflictBothInt) {
+  EXPECT_TRUE(same_flavor_conflict(comp(60, 60, 1, 1)));
+  EXPECT_FALSE(same_flavor_conflict(comp(60, 40, 1, 1)));
+  EXPECT_FALSE(same_flavor_conflict(comp(40, 60, 1, 1)));
+}
+
+TEST(SwapRules, SameFlavorConflictBothFp) {
+  EXPECT_TRUE(same_flavor_conflict(comp(5, 5, 25, 25)));
+  EXPECT_FALSE(same_flavor_conflict(comp(5, 5, 25, 10)));
+}
+
+TEST(SwapRules, ConflictAndSwapAreMutuallyExclusiveRegimes) {
+  // A composition that satisfies rule 2 (mutually beneficial) cannot also
+  // be a both-INT conflict: rule 2 requires %INT_INT <= 35 but the conflict
+  // requires >= 55.
+  const PairComposition c = comp(70, 20, 1, 1);
+  EXPECT_TRUE(should_swap(c));
+  EXPECT_FALSE(same_flavor_conflict(c));
+}
+
+TEST(SwapRules, CustomThresholds) {
+  SwapRuleThresholds t;
+  t.int_surge = 40.0;
+  t.int_drop = 45.0;
+  EXPECT_TRUE(should_swap(comp(41, 44, 0, 50), t));
+  EXPECT_FALSE(should_swap(comp(41, 46, 0, 50), t));
+}
+
+struct RuleCase {
+  double int_fp, int_int, fp_int, fp_fp;
+  bool expect_swap;
+  bool expect_conflict;
+};
+
+class SwapRuleTruthTable : public ::testing::TestWithParam<RuleCase> {};
+
+TEST_P(SwapRuleTruthTable, MatchesFigure5) {
+  const RuleCase& c = GetParam();
+  const PairComposition pc = comp(c.int_fp, c.int_int, c.fp_int, c.fp_fp);
+  EXPECT_EQ(should_swap(pc), c.expect_swap);
+  EXPECT_EQ(same_flavor_conflict(pc), c.expect_conflict);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure5, SwapRuleTruthTable,
+    ::testing::Values(
+        RuleCase{80, 20, 0, 60, true, false},   // INT thread stuck on FP core
+        RuleCase{10, 70, 30, 3, true, false},   // FP thread stuck on INT core
+        RuleCase{70, 70, 2, 2, false, true},    // both INT-heavy
+        RuleCase{5, 5, 30, 30, false, true},    // both FP-heavy
+        RuleCase{30, 45, 10, 12, false, false}, // lukewarm mix: keep
+        RuleCase{55, 35, 20, 7, true, false},   // both rules exactly at edge
+        RuleCase{0, 0, 0, 0, false, false},     // idle
+        RuleCase{100, 0, 0, 100, true, false},  // perfectly inverted
+        RuleCase{100, 100, 0, 0, false, true},  // identical INT twins
+        RuleCase{0, 0, 100, 100, false, true}));// identical FP twins
+
+}  // namespace
+}  // namespace amps::sched

@@ -1,0 +1,142 @@
+#include "core/utility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/solo.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::sched {
+namespace {
+
+UtilityConfig fast_cfg() {
+  UtilityConfig cfg;
+  cfg.decision_interval = 30'000;
+  cfg.big_core_index = 0;
+  return cfg;
+}
+
+struct Outcome {
+  std::uint64_t swaps = 0;
+  std::uint64_t decisions = 0;
+  bool t0_on_big = false;
+};
+
+Outcome run(const char* b0, const char* b1, const UtilityConfig& cfg,
+            Cycles cycles = 300'000) {
+  wl::BenchmarkCatalog catalog;
+  sim::DualCoreSystem system(sim::big_core_config(),
+                             sim::little_core_config(), 100);
+  sim::ThreadContext t0(0, catalog.by_name(b0));
+  sim::ThreadContext t1(1, catalog.by_name(b1));
+  system.attach_threads(&t0, &t1);
+  UtilityScheduler sched(cfg);
+  sched.on_start(system);
+  for (Cycles i = 0; i < cycles; ++i) {
+    system.step();
+    sched.tick(system);
+  }
+  return {.swaps = sched.swaps_requested(),
+          .decisions = sched.decision_points(),
+          .t0_on_big = system.thread_on(0) == &t0};
+}
+
+TEST(UtilityScheduler, UtilityDecreasesWithMpki) {
+  UtilityScheduler sched(fast_cfg());
+  EXPECT_DOUBLE_EQ(sched.utility(0.0), 1.0);
+  EXPECT_GT(sched.utility(1.0), sched.utility(10.0));
+  EXPECT_GT(sched.utility(10.0), sched.utility(100.0));
+  EXPECT_GT(sched.utility(100.0), 0.0);
+}
+
+TEST(UtilityScheduler, MovesMemoryBoundThreadOffBigCore) {
+  // mcf (memory-bound, high MPKI) starts on the big core while sha
+  // (compute-bound) sits on the little core: the scheduler must swap.
+  const Outcome r = run("mcf", "sha", fast_cfg());
+  EXPECT_GE(r.swaps, 1u);
+  EXPECT_FALSE(r.t0_on_big);  // mcf ends on the little core
+}
+
+TEST(UtilityScheduler, KeepsComputeBoundThreadOnBigCore) {
+  const Outcome r = run("sha", "mcf", fast_cfg());
+  EXPECT_EQ(r.swaps, 0u);
+  EXPECT_TRUE(r.t0_on_big);
+}
+
+TEST(UtilityScheduler, SimilarThreadsRarelySwap) {
+  // Two compute-bound threads: utilities are nearly equal, the margin
+  // suppresses ping-ponging.
+  const Outcome r = run("sha", "bitcount", fast_cfg());
+  EXPECT_LE(r.swaps, 1u);
+}
+
+TEST(UtilityScheduler, DecisionsTrackIntervals) {
+  const Outcome r = run("gzip", "swim", fast_cfg(), 150'000);
+  EXPECT_GE(r.decisions, 4u);
+  EXPECT_LE(r.decisions, 6u);
+}
+
+TEST(UtilityScheduler, BigCoreIndexConfigurable) {
+  UtilityConfig cfg = fast_cfg();
+  cfg.big_core_index = 1;
+  // Build the mirrored system: little on 0, big on 1. mcf starts on the
+  // big core (index 1) and must be moved off it.
+  wl::BenchmarkCatalog catalog;
+  sim::DualCoreSystem system(sim::little_core_config(),
+                             sim::big_core_config(), 100);
+  sim::ThreadContext t0(0, catalog.by_name("sha"));
+  sim::ThreadContext t1(1, catalog.by_name("mcf"));
+  system.attach_threads(&t0, &t1);
+  UtilityScheduler sched(cfg);
+  sched.on_start(system);
+  for (Cycles i = 0; i < 300'000; ++i) {
+    system.step();
+    sched.tick(system);
+  }
+  EXPECT_GE(sched.swaps_requested(), 1u);
+  EXPECT_EQ(system.thread_on(1), &t0);  // sha took the big core
+}
+
+TEST(UtilityScheduler, Name) {
+  UtilityScheduler sched;
+  EXPECT_EQ(sched.name(), "utility");
+}
+
+TEST(BigLittleConfigs, Validate) {
+  std::string why;
+  EXPECT_TRUE(sim::big_core_config().validate(&why)) << why;
+  EXPECT_TRUE(sim::little_core_config().validate(&why)) << why;
+}
+
+TEST(BigLittleConfigs, BigIsBiggerEverywhere) {
+  const auto big = sim::big_core_config();
+  const auto little = sim::little_core_config();
+  EXPECT_GT(big.fetch_width, little.fetch_width);
+  EXPECT_GT(big.rob_entries, little.rob_entries);
+  EXPECT_GT(big.int_rename_regs, little.int_rename_regs);
+  // And it leaks more (the power trade-off that makes scheduling matter).
+  const power::EnergyModel mb(big.structure_sizes());
+  const power::EnergyModel ml(little.structure_sizes());
+  EXPECT_GT(mb.leakage_per_cycle(), ml.leakage_per_cycle());
+}
+
+TEST(BigLittleConfigs, BigIsFasterOnComputeBoundWork) {
+  wl::BenchmarkCatalog catalog;
+  const auto on_big =
+      sim::run_solo(sim::big_core_config(), catalog.by_name("sha"), 30'000);
+  const auto on_little = sim::run_solo(sim::little_core_config(),
+                                       catalog.by_name("sha"), 30'000);
+  EXPECT_GT(on_big.ipc(), on_little.ipc() * 1.3);
+}
+
+TEST(BigLittleConfigs, MemoryBoundWorkIsCoreInsensitive) {
+  wl::BenchmarkCatalog catalog;
+  const auto on_big =
+      sim::run_solo(sim::big_core_config(), catalog.by_name("mcf"), 10'000);
+  const auto on_little = sim::run_solo(sim::little_core_config(),
+                                       catalog.by_name("mcf"), 10'000);
+  // Within 25%: DRAM latency dominates both.
+  EXPECT_NEAR(on_big.ipc() / on_little.ipc(), 1.0, 0.25);
+}
+
+}  // namespace
+}  // namespace amps::sched

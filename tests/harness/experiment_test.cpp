@@ -1,0 +1,123 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amps::harness {
+namespace {
+
+sim::SimScale tiny_scale() {
+  sim::SimScale s;
+  s.context_switch_interval = 20'000;
+  s.run_length = 60'000;
+  s.window_size = 1000;
+  s.history_depth = 5;
+  s.swap_overhead = 100;
+  return s;
+}
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  ExperimentTest() : runner_(tiny_scale()) {}
+  wl::BenchmarkCatalog catalog_;
+  ExperimentRunner runner_;
+};
+
+TEST_F(ExperimentTest, RunPairStopsWhenOneThreadFinishes) {
+  const BenchmarkPair pair{&catalog_.by_name("sha"), &catalog_.by_name("mcf")};
+  const auto r = runner_.run_pair(pair, runner_.static_factory());
+  // sha is fast, mcf is memory-bound: the run ends when sha reaches the
+  // budget, with mcf well behind.
+  EXPECT_GE(r.threads[0].committed, tiny_scale().run_length);
+  EXPECT_LT(r.threads[1].committed, tiny_scale().run_length);
+  EXPECT_EQ(r.scheduler, "static");
+  EXPECT_EQ(r.swap_count, 0u);
+}
+
+TEST_F(ExperimentTest, RoundRobinSwapsAtInterval) {
+  const BenchmarkPair pair{&catalog_.by_name("gzip"),
+                           &catalog_.by_name("swim")};
+  const auto r = runner_.run_pair(pair, runner_.round_robin_factory());
+  EXPECT_GE(r.swap_count, 2u);
+  EXPECT_EQ(r.decision_points, r.swap_count);  // RR swaps unconditionally
+}
+
+TEST_F(ExperimentTest, RoundRobinIntervalMultiplier) {
+  const BenchmarkPair pair{&catalog_.by_name("gzip"),
+                           &catalog_.by_name("swim")};
+  const auto r1 = runner_.run_pair(pair, runner_.round_robin_factory(1));
+  const auto r2 = runner_.run_pair(pair, runner_.round_robin_factory(2));
+  EXPECT_GT(r1.swap_count, r2.swap_count);
+}
+
+TEST_F(ExperimentTest, RunsAreDeterministic) {
+  const BenchmarkPair pair{&catalog_.by_name("apsi"),
+                           &catalog_.by_name("CRC32")};
+  const auto a = runner_.run_pair(pair, runner_.proposed_factory());
+  const auto b = runner_.run_pair(pair, runner_.proposed_factory());
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_DOUBLE_EQ(a.threads[0].ipc_per_watt, b.threads[0].ipc_per_watt);
+  EXPECT_EQ(a.swap_count, b.swap_count);
+}
+
+TEST_F(ExperimentTest, ProposedBeatsStaticOnMisassignedPair) {
+  // fpstress starts on the INT core, intstress on the FP core: any sane
+  // dynamic scheme must beat never-swapping.
+  const BenchmarkPair pair{&catalog_.by_name("fpstress"),
+                           &catalog_.by_name("intstress")};
+  const auto stat = runner_.run_pair(pair, runner_.static_factory());
+  const auto prop = runner_.run_pair(pair, runner_.proposed_factory());
+  EXPECT_GT(prop.weighted_ipw_speedup_vs(stat), 1.15);
+  EXPECT_GT(prop.geometric_ipw_speedup_vs(stat), 1.15);
+}
+
+TEST_F(ExperimentTest, CompareSchedulersProducesRowPerPair) {
+  const auto pairs = sample_pairs(catalog_, 3, 11);
+  const auto rows = compare_schedulers(runner_, pairs,
+                                       runner_.proposed_factory(),
+                                       runner_.round_robin_factory());
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& row : rows) {
+    EXPECT_FALSE(row.label.empty());
+    EXPECT_GT(row.weighted_improvement_pct, -100.0);
+    // Weighted mean of ratios dominates the geometric mean.
+    EXPECT_GE(row.weighted_improvement_pct,
+              row.geometric_improvement_pct - 1e-9);
+  }
+}
+
+TEST_F(ExperimentTest, SelectWorstMidBestOrdering) {
+  std::vector<ComparisonRow> rows(9);
+  for (int i = 0; i < 9; ++i)
+    rows[static_cast<std::size_t>(i)].weighted_improvement_pct = i * 10.0;
+  const auto idx = select_worst_mid_best(rows, 2);
+  ASSERT_EQ(idx.size(), 6u);
+  // Worst two, middle two, best two.
+  EXPECT_DOUBLE_EQ(rows[idx[0]].weighted_improvement_pct, 0.0);
+  EXPECT_DOUBLE_EQ(rows[idx[1]].weighted_improvement_pct, 10.0);
+  EXPECT_DOUBLE_EQ(rows[idx[4]].weighted_improvement_pct, 70.0);
+  EXPECT_DOUBLE_EQ(rows[idx[5]].weighted_improvement_pct, 80.0);
+}
+
+TEST_F(ExperimentTest, SelectWorstMidBestSmallInputReturnsAll) {
+  std::vector<ComparisonRow> rows(4);
+  for (int i = 0; i < 4; ++i)
+    rows[static_cast<std::size_t>(i)].weighted_improvement_pct = 3.0 - i;
+  const auto idx = select_worst_mid_best(rows, 2);
+  EXPECT_EQ(idx.size(), 4u);
+  // Sorted worst -> best.
+  EXPECT_DOUBLE_EQ(rows[idx[0]].weighted_improvement_pct, 0.0);
+  EXPECT_DOUBLE_EQ(rows[idx[3]].weighted_improvement_pct, 3.0);
+}
+
+TEST_F(ExperimentTest, SelectWorstMidBestEmpty) {
+  EXPECT_TRUE(select_worst_mid_best({}, 3).empty());
+}
+
+TEST_F(ExperimentTest, ScaleAccessors) {
+  EXPECT_EQ(runner_.scale().run_length, tiny_scale().run_length);
+  EXPECT_EQ(runner_.int_core().kind, CoreKind::Int);
+  EXPECT_EQ(runner_.fp_core().kind, CoreKind::Fp);
+}
+
+}  // namespace
+}  // namespace amps::harness

@@ -1,0 +1,107 @@
+#include "harness/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "harness/experiment.hpp"
+
+namespace amps::harness {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(kCount, [&](std::size_t i) { ++hits[i]; }, 4);
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, SerialFallbackForSingleWorker) {
+  std::vector<std::size_t> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(i); }, 1);
+  const std::vector<std::size_t> expected = {0, 1, 2, 3, 4};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelFor, EmptyAndSingleItem) {
+  int calls = 0;
+  parallel_for(0, [&](std::size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, [&](std::size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, UsesMultipleThreads) {
+  std::set<std::thread::id> ids;
+  std::mutex m;
+  parallel_for(
+      64,
+      [&](std::size_t) {
+        std::lock_guard<std::mutex> lock(m);
+        ids.insert(std::this_thread::get_id());
+      },
+      2);
+  EXPECT_GE(ids.size(), 1u);  // >= 2 on an idle multicore, >= 1 always
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(parallel_for(
+                   16,
+                   [](std::size_t i) {
+                     if (i == 7) throw std::runtime_error("boom");
+                   },
+                   4),
+               std::runtime_error);
+}
+
+TEST(ParallelMap, OrderStable) {
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  const auto doubled =
+      parallel_map(items, [](int x) { return 2 * x; }, 4);
+  for (std::size_t i = 0; i < items.size(); ++i)
+    EXPECT_EQ(doubled[i], 2 * static_cast<int>(i));
+}
+
+TEST(DefaultWorkers, HonorsEnv) {
+  setenv("AMPS_THREADS", "3", 1);
+  EXPECT_EQ(default_worker_count(), 3u);
+  unsetenv("AMPS_THREADS");
+  EXPECT_GE(default_worker_count(), 1u);
+}
+
+TEST(ParallelComparison, MatchesSerialResults) {
+  // compare_schedulers runs pairs concurrently; the simulation is
+  // deterministic per pair, so the parallel rows must be bit-identical to
+  // two independent invocations.
+  sim::SimScale scale;
+  scale.context_switch_interval = 15'000;
+  scale.run_length = 40'000;
+  const wl::BenchmarkCatalog catalog;
+  const ExperimentRunner runner(scale);
+  const auto pairs = sample_pairs(catalog, 4, 99);
+
+  setenv("AMPS_THREADS", "2", 1);
+  const auto a = compare_schedulers(runner, pairs, runner.proposed_factory(),
+                                    runner.round_robin_factory());
+  setenv("AMPS_THREADS", "1", 1);
+  const auto b = compare_schedulers(runner, pairs, runner.proposed_factory(),
+                                    runner.round_robin_factory());
+  unsetenv("AMPS_THREADS");
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_DOUBLE_EQ(a[i].weighted_improvement_pct,
+                     b[i].weighted_improvement_pct);
+    EXPECT_DOUBLE_EQ(a[i].geometric_improvement_pct,
+                     b[i].geometric_improvement_pct);
+  }
+}
+
+}  // namespace
+}  // namespace amps::harness

@@ -1,0 +1,62 @@
+#include "harness/replication.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amps::harness {
+namespace {
+
+sim::SimScale tiny_scale() {
+  sim::SimScale s;
+  s.context_switch_interval = 15'000;
+  s.run_length = 40'000;
+  return s;
+}
+
+TEST(Replication, SelfComparisonIsExactlyZero) {
+  const wl::BenchmarkCatalog catalog;
+  const ExperimentRunner runner(tiny_scale());
+  ReplicationConfig cfg;
+  cfg.pairs_per_seed = 2;
+  cfg.seeds = {1, 2};
+  // static vs static: deterministic identical runs -> 0% everywhere.
+  const auto r = replicate_comparison(runner, catalog,
+                                      runner.static_factory(),
+                                      runner.static_factory(), cfg);
+  ASSERT_EQ(r.per_seed_mean_weighted_pct.size(), 2u);
+  for (double v : r.per_seed_mean_weighted_pct) EXPECT_NEAR(v, 0.0, 1e-9);
+  EXPECT_NEAR(r.mean, 0.0, 1e-9);
+  EXPECT_NEAR(r.stddev, 0.0, 1e-9);
+}
+
+TEST(Replication, AggregatesAcrossSeeds) {
+  const wl::BenchmarkCatalog catalog;
+  const ExperimentRunner runner(tiny_scale());
+  ReplicationConfig cfg;
+  cfg.pairs_per_seed = 2;
+  cfg.seeds = {3, 4, 5};
+  const auto r = replicate_comparison(runner, catalog,
+                                      runner.proposed_factory(),
+                                      runner.round_robin_factory(), cfg);
+  ASSERT_EQ(r.per_seed_mean_weighted_pct.size(), 3u);
+  EXPECT_GE(r.max, r.mean);
+  EXPECT_LE(r.min, r.mean);
+  EXPECT_GE(r.stddev, 0.0);
+}
+
+TEST(Replication, DeterministicPerConfiguration) {
+  const wl::BenchmarkCatalog catalog;
+  const ExperimentRunner runner(tiny_scale());
+  ReplicationConfig cfg;
+  cfg.pairs_per_seed = 2;
+  cfg.seeds = {7};
+  const auto a = replicate_comparison(runner, catalog,
+                                      runner.proposed_factory(),
+                                      runner.static_factory(), cfg);
+  const auto b = replicate_comparison(runner, catalog,
+                                      runner.proposed_factory(),
+                                      runner.static_factory(), cfg);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+}
+
+}  // namespace
+}  // namespace amps::harness

@@ -1,0 +1,79 @@
+#include "harness/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace amps::harness {
+namespace {
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  wl::BenchmarkCatalog catalog_;
+};
+
+TEST_F(SamplerTest, ProducesRequestedCount) {
+  EXPECT_EQ(sample_pairs(catalog_, 0, 1).size(), 0u);
+  EXPECT_EQ(sample_pairs(catalog_, 20, 1).size(), 20u);
+}
+
+TEST_F(SamplerTest, DeterministicPerSeed) {
+  const auto a = sample_pairs(catalog_, 15, 2012);
+  const auto b = sample_pairs(catalog_, 15, 2012);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    EXPECT_EQ(a[i].second, b[i].second);
+  }
+}
+
+TEST_F(SamplerTest, SeedChangesSelection) {
+  const auto a = sample_pairs(catalog_, 15, 1);
+  const auto b = sample_pairs(catalog_, 15, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    any_diff |= a[i].first != b[i].first || a[i].second != b[i].second;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(SamplerTest, MembersAreDistinctBenchmarks) {
+  for (const auto& p : sample_pairs(catalog_, 40, 7))
+    EXPECT_NE(p.first, p.second);
+}
+
+TEST_F(SamplerTest, UnorderedPairsAreUnique) {
+  const auto pairs = sample_pairs(catalog_, 80, 3);  // the paper's 80
+  std::set<std::pair<const void*, const void*>> seen;
+  for (const auto& p : pairs) {
+    const auto key = p.first < p.second
+                         ? std::make_pair(static_cast<const void*>(p.first),
+                                          static_cast<const void*>(p.second))
+                         : std::make_pair(static_cast<const void*>(p.second),
+                                          static_cast<const void*>(p.first));
+    EXPECT_TRUE(seen.insert(key).second);
+  }
+}
+
+TEST_F(SamplerTest, OrderWithinPairVaries) {
+  // Random initial core assignment: over many pairs both orders appear.
+  const auto pairs = sample_pairs(catalog_, 60, 5);
+  int first_lt = 0;
+  for (const auto& p : pairs)
+    if (p.first->name < p.second->name) ++first_lt;
+  EXPECT_GT(first_lt, 5);
+  EXPECT_LT(first_lt, 55);
+}
+
+TEST_F(SamplerTest, RejectsOutOfRange) {
+  EXPECT_THROW((void)sample_pairs(catalog_, -1, 1), std::invalid_argument);
+  EXPECT_THROW((void)sample_pairs(catalog_, 10'000, 1), std::invalid_argument);
+}
+
+TEST_F(SamplerTest, LabelFormat) {
+  const auto pairs = sample_pairs(catalog_, 1, 9);
+  const std::string label = pair_label(pairs[0]);
+  EXPECT_EQ(label, pairs[0].first->name + "+" + pairs[0].second->name);
+}
+
+}  // namespace
+}  // namespace amps::harness

@@ -1,0 +1,60 @@
+// Calibration pinning: every benchmark's declared flavor must agree with
+// its *measured* core affinity on the canonical INT/FP pair — the Fig. 1
+// property generalized to the whole 37-benchmark pool. If a workload-model
+// or power-model change breaks the affinity structure the entire
+// evaluation rests on, this suite catches it.
+#include <gtest/gtest.h>
+
+#include "sim/solo.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps {
+namespace {
+
+class AffinityPropertyTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  /// IPC/Watt on the INT core divided by IPC/Watt on the FP core.
+  static double affinity_ratio(const wl::BenchmarkSpec& spec) {
+    const auto on_int =
+        sim::run_solo(sim::int_core_config(), spec, 60'000);
+    const auto on_fp = sim::run_solo(sim::fp_core_config(), spec, 60'000);
+    return on_int.ipc_per_watt() / on_fp.ipc_per_watt();
+  }
+};
+
+TEST_P(AffinityPropertyTest, FlavorMatchesMeasuredAffinity) {
+  const wl::BenchmarkCatalog catalog;
+  const auto& spec = catalog.by_name(GetParam());
+  const double ratio = affinity_ratio(spec);
+  switch (spec.flavor()) {
+    case wl::Flavor::IntIntensive:
+      EXPECT_GT(ratio, 1.0) << spec.name << " should prefer the INT core";
+      break;
+    case wl::Flavor::FpIntensive:
+      EXPECT_LT(ratio, 1.0) << spec.name << " should prefer the FP core";
+      break;
+    case wl::Flavor::Mixed:
+      // Mixed workloads sit in a broad band around parity.
+      EXPECT_GT(ratio, 0.75) << spec.name;
+      EXPECT_LT(ratio, 1.30) << spec.name;
+      break;
+  }
+  // Global sanity: the asymmetry never exceeds the physical range the
+  // functional-unit latencies allow.
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All37, AffinityPropertyTest,
+    ::testing::Values("gcc", "mcf", "equake", "ammp", "apsi", "swim", "bzip2",
+                      "gzip", "vpr", "art", "mesa", "applu", "mgrid", "twolf",
+                      "parser", "bitcount", "sha", "CRC32", "dijkstra",
+                      "qsort", "susan", "jpeg", "ffti", "adpcm_enc",
+                      "adpcm_dec", "stringsearch", "blowfish", "rijndael",
+                      "basicmath", "epic", "intstress", "fpstress",
+                      "memstress", "branchstress", "mixstress", "pi",
+                      "phaseshift"));
+
+}  // namespace
+}  // namespace amps

@@ -1,0 +1,88 @@
+// Property sweep over every core configuration in the library: the
+// pipeline invariants must hold on all of them (canonical INT/FP pair,
+// morphed pair, big/little pair, symmetric reference).
+#include <gtest/gtest.h>
+
+#include "sim/core.hpp"
+#include "sim/solo.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps {
+namespace {
+
+struct ConfigCase {
+  const char* label;
+  sim::CoreConfig (*make)();
+};
+
+class ConfigPropertyTest : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(ConfigPropertyTest, Validates) {
+  std::string why;
+  EXPECT_TRUE(GetParam().make().validate(&why)) << why;
+}
+
+TEST_P(ConfigPropertyTest, IpcBoundedByCommitWidth) {
+  const sim::CoreConfig cfg = GetParam().make();
+  const wl::BenchmarkCatalog catalog;
+  for (const char* bench : {"bitcount", "equake", "gcc"}) {
+    const auto r = sim::run_solo(cfg, catalog.by_name(bench), 15'000);
+    EXPECT_LE(r.ipc(), static_cast<double>(cfg.commit_width)) << bench;
+    EXPECT_GT(r.ipc(), 0.0) << bench;
+  }
+}
+
+TEST_P(ConfigPropertyTest, EnergyHasLeakageFloorAndDynamicCeilingSanity) {
+  const sim::CoreConfig cfg = GetParam().make();
+  const wl::BenchmarkCatalog catalog;
+  const auto r = sim::run_solo(cfg, catalog.by_name("pi"), 15'000);
+  const power::EnergyModel model(cfg.structure_sizes(), cfg.energy_params);
+  const double leak_floor =
+      model.leakage_per_cycle() * static_cast<double>(r.cycles);
+  EXPECT_GE(r.energy, leak_floor * 0.999);
+  // Dynamic energy per instruction stays within an order-of-magnitude band
+  // of the front-end + window + execute costs.
+  const double dynamic = r.energy - leak_floor;
+  EXPECT_LT(dynamic / static_cast<double>(r.committed), 10.0);
+}
+
+TEST_P(ConfigPropertyTest, DeterministicAcrossRuns) {
+  const sim::CoreConfig cfg = GetParam().make();
+  const wl::BenchmarkCatalog catalog;
+  const auto a = sim::run_solo(cfg, catalog.by_name("apsi"), 10'000);
+  const auto b = sim::run_solo(cfg, catalog.by_name("apsi"), 10'000);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+}
+
+TEST_P(ConfigPropertyTest, FlushReattachKeepsRunning) {
+  const sim::CoreConfig cfg = GetParam().make();
+  const wl::BenchmarkCatalog catalog;
+  sim::Core core(cfg);
+  sim::ThreadContext t(0, catalog.by_name("gzip"));
+  core.attach(&t);
+  Cycles now = 0;
+  for (; now < 3'000; ++now) core.tick(now);
+  core.detach();
+  core.attach(&t);
+  const InstrCount mid = t.committed_total();
+  for (; now < 8'000; ++now) core.tick(now);
+  EXPECT_GT(t.committed_total(), mid);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, ConfigPropertyTest,
+    ::testing::Values(
+        ConfigCase{"int", &sim::int_core_config},
+        ConfigCase{"fp", &sim::fp_core_config},
+        ConfigCase{"sym", &sim::symmetric_core_config},
+        ConfigCase{"big", &sim::big_core_config},
+        ConfigCase{"little", &sim::little_core_config},
+        ConfigCase{"morph_strong", &sim::morphed_strong_core_config},
+        ConfigCase{"morph_weak", &sim::morphed_weak_core_config}),
+    [](const ::testing::TestParamInfo<ConfigCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace amps

@@ -1,0 +1,97 @@
+// Randomized-configuration fuzzing: generate valid-but-arbitrary core
+// configurations and workloads from a seeded PRNG and assert the pipeline
+// invariants hold on all of them. Catches structural assumptions the
+// hand-written configs never exercise (1-wide machines, tiny ROBs, huge
+// latencies, odd cache shapes).
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "sim/solo.hpp"
+#include "workload/builder.hpp"
+
+namespace amps {
+namespace {
+
+sim::CoreConfig random_config(Prng& rng) {
+  sim::CoreConfig c = sim::int_core_config();
+  c.name = "fuzz";
+  c.fetch_width = static_cast<std::uint32_t>(rng.range(1, 6));
+  c.commit_width = static_cast<std::uint32_t>(rng.range(1, 6));
+  c.issue_width = static_cast<std::uint32_t>(rng.range(1, 8));
+  c.rob_entries = static_cast<std::uint32_t>(rng.range(8, 160));
+  c.int_rename_regs = static_cast<std::uint32_t>(rng.range(8, 128));
+  c.fp_rename_regs = static_cast<std::uint32_t>(rng.range(8, 128));
+  c.int_isq_entries = static_cast<std::uint32_t>(rng.range(2, 48));
+  c.fp_isq_entries = static_cast<std::uint32_t>(rng.range(2, 48));
+  c.lq_entries = static_cast<std::uint32_t>(rng.range(2, 32));
+  c.sq_entries = static_cast<std::uint32_t>(rng.range(2, 32));
+  c.mispredict_penalty = static_cast<Cycles>(rng.range(1, 20));
+  auto random_fu = [&](bool strong) {
+    uarch::FuSpec f;
+    f.units = static_cast<std::uint32_t>(rng.range(1, strong ? 3 : 1));
+    f.latency = static_cast<Cycles>(rng.range(1, 24));
+    f.pipelined = rng.chance(0.5);
+    return f;
+  };
+  c.exec.int_alu = random_fu(true);
+  c.exec.int_mul = random_fu(false);
+  c.exec.int_div = random_fu(false);
+  c.exec.fp_alu = random_fu(true);
+  c.exec.fp_mul = random_fu(false);
+  c.exec.fp_div = random_fu(false);
+  c.prefetch_next_line = rng.chance(0.3);
+  c.clock_divider = rng.chance(0.2) ? 2 : 1;
+  return c;
+}
+
+wl::BenchmarkSpec random_workload(Prng& rng, int index) {
+  const double int_frac = rng.uniform(0.1, 0.7);
+  const double fp_frac = rng.uniform(0.0, 0.9 - int_frac - 0.1);
+  const double mem_frac = rng.uniform(0.05, 0.9 - int_frac - fp_frac);
+  wl::WorkloadBuilder b("fuzz_wl_" + std::to_string(index));
+  b.mixed_phase("p", int_frac, fp_frac, mem_frac,
+                1u << rng.range(10, 21));  // 1 KiB .. 1 MiB working set
+  b.dependencies(rng.uniform(1.0, 16.0), rng.uniform(1.0, 16.0));
+  b.branches(rng.uniform(0.5, 0.99), rng.uniform(0.0, 0.3));
+  return b.build();
+}
+
+class FuzzConfigTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzConfigTest, RandomConfigRunsRandomWorkloadSanely) {
+  Prng rng(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    const sim::CoreConfig cfg = random_config(rng);
+    std::string why;
+    ASSERT_TRUE(cfg.validate(&why)) << why;
+    const wl::BenchmarkSpec workload =
+        random_workload(rng, static_cast<int>(GetParam() * 10) + round);
+
+    constexpr InstrCount kTarget = 6'000;
+    const auto r = sim::run_solo(cfg, workload, kTarget);
+
+    // Forward progress within the 40x cycle bound.
+    EXPECT_GE(r.committed, kTarget) << cfg.rob_entries;
+    // IPC bounded by commit width (scaled by the clock divider).
+    EXPECT_LE(r.ipc(),
+              static_cast<double>(cfg.commit_width) / cfg.clock_divider + 1e-9);
+    EXPECT_GT(r.ipc(), 0.0);
+    // Energy floor: at least the leakage over the elapsed cycles.
+    const power::EnergyModel model(
+        cfg.structure_sizes(),
+        cfg.energy_params.scaled_for_dvfs(cfg.clock_divider));
+    EXPECT_GE(r.energy, model.leakage_per_cycle() *
+                            static_cast<double>(r.cycles) * 0.999);
+    // Determinism.
+    const auto again = sim::run_solo(cfg, workload, kTarget);
+    EXPECT_EQ(again.cycles, r.cycles);
+    EXPECT_DOUBLE_EQ(again.energy, r.energy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzConfigTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                           10u, 11u, 12u));
+
+}  // namespace
+}  // namespace amps

@@ -1,0 +1,62 @@
+#include "isa/instruction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace amps::isa {
+namespace {
+
+TEST(InstrClass, PredicatesPartitionClasses) {
+  for (InstrClass cls : kAllInstrClasses) {
+    const int categories = (is_int(cls) ? 1 : 0) + (is_fp(cls) ? 1 : 0) +
+                           (is_mem(cls) ? 1 : 0) + (is_branch(cls) ? 1 : 0);
+    EXPECT_EQ(categories, 1) << to_string(cls);
+  }
+}
+
+TEST(InstrClass, IntPredicates) {
+  EXPECT_TRUE(is_int(InstrClass::IntAlu));
+  EXPECT_TRUE(is_int(InstrClass::IntMul));
+  EXPECT_TRUE(is_int(InstrClass::IntDiv));
+  EXPECT_FALSE(is_int(InstrClass::Load));
+  EXPECT_FALSE(is_int(InstrClass::FpAlu));
+}
+
+TEST(InstrClass, FpPredicates) {
+  EXPECT_TRUE(is_fp(InstrClass::FpAlu));
+  EXPECT_TRUE(is_fp(InstrClass::FpMul));
+  EXPECT_TRUE(is_fp(InstrClass::FpDiv));
+  EXPECT_FALSE(is_fp(InstrClass::Store));
+  EXPECT_TRUE(writes_fp_reg(InstrClass::FpMul));
+  EXPECT_FALSE(writes_fp_reg(InstrClass::Load));
+}
+
+TEST(InstrClass, MemAndBranch) {
+  EXPECT_TRUE(is_mem(InstrClass::Load));
+  EXPECT_TRUE(is_mem(InstrClass::Store));
+  EXPECT_TRUE(is_branch(InstrClass::Branch));
+  EXPECT_FALSE(is_branch(InstrClass::IntAlu));
+}
+
+TEST(InstrClass, NamesUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (InstrClass cls : kAllInstrClasses) {
+    const std::string n = to_string(cls);
+    EXPECT_FALSE(n.empty());
+    EXPECT_TRUE(names.insert(n).second) << "duplicate name " << n;
+  }
+  EXPECT_EQ(names.size(), kNumInstrClasses);
+}
+
+TEST(MicroOp, DefaultsAreBenign) {
+  MicroOp op;
+  EXPECT_EQ(op.cls, InstrClass::IntAlu);
+  EXPECT_EQ(op.dep1, 0);
+  EXPECT_EQ(op.dep2, 0);
+  EXPECT_FALSE(op.branch_taken);
+}
+
+}  // namespace
+}  // namespace amps::isa

@@ -1,0 +1,137 @@
+#include "isa/mix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amps::isa {
+namespace {
+
+TEST(InstrMix, DefaultIsZero) {
+  InstrMix m;
+  EXPECT_DOUBLE_EQ(m.total(), 0.0);
+  EXPECT_FALSE(m.valid());
+}
+
+TEST(InstrMix, FromAggregateIsValid) {
+  const InstrMix m = InstrMix::from_aggregate(0.5, 0.2, 0.2, 0.1);
+  EXPECT_TRUE(m.valid());
+  EXPECT_NEAR(m.int_fraction(), 0.5, 1e-9);
+  EXPECT_NEAR(m.fp_fraction(), 0.2, 1e-9);
+  EXPECT_NEAR(m.mem_fraction(), 0.2, 1e-9);
+  EXPECT_NEAR(m.branch_fraction(), 0.1, 1e-9);
+}
+
+TEST(InstrMix, FromAggregateNormalizesUnbalancedInput) {
+  const InstrMix m = InstrMix::from_aggregate(1.0, 1.0, 1.0, 1.0);
+  EXPECT_TRUE(m.valid());
+  EXPECT_NEAR(m.int_fraction(), 0.25, 1e-9);
+}
+
+TEST(InstrMix, LoadsOutweighStoresTwoToOne) {
+  const InstrMix m = InstrMix::from_aggregate(0.4, 0.0, 0.3, 0.3);
+  EXPECT_NEAR(m[InstrClass::Load] / m[InstrClass::Store], 2.0, 1e-9);
+}
+
+TEST(InstrMix, NormalizeFixesScale) {
+  InstrMix m;
+  m[InstrClass::IntAlu] = 2.0;
+  m[InstrClass::FpAlu] = 2.0;
+  m.normalize();
+  EXPECT_TRUE(m.valid());
+  EXPECT_DOUBLE_EQ(m[InstrClass::IntAlu], 0.5);
+}
+
+TEST(InstrMix, NormalizeOnZeroIsNoop) {
+  InstrMix m;
+  m.normalize();
+  EXPECT_DOUBLE_EQ(m.total(), 0.0);
+}
+
+TEST(InstrMix, NegativeEntryInvalid) {
+  InstrMix m;
+  m[InstrClass::IntAlu] = 1.5;
+  m[InstrClass::FpAlu] = -0.5;
+  EXPECT_FALSE(m.valid());
+}
+
+TEST(InstrMix, LerpEndpointsAndMidpoint) {
+  const InstrMix a = InstrMix::from_aggregate(1.0, 0.0, 0.0, 0.0);
+  const InstrMix b = InstrMix::from_aggregate(0.0, 1.0, 0.0, 0.0);
+  const InstrMix lo = InstrMix::lerp(a, b, 0.0);
+  const InstrMix hi = InstrMix::lerp(a, b, 1.0);
+  const InstrMix mid = InstrMix::lerp(a, b, 0.5);
+  EXPECT_NEAR(lo.int_fraction(), 1.0, 1e-9);
+  EXPECT_NEAR(hi.fp_fraction(), 1.0, 1e-9);
+  EXPECT_NEAR(mid.int_fraction(), 0.5, 1e-9);
+  EXPECT_NEAR(mid.fp_fraction(), 0.5, 1e-9);
+  EXPECT_TRUE(mid.valid());
+}
+
+TEST(InstrCounts, AddAndQuery) {
+  InstrCounts c;
+  c.add(InstrClass::IntAlu, 3);
+  c.add(InstrClass::FpMul);
+  c.add(InstrClass::Load, 2);
+  c.add(InstrClass::Branch);
+  EXPECT_EQ(c.total(), 7u);
+  EXPECT_EQ(c.int_count(), 3u);
+  EXPECT_EQ(c.fp_count(), 1u);
+  EXPECT_EQ(c.mem_count(), 2u);
+  EXPECT_EQ(c.branch_count(), 1u);
+}
+
+TEST(InstrCounts, Percentages) {
+  InstrCounts c;
+  c.add(InstrClass::IntAlu, 55);
+  c.add(InstrClass::FpAlu, 20);
+  c.add(InstrClass::Load, 25);
+  EXPECT_NEAR(c.int_pct(), 55.0, 1e-9);
+  EXPECT_NEAR(c.fp_pct(), 20.0, 1e-9);
+}
+
+TEST(InstrCounts, EmptyPercentagesAreZero) {
+  InstrCounts c;
+  EXPECT_DOUBLE_EQ(c.int_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(c.fp_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(c.to_mix().total(), 0.0);
+}
+
+TEST(InstrCounts, SinceComputesDelta) {
+  InstrCounts early;
+  early.add(InstrClass::IntAlu, 10);
+  InstrCounts late = early;
+  late.add(InstrClass::IntAlu, 5);
+  late.add(InstrClass::FpDiv, 2);
+  const InstrCounts d = late.since(early);
+  EXPECT_EQ(d.count(InstrClass::IntAlu), 5u);
+  EXPECT_EQ(d.count(InstrClass::FpDiv), 2u);
+  EXPECT_EQ(d.total(), 7u);
+}
+
+TEST(InstrCounts, PlusEqualsAccumulates) {
+  InstrCounts a, b;
+  a.add(InstrClass::Store, 4);
+  b.add(InstrClass::Store, 6);
+  b.add(InstrClass::IntMul, 1);
+  a += b;
+  EXPECT_EQ(a.count(InstrClass::Store), 10u);
+  EXPECT_EQ(a.count(InstrClass::IntMul), 1u);
+}
+
+TEST(InstrCounts, ToMixMatchesProportions) {
+  InstrCounts c;
+  c.add(InstrClass::IntAlu, 50);
+  c.add(InstrClass::FpAlu, 50);
+  const InstrMix m = c.to_mix();
+  EXPECT_TRUE(m.valid());
+  EXPECT_DOUBLE_EQ(m[InstrClass::IntAlu], 0.5);
+}
+
+TEST(InstrCounts, ResetClears) {
+  InstrCounts c;
+  c.add(InstrClass::Branch, 9);
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+}
+
+}  // namespace
+}  // namespace amps::isa

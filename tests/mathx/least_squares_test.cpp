@@ -1,0 +1,111 @@
+#include "mathx/least_squares.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+
+namespace amps::mathx {
+namespace {
+
+TEST(Poly2Features, TermCounts) {
+  EXPECT_EQ(poly2_num_terms(0), 1u);
+  EXPECT_EQ(poly2_num_terms(1), 3u);
+  EXPECT_EQ(poly2_num_terms(2), 6u);
+  EXPECT_EQ(poly2_num_terms(3), 10u);
+}
+
+TEST(Poly2Features, Degree2Values) {
+  // Basis order: 1, x1, x2, x1^2, x1*x2, x2^2.
+  const auto f = poly2_features(2.0, 3.0, 2);
+  ASSERT_EQ(f.size(), 6u);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[1], 2.0);
+  EXPECT_DOUBLE_EQ(f[2], 3.0);
+  EXPECT_DOUBLE_EQ(f[3], 4.0);
+  EXPECT_DOUBLE_EQ(f[4], 6.0);
+  EXPECT_DOUBLE_EQ(f[5], 9.0);
+}
+
+std::vector<Sample2D> sample_surface(int degree, int n, std::uint64_t seed,
+                                     double noise) {
+  // Ground-truth polynomial with fixed coefficients.
+  Prng rng(seed);
+  std::vector<Sample2D> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double x1 = rng.uniform(0.0, 1.0);
+    const double x2 = rng.uniform(0.0, 1.0);
+    double y = 0.7 + 1.3 * x1 - 0.9 * x2;
+    if (degree >= 2) y += 0.5 * x1 * x1 - 0.4 * x1 * x2 + 0.2 * x2 * x2;
+    y += noise * (rng.uniform() - 0.5);
+    out.push_back({x1, x2, y});
+  }
+  return out;
+}
+
+TEST(FitPoly2, RecoversLinearExactly) {
+  const auto samples = sample_surface(1, 50, 1, 0.0);
+  const Poly2Fit fit = fit_poly2(samples, 1, 0.0);
+  EXPECT_NEAR(fit.coefficients()[0], 0.7, 1e-9);
+  EXPECT_NEAR(fit.coefficients()[1], 1.3, 1e-9);
+  EXPECT_NEAR(fit.coefficients()[2], -0.9, 1e-9);
+  EXPECT_NEAR(r_squared(fit, samples), 1.0, 1e-12);
+  EXPECT_NEAR(rmse(fit, samples), 0.0, 1e-9);
+}
+
+TEST(FitPoly2, RecoversQuadraticExactly) {
+  const auto samples = sample_surface(2, 100, 2, 0.0);
+  const Poly2Fit fit = fit_poly2(samples, 2, 0.0);
+  EXPECT_NEAR(fit(0.5, 0.5), 0.7 + 1.3 * 0.5 - 0.9 * 0.5 + 0.5 * 0.25 -
+                                 0.4 * 0.25 + 0.2 * 0.25,
+              1e-9);
+  EXPECT_NEAR(r_squared(fit, samples), 1.0, 1e-10);
+}
+
+TEST(FitPoly2, NoisyFitStillGood) {
+  const auto samples = sample_surface(2, 500, 3, 0.05);
+  const Poly2Fit fit = fit_poly2(samples, 2);
+  EXPECT_GT(r_squared(fit, samples), 0.98);
+}
+
+TEST(FitPoly2, HigherDegreeSubsumesLower) {
+  const auto samples = sample_surface(1, 80, 4, 0.0);
+  const Poly2Fit fit = fit_poly2(samples, 3);
+  EXPECT_GT(r_squared(fit, samples), 0.999999);
+}
+
+TEST(FitPoly2, EmptyThrows) {
+  EXPECT_THROW((void)fit_poly2({}, 2), std::invalid_argument);
+}
+
+TEST(FitPoly2, RidgeShrinksButStaysClose) {
+  const auto samples = sample_surface(1, 50, 5, 0.0);
+  const Poly2Fit fit = fit_poly2(samples, 1, 1e-3);
+  EXPECT_NEAR(fit.coefficients()[1], 1.3, 1e-2);
+}
+
+TEST(RSquared, ConstantDataPerfectConstantFit) {
+  std::vector<Sample2D> samples(10, Sample2D{0.5, 0.5, 2.0});
+  const Poly2Fit fit = fit_poly2(samples, 0);
+  EXPECT_NEAR(fit(0.1, 0.9), 2.0, 1e-9);
+  EXPECT_NEAR(r_squared(fit, samples), 1.0, 1e-12);
+}
+
+TEST(RSquared, EmptyIsZero) {
+  Poly2Fit fit(0, {1.0});
+  EXPECT_DOUBLE_EQ(r_squared(fit, {}), 0.0);
+  EXPECT_DOUBLE_EQ(rmse(fit, {}), 0.0);
+}
+
+class FitDegreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FitDegreeTest, FitNeverWorseThanMeanPredictor) {
+  const auto samples = sample_surface(2, 300, 7, 0.1);
+  const Poly2Fit fit = fit_poly2(samples, GetParam());
+  EXPECT_GE(r_squared(fit, samples), -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, FitDegreeTest, ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace amps::mathx

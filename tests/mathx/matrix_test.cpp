@@ -1,0 +1,124 @@
+#include "mathx/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace amps::mathx {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, FillAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, GramOfIdentity) {
+  Matrix m(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) m(i, i) = 1.0;
+  const Matrix g = m.gram();
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(g(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(Matrix, GramIsAtA) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 3; a(1, 1) = 4;
+  const Matrix g = a.gram();
+  EXPECT_DOUBLE_EQ(g(0, 0), 10.0);  // 1*1 + 3*3
+  EXPECT_DOUBLE_EQ(g(0, 1), 14.0);  // 1*2 + 3*4
+  EXPECT_DOUBLE_EQ(g(1, 0), 14.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 20.0);
+}
+
+TEST(Matrix, TimesVector) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const auto y = a.times({1.0, 1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Matrix, TransposeTimesVector) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 3; a(1, 1) = 4;
+  const auto y = a.transpose_times({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(y[0], 7.0);   // 1*1 + 3*2
+  EXPECT_DOUBLE_EQ(y[1], 10.0);  // 2*1 + 4*2
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW((void)a.times({1.0}), std::invalid_argument);
+  EXPECT_THROW((void)a.transpose_times({1.0}), std::invalid_argument);
+  Matrix b(2, 2);
+  EXPECT_THROW((void)(a * a), std::invalid_argument);
+  EXPECT_NO_THROW((void)(b * a));
+}
+
+TEST(Matrix, Product) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(SolveLinear, Identity) {
+  Matrix a(2, 2);
+  a(0, 0) = a(1, 1) = 1.0;
+  const auto x = solve_linear(a, {3.0, -4.0});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], -4.0);
+}
+
+TEST(SolveLinear, RequiresPivoting) {
+  // a(0,0) == 0 forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 0;
+  const auto x = solve_linear(a, {2.0, 5.0});
+  EXPECT_DOUBLE_EQ(x[0], 5.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(SolveLinear, General3x3) {
+  Matrix a(3, 3);
+  a(0, 0) = 2; a(0, 1) = 1; a(0, 2) = -1;
+  a(1, 0) = -3; a(1, 1) = -1; a(1, 2) = 2;
+  a(2, 0) = -2; a(2, 1) = 1; a(2, 2) = 2;
+  const auto x = solve_linear(a, {8.0, -11.0, -3.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+  EXPECT_NEAR(x[2], -1.0, 1e-9);
+}
+
+TEST(SolveLinear, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 4;  // rank 1
+  EXPECT_THROW((void)solve_linear(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(SolveLinear, ShapeMismatchThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW((void)solve_linear(a, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amps::mathx

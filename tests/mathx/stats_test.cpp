@@ -1,0 +1,120 @@
+#include "mathx/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace amps::mathx {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, StdDevSample) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(v), 2.13809, 1e-4);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, GeomeanBasics) {
+  const std::vector<double> v = {1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geomean(v), 2.0);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  EXPECT_THROW((void)geomean(std::vector<double>{1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)geomean(std::vector<double>{-1.0}), std::invalid_argument);
+}
+
+TEST(Stats, GeomeanLeqMean) {
+  const std::vector<double> v = {0.5, 1.5, 2.5, 3.0};
+  EXPECT_LE(geomean(v), mean(v));
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> v = {3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_of(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(v), 3.0);
+}
+
+TEST(Stats, MeanLowestHighest) {
+  const std::vector<double> v = {5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_lowest(v, 2), 1.5);
+  EXPECT_DOUBLE_EQ(mean_highest(v, 2), 4.5);
+  // k larger than size degrades to overall mean.
+  EXPECT_DOUBLE_EQ(mean_lowest(v, 10), 3.0);
+  EXPECT_DOUBLE_EQ(mean_lowest(v, 0), 0.0);
+}
+
+TEST(Histogram, ModeOfDominantBin) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(2.5);
+  h.add(2.6);
+  h.add(2.7);
+  h.add(8.1);
+  EXPECT_NEAR(h.mode(), 2.5, 1e-9);  // center of [2,3)
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(Histogram, EmptyModeFallback) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.mode(7.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.mean(3.0), 3.0);
+}
+
+TEST(Histogram, ExactMean) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1.0);
+  h.add(2.0);
+  h.add(6.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, BadConfigThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(RunningStats, MatchesBatch) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats rs;
+  for (double x : v) rs.add(x);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_NEAR(rs.mean(), mean(v), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev(v), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.add(5.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace amps::mathx

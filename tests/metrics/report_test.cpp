@@ -1,0 +1,83 @@
+#include "metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/benchmark.hpp"
+
+namespace amps::metrics {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  ReportTest()
+      : system_(sim::int_core_config(), sim::fp_core_config(), 100),
+        t0_(0, catalog_.by_name("equake")),
+        t1_(1, catalog_.by_name("bitcount")) {
+    system_.attach_threads(&t0_, &t1_);
+    for (int i = 0; i < 30'000; ++i) system_.step();
+  }
+
+  wl::BenchmarkCatalog catalog_;
+  sim::DualCoreSystem system_;
+  sim::ThreadContext t0_;
+  sim::ThreadContext t1_;
+};
+
+TEST_F(ReportTest, CoreReportContainsAllSections) {
+  std::ostringstream os;
+  print_core_report(os, system_.core(0));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("INT-core"), std::string::npos);
+  EXPECT_NE(out.find("energy total"), std::string::npos);
+  EXPECT_NE(out.find("leakage"), std::string::npos);
+  EXPECT_NE(out.find("IL1"), std::string::npos);
+  EXPECT_NE(out.find("DL1"), std::string::npos);
+  EXPECT_NE(out.find("L2"), std::string::npos);
+  EXPECT_NE(out.find("branch predictor"), std::string::npos);
+  EXPECT_NE(out.find("IntAlu="), std::string::npos);
+  EXPECT_NE(out.find("stall events"), std::string::npos);
+  EXPECT_NE(out.find("mean occupancy"), std::string::npos);
+}
+
+TEST_F(ReportTest, ThreadReportContainsComposition) {
+  std::ostringstream os;
+  print_thread_report(os, system_, t0_);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("equake"), std::string::npos);
+  EXPECT_NE(out.find("%INT="), std::string::npos);
+  EXPECT_NE(out.find("%FP="), std::string::npos);
+  EXPECT_NE(out.find("IPC/Watt"), std::string::npos);
+  EXPECT_NE(out.find("MPKI"), std::string::npos);
+}
+
+TEST_F(ReportTest, SystemReportCoversBothCoresAndThreads) {
+  std::ostringstream os;
+  print_system_report(os, system_);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("INT-core"), std::string::npos);
+  EXPECT_NE(out.find("FP-core"), std::string::npos);
+  EXPECT_NE(out.find("equake"), std::string::npos);
+  EXPECT_NE(out.find("bitcount"), std::string::npos);
+  EXPECT_NE(out.find("total energy"), std::string::npos);
+  EXPECT_NE(out.find("swaps: 0"), std::string::npos);
+}
+
+TEST_F(ReportTest, ReportReflectsSwapCount) {
+  system_.swap_threads();
+  for (int i = 0; i < 500; ++i) system_.step();
+  std::ostringstream os;
+  print_system_report(os, system_);
+  EXPECT_NE(os.str().find("swaps: 1"), std::string::npos);
+}
+
+TEST_F(ReportTest, IdleSystemReportIsSane) {
+  sim::DualCoreSystem idle(sim::int_core_config(), sim::fp_core_config(), 100);
+  std::ostringstream os;
+  print_system_report(os, idle);  // no threads attached: must not crash
+  EXPECT_NE(os.str().find("dual-core system @ cycle 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amps::metrics

@@ -1,0 +1,84 @@
+#include "metrics/run_result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/benchmark.hpp"
+
+namespace amps::metrics {
+namespace {
+
+PairRunResult fabricated(const char* b0, const char* b1, double ipw0,
+                         double ipw1) {
+  PairRunResult r;
+  r.scheduler = "test";
+  r.threads[0].benchmark = b0;
+  r.threads[0].ipc_per_watt = ipw0;
+  r.threads[1].benchmark = b1;
+  r.threads[1].ipc_per_watt = ipw1;
+  return r;
+}
+
+TEST(PairRunResult, RatiosAgainstBaseline) {
+  const PairRunResult base = fabricated("a", "b", 1.0, 2.0);
+  const PairRunResult test = fabricated("a", "b", 1.2, 1.8);
+  const auto ratios = test.ipw_ratios_vs(base);
+  ASSERT_EQ(ratios.size(), 2u);
+  EXPECT_DOUBLE_EQ(ratios[0], 1.2);
+  EXPECT_DOUBLE_EQ(ratios[1], 0.9);
+  EXPECT_DOUBLE_EQ(test.weighted_ipw_speedup_vs(base), 1.05);
+  EXPECT_NEAR(test.geometric_ipw_speedup_vs(base), std::sqrt(1.2 * 0.9),
+              1e-12);
+}
+
+TEST(PairRunResult, MismatchedPairsThrow) {
+  const PairRunResult base = fabricated("a", "b", 1.0, 2.0);
+  const PairRunResult other = fabricated("a", "c", 1.0, 2.0);
+  EXPECT_THROW((void)other.ipw_ratios_vs(base), std::invalid_argument);
+}
+
+TEST(PairRunResult, ZeroBaselineThrows) {
+  const PairRunResult base = fabricated("a", "b", 0.0, 2.0);
+  const PairRunResult test = fabricated("a", "b", 1.0, 2.0);
+  EXPECT_THROW((void)test.ipw_ratios_vs(base), std::invalid_argument);
+}
+
+TEST(PairRunResult, SwapFraction) {
+  PairRunResult r;
+  r.swap_count = 2;
+  r.decision_points = 400;
+  EXPECT_DOUBLE_EQ(r.swap_fraction(), 0.005);
+  r.decision_points = 0;
+  EXPECT_DOUBLE_EQ(r.swap_fraction(), 0.0);
+}
+
+TEST(SnapshotRun, CapturesLiveState) {
+  wl::BenchmarkCatalog catalog;
+  sim::DualCoreSystem system(sim::int_core_config(), sim::fp_core_config(),
+                             100);
+  sim::ThreadContext t0(0, catalog.by_name("sha"));
+  sim::ThreadContext t1(1, catalog.by_name("swim"));
+  system.attach_threads(&t0, &t1);
+  for (int i = 0; i < 20'000; ++i) system.step();
+
+  const PairRunResult r = snapshot_run("static", system, t0, t1, 42);
+  EXPECT_EQ(r.scheduler, "static");
+  EXPECT_EQ(r.threads[0].benchmark, "sha");
+  EXPECT_EQ(r.threads[1].benchmark, "swim");
+  EXPECT_EQ(r.decision_points, 42u);
+  EXPECT_EQ(r.total_cycles, system.now());
+  for (const auto& t : r.threads) {
+    EXPECT_GT(t.committed, 0u);
+    EXPECT_GT(t.cycles, 0u);
+    EXPECT_GT(t.energy, 0.0);
+    EXPECT_GT(t.ipc, 0.0);
+    EXPECT_GT(t.ipc_per_watt, 0.0);
+  }
+  // Per-thread energies (live) never exceed the system total.
+  EXPECT_LE(r.threads[0].energy + r.threads[1].energy,
+            r.total_energy + 1e-9);
+}
+
+}  // namespace
+}  // namespace amps::metrics

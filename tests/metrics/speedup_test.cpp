@@ -1,0 +1,46 @@
+#include "metrics/speedup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace amps::metrics {
+namespace {
+
+TEST(Speedup, WeightedIsArithmeticMean) {
+  const std::vector<double> r = {1.2, 0.8};
+  EXPECT_DOUBLE_EQ(weighted_speedup(r), 1.0);
+}
+
+TEST(Speedup, GeometricIsGeometricMean) {
+  const std::vector<double> r = {2.0, 0.5};
+  EXPECT_DOUBLE_EQ(geometric_speedup(r), 1.0);
+}
+
+TEST(Speedup, GeometricPenalizesImbalance) {
+  // One thread gains 4x, the other loses 4x: weighted looks like a win,
+  // geometric correctly reports neutrality -> fairness metric (paper §VII).
+  const std::vector<double> r = {4.0, 0.25};
+  EXPECT_GT(weighted_speedup(r), 2.0);
+  EXPECT_DOUBLE_EQ(geometric_speedup(r), 1.0);
+}
+
+TEST(Speedup, GeometricNeverExceedsWeighted) {
+  const std::vector<double> r = {1.3, 0.9, 1.1};
+  EXPECT_LE(geometric_speedup(r), weighted_speedup(r));
+}
+
+TEST(Speedup, ImprovementPercentConversion) {
+  EXPECT_NEAR(to_improvement_pct(1.105), 10.5, 1e-9);
+  EXPECT_DOUBLE_EQ(to_improvement_pct(1.0), 0.0);
+  EXPECT_NEAR(to_improvement_pct(0.9), -10.0, 1e-9);
+}
+
+TEST(Speedup, SingleRatioPassesThrough) {
+  const std::vector<double> r = {1.37};
+  EXPECT_DOUBLE_EQ(weighted_speedup(r), 1.37);
+  EXPECT_NEAR(geometric_speedup(r), 1.37, 1e-12);
+}
+
+}  // namespace
+}  // namespace amps::metrics

@@ -1,0 +1,115 @@
+#include "power/accountant.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amps::power {
+namespace {
+
+StructureSizes default_sizes() {
+  StructureSizes s;
+  s.exec.int_alu = {.units = 2, .latency = 1, .pipelined = true};
+  s.exec.int_mul = {.units = 1, .latency = 3, .pipelined = true};
+  s.exec.int_div = {.units = 1, .latency = 12, .pipelined = true};
+  s.exec.fp_alu = {.units = 1, .latency = 4, .pipelined = false};
+  s.exec.fp_mul = {.units = 1, .latency = 6, .pipelined = false};
+  s.exec.fp_div = {.units = 1, .latency = 24, .pipelined = false};
+  return s;
+}
+
+class AccountantTest : public ::testing::Test {
+ protected:
+  AccountantTest() : model_(default_sizes()), acc_(model_) {}
+  EnergyModel model_;
+  PowerAccountant acc_;
+};
+
+TEST_F(AccountantTest, StartsAtZero) {
+  EXPECT_DOUBLE_EQ(acc_.total(), 0.0);
+  for (std::size_t i = 0; i < kNumComponents; ++i)
+    EXPECT_DOUBLE_EQ(acc_.component(static_cast<Component>(i)), 0.0);
+}
+
+TEST_F(AccountantTest, CycleChargesLeakageOnly) {
+  acc_.on_cycle();
+  EXPECT_DOUBLE_EQ(acc_.component(Component::Leakage),
+                   model_.leakage_per_cycle());
+  EXPECT_DOUBLE_EQ(acc_.total(), model_.leakage_per_cycle());
+}
+
+TEST_F(AccountantTest, FetchGoesToFrontend) {
+  acc_.on_fetch(3);
+  EXPECT_DOUBLE_EQ(acc_.component(Component::Frontend),
+                   3 * model_.fetch_decode_energy());
+}
+
+TEST_F(AccountantTest, BpredGoesToFrontend) {
+  acc_.on_bpred_lookup();
+  EXPECT_DOUBLE_EQ(acc_.component(Component::Frontend), model_.bpred_energy());
+}
+
+TEST_F(AccountantTest, IssueChargesExecAndRegfile) {
+  acc_.on_issue(isa::InstrClass::FpMul);
+  EXPECT_DOUBLE_EQ(acc_.component(Component::Exec),
+                   model_.exec_energy(isa::InstrClass::FpMul));
+  EXPECT_DOUBLE_EQ(acc_.component(Component::Regfile),
+                   model_.regfile_energy());
+}
+
+TEST_F(AccountantTest, DispatchChargesWindow) {
+  acc_.on_dispatch(2);
+  EXPECT_DOUBLE_EQ(acc_.component(Component::Window),
+                   2 * (model_.isq_energy() + model_.rob_energy()));
+}
+
+TEST_F(AccountantTest, MemoryEventsHitDistinctComponents) {
+  acc_.on_l1_access();
+  acc_.on_l2_access();
+  acc_.on_memory_access();
+  EXPECT_DOUBLE_EQ(acc_.component(Component::CacheL1), model_.l1_energy());
+  EXPECT_DOUBLE_EQ(acc_.component(Component::CacheL2), model_.l2_energy());
+  EXPECT_DOUBLE_EQ(acc_.component(Component::Memory), model_.memory_energy());
+}
+
+TEST_F(AccountantTest, TotalIsSumOfComponents) {
+  acc_.on_fetch(1);
+  acc_.on_rename(1);
+  acc_.on_dispatch(1);
+  acc_.on_lsq_insert();
+  acc_.on_issue(isa::InstrClass::IntAlu);
+  acc_.on_commit(1);
+  acc_.on_l1_access();
+  acc_.on_cycle();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kNumComponents; ++i)
+    sum += acc_.component(static_cast<Component>(i));
+  EXPECT_NEAR(acc_.total(), sum, 1e-12);
+  EXPECT_GT(acc_.total(), 0.0);
+}
+
+TEST_F(AccountantTest, ResetClears) {
+  acc_.on_cycle();
+  acc_.on_fetch(4);
+  acc_.reset();
+  EXPECT_DOUBLE_EQ(acc_.total(), 0.0);
+}
+
+TEST_F(AccountantTest, EnergyIsMonotonic) {
+  double last = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    acc_.on_cycle();
+    acc_.on_issue(isa::InstrClass::IntAlu);
+    EXPECT_GT(acc_.total(), last);
+    last = acc_.total();
+  }
+}
+
+TEST(ComponentNames, UniqueNonEmpty) {
+  for (std::size_t i = 0; i < kNumComponents; ++i) {
+    const char* n = to_string(static_cast<Component>(i));
+    EXPECT_NE(n, nullptr);
+    EXPECT_GT(std::string(n).size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace amps::power

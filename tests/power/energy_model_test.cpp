@@ -1,0 +1,105 @@
+#include "power/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/core_config.hpp"
+
+namespace amps::power {
+namespace {
+
+StructureSizes reference_sizes() {
+  StructureSizes s;
+  s.exec.int_alu = {.units = 1, .latency = 1, .pipelined = true};
+  s.exec.int_mul = {.units = 1, .latency = 3, .pipelined = true};
+  s.exec.int_div = {.units = 1, .latency = 12, .pipelined = true};
+  s.exec.fp_alu = {.units = 1, .latency = 4, .pipelined = true};
+  s.exec.fp_mul = {.units = 1, .latency = 4, .pipelined = true};
+  s.exec.fp_div = {.units = 1, .latency = 12, .pipelined = true};
+  return s;
+}
+
+TEST(EnergyModel, AllEnergiesPositive) {
+  const EnergyModel m(reference_sizes());
+  EXPECT_GT(m.fetch_decode_energy(), 0.0);
+  EXPECT_GT(m.rename_energy(), 0.0);
+  EXPECT_GT(m.isq_energy(), 0.0);
+  EXPECT_GT(m.rob_energy(), 0.0);
+  EXPECT_GT(m.regfile_energy(), 0.0);
+  EXPECT_GT(m.bpred_energy(), 0.0);
+  EXPECT_GT(m.lsq_energy(), 0.0);
+  EXPECT_GT(m.l1_energy(), 0.0);
+  EXPECT_GT(m.l2_energy(), 0.0);
+  EXPECT_GT(m.memory_energy(), 0.0);
+  EXPECT_GT(m.leakage_per_cycle(), 0.0);
+  for (isa::InstrClass cls : isa::kAllInstrClasses)
+    EXPECT_GT(m.exec_energy(cls), 0.0) << isa::to_string(cls);
+}
+
+TEST(EnergyModel, BiggerStructuresCostMore) {
+  StructureSizes small = reference_sizes();
+  StructureSizes big = reference_sizes();
+  big.rob = small.rob * 4;
+  big.int_regs = small.int_regs * 4;
+  big.fp_regs = small.fp_regs * 4;
+  big.l2_bytes = small.l2_bytes * 4;
+  const EnergyModel ms(small), mb(big);
+  EXPECT_GT(mb.rob_energy(), ms.rob_energy());
+  EXPECT_GT(mb.rename_energy(), ms.rename_energy());
+  EXPECT_GT(mb.l2_energy(), ms.l2_energy());
+  EXPECT_GT(mb.leakage_per_cycle(), ms.leakage_per_cycle());
+}
+
+TEST(EnergyModel, CactiSqrtScaling) {
+  StructureSizes s4 = reference_sizes();
+  StructureSizes s16 = reference_sizes();
+  s16.rob = s4.rob * 16;
+  const EnergyModel m4(s4), m16(s16);
+  // sqrt law: x16 size -> x4 energy.
+  EXPECT_NEAR(m16.rob_energy() / m4.rob_energy(), 4.0, 1e-9);
+}
+
+TEST(EnergyModel, MemoryHierarchyEnergyOrdering) {
+  const EnergyModel m(reference_sizes());
+  EXPECT_LT(m.l1_energy(), m.l2_energy());
+  EXPECT_LT(m.l2_energy(), m.memory_energy());
+}
+
+TEST(EnergyModel, ExecEnergyOrdering) {
+  const EnergyModel m(reference_sizes());
+  using C = isa::InstrClass;
+  EXPECT_LT(m.exec_energy(C::IntAlu), m.exec_energy(C::IntMul));
+  EXPECT_LT(m.exec_energy(C::IntMul), m.exec_energy(C::IntDiv));
+  EXPECT_LT(m.exec_energy(C::FpAlu), m.exec_energy(C::FpMul));
+  EXPECT_LT(m.exec_energy(C::FpMul), m.exec_energy(C::FpDiv));
+  // FP arithmetic costs more than the integer counterpart.
+  EXPECT_GT(m.exec_energy(C::FpAlu), m.exec_energy(C::IntAlu));
+}
+
+TEST(EnergyModel, PipelinedUnitsPayPerOpPremium) {
+  StructureSizes pipelined = reference_sizes();
+  StructureSizes blocking = reference_sizes();
+  blocking.exec.fp_alu.pipelined = false;
+  const EnergyModel mp(pipelined), mb(blocking);
+  EXPECT_GT(mp.exec_energy(isa::InstrClass::FpAlu),
+            mb.exec_energy(isa::InstrClass::FpAlu));
+}
+
+TEST(EnergyModel, FpCoreHasLargerAreaAndLeakage) {
+  const EnergyModel fp(sim::fp_core_config().structure_sizes());
+  const EnergyModel intc(sim::int_core_config().structure_sizes());
+  // The strong FP datapath dominates the area budget (paper's premise:
+  // running INT-only code on the FP core wastes leakage).
+  EXPECT_GT(fp.area(), intc.area());
+  EXPECT_GT(fp.leakage_per_cycle(), intc.leakage_per_cycle());
+}
+
+TEST(EnergyModel, ParamsArePreserved) {
+  EnergyParams params;
+  params.memory_access = 42.0;
+  const EnergyModel m(reference_sizes(), params);
+  EXPECT_DOUBLE_EQ(m.memory_energy(), 42.0);
+  EXPECT_DOUBLE_EQ(m.params().memory_access, 42.0);
+}
+
+}  // namespace
+}  // namespace amps::power

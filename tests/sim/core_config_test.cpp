@@ -1,0 +1,105 @@
+#include "sim/core_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amps::sim {
+namespace {
+
+TEST(CoreConfig, CanonicalConfigsValidate) {
+  std::string why;
+  EXPECT_TRUE(int_core_config().validate(&why)) << why;
+  EXPECT_TRUE(fp_core_config().validate(&why)) << why;
+  EXPECT_TRUE(symmetric_core_config().validate(&why)) << why;
+}
+
+TEST(CoreConfig, TableOneCaches) {
+  // Paper Table I: 4K IL1/DL1, 128K L2 on both cores.
+  for (const CoreConfig& c : {int_core_config(), fp_core_config()}) {
+    EXPECT_EQ(c.il1.size_bytes, 4u * 1024);
+    EXPECT_EQ(c.dl1.size_bytes, 4u * 1024);
+    EXPECT_EQ(c.l2.size_bytes, 128u * 1024);
+  }
+}
+
+TEST(CoreConfig, KindsAndNames) {
+  EXPECT_EQ(int_core_config().kind, CoreKind::Int);
+  EXPECT_EQ(fp_core_config().kind, CoreKind::Fp);
+  EXPECT_NE(int_core_config().name, fp_core_config().name);
+}
+
+TEST(CoreConfig, WindowAsymmetryMirrored) {
+  const CoreConfig ic = int_core_config();
+  const CoreConfig fc = fp_core_config();
+  // Table I: each core's strong side has the bigger rename/ISQ resources.
+  EXPECT_GT(ic.int_rename_regs, ic.fp_rename_regs);
+  EXPECT_GT(fc.fp_rename_regs, fc.int_rename_regs);
+  EXPECT_GT(ic.int_isq_entries, ic.fp_isq_entries);
+  EXPECT_GT(fc.fp_isq_entries, fc.int_isq_entries);
+  // Mirror symmetry.
+  EXPECT_EQ(ic.int_rename_regs, fc.fp_rename_regs);
+  EXPECT_EQ(ic.int_isq_entries, fc.fp_isq_entries);
+}
+
+TEST(CoreConfig, TableTwoStrongSidesPipelined) {
+  const CoreConfig ic = int_core_config();
+  const CoreConfig fc = fp_core_config();
+  // INT core: pipelined INT datapath with two 1-cycle ALUs; non-pipelined FP.
+  EXPECT_TRUE(ic.exec.int_alu.pipelined);
+  EXPECT_EQ(ic.exec.int_alu.units, 2u);
+  EXPECT_EQ(ic.exec.int_alu.latency, 1u);
+  EXPECT_FALSE(ic.exec.fp_alu.pipelined);
+  EXPECT_EQ(ic.exec.fp_alu.units, 1u);
+  // FP core: pipelined FP datapath with two 4-cycle FP ALUs; weak INT side.
+  EXPECT_TRUE(fc.exec.fp_alu.pipelined);
+  EXPECT_EQ(fc.exec.fp_alu.units, 2u);
+  EXPECT_EQ(fc.exec.fp_alu.latency, 4u);
+  EXPECT_FALSE(fc.exec.int_alu.pipelined);
+  EXPECT_EQ(fc.exec.int_alu.latency, 2u);
+  // Dividers per Table II: 12-cycle pipelined on the strong side.
+  EXPECT_EQ(ic.exec.int_div.latency, 12u);
+  EXPECT_TRUE(ic.exec.int_div.pipelined);
+  EXPECT_EQ(fc.exec.fp_div.latency, 12u);
+  EXPECT_TRUE(fc.exec.fp_div.pipelined);
+}
+
+TEST(CoreConfig, WeakSidesSlowerThanStrong) {
+  const CoreConfig ic = int_core_config();
+  const CoreConfig fc = fp_core_config();
+  EXPECT_GT(ic.exec.fp_alu.latency, fc.exec.fp_alu.latency);
+  EXPECT_GT(fc.exec.int_alu.latency, ic.exec.int_alu.latency);
+  EXPECT_GT(ic.exec.fp_div.latency, fc.exec.fp_div.latency);
+  EXPECT_GT(fc.exec.int_div.latency, ic.exec.int_div.latency);
+}
+
+TEST(CoreConfig, StructureSizesRoundTrip) {
+  const CoreConfig c = int_core_config();
+  const power::StructureSizes s = c.structure_sizes();
+  EXPECT_EQ(s.rob, c.rob_entries);
+  EXPECT_EQ(s.int_regs, c.int_rename_regs);
+  EXPECT_EQ(s.fp_regs, c.fp_rename_regs);
+  EXPECT_EQ(s.int_isq, c.int_isq_entries);
+  EXPECT_EQ(s.fp_isq, c.fp_isq_entries);
+  EXPECT_EQ(s.lsq, c.lq_entries + c.sq_entries);
+  EXPECT_EQ(s.l2_bytes, c.l2.size_bytes);
+  EXPECT_EQ(s.exec.int_alu.units, c.exec.int_alu.units);
+}
+
+TEST(CoreConfig, ValidateCatchesBadValues) {
+  CoreConfig c = int_core_config();
+  c.fetch_width = 0;
+  EXPECT_FALSE(c.validate());
+  c = int_core_config();
+  c.rob_entries = 0;
+  EXPECT_FALSE(c.validate());
+  c = int_core_config();
+  c.il1.size_bytes = 3000;
+  EXPECT_FALSE(c.validate());
+  c = int_core_config();
+  c.lq_entries = 0;
+  std::string why;
+  EXPECT_FALSE(c.validate(&why));
+  EXPECT_FALSE(why.empty());
+}
+
+}  // namespace
+}  // namespace amps::sim

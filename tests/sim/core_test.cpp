@@ -1,0 +1,229 @@
+#include "sim/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmark.hpp"
+#include "workload/builder.hpp"
+
+namespace amps::sim {
+namespace {
+
+/// Single-phase spec whose mix is exactly one instruction class, with very
+/// relaxed dependencies (ILP-rich) unless stated otherwise.
+wl::BenchmarkSpec pure_spec(const char* name, isa::InstrClass cls,
+                            double dep_mean = 64.0) {
+  wl::PhaseSpec p;
+  p.name = "pure";
+  p.mix[cls] = 1.0;
+  p.dep_mean_int = dep_mean;
+  p.dep_mean_fp = dep_mean;
+  p.working_set = 4096;
+  p.dwell_mean = 1e12;
+  wl::WorkloadBuilder b(name);
+  b.phase(p);
+  return b.build();
+}
+
+double run_ipc(const CoreConfig& cfg, const wl::BenchmarkSpec& spec,
+               Cycles cycles) {
+  Core core(cfg);
+  ThreadContext t(0, spec);
+  core.attach(&t);
+  for (Cycles now = 0; now < cycles; ++now) core.tick(now);
+  core.detach();
+  return static_cast<double>(t.committed_total()) / static_cast<double>(cycles);
+}
+
+TEST(Core, PureIntAluFastOnIntCore) {
+  const auto spec = pure_spec("pure_int", isa::InstrClass::IntAlu);
+  const double ipc = run_ipc(int_core_config(), spec, 20000);
+  // Two pipelined 1-cycle ALUs: throughput cap 2 IPC.
+  EXPECT_GT(ipc, 1.7);
+  EXPECT_LE(ipc, 2.05);
+}
+
+TEST(Core, PureIntAluThrottledOnFpCore) {
+  const auto spec = pure_spec("pure_int", isa::InstrClass::IntAlu);
+  const double ipc = run_ipc(fp_core_config(), spec, 20000);
+  // One non-pipelined 2-cycle ALU: cap 0.5 IPC.
+  EXPECT_GT(ipc, 0.4);
+  EXPECT_LE(ipc, 0.52);
+}
+
+TEST(Core, PureFpAluFastOnFpCore) {
+  const auto spec = pure_spec("pure_fp", isa::InstrClass::FpAlu);
+  const double ipc = run_ipc(fp_core_config(), spec, 20000);
+  // Two pipelined FP ALUs -> near 2 IPC with relaxed dependencies.
+  EXPECT_GT(ipc, 1.4);
+}
+
+TEST(Core, PureFpAluCrawlsOnIntCore) {
+  const auto spec = pure_spec("pure_fp", isa::InstrClass::FpAlu);
+  const double ipc = run_ipc(int_core_config(), spec, 20000);
+  // One non-pipelined 8-cycle unit: cap 0.125 IPC.
+  EXPECT_LT(ipc, 0.15);
+  EXPECT_GT(ipc, 0.08);
+}
+
+TEST(Core, SerialDependenciesLimitIpc) {
+  // dep distance 1 on a 1-cycle ALU serializes to ~1 IPC even with 2 units.
+  const auto serial = pure_spec("serial_int", isa::InstrClass::IntAlu, 1.0);
+  const double ipc = run_ipc(int_core_config(), serial, 20000);
+  EXPECT_LT(ipc, 1.2);
+}
+
+TEST(Core, DivLatencyDominatesPureDivStream) {
+  const auto spec = pure_spec("pure_div", isa::InstrClass::IntDiv, 4.0);
+  // Pipelined 12-cycle divider with short dependencies: well below ALU rates
+  // but far above the non-pipelined bound of 1/12.
+  const double ipc = run_ipc(int_core_config(), spec, 30000);
+  EXPECT_LT(ipc, 1.0);
+  EXPECT_GT(ipc, 1.0 / 13.0);
+}
+
+TEST(Core, DeterministicAcrossRuns) {
+  const wl::BenchmarkCatalog catalog;
+  const auto& spec = catalog.by_name("gcc");
+  Core a(int_core_config()), b(int_core_config());
+  ThreadContext ta(0, spec), tb(0, spec);
+  a.attach(&ta);
+  b.attach(&tb);
+  for (Cycles now = 0; now < 30000; ++now) {
+    a.tick(now);
+    b.tick(now);
+  }
+  EXPECT_EQ(ta.committed_total(), tb.committed_total());
+  EXPECT_DOUBLE_EQ(a.energy(), b.energy());
+}
+
+TEST(Core, IdleCoreBurnsOnlyLeakage) {
+  Core core(int_core_config());
+  for (Cycles now = 0; now < 100; ++now) core.tick(now);
+  const power::EnergyModel model(int_core_config().structure_sizes());
+  EXPECT_NEAR(core.energy(), 100 * model.leakage_per_cycle(), 1e-9);
+  EXPECT_EQ(core.committed_ops(), 0u);
+}
+
+TEST(Core, DetachReturnsThreadAndFlushes) {
+  const wl::BenchmarkCatalog catalog;
+  Core core(int_core_config());
+  ThreadContext t(0, catalog.by_name("sha"));
+  core.attach(&t);
+  // Tick until ops are in flight (the window can be momentarily empty while
+  // a mispredict redirect drains).
+  Cycles now = 0;
+  while (core.in_flight() == 0 && now < 2000) core.tick(now++);
+  ASSERT_GT(core.in_flight(), 0u);
+  ThreadContext* out = core.detach();
+  EXPECT_EQ(out, &t);
+  EXPECT_EQ(core.in_flight(), 0u);
+  EXPECT_EQ(core.thread(), nullptr);
+  EXPECT_EQ(core.detach(), nullptr);  // second detach is a no-op
+}
+
+TEST(Core, ReplayAfterFlushLosesNoInstructions) {
+  // Both runs commit a prefix of the same deterministic stream, so at the
+  // same committed-instruction count the per-class composition must agree
+  // (up to the commit-width granularity at which the loop stops). A replay
+  // bug that dropped or duplicated squashed ops would shift the counts by
+  // hundreds.
+  const wl::BenchmarkCatalog catalog;
+  const auto& spec = catalog.by_name("CRC32");
+  constexpr InstrCount kTarget = 4000;
+
+  auto committed_after = [&](bool flush_midway) {
+    Core core(int_core_config());
+    ThreadContext t(0, spec);
+    core.attach(&t);
+    Cycles now = 0;
+    while (t.committed_total() < kTarget && now < 100'000) {
+      core.tick(now);
+      ++now;
+      if (flush_midway && now == 2000) {
+        core.detach();
+        core.attach(&t);
+      }
+    }
+    core.detach();
+    return t.committed();
+  };
+
+  const isa::InstrCounts plain = committed_after(false);
+  const isa::InstrCounts flushed = committed_after(true);
+  EXPECT_GE(flushed.total(), kTarget);
+  for (isa::InstrClass cls : isa::kAllInstrClasses) {
+    const auto a = static_cast<std::int64_t>(plain.count(cls));
+    const auto b = static_cast<std::int64_t>(flushed.count(cls));
+    EXPECT_LE(std::abs(a - b), 8) << isa::to_string(cls);
+  }
+}
+
+TEST(Core, EnergyAttributedToThreadAtDetach) {
+  const wl::BenchmarkCatalog catalog;
+  Core core(int_core_config());
+  ThreadContext t(0, catalog.by_name("gzip"));
+  core.attach(&t);
+  for (Cycles now = 0; now < 1000; ++now) core.tick(now);
+  const Energy live = core.energy_since_attach();
+  EXPECT_GT(live, 0.0);
+  core.detach();
+  EXPECT_DOUBLE_EQ(t.energy(), live);
+}
+
+TEST(Core, ThreadCyclesTrackAttachedTime) {
+  const wl::BenchmarkCatalog catalog;
+  Core core(int_core_config());
+  ThreadContext t(0, catalog.by_name("gzip"));
+  core.attach(&t);
+  for (Cycles now = 0; now < 777; ++now) core.tick(now);
+  EXPECT_EQ(t.cycles(), 777u);
+}
+
+TEST(Core, StallsAccumulateForMismatchedWork) {
+  // FP-heavy stream on the INT core: the weak non-pipelined FP units and
+  // small FP window must produce back-pressure stalls.
+  const auto spec = pure_spec("pure_fp", isa::InstrClass::FpAlu, 8.0);
+  Core core(int_core_config());
+  ThreadContext t(0, spec);
+  core.attach(&t);
+  for (Cycles now = 0; now < 10000; ++now) core.tick(now);
+  const StallStats& s = core.stalls();
+  EXPECT_GT(s.rob_full + s.fp_reg + s.fp_isq_full, 0u);
+}
+
+TEST(Core, BranchHeavyStreamTrainsPredictor) {
+  const wl::BenchmarkCatalog catalog;
+  Core core(int_core_config());
+  ThreadContext t(0, catalog.by_name("branchstress"));
+  core.attach(&t);
+  for (Cycles now = 0; now < 20000; ++now) core.tick(now);
+  EXPECT_GT(core.bpred().lookups(), 100u);
+  // branchstress has 35% random-outcome branches: mispredictions must be
+  // substantial but below 50%.
+  EXPECT_GT(core.bpred().misprediction_rate(), 0.1);
+  EXPECT_LT(core.bpred().misprediction_rate(), 0.5);
+}
+
+TEST(Core, CachesStayWarmAcrossDetach) {
+  const wl::BenchmarkCatalog catalog;
+  Core core(int_core_config());
+  ThreadContext t(0, catalog.by_name("bitcount"));
+  core.attach(&t);
+  for (Cycles now = 0; now < 5000; ++now) core.tick(now);
+  const auto misses_before = core.caches().dl1().stats().misses;
+  core.detach();
+  core.attach(&t);
+  for (Cycles now = 5000; now < 10000; ++now) core.tick(now);
+  // bitcount's 2 KB working set fits DL1; after re-attach the warm cache
+  // must produce almost no new misses.
+  EXPECT_LT(core.caches().dl1().stats().misses, misses_before + 20);
+}
+
+TEST(Core, InvalidConfigThrows) {
+  CoreConfig bad = int_core_config();
+  bad.rob_entries = 0;
+  EXPECT_THROW(Core{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amps::sim

@@ -1,0 +1,78 @@
+// DVFS / frequency-asymmetry tests: the slow core must run at roughly half
+// the fast core's throughput while spending far less energy per
+// instruction — the operating-point trade the original HPE work schedules
+// around.
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hpp"
+#include "sim/solo.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::sim {
+namespace {
+
+TEST(DvfsParams, ScalingLaws) {
+  const power::EnergyParams base;
+  const power::EnergyParams half = base.scaled_for_dvfs(2);
+  EXPECT_DOUBLE_EQ(half.int_alu, base.int_alu / 4.0);       // V^2 dynamic
+  EXPECT_DOUBLE_EQ(half.l1_access, base.l1_access / 4.0);
+  EXPECT_DOUBLE_EQ(half.leak_base, base.leak_base / 2.0);   // ~V leakage
+  // Off-chip DRAM energy is not on the core's rail.
+  EXPECT_DOUBLE_EQ(half.memory_access, base.memory_access);
+}
+
+TEST(DvfsParams, DividerOneIsIdentity) {
+  const power::EnergyParams base;
+  const power::EnergyParams same = base.scaled_for_dvfs(1);
+  EXPECT_DOUBLE_EQ(same.int_alu, base.int_alu);
+  EXPECT_DOUBLE_EQ(same.leak_base, base.leak_base);
+}
+
+TEST(DvfsConfig, ValidatesDivider) {
+  CoreConfig c = slow_core_config();
+  EXPECT_TRUE(c.validate());
+  c.clock_divider = 0;
+  EXPECT_FALSE(c.validate());
+}
+
+TEST(DvfsCore, SlowCoreRunsAtRoughlyHalfThroughput) {
+  const wl::BenchmarkCatalog catalog;
+  const auto& bench = catalog.by_name("sha");  // compute-bound
+  const auto fast = run_solo(fast_core_config(), bench, 30'000);
+  const auto slow = run_solo(slow_core_config(), bench, 30'000);
+  // IPC is measured against the *global* clock, so the half-clocked core
+  // lands near half the fast core's rate.
+  EXPECT_NEAR(slow.ipc() / fast.ipc(), 0.5, 0.1);
+}
+
+TEST(DvfsCore, SlowCoreUsesLessEnergyPerInstruction) {
+  const wl::BenchmarkCatalog catalog;
+  const auto& bench = catalog.by_name("sha");
+  const auto fast = run_solo(fast_core_config(), bench, 30'000);
+  const auto slow = run_solo(slow_core_config(), bench, 30'000);
+  const double fast_epi = fast.energy / static_cast<double>(fast.committed);
+  const double slow_epi = slow.energy / static_cast<double>(slow.committed);
+  EXPECT_LT(slow_epi, fast_epi * 0.75);
+  // Which means better IPC/Watt for throughput-insensitive work...
+  EXPECT_GT(slow.ipc_per_watt(), fast.ipc_per_watt());
+}
+
+TEST(DvfsCore, MemoryBoundWorkLosesLittlePerformanceWhenSlow) {
+  const wl::BenchmarkCatalog catalog;
+  const auto& bench = catalog.by_name("mcf");
+  const auto fast = run_solo(fast_core_config(), bench, 8'000);
+  const auto slow = run_solo(slow_core_config(), bench, 8'000);
+  // DRAM latency dominates: well above the 0.5 compute-bound ratio.
+  EXPECT_GT(slow.ipc() / fast.ipc(), 0.65);
+}
+
+TEST(DvfsCore, DeterministicWithDivider) {
+  const wl::BenchmarkCatalog catalog;
+  const auto a = run_solo(slow_core_config(), catalog.by_name("gzip"), 10'000);
+  const auto b = run_solo(slow_core_config(), catalog.by_name("gzip"), 10'000);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+}
+
+}  // namespace
+}  // namespace amps::sim

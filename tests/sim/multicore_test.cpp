@@ -1,0 +1,130 @@
+#include "sim/multicore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmark.hpp"
+
+namespace amps::sim {
+namespace {
+
+std::vector<CoreConfig> four_core_amp() {
+  return {int_core_config(), int_core_config(), fp_core_config(),
+          fp_core_config()};
+}
+
+class MulticoreTest : public ::testing::Test {
+ protected:
+  MulticoreTest() : system_(four_core_amp(), 100) {
+    const char* names[4] = {"sha", "gzip", "equake", "swim"};
+    for (int i = 0; i < 4; ++i)
+      threads_.push_back(std::make_unique<ThreadContext>(
+          i, catalog_.by_name(names[static_cast<std::size_t>(i)])));
+    system_.attach_threads(
+        {threads_[0].get(), threads_[1].get(), threads_[2].get(),
+         threads_[3].get()});
+  }
+
+  wl::BenchmarkCatalog catalog_;
+  MulticoreSystem system_;
+  std::vector<std::unique_ptr<ThreadContext>> threads_;
+};
+
+TEST_F(MulticoreTest, RequiresAtLeastTwoCores) {
+  EXPECT_THROW(MulticoreSystem({int_core_config()}), std::invalid_argument);
+}
+
+TEST_F(MulticoreTest, AttachCountMismatchThrows) {
+  MulticoreSystem sys(four_core_amp(), 100);
+  ThreadContext t(0, catalog_.by_name("sha"));
+  EXPECT_THROW(sys.attach_threads({&t}), std::invalid_argument);
+}
+
+TEST_F(MulticoreTest, AllThreadsMakeProgress) {
+  for (int i = 0; i < 5'000; ++i) system_.step();
+  for (const auto& t : threads_) EXPECT_GT(t->committed_total(), 0u);
+}
+
+TEST_F(MulticoreTest, PairwiseSwapOnlyIdlesTwoCores) {
+  for (int i = 0; i < 2'000; ++i) system_.step();
+  const InstrCount c1 = threads_[1]->committed_total();
+  const InstrCount c2 = threads_[2]->committed_total();
+  system_.swap_threads(1, 2);
+  EXPECT_TRUE(system_.migrating(1));
+  EXPECT_TRUE(system_.migrating(2));
+  EXPECT_FALSE(system_.migrating(0));
+  EXPECT_FALSE(system_.migrating(3));
+  const InstrCount c0 = threads_[0]->committed_total();
+  const InstrCount c3 = threads_[3]->committed_total();
+  for (int i = 0; i < 100; ++i) system_.step();
+  // Swapped threads were stalled; the others kept committing.
+  EXPECT_EQ(threads_[1]->committed_total(), c1);
+  EXPECT_EQ(threads_[2]->committed_total(), c2);
+  EXPECT_GT(threads_[0]->committed_total(), c0);
+  EXPECT_GT(threads_[3]->committed_total(), c3);
+  // Post-migration the thread faces fully cold caches on its new core, so
+  // give it a realistic horizon to make progress.
+  for (int i = 0; i < 2'000; ++i) system_.step();
+  EXPECT_FALSE(system_.migrating(1));
+  EXPECT_GT(threads_[1]->committed_total(), c1);
+}
+
+TEST_F(MulticoreTest, SwapExchangesAssignment) {
+  system_.swap_threads(0, 3);
+  EXPECT_EQ(system_.thread_on(0), threads_[3].get());
+  EXPECT_EQ(system_.thread_on(3), threads_[0].get());
+  EXPECT_EQ(system_.swap_count(), 1u);
+  EXPECT_EQ(threads_[0]->swaps(), 1u);
+}
+
+TEST_F(MulticoreTest, InvalidSwapRequestsIgnored) {
+  system_.swap_threads(1, 1);
+  system_.swap_threads(0, 99);
+  EXPECT_EQ(system_.swap_count(), 0u);
+  system_.swap_threads(0, 1);
+  system_.swap_threads(1, 2);  // core 1 is migrating: ignored
+  EXPECT_EQ(system_.swap_count(), 1u);
+}
+
+TEST_F(MulticoreTest, ConcurrentDisjointSwapsAllowed) {
+  system_.swap_threads(0, 1);
+  system_.swap_threads(2, 3);
+  EXPECT_EQ(system_.swap_count(), 2u);
+  for (int i = 0; i < 150; ++i) system_.step();
+  EXPECT_FALSE(system_.migrating(0));
+  EXPECT_FALSE(system_.migrating(2));
+}
+
+TEST_F(MulticoreTest, EnergyAccountingCoversAllCores) {
+  for (int i = 0; i < 3'000; ++i) system_.step();
+  Energy live_sum = 0.0;
+  for (const auto& t : threads_) live_sum += system_.live_energy(*t);
+  EXPECT_LE(live_sum, system_.total_energy() + 1e-9);
+  EXPECT_GT(live_sum, 0.0);
+}
+
+TEST_F(MulticoreTest, Deterministic) {
+  auto run = [&]() {
+    MulticoreSystem sys(four_core_amp(), 100);
+    std::vector<std::unique_ptr<ThreadContext>> ts;
+    const char* names[4] = {"sha", "gzip", "equake", "swim"};
+    for (int i = 0; i < 4; ++i)
+      ts.push_back(std::make_unique<ThreadContext>(
+          i, catalog_.by_name(names[static_cast<std::size_t>(i)])));
+    sys.attach_threads({ts[0].get(), ts[1].get(), ts[2].get(), ts[3].get()});
+    for (int i = 0; i < 10'000; ++i) {
+      sys.step();
+      if (i == 4'000) sys.swap_threads(0, 2);
+    }
+    Energy e = 0;
+    InstrCount c = 0;
+    for (const auto& t : ts) {
+      e += sys.live_energy(*t);
+      c += t->committed_total();
+    }
+    return std::make_pair(e, c);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace amps::sim

@@ -1,0 +1,61 @@
+#include "sim/scale.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace amps::sim {
+namespace {
+
+class ScaleTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("AMPS_SCALE"); }
+};
+
+TEST_F(ScaleTest, CiDefaults) {
+  const SimScale s = SimScale::ci();
+  EXPECT_EQ(s.context_switch_interval, 150'000u);
+  EXPECT_EQ(s.run_length, 300'000u);
+  EXPECT_EQ(s.window_size, 1000u);
+  EXPECT_EQ(s.history_depth, 5);
+  EXPECT_EQ(s.swap_overhead, 100u);
+}
+
+TEST_F(ScaleTest, PaperPreset) {
+  const SimScale s = SimScale::paper();
+  // 2 ms at 2 GHz.
+  EXPECT_EQ(s.context_switch_interval, 4'000'000u);
+  EXPECT_EQ(s.run_length, 20'000'000u);
+  // Paper Fig. 6 best point retained.
+  EXPECT_EQ(s.window_size, 1000u);
+  EXPECT_EQ(s.history_depth, 5);
+}
+
+TEST_F(ScaleTest, RatiosPreservedAcrossPresets) {
+  const SimScale ci = SimScale::ci();
+  const SimScale paper = SimScale::paper();
+  // The decisive ratio: decision interval per run length.
+  const double r_ci = static_cast<double>(ci.context_switch_interval) /
+                      static_cast<double>(ci.run_length);
+  const double r_paper = static_cast<double>(paper.context_switch_interval) /
+                         static_cast<double>(paper.run_length);
+  EXPECT_NEAR(r_ci / r_paper, 2.5, 0.01);  // same order of magnitude
+}
+
+TEST_F(ScaleTest, FromEnvDefaultsToCi) {
+  unsetenv("AMPS_SCALE");
+  EXPECT_EQ(SimScale::from_env().run_length, SimScale::ci().run_length);
+}
+
+TEST_F(ScaleTest, FromEnvPaper) {
+  setenv("AMPS_SCALE", "paper", 1);
+  EXPECT_EQ(SimScale::from_env().run_length, SimScale::paper().run_length);
+}
+
+TEST_F(ScaleTest, MaxCyclesBoundsRun) {
+  const SimScale s = SimScale::ci();
+  EXPECT_EQ(s.max_cycles(), s.run_length * 40);
+}
+
+}  // namespace
+}  // namespace amps::sim

@@ -1,0 +1,93 @@
+#include "sim/solo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmark.hpp"
+
+namespace amps::sim {
+namespace {
+
+class SoloTest : public ::testing::Test {
+ protected:
+  wl::BenchmarkCatalog catalog_;
+};
+
+TEST_F(SoloTest, ReachesRunLength) {
+  const auto r = run_solo(int_core_config(), catalog_.by_name("sha"), 20000);
+  EXPECT_GE(r.committed, 20000u);
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_GT(r.energy, 0.0);
+  EXPECT_GT(r.ipc(), 0.0);
+  EXPECT_GT(r.ipc_per_watt(), 0.0);
+}
+
+TEST_F(SoloTest, SamplesProducedAtInterval) {
+  const auto r = run_solo(int_core_config(), catalog_.by_name("sha"), 30000,
+                          /*sample_interval=*/2000);
+  EXPECT_GE(r.samples.size(), 5u);
+  for (const auto& s : r.samples) {
+    EXPECT_GE(s.int_pct, 0.0);
+    EXPECT_LE(s.int_pct + s.fp_pct, 100.0 + 1e-9);
+    EXPECT_GT(s.committed, 0u);
+    EXPECT_GT(s.ipc, 0.0);
+    EXPECT_GT(s.ipc_per_watt, 0.0);
+  }
+}
+
+TEST_F(SoloTest, NoSamplingWhenIntervalZero) {
+  const auto r = run_solo(int_core_config(), catalog_.by_name("sha"), 10000, 0);
+  EXPECT_TRUE(r.samples.empty());
+}
+
+TEST_F(SoloTest, Deterministic) {
+  const auto a = run_solo(fp_core_config(), catalog_.by_name("equake"), 20000);
+  const auto b = run_solo(fp_core_config(), catalog_.by_name("equake"), 20000);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+}
+
+TEST_F(SoloTest, InstanceSeedChangesOutcome) {
+  const auto a =
+      run_solo(int_core_config(), catalog_.by_name("gcc"), 20000, 0, 1);
+  const auto b =
+      run_solo(int_core_config(), catalog_.by_name("gcc"), 20000, 0, 2);
+  EXPECT_NE(a.cycles, b.cycles);
+}
+
+TEST_F(SoloTest, SampleCompositionMatchesBenchmarkFlavor) {
+  const auto r = run_solo(int_core_config(), catalog_.by_name("bitcount"),
+                          40000, 4000);
+  ASSERT_FALSE(r.samples.empty());
+  for (const auto& s : r.samples) {
+    EXPECT_GT(s.int_pct, 50.0);  // bitcount is ~78% INT
+    EXPECT_LT(s.fp_pct, 10.0);
+  }
+}
+
+TEST_F(SoloTest, AffinityShapeMatchesFigureOne) {
+  // The paper's Fig. 1 premise: INT-intensive workloads achieve better
+  // IPC/Watt on the INT core, FP-intensive ones on the FP core, and
+  // memory-bound ones show little difference.
+  const auto ratio = [&](const char* name) {
+    const auto i = run_solo(int_core_config(), catalog_.by_name(name), 60000);
+    const auto f = run_solo(fp_core_config(), catalog_.by_name(name), 60000);
+    return i.ipc_per_watt() / f.ipc_per_watt();
+  };
+  EXPECT_GT(ratio("intstress"), 1.15);
+  EXPECT_GT(ratio("CRC32"), 1.1);
+  EXPECT_LT(ratio("fpstress"), 0.9);
+  EXPECT_LT(ratio("ammp"), 0.95);
+  const double r_mcf = ratio("mcf");
+  EXPECT_GT(r_mcf, 0.85);
+  EXPECT_LT(r_mcf, 1.25);
+}
+
+TEST_F(SoloTest, CycleBoundPreventsRunaway) {
+  // Even a pathological target terminates within the 40x bound.
+  const auto r = run_solo(int_core_config(), catalog_.by_name("mcf"), 1000);
+  EXPECT_LE(r.cycles, 40000u);
+}
+
+}  // namespace
+}  // namespace amps::sim

@@ -1,0 +1,159 @@
+#include "sim/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmark.hpp"
+
+namespace amps::sim {
+namespace {
+
+class SystemTest : public ::testing::Test {
+ protected:
+  SystemTest()
+      : system_(int_core_config(), fp_core_config(), /*swap_overhead=*/100),
+        t0_(0, catalog_.by_name("bitcount")),
+        t1_(1, catalog_.by_name("equake")) {
+    system_.attach_threads(&t0_, &t1_);
+  }
+
+  wl::BenchmarkCatalog catalog_;
+  DualCoreSystem system_;
+  ThreadContext t0_;
+  ThreadContext t1_;
+};
+
+TEST_F(SystemTest, InitialAssignment) {
+  EXPECT_EQ(system_.thread_on(0), &t0_);
+  EXPECT_EQ(system_.thread_on(1), &t1_);
+  EXPECT_EQ(system_.core_of(0), 0u);
+  EXPECT_EQ(system_.core_of(1), 1u);
+  EXPECT_EQ(system_.core(0).config().kind, CoreKind::Int);
+  EXPECT_EQ(system_.core(1).config().kind, CoreKind::Fp);
+}
+
+TEST_F(SystemTest, StepAdvancesClockAndWork) {
+  for (int i = 0; i < 2000; ++i) system_.step();
+  EXPECT_EQ(system_.now(), 2000u);
+  EXPECT_GT(t0_.committed_total(), 0u);
+  EXPECT_GT(t1_.committed_total(), 0u);
+}
+
+TEST_F(SystemTest, SwapExchangesThreads) {
+  for (int i = 0; i < 1000; ++i) system_.step();
+  system_.swap_threads();
+  EXPECT_TRUE(system_.swap_in_progress());
+  EXPECT_EQ(system_.thread_on(0), &t1_);
+  EXPECT_EQ(system_.thread_on(1), &t0_);
+  EXPECT_EQ(system_.swap_count(), 1u);
+  EXPECT_EQ(t0_.swaps(), 1u);
+  EXPECT_EQ(t1_.swaps(), 1u);
+}
+
+TEST_F(SystemTest, SwapStallsBothThreadsForOverhead) {
+  for (int i = 0; i < 1000; ++i) system_.step();
+  const InstrCount c0 = t0_.committed_total();
+  const InstrCount c1 = t1_.committed_total();
+  system_.swap_threads();
+  // During the 100 overhead cycles neither thread commits anything.
+  for (int i = 0; i < 100; ++i) system_.step();
+  EXPECT_EQ(t0_.committed_total(), c0);
+  EXPECT_EQ(t1_.committed_total(), c1);
+  // After migration completes they run again (on the other cores).
+  for (int i = 0; i < 3000; ++i) system_.step();
+  EXPECT_FALSE(system_.swap_in_progress());
+  EXPECT_GT(t0_.committed_total(), c0);
+  EXPECT_GT(t1_.committed_total(), c1);
+}
+
+TEST_F(SystemTest, DoubleSwapRequestIsIdempotentWhileMigrating) {
+  system_.swap_threads();
+  system_.swap_threads();  // ignored: already migrating
+  EXPECT_EQ(system_.swap_count(), 1u);
+  EXPECT_EQ(system_.thread_on(0), &t1_);
+}
+
+TEST_F(SystemTest, SwapBackRestoresAssignment) {
+  for (int i = 0; i < 500; ++i) system_.step();
+  system_.swap_threads();
+  for (int i = 0; i < 200; ++i) system_.step();
+  system_.swap_threads();
+  for (int i = 0; i < 200; ++i) system_.step();
+  EXPECT_EQ(system_.thread_on(0), &t0_);
+  EXPECT_EQ(system_.core_of(1), 1u);
+  EXPECT_EQ(system_.swap_count(), 2u);
+}
+
+TEST_F(SystemTest, SwapIdleEnergyChargedToThreads) {
+  for (int i = 0; i < 1000; ++i) system_.step();
+  system_.swap_threads();
+  const Energy e0 = t0_.energy();  // settled at detach
+  const Energy e1 = t1_.energy();
+  for (int i = 0; i < 101; ++i) system_.step();  // cross the resume point
+  // The idle migration leakage was split between the threads.
+  EXPECT_GT(t0_.energy() + t1_.energy(), e0 + e1);
+}
+
+TEST_F(SystemTest, LiveEnergyIncludesUnsettledShare) {
+  for (int i = 0; i < 1000; ++i) system_.step();
+  EXPECT_GT(system_.live_energy(t0_), t0_.energy());
+  EXPECT_GT(system_.total_energy(),
+            system_.live_energy(t0_) + system_.live_energy(t1_) - 1e-9);
+}
+
+TEST_F(SystemTest, RunUntilCommittedReachesTarget) {
+  const Cycles used = system_.run_until_committed(5000);
+  EXPECT_GT(used, 0u);
+  EXPECT_GE(t0_.committed_total(), 5000u);
+  EXPECT_GE(t1_.committed_total(), 5000u);
+}
+
+TEST_F(SystemTest, RunUntilCommittedHonorsCycleBound) {
+  const Cycles used = system_.run_until_committed(1'000'000'000, 500);
+  EXPECT_EQ(used, 500u);
+}
+
+TEST_F(SystemTest, CoreOfUnknownThreadThrows) {
+  EXPECT_THROW((void)system_.core_of(42), std::out_of_range);
+}
+
+TEST_F(SystemTest, TotalEnergyGrowsEveryCycle) {
+  const Energy before = system_.total_energy();
+  system_.step();
+  EXPECT_GT(system_.total_energy(), before);
+}
+
+TEST(SystemDeterminism, IdenticalRunsMatch) {
+  wl::BenchmarkCatalog catalog;
+  auto run = [&]() {
+    DualCoreSystem sys(int_core_config(), fp_core_config(), 100);
+    ThreadContext a(0, catalog.by_name("apsi"));
+    ThreadContext b(1, catalog.by_name("gzip"));
+    sys.attach_threads(&a, &b);
+    for (int i = 0; i < 20000; ++i) {
+      sys.step();
+      if (i == 7000) sys.swap_threads();
+    }
+    return std::make_tuple(a.committed_total(), b.committed_total(),
+                           sys.total_energy());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SystemSwapCost, HigherOverheadSlowsProgress) {
+  wl::BenchmarkCatalog catalog;
+  auto committed_with_overhead = [&](Cycles overhead) {
+    DualCoreSystem sys(int_core_config(), fp_core_config(), overhead);
+    ThreadContext a(0, catalog.by_name("sha"));
+    ThreadContext b(1, catalog.by_name("swim"));
+    sys.attach_threads(&a, &b);
+    for (int i = 0; i < 30000; ++i) {
+      sys.step();
+      if (i % 5000 == 4999) sys.swap_threads();
+    }
+    return a.committed_total() + b.committed_total();
+  };
+  EXPECT_GT(committed_with_overhead(10), committed_with_overhead(2000));
+}
+
+}  // namespace
+}  // namespace amps::sim

@@ -1,0 +1,106 @@
+#include "sim/thread_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmark.hpp"
+
+namespace amps::sim {
+namespace {
+
+class ThreadContextTest : public ::testing::Test {
+ protected:
+  wl::BenchmarkCatalog catalog_;
+};
+
+TEST_F(ThreadContextTest, PeekDoesNotConsume) {
+  ThreadContext t(0, catalog_.by_name("sha"));
+  const isa::MicroOp a = t.peek();
+  const isa::MicroOp b = t.peek();
+  EXPECT_EQ(a.pc, b.pc);
+  EXPECT_EQ(a.cls, b.cls);
+}
+
+TEST_F(ThreadContextTest, PopAdvances) {
+  ThreadContext t(0, catalog_.by_name("sha"));
+  const isa::MicroOp first = t.peek();
+  t.pop();
+  const isa::MicroOp second = t.peek();
+  // PCs advance by 4 within the hot loop (modulo wrap), so consecutive ops
+  // are distinguishable.
+  EXPECT_TRUE(first.pc != second.pc || first.cls != second.cls ||
+              first.dep1 != second.dep1);
+}
+
+TEST_F(ThreadContextTest, SeqTracksFetches) {
+  ThreadContext t(0, catalog_.by_name("sha"));
+  EXPECT_EQ(t.next_seq(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    (void)t.peek();
+    t.pop();
+    t.advance_seq();
+  }
+  EXPECT_EQ(t.next_seq(), 5u);
+}
+
+TEST_F(ThreadContextTest, UnfetchReplaysInOrder) {
+  ThreadContext t(0, catalog_.by_name("gcc"));
+  // Fetch 6 ops, remember them.
+  std::vector<isa::MicroOp> fetched;
+  for (int i = 0; i < 6; ++i) {
+    fetched.push_back(t.peek());
+    t.pop();
+    t.advance_seq();
+  }
+  // Squash the last 4 (as a pipeline flush would).
+  std::deque<isa::MicroOp> squashed(fetched.begin() + 2, fetched.end());
+  t.unfetch(std::move(squashed));
+  EXPECT_EQ(t.next_seq(), 2u);
+  // Replay must deliver the same ops in the same order.
+  for (int i = 2; i < 6; ++i) {
+    const isa::MicroOp got = t.peek();
+    EXPECT_EQ(got.pc, fetched[static_cast<std::size_t>(i)].pc) << i;
+    EXPECT_EQ(got.cls, fetched[static_cast<std::size_t>(i)].cls) << i;
+    t.pop();
+    t.advance_seq();
+  }
+  EXPECT_EQ(t.next_seq(), 6u);
+}
+
+TEST_F(ThreadContextTest, UnfetchBeforeLookahead) {
+  ThreadContext t(0, catalog_.by_name("gcc"));
+  (void)t.peek();  // fill lookahead without consuming
+  isa::MicroOp squashed_op;
+  squashed_op.pc = 0xDEAD;
+  t.advance_seq();  // pretend one op was dispatched
+  std::deque<isa::MicroOp> squashed{squashed_op};
+  t.unfetch(std::move(squashed));
+  // The squashed op comes back before the lookahead entry.
+  EXPECT_EQ(t.peek().pc, 0xDEADu);
+}
+
+TEST_F(ThreadContextTest, StatAccumulators) {
+  ThreadContext t(3, catalog_.by_name("pi"));
+  EXPECT_EQ(t.id(), 3);
+  EXPECT_EQ(t.name(), "pi");
+  t.add_cycles(100);
+  t.add_energy(5.0);
+  t.add_l2_misses(7);
+  t.count_swap();
+  t.committed().add(isa::InstrClass::IntAlu, 50);
+  EXPECT_EQ(t.cycles(), 100u);
+  EXPECT_DOUBLE_EQ(t.energy(), 5.0);
+  EXPECT_EQ(t.l2_misses(), 7u);
+  EXPECT_EQ(t.swaps(), 1u);
+  EXPECT_EQ(t.committed_total(), 50u);
+  EXPECT_DOUBLE_EQ(t.ipc(), 0.5);
+  EXPECT_DOUBLE_EQ(t.ipc_per_watt(), 10.0);
+}
+
+TEST_F(ThreadContextTest, ZeroGuards) {
+  ThreadContext t(0, catalog_.by_name("pi"));
+  EXPECT_DOUBLE_EQ(t.ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(t.ipc_per_watt(), 0.0);
+}
+
+}  // namespace
+}  // namespace amps::sim

@@ -1,0 +1,123 @@
+#include "uarch/func_unit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amps::uarch {
+namespace {
+
+TEST(FuPool, RejectsZeroUnitsOrLatency) {
+  EXPECT_THROW(FuPool({.units = 0, .latency = 1, .pipelined = true}),
+               std::invalid_argument);
+  EXPECT_THROW(FuPool({.units = 1, .latency = 0, .pipelined = true}),
+               std::invalid_argument);
+}
+
+TEST(FuPool, PipelinedAcceptsOnePerCyclePerUnit) {
+  FuPool pool({.units = 1, .latency = 4, .pipelined = true});
+  EXPECT_EQ(pool.try_issue(10), 14u);
+  EXPECT_EQ(pool.try_issue(10), 0u);  // second op same cycle refused
+  EXPECT_EQ(pool.try_issue(11), 15u);  // next cycle accepted
+}
+
+TEST(FuPool, NonPipelinedBlocksForFullLatency) {
+  FuPool pool({.units = 1, .latency = 4, .pipelined = false});
+  EXPECT_EQ(pool.try_issue(10), 14u);
+  EXPECT_EQ(pool.try_issue(11), 0u);
+  EXPECT_EQ(pool.try_issue(13), 0u);
+  EXPECT_EQ(pool.try_issue(14), 18u);  // free exactly at completion
+}
+
+TEST(FuPool, MultipleUnitsIssueConcurrently) {
+  FuPool pool({.units = 2, .latency = 3, .pipelined = false});
+  EXPECT_EQ(pool.try_issue(5), 8u);
+  EXPECT_EQ(pool.try_issue(5), 8u);   // second unit
+  EXPECT_EQ(pool.try_issue(5), 0u);   // both busy
+  EXPECT_EQ(pool.ops_issued(), 2u);
+}
+
+TEST(FuPool, PipelinedThroughputIsOnePerCycle) {
+  FuPool pool({.units = 1, .latency = 12, .pipelined = true});
+  for (Cycles now = 0; now < 20; ++now)
+    EXPECT_EQ(pool.try_issue(now), now + 12) << now;
+  EXPECT_EQ(pool.ops_issued(), 20u);
+}
+
+TEST(FuPool, NonPipelinedThroughputIsOnePerLatency) {
+  FuPool pool({.units = 1, .latency = 12, .pipelined = false});
+  int issued = 0;
+  for (Cycles now = 0; now < 48; ++now)
+    if (pool.try_issue(now) != 0) ++issued;
+  EXPECT_EQ(issued, 4);  // 48 / 12
+}
+
+TEST(FuPool, ResetOccupancyFreesUnits) {
+  FuPool pool({.units = 1, .latency = 100, .pipelined = false});
+  (void)pool.try_issue(0);
+  EXPECT_EQ(pool.try_issue(1), 0u);
+  pool.reset_occupancy();
+  EXPECT_NE(pool.try_issue(1), 0u);
+}
+
+ExecUnits::Config tiny_config() {
+  ExecUnits::Config cfg;
+  cfg.int_alu = {.units = 2, .latency = 1, .pipelined = true};
+  cfg.int_mul = {.units = 1, .latency = 3, .pipelined = true};
+  cfg.int_div = {.units = 1, .latency = 12, .pipelined = true};
+  cfg.fp_alu = {.units = 1, .latency = 4, .pipelined = false};
+  cfg.fp_mul = {.units = 1, .latency = 6, .pipelined = false};
+  cfg.fp_div = {.units = 1, .latency = 24, .pipelined = false};
+  return cfg;
+}
+
+TEST(ExecUnits, RoutesByClass) {
+  ExecUnits eu(tiny_config());
+  EXPECT_EQ(eu.try_issue(isa::InstrClass::IntAlu, 0), 1u);
+  EXPECT_EQ(eu.try_issue(isa::InstrClass::IntMul, 0), 3u);
+  EXPECT_EQ(eu.try_issue(isa::InstrClass::FpDiv, 0), 24u);
+  EXPECT_EQ(eu.pool(isa::InstrClass::IntAlu).ops_issued(), 1u);
+  EXPECT_EQ(eu.pool(isa::InstrClass::FpDiv).ops_issued(), 1u);
+}
+
+TEST(ExecUnits, NonAluClassesRefused) {
+  ExecUnits eu(tiny_config());
+  EXPECT_EQ(eu.try_issue(isa::InstrClass::Load, 0), 0u);
+  EXPECT_EQ(eu.try_issue(isa::InstrClass::Store, 0), 0u);
+  EXPECT_EQ(eu.try_issue(isa::InstrClass::Branch, 0), 0u);
+  EXPECT_THROW((void)eu.pool(isa::InstrClass::Load), std::invalid_argument);
+}
+
+TEST(ExecUnits, PoolsAreIndependent) {
+  ExecUnits eu(tiny_config());
+  ASSERT_NE(eu.try_issue(isa::InstrClass::FpAlu, 0), 0u);
+  // FP ALU blocked (non-pipelined) but INT ALU still available.
+  EXPECT_EQ(eu.try_issue(isa::InstrClass::FpAlu, 1), 0u);
+  EXPECT_NE(eu.try_issue(isa::InstrClass::IntAlu, 1), 0u);
+}
+
+TEST(ExecUnits, ResetOccupancyAppliesToAllPools) {
+  ExecUnits eu(tiny_config());
+  (void)eu.try_issue(isa::InstrClass::FpDiv, 0);
+  EXPECT_EQ(eu.try_issue(isa::InstrClass::FpDiv, 1), 0u);
+  eu.reset_occupancy();
+  EXPECT_NE(eu.try_issue(isa::InstrClass::FpDiv, 1), 0u);
+}
+
+class FuSpecParamTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, Cycles, bool>> {};
+
+TEST_P(FuSpecParamTest, CompletionAlwaysNowPlusLatency) {
+  const auto [units, latency, pipelined] = GetParam();
+  FuPool pool({.units = units, .latency = latency, .pipelined = pipelined});
+  const Cycles done = pool.try_issue(100);
+  ASSERT_NE(done, 0u);
+  EXPECT_EQ(done, 100 + latency);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FuSpecParamTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values<Cycles>(1, 3, 12, 24),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace amps::uarch

@@ -1,0 +1,77 @@
+#include "uarch/structures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amps::uarch {
+namespace {
+
+TEST(ResourcePool, RejectsZeroCapacity) {
+  EXPECT_THROW(ResourcePool("x", 0), std::invalid_argument);
+}
+
+TEST(ResourcePool, AcquireRelease) {
+  ResourcePool p("regs", 4);
+  EXPECT_TRUE(p.acquire(3));
+  EXPECT_EQ(p.in_use(), 3u);
+  EXPECT_EQ(p.available(), 1u);
+  p.release(2);
+  EXPECT_EQ(p.in_use(), 1u);
+}
+
+TEST(ResourcePool, FailedAcquireCountsStall) {
+  ResourcePool p("regs", 2);
+  EXPECT_TRUE(p.acquire(2));
+  EXPECT_FALSE(p.acquire(1));
+  EXPECT_EQ(p.stalls(), 1u);
+  EXPECT_EQ(p.in_use(), 2u);  // unchanged by the failed acquire
+}
+
+TEST(ResourcePool, HighWaterTracksPeak) {
+  ResourcePool p("q", 8);
+  (void)p.acquire(5);
+  p.release(4);
+  (void)p.acquire(2);
+  EXPECT_EQ(p.high_water(), 5u);
+}
+
+TEST(ResourcePool, AcquiresAccumulate) {
+  ResourcePool p("q", 8);
+  (void)p.acquire(3);
+  p.release(3);
+  (void)p.acquire(2);
+  EXPECT_EQ(p.acquires(), 5u);
+}
+
+TEST(ResourcePool, MeanOccupancyViaTicks) {
+  ResourcePool p("q", 10);
+  (void)p.acquire(4);
+  p.tick();
+  p.tick();
+  p.release(4);
+  p.tick();
+  (void)p.acquire(2);
+  p.tick();
+  EXPECT_DOUBLE_EQ(p.mean_occupancy(), (4 + 4 + 0 + 2) / 4.0);
+}
+
+TEST(ResourcePool, MeanOccupancyZeroWithoutTicks) {
+  ResourcePool p("q", 10);
+  EXPECT_DOUBLE_EQ(p.mean_occupancy(), 0.0);
+}
+
+TEST(ResourcePool, ClearEmptiesPool) {
+  ResourcePool p("q", 4);
+  (void)p.acquire(4);
+  p.clear();
+  EXPECT_EQ(p.in_use(), 0u);
+  EXPECT_TRUE(p.acquire(4));
+}
+
+TEST(ResourcePool, NameIsStored) {
+  ResourcePool p("INTREG", 96);
+  EXPECT_EQ(p.name(), "INTREG");
+  EXPECT_EQ(p.capacity(), 96u);
+}
+
+}  // namespace
+}  // namespace amps::uarch

@@ -1,0 +1,85 @@
+#include "workload/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amps::wl {
+namespace {
+
+TEST(WorkloadBuilder, BuildsValidSpec) {
+  const BenchmarkSpec spec = WorkloadBuilder("custom")
+                                 .int_phase("a", 0.6, 0.2, 8192)
+                                 .fp_phase("b", 0.5, 0.25, 32768)
+                                 .build();
+  std::string why;
+  EXPECT_TRUE(spec.validate(&why)) << why;
+  EXPECT_EQ(spec.name, "custom");
+  EXPECT_EQ(spec.num_phases(), 2u);
+  EXPECT_EQ(spec.suite, Suite::Synthetic);
+  EXPECT_NE(spec.seed, 0u);
+}
+
+TEST(WorkloadBuilder, DwellModifiesLastPhase) {
+  const BenchmarkSpec spec = WorkloadBuilder("d")
+                                 .int_phase("a", 0.6, 0.2, 8192)
+                                 .dwell(50'000, 0.1)
+                                 .fp_phase("b", 0.5, 0.25, 32768)
+                                 .dwell(70'000, 0.2)
+                                 .build();
+  EXPECT_DOUBLE_EQ(spec.phases[0].dwell_mean, 50'000.0);
+  EXPECT_DOUBLE_EQ(spec.phases[0].dwell_jitter, 0.1);
+  EXPECT_DOUBLE_EQ(spec.phases[1].dwell_mean, 70'000.0);
+}
+
+TEST(WorkloadBuilder, ModifiersTargetLastPhase) {
+  const BenchmarkSpec spec = WorkloadBuilder("m")
+                                 .mixed_phase("a", 0.3, 0.3, 0.25, 8192)
+                                 .dependencies(9.0, 2.5)
+                                 .branches(0.6, 0.25)
+                                 .code_footprint(2048)
+                                 .build();
+  EXPECT_DOUBLE_EQ(spec.phases[0].dep_mean_int, 9.0);
+  EXPECT_DOUBLE_EQ(spec.phases[0].dep_mean_fp, 2.5);
+  EXPECT_DOUBLE_EQ(spec.phases[0].branch_taken_bias, 0.6);
+  EXPECT_DOUBLE_EQ(spec.phases[0].branch_noise, 0.25);
+  EXPECT_EQ(spec.phases[0].code_footprint, 2048u);
+}
+
+TEST(WorkloadBuilder, ModifierWithoutPhaseThrows) {
+  WorkloadBuilder b("empty");
+  EXPECT_THROW(b.dwell(100.0), std::logic_error);
+}
+
+TEST(WorkloadBuilder, BuildWithoutPhasesThrows) {
+  EXPECT_THROW((void)WorkloadBuilder("none").build(), std::invalid_argument);
+}
+
+TEST(WorkloadBuilder, InvalidParamsRejectedAtBuild) {
+  WorkloadBuilder b("bad");
+  b.int_phase("a", 0.6, 0.2, 8192).branches(2.0, 0.0);  // bias out of range
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(WorkloadBuilder, BadTransitionsRejected) {
+  WorkloadBuilder b("badt");
+  b.int_phase("a", 0.6, 0.2, 8192)
+      .fp_phase("b", 0.5, 0.25, 8192)
+      .transitions({1.0});  // wrong shape
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(WorkloadBuilder, CustomPhaseAccepted) {
+  PhaseSpec p = make_memory_phase("mem", 0.5, 1 << 20, 0.2);
+  const BenchmarkSpec spec = WorkloadBuilder("c").phase(p).build();
+  EXPECT_EQ(spec.phases[0].name, "mem");
+}
+
+TEST(WorkloadBuilder, SeedDerivedFromName) {
+  const auto a = WorkloadBuilder("x").int_phase("p", 0.6, 0.2, 8192).build();
+  const auto b = WorkloadBuilder("x").int_phase("p", 0.6, 0.2, 8192).build();
+  const auto c = WorkloadBuilder("y").int_phase("p", 0.6, 0.2, 8192).build();
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_NE(a.seed, c.seed);
+}
+
+}  // namespace
+}  // namespace amps::wl

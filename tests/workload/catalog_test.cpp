@@ -1,0 +1,128 @@
+#include "workload/benchmark.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace amps::wl {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  BenchmarkCatalog catalog_;
+};
+
+TEST_F(CatalogTest, Has37Benchmarks) {
+  // Paper §IV: 15 SPEC + 14 MiBench + 1 mediabench + 7 synthetic.
+  EXPECT_EQ(catalog_.size(), 37u);
+}
+
+TEST_F(CatalogTest, SuiteBreakdownMatchesPaper) {
+  std::map<Suite, int> counts;
+  for (const auto& b : catalog_.all()) ++counts[b.suite];
+  EXPECT_EQ(counts[Suite::Spec], 15);
+  EXPECT_EQ(counts[Suite::MiBench], 14);
+  EXPECT_EQ(counts[Suite::MediaBench], 1);
+  EXPECT_EQ(counts[Suite::Synthetic], 7);
+}
+
+TEST_F(CatalogTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& b : catalog_.all())
+    EXPECT_TRUE(names.insert(b.name).second) << "duplicate " << b.name;
+}
+
+TEST_F(CatalogTest, AllSpecsValidate) {
+  for (const auto& b : catalog_.all()) {
+    std::string why;
+    EXPECT_TRUE(b.validate(&why)) << why;
+  }
+}
+
+TEST_F(CatalogTest, SeedsAreStablePerName) {
+  BenchmarkCatalog other;
+  for (std::size_t i = 0; i < catalog_.size(); ++i)
+    EXPECT_EQ(catalog_.all()[i].seed, other.all()[i].seed);
+  // And distinct across benchmarks.
+  std::set<std::uint64_t> seeds;
+  for (const auto& b : catalog_.all()) seeds.insert(b.seed);
+  EXPECT_EQ(seeds.size(), catalog_.size());
+}
+
+TEST_F(CatalogTest, PaperFigure1BenchmarksPresent) {
+  for (const char* n :
+       {"equake", "fpstress", "gcc", "mcf", "CRC32", "intstress"})
+    EXPECT_TRUE(catalog_.contains(n)) << n;
+}
+
+TEST_F(CatalogTest, RepresentativeNineHaveCorrectFlavors) {
+  const auto nine = catalog_.representative_nine();
+  ASSERT_EQ(nine.size(), 9u);
+  // Paper §VI-A: first three INT-intensive, next three FP-intensive,
+  // last three mixed.
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(nine[static_cast<std::size_t>(i)]->flavor(),
+              Flavor::IntIntensive)
+        << nine[static_cast<std::size_t>(i)]->name;
+  for (int i = 3; i < 6; ++i)
+    EXPECT_EQ(nine[static_cast<std::size_t>(i)]->flavor(), Flavor::FpIntensive)
+        << nine[static_cast<std::size_t>(i)]->name;
+  for (int i = 6; i < 9; ++i)
+    EXPECT_EQ(nine[static_cast<std::size_t>(i)]->flavor(), Flavor::Mixed)
+        << nine[static_cast<std::size_t>(i)]->name;
+}
+
+TEST_F(CatalogTest, ByNameThrowsOnUnknown) {
+  EXPECT_THROW((void)catalog_.by_name("doesnotexist"), std::out_of_range);
+  EXPECT_FALSE(catalog_.contains("doesnotexist"));
+}
+
+TEST_F(CatalogTest, NamesListMatchesSize) {
+  EXPECT_EQ(catalog_.names().size(), catalog_.size());
+}
+
+TEST_F(CatalogTest, AverageMixIsValid) {
+  for (const auto& b : catalog_.all()) {
+    const isa::InstrMix m = b.average_mix();
+    EXPECT_TRUE(m.valid(1e-3)) << b.name;
+  }
+}
+
+TEST_F(CatalogTest, StressBenchmarksAreExtreme) {
+  EXPECT_GT(catalog_.by_name("intstress").average_mix().int_fraction(), 0.7);
+  EXPECT_GT(catalog_.by_name("fpstress").average_mix().fp_fraction(), 0.5);
+  EXPECT_GT(catalog_.by_name("memstress").average_mix().mem_fraction(), 0.45);
+}
+
+TEST_F(CatalogTest, MultiPhaseBenchmarksExist) {
+  int multi = 0;
+  for (const auto& b : catalog_.all())
+    if (b.num_phases() > 1) ++multi;
+  // Phase behavior is central to the paper; a healthy share of the pool
+  // must be multi-phase.
+  EXPECT_GE(multi, 10);
+}
+
+TEST(BenchmarkSpecValidate, CatchesBadTransitions) {
+  BenchmarkCatalog catalog;
+  BenchmarkSpec spec = catalog.by_name("apsi");
+  spec.transitions = {1.0, 2.0};  // wrong shape for 2 phases (needs 4)
+  EXPECT_FALSE(spec.validate());
+  spec.transitions = {1.0, 1.0, -1.0, 1.0};
+  EXPECT_FALSE(spec.validate());
+  spec.transitions = {0.0, 0.0, 1.0, 0.0};  // row 0 sums to zero
+  EXPECT_FALSE(spec.validate());
+  spec.transitions = {0.5, 0.5, 1.0, 0.0};
+  EXPECT_TRUE(spec.validate());
+}
+
+TEST(BenchmarkSpecValidate, CatchesEmpty) {
+  BenchmarkSpec spec;
+  EXPECT_FALSE(spec.validate());
+  spec.name = "x";
+  EXPECT_FALSE(spec.validate());  // no phases
+}
+
+}  // namespace
+}  // namespace amps::wl

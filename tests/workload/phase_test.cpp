@@ -1,0 +1,91 @@
+#include "workload/phase.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amps::wl {
+namespace {
+
+PhaseSpec valid_phase() { return make_mixed_phase("p", 0.4, 0.2, 0.25, 32768); }
+
+TEST(PhaseSpec, ArchetypesValidate) {
+  std::string why;
+  EXPECT_TRUE(make_int_phase("i", 0.6, 0.2, 4096).validate(&why)) << why;
+  EXPECT_TRUE(make_fp_phase("f", 0.5, 0.25, 65536).validate(&why)) << why;
+  EXPECT_TRUE(make_mixed_phase("m", 0.3, 0.3, 0.25, 8192).validate(&why)) << why;
+  EXPECT_TRUE(make_memory_phase("mem", 0.5, 1 << 20, 0.3).validate(&why)) << why;
+}
+
+TEST(PhaseSpec, ArchetypeFlavors) {
+  EXPECT_GT(make_int_phase("i", 0.7, 0.1, 4096).mix.int_fraction(), 0.6);
+  EXPECT_GT(make_fp_phase("f", 0.5, 0.2, 4096).mix.fp_fraction(), 0.45);
+  EXPECT_GT(make_memory_phase("m", 0.5, 4096, 0.2).mix.mem_fraction(), 0.45);
+}
+
+TEST(PhaseSpec, RejectsBadMix) {
+  PhaseSpec p = valid_phase();
+  p.mix[isa::InstrClass::IntAlu] += 0.5;  // no longer sums to 1
+  std::string why;
+  EXPECT_FALSE(p.validate(&why));
+  EXPECT_NE(why.find("mix"), std::string::npos);
+}
+
+TEST(PhaseSpec, RejectsBadDependencies) {
+  PhaseSpec p = valid_phase();
+  p.dep_mean_int = 0.5;
+  EXPECT_FALSE(p.validate());
+  p = valid_phase();
+  p.dep_mean_fp = 0.0;
+  EXPECT_FALSE(p.validate());
+}
+
+TEST(PhaseSpec, RejectsZeroWorkingSet) {
+  PhaseSpec p = valid_phase();
+  p.working_set = 0;
+  EXPECT_FALSE(p.validate());
+}
+
+TEST(PhaseSpec, RejectsBadFractions) {
+  PhaseSpec p = valid_phase();
+  p.stream_frac = 1.2;
+  EXPECT_FALSE(p.validate());
+  p = valid_phase();
+  p.far_miss_frac = -0.1;
+  EXPECT_FALSE(p.validate());
+  p = valid_phase();
+  p.stream_frac = 0.8;
+  p.far_miss_frac = 0.3;  // sum > 1
+  EXPECT_FALSE(p.validate());
+}
+
+TEST(PhaseSpec, RejectsBadBranchParams) {
+  PhaseSpec p = valid_phase();
+  p.branch_taken_bias = 1.5;
+  EXPECT_FALSE(p.validate());
+  p = valid_phase();
+  p.branch_noise = -0.01;
+  EXPECT_FALSE(p.validate());
+}
+
+TEST(PhaseSpec, RejectsBadDwell) {
+  PhaseSpec p = valid_phase();
+  p.dwell_mean = 0.0;
+  EXPECT_FALSE(p.validate());
+  p = valid_phase();
+  p.dwell_jitter = 1.0;
+  EXPECT_FALSE(p.validate());
+}
+
+TEST(PhaseSpec, RejectsTinyCodeFootprint) {
+  PhaseSpec p = valid_phase();
+  p.code_footprint = 16;
+  EXPECT_FALSE(p.validate());
+}
+
+TEST(PhaseSpec, WhyIsOptional) {
+  PhaseSpec p = valid_phase();
+  p.working_set = 0;
+  EXPECT_FALSE(p.validate(nullptr));  // must not crash
+}
+
+}  // namespace
+}  // namespace amps::wl

@@ -1,0 +1,114 @@
+#include "workload/source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim/core.hpp"
+#include "sim/thread_context.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::wl {
+namespace {
+
+class SourceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "amps_source_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".ampt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  BenchmarkCatalog catalog_;
+  std::string path_;
+};
+
+TEST_F(SourceTest, StreamSourceMatchesRawStream) {
+  StreamSource src(catalog_.by_name("gcc"), 5);
+  InstructionStream raw(catalog_.by_name("gcc"), 5);
+  for (int i = 0; i < 2000; ++i) {
+    const isa::MicroOp a = src.next();
+    const isa::MicroOp b = raw.next();
+    ASSERT_EQ(a.pc, b.pc);
+    ASSERT_EQ(a.cls, b.cls);
+  }
+  EXPECT_EQ(src.name(), "gcc");
+}
+
+TEST_F(SourceTest, TraceSourceReplaysRecordedOps) {
+  record_trace(catalog_.by_name("sha"), 1000, path_);
+  TraceSource src(path_);
+  InstructionStream original(catalog_.by_name("sha"));
+  for (int i = 0; i < 1000; ++i) {
+    const isa::MicroOp got = src.next();
+    const isa::MicroOp want = original.next();
+    ASSERT_EQ(got.pc, want.pc) << i;
+    ASSERT_EQ(got.cls, want.cls) << i;
+  }
+  EXPECT_EQ(src.wraps(), 0u);
+  EXPECT_EQ(src.name().rfind("trace:", 0), 0u);
+}
+
+TEST_F(SourceTest, TraceSourceWrapsAround) {
+  record_trace(catalog_.by_name("sha"), 100, path_);
+  TraceSource src(path_);
+  const isa::MicroOp first = src.next();
+  for (int i = 0; i < 99; ++i) (void)src.next();
+  const isa::MicroOp wrapped = src.next();  // back to the start
+  EXPECT_EQ(src.wraps(), 1u);
+  EXPECT_EQ(wrapped.pc, first.pc);
+  EXPECT_EQ(wrapped.cls, first.cls);
+}
+
+TEST_F(SourceTest, EmptyTraceRejected) {
+  {
+    TraceWriter w(path_);
+    w.close();
+  }
+  EXPECT_THROW(TraceSource{path_}, std::runtime_error);
+}
+
+TEST_F(SourceTest, TraceDrivenThreadRunsOnCore) {
+  // Record a trace, then execute it through the full pipeline: the
+  // committed composition must match the trace's.
+  record_trace(catalog_.by_name("bitcount"), 20'000, path_);
+  const TraceSummary summary = summarize_trace(path_);
+
+  sim::Core core(sim::int_core_config());
+  sim::ThreadContext thread(0, std::make_unique<TraceSource>(path_));
+  core.attach(&thread);
+  Cycles now = 0;
+  while (thread.committed_total() < 20'000 && now < 400'000) core.tick(now++);
+  core.detach();
+
+  ASSERT_GE(thread.committed_total(), 20'000u);
+  EXPECT_NEAR(thread.committed().int_pct(), summary.counts.int_pct(), 1.0);
+  EXPECT_NEAR(thread.committed().fp_pct(), summary.counts.fp_pct(), 1.0);
+}
+
+TEST_F(SourceTest, TraceDrivenRunMatchesModelDrivenRun) {
+  // A trace of the model and the model itself must produce *identical*
+  // simulations (same dynamic instruction sequence -> same cycles/energy).
+  record_trace(catalog_.by_name("CRC32"), 30'000, path_);
+
+  auto simulate = [&](std::unique_ptr<OpSource> src) {
+    sim::Core core(sim::int_core_config());
+    sim::ThreadContext thread(0, std::move(src));
+    core.attach(&thread);
+    Cycles now = 0;
+    while (thread.committed_total() < 25'000 && now < 400'000)
+      core.tick(now++);
+    core.detach();
+    return std::make_pair(thread.cycles(), thread.energy());
+  };
+
+  const auto from_trace = simulate(std::make_unique<TraceSource>(path_));
+  const auto from_model = simulate(
+      std::make_unique<StreamSource>(catalog_.by_name("CRC32")));
+  EXPECT_EQ(from_trace.first, from_model.first);
+  EXPECT_DOUBLE_EQ(from_trace.second, from_model.second);
+}
+
+}  // namespace
+}  // namespace amps::wl

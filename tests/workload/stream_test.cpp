@@ -1,0 +1,210 @@
+#include "workload/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/builder.hpp"
+
+namespace amps::wl {
+namespace {
+
+bool ops_equal(const isa::MicroOp& a, const isa::MicroOp& b) {
+  return a.cls == b.cls && a.pc == b.pc && a.mem_addr == b.mem_addr &&
+         a.dep1 == b.dep1 && a.dep2 == b.dep2 &&
+         a.branch_taken == b.branch_taken;
+}
+
+class StreamTest : public ::testing::Test {
+ protected:
+  BenchmarkCatalog catalog_;
+};
+
+TEST_F(StreamTest, DeterministicForSameSeed) {
+  InstructionStream a(catalog_.by_name("gcc"), 1);
+  InstructionStream b(catalog_.by_name("gcc"), 1);
+  for (int i = 0; i < 20000; ++i)
+    ASSERT_TRUE(ops_equal(a.next(), b.next())) << "diverged at op " << i;
+}
+
+TEST_F(StreamTest, InstanceSeedChangesStream) {
+  InstructionStream a(catalog_.by_name("gcc"), 1);
+  InstructionStream b(catalog_.by_name("gcc"), 2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    same += ops_equal(a.next(), b.next()) ? 1 : 0;
+  EXPECT_LT(same, 1000);
+}
+
+TEST_F(StreamTest, CopyResumesIdentically) {
+  InstructionStream a(catalog_.by_name("apsi"));
+  for (int i = 0; i < 5000; ++i) (void)a.next();
+  InstructionStream b = a;  // checkpoint
+  for (int i = 0; i < 5000; ++i)
+    ASSERT_TRUE(ops_equal(a.next(), b.next())) << "diverged at op " << i;
+}
+
+TEST_F(StreamTest, EmittedCountTracks) {
+  InstructionStream s(catalog_.by_name("sha"));
+  for (int i = 0; i < 123; ++i) (void)s.next();
+  EXPECT_EQ(s.emitted(), 123u);
+}
+
+TEST_F(StreamTest, MixConvergesToSpec) {
+  const auto& spec = catalog_.by_name("bitcount");  // single phase
+  InstructionStream s(spec);
+  isa::InstrCounts counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts.add(s.next().cls);
+  const isa::InstrMix expected = spec.phases[0].mix;
+  EXPECT_NEAR(counts.int_pct() / 100.0, expected.int_fraction(), 0.01);
+  EXPECT_NEAR(counts.fp_pct() / 100.0, expected.fp_fraction(), 0.01);
+  EXPECT_NEAR(static_cast<double>(counts.mem_count()) / n,
+              expected.mem_fraction(), 0.01);
+}
+
+TEST_F(StreamTest, PhaseChangesHappenForMultiPhase) {
+  InstructionStream s(catalog_.by_name("mixstress"));
+  for (int i = 0; i < 300000; ++i) (void)s.next();
+  // mixstress dwell is ~30k instructions: expect several transitions.
+  EXPECT_GE(s.phase_changes(), 5u);
+}
+
+TEST_F(StreamTest, SinglePhaseNeverChanges) {
+  InstructionStream s(catalog_.by_name("bitcount"));
+  for (int i = 0; i < 200000; ++i) (void)s.next();
+  EXPECT_EQ(s.phase_changes(), 0u);
+  EXPECT_EQ(s.current_phase_index(), 0u);
+}
+
+TEST_F(StreamTest, MemAddressesStayInDataRegions) {
+  const auto& spec = catalog_.by_name("swim");
+  InstructionStream s(spec);
+  const std::uint64_t base = s.data_base();
+  for (int i = 0; i < 50000; ++i) {
+    const isa::MicroOp op = s.next();
+    if (isa::is_mem(op.cls)) {
+      EXPECT_GE(op.mem_addr, base);
+      // Working set + far region both live within the stream's 256 MiB slice.
+      EXPECT_LT(op.mem_addr, base + (1ULL << 28));
+    }
+  }
+}
+
+TEST_F(StreamTest, DistinctInstancesUseDisjointRegions) {
+  InstructionStream a(catalog_.by_name("swim"), 1);
+  InstructionStream b(catalog_.by_name("swim"), 2);
+  EXPECT_NE(a.data_base(), b.data_base());
+}
+
+TEST_F(StreamTest, BranchBiasRoughlyHonored) {
+  // pi: taken bias 0.99, noise 0.002 -> nearly always taken.
+  InstructionStream s(catalog_.by_name("pi"));
+  int branches = 0, taken = 0;
+  for (int i = 0; i < 300000; ++i) {
+    const isa::MicroOp op = s.next();
+    if (isa::is_branch(op.cls)) {
+      ++branches;
+      taken += op.branch_taken ? 1 : 0;
+    }
+  }
+  ASSERT_GT(branches, 100);
+  EXPECT_GT(static_cast<double>(taken) / branches, 0.95);
+}
+
+TEST_F(StreamTest, DependencyDistancesArePositiveAndBounded) {
+  InstructionStream s(catalog_.by_name("ammp"));
+  for (int i = 0; i < 20000; ++i) {
+    const isa::MicroOp op = s.next();
+    if (op.dep1 != 0) {
+      EXPECT_GE(op.dep1, 1);
+    }
+    if (op.dep2 != 0) {
+      EXPECT_GE(op.dep2, 1);
+    }
+  }
+}
+
+TEST_F(StreamTest, DependencyMeanTracksSpec) {
+  // CRC32 has dep_mean_int 2.5 (serial); bitcount 7.0 (parallel).
+  auto mean_dep = [&](const char* name) {
+    InstructionStream s(catalog_.by_name(name));
+    double acc = 0.0;
+    int n = 0;
+    for (int i = 0; i < 100000; ++i) {
+      const isa::MicroOp op = s.next();
+      if (isa::is_int(op.cls) && op.dep1 != 0) {
+        acc += op.dep1;
+        ++n;
+      }
+    }
+    return acc / n;
+  };
+  EXPECT_LT(mean_dep("CRC32"), mean_dep("bitcount"));
+}
+
+TEST_F(StreamTest, PcStaysWithinPhaseCodeFootprint) {
+  const auto& spec = catalog_.by_name("bitcount");
+  InstructionStream s(spec);
+  std::uint64_t min_pc = ~0ULL, max_pc = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const isa::MicroOp op = s.next();
+    min_pc = std::min(min_pc, op.pc);
+    max_pc = std::max(max_pc, op.pc);
+  }
+  EXPECT_LE(max_pc - min_pc, spec.phases[0].code_footprint);
+}
+
+TEST_F(StreamTest, TransitionMatrixIsRespected) {
+  // Two phases, transitions force 0 -> 1 -> 0 -> ... even with jitter.
+  auto spec = WorkloadBuilder("transition_test")
+                  .int_phase("a", 0.6, 0.2, 4096)
+                  .dwell(1000, 0.0)
+                  .fp_phase("b", 0.5, 0.2, 4096)
+                  .dwell(1000, 0.0)
+                  .transitions({0.0, 1.0, 1.0, 0.0})
+                  .build();
+  InstructionStream s(spec);
+  std::size_t last = s.current_phase_index();
+  for (int i = 0; i < 10000; ++i) {
+    (void)s.next();
+    const std::size_t cur = s.current_phase_index();
+    if (cur != last) {
+      EXPECT_NE(cur, last);  // alternation: never re-enter same phase
+      last = cur;
+    }
+  }
+  EXPECT_GE(s.phase_changes(), 8u);
+}
+
+class AllBenchmarksStreamTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllBenchmarksStreamTest, GeneratesSaneOps) {
+  BenchmarkCatalog catalog;
+  InstructionStream s(catalog.by_name(GetParam()));
+  isa::InstrCounts counts;
+  for (int i = 0; i < 30000; ++i) {
+    const isa::MicroOp op = s.next();
+    counts.add(op.cls);
+    if (isa::is_mem(op.cls)) {
+      EXPECT_NE(op.mem_addr, 0u);
+    }
+  }
+  EXPECT_EQ(counts.total(), 30000u);
+  // Every benchmark commits a nonzero share of integer work (loop control).
+  EXPECT_GT(counts.int_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, AllBenchmarksStreamTest,
+    ::testing::Values("gcc", "mcf", "equake", "ammp", "apsi", "swim", "bzip2",
+                      "gzip", "vpr", "art", "mesa", "applu", "mgrid", "twolf",
+                      "parser", "bitcount", "sha", "CRC32", "dijkstra",
+                      "qsort", "susan", "jpeg", "ffti", "adpcm_enc",
+                      "adpcm_dec", "stringsearch", "blowfish", "rijndael",
+                      "basicmath", "epic", "intstress", "fpstress",
+                      "memstress", "branchstress", "mixstress", "pi",
+                      "phaseshift"));
+
+}  // namespace
+}  // namespace amps::wl

@@ -1,0 +1,126 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "workload/stream.hpp"
+
+namespace amps::wl {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test case: ctest runs cases of this binary in parallel.
+    path_ = ::testing::TempDir() + "amps_trace_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".ampt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  BenchmarkCatalog catalog_;
+  std::string path_;
+};
+
+TEST_F(TraceTest, RoundTripPreservesOps) {
+  const auto& spec = catalog_.by_name("gcc");
+  InstructionStream original(spec);
+  {
+    TraceWriter writer(path_);
+    InstructionStream source(spec);
+    for (int i = 0; i < 5000; ++i) writer.append(source.next());
+    EXPECT_EQ(writer.count(), 5000u);
+  }
+
+  TraceReader reader(path_);
+  EXPECT_EQ(reader.count(), 5000u);
+  for (int i = 0; i < 5000; ++i) {
+    const auto got = reader.next();
+    ASSERT_TRUE(got.has_value()) << i;
+    const isa::MicroOp want = original.next();
+    EXPECT_EQ(got->cls, want.cls);
+    EXPECT_EQ(got->pc, want.pc);
+    EXPECT_EQ(got->mem_addr, want.mem_addr);
+    EXPECT_EQ(got->dep1, want.dep1);
+    EXPECT_EQ(got->dep2, want.dep2);
+    EXPECT_EQ(got->branch_taken, want.branch_taken);
+  }
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.consumed(), 5000u);
+}
+
+TEST_F(TraceTest, RecordTraceHelper) {
+  record_trace(catalog_.by_name("sha"), 2000, path_);
+  TraceReader reader(path_);
+  EXPECT_EQ(reader.count(), 2000u);
+}
+
+TEST_F(TraceTest, SummaryMatchesComposition) {
+  const auto& spec = catalog_.by_name("bitcount");
+  record_trace(spec, 20'000, path_);
+  const TraceSummary s = summarize_trace(path_);
+  EXPECT_EQ(s.ops, 20'000u);
+  EXPECT_EQ(s.counts.total(), 20'000u);
+  // bitcount is ~78% INT with a tiny footprint.
+  EXPECT_GT(s.counts.int_pct(), 60.0);
+  EXPECT_LE(s.code_bytes_touched, spec.phases[0].code_footprint + 64);
+  EXPECT_LE(s.data_bytes_touched, spec.phases[0].working_set + 64);
+  EXPECT_GT(s.data_bytes_touched, 0u);
+  EXPECT_LE(s.taken_branches, s.counts.branch_count());
+}
+
+TEST_F(TraceTest, EmptyTraceIsValid) {
+  {
+    TraceWriter writer(path_);
+    writer.close();
+  }
+  TraceReader reader(path_);
+  EXPECT_EQ(reader.count(), 0u);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST_F(TraceTest, WriterCloseIsIdempotent) {
+  TraceWriter writer(path_);
+  writer.append(isa::MicroOp{});
+  writer.close();
+  writer.close();
+  TraceReader reader(path_);
+  EXPECT_EQ(reader.count(), 1u);
+}
+
+TEST_F(TraceTest, AppendAfterCloseThrows) {
+  TraceWriter writer(path_);
+  writer.close();
+  EXPECT_THROW(writer.append(isa::MicroOp{}), std::logic_error);
+}
+
+TEST_F(TraceTest, MissingFileThrows) {
+  EXPECT_THROW(TraceReader("/nonexistent/path.ampt"), std::runtime_error);
+}
+
+TEST_F(TraceTest, BadMagicThrows) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[32] = "this is not a trace file";
+    std::fwrite(junk, 1, sizeof junk, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(TraceReader{path_}, std::runtime_error);
+}
+
+TEST_F(TraceTest, TruncatedHeaderThrows) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char partial[4] = {'A', 'M', 'P', 'T'};
+    std::fwrite(partial, 1, sizeof partial, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(TraceReader{path_}, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace amps::wl
