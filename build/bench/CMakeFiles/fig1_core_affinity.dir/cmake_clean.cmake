@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_core_affinity.dir/fig1_core_affinity.cpp.o"
+  "CMakeFiles/fig1_core_affinity.dir/fig1_core_affinity.cpp.o.d"
+  "fig1_core_affinity"
+  "fig1_core_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_core_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

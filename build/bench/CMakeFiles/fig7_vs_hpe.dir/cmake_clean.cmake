@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_vs_hpe.dir/fig7_vs_hpe.cpp.o"
+  "CMakeFiles/fig7_vs_hpe.dir/fig7_vs_hpe.cpp.o.d"
+  "fig7_vs_hpe"
+  "fig7_vs_hpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_vs_hpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_vs_round_robin.dir/fig8_vs_round_robin.cpp.o"
+  "CMakeFiles/fig8_vs_round_robin.dir/fig8_vs_round_robin.cpp.o.d"
+  "fig8_vs_round_robin"
+  "fig8_vs_round_robin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_vs_round_robin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

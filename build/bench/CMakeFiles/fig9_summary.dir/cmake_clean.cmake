@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_summary.dir/fig9_summary.cpp.o"
+  "CMakeFiles/fig9_summary.dir/fig9_summary.cpp.o.d"
+  "fig9_summary"
+  "fig9_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

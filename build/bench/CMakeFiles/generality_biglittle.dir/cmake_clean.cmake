@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generality_biglittle.dir/generality_biglittle.cpp.o"
+  "CMakeFiles/generality_biglittle.dir/generality_biglittle.cpp.o.d"
+  "generality_biglittle"
+  "generality_biglittle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generality_biglittle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generality_frequency.dir/generality_frequency.cpp.o"
+  "CMakeFiles/generality_frequency.dir/generality_frequency.cpp.o.d"
+  "generality_frequency"
+  "generality_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generality_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morphing_vs_swap.dir/morphing_vs_swap.cpp.o"
+  "CMakeFiles/morphing_vs_swap.dir/morphing_vs_swap.cpp.o.d"
+  "morphing_vs_swap"
+  "morphing_vs_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morphing_vs_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

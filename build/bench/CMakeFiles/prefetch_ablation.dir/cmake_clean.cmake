@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_ablation.dir/prefetch_ablation.cpp.o"
+  "CMakeFiles/prefetch_ablation.dir/prefetch_ablation.cpp.o.d"
+  "prefetch_ablation"
+  "prefetch_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

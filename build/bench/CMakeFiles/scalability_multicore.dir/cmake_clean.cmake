@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_multicore.dir/scalability_multicore.cpp.o"
+  "CMakeFiles/scalability_multicore.dir/scalability_multicore.cpp.o.d"
+  "scalability_multicore"
+  "scalability_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

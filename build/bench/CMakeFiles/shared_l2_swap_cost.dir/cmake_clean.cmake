@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_l2_swap_cost.dir/shared_l2_swap_cost.cpp.o"
+  "CMakeFiles/shared_l2_swap_cost.dir/shared_l2_swap_cost.cpp.o.d"
+  "shared_l2_swap_cost"
+  "shared_l2_swap_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_l2_swap_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_microbench.dir/sim_microbench.cpp.o"
+  "CMakeFiles/sim_microbench.dir/sim_microbench.cpp.o.d"
+  "sim_microbench"
+  "sim_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

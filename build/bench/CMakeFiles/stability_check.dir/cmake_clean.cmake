@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stability_check.dir/stability_check.cpp.o"
+  "CMakeFiles/stability_check.dir/stability_check.cpp.o.d"
+  "stability_check"
+  "stability_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_sweep.dir/threshold_sweep.cpp.o"
+  "CMakeFiles/threshold_sweep.dir/threshold_sweep.cpp.o.d"
+  "threshold_sweep"
+  "threshold_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

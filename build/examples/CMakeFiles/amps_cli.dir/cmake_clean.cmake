@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amps_cli.dir/amps_cli.cpp.o"
+  "CMakeFiles/amps_cli.dir/amps_cli.cpp.o.d"
+  "amps_cli"
+  "amps_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amps_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amps_common.dir/env.cpp.o"
+  "CMakeFiles/amps_common.dir/env.cpp.o.d"
+  "CMakeFiles/amps_common.dir/log.cpp.o"
+  "CMakeFiles/amps_common.dir/log.cpp.o.d"
+  "CMakeFiles/amps_common.dir/prng.cpp.o"
+  "CMakeFiles/amps_common.dir/prng.cpp.o.d"
+  "CMakeFiles/amps_common.dir/table.cpp.o"
+  "CMakeFiles/amps_common.dir/table.cpp.o.d"
+  "libamps_common.a"
+  "libamps_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amps_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

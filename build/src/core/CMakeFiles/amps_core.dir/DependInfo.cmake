@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/extended.cpp" "src/core/CMakeFiles/amps_core.dir/extended.cpp.o" "gcc" "src/core/CMakeFiles/amps_core.dir/extended.cpp.o.d"
+  "/root/repo/src/core/global_affinity.cpp" "src/core/CMakeFiles/amps_core.dir/global_affinity.cpp.o" "gcc" "src/core/CMakeFiles/amps_core.dir/global_affinity.cpp.o.d"
+  "/root/repo/src/core/hpe.cpp" "src/core/CMakeFiles/amps_core.dir/hpe.cpp.o" "gcc" "src/core/CMakeFiles/amps_core.dir/hpe.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/amps_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/amps_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/morphing.cpp" "src/core/CMakeFiles/amps_core.dir/morphing.cpp.o" "gcc" "src/core/CMakeFiles/amps_core.dir/morphing.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/core/CMakeFiles/amps_core.dir/oracle.cpp.o" "gcc" "src/core/CMakeFiles/amps_core.dir/oracle.cpp.o.d"
+  "/root/repo/src/core/phase_detector.cpp" "src/core/CMakeFiles/amps_core.dir/phase_detector.cpp.o" "gcc" "src/core/CMakeFiles/amps_core.dir/phase_detector.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/core/CMakeFiles/amps_core.dir/profiler.cpp.o" "gcc" "src/core/CMakeFiles/amps_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/core/proposed.cpp" "src/core/CMakeFiles/amps_core.dir/proposed.cpp.o" "gcc" "src/core/CMakeFiles/amps_core.dir/proposed.cpp.o.d"
+  "/root/repo/src/core/round_robin.cpp" "src/core/CMakeFiles/amps_core.dir/round_robin.cpp.o" "gcc" "src/core/CMakeFiles/amps_core.dir/round_robin.cpp.o.d"
+  "/root/repo/src/core/sampling.cpp" "src/core/CMakeFiles/amps_core.dir/sampling.cpp.o" "gcc" "src/core/CMakeFiles/amps_core.dir/sampling.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/amps_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/amps_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/static_sched.cpp" "src/core/CMakeFiles/amps_core.dir/static_sched.cpp.o" "gcc" "src/core/CMakeFiles/amps_core.dir/static_sched.cpp.o.d"
+  "/root/repo/src/core/swap_rules.cpp" "src/core/CMakeFiles/amps_core.dir/swap_rules.cpp.o" "gcc" "src/core/CMakeFiles/amps_core.dir/swap_rules.cpp.o.d"
+  "/root/repo/src/core/utility.cpp" "src/core/CMakeFiles/amps_core.dir/utility.cpp.o" "gcc" "src/core/CMakeFiles/amps_core.dir/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/amps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mathx/CMakeFiles/amps_mathx.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/amps_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/amps_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/amps_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/amps_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/amps_uarch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

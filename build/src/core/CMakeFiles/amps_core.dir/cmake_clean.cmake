@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amps_core.dir/extended.cpp.o"
+  "CMakeFiles/amps_core.dir/extended.cpp.o.d"
+  "CMakeFiles/amps_core.dir/global_affinity.cpp.o"
+  "CMakeFiles/amps_core.dir/global_affinity.cpp.o.d"
+  "CMakeFiles/amps_core.dir/hpe.cpp.o"
+  "CMakeFiles/amps_core.dir/hpe.cpp.o.d"
+  "CMakeFiles/amps_core.dir/monitor.cpp.o"
+  "CMakeFiles/amps_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/amps_core.dir/morphing.cpp.o"
+  "CMakeFiles/amps_core.dir/morphing.cpp.o.d"
+  "CMakeFiles/amps_core.dir/oracle.cpp.o"
+  "CMakeFiles/amps_core.dir/oracle.cpp.o.d"
+  "CMakeFiles/amps_core.dir/phase_detector.cpp.o"
+  "CMakeFiles/amps_core.dir/phase_detector.cpp.o.d"
+  "CMakeFiles/amps_core.dir/profiler.cpp.o"
+  "CMakeFiles/amps_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/amps_core.dir/proposed.cpp.o"
+  "CMakeFiles/amps_core.dir/proposed.cpp.o.d"
+  "CMakeFiles/amps_core.dir/round_robin.cpp.o"
+  "CMakeFiles/amps_core.dir/round_robin.cpp.o.d"
+  "CMakeFiles/amps_core.dir/sampling.cpp.o"
+  "CMakeFiles/amps_core.dir/sampling.cpp.o.d"
+  "CMakeFiles/amps_core.dir/scheduler.cpp.o"
+  "CMakeFiles/amps_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/amps_core.dir/static_sched.cpp.o"
+  "CMakeFiles/amps_core.dir/static_sched.cpp.o.d"
+  "CMakeFiles/amps_core.dir/swap_rules.cpp.o"
+  "CMakeFiles/amps_core.dir/swap_rules.cpp.o.d"
+  "CMakeFiles/amps_core.dir/utility.cpp.o"
+  "CMakeFiles/amps_core.dir/utility.cpp.o.d"
+  "libamps_core.a"
+  "libamps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/core/CMakeFiles/amps_core.dir/swap_rules.cpp.o: \
+ /root/repo/src/core/swap_rules.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/core/swap_rules.hpp

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amps_harness.dir/experiment.cpp.o"
+  "CMakeFiles/amps_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/amps_harness.dir/overhead.cpp.o"
+  "CMakeFiles/amps_harness.dir/overhead.cpp.o.d"
+  "CMakeFiles/amps_harness.dir/parallel.cpp.o"
+  "CMakeFiles/amps_harness.dir/parallel.cpp.o.d"
+  "CMakeFiles/amps_harness.dir/replication.cpp.o"
+  "CMakeFiles/amps_harness.dir/replication.cpp.o.d"
+  "CMakeFiles/amps_harness.dir/sampler.cpp.o"
+  "CMakeFiles/amps_harness.dir/sampler.cpp.o.d"
+  "CMakeFiles/amps_harness.dir/sensitivity.cpp.o"
+  "CMakeFiles/amps_harness.dir/sensitivity.cpp.o.d"
+  "libamps_harness.a"
+  "libamps_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amps_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

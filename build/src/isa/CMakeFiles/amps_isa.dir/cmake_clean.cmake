@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amps_isa.dir/instruction.cpp.o"
+  "CMakeFiles/amps_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/amps_isa.dir/mix.cpp.o"
+  "CMakeFiles/amps_isa.dir/mix.cpp.o.d"
+  "libamps_isa.a"
+  "libamps_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amps_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mathx/least_squares.cpp" "src/mathx/CMakeFiles/amps_mathx.dir/least_squares.cpp.o" "gcc" "src/mathx/CMakeFiles/amps_mathx.dir/least_squares.cpp.o.d"
+  "/root/repo/src/mathx/matrix.cpp" "src/mathx/CMakeFiles/amps_mathx.dir/matrix.cpp.o" "gcc" "src/mathx/CMakeFiles/amps_mathx.dir/matrix.cpp.o.d"
+  "/root/repo/src/mathx/stats.cpp" "src/mathx/CMakeFiles/amps_mathx.dir/stats.cpp.o" "gcc" "src/mathx/CMakeFiles/amps_mathx.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/amps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amps_mathx.dir/least_squares.cpp.o"
+  "CMakeFiles/amps_mathx.dir/least_squares.cpp.o.d"
+  "CMakeFiles/amps_mathx.dir/matrix.cpp.o"
+  "CMakeFiles/amps_mathx.dir/matrix.cpp.o.d"
+  "CMakeFiles/amps_mathx.dir/stats.cpp.o"
+  "CMakeFiles/amps_mathx.dir/stats.cpp.o.d"
+  "libamps_mathx.a"
+  "libamps_mathx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amps_mathx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

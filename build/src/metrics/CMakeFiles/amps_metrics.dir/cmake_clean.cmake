@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amps_metrics.dir/report.cpp.o"
+  "CMakeFiles/amps_metrics.dir/report.cpp.o.d"
+  "CMakeFiles/amps_metrics.dir/run_result.cpp.o"
+  "CMakeFiles/amps_metrics.dir/run_result.cpp.o.d"
+  "CMakeFiles/amps_metrics.dir/speedup.cpp.o"
+  "CMakeFiles/amps_metrics.dir/speedup.cpp.o.d"
+  "libamps_metrics.a"
+  "libamps_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amps_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

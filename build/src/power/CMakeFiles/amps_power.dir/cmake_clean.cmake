@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amps_power.dir/accountant.cpp.o"
+  "CMakeFiles/amps_power.dir/accountant.cpp.o.d"
+  "CMakeFiles/amps_power.dir/energy_model.cpp.o"
+  "CMakeFiles/amps_power.dir/energy_model.cpp.o.d"
+  "libamps_power.a"
+  "libamps_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amps_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/core.cpp" "src/sim/CMakeFiles/amps_sim.dir/core.cpp.o" "gcc" "src/sim/CMakeFiles/amps_sim.dir/core.cpp.o.d"
+  "/root/repo/src/sim/core_config.cpp" "src/sim/CMakeFiles/amps_sim.dir/core_config.cpp.o" "gcc" "src/sim/CMakeFiles/amps_sim.dir/core_config.cpp.o.d"
+  "/root/repo/src/sim/multicore.cpp" "src/sim/CMakeFiles/amps_sim.dir/multicore.cpp.o" "gcc" "src/sim/CMakeFiles/amps_sim.dir/multicore.cpp.o.d"
+  "/root/repo/src/sim/scale.cpp" "src/sim/CMakeFiles/amps_sim.dir/scale.cpp.o" "gcc" "src/sim/CMakeFiles/amps_sim.dir/scale.cpp.o.d"
+  "/root/repo/src/sim/solo.cpp" "src/sim/CMakeFiles/amps_sim.dir/solo.cpp.o" "gcc" "src/sim/CMakeFiles/amps_sim.dir/solo.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/sim/CMakeFiles/amps_sim.dir/system.cpp.o" "gcc" "src/sim/CMakeFiles/amps_sim.dir/system.cpp.o.d"
+  "/root/repo/src/sim/thread_context.cpp" "src/sim/CMakeFiles/amps_sim.dir/thread_context.cpp.o" "gcc" "src/sim/CMakeFiles/amps_sim.dir/thread_context.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/amps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/amps_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/amps_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/amps_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/amps_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

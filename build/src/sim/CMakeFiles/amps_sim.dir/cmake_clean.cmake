@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amps_sim.dir/core.cpp.o"
+  "CMakeFiles/amps_sim.dir/core.cpp.o.d"
+  "CMakeFiles/amps_sim.dir/core_config.cpp.o"
+  "CMakeFiles/amps_sim.dir/core_config.cpp.o.d"
+  "CMakeFiles/amps_sim.dir/multicore.cpp.o"
+  "CMakeFiles/amps_sim.dir/multicore.cpp.o.d"
+  "CMakeFiles/amps_sim.dir/scale.cpp.o"
+  "CMakeFiles/amps_sim.dir/scale.cpp.o.d"
+  "CMakeFiles/amps_sim.dir/solo.cpp.o"
+  "CMakeFiles/amps_sim.dir/solo.cpp.o.d"
+  "CMakeFiles/amps_sim.dir/system.cpp.o"
+  "CMakeFiles/amps_sim.dir/system.cpp.o.d"
+  "CMakeFiles/amps_sim.dir/thread_context.cpp.o"
+  "CMakeFiles/amps_sim.dir/thread_context.cpp.o.d"
+  "libamps_sim.a"
+  "libamps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

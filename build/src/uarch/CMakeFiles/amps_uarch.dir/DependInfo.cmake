@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch_predictor.cpp" "src/uarch/CMakeFiles/amps_uarch.dir/branch_predictor.cpp.o" "gcc" "src/uarch/CMakeFiles/amps_uarch.dir/branch_predictor.cpp.o.d"
+  "/root/repo/src/uarch/cache.cpp" "src/uarch/CMakeFiles/amps_uarch.dir/cache.cpp.o" "gcc" "src/uarch/CMakeFiles/amps_uarch.dir/cache.cpp.o.d"
+  "/root/repo/src/uarch/func_unit.cpp" "src/uarch/CMakeFiles/amps_uarch.dir/func_unit.cpp.o" "gcc" "src/uarch/CMakeFiles/amps_uarch.dir/func_unit.cpp.o.d"
+  "/root/repo/src/uarch/structures.cpp" "src/uarch/CMakeFiles/amps_uarch.dir/structures.cpp.o" "gcc" "src/uarch/CMakeFiles/amps_uarch.dir/structures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/amps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/amps_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

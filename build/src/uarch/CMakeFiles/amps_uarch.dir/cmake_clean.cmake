@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amps_uarch.dir/branch_predictor.cpp.o"
+  "CMakeFiles/amps_uarch.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/amps_uarch.dir/cache.cpp.o"
+  "CMakeFiles/amps_uarch.dir/cache.cpp.o.d"
+  "CMakeFiles/amps_uarch.dir/func_unit.cpp.o"
+  "CMakeFiles/amps_uarch.dir/func_unit.cpp.o.d"
+  "CMakeFiles/amps_uarch.dir/structures.cpp.o"
+  "CMakeFiles/amps_uarch.dir/structures.cpp.o.d"
+  "libamps_uarch.a"
+  "libamps_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amps_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

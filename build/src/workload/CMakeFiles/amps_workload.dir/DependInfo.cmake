@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmark.cpp" "src/workload/CMakeFiles/amps_workload.dir/benchmark.cpp.o" "gcc" "src/workload/CMakeFiles/amps_workload.dir/benchmark.cpp.o.d"
+  "/root/repo/src/workload/builder.cpp" "src/workload/CMakeFiles/amps_workload.dir/builder.cpp.o" "gcc" "src/workload/CMakeFiles/amps_workload.dir/builder.cpp.o.d"
+  "/root/repo/src/workload/catalog.cpp" "src/workload/CMakeFiles/amps_workload.dir/catalog.cpp.o" "gcc" "src/workload/CMakeFiles/amps_workload.dir/catalog.cpp.o.d"
+  "/root/repo/src/workload/phase.cpp" "src/workload/CMakeFiles/amps_workload.dir/phase.cpp.o" "gcc" "src/workload/CMakeFiles/amps_workload.dir/phase.cpp.o.d"
+  "/root/repo/src/workload/source.cpp" "src/workload/CMakeFiles/amps_workload.dir/source.cpp.o" "gcc" "src/workload/CMakeFiles/amps_workload.dir/source.cpp.o.d"
+  "/root/repo/src/workload/stream.cpp" "src/workload/CMakeFiles/amps_workload.dir/stream.cpp.o" "gcc" "src/workload/CMakeFiles/amps_workload.dir/stream.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/amps_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/amps_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/amps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/amps_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

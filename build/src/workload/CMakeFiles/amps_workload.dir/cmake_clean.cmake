@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amps_workload.dir/benchmark.cpp.o"
+  "CMakeFiles/amps_workload.dir/benchmark.cpp.o.d"
+  "CMakeFiles/amps_workload.dir/builder.cpp.o"
+  "CMakeFiles/amps_workload.dir/builder.cpp.o.d"
+  "CMakeFiles/amps_workload.dir/catalog.cpp.o"
+  "CMakeFiles/amps_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/amps_workload.dir/phase.cpp.o"
+  "CMakeFiles/amps_workload.dir/phase.cpp.o.d"
+  "CMakeFiles/amps_workload.dir/source.cpp.o"
+  "CMakeFiles/amps_workload.dir/source.cpp.o.d"
+  "CMakeFiles/amps_workload.dir/stream.cpp.o"
+  "CMakeFiles/amps_workload.dir/stream.cpp.o.d"
+  "CMakeFiles/amps_workload.dir/trace.cpp.o"
+  "CMakeFiles/amps_workload.dir/trace.cpp.o.d"
+  "libamps_workload.a"
+  "libamps_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amps_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affinity_property_test.dir/integration/affinity_property_test.cpp.o"
+  "CMakeFiles/affinity_property_test.dir/integration/affinity_property_test.cpp.o.d"
+  "affinity_property_test"
+  "affinity_property_test.pdb"
+  "affinity_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affinity_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

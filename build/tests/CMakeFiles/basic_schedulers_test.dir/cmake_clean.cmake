@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basic_schedulers_test.dir/core/basic_schedulers_test.cpp.o"
+  "CMakeFiles/basic_schedulers_test.dir/core/basic_schedulers_test.cpp.o.d"
+  "basic_schedulers_test"
+  "basic_schedulers_test.pdb"
+  "basic_schedulers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basic_schedulers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

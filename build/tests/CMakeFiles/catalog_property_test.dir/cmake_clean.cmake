@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_property_test.dir/integration/catalog_property_test.cpp.o"
+  "CMakeFiles/catalog_property_test.dir/integration/catalog_property_test.cpp.o.d"
+  "catalog_property_test"
+  "catalog_property_test.pdb"
+  "catalog_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

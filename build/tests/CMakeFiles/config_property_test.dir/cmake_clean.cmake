@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_property_test.dir/integration/config_property_test.cpp.o"
+  "CMakeFiles/config_property_test.dir/integration/config_property_test.cpp.o.d"
+  "config_property_test"
+  "config_property_test.pdb"
+  "config_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/func_unit_test.dir/uarch/func_unit_test.cpp.o"
+  "CMakeFiles/func_unit_test.dir/uarch/func_unit_test.cpp.o.d"
+  "func_unit_test"
+  "func_unit_test.pdb"
+  "func_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/func_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_affinity_test.dir/core/global_affinity_test.cpp.o"
+  "CMakeFiles/global_affinity_test.dir/core/global_affinity_test.cpp.o.d"
+  "global_affinity_test"
+  "global_affinity_test.pdb"
+  "global_affinity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_affinity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

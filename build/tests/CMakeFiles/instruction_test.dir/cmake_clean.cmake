@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instruction_test.dir/isa/instruction_test.cpp.o"
+  "CMakeFiles/instruction_test.dir/isa/instruction_test.cpp.o.d"
+  "instruction_test"
+  "instruction_test.pdb"
+  "instruction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instruction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

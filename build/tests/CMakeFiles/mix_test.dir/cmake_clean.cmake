@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_test.dir/isa/mix_test.cpp.o"
+  "CMakeFiles/mix_test.dir/isa/mix_test.cpp.o.d"
+  "mix_test"
+  "mix_test.pdb"
+  "mix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morphing_test.dir/core/morphing_test.cpp.o"
+  "CMakeFiles/morphing_test.dir/core/morphing_test.cpp.o.d"
+  "morphing_test"
+  "morphing_test.pdb"
+  "morphing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morphing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proposed_test.dir/core/proposed_test.cpp.o"
+  "CMakeFiles/proposed_test.dir/core/proposed_test.cpp.o.d"
+  "proposed_test"
+  "proposed_test.pdb"
+  "proposed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proposed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_l2_test.dir/sim/shared_l2_test.cpp.o"
+  "CMakeFiles/shared_l2_test.dir/sim/shared_l2_test.cpp.o.d"
+  "shared_l2_test"
+  "shared_l2_test.pdb"
+  "shared_l2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_l2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solo_test.dir/sim/solo_test.cpp.o"
+  "CMakeFiles/solo_test.dir/sim/solo_test.cpp.o.d"
+  "solo_test"
+  "solo_test.pdb"
+  "solo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swap_rules_test.dir/core/swap_rules_test.cpp.o"
+  "CMakeFiles/swap_rules_test.dir/core/swap_rules_test.cpp.o.d"
+  "swap_rules_test"
+  "swap_rules_test.pdb"
+  "swap_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swap_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
