@@ -8,8 +8,10 @@
 //   AMPS_SEED=<n>         pair-sampling seed (default 2012)
 #pragma once
 
+#include <cstddef>
 #include <fstream>
 #include <iostream>
+#include <span>
 
 #include "common/env.hpp"
 #include "common/table.hpp"
@@ -60,12 +62,26 @@ inline void emit(const std::string& slug, const Table& table) {
   }
 }
 
-/// Profiles the nine representative benchmarks and fits both HPE models.
+/// Profiles the nine representative benchmarks and fits both HPE models
+/// (memoized: with a warm RunCache — or AMPS_CACHE_DIR — this is instant).
 inline sched::HpeModels build_models(const harness::ExperimentRunner& runner,
                                      const wl::BenchmarkCatalog& catalog) {
-  std::cout << "[profiling the 9 representative benchmarks on both cores...]"
-            << std::endl;
+  std::cout << "[profiling the 9 representative benchmarks on both cores"
+            << " (memoized)...]" << std::endl;
   return runner.build_models(catalog);
+}
+
+/// Warns on stderr when any comparison row came from a run truncated at
+/// the cycle bound — those rows carry partial (undertrusted) results.
+inline void warn_truncations(std::span<const harness::ComparisonRow> rows) {
+  std::size_t truncated = 0;
+  for (const auto& row : rows)
+    if (row.hit_cycle_bound) ++truncated;
+  if (truncated > 0) {
+    std::cerr << "[warn] " << truncated << "/" << rows.size()
+              << " pair(s) hit the max-cycle bound before completing their "
+                 "instruction budget; their rows reflect partial runs\n";
+  }
 }
 
 }  // namespace amps::bench

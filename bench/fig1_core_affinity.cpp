@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "harness/run_cache.hpp"
 #include "sim/solo.hpp"
 
 int main() {
@@ -22,8 +23,8 @@ int main() {
   for (const char* name :
        {"equake", "fpstress", "gcc", "mcf", "CRC32", "intstress"}) {
     const auto& spec = catalog.by_name(name);
-    const auto on_fp = sim::run_solo(fp, spec, ctx.scale.run_length);
-    const auto on_int = sim::run_solo(intc, spec, ctx.scale.run_length);
+    const auto on_fp = harness::cached_solo(fp, spec, ctx.scale.run_length);
+    const auto on_int = harness::cached_solo(intc, spec, ctx.scale.run_length);
     const double a = on_fp.ipc_per_watt();
     const double b = on_int.ipc_per_watt();
     const double ratio = b / a;

@@ -21,6 +21,7 @@ int main() {
   const auto rows = harness::compare_schedulers(
       runner, pairs, runner.proposed_factory(),
       runner.hpe_factory(*models.regression));
+  bench::warn_truncations(rows);
 
   Table table({"workload pair", "weighted %", "geometric %",
                "swap fraction % (proposed)"});

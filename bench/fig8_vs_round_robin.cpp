@@ -32,6 +32,7 @@ int main() {
   // --- main comparison ---------------------------------------------------
   const auto rows = harness::compare_schedulers(
       runner, pairs, runner.proposed_factory(), runner.round_robin_factory(1));
+  bench::warn_truncations(rows);
 
   Table table({"workload pair", "weighted %", "geometric %"});
   for (const std::size_t i : harness::select_worst_mid_best(rows, 10)) {

@@ -23,6 +23,8 @@ int main() {
       runner.hpe_factory(*models.regression));
   const auto vs_rr = harness::compare_schedulers(
       runner, pairs, runner.proposed_factory(), runner.round_robin_factory());
+  bench::warn_truncations(vs_hpe);
+  bench::warn_truncations(vs_rr);
 
   auto summarize = [](const std::vector<harness::ComparisonRow>& rows) {
     std::vector<double> w;

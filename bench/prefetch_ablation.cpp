@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "harness/run_cache.hpp"
 #include "sim/solo.hpp"
 
 int main() {
@@ -28,10 +29,10 @@ int main() {
        {"swim", "equake", "mgrid", "mcf", "dijkstra", "bitcount", "CRC32",
         "gcc"}) {
     const auto& spec = catalog.by_name(name);
-    const auto i0 = sim::run_solo(int_plain, spec, ctx.scale.run_length / 3);
-    const auto i1 = sim::run_solo(int_pf, spec, ctx.scale.run_length / 3);
-    const auto f0 = sim::run_solo(fp_plain, spec, ctx.scale.run_length / 3);
-    const auto f1 = sim::run_solo(fp_pf, spec, ctx.scale.run_length / 3);
+    const auto i0 = harness::cached_solo(int_plain, spec, ctx.scale.run_length / 3);
+    const auto i1 = harness::cached_solo(int_pf, spec, ctx.scale.run_length / 3);
+    const auto f0 = harness::cached_solo(fp_plain, spec, ctx.scale.run_length / 3);
+    const auto f1 = harness::cached_solo(fp_pf, spec, ctx.scale.run_length / 3);
     table.row()
         .cell(name)
         .cell(100.0 * (i1.ipc() / i0.ipc() - 1.0), 1)

@@ -1,0 +1,146 @@
+// Simulation-throughput microbench for the fast path, in two parts:
+//
+//  1. Stepping throughput — one pair run under the proposed scheduler with
+//     per-cycle ticking vs. batched stepping; reports simulated cycles/sec
+//     and committed instructions/sec for both, plus the speedup.
+//  2. End-to-end — a Fig. 7-style comparison (HPE model fit + proposed vs.
+//     HPE over all pairs) timed cold (empty RunCache) and warm (memoized);
+//     the warm/cold ratio is what a bench rerun actually experiences.
+//
+// Results go to stdout and to BENCH_throughput.json in the working
+// directory (machine-readable, for tracking perf across changes).
+//
+// Knobs: AMPS_SCALE, AMPS_PAIRS, AMPS_SEED, AMPS_THREADS, AMPS_CACHE_DIR.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "harness/parallel.hpp"
+#include "harness/run_cache.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct SteppingResult {
+  double seconds = 0.0;
+  double cycles_per_sec = 0.0;
+  double commits_per_sec = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace amps;
+  const auto ctx = bench::make_context(/*default_pairs=*/8);
+  bench::print_header("Simulation throughput — batched stepping & run cache",
+                      ctx);
+
+  const wl::BenchmarkCatalog catalog;
+  const auto pairs = harness::sample_pairs(catalog, ctx.pairs, ctx.seed);
+
+  // --- part 1: stepping throughput, per-cycle vs batched -----------------
+  auto measure = [&](bool batched) {
+    harness::ExperimentRunner runner(ctx.scale);
+    runner.set_batched_stepping(batched);
+    SteppingResult r;
+    std::uint64_t cycles = 0;
+    std::uint64_t commits = 0;
+    const auto start = Clock::now();
+    for (const auto& pair : pairs) {
+      // Scheduler& overload: no caching, every run simulates.
+      auto scheduler = runner.proposed_factory()();
+      const auto result = runner.run_pair(pair, *scheduler);
+      cycles += result.total_cycles;
+      commits += result.threads[0].committed + result.threads[1].committed;
+    }
+    r.seconds = seconds_since(start);
+    r.cycles_per_sec = static_cast<double>(cycles) / r.seconds;
+    r.commits_per_sec = static_cast<double>(commits) / r.seconds;
+    return r;
+  };
+
+  std::cout << "[stepping " << pairs.size()
+            << " pair run(s) under the proposed scheduler...]\n";
+  const SteppingResult per_cycle = measure(/*batched=*/false);
+  const SteppingResult batched = measure(/*batched=*/true);
+  const double step_speedup = per_cycle.seconds / batched.seconds;
+
+  Table stepping({"stepping mode", "wall s", "sim cycles/s", "commits/s"});
+  stepping.row()
+      .cell("per-cycle tick")
+      .cell(per_cycle.seconds, 3)
+      .cell(per_cycle.cycles_per_sec, 0)
+      .cell(per_cycle.commits_per_sec, 0);
+  stepping.row()
+      .cell("batched (decision hints)")
+      .cell(batched.seconds, 3)
+      .cell(batched.cycles_per_sec, 0)
+      .cell(batched.commits_per_sec, 0);
+  bench::emit("throughput_stepping", stepping);
+  std::cout << "batched-stepping speedup: " << step_speedup << "x\n\n";
+
+  // --- part 2: end-to-end Fig. 7-style, cold vs warm cache ---------------
+  auto fig7_style = [&] {
+    const harness::ExperimentRunner runner(ctx.scale);
+    const auto models = runner.build_models(catalog);
+    return harness::compare_schedulers(runner, pairs,
+                                       runner.proposed_factory(),
+                                       runner.hpe_factory(*models.regression));
+  };
+
+  std::cout << "[end-to-end fig7-style comparison, cold cache...]\n";
+  harness::RunCache::instance().clear();
+  const auto cold_start = Clock::now();
+  const auto cold_rows = fig7_style();
+  const double cold_s = seconds_since(cold_start);
+
+  std::cout << "[same comparison, warm cache...]\n";
+  const auto warm_start = Clock::now();
+  const auto warm_rows = fig7_style();
+  const double warm_s = seconds_since(warm_start);
+  const double warm_speedup = cold_s / warm_s;
+
+  const auto stats = harness::RunCache::instance().stats();
+  Table e2e({"end-to-end run", "wall s", "speedup"});
+  e2e.row().cell("cold cache").cell(cold_s, 3).cell(1.0, 2);
+  e2e.row().cell("warm cache").cell(warm_s, 3).cell(warm_speedup, 2);
+  bench::emit("throughput_e2e", e2e);
+  std::cout << "cache: " << stats.hits << " hit(s), " << stats.misses
+            << " miss(es), " << stats.disk_hits << " from disk; rows "
+            << (cold_rows.size() == warm_rows.size() ? "match" : "DIFFER")
+            << " in count\n";
+
+  // --- machine-readable record -------------------------------------------
+  std::ofstream json("BENCH_throughput.json");
+  if (json) {
+    json << "{\n"
+         << "  \"scale\": \"" << (env_paper_scale() ? "paper" : "ci")
+         << "\",\n"
+         << "  \"pairs\": " << pairs.size() << ",\n"
+         << "  \"seed\": " << ctx.seed << ",\n"
+         << "  \"workers\": " << harness::default_worker_count() << ",\n"
+         << "  \"run_length\": " << ctx.scale.run_length << ",\n"
+         << "  \"per_cycle_seconds\": " << per_cycle.seconds << ",\n"
+         << "  \"per_cycle_step_rate\": " << per_cycle.cycles_per_sec << ",\n"
+         << "  \"per_cycle_commit_rate\": " << per_cycle.commits_per_sec
+         << ",\n"
+         << "  \"batched_seconds\": " << batched.seconds << ",\n"
+         << "  \"batched_step_rate\": " << batched.cycles_per_sec << ",\n"
+         << "  \"batched_commit_rate\": " << batched.commits_per_sec << ",\n"
+         << "  \"batched_step_speedup\": " << step_speedup << ",\n"
+         << "  \"e2e_cold_s\": " << cold_s << ",\n"
+         << "  \"e2e_warm_s\": " << warm_s << ",\n"
+         << "  \"e2e_warm_speedup\": " << warm_speedup << "\n"
+         << "}\n";
+    std::cout << "\nwrote BENCH_throughput.json\n";
+  } else {
+    std::cerr << "[warn] cannot write BENCH_throughput.json\n";
+  }
+  return 0;
+}

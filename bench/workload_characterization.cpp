@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "harness/run_cache.hpp"
 #include "sim/solo.hpp"
 
 int main() {
@@ -22,8 +23,8 @@ int main() {
                "IPC int", "IPC fp", "MPKI", "affinity (int/fp IPW)"});
   int int_affine = 0, fp_affine = 0, neutral = 0;
   for (const auto& spec : catalog.all()) {
-    const auto on_int = sim::run_solo(ic, spec, budget);
-    const auto on_fp = sim::run_solo(fc, spec, budget);
+    const auto on_int = harness::cached_solo(ic, spec, budget);
+    const auto on_fp = harness::cached_solo(fc, spec, budget);
     const isa::InstrMix avg = spec.average_mix();
     const double ratio = on_int.ipc_per_watt() / on_fp.ipc_per_watt();
     if (ratio > 1.05)

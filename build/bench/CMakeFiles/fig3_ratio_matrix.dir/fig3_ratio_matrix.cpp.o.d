@@ -154,10 +154,12 @@ bench/CMakeFiles/fig3_ratio_matrix.dir/fig3_ratio_matrix.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /root/repo/bench/bench_common.hpp \
- /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /root/repo/src/common/env.hpp \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/common/env.hpp \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/common/table.hpp /usr/include/c++/12/vector \
@@ -205,22 +207,19 @@ bench/CMakeFiles/fig3_ratio_matrix.dir/fig3_ratio_matrix.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/core/profiler.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /root/repo/src/sim/core_config.hpp /root/repo/src/common/types.hpp \
- /root/repo/src/power/energy_model.hpp /root/repo/src/isa/instruction.hpp \
- /root/repo/src/uarch/func_unit.hpp \
+ /root/repo/src/core/profiler.hpp /root/repo/src/sim/core_config.hpp \
+ /root/repo/src/common/types.hpp /root/repo/src/power/energy_model.hpp \
+ /root/repo/src/isa/instruction.hpp /root/repo/src/uarch/func_unit.hpp \
  /root/repo/src/uarch/branch_predictor.hpp /root/repo/src/uarch/cache.hpp \
  /root/repo/src/sim/solo.hpp /root/repo/src/workload/benchmark.hpp \
  /root/repo/src/workload/phase.hpp /root/repo/src/isa/mix.hpp \
- /root/repo/src/core/scheduler.hpp /root/repo/src/sim/system.hpp \
- /root/repo/src/sim/core.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/power/accountant.hpp \
+ /root/repo/src/core/scheduler.hpp /usr/include/c++/12/limits \
+ /root/repo/src/sim/system.hpp /root/repo/src/sim/core.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/power/accountant.hpp \
  /root/repo/src/sim/thread_context.hpp /root/repo/src/workload/source.hpp \
  /root/repo/src/workload/stream.hpp /root/repo/src/common/prng.hpp \
- /usr/include/c++/12/limits /root/repo/src/workload/trace.hpp \
- /root/repo/src/uarch/structures.hpp \
+ /root/repo/src/workload/trace.hpp /root/repo/src/uarch/structures.hpp \
  /root/repo/src/mathx/least_squares.hpp /root/repo/src/mathx/matrix.hpp \
  /root/repo/src/mathx/stats.hpp /root/repo/src/harness/experiment.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
@@ -231,7 +230,6 @@ bench/CMakeFiles/fig3_ratio_matrix.dir/fig3_ratio_matrix.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/harness/sampler.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/harness/sampler.hpp \
  /root/repo/src/metrics/run_result.hpp /root/repo/src/sim/scale.hpp

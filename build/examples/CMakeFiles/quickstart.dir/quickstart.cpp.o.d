@@ -222,9 +222,9 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/core/hpe.hpp \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/hpe.hpp \
  /root/repo/src/core/profiler.hpp /root/repo/src/sim/solo.hpp \
  /root/repo/src/mathx/least_squares.hpp /root/repo/src/mathx/matrix.hpp \
  /root/repo/src/mathx/stats.hpp /root/repo/src/harness/sampler.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/metrics/run_result.hpp /root/repo/src/sim/scale.hpp

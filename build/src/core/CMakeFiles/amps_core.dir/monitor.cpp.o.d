@@ -211,4 +211,11 @@ src/core/CMakeFiles/amps_core.dir/monitor.cpp.o: \
  /root/repo/src/workload/stream.hpp /root/repo/src/common/prng.hpp \
  /usr/include/c++/12/limits /usr/include/c++/12/span \
  /root/repo/src/workload/benchmark.hpp /root/repo/src/workload/phase.hpp \
- /root/repo/src/workload/trace.hpp /root/repo/src/uarch/structures.hpp
+ /root/repo/src/workload/trace.hpp /root/repo/src/uarch/structures.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

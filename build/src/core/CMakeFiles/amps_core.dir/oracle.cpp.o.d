@@ -205,15 +205,14 @@ src/core/CMakeFiles/amps_core.dir/oracle.cpp.o: \
  /root/repo/src/uarch/branch_predictor.hpp /root/repo/src/uarch/cache.hpp \
  /root/repo/src/sim/solo.hpp /root/repo/src/workload/benchmark.hpp \
  /root/repo/src/workload/phase.hpp /root/repo/src/isa/mix.hpp \
- /root/repo/src/core/scheduler.hpp /root/repo/src/sim/system.hpp \
- /usr/include/c++/12/optional \
+ /root/repo/src/core/scheduler.hpp /usr/include/c++/12/limits \
+ /root/repo/src/sim/system.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/sim/core.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/power/accountant.hpp \
  /root/repo/src/sim/thread_context.hpp /root/repo/src/workload/source.hpp \
  /root/repo/src/workload/stream.hpp /root/repo/src/common/prng.hpp \
- /usr/include/c++/12/limits /root/repo/src/workload/trace.hpp \
- /root/repo/src/uarch/structures.hpp \
+ /root/repo/src/workload/trace.hpp /root/repo/src/uarch/structures.hpp \
  /root/repo/src/mathx/least_squares.hpp /root/repo/src/mathx/matrix.hpp \
  /root/repo/src/mathx/stats.hpp /root/repo/src/core/monitor.hpp

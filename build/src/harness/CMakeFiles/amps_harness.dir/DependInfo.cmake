@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/harness/overhead.cpp" "src/harness/CMakeFiles/amps_harness.dir/overhead.cpp.o" "gcc" "src/harness/CMakeFiles/amps_harness.dir/overhead.cpp.o.d"
   "/root/repo/src/harness/parallel.cpp" "src/harness/CMakeFiles/amps_harness.dir/parallel.cpp.o" "gcc" "src/harness/CMakeFiles/amps_harness.dir/parallel.cpp.o.d"
   "/root/repo/src/harness/replication.cpp" "src/harness/CMakeFiles/amps_harness.dir/replication.cpp.o" "gcc" "src/harness/CMakeFiles/amps_harness.dir/replication.cpp.o.d"
+  "/root/repo/src/harness/run_cache.cpp" "src/harness/CMakeFiles/amps_harness.dir/run_cache.cpp.o" "gcc" "src/harness/CMakeFiles/amps_harness.dir/run_cache.cpp.o.d"
   "/root/repo/src/harness/sampler.cpp" "src/harness/CMakeFiles/amps_harness.dir/sampler.cpp.o" "gcc" "src/harness/CMakeFiles/amps_harness.dir/sampler.cpp.o.d"
   "/root/repo/src/harness/sensitivity.cpp" "src/harness/CMakeFiles/amps_harness.dir/sensitivity.cpp.o" "gcc" "src/harness/CMakeFiles/amps_harness.dir/sensitivity.cpp.o.d"
   )

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/amps_harness.dir/parallel.cpp.o.d"
   "CMakeFiles/amps_harness.dir/replication.cpp.o"
   "CMakeFiles/amps_harness.dir/replication.cpp.o.d"
+  "CMakeFiles/amps_harness.dir/run_cache.cpp.o"
+  "CMakeFiles/amps_harness.dir/run_cache.cpp.o.d"
   "CMakeFiles/amps_harness.dir/sampler.cpp.o"
   "CMakeFiles/amps_harness.dir/sampler.cpp.o.d"
   "CMakeFiles/amps_harness.dir/sensitivity.cpp.o"

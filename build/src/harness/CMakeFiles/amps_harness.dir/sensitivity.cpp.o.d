@@ -210,23 +210,34 @@ src/harness/CMakeFiles/amps_harness.dir/sensitivity.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/hpe.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/hpe.hpp \
  /root/repo/src/core/profiler.hpp /root/repo/src/sim/core_config.hpp \
  /root/repo/src/common/types.hpp /root/repo/src/power/energy_model.hpp \
  /root/repo/src/isa/instruction.hpp /root/repo/src/uarch/func_unit.hpp \
  /root/repo/src/uarch/branch_predictor.hpp /root/repo/src/uarch/cache.hpp \
  /root/repo/src/sim/solo.hpp /root/repo/src/workload/benchmark.hpp \
  /root/repo/src/workload/phase.hpp /root/repo/src/isa/mix.hpp \
- /root/repo/src/core/scheduler.hpp /root/repo/src/sim/system.hpp \
- /usr/include/c++/12/optional /root/repo/src/sim/core.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/power/accountant.hpp \
+ /root/repo/src/core/scheduler.hpp /usr/include/c++/12/limits \
+ /root/repo/src/sim/system.hpp /usr/include/c++/12/optional \
+ /root/repo/src/sim/core.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/power/accountant.hpp \
  /root/repo/src/sim/thread_context.hpp /root/repo/src/workload/source.hpp \
  /root/repo/src/workload/stream.hpp /root/repo/src/common/prng.hpp \
- /usr/include/c++/12/limits /root/repo/src/workload/trace.hpp \
- /root/repo/src/uarch/structures.hpp \
+ /root/repo/src/workload/trace.hpp /root/repo/src/uarch/structures.hpp \
  /root/repo/src/mathx/least_squares.hpp /root/repo/src/mathx/matrix.hpp \
  /root/repo/src/mathx/stats.hpp /root/repo/src/harness/sampler.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/metrics/run_result.hpp /root/repo/src/sim/scale.hpp \
- /root/repo/src/harness/parallel.hpp /root/repo/src/metrics/speedup.hpp
+ /root/repo/src/harness/parallel.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/metrics/speedup.hpp

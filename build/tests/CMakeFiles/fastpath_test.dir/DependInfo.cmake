@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/harness/fastpath_test.cpp" "tests/CMakeFiles/fastpath_test.dir/harness/fastpath_test.cpp.o" "gcc" "tests/CMakeFiles/fastpath_test.dir/harness/fastpath_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/amps_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/amps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/amps_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/mathx/CMakeFiles/amps_mathx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/amps_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/amps_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/amps_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/amps_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/amps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

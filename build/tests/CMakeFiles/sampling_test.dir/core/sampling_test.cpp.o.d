@@ -21,7 +21,8 @@ tests/CMakeFiles/sampling_test.dir/core/sampling_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
+ /usr/include/c++/12/limits /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/memoryfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
@@ -209,9 +210,9 @@ tests/CMakeFiles/sampling_test.dir/core/sampling_test.cpp.o: \
  /root/repo/src/sim/thread_context.hpp /root/repo/src/isa/mix.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/workload/source.hpp \
  /root/repo/src/workload/stream.hpp /root/repo/src/common/prng.hpp \
- /usr/include/c++/12/limits /usr/include/c++/12/span \
- /root/repo/src/workload/benchmark.hpp /root/repo/src/workload/phase.hpp \
- /root/repo/src/workload/trace.hpp /root/repo/src/uarch/structures.hpp \
+ /usr/include/c++/12/span /root/repo/src/workload/benchmark.hpp \
+ /root/repo/src/workload/phase.hpp /root/repo/src/workload/trace.hpp \
+ /root/repo/src/uarch/structures.hpp \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \

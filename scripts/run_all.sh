@@ -3,12 +3,24 @@
 # figure, mirroring the repository's canonical verification commands.
 #
 # Knobs: AMPS_SCALE=ci|paper  AMPS_PAIRS=<n>  AMPS_SEED=<n>  AMPS_CSV_DIR=<dir>
+#        AMPS_CACHE_DIR=<dir> (persist the run cache across invocations)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
+# Reuse whatever generator an existing build tree was configured with;
+# prefer Ninja only for fresh trees.
+if [ -f build/CMakeCache.txt ]; then
+  cmake -B build
+else
+  cmake -B build -G Ninja
+fi
 cmake --build build
-ctest --test-dir build 2>&1 | tee test_output.txt
+
+# Unit/integration tests first, then the bench smoke runs (each figure
+# bench at CI scale with AMPS_PAIRS=2).
+ctest --test-dir build -LE bench_smoke 2>&1 | tee test_output.txt
+ctest --test-dir build -L bench_smoke 2>&1 | tee bench_smoke_output.txt
+
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt

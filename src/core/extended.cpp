@@ -20,6 +20,13 @@ void ExtendedProposedScheduler::on_start(sim::DualCoreSystem& system) {
   last_swap_cycle_ = system.now();
 }
 
+DecisionHint ExtendedProposedScheduler::next_decision_at(
+    const sim::DualCoreSystem& system) const {
+  const InstrCount budget = commits_until_window_boundary(monitors_, system);
+  if (budget == 0) return {system.now() + 1, kUnboundedCommits};
+  return {kNoPendingCycle, budget};
+}
+
 void ExtendedProposedScheduler::tick(sim::DualCoreSystem& system) {
   if (system.swap_in_progress()) return;
 

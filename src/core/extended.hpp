@@ -47,6 +47,9 @@ class ExtendedProposedScheduler final : public Scheduler {
 
   void on_start(sim::DualCoreSystem& system) override;
   void tick(sim::DualCoreSystem& system) override;
+  /// All decisions (rules, vetoes, forced swap) fire at window boundaries.
+  [[nodiscard]] DecisionHint next_decision_at(
+      const sim::DualCoreSystem& system) const override;
 
   [[nodiscard]] const ExtendedConfig& config() const noexcept { return cfg_; }
   /// Rule-2 swaps suppressed by the memory-bound / IPC guards.

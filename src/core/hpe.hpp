@@ -100,6 +100,11 @@ class HpeScheduler final : public Scheduler {
 
   void on_start(sim::DualCoreSystem& system) override;
   void tick(sim::DualCoreSystem& system) override;
+  /// Purely interval-driven: nothing happens before the next "2 ms" tick.
+  [[nodiscard]] DecisionHint next_decision_at(
+      const sim::DualCoreSystem& /*system*/) const override {
+    return {next_decision_, kUnboundedCommits};
+  }
 
   [[nodiscard]] const HpeConfig& config() const noexcept { return cfg_; }
 

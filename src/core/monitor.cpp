@@ -1,5 +1,8 @@
 #include "core/monitor.hpp"
 
+#include <algorithm>
+#include <cstddef>
+
 namespace amps::sched {
 
 void WindowMonitor::reset(const sim::DualCoreSystem& system,
@@ -45,6 +48,22 @@ std::optional<WindowSample> WindowMonitor::poll(
   latest_ = s;
   has_sample_ = true;
   return s;
+}
+
+InstrCount commits_until_window_boundary(const WindowMonitor monitors[2],
+                                         const sim::DualCoreSystem& system) {
+  InstrCount budget = ~InstrCount{0};
+  for (std::size_t i = 0; i < 2; ++i) {
+    const sim::ThreadContext* t = system.thread_on(i);
+    const WindowMonitor& m = monitors[static_cast<std::size_t>(t->id())];
+    if (!m.primed()) return 0;
+    // A boundary already crossed (but not yet polled) must tick now.
+    const InstrCount committed = t->committed_total();
+    const InstrCount remaining =
+        m.next_boundary() > committed ? m.next_boundary() - committed : 1;
+    budget = std::min(budget, remaining);
+  }
+  return budget;
 }
 
 }  // namespace amps::sched

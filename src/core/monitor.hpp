@@ -44,6 +44,13 @@ class WindowMonitor {
 
   [[nodiscard]] InstrCount window_size() const noexcept { return window_; }
 
+  /// Committed-instruction count at which the next window closes (valid
+  /// once primed; poll()/reset() prime the monitor).
+  [[nodiscard]] InstrCount next_boundary() const noexcept {
+    return next_boundary_;
+  }
+  [[nodiscard]] bool primed() const noexcept { return primed_; }
+
   /// Forgets progress (e.g., after an external reconfiguration).
   void reset(const sim::DualCoreSystem& system,
              const sim::ThreadContext& thread);
@@ -59,5 +66,13 @@ class WindowMonitor {
   bool has_sample_ = false;
   bool primed_ = false;
 };
+
+/// Batched-stepping helper shared by the window-driven schedulers:
+/// smallest number of instructions any thread can commit before one of the
+/// two monitors (indexed by ThreadId) crosses a window boundary. Returns 0
+/// when a monitor is unprimed (caller should fall back to per-cycle
+/// ticking until the first poll primes it).
+InstrCount commits_until_window_boundary(const WindowMonitor monitors[2],
+                                         const sim::DualCoreSystem& system);
 
 }  // namespace amps::sched

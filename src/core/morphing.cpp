@@ -98,6 +98,13 @@ void MorphScheduler::exit_morphed(sim::DualCoreSystem& system) {
   last_action_ = system.now();
 }
 
+DecisionHint MorphScheduler::next_decision_at(
+    const sim::DualCoreSystem& system) const {
+  const InstrCount budget = commits_until_window_boundary(monitors_, system);
+  if (budget == 0) return {system.now() + 1, kUnboundedCommits};
+  return {kNoPendingCycle, budget};
+}
+
 void MorphScheduler::tick(sim::DualCoreSystem& system) {
   if (system.swap_in_progress()) return;
 

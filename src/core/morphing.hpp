@@ -47,6 +47,10 @@ class MorphScheduler final : public Scheduler {
 
   void on_start(sim::DualCoreSystem& system) override;
   void tick(sim::DualCoreSystem& system) override;
+  /// Swap/morph votes and the morphed-mode fairness swap are all taken at
+  /// window boundaries, so the hint is a pure commit budget.
+  [[nodiscard]] DecisionHint next_decision_at(
+      const sim::DualCoreSystem& system) const override;
 
   enum class Mode { Baseline, Morphed };
   [[nodiscard]] Mode mode() const noexcept { return mode_; }

@@ -17,6 +17,13 @@ void OracleScheduler::on_start(sim::DualCoreSystem& system) {
   last_swap_ = system.now();
 }
 
+DecisionHint OracleScheduler::next_decision_at(
+    const sim::DualCoreSystem& system) const {
+  const InstrCount budget = commits_until_window_boundary(monitors_, system);
+  if (budget == 0) return {system.now() + 1, kUnboundedCommits};
+  return {kNoPendingCycle, budget};
+}
+
 void OracleScheduler::tick(sim::DualCoreSystem& system) {
   if (system.swap_in_progress()) return;
 

@@ -25,6 +25,10 @@ class OracleScheduler final : public Scheduler {
 
   void on_start(sim::DualCoreSystem& system) override;
   void tick(sim::DualCoreSystem& system) override;
+  /// Acts only when a monitoring window closes (the cooldown is checked
+  /// inside tick and never schedules work between boundaries).
+  [[nodiscard]] DecisionHint next_decision_at(
+      const sim::DualCoreSystem& system) const override;
 
  private:
   const HpePredictionModel* model_;

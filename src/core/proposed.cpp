@@ -37,6 +37,13 @@ PairComposition ProposedScheduler::composition(
   return c;
 }
 
+DecisionHint ProposedScheduler::next_decision_at(
+    const sim::DualCoreSystem& system) const {
+  const InstrCount budget = commits_until_window_boundary(monitors_, system);
+  if (budget == 0) return {system.now() + 1, kUnboundedCommits};
+  return {kNoPendingCycle, budget};
+}
+
 void ProposedScheduler::tick(sim::DualCoreSystem& system) {
   if (system.swap_in_progress()) return;
 

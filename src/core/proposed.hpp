@@ -27,6 +27,10 @@ class ProposedScheduler final : public Scheduler {
 
   void on_start(sim::DualCoreSystem& system) override;
   void tick(sim::DualCoreSystem& system) override;
+  /// Decisions (including the forced fairness swap) happen only at window
+  /// boundaries, so the hint is a pure commit budget.
+  [[nodiscard]] DecisionHint next_decision_at(
+      const sim::DualCoreSystem& system) const override;
 
   [[nodiscard]] const ProposedConfig& config() const noexcept { return cfg_; }
   /// Forced fairness swaps taken (subset of swaps_requested()).

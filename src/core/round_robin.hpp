@@ -25,6 +25,12 @@ class RoundRobinScheduler final : public Scheduler {
     do_swap(system);
   }
 
+  /// Purely interval-driven.
+  [[nodiscard]] DecisionHint next_decision_at(
+      const sim::DualCoreSystem& /*system*/) const override {
+    return {next_, kUnboundedCommits};
+  }
+
   [[nodiscard]] Cycles interval() const noexcept { return interval_; }
 
  private:

@@ -28,6 +28,11 @@ class SamplingScheduler final : public Scheduler {
 
   void on_start(sim::DualCoreSystem& system) override;
   void tick(sim::DualCoreSystem& system) override;
+  /// Every state transition is cycle-gated on `state_until_`.
+  [[nodiscard]] DecisionHint next_decision_at(
+      const sim::DualCoreSystem& /*system*/) const override {
+    return {state_until_, kUnboundedCommits};
+  }
 
   [[nodiscard]] const SamplingConfig& config() const noexcept { return cfg_; }
   /// Decisions that kept the swapped configuration.

@@ -1,18 +1,39 @@
 // Scheduler interface. A scheduler observes the running DualCoreSystem
 // (hardware performance counters only — it never looks inside the workload
-// models) and requests thread swaps. The harness calls tick() after every
-// simulated cycle; implementations keep their own notion of decision
-// granularity (per committed-instruction window for the proposed scheme,
-// per context-switch interval for HPE and Round-Robin).
+// models) and requests thread swaps. tick() is a no-op except at the
+// scheduler's own decision points (committed-instruction window boundaries
+// for the proposed scheme, context-switch intervals for HPE and
+// Round-Robin); next_decision_at() tells the harness how far the
+// simulation can run uninterrupted, so the hot loop batches cycles between
+// decision points instead of paying a virtual tick() per cycle. A harness
+// that ignores the hint and ticks every cycle gets bit-identical results.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "sim/system.hpp"
 
 namespace amps::sched {
+
+/// Sentinel for "no cycle-scheduled decision pending".
+inline constexpr Cycles kNoPendingCycle = std::numeric_limits<Cycles>::max();
+/// Sentinel for "no committed-instruction budget" (never triggers).
+inline constexpr InstrCount kUnboundedCommits =
+    std::numeric_limits<InstrCount>::max();
+
+/// Batched-stepping hint: the harness may advance the system without
+/// calling tick() until system.now() reaches `at_cycle` OR either thread
+/// commits `commit_budget` further instructions, whichever comes first.
+/// Hints must be conservative (never later than the scheduler's true next
+/// decision point); stopping early is always safe because tick() is a
+/// no-op between decision points.
+struct DecisionHint {
+  Cycles at_cycle = 0;
+  InstrCount commit_budget = kUnboundedCommits;
+};
 
 class Scheduler {
  public:
@@ -22,11 +43,21 @@ class Scheduler {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  /// Called once per simulated cycle, after the system stepped.
+  /// Called after a simulated cycle. Must be a pure no-op at cycles that
+  /// are not decision points (the batched harness only calls it at the
+  /// boundaries promised by next_decision_at()).
   virtual void tick(sim::DualCoreSystem& system) = 0;
 
   /// Called once right after threads are attached, before the first cycle.
   virtual void on_start(sim::DualCoreSystem& /*system*/) {}
+
+  /// Earliest point at which tick() could act, given current state. The
+  /// default is maximally conservative (tick every cycle); schedulers
+  /// override it to unlock batched stepping.
+  [[nodiscard]] virtual DecisionHint next_decision_at(
+      const sim::DualCoreSystem& system) const {
+    return {system.now() + 1, kUnboundedCommits};
+  }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 

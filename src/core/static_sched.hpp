@@ -11,6 +11,11 @@ class StaticScheduler final : public Scheduler {
  public:
   StaticScheduler() : Scheduler("static") {}
   void tick(sim::DualCoreSystem& /*system*/) override {}
+  /// Never acts: the harness may run the whole workload in one batch.
+  [[nodiscard]] DecisionHint next_decision_at(
+      const sim::DualCoreSystem& /*system*/) const override {
+    return {kNoPendingCycle, kUnboundedCommits};
+  }
 };
 
 }  // namespace amps::sched

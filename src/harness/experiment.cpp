@@ -7,6 +7,7 @@
 #include "core/round_robin.hpp"
 #include "core/static_sched.hpp"
 #include "harness/parallel.hpp"
+#include "harness/run_cache.hpp"
 #include "metrics/speedup.hpp"
 
 namespace amps::harness {
@@ -31,19 +32,65 @@ metrics::PairRunResult ExperimentRunner::run_pair(
   // The paper runs "until one of the threads completed" its instruction
   // budget; a generous cycle bound guards against pathological stalls.
   const Cycles max_cycles = scale_.max_cycles();
-  while (t0.committed_total() < scale_.run_length &&
-         t1.committed_total() < scale_.run_length &&
-         system.now() < max_cycles) {
-    system.step();
-    scheduler.tick(system);
+  if (batched_) {
+    // Fast path: between decision points tick() is a no-op, so step the
+    // system in uninterrupted batches bounded by the scheduler's hint.
+    // Cycle hints are exact; commit-budget hints make step_until stop at
+    // the end of the first cycle a monitored window boundary can have been
+    // crossed — precisely when the per-cycle loop's tick() would act.
+    while (t0.committed_total() < scale_.run_length &&
+           t1.committed_total() < scale_.run_length &&
+           system.now() < max_cycles) {
+      const sched::DecisionHint hint = scheduler.next_decision_at(system);
+      // Clamp to the run bounds, and always advance at least one cycle.
+      const Cycles until =
+          std::max(std::min(hint.at_cycle, max_cycles), system.now() + 1);
+      // Cap the commit budget at each thread's remaining budget so the
+      // batch also stops exactly when a thread can have finished.
+      const InstrCount budget = std::min(
+          hint.commit_budget,
+          std::min(scale_.run_length - t0.committed_total(),
+                   scale_.run_length - t1.committed_total()));
+      system.step_until(until, budget);
+      scheduler.tick(system);
+    }
+  } else {
+    while (t0.committed_total() < scale_.run_length &&
+           t1.committed_total() < scale_.run_length &&
+           system.now() < max_cycles) {
+      system.step();
+      scheduler.tick(system);
+    }
   }
 
-  return metrics::snapshot_run(scheduler.name(), system, t0, t1,
-                               scheduler.decision_points());
+  metrics::PairRunResult result = metrics::snapshot_run(
+      scheduler.name(), system, t0, t1, scheduler.decision_points());
+  result.hit_cycle_bound = t0.committed_total() < scale_.run_length &&
+                           t1.committed_total() < scale_.run_length;
+  return result;
+}
+
+CacheKey ExperimentRunner::pair_run_cache_key(
+    const BenchmarkPair& pair, const SchedulerFactory& factory) const {
+  CacheKey key("pair-run");
+  add_scale(key, scale_);
+  add_core_config(key, "core0", int_core_);
+  add_core_config(key, "core1", fp_core_);
+  add_benchmark(key, "bench0", *pair.first);
+  add_benchmark(key, "bench1", *pair.second);
+  key.add("sched", factory.cache_key());
+  return key;
 }
 
 metrics::PairRunResult ExperimentRunner::run_pair(
     const BenchmarkPair& pair, const SchedulerFactory& factory) const {
+  if (factory.cacheable() && RunCache::enabled()) {
+    return RunCache::instance().pair_run(
+        pair_run_cache_key(pair, factory), [&] {
+          auto scheduler = factory();
+          return run_pair(pair, *scheduler);
+        });
+  }
   auto scheduler = factory();
   return run_pair(pair, *scheduler);
 }
@@ -58,16 +105,31 @@ SchedulerFactory ExperimentRunner::proposed_factory(InstrCount window,
   cfg.window_size = window;
   cfg.history_depth = history;
   cfg.forced_swap_interval = scale_.context_switch_interval;
-  return [cfg] { return std::make_unique<sched::ProposedScheduler>(cfg); };
+  CacheKey key("proposed");
+  key.add("window", cfg.window_size);
+  key.add("history", static_cast<std::uint64_t>(cfg.history_depth));
+  key.add("fsi", cfg.forced_swap_interval);
+  key.add("forced", static_cast<std::uint64_t>(cfg.enable_forced_swap));
+  key.add("int_surge", cfg.thresholds.int_surge);
+  key.add("int_drop", cfg.thresholds.int_drop);
+  key.add("fp_surge", cfg.thresholds.fp_surge);
+  key.add("fp_drop", cfg.thresholds.fp_drop);
+  return {[cfg] { return std::make_unique<sched::ProposedScheduler>(cfg); },
+          key.text()};
 }
 
 SchedulerFactory ExperimentRunner::hpe_factory(
     const sched::HpePredictionModel& model) const {
   sched::HpeConfig cfg;
   cfg.decision_interval = scale_.context_switch_interval;
-  return [cfg, &model] {
-    return std::make_unique<sched::HpeScheduler>(model, cfg);
-  };
+  CacheKey key("hpe");
+  key.add("interval", cfg.decision_interval);
+  key.add("threshold", cfg.swap_speedup_threshold);
+  add_model_digest(key, model);
+  return {[cfg, &model] {
+            return std::make_unique<sched::HpeScheduler>(model, cfg);
+          },
+          key.text()};
 }
 
 SchedulerFactory ExperimentRunner::round_robin_factory(
@@ -75,13 +137,17 @@ SchedulerFactory ExperimentRunner::round_robin_factory(
   const Cycles interval =
       scale_.context_switch_interval *
       static_cast<Cycles>(std::max(1, interval_multiplier));
-  return [interval] {
-    return std::make_unique<sched::RoundRobinScheduler>(interval);
-  };
+  CacheKey key("round-robin");
+  key.add("interval", interval);
+  return {[interval] {
+            return std::make_unique<sched::RoundRobinScheduler>(interval);
+          },
+          key.text()};
 }
 
 SchedulerFactory ExperimentRunner::static_factory() const {
-  return [] { return std::make_unique<sched::StaticScheduler>(); };
+  return {[] { return std::make_unique<sched::StaticScheduler>(); },
+          CacheKey("static").text()};
 }
 
 sched::HpeModels ExperimentRunner::build_models(
@@ -93,6 +159,30 @@ sched::HpeModels ExperimentRunner::build_models(
   // (not the absolute period) so the fitted models see a comparable spread
   // of compositions.
   cfg.sample_interval = std::max<Cycles>(1, scale_.context_switch_interval / 6);
+
+  // The profiling pass (18 solo runs) dominates model building; memoize
+  // its samples and refit the (cheap, deterministic) models locally.
+  if (RunCache::enabled()) {
+    CacheKey key("profile-nine");
+    add_core_config(key, "core0", int_core_);
+    add_core_config(key, "core1", fp_core_);
+    key.add("runlen", cfg.run_length);
+    key.add("interval", cfg.sample_interval);
+    for (const wl::BenchmarkSpec* spec : catalog.representative_nine())
+      add_benchmark(key, "bench", *spec);
+
+    sched::HpeModels models;
+    models.samples = RunCache::instance().profile_samples(key, [&] {
+      const sched::Profiler profiler(int_core_, fp_core_, cfg);
+      const auto nine = catalog.representative_nine();
+      return profiler.profile_all(nine);
+    });
+    models.matrix = std::make_unique<sched::RatioMatrix>(5);
+    models.matrix->fit(models.samples);
+    models.regression = std::make_unique<sched::RegressionSurface>(2);
+    models.regression->fit(models.samples);
+    return models;
+  }
   return sched::build_hpe_models(int_core_, fp_core_, catalog, cfg);
 }
 
@@ -113,6 +203,8 @@ std::vector<ComparisonRow> compare_schedulers(
     row.geometric_improvement_pct = metrics::to_improvement_pct(
         test_result.geometric_ipw_speedup_vs(ref_result));
     row.swap_fraction = test_result.swap_fraction();
+    row.hit_cycle_bound =
+        test_result.hit_cycle_bound || ref_result.hit_cycle_bound;
   });
   return rows;
 }

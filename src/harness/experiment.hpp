@@ -8,6 +8,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/hpe.hpp"
@@ -18,8 +20,43 @@
 
 namespace amps::harness {
 
+class CacheKey;  // harness/run_cache.hpp
+
 /// Factory producing a fresh scheduler per run (schedulers are stateful).
-using SchedulerFactory = std::function<std::unique_ptr<sched::Scheduler>()>;
+///
+/// A factory may additionally carry a *cache key*: a string identifying
+/// the scheduler configuration completely enough that two factories with
+/// equal keys produce behaviorally identical schedulers. Keyed factories
+/// (the canonical ExperimentRunner ones) let run_pair memoize results in
+/// the RunCache; plain callables convert implicitly and stay uncacheable.
+class SchedulerFactory {
+ public:
+  using Fn = std::function<std::unique_ptr<sched::Scheduler>()>;
+
+  SchedulerFactory() = default;
+
+  /// Implicit from any callable (uncacheable — no key).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SchedulerFactory> &&
+                std::is_invocable_r_v<std::unique_ptr<sched::Scheduler>, F&>>>
+  SchedulerFactory(F&& f)  // NOLINT(google-explicit-constructor)
+      : make_(std::forward<F>(f)) {}
+
+  /// Keyed (cacheable) factory.
+  SchedulerFactory(Fn make, std::string cache_key)
+      : make_(std::move(make)), key_(std::move(cache_key)) {}
+
+  std::unique_ptr<sched::Scheduler> operator()() const { return make_(); }
+
+  [[nodiscard]] const std::string& cache_key() const noexcept { return key_; }
+  [[nodiscard]] bool cacheable() const noexcept { return !key_.empty(); }
+  explicit operator bool() const noexcept { return static_cast<bool>(make_); }
+
+ private:
+  Fn make_;
+  std::string key_;
+};
 
 class ExperimentRunner {
  public:
@@ -32,12 +69,24 @@ class ExperimentRunner {
 
   /// Runs `pair` (first member starts on the INT core) under `scheduler`
   /// until one thread commits `scale.run_length` instructions.
+  ///
+  /// Fast path: the run advances in batches — the scheduler's
+  /// next_decision_at() hint bounds how far the system can step before the
+  /// next tick() could possibly act, so the per-cycle virtual tick on the
+  /// hot loop disappears. Results are bit-identical to per-cycle stepping
+  /// (hints are conservative; skipped ticks are provably no-ops).
   metrics::PairRunResult run_pair(const BenchmarkPair& pair,
                                   sched::Scheduler& scheduler) const;
 
-  /// Convenience: build-from-factory and run.
+  /// Build-from-factory and run. Keyed (cacheable) factories are memoized
+  /// through the RunCache; plain callables always simulate.
   metrics::PairRunResult run_pair(const BenchmarkPair& pair,
                                   const SchedulerFactory& factory) const;
+
+  /// Toggles batched stepping (default on). The slow per-cycle path exists
+  /// for the determinism tests and the stepping-throughput bench.
+  void set_batched_stepping(bool on) noexcept { batched_ = on; }
+  [[nodiscard]] bool batched_stepping() const noexcept { return batched_; }
 
   [[nodiscard]] const sim::SimScale& scale() const noexcept { return scale_; }
   [[nodiscard]] const sim::CoreConfig& int_core() const noexcept {
@@ -64,9 +113,14 @@ class ExperimentRunner {
       const wl::BenchmarkCatalog& catalog) const;
 
  private:
+  /// RunCache key for one (pair, keyed factory) run.
+  [[nodiscard]] CacheKey pair_run_cache_key(
+      const BenchmarkPair& pair, const SchedulerFactory& factory) const;
+
   sim::SimScale scale_;
   sim::CoreConfig int_core_;
   sim::CoreConfig fp_core_;
+  bool batched_ = true;
 };
 
 /// One row of the Fig. 7 / Fig. 8 comparisons.
@@ -75,6 +129,8 @@ struct ComparisonRow {
   double weighted_improvement_pct = 0.0;
   double geometric_improvement_pct = 0.0;
   double swap_fraction = 0.0;  ///< proposed scheme: swaps / decision points
+  /// Either run of this pair truncated at the cycle bound (partial data).
+  bool hit_cycle_bound = false;
 };
 
 /// Runs every pair under both factories and returns per-pair improvements

@@ -1,19 +1,175 @@
 #include "harness/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
-#include <thread>
 
 #include "common/env.hpp"
 
 namespace amps::harness {
+
+namespace {
+
+/// True while this thread is executing inside a pool job (helper thread or
+/// submitter). Nested parallel_for calls then run inline instead of
+/// deadlocking on the pool.
+thread_local bool tls_inside_pool_job = false;
+
+void run_serial(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < count; ++i) fn(i);
+}
+
+}  // namespace
 
 std::size_t default_worker_count() {
   const std::int64_t env = env_int("AMPS_THREADS", 0);
   if (env > 0) return static_cast<std::size_t>(env);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
+}
+
+WorkerPool& WorkerPool::instance() {
+  static WorkerPool pool(default_worker_count() > 0
+                             ? default_worker_count() - 1
+                             : 0);
+  return pool;
+}
+
+WorkerPool::WorkerPool(std::size_t helper_threads) {
+  threads_.reserve(helper_threads);
+  for (std::size_t t = 0; t < helper_threads; ++t)
+    threads_.emplace_back([this, t] { worker_main(t + 1); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(signal_mutex_);
+    stop_ = true;
+  }
+  signal_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::retire_chunk(Job& job) {
+  std::lock_guard<std::mutex> lock(job.done_mutex);
+  if (++job.retired_chunks == job.total_chunks)
+    job.done_cv.notify_all();  // under the lock: the waiter may free `job`
+}
+
+void WorkerPool::execute_chunk(Job& job, const Chunk& chunk) {
+  for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+    if (job.cancel.load(std::memory_order_relaxed)) break;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(job.error_mutex);
+        if (!job.error) job.error = std::current_exception();
+      }
+      job.cancel.store(true, std::memory_order_relaxed);
+      break;
+    }
+  }
+}
+
+void WorkerPool::participate(Job& job, std::size_t participant) {
+  const std::size_t n = job.queues.size();
+  for (;;) {
+    Chunk chunk;
+    bool found = false;
+    // Own queue first (LIFO end), then steal round-robin (FIFO end).
+    for (std::size_t k = 0; k < n && !found; ++k) {
+      const std::size_t q = (participant + k) % n;
+      Job::Queue& queue = *job.queues[q];
+      std::lock_guard<std::mutex> lock(queue.mutex);
+      if (queue.chunks.empty()) continue;
+      if (k == 0) {
+        chunk = queue.chunks.back();
+        queue.chunks.pop_back();
+      } else {
+        chunk = queue.chunks.front();
+        queue.chunks.pop_front();
+      }
+      found = true;
+    }
+    if (!found) return;
+    execute_chunk(job, chunk);
+    retire_chunk(job);
+  }
+}
+
+void WorkerPool::worker_main(std::size_t participant) {
+  std::unique_lock<std::mutex> lock(signal_mutex_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    signal_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    // Copy the shared_ptr under the lock: the job stays alive for this
+    // participant even after the submitter returns and resets job_.
+    std::shared_ptr<Job> job = job_;
+    lock.unlock();
+    if (job) {
+      tls_inside_pool_job = true;
+      participate(*job, participant);
+      tls_inside_pool_job = false;
+    }
+    lock.lock();
+  }
+}
+
+void WorkerPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || threads_.empty() || tls_inside_pool_job) {
+    run_serial(count, fn);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  const std::size_t participants = threads_.size() + 1;
+  for (std::size_t p = 0; p < participants; ++p)
+    job->queues.push_back(std::make_unique<Job::Queue>());
+
+  // ~4 chunks per participant balances steal traffic against imbalance
+  // from uneven per-index cost (pair runs vary several-fold in length).
+  const std::size_t chunk_size =
+      std::max<std::size_t>(1, count / (participants * 4));
+  std::size_t p = 0;
+  for (std::size_t begin = 0; begin < count; begin += chunk_size) {
+    const std::size_t end = std::min(count, begin + chunk_size);
+    job->queues[p]->chunks.push_back({begin, end});
+    p = (p + 1) % participants;
+    ++job->total_chunks;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(signal_mutex_);
+    job_ = job;
+    ++generation_;
+  }
+  signal_cv_.notify_all();
+
+  // The submitter is participant 0.
+  tls_inside_pool_job = true;
+  participate(*job, 0);
+  tls_inside_pool_job = false;
+
+  {
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done_cv.wait(lock,
+                      [&] { return job->retired_chunks == job->total_chunks; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(signal_mutex_);
+    job_.reset();
+  }
+  // All chunks retired: no participant can touch `fn` anymore (stragglers
+  // holding the shared_ptr only scan empty queues before leaving).
+  if (job->error) std::rethrow_exception(job->error);
 }
 
 void parallel_for(std::size_t count,
@@ -24,30 +180,7 @@ void parallel_for(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  workers = std::min(workers, count);
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  WorkerPool::instance().run(count, fn);
 }
 
 }  // namespace amps::harness

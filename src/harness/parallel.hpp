@@ -1,15 +1,34 @@
 // Parallel experiment execution. Pair runs are completely independent
 // (each builds its own DualCoreSystem and scheduler; HPE prediction models
-// are shared read-only), so experiments fan out across a small thread pool.
-// Results are written into index-stable slots, keeping output bit-identical
-// to a serial run.
+// are shared read-only), so experiments fan out across a persistent
+// process-wide worker pool. Results are written into index-stable slots,
+// keeping output bit-identical to a serial run.
+//
+// The pool is created lazily on first use and reused by every
+// parallel_for / compare_schedulers call in the process — no
+// spawn-and-join-per-call thread churn. Work is distributed as index
+// chunks over per-participant deques; an idle participant steals from the
+// others. The submitting thread always participates, so progress never
+// depends on the helper threads being runnable.
+//
+// Error handling is cooperative: the first exception thrown by `fn` sets a
+// cancellation flag, remaining queued work is abandoned (each in-flight
+// chunk stops before its next index), and the exception is rethrown to the
+// caller once the job has fully retired.
 //
 // AMPS_THREADS overrides the worker count (default: hardware concurrency,
 // at least 1).
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 namespace amps::harness {
@@ -18,10 +37,84 @@ namespace amps::harness {
 /// std::thread::hardware_concurrency() (minimum 1).
 std::size_t default_worker_count();
 
-/// Runs fn(i) for every i in [0, count), distributing indices over
-/// `workers` threads (serial when workers <= 1 or count <= 1). fn must be
-/// safe to call concurrently for distinct indices. Exceptions thrown by fn
-/// are rethrown (the first one, after all workers join).
+/// Persistent work-stealing thread pool. One process-wide instance is
+/// created lazily (WorkerPool::instance()); independent instances can be
+/// constructed for tests.
+class WorkerPool {
+ public:
+  /// The shared pool, sized from default_worker_count() on first use
+  /// (helper threads = workers - 1; the submitter is a participant).
+  static WorkerPool& instance();
+
+  /// Creates a pool with `helper_threads` background threads. Zero is
+  /// valid: run() then executes entirely on the submitting thread.
+  explicit WorkerPool(std::size_t helper_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs fn(i) for every i in [0, count). Blocks until every index has
+  /// either executed or been cancelled. The first exception thrown by fn
+  /// cancels all not-yet-started work and is rethrown here. Safe to call
+  /// from multiple threads (jobs are serialized); a call from inside a
+  /// pool job runs inline on the calling thread.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// Helper threads owned by the pool (participants = this + 1).
+  [[nodiscard]] std::size_t helper_threads() const noexcept {
+    return threads_.size();
+  }
+
+ private:
+  struct Chunk {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  /// One submitted parallel_for. Shared by the submitter and every helper
+  /// that woke for it (shared_ptr keeps it alive until the last
+  /// participant leaves, even after the submitter returned).
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    struct Queue {
+      std::mutex mutex;
+      std::deque<Chunk> chunks;
+    };
+    std::vector<std::unique_ptr<Queue>> queues;  // one per participant
+    std::size_t total_chunks = 0;
+
+    std::atomic<bool> cancel{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t retired_chunks = 0;  // guarded by done_mutex
+  };
+
+  void worker_main(std::size_t participant);
+  /// Pops/steals and executes chunks until none are left anywhere.
+  static void participate(Job& job, std::size_t participant);
+  static void execute_chunk(Job& job, const Chunk& chunk);
+  static void retire_chunk(Job& job);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex signal_mutex_;
+  std::condition_variable signal_cv_;
+  std::shared_ptr<Job> job_;        // guarded by signal_mutex_
+  std::uint64_t generation_ = 0;    // bumped per job, guarded by signal_mutex_
+  bool stop_ = false;               // guarded by signal_mutex_
+
+  std::mutex submit_mutex_;  // serializes concurrent run() calls
+};
+
+/// Runs fn(i) for every i in [0, count) on the shared WorkerPool (serial
+/// when workers <= 1 or count <= 1). fn must be safe to call concurrently
+/// for distinct indices. The first exception thrown by fn cancels the
+/// remaining work and is rethrown. `workers` caps nothing beyond choosing
+/// the serial path; the pool's size is fixed at first use.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                   std::size_t workers = 0);
 

@@ -1,0 +1,483 @@
+#include "harness/run_cache.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/hpe.hpp"
+
+namespace amps::harness {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// ---- serialization helpers ----------------------------------------------
+// Payloads are whitespace-separated tokens. Doubles round-trip bit-exactly
+// as hexfloats; they are *written* with snprintf("%a") and *parsed* with
+// strtod because libstdc++'s istream hexfloat extraction is unreliable.
+// Strings (scheduler/benchmark names) are stored as bare tokens — they
+// never contain whitespace.
+
+void put_u64(std::string* out, std::uint64_t v) {
+  *out += std::to_string(v);
+  *out += ' ';
+}
+
+void put_double(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a ", v);
+  *out += buf;
+}
+
+void put_str(std::string* out, const std::string& s) {
+  *out += s.empty() ? std::string("-") : s;
+  *out += ' ';
+}
+
+bool get_u64(std::istream& in, std::uint64_t* v) {
+  std::string tok;
+  if (!(in >> tok)) return false;
+  char* end = nullptr;
+  *v = std::strtoull(tok.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && end != tok.c_str();
+}
+
+bool get_double(std::istream& in, double* v) {
+  std::string tok;
+  if (!(in >> tok)) return false;
+  char* end = nullptr;
+  *v = std::strtod(tok.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != tok.c_str();
+}
+
+bool get_str(std::istream& in, std::string* s) {
+  if (!(in >> *s)) return false;
+  if (*s == "-") s->clear();
+  return true;
+}
+
+std::string serialize(const metrics::PairRunResult& r) {
+  std::string out;
+  put_str(&out, r.scheduler);
+  put_u64(&out, r.total_cycles);
+  put_u64(&out, r.swap_count);
+  put_u64(&out, r.decision_points);
+  put_double(&out, r.total_energy);
+  put_u64(&out, r.hit_cycle_bound ? 1 : 0);
+  for (const metrics::ThreadRunStats& t : r.threads) {
+    put_str(&out, t.benchmark);
+    put_u64(&out, t.committed);
+    put_u64(&out, t.cycles);
+    put_u64(&out, t.swaps);
+    put_double(&out, t.energy);
+    put_double(&out, t.ipc);
+    put_double(&out, t.ipc_per_watt);
+  }
+  return out;
+}
+
+bool deserialize(std::istream& in, metrics::PairRunResult* r) {
+  std::uint64_t bound = 0;
+  if (!get_str(in, &r->scheduler) || !get_u64(in, &r->total_cycles) ||
+      !get_u64(in, &r->swap_count) || !get_u64(in, &r->decision_points) ||
+      !get_double(in, &r->total_energy) || !get_u64(in, &bound))
+    return false;
+  r->hit_cycle_bound = bound != 0;
+  for (metrics::ThreadRunStats& t : r->threads) {
+    if (!get_str(in, &t.benchmark) || !get_u64(in, &t.committed) ||
+        !get_u64(in, &t.cycles) || !get_u64(in, &t.swaps) ||
+        !get_double(in, &t.energy) || !get_double(in, &t.ipc) ||
+        !get_double(in, &t.ipc_per_watt))
+      return false;
+  }
+  return true;
+}
+
+std::string serialize(const sim::SoloResult& r) {
+  std::string out;
+  put_u64(&out, r.committed);
+  put_u64(&out, r.cycles);
+  put_u64(&out, r.l2_misses);
+  put_double(&out, r.energy);
+  put_u64(&out, r.samples.size());
+  for (const sim::SoloSample& s : r.samples) {
+    put_double(&out, s.int_pct);
+    put_double(&out, s.fp_pct);
+    put_double(&out, s.ipc);
+    put_double(&out, s.ipc_per_watt);
+    put_u64(&out, s.committed);
+  }
+  return out;
+}
+
+bool deserialize(std::istream& in, sim::SoloResult* r) {
+  std::uint64_t n = 0;
+  if (!get_u64(in, &r->committed) || !get_u64(in, &r->cycles) ||
+      !get_u64(in, &r->l2_misses) || !get_double(in, &r->energy) ||
+      !get_u64(in, &n))
+    return false;
+  r->samples.resize(n);
+  for (sim::SoloSample& s : r->samples) {
+    if (!get_double(in, &s.int_pct) || !get_double(in, &s.fp_pct) ||
+        !get_double(in, &s.ipc) || !get_double(in, &s.ipc_per_watt) ||
+        !get_u64(in, &s.committed))
+      return false;
+  }
+  return true;
+}
+
+std::string serialize(const std::vector<sched::ProfileSample>& samples) {
+  std::string out;
+  put_u64(&out, samples.size());
+  for (const sched::ProfileSample& s : samples) {
+    put_double(&out, s.int_pct);
+    put_double(&out, s.fp_pct);
+    put_double(&out, s.ratio);
+  }
+  return out;
+}
+
+bool deserialize(std::istream& in, std::vector<sched::ProfileSample>* out) {
+  std::uint64_t n = 0;
+  if (!get_u64(in, &n)) return false;
+  out->resize(n);
+  for (sched::ProfileSample& s : *out) {
+    if (!get_double(in, &s.int_pct) || !get_double(in, &s.fp_pct) ||
+        !get_double(in, &s.ratio))
+      return false;
+  }
+  return true;
+}
+
+// ---- disk layer ----------------------------------------------------------
+
+constexpr std::string_view kFileHeader = "amps-run-cache v1";
+
+std::filesystem::path cache_dir() {
+  const char* dir = std::getenv("AMPS_CACHE_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  return std::filesystem::path(dir);
+}
+
+std::filesystem::path entry_path(const std::filesystem::path& dir,
+                                 std::string_view kind, const CacheKey& key) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(key.hash()));
+  std::string name = "amps-";
+  name += kind;
+  name += '-';
+  name += hex;
+  name += ".cache";
+  return dir / name;
+}
+
+/// Loads `key`'s entry of `kind`; the stored key text must match exactly
+/// (guards against hash collisions and stale formats).
+template <typename T>
+bool load_entry(std::string_view kind, const CacheKey& key, T* out) {
+  const std::filesystem::path dir = cache_dir();
+  if (dir.empty()) return false;
+  std::ifstream in(entry_path(dir, kind, key));
+  if (!in) return false;
+  std::string header;
+  std::string stored_key;
+  if (!std::getline(in, header) || header != kFileHeader) return false;
+  if (!std::getline(in, stored_key) || stored_key != key.text()) return false;
+  return deserialize(in, out);
+}
+
+/// Best-effort atomic write (temp file + rename); failures are silent —
+/// the cache is an optimization, never a correctness dependency.
+template <typename T>
+void store_entry(std::string_view kind, const CacheKey& key, const T& value) {
+  const std::filesystem::path dir = cache_dir();
+  if (dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path final_path = entry_path(dir, kind, key);
+  std::filesystem::path tmp = final_path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;
+    out << kFileHeader << '\n' << key.text() << '\n' << serialize(value);
+    if (!out) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp, final_path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
+}  // namespace
+
+// ---- CacheKey ------------------------------------------------------------
+
+CacheKey::CacheKey(std::string_view kind) { text_ += kind; }
+
+void CacheKey::add(std::string_view token) {
+  text_ += ' ';
+  text_ += token;
+}
+
+void CacheKey::add(std::string_view name, std::string_view value) {
+  text_ += ' ';
+  text_ += name;
+  text_ += '=';
+  text_ += value;
+}
+
+void CacheKey::add(std::string_view name, std::uint64_t value) {
+  add(name, std::string_view(std::to_string(value)));
+}
+
+void CacheKey::add(std::string_view name, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(value)));
+  add(name, std::string_view(buf));
+}
+
+std::uint64_t CacheKey::hash() const noexcept { return fnv1a(text_); }
+
+// ---- digest fragments ----------------------------------------------------
+
+namespace {
+
+void add_cache_geometry(CacheKey& key, std::string_view tag,
+                        const uarch::CacheConfig& c) {
+  std::string t(tag);
+  key.add(t + ".size", c.size_bytes);
+  key.add(t + ".line", static_cast<std::uint64_t>(c.line_bytes));
+  key.add(t + ".ways", static_cast<std::uint64_t>(c.associativity));
+}
+
+void add_fu_spec(CacheKey& key, std::string_view tag, const uarch::FuSpec& f) {
+  std::string t(tag);
+  key.add(t + ".units", static_cast<std::uint64_t>(f.units));
+  key.add(t + ".lat", f.latency);
+  key.add(t + ".pipe", static_cast<std::uint64_t>(f.pipelined ? 1 : 0));
+}
+
+void add_energy_params(CacheKey& key, const power::EnergyParams& p) {
+  key.add("e.fetch", p.fetch_decode);
+  key.add("e.rename", p.rename);
+  key.add("e.isq", p.isq_op);
+  key.add("e.rob", p.rob_op);
+  key.add("e.reg", p.regfile_op);
+  key.add("e.bpred", p.bpred);
+  key.add("e.lsq", p.lsq_op);
+  key.add("e.l1", p.l1_access);
+  key.add("e.l2", p.l2_access);
+  key.add("e.mem", p.memory_access);
+  key.add("e.ialu", p.int_alu);
+  key.add("e.imul", p.int_mul);
+  key.add("e.idiv", p.int_div);
+  key.add("e.falu", p.fp_alu);
+  key.add("e.fmul", p.fp_mul);
+  key.add("e.fdiv", p.fp_div);
+  key.add("e.leak", p.leak_base);
+  key.add("e.leakA", p.leak_per_area);
+  key.add("a.ialu", p.area_int_alu);
+  key.add("a.imul", p.area_int_mul);
+  key.add("a.idiv", p.area_int_div);
+  key.add("a.falu", p.area_fp_alu);
+  key.add("a.fmul", p.area_fp_mul);
+  key.add("a.fdiv", p.area_fp_div);
+  key.add("a.pipe", p.area_pipelined_factor);
+}
+
+}  // namespace
+
+void add_core_config(CacheKey& key, std::string_view tag,
+                     const sim::CoreConfig& cfg) {
+  key.add(tag);
+  key.add("name", cfg.name);
+  key.add("kind", static_cast<std::uint64_t>(cfg.kind));
+  key.add("fw", static_cast<std::uint64_t>(cfg.fetch_width));
+  key.add("cw", static_cast<std::uint64_t>(cfg.commit_width));
+  key.add("iw", static_cast<std::uint64_t>(cfg.issue_width));
+  key.add("rob", static_cast<std::uint64_t>(cfg.rob_entries));
+  key.add("iregs", static_cast<std::uint64_t>(cfg.int_rename_regs));
+  key.add("fregs", static_cast<std::uint64_t>(cfg.fp_rename_regs));
+  key.add("iisq", static_cast<std::uint64_t>(cfg.int_isq_entries));
+  key.add("fisq", static_cast<std::uint64_t>(cfg.fp_isq_entries));
+  key.add("lq", static_cast<std::uint64_t>(cfg.lq_entries));
+  key.add("sq", static_cast<std::uint64_t>(cfg.sq_entries));
+  add_cache_geometry(key, "il1", cfg.il1);
+  add_cache_geometry(key, "dl1", cfg.dl1);
+  add_cache_geometry(key, "l2", cfg.l2);
+  key.add("lat.l1", cfg.mem_lat.l1_hit);
+  key.add("lat.l2", cfg.mem_lat.l2_hit);
+  key.add("lat.mem", cfg.mem_lat.memory);
+  key.add("pf", static_cast<std::uint64_t>(cfg.prefetch_next_line ? 1 : 0));
+  add_energy_params(key, cfg.energy_params);
+  key.add("clkdiv", static_cast<std::uint64_t>(cfg.clock_divider));
+  key.add("bp.entries", static_cast<std::uint64_t>(cfg.bpred.table_entries));
+  key.add("bp.hist", static_cast<std::uint64_t>(cfg.bpred.history_bits));
+  key.add("mispredict", cfg.mispredict_penalty);
+  add_fu_spec(key, "ialu", cfg.exec.int_alu);
+  add_fu_spec(key, "imul", cfg.exec.int_mul);
+  add_fu_spec(key, "idiv", cfg.exec.int_div);
+  add_fu_spec(key, "falu", cfg.exec.fp_alu);
+  add_fu_spec(key, "fmul", cfg.exec.fp_mul);
+  add_fu_spec(key, "fdiv", cfg.exec.fp_div);
+}
+
+void add_scale(CacheKey& key, const sim::SimScale& scale) {
+  key.add("csi", scale.context_switch_interval);
+  key.add("runlen", scale.run_length);
+  key.add("window", scale.window_size);
+  key.add("history", static_cast<std::uint64_t>(scale.history_depth));
+  key.add("swapcost", scale.swap_overhead);
+  key.add("maxcycles", scale.max_cycles());
+}
+
+void add_benchmark(CacheKey& key, std::string_view tag,
+                   const wl::BenchmarkSpec& spec) {
+  key.add(tag, spec.name);
+  // The catalog is code-defined, so name+seed identify the stream; the
+  // average mix additionally invalidates disk entries when a benchmark's
+  // phase model is retuned across builds.
+  key.add("seed", spec.seed);
+  key.add("phases", spec.num_phases());
+  const isa::InstrMix mix = spec.average_mix();
+  key.add("mix.int", mix.int_fraction());
+  key.add("mix.fp", mix.fp_fraction());
+  key.add("mix.mem", mix.mem_fraction());
+  key.add("mix.br", mix.branch_fraction());
+}
+
+void add_model_digest(CacheKey& key, const sched::HpePredictionModel& model) {
+  key.add("model", std::string_view(model.kind()));
+  // Probe the fitted surface on a fixed grid: two models that predict the
+  // same ratios everywhere on it are interchangeable for scheduling.
+  int i = 0;
+  char name[16];
+  for (int int_pct = 0; int_pct <= 100; int_pct += 25) {
+    for (int fp_pct = 0; fp_pct <= 100; fp_pct += 25) {
+      std::snprintf(name, sizeof(name), "m%02d", i++);
+      key.add(name, model.predict_ratio(int_pct, fp_pct));
+    }
+  }
+}
+
+// ---- RunCache ------------------------------------------------------------
+
+RunCache& RunCache::instance() {
+  static RunCache cache;
+  return cache;
+}
+
+bool RunCache::enabled() {
+  const char* v = std::getenv("AMPS_RUN_CACHE");
+  return v == nullptr || std::string_view(v) != "0";
+}
+
+namespace {
+
+/// Shared memoization logic: memory map -> disk -> compute. `compute` runs
+/// outside the lock so independent keys can be filled concurrently; a
+/// losing racer on the same key just recomputes the identical value.
+template <typename T, typename Map, typename Compute>
+T lookup_or_compute(std::string_view kind, const CacheKey& key, Map* map,
+                    std::mutex* mutex, RunCache::Stats* stats,
+                    const Compute& compute) {
+  {
+    std::lock_guard<std::mutex> lock(*mutex);
+    auto it = map->find(key.text());
+    if (it != map->end()) {
+      ++stats->hits;
+      return it->second;
+    }
+  }
+  T value{};
+  if (load_entry(kind, key, &value)) {
+    std::lock_guard<std::mutex> lock(*mutex);
+    ++stats->hits;
+    ++stats->disk_hits;
+    map->emplace(key.text(), value);
+    return value;
+  }
+  value = compute();
+  {
+    std::lock_guard<std::mutex> lock(*mutex);
+    ++stats->misses;
+    map->emplace(key.text(), value);
+  }
+  store_entry(kind, key, value);
+  return value;
+}
+
+}  // namespace
+
+metrics::PairRunResult RunCache::pair_run(
+    const CacheKey& key,
+    const std::function<metrics::PairRunResult()>& compute) {
+  if (!enabled()) return compute();
+  return lookup_or_compute<metrics::PairRunResult>("pair", key, &pair_,
+                                                   &mutex_, &stats_, compute);
+}
+
+sim::SoloResult RunCache::solo_run(
+    const CacheKey& key, const std::function<sim::SoloResult()>& compute) {
+  if (!enabled()) return compute();
+  return lookup_or_compute<sim::SoloResult>("solo", key, &solo_, &mutex_,
+                                            &stats_, compute);
+}
+
+std::vector<sched::ProfileSample> RunCache::profile_samples(
+    const CacheKey& key,
+    const std::function<std::vector<sched::ProfileSample>()>& compute) {
+  if (!enabled()) return compute();
+  return lookup_or_compute<std::vector<sched::ProfileSample>>(
+      "profile", key, &samples_, &mutex_, &stats_, compute);
+}
+
+RunCache::Stats RunCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void RunCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pair_.clear();
+  solo_.clear();
+  samples_.clear();
+  stats_ = Stats{};
+}
+
+sim::SoloResult cached_solo(const sim::CoreConfig& cfg,
+                            const wl::BenchmarkSpec& spec,
+                            InstrCount run_length, Cycles sample_interval,
+                            std::uint64_t instance_seed) {
+  CacheKey key("solo-run");
+  add_core_config(key, "core", cfg);
+  add_benchmark(key, "bench", spec);
+  key.add("runlen", run_length);
+  key.add("interval", sample_interval);
+  key.add("iseed", instance_seed);
+  return RunCache::instance().solo_run(key, [&] {
+    return sim::run_solo(cfg, spec, run_length, sample_interval,
+                         instance_seed);
+  });
+}
+
+}  // namespace amps::harness

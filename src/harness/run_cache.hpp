@@ -1,0 +1,118 @@
+// Content-keyed memoization of expensive simulation runs.
+//
+// Every figure bench re-simulates the same (benchmark pair, core pair,
+// scale, scheduler) combinations — the static baseline alone is recomputed
+// once per comparison. Since runs are deterministic functions of their
+// configuration, they memoize perfectly: the key folds in every input that
+// can change the outcome (all core-config fields, the full scale, the
+// benchmark identity, the scheduler's configuration), so a hit is always
+// safe and any parameter change — however small — misses.
+//
+// Keys are human-readable `name=value` lines; doubles are keyed by bit
+// pattern. The in-memory cache is process-wide and thread-safe. Setting
+// AMPS_CACHE_DIR additionally persists entries to disk (one file per
+// entry, doubles stored as hexfloats for bit-exact round-trips), which is
+// what makes *warm* bench reruns fast across processes. AMPS_RUN_CACHE=0
+// turns the whole layer off.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/profiler.hpp"
+#include "metrics/run_result.hpp"
+#include "sim/core_config.hpp"
+#include "sim/scale.hpp"
+#include "sim/solo.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::sched {
+class HpePredictionModel;
+}
+
+namespace amps::harness {
+
+/// Order-sensitive content key: one line of `name=value` tokens plus an
+/// FNV-1a hash of that line (used only to name disk files; lookups compare
+/// the full text, so hash collisions cannot alias entries).
+class CacheKey {
+ public:
+  explicit CacheKey(std::string_view kind);
+
+  void add(std::string_view token);
+  void add(std::string_view name, std::string_view value);
+  void add(std::string_view name, std::uint64_t value);
+  void add(std::string_view name, double value);  ///< keyed by bit pattern
+
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+ private:
+  std::string text_;
+};
+
+// Key fragments for the domain objects runs depend on. Each folds in every
+// field of its object that can affect a simulation outcome.
+void add_core_config(CacheKey& key, std::string_view tag,
+                     const sim::CoreConfig& cfg);
+void add_scale(CacheKey& key, const sim::SimScale& scale);
+void add_benchmark(CacheKey& key, std::string_view tag,
+                   const wl::BenchmarkSpec& spec);
+/// Behavioral digest of a fitted prediction model: kind() plus predicted
+/// ratios over a fixed composition grid — captures the fitted parameters
+/// without needing to serialize the model itself.
+void add_model_digest(CacheKey& key, const sched::HpePredictionModel& model);
+
+class RunCache {
+ public:
+  static RunCache& instance();
+
+  /// False when AMPS_RUN_CACHE=0 (default: enabled). Re-read per call so
+  /// tests can toggle it.
+  [[nodiscard]] static bool enabled();
+
+  /// Returns the cached value for `key`, or runs `compute`, stores the
+  /// result (memory + disk when AMPS_CACHE_DIR is set), and returns it.
+  metrics::PairRunResult pair_run(
+      const CacheKey& key,
+      const std::function<metrics::PairRunResult()>& compute);
+  sim::SoloResult solo_run(const CacheKey& key,
+                           const std::function<sim::SoloResult()>& compute);
+  std::vector<sched::ProfileSample> profile_samples(
+      const CacheKey& key,
+      const std::function<std::vector<sched::ProfileSample>()>& compute);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t disk_hits = 0;  ///< subset of hits served from disk
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Drops all in-memory entries and zeroes the stats (disk files are left
+  /// alone). Tests use this to force recomputation.
+  void clear();
+
+ private:
+  RunCache() = default;
+
+  mutable std::mutex mutex_;
+  Stats stats_;
+  std::unordered_map<std::string, metrics::PairRunResult> pair_;
+  std::unordered_map<std::string, sim::SoloResult> solo_;
+  std::unordered_map<std::string, std::vector<sched::ProfileSample>> samples_;
+};
+
+/// sim::run_solo through the cache; the key covers the core config, the
+/// benchmark, and all run parameters. Drop-in for the solo-run benches.
+sim::SoloResult cached_solo(const sim::CoreConfig& cfg,
+                            const wl::BenchmarkSpec& spec,
+                            InstrCount run_length, Cycles sample_interval = 0,
+                            std::uint64_t instance_seed = 0);
+
+}  // namespace amps::harness

@@ -29,6 +29,9 @@ struct PairRunResult {
   std::uint64_t swap_count = 0;
   std::uint64_t decision_points = 0;  ///< scheduler evaluations taken
   Energy total_energy = 0.0;
+  /// True when the run stopped at the hard cycle bound before both threads
+  /// reached their committed-instruction budget (results are then partial).
+  bool hit_cycle_bound = false;
 
   /// Per-thread IPC/Watt ratios against a baseline run of the same pair.
   [[nodiscard]] std::vector<double> ipw_ratios_vs(

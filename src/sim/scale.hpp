@@ -29,9 +29,15 @@ struct SimScale {
   /// Thread-swap cost in cycles (paper §VI-C default: 100).
   Cycles swap_overhead = 100;
 
+  /// When nonzero, overrides max_cycles() (tests use this to force runs to
+  /// truncate at the cycle bound).
+  Cycles max_cycles_override = 0;
+
   /// Hard cycle bound for a run (guards against pathological stalls);
   /// 0 disables.
-  [[nodiscard]] Cycles max_cycles() const noexcept { return run_length * 40; }
+  [[nodiscard]] Cycles max_cycles() const noexcept {
+    return max_cycles_override != 0 ? max_cycles_override : run_length * 40;
+  }
 
   /// CI-friendly scaled-down preset (default).
   static SimScale ci() noexcept { return SimScale{}; }

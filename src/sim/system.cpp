@@ -74,6 +74,21 @@ void DualCoreSystem::step() {
   ++now_;
 }
 
+Cycles DualCoreSystem::step_until(Cycles until_cycle,
+                                  InstrCount commit_budget) {
+  assert(threads_[0] != nullptr && threads_[1] != nullptr);
+  const Cycles start = now_;
+  const InstrCount base0 = threads_[0]->committed_total();
+  const InstrCount base1 = threads_[1]->committed_total();
+  while (now_ < until_cycle) {
+    step();
+    if (threads_[0]->committed_total() - base0 >= commit_budget ||
+        threads_[1]->committed_total() - base1 >= commit_budget)
+      break;
+  }
+  return now_ - start;
+}
+
 Cycles DualCoreSystem::run_until_committed(InstrCount target,
                                            Cycles max_cycles) {
   const Cycles start = now_;

@@ -56,6 +56,14 @@ class DualCoreSystem {
   /// Advances the whole system one clock cycle.
   void step();
 
+  /// Batched stepping for the harness fast path: advances until `now()`
+  /// reaches `until_cycle`, stopping early at the end of the first cycle in
+  /// which either thread's committed-instruction count has advanced by at
+  /// least `commit_budget` since entry. Always steps at least one cycle
+  /// when `until_cycle > now()`. Equivalent to calling step() in a loop —
+  /// cycle-for-cycle identical state evolution. Returns cycles stepped.
+  Cycles step_until(Cycles until_cycle, InstrCount commit_budget);
+
   /// Steps until both threads have committed at least `target` instructions
   /// or `max_cycles` elapsed (0 = no cycle bound). Returns cycles stepped.
   Cycles run_until_committed(InstrCount target, Cycles max_cycles = 0);

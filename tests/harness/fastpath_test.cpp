@@ -1,0 +1,363 @@
+// Tests for the simulation fast path: batched stepping must be
+// bit-identical to per-cycle stepping for every scheduler, and the RunCache
+// must return bit-identical results cold vs. warm, in memory and from disk.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/extended.hpp"
+#include "core/morphing.hpp"
+#include "core/oracle.hpp"
+#include "core/proposed.hpp"
+#include "core/round_robin.hpp"
+#include "core/sampling.hpp"
+#include "core/static_sched.hpp"
+#include "harness/experiment.hpp"
+#include "harness/run_cache.hpp"
+
+namespace amps::harness {
+namespace {
+
+sim::SimScale small_scale() {
+  sim::SimScale s;
+  s.context_switch_interval = 15'000;
+  s.run_length = 40'000;
+  return s;
+}
+
+/// Bit-pattern equality for doubles: the fast path promises *identical*
+/// results, not merely close ones.
+void expect_same_bits(double a, double b, const char* what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << what << ": " << a << " vs " << b;
+}
+
+void expect_identical(const metrics::PairRunResult& a,
+                      const metrics::PairRunResult& b) {
+  EXPECT_EQ(a.scheduler, b.scheduler);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.swap_count, b.swap_count);
+  EXPECT_EQ(a.decision_points, b.decision_points);
+  EXPECT_EQ(a.hit_cycle_bound, b.hit_cycle_bound);
+  expect_same_bits(a.total_energy, b.total_energy, "total_energy");
+  for (int i = 0; i < 2; ++i) {
+    const metrics::ThreadRunStats& ta = a.threads[i];
+    const metrics::ThreadRunStats& tb = b.threads[i];
+    EXPECT_EQ(ta.benchmark, tb.benchmark);
+    EXPECT_EQ(ta.committed, tb.committed);
+    EXPECT_EQ(ta.cycles, tb.cycles);
+    EXPECT_EQ(ta.swaps, tb.swaps);
+    expect_same_bits(ta.energy, tb.energy, "thread energy");
+    expect_same_bits(ta.ipc, tb.ipc, "thread ipc");
+    expect_same_bits(ta.ipc_per_watt, tb.ipc_per_watt, "thread ipw");
+  }
+}
+
+using MakeScheduler = std::function<std::unique_ptr<sched::Scheduler>()>;
+
+/// Every scheduler in the repo, configured at the test scale. The HPE
+/// models are fitted once and shared read-only.
+std::vector<std::pair<std::string, MakeScheduler>> all_schedulers(
+    const ExperimentRunner& runner, const sched::HpeModels& models) {
+  const sim::SimScale scale = runner.scale();
+  std::vector<std::pair<std::string, MakeScheduler>> out;
+  out.emplace_back("static", [] {
+    return std::make_unique<sched::StaticScheduler>();
+  });
+  out.emplace_back("round-robin-1x", [scale] {
+    return std::make_unique<sched::RoundRobinScheduler>(
+        scale.context_switch_interval);
+  });
+  out.emplace_back("round-robin-2x", [scale] {
+    return std::make_unique<sched::RoundRobinScheduler>(
+        scale.context_switch_interval * 2);
+  });
+  sched::ProposedConfig proposed;
+  proposed.window_size = scale.window_size;
+  proposed.history_depth = scale.history_depth;
+  proposed.forced_swap_interval = scale.context_switch_interval;
+  out.emplace_back("proposed", [proposed] {
+    return std::make_unique<sched::ProposedScheduler>(proposed);
+  });
+  sched::HpeConfig hpe;
+  hpe.decision_interval = scale.context_switch_interval;
+  const sched::HpePredictionModel* matrix = models.matrix.get();
+  out.emplace_back("hpe-matrix", [matrix, hpe] {
+    return std::make_unique<sched::HpeScheduler>(*matrix, hpe);
+  });
+  const sched::HpePredictionModel* regression = models.regression.get();
+  out.emplace_back("hpe-regression", [regression, hpe] {
+    return std::make_unique<sched::HpeScheduler>(*regression, hpe);
+  });
+  sched::SamplingConfig sampling;
+  sampling.decision_interval = scale.context_switch_interval;
+  sampling.sample_cycles = 2'000;
+  sampling.warmup_cycles = 500;
+  out.emplace_back("sampling", [sampling] {
+    return std::make_unique<sched::SamplingScheduler>(sampling);
+  });
+  sched::OracleConfig oracle;
+  oracle.window_size = scale.window_size;
+  out.emplace_back("oracle", [regression, oracle] {
+    return std::make_unique<sched::OracleScheduler>(*regression, oracle);
+  });
+  sched::ExtendedConfig extended;
+  extended.window_size = scale.window_size;
+  extended.history_depth = scale.history_depth;
+  extended.forced_swap_interval = scale.context_switch_interval;
+  out.emplace_back("extended", [extended] {
+    return std::make_unique<sched::ExtendedProposedScheduler>(extended);
+  });
+  sched::MorphConfig morph;
+  morph.window_size = scale.window_size;
+  morph.history_depth = scale.history_depth;
+  morph.fairness_interval = scale.context_switch_interval;
+  morph.swap_overhead = scale.swap_overhead;
+  out.emplace_back("morphing", [morph] {
+    return std::make_unique<sched::MorphScheduler>(morph);
+  });
+  return out;
+}
+
+TEST(BatchedStepping, BitIdenticalToPerCycleForEveryScheduler) {
+  const wl::BenchmarkCatalog catalog;
+  ExperimentRunner batched(small_scale());
+  ExperimentRunner per_cycle(small_scale());
+  per_cycle.set_batched_stepping(false);
+  ASSERT_TRUE(batched.batched_stepping());
+  ASSERT_FALSE(per_cycle.batched_stepping());
+
+  const sched::HpeModels models = batched.build_models(catalog);
+  const auto pairs = sample_pairs(catalog, 2, 7);
+  for (const auto& [name, make] : all_schedulers(batched, models)) {
+    for (const BenchmarkPair& pair : pairs) {
+      auto s1 = make();
+      const auto fast = batched.run_pair(pair, *s1);
+      auto s2 = make();
+      const auto slow = per_cycle.run_pair(pair, *s2);
+      SCOPED_TRACE(name + " / " + pair_label(pair));
+      expect_identical(fast, slow);
+    }
+  }
+}
+
+TEST(BatchedStepping, BitIdenticalUnderCycleBound) {
+  // Truncated runs must also be identical (the bound interacts with batch
+  // sizing, so it gets its own coverage).
+  sim::SimScale scale = small_scale();
+  scale.run_length = 1'000'000;     // unreachable...
+  scale.max_cycles_override = 25'000;  // ...so the bound always fires
+  const wl::BenchmarkCatalog catalog;
+  ExperimentRunner batched(scale);
+  ExperimentRunner per_cycle(scale);
+  per_cycle.set_batched_stepping(false);
+  const auto pairs = sample_pairs(catalog, 1, 11);
+
+  sched::ProposedConfig cfg;
+  cfg.window_size = scale.window_size;
+  cfg.history_depth = scale.history_depth;
+  cfg.forced_swap_interval = scale.context_switch_interval;
+  sched::ProposedScheduler s1(cfg);
+  const auto fast = batched.run_pair(pairs[0], s1);
+  sched::ProposedScheduler s2(cfg);
+  const auto slow = per_cycle.run_pair(pairs[0], s2);
+  EXPECT_TRUE(fast.hit_cycle_bound);
+  EXPECT_EQ(fast.total_cycles, scale.max_cycles_override);
+  expect_identical(fast, slow);
+}
+
+TEST(CycleBound, FlagSetOnlyWhenTruncated) {
+  const wl::BenchmarkCatalog catalog;
+  const auto pairs = sample_pairs(catalog, 1, 3);
+
+  ExperimentRunner normal(small_scale());
+  auto full = normal.run_pair(pairs[0], *normal.static_factory()());
+  EXPECT_FALSE(full.hit_cycle_bound);
+
+  sim::SimScale scale = small_scale();
+  scale.max_cycles_override = 5'000;  // far too few cycles for 40k commits
+  ExperimentRunner bounded(scale);
+  auto cut = bounded.run_pair(pairs[0], *bounded.static_factory()());
+  EXPECT_TRUE(cut.hit_cycle_bound);
+  EXPECT_EQ(cut.total_cycles, scale.max_cycles_override);
+
+  // compare_schedulers surfaces the flag on the row.
+  RunCache::instance().clear();
+  const auto rows = compare_schedulers(
+      bounded, pairs, bounded.proposed_factory(), bounded.static_factory());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].hit_cycle_bound);
+}
+
+TEST(CacheKey, DistinguishesParameters) {
+  CacheKey a("k");
+  a.add("window", std::uint64_t{1000});
+  CacheKey b("k");
+  b.add("window", std::uint64_t{2000});
+  EXPECT_NE(a.text(), b.text());
+  EXPECT_NE(a.hash(), b.hash());
+
+  // Doubles are keyed by bit pattern: even -0.0 vs +0.0 differ.
+  CacheKey c("k");
+  c.add("x", 0.0);
+  CacheKey d("k");
+  d.add("x", -0.0);
+  EXPECT_NE(c.text(), d.text());
+}
+
+TEST(CacheKey, CoreConfigDigestCoversFields) {
+  CacheKey a("core");
+  add_core_config(a, "c", sim::int_core_config());
+  CacheKey b("core");
+  add_core_config(b, "c", sim::fp_core_config());
+  EXPECT_NE(a.text(), b.text());
+
+  sim::CoreConfig tweaked = sim::int_core_config();
+  tweaked.energy_params.leak_base *= 1.0000001;  // tiny double change
+  CacheKey c("core");
+  add_core_config(c, "c", tweaked);
+  EXPECT_NE(a.text(), c.text());
+}
+
+TEST(RunCache, WarmHitIsBitIdentical) {
+  const wl::BenchmarkCatalog catalog;
+  const ExperimentRunner runner(small_scale());
+  const auto pairs = sample_pairs(catalog, 1, 21);
+  const SchedulerFactory factory = runner.proposed_factory();
+  ASSERT_TRUE(factory.cacheable());
+
+  RunCache& cache = RunCache::instance();
+  cache.clear();
+  const auto cold = runner.run_pair(pairs[0], factory);
+  const auto s1 = cache.stats();
+  EXPECT_EQ(s1.misses, 1u);
+  EXPECT_EQ(s1.hits, 0u);
+
+  const auto warm = runner.run_pair(pairs[0], factory);
+  const auto s2 = cache.stats();
+  EXPECT_EQ(s2.misses, 1u);
+  EXPECT_EQ(s2.hits, 1u);
+  expect_identical(cold, warm);
+}
+
+TEST(RunCache, UnkeyedFactoriesBypassTheCache) {
+  const wl::BenchmarkCatalog catalog;
+  const ExperimentRunner runner(small_scale());
+  const auto pairs = sample_pairs(catalog, 1, 21);
+  const SchedulerFactory plain =
+      [] { return std::make_unique<sched::StaticScheduler>(); };
+  EXPECT_FALSE(plain.cacheable());
+
+  RunCache& cache = RunCache::instance();
+  cache.clear();
+  (void)runner.run_pair(pairs[0], plain);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, 0u);
+}
+
+TEST(RunCache, DiskRoundTripIsBitIdentical) {
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / "amps-run-cache-test";
+  std::filesystem::remove_all(dir);
+  setenv("AMPS_CACHE_DIR", dir.c_str(), 1);
+
+  const wl::BenchmarkCatalog catalog;
+  const ExperimentRunner runner(small_scale());
+  const auto pairs = sample_pairs(catalog, 1, 33);
+  const SchedulerFactory factory = runner.round_robin_factory();
+
+  RunCache& cache = RunCache::instance();
+  cache.clear();
+  const auto cold = runner.run_pair(pairs[0], factory);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_FALSE(std::filesystem::is_empty(dir));
+
+  cache.clear();  // drop memory; force the disk path
+  const auto from_disk = runner.run_pair(pairs[0], factory);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.disk_hits, 1u);
+  expect_identical(cold, from_disk);
+
+  unsetenv("AMPS_CACHE_DIR");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RunCache, DisabledByEnv) {
+  setenv("AMPS_RUN_CACHE", "0", 1);
+  EXPECT_FALSE(RunCache::enabled());
+
+  const wl::BenchmarkCatalog catalog;
+  const ExperimentRunner runner(small_scale());
+  const auto pairs = sample_pairs(catalog, 1, 5);
+  RunCache& cache = RunCache::instance();
+  cache.clear();
+  (void)runner.run_pair(pairs[0], runner.static_factory());
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, 0u);
+
+  unsetenv("AMPS_RUN_CACHE");
+  EXPECT_TRUE(RunCache::enabled());
+}
+
+TEST(RunCache, CachedSoloMatchesDirectRun) {
+  const wl::BenchmarkCatalog catalog;
+  const wl::BenchmarkSpec& spec = catalog.all()[0];
+  const sim::CoreConfig core = sim::int_core_config();
+
+  RunCache::instance().clear();
+  const auto direct = sim::run_solo(core, spec, 20'000, 4'000);
+  const auto cold = cached_solo(core, spec, 20'000, 4'000);
+  const auto warm = cached_solo(core, spec, 20'000, 4'000);
+  EXPECT_GE(RunCache::instance().stats().hits, 1u);
+
+  for (const auto* r : {&cold, &warm}) {
+    EXPECT_EQ(r->committed, direct.committed);
+    EXPECT_EQ(r->cycles, direct.cycles);
+    EXPECT_EQ(r->l2_misses, direct.l2_misses);
+    expect_same_bits(r->energy, direct.energy, "solo energy");
+    ASSERT_EQ(r->samples.size(), direct.samples.size());
+    for (std::size_t i = 0; i < direct.samples.size(); ++i) {
+      expect_same_bits(r->samples[i].ipc_per_watt,
+                       direct.samples[i].ipc_per_watt, "sample ipw");
+      EXPECT_EQ(r->samples[i].committed, direct.samples[i].committed);
+    }
+  }
+}
+
+TEST(RunCache, BuildModelsMemoizesProfilingSamples) {
+  const wl::BenchmarkCatalog catalog;
+  const ExperimentRunner runner(small_scale());
+
+  RunCache& cache = RunCache::instance();
+  cache.clear();
+  const auto first = runner.build_models(catalog);
+  const auto cold = cache.stats();
+  EXPECT_EQ(cold.misses, 1u);
+
+  const auto second = runner.build_models(catalog);
+  const auto warm = cache.stats();
+  EXPECT_EQ(warm.misses, 1u);
+  EXPECT_EQ(warm.hits, 1u);
+
+  ASSERT_EQ(first.samples.size(), second.samples.size());
+  for (std::size_t i = 0; i < first.samples.size(); ++i)
+    expect_same_bits(first.samples[i].ratio, second.samples[i].ratio,
+                     "profile ratio");
+  // Refit from identical samples -> identical surfaces.
+  for (double x : {10.0, 50.0, 90.0})
+    expect_same_bits(first.regression->predict_ratio(x, 100.0 - x),
+                     second.regression->predict_ratio(x, 100.0 - x),
+                     "regression prediction");
+}
+
+}  // namespace
+}  // namespace amps::harness

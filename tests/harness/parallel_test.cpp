@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "harness/experiment.hpp"
+#include "harness/run_cache.hpp"
 
 namespace amps::harness {
 namespace {
@@ -58,6 +59,46 @@ TEST(ParallelFor, PropagatesExceptions) {
                std::runtime_error);
 }
 
+TEST(WorkerPool, CancelsRemainingWorkAfterFirstException) {
+  WorkerPool pool(3);
+  constexpr std::size_t kCount = 100'000;
+  std::atomic<bool> thrown{false};
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(pool.run(kCount,
+                        [&](std::size_t) {
+                          if (!thrown.exchange(true))
+                            throw std::runtime_error("first");
+                          ++executed;
+                        }),
+               std::runtime_error);
+  // The first exception sets the cancel flag; in-flight chunks stop before
+  // their next index, queued chunks are abandoned. A handful of indices may
+  // race with the flag, but nowhere near the full count.
+  EXPECT_LT(executed.load(), kCount / 2);
+}
+
+TEST(WorkerPool, SurvivesCancelledJobAndRunsAgain) {
+  WorkerPool pool(2);
+  EXPECT_THROW(
+      pool.run(64, [](std::size_t) { throw std::runtime_error("all fail"); }),
+      std::runtime_error);
+
+  std::vector<std::atomic<int>> hits(512);
+  pool.run(512, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(WorkerPool, NestedRunExecutesInline) {
+  WorkerPool pool(2);
+  std::atomic<int> inner_calls{0};
+  pool.run(8, [&](std::size_t) {
+    // Nested submissions must not deadlock on the pool: they run inline on
+    // the participant thread.
+    pool.run(4, [&](std::size_t) { ++inner_calls; });
+  });
+  EXPECT_EQ(inner_calls.load(), 8 * 4);
+}
+
 TEST(ParallelMap, OrderStable) {
   std::vector<int> items(100);
   std::iota(items.begin(), items.end(), 0);
@@ -85,10 +126,14 @@ TEST(ParallelComparison, MatchesSerialResults) {
   const ExperimentRunner runner(scale);
   const auto pairs = sample_pairs(catalog, 4, 99);
 
+  // Clear the RunCache around each invocation so both actually simulate —
+  // otherwise the second run would just replay memoized results.
   setenv("AMPS_THREADS", "2", 1);
+  RunCache::instance().clear();
   const auto a = compare_schedulers(runner, pairs, runner.proposed_factory(),
                                     runner.round_robin_factory());
   setenv("AMPS_THREADS", "1", 1);
+  RunCache::instance().clear();
   const auto b = compare_schedulers(runner, pairs, runner.proposed_factory(),
                                     runner.round_robin_factory());
   unsetenv("AMPS_THREADS");
