@@ -53,11 +53,14 @@ void BM_BranchPredictor(benchmark::State& state) {
 BENCHMARK(BM_BranchPredictor);
 
 void BM_SoloCoreCycles(benchmark::State& state) {
-  // Whole-core simulation speed in simulated cycles/second. The benchmark
-  // name argument selects the workload flavor.
+  // Whole-core simulation speed in simulated cycles/second. The first
+  // argument selects the workload flavor; the second picks the core
+  // engine (0 = reference per-cycle model, 1 = fast decoded-ring/SoA).
   const char* names[] = {"bitcount", "equake", "mcf"};
   const auto& spec = catalog().by_name(names[state.range(0)]);
-  sim::Core core(sim::int_core_config());
+  sim::CoreConfig cfg = sim::int_core_config();
+  cfg.fast_engine = state.range(1) != 0;
+  sim::Core core(cfg);
   sim::ThreadContext thread(0, spec);
   core.attach(&thread);
   Cycles now = 0;
@@ -70,11 +73,20 @@ void BM_SoloCoreCycles(benchmark::State& state) {
   state.counters["sim_ipc"] =
       static_cast<double>(thread.committed_total()) / static_cast<double>(now);
 }
-BENCHMARK(BM_SoloCoreCycles)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_SoloCoreCycles)
+    ->ArgNames({"bench", "fast"})
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1});
 
 void BM_DualCoreStep(benchmark::State& state) {
-  sim::DualCoreSystem system(sim::int_core_config(), sim::fp_core_config(),
-                             100);
+  sim::CoreConfig big = sim::int_core_config();
+  sim::CoreConfig little = sim::fp_core_config();
+  big.fast_engine = little.fast_engine = state.range(0) != 0;
+  sim::DualCoreSystem system(big, little, 100);
   sim::ThreadContext t0(0, catalog().by_name("gzip"));
   sim::ThreadContext t1(1, catalog().by_name("swim"));
   system.attach_threads(&t0, &t1);
@@ -83,7 +95,7 @@ void BM_DualCoreStep(benchmark::State& state) {
   state.counters["committed"] = static_cast<double>(
       t0.committed_total() + t1.committed_total());
 }
-BENCHMARK(BM_DualCoreStep);
+BENCHMARK(BM_DualCoreStep)->ArgNames({"fast"})->Arg(0)->Arg(1);
 
 void BM_SwapCost(benchmark::State& state) {
   // Wall cost of the swap machinery itself (flush + replay bookkeeping).

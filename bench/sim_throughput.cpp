@@ -1,14 +1,20 @@
-// Simulation-throughput microbench for the fast path, in two parts:
+// Simulation-throughput microbench for the fast path, in three parts:
 //
-//  1. Stepping throughput — one pair run under the proposed scheduler with
+//  1. Cold-run core model — the same pair runs simulated with the reference
+//     per-cycle engine vs. the fast engine (pre-decoded rings + SoA
+//     pipeline state, AMPS_FAST_CORE); reports cold simulated cycles/sec
+//     for both plus the speedup. This is the number that matters for a
+//     first (uncached) run of any experiment.
+//  2. Stepping throughput — one pair run under the proposed scheduler with
 //     per-cycle ticking vs. batched stepping; reports simulated cycles/sec
 //     and committed instructions/sec for both, plus the speedup.
-//  2. End-to-end — a Fig. 7-style comparison (HPE model fit + proposed vs.
+//  3. End-to-end — a Fig. 7-style comparison (HPE model fit + proposed vs.
 //     HPE over all pairs) timed cold (empty RunCache) and warm (memoized);
 //     the warm/cold ratio is what a bench rerun actually experiences.
 //
 // Results go to stdout and to BENCH_throughput.json in the working
-// directory (machine-readable, for tracking perf across changes).
+// directory (machine-readable, for tracking perf across changes;
+// scripts/check_perf.sh gates on cold_fast_step_rate).
 //
 // Knobs: AMPS_SCALE, AMPS_PAIRS, AMPS_SEED, AMPS_THREADS, AMPS_CACHE_DIR.
 #include <chrono>
@@ -18,6 +24,7 @@
 #include "bench_common.hpp"
 #include "harness/parallel.hpp"
 #include "harness/run_cache.hpp"
+#include "sim/core_config.hpp"
 
 namespace {
 
@@ -44,10 +51,7 @@ int main() {
   const wl::BenchmarkCatalog catalog;
   const auto pairs = harness::sample_pairs(catalog, ctx.pairs, ctx.seed);
 
-  // --- part 1: stepping throughput, per-cycle vs batched -----------------
-  auto measure = [&](bool batched) {
-    harness::ExperimentRunner runner(ctx.scale);
-    runner.set_batched_stepping(batched);
+  auto time_runner = [&](harness::ExperimentRunner& runner) {
     SteppingResult r;
     std::uint64_t cycles = 0;
     std::uint64_t commits = 0;
@@ -65,10 +69,47 @@ int main() {
     return r;
   };
 
+  // --- part 1: cold-run core model, reference vs fast engine -------------
+  auto measure_engine = [&](bool fast) {
+    sim::CoreConfig big = sim::int_core_config();
+    sim::CoreConfig little = sim::fp_core_config();
+    big.fast_engine = fast;
+    little.fast_engine = fast;
+    harness::ExperimentRunner runner(ctx.scale, big, little);
+    return time_runner(runner);
+  };
+
+  std::cout << "[cold core-model runs, " << pairs.size()
+            << " pair(s), reference vs fast engine...]\n";
+  const SteppingResult cold_ref = measure_engine(/*fast=*/false);
+  const SteppingResult cold_fast = measure_engine(/*fast=*/true);
+  const double engine_speedup = cold_ref.seconds / cold_fast.seconds;
+
+  Table engine({"core engine (cold)", "wall s", "sim cycles/s", "commits/s"});
+  engine.row()
+      .cell("reference")
+      .cell(cold_ref.seconds, 3)
+      .cell(cold_ref.cycles_per_sec, 0)
+      .cell(cold_ref.commits_per_sec, 0);
+  engine.row()
+      .cell("fast (AMPS_FAST_CORE)")
+      .cell(cold_fast.seconds, 3)
+      .cell(cold_fast.cycles_per_sec, 0)
+      .cell(cold_fast.commits_per_sec, 0);
+  bench::emit("throughput_engine", engine);
+  std::cout << "fast-engine cold-run speedup: " << engine_speedup << "x\n\n";
+
+  // --- part 2: stepping throughput, per-cycle vs batched -----------------
+  auto measure = [&](bool stepping) {
+    harness::ExperimentRunner runner(ctx.scale);
+    runner.set_batched_stepping(stepping);
+    return time_runner(runner);
+  };
+
   std::cout << "[stepping " << pairs.size()
             << " pair run(s) under the proposed scheduler...]\n";
-  const SteppingResult per_cycle = measure(/*batched=*/false);
-  const SteppingResult batched = measure(/*batched=*/true);
+  const SteppingResult per_cycle = measure(/*stepping=*/false);
+  const SteppingResult batched = measure(/*stepping=*/true);
   const double step_speedup = per_cycle.seconds / batched.seconds;
 
   Table stepping({"stepping mode", "wall s", "sim cycles/s", "commits/s"});
@@ -85,7 +126,7 @@ int main() {
   bench::emit("throughput_stepping", stepping);
   std::cout << "batched-stepping speedup: " << step_speedup << "x\n\n";
 
-  // --- part 2: end-to-end Fig. 7-style, cold vs warm cache ---------------
+  // --- part 3: end-to-end Fig. 7-style, cold vs warm cache ---------------
   auto fig7_style = [&] {
     const harness::ExperimentRunner runner(ctx.scale);
     const auto models = runner.build_models(catalog);
@@ -126,6 +167,15 @@ int main() {
          << "  \"seed\": " << ctx.seed << ",\n"
          << "  \"workers\": " << harness::default_worker_count() << ",\n"
          << "  \"run_length\": " << ctx.scale.run_length << ",\n"
+         << "  \"cold_ref_seconds\": " << cold_ref.seconds << ",\n"
+         << "  \"cold_ref_step_rate\": " << cold_ref.cycles_per_sec << ",\n"
+         << "  \"cold_ref_commit_rate\": " << cold_ref.commits_per_sec
+         << ",\n"
+         << "  \"cold_fast_seconds\": " << cold_fast.seconds << ",\n"
+         << "  \"cold_fast_step_rate\": " << cold_fast.cycles_per_sec << ",\n"
+         << "  \"cold_fast_commit_rate\": " << cold_fast.commits_per_sec
+         << ",\n"
+         << "  \"fast_engine_speedup\": " << engine_speedup << ",\n"
          << "  \"per_cycle_seconds\": " << per_cycle.seconds << ",\n"
          << "  \"per_cycle_step_rate\": " << per_cycle.cycles_per_sec << ",\n"
          << "  \"per_cycle_commit_rate\": " << per_cycle.commits_per_sec

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Perf regression gate for the cold-run core model.
+#
+# Runs the sim_throughput bench (CI scale unless the caller overrides the
+# AMPS_* knobs) and compares the cold fast-engine stepping rate
+# (cold_fast_step_rate in BENCH_throughput.json) against a stored baseline:
+#
+#   - no baseline yet  -> record one and pass (first run on a new machine)
+#   - rate >= 80% base -> pass, and ratchet the baseline up on improvement
+#   - rate <  80% base -> fail (a >20% cold-run regression)
+#
+# Usage: check_perf.sh <sim_throughput-binary> [baseline.json]
+# The baseline default lives next to the bench output (working directory),
+# so it is per-build-tree and never committed.
+set -euo pipefail
+
+BENCH_BIN="${1:?usage: check_perf.sh <sim_throughput-binary> [baseline.json]}"
+BASELINE="${2:-perf_baseline.json}"
+THRESHOLD="${AMPS_PERF_THRESHOLD:-0.80}"
+
+json_field() { # json_field <file> <key>
+  sed -n "s/.*\"$2\": *\([0-9.eE+-]*\).*/\1/p" "$1" | head -n 1
+}
+
+"$BENCH_BIN"
+
+RESULT=BENCH_throughput.json
+[ -f "$RESULT" ] || { echo "check_perf: $RESULT was not produced" >&2; exit 1; }
+
+rate=$(json_field "$RESULT" cold_fast_step_rate)
+speedup=$(json_field "$RESULT" fast_engine_speedup)
+[ -n "$rate" ] || { echo "check_perf: no cold_fast_step_rate in $RESULT" >&2; exit 1; }
+echo "check_perf: cold fast-engine rate ${rate} cycles/s (speedup ${speedup}x vs reference)"
+
+if [ ! -f "$BASELINE" ]; then
+  printf '{\n  "cold_fast_step_rate": %s\n}\n' "$rate" > "$BASELINE"
+  echo "check_perf: no baseline found; recorded $BASELINE"
+  exit 0
+fi
+
+base=$(json_field "$BASELINE" cold_fast_step_rate)
+[ -n "$base" ] || { echo "check_perf: malformed baseline $BASELINE" >&2; exit 1; }
+
+verdict=$(awk -v r="$rate" -v b="$base" -v t="$THRESHOLD" 'BEGIN {
+  if (r >= b * t) print "ok"; else print "regressed";
+  printf " (%.1f%% of baseline %g)\n", 100 * r / b, b > "/dev/stderr"
+}')
+
+if [ "$verdict" = "regressed" ]; then
+  echo "check_perf: FAIL — cold rate $rate fell below ${THRESHOLD}x of baseline $base" >&2
+  exit 1
+fi
+
+echo "check_perf: PASS — cold rate $rate vs baseline $base"
+# Ratchet: keep the best rate seen so future regressions are judged
+# against the machine's demonstrated capability.
+awk -v r="$rate" -v b="$base" 'BEGIN { exit !(r > b) }' && \
+  printf '{\n  "cold_fast_step_rate": %s\n}\n' "$rate" > "$BASELINE" && \
+  echo "check_perf: baseline ratcheted to $rate" || true

@@ -63,12 +63,6 @@ InstrMix InstrMix::from_aggregate(double int_frac, double fp_frac,
   return m;
 }
 
-InstrCount InstrCounts::total() const noexcept {
-  InstrCount acc = 0;
-  for (InstrCount v : c_) acc += v;
-  return acc;
-}
-
 InstrCount InstrCounts::int_count() const noexcept {
   return count(InstrClass::IntAlu) + count(InstrClass::IntMul) +
          count(InstrClass::IntDiv);
@@ -110,6 +104,7 @@ InstrMix InstrCounts::to_mix() const noexcept {
 
 InstrCounts& InstrCounts::operator+=(const InstrCounts& rhs) noexcept {
   for (std::size_t i = 0; i < kNumInstrClasses; ++i) c_[i] += rhs.c_[i];
+  total_ += rhs.total_;
   return *this;
 }
 
@@ -117,6 +112,7 @@ InstrCounts InstrCounts::since(const InstrCounts& earlier) const noexcept {
   InstrCounts out;
   for (std::size_t i = 0; i < kNumInstrClasses; ++i)
     out.c_[i] = c_[i] - earlier.c_[i];
+  out.total_ = total_ - earlier.total_;
   return out;
 }
 

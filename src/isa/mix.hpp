@@ -61,11 +61,12 @@ class InstrCounts {
 
   void add(InstrClass cls, InstrCount n = 1) noexcept {
     c_[static_cast<std::size_t>(cls)] += n;
+    total_ += n;
   }
   [[nodiscard]] InstrCount count(InstrClass cls) const noexcept {
     return c_[static_cast<std::size_t>(cls)];
   }
-  [[nodiscard]] InstrCount total() const noexcept;
+  [[nodiscard]] InstrCount total() const noexcept { return total_; }
   [[nodiscard]] InstrCount int_count() const noexcept;
   [[nodiscard]] InstrCount fp_count() const noexcept;
   [[nodiscard]] InstrCount mem_count() const noexcept;
@@ -79,7 +80,10 @@ class InstrCounts {
   /// Empirical mix (fractions); all-zero when no instructions counted.
   [[nodiscard]] InstrMix to_mix() const noexcept;
 
-  void reset() noexcept { c_.fill(0); }
+  void reset() noexcept {
+    c_.fill(0);
+    total_ = 0;
+  }
 
   InstrCounts& operator+=(const InstrCounts& rhs) noexcept;
   /// Element-wise difference (this - rhs); callers guarantee monotonicity.
@@ -87,6 +91,7 @@ class InstrCounts {
 
  private:
   std::array<InstrCount, kNumInstrClasses> c_{};
+  InstrCount total_ = 0;  ///< running sum, so total() is O(1) on hot paths
 };
 
 }  // namespace amps::isa

@@ -17,56 +17,67 @@ const char* to_string(Component c) noexcept {
   return "?";
 }
 
-void PowerAccountant::on_fetch(unsigned n) noexcept {
-  add(Component::Frontend, model_->fetch_decode_energy() * n);
+namespace {
+double n(std::uint64_t count) noexcept { return static_cast<double>(count); }
+}  // namespace
+
+Energy PowerAccountant::pending(Component c) const noexcept {
+  const EnergyModel& m = *model_;
+  switch (c) {
+    case Component::Frontend:
+      return n(fetches_) * m.fetch_decode_energy() +
+             n(bpred_lookups_) * m.bpred_energy();
+    case Component::Rename:
+      return n(renames_) * m.rename_energy();
+    case Component::Window:
+      return n(dispatches_) * (m.isq_energy() + m.rob_energy()) +
+             n(lsq_inserts_) * m.lsq_energy() + n(commits_) * m.rob_energy();
+    case Component::Regfile: {
+      // Operand reads at issue + result write at commit.
+      std::uint64_t issued = 0;
+      for (std::uint64_t i : issues_) issued += i;
+      return (n(issued) + n(commits_)) * m.regfile_energy();
+    }
+    case Component::Exec: {
+      Energy e = 0.0;
+      for (std::size_t i = 0; i < issues_.size(); ++i)
+        if (issues_[i] != 0)
+          e += n(issues_[i]) * m.exec_energy(static_cast<isa::InstrClass>(i));
+      return e;
+    }
+    case Component::CacheL1:
+      return n(l1_accesses_) * m.l1_energy();
+    case Component::CacheL2:
+      return n(l2_accesses_) * m.l2_energy();
+    case Component::Memory:
+      return n(memory_accesses_) * m.memory_energy();
+    case Component::Leakage:
+      return n(cycles_) * m.leakage_per_cycle();
+  }
+  return 0.0;
 }
 
-void PowerAccountant::on_bpred_lookup() noexcept {
-  add(Component::Frontend, model_->bpred_energy());
-}
-
-void PowerAccountant::on_rename(unsigned n) noexcept {
-  add(Component::Rename, model_->rename_energy() * n);
-}
-
-void PowerAccountant::on_dispatch(unsigned n) noexcept {
-  add(Component::Window, (model_->isq_energy() + model_->rob_energy()) * n);
-}
-
-void PowerAccountant::on_lsq_insert() noexcept {
-  add(Component::Window, model_->lsq_energy());
-}
-
-void PowerAccountant::on_issue(isa::InstrClass cls) noexcept {
-  add(Component::Exec, model_->exec_energy(cls));
-  add(Component::Regfile, model_->regfile_energy());  // operand reads
-}
-
-void PowerAccountant::on_commit(unsigned n) noexcept {
-  add(Component::Window, model_->rob_energy() * n);
-  add(Component::Regfile, model_->regfile_energy() * n);  // result write
-}
-
-void PowerAccountant::on_l1_access() noexcept {
-  add(Component::CacheL1, model_->l1_energy());
-}
-
-void PowerAccountant::on_l2_access() noexcept {
-  add(Component::CacheL2, model_->l2_energy());
-}
-
-void PowerAccountant::on_memory_access() noexcept {
-  add(Component::Memory, model_->memory_energy());
-}
-
-void PowerAccountant::on_cycle() noexcept {
-  add(Component::Leakage, model_->leakage_per_cycle());
+Energy PowerAccountant::component(Component c) const noexcept {
+  return settled_[static_cast<std::size_t>(c)] + pending(c);
 }
 
 Energy PowerAccountant::total() const noexcept {
   Energy acc = 0.0;
-  for (Energy e : by_component_) acc += e;
+  for (std::size_t i = 0; i < kNumComponents; ++i)
+    acc += component(static_cast<Component>(i));
   return acc;
+}
+
+void PowerAccountant::settle() noexcept {
+  for (std::size_t i = 0; i < kNumComponents; ++i)
+    settled_[i] += pending(static_cast<Component>(i));
+  clear_counts();
+}
+
+void PowerAccountant::clear_counts() noexcept {
+  fetches_ = bpred_lookups_ = renames_ = dispatches_ = lsq_inserts_ = 0;
+  issues_.fill(0);
+  commits_ = l1_accesses_ = l2_accesses_ = memory_accesses_ = cycles_ = 0;
 }
 
 }  // namespace amps::power

@@ -1,6 +1,14 @@
 // PowerAccountant: the per-core energy ledger. The core pipeline reports
 // microarchitectural events; the accountant prices them with the core's
 // EnergyModel and keeps a per-component breakdown (Wattch-style report).
+//
+// Hot-path design: event hooks only bump integer counters (one add each, no
+// floating point in the cycle loop). Energy is priced lazily — a query
+// multiplies the cumulative counts by the model's per-event unit energies,
+// so the reported value is a pure function of the event history and is
+// therefore identical no matter when (or how often) it is read. Counts are
+// settled into a frozen base ledger whenever the model changes (core
+// morphing rebinds the hardware under the ledger).
 #pragma once
 
 #include <array>
@@ -32,39 +40,66 @@ class PowerAccountant {
  public:
   explicit PowerAccountant(const EnergyModel& model) : model_(&model) {}
 
-  // --- event hooks called by the core pipeline -------------------------
-  void on_fetch(unsigned n_instrs) noexcept;
-  void on_bpred_lookup() noexcept;
-  void on_rename(unsigned n_instrs) noexcept;
-  void on_dispatch(unsigned n_instrs) noexcept;     // ISQ/ROB writes
-  void on_lsq_insert() noexcept;
-  void on_issue(isa::InstrClass cls) noexcept;      // FU op + regfile reads
-  void on_commit(unsigned n_instrs) noexcept;       // ROB retire + reg write
-  void on_l1_access() noexcept;
-  void on_l2_access() noexcept;
-  void on_memory_access() noexcept;
-  void on_cycle() noexcept;                         // leakage
+  // --- event hooks called by the core pipeline (integer bumps only) ----
+  void on_fetch(unsigned n_instrs) noexcept { fetches_ += n_instrs; }
+  void on_bpred_lookup() noexcept { ++bpred_lookups_; }
+  void on_rename(unsigned n_instrs) noexcept { renames_ += n_instrs; }
+  void on_dispatch(unsigned n_instrs) noexcept { dispatches_ += n_instrs; }
+  void on_lsq_insert() noexcept { ++lsq_inserts_; }
+  void on_issue(isa::InstrClass cls) noexcept {
+    ++issues_[static_cast<std::size_t>(cls)];
+  }
+  void on_commit(unsigned n_instrs) noexcept { commits_ += n_instrs; }
+  void on_l1_access() noexcept { ++l1_accesses_; }
+  void on_l2_access() noexcept { ++l2_accesses_; }
+  void on_memory_access() noexcept { ++memory_accesses_; }
+  void on_cycle() noexcept { ++cycles_; }  // leakage
 
   // --- queries ----------------------------------------------------------
   [[nodiscard]] Energy total() const noexcept;
-  [[nodiscard]] Energy component(Component c) const noexcept {
-    return by_component_[static_cast<std::size_t>(c)];
-  }
+  [[nodiscard]] Energy component(Component c) const noexcept;
   [[nodiscard]] const EnergyModel& model() const noexcept { return *model_; }
 
   /// Points future events at a new energy model (core morphing changes the
-  /// hardware under the ledger); accumulated energy is preserved.
-  void rebind_model(const EnergyModel& model) noexcept { model_ = &model; }
-
-  void reset() noexcept { by_component_.fill(0.0); }
-
- private:
-  void add(Component c, double e) noexcept {
-    by_component_[static_cast<std::size_t>(c)] += e;
+  /// hardware under the ledger); accumulated energy is preserved by pricing
+  /// and freezing the counts gathered under the old model first. Callers
+  /// that mutate the bound model object *in place* must settle() while the
+  /// old values are still live, before rebinding.
+  void rebind_model(const EnergyModel& model) noexcept {
+    settle();
+    model_ = &model;
   }
 
+  /// Prices the pending event counts with the current model, folds them
+  /// into the frozen per-component ledger and zeroes the counts.
+  void settle() noexcept;
+
+  void reset() noexcept {
+    settled_.fill(0.0);
+    clear_counts();
+  }
+
+ private:
+  /// Energy of the *pending* (unsettled) events for one component.
+  [[nodiscard]] Energy pending(Component c) const noexcept;
+  void clear_counts() noexcept;
+
   const EnergyModel* model_;
-  std::array<Energy, kNumComponents> by_component_{};
+  /// Energy accrued under previously bound models (priced at settle time).
+  std::array<Energy, kNumComponents> settled_{};
+
+  // Event counts since the last settle, priced by the current model.
+  std::uint64_t fetches_ = 0;
+  std::uint64_t bpred_lookups_ = 0;
+  std::uint64_t renames_ = 0;
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t lsq_inserts_ = 0;
+  std::array<std::uint64_t, isa::kNumInstrClasses> issues_{};
+  std::uint64_t commits_ = 0;
+  std::uint64_t l1_accesses_ = 0;
+  std::uint64_t l2_accesses_ = 0;
+  std::uint64_t memory_accesses_ = 0;
+  std::uint64_t cycles_ = 0;
 };
 
 }  // namespace amps::power

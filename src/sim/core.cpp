@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <stdexcept>
 
 namespace amps::sim {
 
 namespace {
 constexpr std::uint64_t kLineShift = 6;  // 64-byte fetch lines
+/// Ops the fast engine pre-decodes per stream refill. Any value yields the
+/// same consumed sequence; this just amortizes the source virtual call.
+constexpr std::size_t kFastDecodeBatch = 256;
 
 /// All core-internal latencies are configured in *core* cycles; the
 /// simulator's timebase is the global (reference) clock, so a down-clocked
@@ -56,18 +60,31 @@ Core::Core(const CoreConfig& cfg, bool, uarch::SharedL2* shared_l2)
   fp_isq_.reserve(cfg.fp_isq_entries);
   lq_.reserve(cfg.lq_entries);
   sq_.reserve(cfg.sq_entries);
+  f_op_.assign(cfg.rob_entries, isa::MicroOp{});
+  f_complete_.assign(cfg.rob_entries, 0);
+  f_issued_.assign(cfg.rob_entries, 0);
+  f_ready_at_.assign(cfg.rob_entries, 0);
+  f_wait_count_.assign(cfg.rob_entries, 0);
+  f_waiters_.resize(cfg.rob_entries);
+  f_int_q_.ready.reserve(cfg.int_isq_entries);
+  f_fp_q_.ready.reserve(cfg.fp_isq_entries);
+  f_lq_q_.ready.reserve(cfg.lq_entries);
+  f_sq_q_.ready.reserve(cfg.sq_entries);
 }
 
 void Core::attach(ThreadContext* thread) {
   assert(thread_ == nullptr && "attach: core already has a thread");
   assert(rob_count_ == 0 && "attach: pipeline not empty");
   thread_ = thread;
+  thread_->set_decode_batch(cfg_.fast_engine ? kFastDecodeBatch : 1);
   attach_energy_ = power_.total();
   attach_l2_misses_ = caches_.l2_demand_misses();
   head_seq_ = thread->next_seq();
   last_fetch_line_ = ~0ULL;
   fetch_resume_at_ = 0;
   redirect_pending_ = false;
+  quiet_until_ = 0;
+  quiet_stall_ = nullptr;
 }
 
 ThreadContext* Core::detach() {
@@ -75,8 +92,10 @@ ThreadContext* Core::detach() {
 
   // Squash in-flight ops oldest-first and hand them back for replay.
   std::deque<isa::MicroOp> squashed;
-  for (std::size_t i = 0; i < rob_count_; ++i)
-    squashed.push_back(rob_[(rob_head_ + i) % rob_.size()].op);
+  for (std::size_t i = 0; i < rob_count_; ++i) {
+    const std::size_t idx = (rob_head_ + i) % cfg_.rob_entries;
+    squashed.push_back(cfg_.fast_engine ? f_op_[idx] : rob_[idx].op);
+  }
   thread_->unfetch(std::move(squashed));
 
   rob_head_ = 0;
@@ -85,6 +104,11 @@ ThreadContext* Core::detach() {
   fp_isq_.clear();
   lq_.clear();
   sq_.clear();
+  for (FastQueue* q : {&f_int_q_, &f_fp_q_, &f_lq_q_, &f_sq_q_}) {
+    q->ready.clear();
+    q->timed.clear();
+  }
+  for (auto& w : f_waiters_) w.clear();
   int_regs_.clear();
   fp_regs_.clear();
   int_isq_slots_.clear();
@@ -95,6 +119,8 @@ ThreadContext* Core::detach() {
   branch_port_free_ = 0;
   redirect_pending_ = false;
   fetch_resume_at_ = 0;
+  quiet_until_ = 0;
+  quiet_stall_ = nullptr;
 
   thread_->add_energy(energy_since_attach());
   thread_->add_l2_misses(l2_misses_since_attach());
@@ -116,14 +142,29 @@ void Core::reconfigure(const CoreConfig& cfg) {
 
   cfg_ = stretch_to_global_clock(cfg);
   exec_ = uarch::ExecUnits(cfg_.exec);
+  // Price pending events while the outgoing model's values are still live —
+  // energy_model_ is rebuilt in place below.
+  power_.settle();
   energy_model_ = power::EnergyModel(
       cfg_.structure_sizes(),
       cfg_.energy_params.scaled_for_dvfs(cfg_.clock_divider));
   power_.rebind_model(energy_model_);
 
   rob_.assign(cfg.rob_entries, RobEntry{});
+  f_op_.assign(cfg.rob_entries, isa::MicroOp{});
+  f_complete_.assign(cfg.rob_entries, 0);
+  f_issued_.assign(cfg.rob_entries, 0);
   rob_head_ = 0;
   rob_count_ = 0;
+  quiet_until_ = 0;
+  quiet_stall_ = nullptr;
+  f_ready_at_.assign(cfg.rob_entries, 0);
+  f_wait_count_.assign(cfg.rob_entries, 0);
+  f_waiters_.assign(cfg.rob_entries, {});
+  for (FastQueue* q : {&f_int_q_, &f_fp_q_, &f_lq_q_, &f_sq_q_}) {
+    q->ready.clear();
+    q->timed.clear();
+  }
   int_regs_.reset_capacity(cfg.int_rename_regs);
   fp_regs_.reset_capacity(cfg.fp_rename_regs);
   int_isq_slots_.reset_capacity(cfg.int_isq_entries);
@@ -170,9 +211,23 @@ void Core::tick(Cycles now) {
   int_isq_slots_.tick();
   fp_isq_slots_.tick();
 
-  commit_stage(now);
-  issue_stage(now);
-  fetch_stage(now);
+  if (cfg_.fast_engine) {
+    if (now < quiet_until_) {
+      // Provably-idle window (see maybe_quiesce): replay the one stall
+      // counter the reference stage walk would bump and return.
+      if (quiet_stall_ != nullptr) ++(stalls_.*quiet_stall_);
+      return;
+    }
+    f_action_ = false;
+    commit_stage_fast(now);
+    issue_stage_fast(now);
+    fetch_stage_fast(now);
+    maybe_quiesce(now);
+  } else {
+    commit_stage(now);
+    issue_stage(now);
+    fetch_stage(now);
+  }
 }
 
 void Core::commit_stage(Cycles now) {
@@ -417,6 +472,407 @@ void Core::fetch_stage(Cycles now) {
       break;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fast engine. Same architected behavior as the reference stages above —
+// every shared-structure side effect (cache lookups, predictor training,
+// functional-unit grants, power counts, pool occupancy) happens in the same
+// order with the same arguments; only the bookkeeping around them changed.
+// The equivalence test (tests/sim/fast_engine_test.cpp) holds both engines
+// to bit-identical run results.
+// ---------------------------------------------------------------------------
+
+Core::FastQueue& Core::queue_of(isa::InstrClass cls) noexcept {
+  if (cls == isa::InstrClass::Load) return f_lq_q_;
+  if (cls == isa::InstrClass::Store) return f_sq_q_;
+  return isa::is_fp(cls) ? f_fp_q_ : f_int_q_;
+}
+
+void Core::wake_waiters(std::size_t pidx, Cycles done) {
+  auto& ws = f_waiters_[pidx];
+  for (const std::uint32_t c : ws) {
+    f_ready_at_[c] = std::max(f_ready_at_[c], done);
+    if (--f_wait_count_[c] == 0) {
+      FastQueue& q = queue_of(f_op_[c].cls);
+      q.timed.emplace_back(f_ready_at_[c], c);
+      std::push_heap(q.timed.begin(), q.timed.end(),
+                     std::greater<std::pair<Cycles, std::uint32_t>>{});
+    }
+  }
+  ws.clear();
+}
+
+void Core::drain_timed(FastQueue& q, Cycles now) {
+  while (!q.timed.empty() && q.timed.front().first <= now) {
+    std::pop_heap(q.timed.begin(), q.timed.end(),
+                  std::greater<std::pair<Cycles, std::uint32_t>>{});
+    const std::uint32_t idx = q.timed.back().second;
+    q.timed.pop_back();
+    insert_by_age(q.ready, idx);
+  }
+}
+
+void Core::insert_by_age(std::vector<std::uint32_t>& ready,
+                         std::uint32_t idx) {
+  // Ring distance from the current head orders any two in-flight slots by
+  // age; ready lists only ever hold in-flight slots, so the order is
+  // stable as the head advances.
+  const auto age = [this](std::uint32_t i) {
+    const std::size_t d = i >= rob_head_
+                              ? i - rob_head_
+                              : i + cfg_.rob_entries - rob_head_;
+    return d;
+  };
+  const std::size_t a = age(idx);
+  auto it = ready.end();
+  while (it != ready.begin() && age(*(it - 1)) > a) --it;
+  ready.insert(it, idx);
+}
+
+void Core::commit_stage_fast(Cycles now) {
+  std::size_t head = rob_head_;
+  const std::size_t entries = cfg_.rob_entries;
+  unsigned retired = 0;
+  const unsigned width =
+      rob_count_ < cfg_.commit_width ? static_cast<unsigned>(rob_count_)
+                                     : cfg_.commit_width;
+  while (retired < width) {
+    const std::size_t idx = head;
+    if (!f_issued_[idx] || f_complete_[idx] > now) break;
+
+    const isa::InstrClass cls = f_op_[idx].cls;
+    thread_->committed().add(cls);
+
+    if (isa::is_int(cls) || cls == isa::InstrClass::Load)
+      int_regs_.release();
+    else if (isa::is_fp(cls))
+      fp_regs_.release();
+
+    if (cls == isa::InstrClass::Load) {
+      lq_slots_.release();
+    } else if (cls == isa::InstrClass::Store) {
+      const auto acc = caches_.data_access(f_op_[idx].mem_addr, true, now);
+      charge_mem(acc.level);
+      sq_slots_.release();
+    }
+
+    head = head + 1 == entries ? 0 : head + 1;
+    ++retired;
+  }
+  if (retired != 0) {
+    rob_head_ = head;
+    rob_count_ -= retired;
+    head_seq_ += retired;
+    committed_ops_ += retired;
+    power_.on_commit(retired);
+    f_action_ = true;
+  }
+}
+
+void Core::issue_stage_fast(Cycles now) {
+  unsigned budget = cfg_.issue_width;
+
+  // Move every op whose wake time has arrived into the age-ordered ready
+  // list, then select oldest-first exactly like the reference scan would:
+  // a structural hazard keeps the op (out-of-order select passes it over),
+  // an exhausted budget keeps the rest untouched.
+  const auto drain = [&](FastQueue& q, bool has_branches,
+                         uarch::ResourcePool& slots) {
+    if (budget == 0) return;  // nothing can issue; ready ops simply wait
+    drain_timed(q, now);
+    std::size_t out = 0;
+    const std::size_t n = q.ready.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t idx = q.ready[i];
+      if (budget == 0) {
+        if (out != i) q.ready[out] = idx;
+        ++out;
+        continue;
+      }
+      f_action_ = true;  // a ready op issues or contends for a unit
+      const isa::InstrClass cls = f_op_[idx].cls;
+      Cycles done = 0;
+      if (has_branches && cls == isa::InstrClass::Branch) {
+        if (branch_port_free_ <= now) {
+          branch_port_free_ = now + 1;
+          done = now + 1;
+        }
+      } else {
+        done = exec_.try_issue(cls, now);
+      }
+      if (done == 0) {  // structural hazard; out-of-order select skips it
+        if (out != i) q.ready[out] = idx;
+        ++out;
+        continue;
+      }
+      f_issued_[idx] = 1;
+      f_complete_[idx] = done;
+      power_.on_issue(cls);
+      slots.release();
+      --budget;
+      wake_waiters(idx, done);
+    }
+    q.ready.resize(out);
+  };
+  // A queue with nothing ready and nothing due keeps out of the tick
+  // entirely (common for the FP queue on integer code and vice versa).
+  const auto live = [now](const FastQueue& q) {
+    return !q.ready.empty() ||
+           (!q.timed.empty() && q.timed.front().first <= now);
+  };
+  if (live(f_int_q_)) drain(f_int_q_, /*has_branches=*/true, int_isq_slots_);
+  if (live(f_fp_q_)) drain(f_fp_q_, /*has_branches=*/false, fp_isq_slots_);
+
+  // One load per cycle through the load port (oldest ready), then one
+  // store (address generation only).
+  if (budget > 0 && live(f_lq_q_)) {
+    drain_timed(f_lq_q_, now);
+    if (!f_lq_q_.ready.empty()) {
+      const std::uint32_t idx = f_lq_q_.ready.front();
+      f_action_ = true;
+      const auto acc = caches_.data_access(f_op_[idx].mem_addr, false, now);
+      charge_mem(acc.level);
+      f_issued_[idx] = 1;
+      const Cycles done = now + 1 + acc.latency;
+      f_complete_[idx] = done;
+      power_.on_issue(isa::InstrClass::Load);
+      f_lq_q_.ready.erase(f_lq_q_.ready.begin());
+      --budget;
+      wake_waiters(idx, done);
+    }
+  }
+  if (budget > 0 && live(f_sq_q_)) {
+    drain_timed(f_sq_q_, now);
+    if (!f_sq_q_.ready.empty()) {
+      const std::uint32_t idx = f_sq_q_.ready.front();
+      f_action_ = true;
+      f_issued_[idx] = 1;
+      f_complete_[idx] = now + 1;
+      power_.on_issue(isa::InstrClass::Store);
+      f_sq_q_.ready.erase(f_sq_q_.ready.begin());
+      wake_waiters(idx, now + 1);
+    }
+  }
+}
+
+void Core::fetch_stage_fast(Cycles now) {
+  if (redirect_pending_) {
+    if (redirect_seq_ < head_seq_) {
+      redirect_pending_ = false;
+      f_action_ = true;
+    } else if (f_issued_[redirect_idx_] && f_complete_[redirect_idx_] <= now) {
+      fetch_resume_at_ = std::max(fetch_resume_at_,
+                                  f_complete_[redirect_idx_] +
+                                      cfg_.mispredict_penalty);
+      redirect_pending_ = false;
+      f_action_ = true;
+    } else {
+      ++stalls_.redirect;
+      return;
+    }
+  }
+  if (now < fetch_resume_at_) {
+    ++stalls_.redirect;
+    return;
+  }
+
+  for (unsigned i = 0; i < cfg_.fetch_width; ++i) {
+    if (rob_count_ == cfg_.rob_entries) {
+      ++stalls_.rob_full;
+      break;
+    }
+    const isa::MicroOp& op = thread_->peek();
+
+    const std::uint64_t line = op.pc >> kLineShift;
+    if (line != last_fetch_line_) {
+      f_action_ = true;  // icache lookup: cache state + power change
+      const auto acc = caches_.fetch(op.pc, now);
+      charge_mem(acc.level);
+      last_fetch_line_ = line;
+      if (acc.level != uarch::MemLevel::L1) {
+        fetch_resume_at_ = now + acc.latency;
+        ++stalls_.icache;
+        break;
+      }
+    }
+
+    const isa::InstrClass cls = op.cls;
+    const bool needs_int_reg = isa::is_int(cls) || cls == isa::InstrClass::Load;
+    const bool needs_fp_reg = isa::is_fp(cls);
+    if (needs_int_reg && int_regs_.available() == 0) {
+      ++stalls_.int_reg;
+      break;
+    }
+    if (needs_fp_reg && fp_regs_.available() == 0) {
+      ++stalls_.fp_reg;
+      break;
+    }
+    if ((isa::is_int(cls) || cls == isa::InstrClass::Branch) &&
+        int_isq_slots_.available() == 0) {
+      ++stalls_.int_isq_full;
+      break;
+    }
+    if (isa::is_fp(cls) && fp_isq_slots_.available() == 0) {
+      ++stalls_.fp_isq_full;
+      break;
+    }
+    if (cls == isa::InstrClass::Load && lq_slots_.available() == 0) {
+      ++stalls_.lsq_full;
+      break;
+    }
+    if (cls == isa::InstrClass::Store && sq_slots_.available() == 0) {
+      ++stalls_.lsq_full;
+      break;
+    }
+
+    // Dispatch into the SoA ROB ring.
+    f_action_ = true;
+    std::size_t idx = rob_head_ + rob_count_;
+    if (idx >= cfg_.rob_entries) idx -= cfg_.rob_entries;
+    const std::uint64_t seq = thread_->next_seq();
+    f_op_[idx] = op;
+    f_complete_[idx] = 0;
+    f_issued_[idx] = 0;
+    ++rob_count_;
+    thread_->advance_seq();
+    thread_->pop();
+
+    power_.on_fetch(1);
+    power_.on_rename(1);
+    power_.on_dispatch(1);
+    if (needs_int_reg) int_regs_.acquire();
+    if (needs_fp_reg) fp_regs_.acquire();
+
+    // Resolve producers once, eagerly: an already-issued producer's
+    // completion time is final and folds straight into the op's wake
+    // time; an unissued one records this op in its waiter chain. A
+    // retired producer (seq below head) constrains nothing.
+    f_ready_at_[idx] = 0;
+    f_wait_count_[idx] = 0;
+    const auto link = [&](std::uint16_t dist) {
+      if (dist == 0 || dist > seq) return;      // no register dependence
+      const std::uint64_t ps = seq - dist;
+      if (ps < head_seq_) return;               // producer already retired
+      std::size_t off = rob_head_ + static_cast<std::size_t>(ps - head_seq_);
+      if (off >= cfg_.rob_entries) off -= cfg_.rob_entries;
+      if (f_issued_[off]) {
+        f_ready_at_[idx] = std::max(f_ready_at_[idx], f_complete_[off]);
+      } else {
+        f_waiters_[off].push_back(static_cast<std::uint32_t>(idx));
+        ++f_wait_count_[idx];
+      }
+    };
+    link(op.dep1);
+    link(op.dep2);
+
+    bool mispredicted = false;
+    switch (cls) {
+      case isa::InstrClass::Load:
+        lq_slots_.acquire();
+        power_.on_lsq_insert();
+        break;
+      case isa::InstrClass::Store:
+        sq_slots_.acquire();
+        power_.on_lsq_insert();
+        break;
+      case isa::InstrClass::Branch:
+        power_.on_bpred_lookup();
+        mispredicted = bpred_.access(op.pc, op.branch_taken);
+        int_isq_slots_.acquire();
+        break;
+      default:
+        if (needs_fp_reg)
+          fp_isq_slots_.acquire();
+        else
+          int_isq_slots_.acquire();
+        break;
+    }
+    if (f_wait_count_[idx] == 0) {
+      FastQueue& q = queue_of(cls);
+      if (f_ready_at_[idx] <= now) {
+        // Already wakeable, and as the youngest in-flight op it belongs
+        // at the ready tail — skip the timed heap entirely.
+        q.ready.push_back(static_cast<std::uint32_t>(idx));
+      } else {
+        q.timed.emplace_back(f_ready_at_[idx],
+                             static_cast<std::uint32_t>(idx));
+        std::push_heap(q.timed.begin(), q.timed.end(),
+                       std::greater<std::pair<Cycles, std::uint32_t>>{});
+      }
+    }
+
+    if (mispredicted) {
+      redirect_pending_ = true;
+      redirect_seq_ = seq;
+      redirect_idx_ = static_cast<std::uint32_t>(idx);
+      break;
+    }
+  }
+}
+
+void Core::maybe_quiesce(Cycles now) noexcept {
+  quiet_until_ = 0;
+  quiet_stall_ = nullptr;
+  if (f_action_) return;
+
+  // This tick committed nothing, woke no queue entry, and fetched nothing.
+  // Nothing can change before the earliest latched event: entries whose
+  // readiness time is cached cannot wake sooner, entries without a cached
+  // time are blocked (transitively) behind an unissued producer that is
+  // itself one of these entries, and the front end is gated on a known
+  // resume/commit condition. Until then every tick repeats exactly one
+  // stall-counter bump, which the quiet path in tick() replays.
+  Cycles t = kNeverWake;
+  if (rob_count_ > 0 && f_issued_[rob_head_])
+    t = std::min(t, f_complete_[rob_head_]);
+  // Every due op was drained into a ready list this tick and walked (each
+  // walked op sets f_action_), so with f_action_ false the ready lists
+  // are empty and each heap's top bounds its queue's next wakeup. Ops
+  // still waiting on producers are transitively behind some timed op or
+  // the head's latched completion.
+  for (const FastQueue* q : {&f_int_q_, &f_fp_q_, &f_lq_q_, &f_sq_q_}) {
+    if (!q->ready.empty()) return;  // not provably idle
+    if (!q->timed.empty()) t = std::min(t, q->timed.front().first);
+  }
+
+  if (redirect_pending_) {
+    if (f_issued_[redirect_idx_]) t = std::min(t, f_complete_[redirect_idx_]);
+    quiet_stall_ = &StallStats::redirect;
+  } else if (now < fetch_resume_at_) {
+    t = std::min(t, fetch_resume_at_);
+    quiet_stall_ = &StallStats::redirect;
+  } else if (rob_count_ == cfg_.rob_entries) {
+    quiet_stall_ = &StallStats::rob_full;
+  } else {
+    // Fetch was blocked by a structural pool; mirror the stage's check
+    // order to find the counter it bumps each cycle. The peeked op cannot
+    // change during the window (nothing pops the ring while quiet).
+    const isa::InstrClass cls = thread_->peek().cls;
+    const bool needs_int_reg = isa::is_int(cls) || cls == isa::InstrClass::Load;
+    const bool needs_fp_reg = isa::is_fp(cls);
+    if (needs_int_reg && int_regs_.available() == 0)
+      quiet_stall_ = &StallStats::int_reg;
+    else if (needs_fp_reg && fp_regs_.available() == 0)
+      quiet_stall_ = &StallStats::fp_reg;
+    else if ((isa::is_int(cls) || cls == isa::InstrClass::Branch) &&
+             int_isq_slots_.available() == 0)
+      quiet_stall_ = &StallStats::int_isq_full;
+    else if (isa::is_fp(cls) && fp_isq_slots_.available() == 0)
+      quiet_stall_ = &StallStats::fp_isq_full;
+    else if (cls == isa::InstrClass::Load && lq_slots_.available() == 0)
+      quiet_stall_ = &StallStats::lsq_full;
+    else if (cls == isa::InstrClass::Store && sq_slots_.available() == 0)
+      quiet_stall_ = &StallStats::lsq_full;
+    else
+      return;  // would have fetched — not provably idle, keep ticking
+  }
+
+  if (t == kNeverWake || t <= now + 1) {
+    quiet_stall_ = nullptr;
+    return;
+  }
+  quiet_until_ = t;
 }
 
 }  // namespace amps::sim

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -127,9 +128,37 @@ class Core {
     bool issued = false;
   };
 
+  /// One fast-engine wait queue (INT/FP issue queue, LQ or SQ). Waiting
+  /// ops are never scanned: an op with unissued producers sits outside
+  /// both lists until the waiter chains (f_waiters_) deliver its last
+  /// producer's completion; an op whose wake time is known waits in
+  /// `timed` (a min-heap on that time) and moves to `ready` when due.
+  /// `ready` is kept oldest-first, so selection walks exactly the ops the
+  /// reference engine's full scan would have found ready, in the same
+  /// order.
+  struct FastQueue {
+    std::vector<std::uint32_t> ready;  ///< ring slots, oldest first
+    std::vector<std::pair<Cycles, std::uint32_t>> timed;  ///< min-heap
+  };
+
+  // Reference (escape-hatch) engine: one-entry-at-a-time, kept verbatim.
   void commit_stage(Cycles now);
   void issue_stage(Cycles now);
   void fetch_stage(Cycles now);
+
+  // Fast engine: SoA ROB + event-driven wakeup. Bit-identical architected
+  // behavior (see tests/sim/fast_engine_test.cpp).
+  void commit_stage_fast(Cycles now);
+  void issue_stage_fast(Cycles now);
+  void fetch_stage_fast(Cycles now);
+  void maybe_quiesce(Cycles now) noexcept;
+  /// Delivers an issued producer's completion time to every op waiting on
+  /// ring slot `pidx`; ops whose last producer this was enter their
+  /// queue's timed heap.
+  void wake_waiters(std::size_t pidx, Cycles done);
+  void drain_timed(FastQueue& q, Cycles now);
+  void insert_by_age(std::vector<std::uint32_t>& ready, std::uint32_t idx);
+  [[nodiscard]] FastQueue& queue_of(isa::InstrClass cls) noexcept;
 
   [[nodiscard]] bool dep_ready(std::uint64_t seq, std::uint16_t dist,
                                Cycles now) const noexcept;
@@ -156,11 +185,44 @@ class Core {
   std::size_t rob_count_ = 0;
   std::uint64_t head_seq_ = 0;  // seq of the entry at rob_head_ (if any)
 
-  // Indices (into the ROB ring) of dispatched-but-unissued ops.
+  // Indices (into the ROB ring) of dispatched-but-unissued ops (reference
+  // engine only).
   std::vector<std::uint32_t> int_isq_;
   std::vector<std::uint32_t> fp_isq_;
   std::vector<std::uint32_t> lq_;
   std::vector<std::uint32_t> sq_;
+
+  // Fast-engine ROB as structure-of-arrays (same ring geometry:
+  // rob_head_/rob_count_/head_seq_ are shared). The full op is read at
+  // dispatch, load issue, store commit and squash.
+  std::vector<isa::MicroOp> f_op_;
+  std::vector<Cycles> f_complete_;
+  std::vector<std::uint8_t> f_issued_;
+
+  // Event-driven wakeup state, indexed by ROB ring slot. At dispatch each
+  // live unissued producer records the new op in its waiter list; when the
+  // producer issues, its (final) completion time folds into f_ready_at_
+  // and f_wait_count_ drops. A producer cannot retire without issuing
+  // first, and a consumer cannot outlive its producers' slots, so waiter
+  // lists drain before any slot is reused. The inner vectors keep their
+  // capacity across clear(), so steady state allocates nothing.
+  std::vector<Cycles> f_ready_at_;          ///< max folded completion
+  std::vector<std::uint8_t> f_wait_count_;  ///< unissued producers left
+  std::vector<std::vector<std::uint32_t>> f_waiters_;
+  FastQueue f_int_q_, f_fp_q_, f_lq_q_, f_sq_q_;
+  static constexpr Cycles kNeverWake = ~Cycles{0};
+  std::uint32_t redirect_idx_ = 0;  // ring slot of the mispredicted branch
+
+  // Fast-engine quiescence. When a full tick performs no architected work
+  // (no commit, no wakeup, fetch blocked), every future effect is gated on
+  // an already-latched time: a completion, a cached readiness time, or the
+  // front end's resume time. Until the earliest of those, each tick would
+  // only repeat the same stall-counter bump — so ticks inside
+  // [now+1, quiet_until_) skip the stage walk and bump *quiet_stall_
+  // directly, exactly as the reference engine would.
+  Cycles quiet_until_ = 0;
+  std::uint64_t StallStats::* quiet_stall_ = nullptr;  // move-safe
+  bool f_action_ = false;  // set by the fast stages when a tick did work
 
   Cycles branch_port_free_ = 0;  // single branch-resolution port
 

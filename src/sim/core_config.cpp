@@ -1,6 +1,15 @@
 #include "sim/core_config.hpp"
 
+#include "common/env.hpp"
+
 namespace amps::sim {
+
+bool CoreConfig::fast_engine_default() {
+  // Latched once: mid-run flips would let two Cores built from the same
+  // config disagree, which the equivalence tests control explicitly.
+  static const bool enabled = env_int("AMPS_FAST_CORE", 1) != 0;
+  return enabled;
+}
 
 power::StructureSizes CoreConfig::structure_sizes() const noexcept {
   power::StructureSizes s;

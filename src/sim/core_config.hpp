@@ -61,6 +61,17 @@ struct CoreConfig {
   // Execution units (paper Table II).
   uarch::ExecUnits::Config exec;
 
+  /// Selects the structure-of-arrays fast pipeline engine (the default) or
+  /// the reference one-entry-at-a-time implementation. The two produce
+  /// bit-identical architected results — committed counts, IPC, miss
+  /// rates, energy, swap decisions — so this is purely a speed/escape
+  /// hatch, set from AMPS_FAST_CORE (AMPS_FAST_CORE=0 disables) and
+  /// deliberately excluded from run-cache keys.
+  bool fast_engine = fast_engine_default();
+
+  /// The process-wide default for `fast_engine`: AMPS_FAST_CORE != 0.
+  static bool fast_engine_default();
+
   /// Plain-number view consumed by the power model.
   [[nodiscard]] power::StructureSizes structure_sizes() const noexcept;
 

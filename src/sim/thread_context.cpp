@@ -1,5 +1,7 @@
 #include "sim/thread_context.hpp"
 
+#include <vector>
+
 namespace amps::sim {
 
 ThreadContext::ThreadContext(ThreadId id, const wl::BenchmarkSpec& spec,
@@ -10,18 +12,13 @@ ThreadContext::ThreadContext(ThreadId id, const wl::BenchmarkSpec& spec,
 ThreadContext::ThreadContext(ThreadId id, std::unique_ptr<wl::OpSource> source)
     : id_(id), source_(std::move(source)) {}
 
-const isa::MicroOp& ThreadContext::peek() {
-  if (lookahead_.empty()) lookahead_.push_back(source_->next());
-  return lookahead_.front();
-}
-
-void ThreadContext::pop() { lookahead_.pop_front(); }
-
 void ThreadContext::unfetch(std::deque<isa::MicroOp>&& squashed) {
-  // Squashed ops precede anything still in the lookahead.
+  // Squashed ops precede anything still buffered.
   rewind_seq(squashed.size());
-  for (auto it = squashed.rbegin(); it != squashed.rend(); ++it)
-    lookahead_.push_front(*it);
+  if (squashed.empty()) return;
+  // Deques are segmented; stage into a contiguous scratch for the ring.
+  std::vector<isa::MicroOp> ops(squashed.begin(), squashed.end());
+  ring_.prepend(ops.data(), ops.size());
 }
 
 }  // namespace amps::sim

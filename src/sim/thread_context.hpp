@@ -10,6 +10,7 @@
 
 #include "common/types.hpp"
 #include "isa/mix.hpp"
+#include "workload/decoded_ring.hpp"
 #include "workload/source.hpp"
 
 namespace amps::sim {
@@ -33,15 +34,26 @@ class ThreadContext {
     return *source_;
   }
 
-  /// Next micro-op without consuming it (fills the lookahead from the
-  /// stream on demand).
-  const isa::MicroOp& peek();
+  /// Next micro-op without consuming it (refills the decoded-op ring from
+  /// the source on demand). Defined inline: this is the fetch stage's
+  /// per-op read and is a bounds check + array load in the common case.
+  const isa::MicroOp& peek() {
+    if (ring_.empty()) ring_.refill(*source_);
+    return ring_.front();
+  }
   /// Consumes the op returned by the last peek().
-  void pop();
+  void pop() noexcept { ring_.pop_front(); }
 
   /// Returns squashed, uncommitted ops (oldest first) for re-execution
   /// after a pipeline flush. They are replayed before any new stream ops.
   void unfetch(std::deque<isa::MicroOp>&& squashed);
+
+  /// How many ops the ring pre-decodes per source refill. The attached
+  /// core sets this (1 for the legacy engine, a few hundred for the fast
+  /// one); the consumed sequence is identical either way.
+  void set_decode_batch(std::size_t batch) noexcept {
+    ring_.set_batch(batch);
+  }
 
   /// Per-thread dynamic sequence number of the next op to fetch. Producer
   /// dependencies are expressed as distances from this numbering.
@@ -90,7 +102,7 @@ class ThreadContext {
  private:
   ThreadId id_;
   std::unique_ptr<wl::OpSource> source_;
-  std::deque<isa::MicroOp> lookahead_;
+  wl::DecodedRing ring_;
   std::uint64_t next_seq_ = 0;
 
   isa::InstrCounts committed_;

@@ -1,5 +1,6 @@
 #include "uarch/branch_predictor.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 
@@ -11,33 +12,6 @@ BranchPredictor::BranchPredictor(const BranchPredictorConfig& cfg)
       table_(cfg.table_entries, 2 /* weakly taken */) {
   if (!std::has_single_bit(cfg.table_entries))
     throw std::invalid_argument("BranchPredictor: table size not power of 2");
-}
-
-std::size_t BranchPredictor::index(std::uint64_t pc) const noexcept {
-  return ((pc >> 2) ^ history_) & mask_;
-}
-
-bool BranchPredictor::predict(std::uint64_t pc) const noexcept {
-  return table_[index(pc)] >= 2;
-}
-
-void BranchPredictor::update(std::uint64_t pc, bool taken) noexcept {
-  std::uint8_t& ctr = table_[index(pc)];
-  if (taken) {
-    if (ctr < 3) ++ctr;
-  } else {
-    if (ctr > 0) --ctr;
-  }
-  history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
-}
-
-bool BranchPredictor::access(std::uint64_t pc, bool taken) noexcept {
-  ++lookups_;
-  const bool predicted = predict(pc);
-  const bool wrong = predicted != taken;
-  if (wrong) ++mispredicts_;
-  update(pc, taken);
-  return wrong;
 }
 
 void BranchPredictor::reset() noexcept {

@@ -15,16 +15,28 @@ struct BranchPredictorConfig {
 
 /// Classic gshare: PC xor global-history indexes a table of 2-bit
 /// saturating counters. Deterministic and cheap; the workload models'
-/// `branch_noise` knob sets the floor misprediction rate.
+/// `branch_noise` knob sets the floor misprediction rate. The whole
+/// lookup/train path is a handful of table-indexed operations and lives
+/// here in the header so the core's dispatch stage can inline it.
 class BranchPredictor {
  public:
   explicit BranchPredictor(const BranchPredictorConfig& cfg = {});
 
   /// Predicted direction for a branch at `pc`.
-  [[nodiscard]] bool predict(std::uint64_t pc) const noexcept;
+  [[nodiscard]] bool predict(std::uint64_t pc) const noexcept {
+    return table_[index(pc)] >= 2;
+  }
 
   /// Trains with the architectural outcome and advances global history.
-  void update(std::uint64_t pc, bool taken) noexcept;
+  void update(std::uint64_t pc, bool taken) noexcept {
+    std::uint8_t& ctr = table_[index(pc)];
+    if (taken) {
+      if (ctr < 3) ++ctr;
+    } else {
+      if (ctr > 0) --ctr;
+    }
+    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+  }
 
   /// Clears table and history (used when a different thread's context is
   /// swapped in with `SwapCosts.flush_predictor`).
@@ -42,10 +54,18 @@ class BranchPredictor {
 
   /// Predicts, records stats against the architectural outcome, trains,
   /// and returns true when the prediction was wrong.
-  bool access(std::uint64_t pc, bool taken) noexcept;
+  bool access(std::uint64_t pc, bool taken) noexcept {
+    ++lookups_;
+    const bool wrong = predict(pc) != taken;
+    mispredicts_ += wrong ? 1 : 0;
+    update(pc, taken);
+    return wrong;
+  }
 
  private:
-  [[nodiscard]] std::size_t index(std::uint64_t pc) const noexcept;
+  [[nodiscard]] std::size_t index(std::uint64_t pc) const noexcept {
+    return ((pc >> 2) ^ history_) & mask_;
+  }
 
   std::uint32_t mask_;
   std::uint32_t history_mask_;

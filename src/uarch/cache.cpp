@@ -1,5 +1,6 @@
 #include "uarch/cache.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 
@@ -17,62 +18,31 @@ bool CacheConfig::valid() const noexcept {
 Cache::Cache(const CacheConfig& cfg, std::string name)
     : cfg_(cfg), name_(std::move(name)) {
   if (!cfg.valid()) throw std::invalid_argument("Cache: invalid config " + name_);
-  lines_.resize(cfg.num_lines());
+  const std::size_t n = static_cast<std::size_t>(cfg.num_lines());
+  tags_.assign(n, 0);
+  lru_.assign(n, 0);
+  flags_.assign(n, 0);
+  ways_ = cfg.associativity;
   set_shift_ = static_cast<std::uint64_t>(std::countr_zero(
       static_cast<std::uint64_t>(cfg.line_bytes)));
   set_mask_ = cfg.num_sets() - 1;
-}
-
-Cache::AccessResult Cache::access(std::uint64_t addr, bool is_write) noexcept {
-  const std::uint64_t line_addr = addr >> set_shift_;
-  const std::uint64_t set = line_addr & set_mask_;
-  const std::uint64_t tag = line_addr >> std::countr_zero(set_mask_ + 1);
-  Line* base = lines_.data() + set * cfg_.associativity;
-
-  ++lru_clock_;
-  Line* victim = base;
-  for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
-    Line& line = base[w];
-    if (line.valid && line.tag == tag) {
-      line.lru = lru_clock_;
-      line.dirty = line.dirty || is_write;
-      ++stats_.hits;
-      return {.hit = true, .writeback = false};
-    }
-    if (!line.valid) {
-      victim = &line;
-    } else if (victim->valid && line.lru < victim->lru) {
-      victim = &line;
-    }
-  }
-
-  ++stats_.misses;
-  const bool wb = victim->valid && victim->dirty;
-  std::uint64_t victim_addr = 0;
-  if (wb) {
-    ++stats_.writebacks;
-    const auto set_bits = static_cast<std::uint64_t>(std::countr_zero(set_mask_ + 1));
-    victim_addr = ((victim->tag << set_bits) | set) << set_shift_;
-  }
-  victim->valid = true;
-  victim->tag = tag;
-  victim->lru = lru_clock_;
-  victim->dirty = is_write;
-  return {.hit = false, .writeback = wb, .victim_addr = victim_addr};
+  set_bits_ = static_cast<std::uint64_t>(std::countr_zero(set_mask_ + 1));
 }
 
 bool Cache::probe(std::uint64_t addr) const noexcept {
   const std::uint64_t line_addr = addr >> set_shift_;
   const std::uint64_t set = line_addr & set_mask_;
-  const std::uint64_t tag = line_addr >> std::countr_zero(set_mask_ + 1);
-  const Line* base = lines_.data() + set * cfg_.associativity;
-  for (std::uint32_t w = 0; w < cfg_.associativity; ++w)
-    if (base[w].valid && base[w].tag == tag) return true;
+  const std::uint64_t tag = line_addr >> set_bits_;
+  const std::size_t base = static_cast<std::size_t>(set) * ways_;
+  for (std::size_t w = base; w < base + ways_; ++w)
+    if ((flags_[w] & kValid) != 0 && tags_[w] == tag) return true;
   return false;
 }
 
 void Cache::flush() noexcept {
-  for (auto& line : lines_) line = Line{};
+  std::fill(flags_.begin(), flags_.end(), std::uint8_t{0});
+  std::fill(tags_.begin(), tags_.end(), std::uint64_t{0});
+  std::fill(lru_.begin(), lru_.end(), std::uint64_t{0});
 }
 
 SharedL2::SharedL2(const CacheConfig& cfg, Cycles port_conflict_penalty)

@@ -39,6 +39,12 @@ struct CacheStats {
 
 /// One set-associative write-back, write-allocate cache with true-LRU
 /// replacement. Tag-only model: no data are stored, only presence/dirty.
+///
+/// Layout: flat structure-of-arrays over power-of-two sets (tags, LRU
+/// stamps and packed valid/dirty flags in separate dense arrays, row-major
+/// by set), so the way search is a short linear scan over adjacent words
+/// with no pointer chasing. `access` is on the core's per-cycle memory
+/// path and is defined inline here.
 class Cache {
  public:
   explicit Cache(const CacheConfig& cfg, std::string name = "cache");
@@ -50,7 +56,45 @@ class Cache {
   };
 
   /// Looks up `addr`; on miss, allocates the line (evicting LRU).
-  AccessResult access(std::uint64_t addr, bool is_write) noexcept;
+  AccessResult access(std::uint64_t addr, bool is_write) noexcept {
+    const std::uint64_t line_addr = addr >> set_shift_;
+    const std::uint64_t set = line_addr & set_mask_;
+    const std::uint64_t tag = line_addr >> set_bits_;
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+
+    ++lru_clock_;
+    // Victim choice (must match the original per-entry scan exactly): the
+    // *last* invalid way if any; otherwise the first way with the minimal
+    // LRU stamp. An invalid victim is sticky against LRU comparisons.
+    std::size_t victim = base;
+    for (std::size_t w = base; w < base + ways_; ++w) {
+      const std::uint8_t f = flags_[w];
+      if ((f & kValid) != 0 && tags_[w] == tag) {
+        lru_[w] = lru_clock_;
+        flags_[w] = static_cast<std::uint8_t>(f | (is_write ? kDirty : 0));
+        ++stats_.hits;
+        return {.hit = true, .writeback = false};
+      }
+      if ((f & kValid) == 0) {
+        victim = w;
+      } else if ((flags_[victim] & kValid) != 0 && lru_[w] < lru_[victim]) {
+        victim = w;
+      }
+    }
+
+    ++stats_.misses;
+    const bool wb = (flags_[victim] & (kValid | kDirty)) == (kValid | kDirty);
+    std::uint64_t victim_addr = 0;
+    if (wb) {
+      ++stats_.writebacks;
+      victim_addr = ((tags_[victim] << set_bits_) | set) << set_shift_;
+    }
+    tags_[victim] = tag;
+    lru_[victim] = lru_clock_;
+    flags_[victim] =
+        static_cast<std::uint8_t>(kValid | (is_write ? kDirty : 0));
+    return {.hit = false, .writeback = wb, .victim_addr = victim_addr};
+  }
 
   /// True when the line holding `addr` is currently resident (no state
   /// change; used by tests).
@@ -65,20 +109,21 @@ class Cache {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
  private:
-  struct Line {
-    std::uint64_t tag = 0;
-    std::uint64_t lru = 0;  // higher = more recently used
-    bool valid = false;
-    bool dirty = false;
-  };
+  static constexpr std::uint8_t kValid = 1;
+  static constexpr std::uint8_t kDirty = 2;
 
   CacheConfig cfg_;
   std::string name_;
-  std::vector<Line> lines_;  // sets * ways, row-major by set
+  // Flat SoA line state, sets * ways, row-major by set.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> lru_;   // higher = more recently used
+  std::vector<std::uint8_t> flags_;  // kValid | kDirty
+  std::size_t ways_;
   std::uint64_t lru_clock_ = 0;
   CacheStats stats_;
   std::uint64_t set_shift_;
   std::uint64_t set_mask_;
+  std::uint64_t set_bits_;
 };
 
 /// Latencies of the memory system (cycles), applied by CacheHierarchy.

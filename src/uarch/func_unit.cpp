@@ -10,20 +10,6 @@ FuPool::FuPool(const FuSpec& spec)
     throw std::invalid_argument("FuPool: units and latency must be > 0");
 }
 
-Cycles FuPool::try_issue(Cycles now) noexcept {
-  // Each slot stores the first cycle at which the unit can accept a new op:
-  // a pipelined unit frees its issue stage the next cycle, a non-pipelined
-  // unit only when the whole op completes.
-  for (Cycles& slot : unit_free_or_last_issue_) {
-    if (slot <= now) {
-      slot = now + (spec_.pipelined ? 1 : spec_.latency);
-      ++issued_;
-      return now + spec_.latency;
-    }
-  }
-  return 0;
-}
-
 void FuPool::reset_occupancy() noexcept {
   for (Cycles& slot : unit_free_or_last_issue_) slot = 0;
 }
@@ -31,23 +17,6 @@ void FuPool::reset_occupancy() noexcept {
 ExecUnits::ExecUnits(const Config& cfg)
     : int_alu_(cfg.int_alu), int_mul_(cfg.int_mul), int_div_(cfg.int_div),
       fp_alu_(cfg.fp_alu), fp_mul_(cfg.fp_mul), fp_div_(cfg.fp_div) {}
-
-FuPool* ExecUnits::pool_for(isa::InstrClass cls) noexcept {
-  switch (cls) {
-    case isa::InstrClass::IntAlu: return &int_alu_;
-    case isa::InstrClass::IntMul: return &int_mul_;
-    case isa::InstrClass::IntDiv: return &int_div_;
-    case isa::InstrClass::FpAlu: return &fp_alu_;
-    case isa::InstrClass::FpMul: return &fp_mul_;
-    case isa::InstrClass::FpDiv: return &fp_div_;
-    default: return nullptr;
-  }
-}
-
-Cycles ExecUnits::try_issue(isa::InstrClass cls, Cycles now) noexcept {
-  FuPool* pool = pool_for(cls);
-  return pool != nullptr ? pool->try_issue(now) : 0;
-}
 
 const FuPool& ExecUnits::pool(isa::InstrClass cls) const {
   switch (cls) {

@@ -27,8 +27,20 @@ class FuPool {
   explicit FuPool(const FuSpec& spec);
 
   /// Attempts to start an op at cycle `now`. Returns the completion cycle,
-  /// or 0 when no unit can accept the op this cycle.
-  Cycles try_issue(Cycles now) noexcept;
+  /// or 0 when no unit can accept the op this cycle. On the issue-stage hot
+  /// path, hence inline: each slot stores the first cycle at which the unit
+  /// can accept a new op (a pipelined unit frees its issue stage the next
+  /// cycle, a non-pipelined unit only when the whole op completes).
+  Cycles try_issue(Cycles now) noexcept {
+    for (Cycles& slot : unit_free_or_last_issue_) {
+      if (slot <= now) {
+        slot = now + (spec_.pipelined ? 1 : spec_.latency);
+        ++issued_;
+        return now + spec_.latency;
+      }
+    }
+    return 0;
+  }
 
   [[nodiscard]] const FuSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] std::uint64_t ops_issued() const noexcept { return issued_; }
@@ -60,13 +72,26 @@ class ExecUnits {
 
   /// Routes an arithmetic op to its pool; 0 when stalled. Must not be
   /// called for Load/Store/Branch.
-  Cycles try_issue(isa::InstrClass cls, Cycles now) noexcept;
+  Cycles try_issue(isa::InstrClass cls, Cycles now) noexcept {
+    FuPool* pool = pool_for(cls);
+    return pool != nullptr ? pool->try_issue(now) : 0;
+  }
 
   [[nodiscard]] const FuPool& pool(isa::InstrClass cls) const;
   void reset_occupancy() noexcept;
 
  private:
-  FuPool* pool_for(isa::InstrClass cls) noexcept;
+  FuPool* pool_for(isa::InstrClass cls) noexcept {
+    switch (cls) {
+      case isa::InstrClass::IntAlu: return &int_alu_;
+      case isa::InstrClass::IntMul: return &int_mul_;
+      case isa::InstrClass::IntDiv: return &int_div_;
+      case isa::InstrClass::FpAlu: return &fp_alu_;
+      case isa::InstrClass::FpMul: return &fp_mul_;
+      case isa::InstrClass::FpDiv: return &fp_div_;
+      default: return nullptr;
+    }
+  }
 
   FuPool int_alu_, int_mul_, int_div_;
   FuPool fp_alu_, fp_mul_, fp_div_;

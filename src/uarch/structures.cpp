@@ -1,6 +1,5 @@
 #include "uarch/structures.hpp"
 
-#include <cassert>
 #include <stdexcept>
 
 namespace amps::uarch {
@@ -8,22 +7,6 @@ namespace amps::uarch {
 ResourcePool::ResourcePool(std::string name, std::uint32_t capacity)
     : name_(std::move(name)), capacity_(capacity) {
   if (capacity == 0) throw std::invalid_argument("ResourcePool: capacity 0");
-}
-
-bool ResourcePool::acquire(std::uint32_t n) noexcept {
-  if (in_use_ + n > capacity_) {
-    ++stalls_;
-    return false;
-  }
-  in_use_ += n;
-  acquires_ += n;
-  if (in_use_ > high_water_) high_water_ = in_use_;
-  return true;
-}
-
-void ResourcePool::release(std::uint32_t n) noexcept {
-  assert(in_use_ >= n && "ResourcePool over-release");
-  in_use_ = in_use_ >= n ? in_use_ - n : 0;
 }
 
 void ResourcePool::reset_capacity(std::uint32_t capacity) {

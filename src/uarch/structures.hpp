@@ -3,6 +3,7 @@
 // only gate dispatch are modeled as counting pools with stall statistics.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 
@@ -13,14 +14,28 @@ namespace amps::uarch {
 /// A named counting resource: acquire at dispatch, release at commit.
 /// Tracks utilization statistics used by the power model (average occupancy
 /// drives the clock-gated dynamic-energy estimate) and by tests.
+/// acquire/release/tick sit on the core's per-cycle path, so they are
+/// defined inline here.
 class ResourcePool {
  public:
   ResourcePool(std::string name, std::uint32_t capacity);
 
   /// Takes `n` items; returns false (and records a stall) when unavailable.
-  bool acquire(std::uint32_t n = 1) noexcept;
+  bool acquire(std::uint32_t n = 1) noexcept {
+    if (in_use_ + n > capacity_) {
+      ++stalls_;
+      return false;
+    }
+    in_use_ += n;
+    acquires_ += n;
+    if (in_use_ > high_water_) high_water_ = in_use_;
+    return true;
+  }
   /// Returns `n` items. Asserts against over-release in debug builds.
-  void release(std::uint32_t n = 1) noexcept;
+  void release(std::uint32_t n = 1) noexcept {
+    assert(in_use_ >= n && "ResourcePool over-release");
+    in_use_ = in_use_ >= n ? in_use_ - n : 0;
+  }
 
   [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::uint32_t in_use() const noexcept { return in_use_; }

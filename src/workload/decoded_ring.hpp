@@ -1,0 +1,80 @@
+// DecodedRing: a reusable flat buffer of pre-decoded micro-ops between an
+// OpSource and a core front end.
+//
+// The statistical stream decodes ops in batches (one virtual call per
+// batch instead of per op) into a contiguous array the fetch stage walks
+// with plain index bumps. The buffer keeps slack headroom in front of the
+// read cursor so squashed-but-uncommitted ops can be re-prepended after a
+// pipeline flush without shifting the remaining contents.
+//
+// Ordering is the only architectural contract: pop_front() yields exactly
+// the sequence OpSource::next() would have produced, with prepends replayed
+// first. How far ahead the ring decodes is invisible to the simulation —
+// per-thread streams are self-contained, so generating op N+k early cannot
+// change op N (relied on by the fast-core equivalence guarantee).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "workload/source.hpp"
+
+namespace amps::wl {
+
+class DecodedRing {
+ public:
+  /// Headroom reserved in front of the read cursor for prepends. Larger
+  /// than any ROB (the most ops a core can squash at once).
+  static constexpr std::size_t kSlack = 512;
+
+  explicit DecodedRing(std::size_t batch = 1) { set_batch(batch); }
+
+  /// Ops decoded per refill. 1 reproduces the legacy one-op-at-a-time
+  /// behavior; the fast core engine uses a few hundred.
+  void set_batch(std::size_t batch) noexcept {
+    batch_ = batch == 0 ? 1 : batch;
+  }
+  [[nodiscard]] std::size_t batch() const noexcept { return batch_; }
+
+  [[nodiscard]] bool empty() const noexcept { return head_ == tail_; }
+  [[nodiscard]] std::size_t size() const noexcept { return tail_ - head_; }
+
+  /// Oldest un-consumed op. Only valid when !empty().
+  [[nodiscard]] const isa::MicroOp& front() const noexcept {
+    return buf_[head_];
+  }
+  void pop_front() noexcept { ++head_; }
+
+  /// Decodes the next batch from `src` into the buffer. Call when empty().
+  void refill(OpSource& src) {
+    head_ = tail_ = kSlack;  // empty: reclaim the consumed span
+    if (buf_.size() < kSlack + batch_) buf_.resize(kSlack + batch_);
+    src.next_batch(buf_.data() + tail_, batch_);
+    tail_ += batch_;
+  }
+
+  /// Replays `n` squashed ops (oldest first) in front of everything still
+  /// buffered. Uses the slack headroom; falls back to growing the front in
+  /// the (never expected) case a prepend outruns it.
+  void prepend(const isa::MicroOp* ops, std::size_t n) {
+    if (n > head_) {
+      const std::size_t grow = kSlack + n - head_;
+      buf_.insert(buf_.begin(), grow, isa::MicroOp{});
+      head_ += grow;
+      tail_ += grow;
+    }
+    head_ -= n;
+    std::copy(ops, ops + n,
+              buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+  }
+
+ private:
+  std::vector<isa::MicroOp> buf_ = std::vector<isa::MicroOp>(kSlack);
+  std::size_t head_ = kSlack;
+  std::size_t tail_ = kSlack;
+  std::size_t batch_ = 1;
+};
+
+}  // namespace amps::wl

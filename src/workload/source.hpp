@@ -18,6 +18,12 @@ class OpSource {
  public:
   virtual ~OpSource() = default;
   virtual isa::MicroOp next() = 0;
+  /// Decodes the next `n` ops into `out` — same sequence as n calls to
+  /// next(). Sources with a non-virtual generator override this so batched
+  /// consumers (wl::DecodedRing) pay one virtual call per batch, not per op.
+  virtual void next_batch(isa::MicroOp* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = next();
+  }
   [[nodiscard]] virtual const std::string& name() const noexcept = 0;
 };
 
@@ -30,6 +36,9 @@ class StreamSource final : public OpSource {
       : stream_(spec, instance_seed) {}
 
   isa::MicroOp next() override { return stream_.next(); }
+  void next_batch(isa::MicroOp* out, std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) out[i] = stream_.next();
+  }
   [[nodiscard]] const std::string& name() const noexcept override {
     return stream_.spec().name;
   }

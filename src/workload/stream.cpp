@@ -31,6 +31,25 @@ void InstructionStream::enter_phase(std::size_t idx) {
       dwell >= 1e18 ? ~0ULL : static_cast<std::uint64_t>(dwell);
   for (std::size_t i = 0; i < isa::kNumInstrClasses; ++i)
     class_weights_[i] = p.mix[static_cast<isa::InstrClass>(i)];
+  // Hot-path constants of this phase: the weight total (summed in the same
+  // order Prng::weighted would) and the geometric denominators of the four
+  // dependence-distance distributions used by next().
+  weight_total_ = 0.0;
+  for (double w : class_weights_) weight_total_ += w;
+  const auto dep = [](double mean) {
+    DepDist d;
+    const double prob = 1.0 / std::max(1.0, mean);
+    if (prob >= 1.0) {
+      d.degenerate = true;
+    } else {
+      d.denom = __builtin_log1p(-prob);
+    }
+    return d;
+  };
+  dep_dist_[kDepInt] = dep(p.dep_mean_int);
+  dep_dist_[kDepInt2] = dep(p.dep_mean_int * 2.0);
+  dep_dist_[kDepFp] = dep(p.dep_mean_fp);
+  dep_dist_[kDepFp2] = dep(p.dep_mean_fp * 2.0);
   code_offset_ = 0;
   stream_ptr_ = 0;
 }
@@ -59,10 +78,14 @@ std::uint64_t InstructionStream::gen_mem_addr(const PhaseSpec& p) {
                           kAccessGranularity;
 }
 
-std::uint16_t InstructionStream::gen_dep(double mean) {
-  // 1 + Geometric with the requested mean; clamp into u16.
-  const double p = 1.0 / std::max(1.0, mean);
-  const std::uint64_t d = 1 + rng_.geometric(p);
+std::uint16_t InstructionStream::gen_dep(const DepDist& dist) {
+  // 1 + Geometric with the phase's mean; clamp into u16. Same arithmetic as
+  // Prng::geometric with the log1p denominator hoisted to enter_phase.
+  if (dist.degenerate) return 1;
+  double u = rng_.uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  const std::uint64_t d =
+      1 + static_cast<std::uint64_t>(__builtin_log(u) / dist.denom);
   return static_cast<std::uint16_t>(std::min<std::uint64_t>(d, 0xFFFF));
 }
 
@@ -76,7 +99,20 @@ isa::MicroOp InstructionStream::next() {
 
   const PhaseSpec& p = spec_->phases[phase_idx_];
   isa::MicroOp op;
-  op.cls = static_cast<isa::InstrClass>(rng_.weighted(class_weights_));
+  // Inline weighted pick over the phase mix (same scan as Prng::weighted,
+  // using the total precomputed at phase entry).
+  {
+    double r = rng_.uniform() * weight_total_;
+    std::size_t cls = isa::kNumInstrClasses - 1;
+    for (std::size_t i = 0; i + 1 < isa::kNumInstrClasses; ++i) {
+      r -= class_weights_[i];
+      if (r < 0) {
+        cls = i;
+        break;
+      }
+    }
+    op.cls = static_cast<isa::InstrClass>(cls);
+  }
 
   // PC walks the phase's hot loop; phases live in disjoint code regions.
   op.pc = code_base_ + phase_idx_ * kCodeRegionStride + code_offset_;
@@ -87,7 +123,7 @@ isa::MicroOp InstructionStream::next() {
     case isa::InstrClass::Load:
     case isa::InstrClass::Store:
       op.mem_addr = gen_mem_addr(p);
-      op.dep1 = gen_dep(p.dep_mean_int);
+      op.dep1 = gen_dep(dep_dist_[kDepInt]);
       break;
     case isa::InstrClass::Branch:
       if (rng_.chance(p.branch_noise)) {
@@ -95,17 +131,17 @@ isa::MicroOp InstructionStream::next() {
       } else {
         op.branch_taken = rng_.chance(p.branch_taken_bias);
       }
-      op.dep1 = gen_dep(p.dep_mean_int);
+      op.dep1 = gen_dep(dep_dist_[kDepInt]);
       break;
     case isa::InstrClass::FpAlu:
     case isa::InstrClass::FpMul:
     case isa::InstrClass::FpDiv:
-      op.dep1 = gen_dep(p.dep_mean_fp);
-      if (rng_.chance(0.6)) op.dep2 = gen_dep(p.dep_mean_fp * 2.0);
+      op.dep1 = gen_dep(dep_dist_[kDepFp]);
+      if (rng_.chance(0.6)) op.dep2 = gen_dep(dep_dist_[kDepFp2]);
       break;
     default:  // integer arithmetic
-      op.dep1 = gen_dep(p.dep_mean_int);
-      if (rng_.chance(0.5)) op.dep2 = gen_dep(p.dep_mean_int * 2.0);
+      op.dep1 = gen_dep(dep_dist_[kDepInt]);
+      if (rng_.chance(0.5)) op.dep2 = gen_dep(dep_dist_[kDepInt2]);
       break;
   }
   return op;

@@ -47,10 +47,21 @@ class InstructionStream {
   [[nodiscard]] std::uint64_t data_base() const noexcept { return data_base_; }
 
  private:
+  /// Per-phase constants of the `1 + Geometric(1/max(1,mean))` dependence
+  /// distance: the log1p denominator is a pure function of the phase spec,
+  /// so it is computed once at phase entry instead of per op. `degenerate`
+  /// marks mean <= 1, where the distance is always 1 and no random number
+  /// is drawn (matching Prng::geometric's p >= 1 early-out).
+  struct DepDist {
+    double denom = -1.0;  ///< log1p(-p); negative for p in (0, 1)
+    bool degenerate = false;
+  };
+  enum DepKind : std::size_t { kDepInt = 0, kDepInt2, kDepFp, kDepFp2 };
+
   void enter_phase(std::size_t idx);
   std::size_t pick_next_phase();
   std::uint64_t gen_mem_addr(const PhaseSpec& p);
-  std::uint16_t gen_dep(double mean);
+  std::uint16_t gen_dep(const DepDist& d);
 
   const BenchmarkSpec* spec_;
   Prng rng_;
@@ -59,6 +70,8 @@ class InstructionStream {
   std::uint64_t remaining_in_phase_ = 0;
   std::uint64_t phase_changes_ = 0;
   std::array<double, isa::kNumInstrClasses> class_weights_{};
+  double weight_total_ = 0.0;
+  std::array<DepDist, 4> dep_dist_{};
 
   InstrCount emitted_ = 0;
 

@@ -1,0 +1,195 @@
+// The fast core engine (CoreConfig::fast_engine, AMPS_FAST_CORE) must be
+// bit-identical to the reference engine in every architected outcome:
+// committed instruction counts, cycles, IPC, miss rates, energy and swap
+// decisions — for every scheduler in the repo, including the morphing one
+// (which exercises Core::reconfigure under both engines).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/extended.hpp"
+#include "core/morphing.hpp"
+#include "core/oracle.hpp"
+#include "core/proposed.hpp"
+#include "core/round_robin.hpp"
+#include "core/sampling.hpp"
+#include "core/static_sched.hpp"
+#include "harness/experiment.hpp"
+#include "sim/core_config.hpp"
+#include "sim/solo.hpp"
+
+namespace amps::sim {
+namespace {
+
+SimScale ci_scale() {
+  SimScale s;
+  s.context_switch_interval = 15'000;
+  s.run_length = 40'000;
+  return s;
+}
+
+CoreConfig with_engine(CoreConfig cfg, bool fast) {
+  cfg.fast_engine = fast;
+  return cfg;
+}
+
+void expect_same_bits(double a, double b, const char* what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << what << ": " << a << " vs " << b;
+}
+
+void expect_identical(const metrics::PairRunResult& a,
+                      const metrics::PairRunResult& b) {
+  EXPECT_EQ(a.scheduler, b.scheduler);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.swap_count, b.swap_count);
+  EXPECT_EQ(a.decision_points, b.decision_points);
+  EXPECT_EQ(a.hit_cycle_bound, b.hit_cycle_bound);
+  expect_same_bits(a.total_energy, b.total_energy, "total_energy");
+  for (int i = 0; i < 2; ++i) {
+    const metrics::ThreadRunStats& ta = a.threads[i];
+    const metrics::ThreadRunStats& tb = b.threads[i];
+    EXPECT_EQ(ta.benchmark, tb.benchmark);
+    EXPECT_EQ(ta.committed, tb.committed);
+    EXPECT_EQ(ta.cycles, tb.cycles);
+    EXPECT_EQ(ta.swaps, tb.swaps);
+    expect_same_bits(ta.energy, tb.energy, "thread energy");
+    expect_same_bits(ta.ipc, tb.ipc, "thread ipc");
+    expect_same_bits(ta.ipc_per_watt, tb.ipc_per_watt, "thread ipw");
+  }
+}
+
+using MakeScheduler = std::function<std::unique_ptr<sched::Scheduler>()>;
+
+/// Every scheduler in the repo at the test scale (mirrors the fast-path
+/// stepping equivalence test; the HPE models are fitted once and shared).
+std::vector<std::pair<std::string, MakeScheduler>> all_schedulers(
+    const SimScale& scale, const sched::HpeModels& models) {
+  std::vector<std::pair<std::string, MakeScheduler>> out;
+  out.emplace_back("static",
+                   [] { return std::make_unique<sched::StaticScheduler>(); });
+  out.emplace_back("round-robin-1x", [scale] {
+    return std::make_unique<sched::RoundRobinScheduler>(
+        scale.context_switch_interval);
+  });
+  out.emplace_back("round-robin-2x", [scale] {
+    return std::make_unique<sched::RoundRobinScheduler>(
+        scale.context_switch_interval * 2);
+  });
+  sched::ProposedConfig proposed;
+  proposed.window_size = scale.window_size;
+  proposed.history_depth = scale.history_depth;
+  proposed.forced_swap_interval = scale.context_switch_interval;
+  out.emplace_back("proposed", [proposed] {
+    return std::make_unique<sched::ProposedScheduler>(proposed);
+  });
+  sched::HpeConfig hpe;
+  hpe.decision_interval = scale.context_switch_interval;
+  const sched::HpePredictionModel* matrix = models.matrix.get();
+  out.emplace_back("hpe-matrix", [matrix, hpe] {
+    return std::make_unique<sched::HpeScheduler>(*matrix, hpe);
+  });
+  const sched::HpePredictionModel* regression = models.regression.get();
+  out.emplace_back("hpe-regression", [regression, hpe] {
+    return std::make_unique<sched::HpeScheduler>(*regression, hpe);
+  });
+  sched::SamplingConfig sampling;
+  sampling.decision_interval = scale.context_switch_interval;
+  sampling.sample_cycles = 2'000;
+  sampling.warmup_cycles = 500;
+  out.emplace_back("sampling", [sampling] {
+    return std::make_unique<sched::SamplingScheduler>(sampling);
+  });
+  sched::OracleConfig oracle;
+  oracle.window_size = scale.window_size;
+  out.emplace_back("oracle", [regression, oracle] {
+    return std::make_unique<sched::OracleScheduler>(*regression, oracle);
+  });
+  sched::ExtendedConfig extended;
+  extended.window_size = scale.window_size;
+  extended.history_depth = scale.history_depth;
+  extended.forced_swap_interval = scale.context_switch_interval;
+  out.emplace_back("extended", [extended] {
+    return std::make_unique<sched::ExtendedProposedScheduler>(extended);
+  });
+  sched::MorphConfig morph;
+  morph.window_size = scale.window_size;
+  morph.history_depth = scale.history_depth;
+  morph.fairness_interval = scale.context_switch_interval;
+  morph.swap_overhead = scale.swap_overhead;
+  out.emplace_back("morphing", [morph] {
+    return std::make_unique<sched::MorphScheduler>(morph);
+  });
+  return out;
+}
+
+TEST(FastEngine, FlagDefaultsOnAndSurvivesReconfigure) {
+  // No AMPS_FAST_CORE in the test environment: the fast engine is the
+  // default, and reconfigure carries the incoming config's flag.
+  EXPECT_TRUE(CoreConfig::fast_engine_default());
+  EXPECT_TRUE(int_core_config().fast_engine);
+
+  Core core(with_engine(int_core_config(), false));
+  EXPECT_FALSE(core.config().fast_engine);
+  core.reconfigure(with_engine(morphed_strong_core_config(), false));
+  EXPECT_FALSE(core.config().fast_engine);
+}
+
+TEST(FastEngine, SoloRunsBitIdenticalToReference) {
+  const wl::BenchmarkCatalog catalog;
+  for (const char* bench : {"gzip", "swim", "pi", "qsort"}) {
+    const wl::BenchmarkSpec& spec = catalog.by_name(bench);
+    for (const CoreConfig& base : {int_core_config(), fp_core_config()}) {
+      const auto fast =
+          run_solo(with_engine(base, true), spec, 30'000, 5'000);
+      const auto ref =
+          run_solo(with_engine(base, false), spec, 30'000, 5'000);
+      SCOPED_TRACE(std::string(bench) + " on " + base.name);
+      EXPECT_EQ(fast.committed, ref.committed);
+      EXPECT_EQ(fast.cycles, ref.cycles);
+      EXPECT_EQ(fast.l2_misses, ref.l2_misses);
+      expect_same_bits(fast.energy, ref.energy, "solo energy");
+      ASSERT_EQ(fast.samples.size(), ref.samples.size());
+      for (std::size_t i = 0; i < fast.samples.size(); ++i) {
+        EXPECT_EQ(fast.samples[i].committed, ref.samples[i].committed);
+        expect_same_bits(fast.samples[i].ipc_per_watt,
+                         ref.samples[i].ipc_per_watt, "sample ipw");
+      }
+    }
+  }
+}
+
+TEST(FastEngine, BitIdenticalForEverySchedulerOnCiScalePairs) {
+  const wl::BenchmarkCatalog catalog;
+  const SimScale scale = ci_scale();
+  const harness::ExperimentRunner fast_runner(
+      scale, with_engine(int_core_config(), true),
+      with_engine(fp_core_config(), true));
+  const harness::ExperimentRunner ref_runner(
+      scale, with_engine(int_core_config(), false),
+      with_engine(fp_core_config(), false));
+
+  const sched::HpeModels models = fast_runner.build_models(catalog);
+  const auto pairs = harness::sample_pairs(catalog, 2, 7);
+  for (const auto& [name, make] : all_schedulers(scale, models)) {
+    for (const harness::BenchmarkPair& pair : pairs) {
+      // The uncached run_pair overload: the RunCache would make this
+      // comparison vacuous (fast_engine is deliberately not in its keys).
+      auto s1 = make();
+      const auto fast = fast_runner.run_pair(pair, *s1);
+      auto s2 = make();
+      const auto ref = ref_runner.run_pair(pair, *s2);
+      SCOPED_TRACE(name + " / " + harness::pair_label(pair));
+      expect_identical(fast, ref);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amps::sim

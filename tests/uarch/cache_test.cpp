@@ -120,6 +120,75 @@ TEST(Cache, MissRateComputation) {
   EXPECT_DOUBLE_EQ(empty.miss_rate(), 0.0);
 }
 
+TEST(Cache, DirectMappedSingleWaySets) {
+  // 4 sets x 1 way: every set is a single line, so any same-set tag
+  // conflict evicts immediately regardless of recency.
+  Cache c({.size_bytes = 256, .line_bytes = 64, .associativity = 1});
+  EXPECT_FALSE(c.access(0x0000, false).hit);
+  EXPECT_TRUE(c.access(0x0000, false).hit);
+  EXPECT_FALSE(c.access(0x0100, false).hit);  // same set, new tag: conflict
+  EXPECT_FALSE(c.probe(0x0000));
+  EXPECT_TRUE(c.probe(0x0100));
+  // A dirty direct-mapped victim still writes back with the right address.
+  (void)c.access(0x0100, true);
+  const auto r = c.access(0x0000, false);
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(r.victim_addr, 0x0100u);
+  // Other sets are untouched by the conflict traffic.
+  EXPECT_FALSE(c.access(0x0040, false).hit);
+  EXPECT_TRUE(c.probe(0x0040));
+}
+
+TEST(Cache, EvictionOrderUnderRepeatedHits) {
+  // 2-way set: repeated hits must refresh recency, so the victim is always
+  // the *least recently touched* line, not the least recently filled one.
+  Cache c(small_cache());
+  (void)c.access(0x0000, false);  // A (fill order: A then B)
+  (void)c.access(0x0080, false);  // B
+  for (int i = 0; i < 3; ++i) (void)c.access(0x0000, false);  // hammer A
+  (void)c.access(0x0100, false);  // C must evict B despite B's later fill
+  EXPECT_TRUE(c.probe(0x0000));
+  EXPECT_FALSE(c.probe(0x0080));
+  EXPECT_TRUE(c.probe(0x0100));
+  // And recency keeps rotating: touch C repeatedly, refill B, A goes next.
+  for (int i = 0; i < 2; ++i) (void)c.access(0x0100, false);
+  (void)c.access(0x0080, false);  // B evicts A (A is now least recent)
+  EXPECT_FALSE(c.probe(0x0000));
+  EXPECT_TRUE(c.probe(0x0100));
+  EXPECT_TRUE(c.probe(0x0080));
+}
+
+TEST(SharedL2, StaysWarmAcrossThreadSwapWithPerCoreAttribution) {
+  // Two private hierarchies over one shared L2, as in the swap-overhead
+  // discussion: after a thread moves from core 0 to core 1, its L2 working
+  // set is already resident — only the L1s must refill — and demand-miss
+  // attribution stays with the hierarchy that generated the traffic.
+  const CacheConfig l1{.size_bytes = 256, .line_bytes = 64, .associativity = 2};
+  const CacheConfig l2{.size_bytes = 8192, .line_bytes = 64, .associativity = 4};
+  SharedL2 shared(l2);
+  CacheHierarchy core0(l1, l1, l2, MemoryLatencies{}, false, &shared);
+  CacheHierarchy core1(l1, l1, l2, MemoryLatencies{}, false, &shared);
+
+  // "Thread" touches a working set larger than DL1 on core 0.
+  for (std::uint64_t a = 0; a < 2048; a += 64) (void)core0.data_access(a, false);
+  const std::uint64_t misses_before = core0.l2_demand_misses();
+  EXPECT_GT(misses_before, 0u);
+  EXPECT_EQ(core1.l2_demand_misses(), 0u);
+
+  // Swap: the same addresses now stream through core 1. Its DL1 is cold,
+  // but every refill hits the warm shared array — no new memory traffic,
+  // and no new demand misses on either side.
+  for (std::uint64_t a = 0; a < 2048; a += 64) {
+    const auto acc = core1.data_access(a, false);
+    EXPECT_EQ(acc.level, MemLevel::L2);
+  }
+  EXPECT_EQ(core0.l2_demand_misses(), misses_before);
+  EXPECT_EQ(core1.l2_demand_misses(), 0u);
+  EXPECT_EQ(core1.memory_accesses(), 0u);
+  EXPECT_TRUE(core1.has_shared_l2());
+  EXPECT_GE(shared.cache().stats().hits, 32u);
+}
+
 class HierarchyTest : public ::testing::Test {
  protected:
   HierarchyTest()

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "workload/builder.hpp"
+#include "workload/decoded_ring.hpp"
+#include "workload/source.hpp"
 
 namespace amps::wl {
 namespace {
@@ -175,6 +178,68 @@ TEST_F(StreamTest, TransitionMatrixIsRespected) {
     }
   }
   EXPECT_GE(s.phase_changes(), 8u);
+}
+
+TEST_F(StreamTest, TwoInstantiationsDecodeIdenticalSequences) {
+  // Same benchmark + same instance seed -> the decoded-op sequence is a
+  // pure function of the spec, across separately constructed sources and
+  // regardless of batch size (multi-phase spec so phase re-entry, dwell
+  // jitter and transition draws are all covered).
+  const auto& spec = catalog_.by_name("mixstress");
+  StreamSource per_op(spec, 3);
+  StreamSource batched(spec, 3);
+  std::vector<isa::MicroOp> batch(1024);
+  std::size_t checked = 0;
+  for (const std::size_t n : {1u, 7u, 256u, 1024u, 64u, 500u}) {
+    batched.next_batch(batch.data(), n);
+    for (std::size_t i = 0; i < n; ++i, ++checked)
+      ASSERT_TRUE(ops_equal(per_op.next(), batch[i]))
+          << "diverged at op " << checked;
+  }
+  EXPECT_EQ(per_op.stream().phase_changes(),
+            batched.stream().phase_changes());
+  EXPECT_EQ(per_op.stream().emitted(), batched.stream().emitted());
+}
+
+TEST_F(StreamTest, DecodedRingYieldsSourceOrderForAnyBatch) {
+  const auto& spec = catalog_.by_name("phaseshift");
+  StreamSource reference(spec, 9);
+  StreamSource ringed(spec, 9);
+  DecodedRing ring(256);
+  for (int i = 0; i < 20000; ++i) {
+    if (ring.empty()) ring.refill(ringed);
+    ASSERT_TRUE(ops_equal(reference.next(), ring.front()))
+        << "diverged at op " << i;
+    ring.pop_front();
+  }
+}
+
+TEST_F(StreamTest, DecodedRingReplaysPrependedOpsFirst) {
+  // A squash hands uncommitted ops back to the front of the ring; they must
+  // come out verbatim, oldest first, before any new stream ops — the
+  // consumed sequence ends up identical to the no-squash sequence.
+  const auto& spec = catalog_.by_name("gzip");
+  StreamSource reference(spec, 5);
+  StreamSource ringed(spec, 5);
+  DecodedRing ring(64);
+
+  std::vector<isa::MicroOp> consumed;
+  for (int i = 0; i < 100; ++i) {
+    if (ring.empty()) ring.refill(ringed);
+    consumed.push_back(ring.front());
+    ring.pop_front();
+  }
+  // "Squash" the last 30: prepend them and re-consume.
+  ring.prepend(consumed.data() + 70, 30);
+  consumed.resize(70);
+  for (int i = 0; i < 2000; ++i) {
+    if (ring.empty()) ring.refill(ringed);
+    consumed.push_back(ring.front());
+    ring.pop_front();
+  }
+  for (std::size_t i = 0; i < consumed.size(); ++i)
+    ASSERT_TRUE(ops_equal(reference.next(), consumed[i]))
+        << "diverged at op " << i;
 }
 
 class AllBenchmarksStreamTest : public ::testing::TestWithParam<const char*> {};
