@@ -11,6 +11,8 @@
 //  3. End-to-end — a Fig. 7-style comparison (HPE model fit + proposed vs.
 //     HPE over all pairs) timed cold (empty RunCache) and warm (memoized);
 //     the warm/cold ratio is what a bench rerun actually experiences.
+//  4. Decision-trace overhead — the part-2 batched run repeated with the
+//     decision-trace ring force-armed; the delta is what AMPS_TRACE costs.
 //
 // Results go to stdout and to BENCH_throughput.json in the working
 // directory (machine-readable, for tracking perf across changes;
@@ -22,6 +24,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "common/trace.hpp"
 #include "harness/parallel.hpp"
 #include "harness/run_cache.hpp"
 #include "sim/core_config.hpp"
@@ -38,6 +41,7 @@ struct SteppingResult {
   double seconds = 0.0;
   double cycles_per_sec = 0.0;
   double commits_per_sec = 0.0;
+  std::uint64_t swaps = 0;
 };
 
 }  // namespace
@@ -62,6 +66,7 @@ int main() {
       const auto result = runner.run_pair(pair, *scheduler);
       cycles += result.total_cycles;
       commits += result.threads[0].committed + result.threads[1].committed;
+      r.swaps += result.swap_count;
     }
     r.seconds = seconds_since(start);
     r.cycles_per_sec = static_cast<double>(cycles) / r.seconds;
@@ -126,6 +131,21 @@ int main() {
   bench::emit("throughput_stepping", stepping);
   std::cout << "batched-stepping speedup: " << step_speedup << "x\n\n";
 
+  // --- part 2b: batched stepping with the decision trace armed -----------
+  std::cout << "[same batched run(s) with the decision-trace ring armed...]\n";
+  trace::DecisionTrace::force_arm(true);
+  const SteppingResult traced = measure(/*stepping=*/true);
+  trace::DecisionTrace::force_arm(false);
+  const double trace_overhead_pct =
+      batched.seconds > 0.0 ? (traced.seconds / batched.seconds - 1.0) * 100.0
+                            : 0.0;
+  const double swaps_per_run =
+      pairs.empty() ? 0.0
+                    : static_cast<double>(batched.swaps) /
+                          static_cast<double>(pairs.size());
+  std::cout << "armed-trace overhead: " << trace_overhead_pct
+            << "% (swaps/run: " << swaps_per_run << ")\n\n";
+
   // --- part 3: end-to-end Fig. 7-style, cold vs warm cache ---------------
   auto fig7_style = [&] {
     const harness::ExperimentRunner runner(ctx.scale);
@@ -184,6 +204,9 @@ int main() {
          << "  \"batched_step_rate\": " << batched.cycles_per_sec << ",\n"
          << "  \"batched_commit_rate\": " << batched.commits_per_sec << ",\n"
          << "  \"batched_step_speedup\": " << step_speedup << ",\n"
+         << "  \"swaps_per_run\": " << swaps_per_run << ",\n"
+         << "  \"trace_armed_seconds\": " << traced.seconds << ",\n"
+         << "  \"trace_overhead_pct\": " << trace_overhead_pct << ",\n"
          << "  \"e2e_cold_s\": " << cold_s << ",\n"
          << "  \"e2e_warm_s\": " << warm_s << ",\n"
          << "  \"e2e_warm_speedup\": " << warm_speedup << "\n"

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/table.hpp"
+#include "common/trace.hpp"
 #include "core/extended.hpp"
 #include "core/proposed.hpp"
 #include "core/round_robin.hpp"
@@ -125,13 +126,18 @@ int do_run(const Options& opt) {
     scheduler->tick(system);
   }
 
+  if (trace::DecisionTrace::armed())
+    trace::append_jsonl(opt.bench_a + "+" + opt.bench_b, scheduler->name(),
+                        scheduler->decision_trace());
+
   if (opt.full_report) {
     metrics::print_system_report(std::cout, system);
     return 0;
   }
 
-  const auto result = metrics::snapshot_run(scheduler->name(), system, t0, t1,
-                                            scheduler->decision_points());
+  const auto result = metrics::snapshot_run(
+      scheduler->name(), system, t0, t1, scheduler->decision_points(),
+      &scheduler->decision_trace().summary());
   Table table({"thread", "committed", "cycles", "IPC", "IPC/Watt", "swaps"});
   for (const auto& t : result.threads) {
     table.row()

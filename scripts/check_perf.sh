@@ -32,6 +32,12 @@ speedup=$(json_field "$RESULT" fast_engine_speedup)
 [ -n "$rate" ] || { echo "check_perf: no cold_fast_step_rate in $RESULT" >&2; exit 1; }
 echo "check_perf: cold fast-engine rate ${rate} cycles/s (speedup ${speedup}x vs reference)"
 
+# Informational only (no gate): what armed decision tracing costs, and how
+# often the proposed scheme swapped during the measured runs.
+trace_pct=$(json_field "$RESULT" trace_overhead_pct)
+swaps=$(json_field "$RESULT" swaps_per_run)
+[ -n "$trace_pct" ] && echo "check_perf: armed-trace overhead ${trace_pct}% (swaps/run ${swaps})"
+
 if [ ! -f "$BASELINE" ]; then
   printf '{\n  "cold_fast_step_rate": %s\n}\n' "$rate" > "$BASELINE"
   echo "check_perf: no baseline found; recorded $BASELINE"

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Sanitizer smoke lane: configure + build the ASan+UBSan preset and run the
+# fast `san_smoke`-labeled test subset. Any sanitizer report aborts the
+# offending test (-fno-sanitize-recover=all), so a green run means the smoke
+# subset is clean of heap errors, UB, and leaks.
+#
+# Usage: scripts/run_san.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset san
+cmake --build --preset san -j"${AMPS_SAN_JOBS:-2}"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+ctest --test-dir build-san -L san_smoke --output-on-failure "$@"

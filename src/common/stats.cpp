@@ -1,0 +1,166 @@
+#include "common/stats.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+namespace amps::stats {
+
+namespace {
+
+/// Lock-free running min/max update.
+void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::record(std::uint64_t v) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+  // bit_width ranges over [0, 64]; the top bucket absorbs v >= 2^63.
+  constexpr std::size_t kTop = static_cast<std::size_t>(kBuckets) - 1;
+  const std::size_t w = static_cast<std::size_t>(std::bit_width(v));
+  buckets_[w > kTop ? kTop : w].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0
+                : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  // Registered on first registry use, so a process that never touches a
+  // counter also never pays for (or emits) the exit dump.
+  static const bool hooked = [] {
+    if (std::getenv("AMPS_STATS") != nullptr) std::atexit(dump_per_env);
+    return true;
+  }();
+  (void)hooked;
+  return registry;
+}
+
+void Registry::dump_per_env() {
+  const char* mode = std::getenv("AMPS_STATS");
+  if (mode == nullptr || *mode == '\0') return;
+  const std::string_view m(mode);
+  if (m == "1" || m == "stderr") {
+    std::cerr << "--- AMPS stats ---\n";
+    instance().dump(std::cerr);
+    return;
+  }
+  std::ofstream out(mode, std::ios::trunc);
+  if (out) instance().dump_json(out);
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::unique_ptr<Histogram>(
+                                             new Histogram(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<CounterSnapshot> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterSnapshot> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.push_back({name, c->value()});
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::vector<HistogramSnapshot> Registry::histograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    out.push_back(
+        {name, h->count(), h->sum(), h->min(), h->max(), h->mean()});
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void Registry::dump(std::ostream& os) const {
+  for (const CounterSnapshot& c : counters())
+    if (c.value != 0) os << c.name << " = " << c.value << "\n";
+  for (const HistogramSnapshot& h : histograms())
+    if (h.count != 0)
+      os << h.name << " : count=" << h.count << " sum=" << h.sum
+         << " min=" << h.min << " max=" << h.max << " mean=" << h.mean
+         << "\n";
+}
+
+void Registry::dump_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const CounterSnapshot& c : counters()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << c.name << "\":" << c.value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : histograms()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << h.name << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"min\":" << h.min << ",\"max\":" << h.max << ",\"mean\":" << h.mean
+       << "}";
+  }
+  os << "}}";
+}
+
+}  // namespace amps::stats

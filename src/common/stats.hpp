@@ -1,0 +1,184 @@
+// Process-wide observability registry: cheap named counters, log2-bucketed
+// histograms and RAII wall-clock timers, shared by the simulator, the
+// harness and the benches.
+//
+// Design constraints (DESIGN.md §8):
+//  * hot-path increments are one relaxed atomic add — no locks, no maps;
+//    call sites resolve their Counter&/Histogram& once via a static local;
+//  * registration is thread-safe and idempotent (get-or-create by name);
+//    returned references stay valid for the life of the process;
+//  * the whole layer compiles away when AMPS_OBSERVABILITY=0 — the
+//    AMPS_COUNTER_ADD / AMPS_SCOPED_TIMER macros expand to nothing and no
+//    registry code is emitted at their call sites.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef AMPS_OBSERVABILITY
+#define AMPS_OBSERVABILITY 1
+#endif
+
+namespace amps::stats {
+
+/// Monotonic named counter. Increment cost: one relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Power-of-two-bucketed histogram of unsigned values (bucket i counts
+/// values whose bit width is i, i.e. [2^(i-1), 2^i)). Tracks count, sum,
+/// min and max exactly; the buckets give the shape.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::uint64_t v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min() const noexcept;  ///< 0 when empty
+  [[nodiscard]] std::uint64_t max() const noexcept;  ///< 0 when empty
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] std::uint64_t bucket(int i) const noexcept {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  void reset() noexcept;
+
+  std::string name_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+};
+
+/// Immutable snapshot rows (sorted by name) for reporting.
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+};
+
+/// Process-wide stats registry. Lookup takes a lock; hot paths are expected
+/// to cache the returned reference (the AMPS_* macros do).
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Get-or-create; the reference is stable for the process lifetime.
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] std::vector<CounterSnapshot> counters() const;
+  [[nodiscard]] std::vector<HistogramSnapshot> histograms() const;
+
+  /// Zeroes every registered value (objects and references stay valid).
+  void reset();
+
+  /// Human-readable table of all non-zero entries.
+  void dump(std::ostream& os) const;
+  /// Single JSON object: {"counters":{...},"histograms":{...}}.
+  void dump_json(std::ostream& os) const;
+
+  /// Honors AMPS_STATS: unset -> no-op; "1"/"stderr" -> dump() to stderr;
+  /// anything else -> dump_json() to that path. Called at process exit by
+  /// the instance() registration, and callable directly by tools.
+  static void dump_per_env();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// RAII wall-clock timer: records elapsed nanoseconds into a histogram on
+/// destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist) noexcept
+      : hist_(&hist), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    hist_->record(static_cast<std::uint64_t>(ns < 0 ? 0 : ns));
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace amps::stats
+
+// ---- zero-cost instrumentation macros ------------------------------------
+// `name` must be a string literal (it seeds a function-local static, so the
+// registry lookup happens once per call site, not per call).
+#if AMPS_OBSERVABILITY
+#define AMPS_COUNTER_ADD(name, n)                                       \
+  do {                                                                  \
+    static ::amps::stats::Counter& amps_stat_counter_ =                 \
+        ::amps::stats::Registry::instance().counter(name);              \
+    amps_stat_counter_.add(static_cast<std::uint64_t>(n));              \
+  } while (0)
+#define AMPS_COUNTER_INC(name) AMPS_COUNTER_ADD(name, 1)
+#define AMPS_SCOPED_TIMER(name)                                         \
+  static ::amps::stats::Histogram& amps_stat_timer_hist_ =              \
+      ::amps::stats::Registry::instance().histogram(name);              \
+  ::amps::stats::ScopedTimer amps_stat_timer_ { amps_stat_timer_hist_ }
+#else
+#define AMPS_COUNTER_ADD(name, n) \
+  do {                            \
+  } while (0)
+#define AMPS_COUNTER_INC(name) \
+  do {                         \
+  } while (0)
+#define AMPS_SCOPED_TIMER(name) \
+  do {                          \
+  } while (0)
+#endif

@@ -1,0 +1,156 @@
+#include "common/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+namespace amps::trace {
+
+const char* to_string(Reason r) noexcept {
+  switch (r) {
+    case Reason::kNone: return "none";
+    case Reason::kMajorityPending: return "majority-pending";
+    case Reason::kBelowThreshold: return "below-threshold";
+    case Reason::kVetoMemBound: return "veto-mem-bound";
+    case Reason::kVetoHealthyIpc: return "veto-healthy-ipc";
+    case Reason::kRuleSwap: return "rule-swap";
+    case Reason::kForcedSwap: return "forced-swap";
+    case Reason::kEstimateSwap: return "estimate-swap";
+    case Reason::kIntervalSwap: return "interval-swap";
+    case Reason::kSampleKeep: return "sample-keep";
+    case Reason::kSampleRevert: return "sample-revert";
+    case Reason::kMorphEnter: return "morph-enter";
+    case Reason::kMorphExit: return "morph-exit";
+    case Reason::kAffinitySwap: return "affinity-swap";
+    case Reason::kCount: break;
+  }
+  return "invalid";
+}
+
+std::vector<DecisionRecord> DecisionTrace::records() const {
+  std::vector<DecisionRecord> out;
+  out.reserve(ring_.size());
+  // Once full, head_ points at the oldest element.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+void DecisionTrace::clear() {
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+  summary_ = TraceSummary{};
+}
+
+void DecisionTrace::push(const DecisionRecord& r) {
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(r);
+    return;
+  }
+  ring_[head_] = r;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+// ---- process-wide arming -------------------------------------------------
+
+namespace {
+
+// -1: follow the environment; 0/1: forced by force_arm().
+std::atomic<int> g_force_arm{-1};
+
+const std::string& env_trace_path() {
+  static const std::string path = [] {
+    const char* v = std::getenv("AMPS_TRACE");
+    return std::string(v == nullptr ? "" : v);
+  }();
+  return path;
+}
+
+std::mutex& trace_file_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+bool DecisionTrace::armed() noexcept {
+#if AMPS_OBSERVABILITY
+  const int forced = g_force_arm.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  return !env_trace_path().empty();
+#else
+  return false;
+#endif
+}
+
+void DecisionTrace::force_arm(bool on) noexcept {
+  g_force_arm.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+const std::string& DecisionTrace::trace_path() { return env_trace_path(); }
+
+// ---- JSONL ---------------------------------------------------------------
+
+namespace {
+
+/// Shortest-round-trip float formatting (%.9g preserves every float bit
+/// pattern), locale-independent via snprintf.
+void put_float(std::ostream& os, float v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(v));
+  os << buf;
+}
+
+}  // namespace
+
+void write_record(std::ostream& os, std::string_view run,
+                  std::string_view scheduler, const DecisionRecord& r) {
+  os << "{\"run\":\"" << run << "\",\"sched\":\"" << scheduler
+     << "\",\"seq\":" << r.seq << ",\"cycle\":" << r.cycle << ",\"int0\":";
+  put_float(os, r.int_pct[0]);
+  os << ",\"fp0\":";
+  put_float(os, r.fp_pct[0]);
+  os << ",\"int1\":";
+  put_float(os, r.int_pct[1]);
+  os << ",\"fp1\":";
+  put_float(os, r.fp_pct[1]);
+  os << ",\"est\":";
+  put_float(os, r.estimate);
+  os << ",\"votes\":" << r.votes << ",\"hist\":" << r.history
+     << ",\"swap\":" << (r.swapped ? "true" : "false") << ",\"reason\":\""
+     << to_string(r.reason) << "\"}";
+}
+
+std::string format_record(std::string_view run, std::string_view scheduler,
+                          const DecisionRecord& r) {
+  std::ostringstream os;
+  write_record(os, run, scheduler, r);
+  return os.str();
+}
+
+void append_jsonl(std::string_view run, std::string_view scheduler,
+                  const DecisionTrace& t) {
+  const std::string& path = DecisionTrace::trace_path();
+  if (path.empty()) return;
+  const std::vector<DecisionRecord> records = t.records();
+  if (records.empty()) return;
+  std::lock_guard<std::mutex> lock(trace_file_mutex());
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;  // tracing is diagnostics, never a hard failure
+  for (const DecisionRecord& r : records) {
+    write_record(out, run, scheduler, r);
+    out << '\n';
+  }
+}
+
+}  // namespace amps::trace

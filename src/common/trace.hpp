@@ -1,0 +1,163 @@
+// Scheduler decision tracing (DESIGN.md §8).
+//
+// Every scheduler records one compact DecisionRecord per decision point
+// (window boundary / context-switch interval): the cycle, the per-core
+// committed-composition it saw, its estimator output and history state, and
+// the swap/no-swap outcome with a reason code. Two layers:
+//
+//  * the *summary* (windows observed, swaps, per-reason counts) is always
+//    maintained — a handful of array increments per decision, orders of
+//    magnitude below the cost of reaching a decision point — and is folded
+//    into metrics::PairRunResult, so every run is attributable even with
+//    tracing disarmed;
+//  * the *ring buffer* of full records only fills when tracing is armed
+//    (AMPS_TRACE=<path> in the environment, or force_arm() from tests and
+//    benches), and can be dumped as JSONL.
+//
+// With AMPS_OBSERVABILITY=0 the record() body compiles to nothing and the
+// summary stays zero; the schema below is unchanged so all call sites and
+// result structs still compile.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+#ifndef AMPS_OBSERVABILITY
+#define AMPS_OBSERVABILITY 1
+#endif
+
+namespace amps::trace {
+
+/// Why a decision point resolved the way it did. Swap reasons and no-swap
+/// reasons are disjoint, so a per-reason count array splits both ways.
+enum class Reason : std::uint8_t {
+  // --- no-swap outcomes ---
+  kNone = 0,          ///< nothing fired (rules false / nothing to do)
+  kMajorityPending,   ///< tentative yes, but the history vote lacks majority
+  kBelowThreshold,    ///< estimator output at or below the swap threshold
+  kVetoMemBound,      ///< §VII guard: rescued thread is memory-bound
+  kVetoHealthyIpc,    ///< §VII guard: rescued thread already runs healthily
+  // --- swap outcomes ---
+  kRuleSwap,          ///< Fig. 5 rule 2 (majority of composition votes)
+  kForcedSwap,        ///< rule 3 fairness swap after a quiet interval
+  kEstimateSwap,      ///< predicted weighted speedup above threshold (HPE)
+  kIntervalSwap,      ///< unconditional round-robin interval swap
+  kSampleKeep,        ///< sampling: swapped configuration measured better
+  kSampleRevert,      ///< sampling: swapped configuration lost; swapped back
+  kMorphEnter,        ///< morphing: entered the strong/weak configuration
+  kMorphExit,         ///< morphing: returned to the baseline INT/FP pair
+  kAffinitySwap,      ///< N-core pairwise affinity repair
+  kCount
+};
+
+inline constexpr std::size_t kReasonCount =
+    static_cast<std::size_t>(Reason::kCount);
+
+/// Stable short name used in JSONL output and reports.
+const char* to_string(Reason r) noexcept;
+
+/// True for the reasons that describe an executed swap (assignment change).
+[[nodiscard]] constexpr bool is_swap_reason(Reason r) noexcept {
+  return r >= Reason::kRuleSwap;
+}
+
+/// One scheduler decision point, compact enough to ring-buffer by the
+/// thousands. Composition slots are indexed by *core* (0/1), matching the
+/// labeling the swap rules see.
+struct DecisionRecord {
+  Cycles cycle = 0;          ///< system.now() at the decision
+  std::uint64_t seq = 0;     ///< decision index within the run (0-based)
+  float int_pct[2] = {0.0f, 0.0f};  ///< window %INT of the thread on core i
+  float fp_pct[2] = {0.0f, 0.0f};   ///< window %FP of the thread on core i
+  float estimate = 0.0f;     ///< estimator output (0 when not estimator-based)
+  std::int16_t votes = -1;   ///< yes-votes in the history window (-1: n/a)
+  std::int16_t history = -1; ///< history length at the decision (-1: n/a)
+  bool swapped = false;      ///< did this decision change the assignment
+  Reason reason = Reason::kNone;
+};
+
+/// Always-on aggregate of a run's decisions (folded into PairRunResult).
+struct TraceSummary {
+  std::uint64_t windows = 0;       ///< decision records observed
+  std::uint64_t swaps = 0;         ///< records with swapped=true
+  std::uint64_t forced_swaps = 0;  ///< subset with reason kForcedSwap
+  std::array<std::uint64_t, kReasonCount> by_reason{};
+};
+
+/// Per-scheduler decision trace: an always-on summary plus a bounded ring
+/// of full records that only fills while tracing is armed.
+class DecisionTrace {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit DecisionTrace(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  void record(const DecisionRecord& r) {
+#if AMPS_OBSERVABILITY
+    ++summary_.windows;
+    ++summary_.by_reason[static_cast<std::size_t>(r.reason)];
+    if (r.swapped) ++summary_.swaps;
+    if (r.reason == Reason::kForcedSwap) ++summary_.forced_swaps;
+    if (armed()) push(r);
+#else
+    (void)r;
+#endif
+  }
+
+  [[nodiscard]] const TraceSummary& summary() const noexcept {
+    return summary_;
+  }
+
+  /// Buffered records, oldest first. Empty unless tracing was armed.
+  [[nodiscard]] std::vector<DecisionRecord> records() const;
+
+  /// Records that fell off the ring (recorded while armed, then evicted).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  void clear();
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  // --- process-wide arming ------------------------------------------------
+  /// True when AMPS_TRACE is set in the environment or force_arm(true) was
+  /// called. Read once and cached; force_arm overrides.
+  static bool armed() noexcept;
+  /// Test/bench hook: arm or disarm ring-buffer recording regardless of the
+  /// environment.
+  static void force_arm(bool on) noexcept;
+  /// The AMPS_TRACE path ("" when unset — armed runs then only buffer).
+  static const std::string& trace_path();
+
+ private:
+  void push(const DecisionRecord& r);
+
+  std::size_t capacity_;
+  std::vector<DecisionRecord> ring_;
+  std::size_t head_ = 0;  ///< next write slot once the ring is full
+  std::uint64_t dropped_ = 0;
+  TraceSummary summary_;
+};
+
+/// Writes one record as a single JSONL line (no trailing newline). The
+/// format is stable — the golden test pins it field-by-field.
+void write_record(std::ostream& os, std::string_view run,
+                  std::string_view scheduler, const DecisionRecord& r);
+
+/// Formats a record to a string (JSONL line) with the given labels.
+std::string format_record(std::string_view run, std::string_view scheduler,
+                          const DecisionRecord& r);
+
+/// Appends every buffered record of `t` to the AMPS_TRACE file (one JSONL
+/// line each, process-wide lock, append mode). No-op when the path is empty
+/// or the trace holds no records.
+void append_jsonl(std::string_view run, std::string_view scheduler,
+                  const DecisionTrace& t);
+
+}  // namespace amps::trace

@@ -52,7 +52,7 @@ void ExtendedProposedScheduler::tick(sim::DualCoreSystem& system) {
 }
 
 bool ExtendedProposedScheduler::guarded_tentative(
-    const sim::DualCoreSystem& system) {
+    const sim::DualCoreSystem& system, trace::Reason* veto) {
   PairComposition comp;
   const WindowSample* on_int = nullptr;  // thread currently on the INT core
   const WindowSample* on_fp = nullptr;
@@ -82,8 +82,14 @@ bool ExtendedProposedScheduler::guarded_tentative(
   // weak units — not from memory stalls (high MPKI) — and must not already
   // run at healthy IPC.
   const WindowSample& rescued = int_rule ? *on_fp : *on_int;
-  if (rescued.l2_mpki >= cfg_.mem_bound_mpki || rescued.ipc >= cfg_.healthy_ipc) {
+  if (rescued.l2_mpki >= cfg_.mem_bound_mpki) {
     ++vetoes_;
+    *veto = trace::Reason::kVetoMemBound;
+    return false;
+  }
+  if (rescued.ipc >= cfg_.healthy_ipc) {
+    ++vetoes_;
+    *veto = trace::Reason::kVetoHealthyIpc;
     return false;
   }
   return true;
@@ -91,17 +97,34 @@ bool ExtendedProposedScheduler::guarded_tentative(
 
 void ExtendedProposedScheduler::evaluate(sim::DualCoreSystem& system) {
   count_decision();
-  history_.push_back(guarded_tentative(system));
+
+  trace::DecisionRecord rec;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const sim::ThreadContext* t = system.thread_on(i);
+    const WindowSample& s =
+        monitors_[static_cast<std::size_t>(t->id())].latest();
+    rec.int_pct[i] = static_cast<float>(s.int_pct);
+    rec.fp_pct[i] = static_cast<float>(s.fp_pct);
+  }
+
+  trace::Reason veto = trace::Reason::kNone;
+  history_.push_back(guarded_tentative(system, &veto));
   while (history_.size() > static_cast<std::size_t>(cfg_.history_depth))
     history_.pop_front();
 
+  int votes = 0;
+  for (bool v : history_) votes += v ? 1 : 0;
+  rec.votes = static_cast<std::int16_t>(votes);
+  rec.history = static_cast<std::int16_t>(history_.size());
+
   if (history_.size() == static_cast<std::size_t>(cfg_.history_depth)) {
-    int votes = 0;
-    for (bool v : history_) votes += v ? 1 : 0;
     if (2 * votes > cfg_.history_depth) {
       do_swap(system);
       history_.clear();
       last_swap_cycle_ = system.now();
+      rec.swapped = true;
+      rec.reason = trace::Reason::kRuleSwap;
+      record_decision(system, rec);
       return;
     }
   }
@@ -126,8 +149,21 @@ void ExtendedProposedScheduler::evaluate(sim::DualCoreSystem& system) {
       ++forced_;
       history_.clear();
       last_swap_cycle_ = system.now();
+      rec.swapped = true;
+      rec.reason = trace::Reason::kForcedSwap;
+      record_decision(system, rec);
+      return;
     }
   }
+
+  // No swap: a guard veto outranks the generic vote-state reasons.
+  if (veto != trace::Reason::kNone) {
+    rec.reason = veto;
+  } else {
+    rec.reason = votes > 0 ? trace::Reason::kMajorityPending
+                           : trace::Reason::kNone;
+  }
+  record_decision(system, rec);
 }
 
 }  // namespace amps::sched

@@ -62,8 +62,11 @@ class ExtendedProposedScheduler final : public Scheduler {
 
  private:
   void evaluate(sim::DualCoreSystem& system);
-  /// The Fig. 5 tentative decision with the §VII vetoes applied.
-  [[nodiscard]] bool guarded_tentative(const sim::DualCoreSystem& system);
+  /// The Fig. 5 tentative decision with the §VII vetoes applied. When a
+  /// guard suppressed a rule that would have fired, `veto` is set to the
+  /// guard's trace reason (kVetoMemBound / kVetoHealthyIpc).
+  [[nodiscard]] bool guarded_tentative(const sim::DualCoreSystem& system,
+                                       trace::Reason* veto);
 
   ExtendedConfig cfg_;
   WindowMonitor monitors_[2];

@@ -65,7 +65,23 @@ void GlobalAffinityScheduler::evaluate(sim::MulticoreSystem& system) {
       }
     }
   }
-  if (!found) return;
+
+  trace::DecisionRecord rec;
+  rec.cycle = system.now();
+  rec.seq = trace_.summary().windows;
+  rec.estimate = static_cast<float>(best_gap);
+  if (!found) {
+    rec.reason = trace::Reason::kNone;
+    trace_.record(rec);
+    return;
+  }
+  // Slots 0/1 hold the repaired pair's biases (FP-core occupant first);
+  // N-core systems have no fixed two-core composition to report.
+  rec.int_pct[0] = static_cast<float>(state_[best_fp_core].bias);
+  rec.int_pct[1] = static_cast<float>(state_[best_int_core].bias);
+  rec.swapped = true;
+  rec.reason = trace::Reason::kAffinitySwap;
+  trace_.record(rec);
 
   system.swap_threads(best_fp_core, best_int_core);
   // The occupants moved; the monitoring state (window counters AND the

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/trace.hpp"
 #include "isa/mix.hpp"
 #include "sim/multicore.hpp"
 
@@ -48,6 +49,14 @@ class GlobalAffinityScheduler {
     return state_[i].bias;
   }
 
+  /// Decision trace (not a Scheduler subclass, so it carries its own).
+  [[nodiscard]] const trace::DecisionTrace& decision_trace() const noexcept {
+    return trace_;
+  }
+  [[nodiscard]] trace::DecisionTrace& decision_trace() noexcept {
+    return trace_;
+  }
+
  private:
   struct CoreState {
     isa::InstrCounts last_counts;
@@ -63,6 +72,7 @@ class GlobalAffinityScheduler {
   Cycles last_swap_ = 0;
   std::uint64_t swaps_ = 0;
   std::uint64_t decisions_ = 0;
+  trace::DecisionTrace trace_;
 };
 
 /// Round-Robin for N cores: every interval, rotate by swapping one pair

@@ -126,6 +126,7 @@ void HpeScheduler::tick(sim::DualCoreSystem& system) {
 
   // Estimated speedup of moving each thread to the *other* core, from the
   // instruction composition observed over the last interval.
+  trace::DecisionRecord rec;
   double est[2] = {1.0, 1.0};
   for (std::size_t i = 0; i < 2; ++i) {
     sim::ThreadContext* t = system.thread_on(i);
@@ -133,6 +134,8 @@ void HpeScheduler::tick(sim::DualCoreSystem& system) {
     const isa::InstrCounts delta = t->committed().since(st.last_counts);
     st.last_counts = t->committed();
     if (delta.total() == 0) continue;  // stalled thread: no information
+    rec.int_pct[i] = static_cast<float>(delta.int_pct());
+    rec.fp_pct[i] = static_cast<float>(delta.fp_pct());
     const double ratio =
         model_->predict_ratio(delta.int_pct(), delta.fp_pct());
     est[i] = system.core(i).config().kind == CoreKind::Int
@@ -141,7 +144,15 @@ void HpeScheduler::tick(sim::DualCoreSystem& system) {
   }
 
   const double est_weighted_speedup = 0.5 * (est[0] + est[1]);
-  if (est_weighted_speedup > cfg_.swap_speedup_threshold) do_swap(system);
+  rec.estimate = static_cast<float>(est_weighted_speedup);
+  if (est_weighted_speedup > cfg_.swap_speedup_threshold) {
+    do_swap(system);
+    rec.swapped = true;
+    rec.reason = trace::Reason::kEstimateSwap;
+  } else {
+    rec.reason = trace::Reason::kBelowThreshold;
+  }
+  record_decision(system, rec);
 }
 
 HpeModels build_hpe_models(const sim::CoreConfig& int_core,

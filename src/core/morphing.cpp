@@ -124,21 +124,44 @@ void MorphScheduler::evaluate(sim::DualCoreSystem& system) {
   count_decision();
   const PairComposition comp = composition(system);
 
+  trace::DecisionRecord rec;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const sim::ThreadContext* t = system.thread_on(i);
+    const WindowSample& s =
+        monitors_[static_cast<std::size_t>(t->id())].latest();
+    rec.int_pct[i] = static_cast<float>(s.int_pct);
+    rec.fp_pct[i] = static_cast<float>(s.fp_pct);
+  }
+  rec.history = static_cast<std::int16_t>(
+      mode_ == Mode::Baseline ? swap_votes_.size() : diverge_votes_.size());
+
   if (mode_ == Mode::Baseline) {
     push_bounded(&swap_votes_, should_swap(comp, cfg_.thresholds),
                  cfg_.history_depth);
     push_bounded(&conflict_votes_, same_flavor_conflict(comp, cfg_.thresholds),
                  cfg_.history_depth);
+    int votes = 0;
+    for (bool v : swap_votes_) votes += v ? 1 : 0;
+    rec.votes = static_cast<std::int16_t>(votes);
 
     if (majority(swap_votes_, cfg_.history_depth)) {
       do_swap(system);
       swap_votes_.clear();
       last_action_ = system.now();
+      rec.swapped = true;
+      rec.reason = trace::Reason::kRuleSwap;
+      record_decision(system, rec);
       return;
     }
     if (majority(conflict_votes_, cfg_.history_depth)) {
       enter_morphed(system);
+      rec.reason = trace::Reason::kMorphEnter;
+      record_decision(system, rec);
+      return;
     }
+    rec.reason = votes > 0 ? trace::Reason::kMajorityPending
+                           : trace::Reason::kNone;
+    record_decision(system, rec);
     return;
   }
 
@@ -151,8 +174,15 @@ void MorphScheduler::evaluate(sim::DualCoreSystem& system) {
       (comp.int_pct_on_fp_core >= cfg_.thresholds.int_surge &&
        comp.fp_pct_on_int_core >= cfg_.thresholds.fp_surge);
   push_bounded(&diverge_votes_, diverged, cfg_.history_depth);
+  {
+    int votes = 0;
+    for (bool v : diverge_votes_) votes += v ? 1 : 0;
+    rec.votes = static_cast<std::int16_t>(votes);
+  }
   if (majority(diverge_votes_, cfg_.history_depth)) {
     exit_morphed(system);
+    rec.reason = trace::Reason::kMorphExit;
+    record_decision(system, rec);
     return;
   }
 
@@ -160,7 +190,14 @@ void MorphScheduler::evaluate(sim::DualCoreSystem& system) {
   if (system.now() - last_action_ >= cfg_.fairness_interval) {
     do_swap(system);
     last_action_ = system.now();
+    rec.swapped = true;
+    rec.reason = trace::Reason::kForcedSwap;
+    record_decision(system, rec);
+    return;
   }
+  rec.reason = rec.votes > 0 ? trace::Reason::kMajorityPending
+                             : trace::Reason::kNone;
+  record_decision(system, rec);
 }
 
 }  // namespace amps::sched

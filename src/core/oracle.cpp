@@ -38,19 +38,29 @@ void OracleScheduler::tick(sim::DualCoreSystem& system) {
   if (system.now() - last_swap_ < cfg_.swap_cooldown) return;
   count_decision();
 
+  trace::DecisionRecord rec;
   double est[2] = {1.0, 1.0};
   for (std::size_t i = 0; i < 2; ++i) {
     const sim::ThreadContext* t = system.thread_on(i);
     const WindowSample& s =
         monitors_[static_cast<std::size_t>(t->id())].latest();
+    rec.int_pct[i] = static_cast<float>(s.int_pct);
+    rec.fp_pct[i] = static_cast<float>(s.fp_pct);
     const double ratio = model_->predict_ratio(s.int_pct, s.fp_pct);
     est[i] = system.core(i).config().kind == CoreKind::Int ? 1.0 / ratio
                                                            : ratio;
   }
-  if (0.5 * (est[0] + est[1]) > cfg_.swap_speedup_threshold) {
+  const double est_weighted_speedup = 0.5 * (est[0] + est[1]);
+  rec.estimate = static_cast<float>(est_weighted_speedup);
+  if (est_weighted_speedup > cfg_.swap_speedup_threshold) {
     do_swap(system);
     last_swap_ = system.now();
+    rec.swapped = true;
+    rec.reason = trace::Reason::kEstimateSwap;
+  } else {
+    rec.reason = trace::Reason::kBelowThreshold;
   }
+  record_decision(system, rec);
 }
 
 }  // namespace amps::sched

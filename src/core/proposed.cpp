@@ -63,19 +63,34 @@ void ProposedScheduler::evaluate(sim::DualCoreSystem& system) {
   count_decision();
   const PairComposition comp = composition(system);
 
+  trace::DecisionRecord rec;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const sim::ThreadContext* t = system.thread_on(i);
+    const WindowSample& s =
+        monitors_[static_cast<std::size_t>(t->id())].latest();
+    rec.int_pct[i] = static_cast<float>(s.int_pct);
+    rec.fp_pct[i] = static_cast<float>(s.fp_pct);
+  }
+
   // Tentative decision for this window; majority over the history depth
   // triggers the actual swap (paper §VI-B).
   history_.push_back(should_swap(comp, cfg_.thresholds));
   while (history_.size() > static_cast<std::size_t>(cfg_.history_depth))
     history_.pop_front();
 
+  int votes = 0;
+  for (bool v : history_) votes += v ? 1 : 0;
+  rec.votes = static_cast<std::int16_t>(votes);
+  rec.history = static_cast<std::int16_t>(history_.size());
+
   if (history_.size() == static_cast<std::size_t>(cfg_.history_depth)) {
-    int votes = 0;
-    for (bool v : history_) votes += v ? 1 : 0;
     if (2 * votes > cfg_.history_depth) {
       do_swap(system);
       history_.clear();
       last_swap_cycle_ = system.now();
+      rec.swapped = true;
+      rec.reason = trace::Reason::kRuleSwap;
+      record_decision(system, rec);
       return;
     }
   }
@@ -88,7 +103,15 @@ void ProposedScheduler::evaluate(sim::DualCoreSystem& system) {
     ++forced_;
     history_.clear();
     last_swap_cycle_ = system.now();
+    rec.swapped = true;
+    rec.reason = trace::Reason::kForcedSwap;
+    record_decision(system, rec);
+    return;
   }
+
+  rec.reason = votes > 0 ? trace::Reason::kMajorityPending
+                         : trace::Reason::kNone;
+  record_decision(system, rec);
 }
 
 }  // namespace amps::sched

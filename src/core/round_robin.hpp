@@ -23,6 +23,10 @@ class RoundRobinScheduler final : public Scheduler {
     if (system.swap_in_progress()) return;
     count_decision();
     do_swap(system);
+    trace::DecisionRecord rec;
+    rec.swapped = true;
+    rec.reason = trace::Reason::kIntervalSwap;
+    record_decision(system, rec);
   }
 
   /// Purely interval-driven.

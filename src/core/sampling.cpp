@@ -56,11 +56,18 @@ void SamplingScheduler::tick(sim::DualCoreSystem& system) {
 
     case State::MeasureSwapped: {
       const double swapped_ipw = ipw_since(system, mark_);
+      trace::DecisionRecord rec;
+      rec.estimate = static_cast<float>(
+          incumbent_ipw_ > 0.0 ? swapped_ipw / incumbent_ipw_ : 0.0);
       if (swapped_ipw > incumbent_ipw_ * cfg_.keep_threshold) {
         ++kept_;  // the swapped configuration wins; stay
+        rec.swapped = true;  // the trial swap is being kept
+        rec.reason = trace::Reason::kSampleKeep;
       } else {
         do_swap(system);  // revert
+        rec.reason = trace::Reason::kSampleRevert;
       }
+      record_decision(system, rec);
       state_ = State::Idle;
       state_until_ = system.now() + cfg_.decision_interval;
       break;

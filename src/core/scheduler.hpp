@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.hpp"
 #include "sim/system.hpp"
 
 namespace amps::sched {
@@ -76,6 +77,15 @@ class Scheduler {
     return swap_times_;
   }
 
+  /// Per-decision trace: always-on summary (folded into PairRunResult) plus
+  /// a ring of full records while tracing is armed (AMPS_TRACE).
+  [[nodiscard]] const trace::DecisionTrace& decision_trace() const noexcept {
+    return trace_;
+  }
+  [[nodiscard]] trace::DecisionTrace& decision_trace() noexcept {
+    return trace_;
+  }
+
  protected:
   void count_decision() noexcept { ++decisions_; }
   /// Requests the swap and tracks it.
@@ -85,11 +95,23 @@ class Scheduler {
     ++swaps_;
   }
 
+  /// Stamps `r` with the decision cycle and sequence number and records it.
+  /// Call exactly once per decision point, after the outcome is known (the
+  /// swap does not advance the clock, so recording after do_swap() still
+  /// timestamps the decision cycle).
+  void record_decision(const sim::DualCoreSystem& system,
+                       trace::DecisionRecord r) {
+    r.cycle = system.now();
+    r.seq = trace_.summary().windows;
+    trace_.record(r);
+  }
+
  private:
   std::string name_;
   std::uint64_t decisions_ = 0;
   std::uint64_t swaps_ = 0;
   std::vector<Cycles> swap_times_;
+  trace::DecisionTrace trace_;
 };
 
 }  // namespace amps::sched

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/stats.hpp"
 #include "core/proposed.hpp"
 #include "core/round_robin.hpp"
 #include "core/static_sched.hpp"
@@ -23,6 +24,8 @@ ExperimentRunner::ExperimentRunner(sim::SimScale scale, sim::CoreConfig core_a,
 
 metrics::PairRunResult ExperimentRunner::run_pair(
     const BenchmarkPair& pair, sched::Scheduler& scheduler) const {
+  AMPS_COUNTER_INC("harness.pair_runs");
+  AMPS_SCOPED_TIMER("harness.pair_run_ns");
   sim::DualCoreSystem system(int_core_, fp_core_, scale_.swap_overhead);
   sim::ThreadContext t0(0, *pair.first);
   sim::ThreadContext t1(1, *pair.second);
@@ -64,9 +67,14 @@ metrics::PairRunResult ExperimentRunner::run_pair(
   }
 
   metrics::PairRunResult result = metrics::snapshot_run(
-      scheduler.name(), system, t0, t1, scheduler.decision_points());
+      scheduler.name(), system, t0, t1, scheduler.decision_points(),
+      &scheduler.decision_trace().summary());
   result.hit_cycle_bound = t0.committed_total() < scale_.run_length &&
                            t1.committed_total() < scale_.run_length;
+  if (trace::DecisionTrace::armed()) {
+    trace::append_jsonl(t0.name() + "+" + t1.name(), scheduler.name(),
+                        scheduler.decision_trace());
+  }
   return result;
 }
 
@@ -84,7 +92,11 @@ CacheKey ExperimentRunner::pair_run_cache_key(
 
 metrics::PairRunResult ExperimentRunner::run_pair(
     const BenchmarkPair& pair, const SchedulerFactory& factory) const {
-  if (factory.cacheable() && RunCache::enabled()) {
+  // Armed tracing bypasses the cache: a memoized result would skip the
+  // simulation and leave the JSONL dump incomplete. Trace state never
+  // enters CacheKeys, so disarmed runs keep their hits.
+  if (factory.cacheable() && RunCache::enabled() &&
+      !trace::DecisionTrace::armed()) {
     return RunCache::instance().pair_run(
         pair_run_cache_key(pair, factory), [&] {
           auto scheduler = factory();

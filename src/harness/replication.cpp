@@ -1,5 +1,6 @@
 #include "harness/replication.hpp"
 
+#include "common/stats.hpp"
 #include "mathx/stats.hpp"
 
 namespace amps::harness {
@@ -9,9 +10,11 @@ ReplicationResult replicate_comparison(const ExperimentRunner& runner,
                                        const SchedulerFactory& test,
                                        const SchedulerFactory& reference,
                                        const ReplicationConfig& cfg) {
+  AMPS_SCOPED_TIMER("harness.replication_ns");
   ReplicationResult result;
   result.per_seed_mean_weighted_pct.reserve(cfg.seeds.size());
   for (const std::uint64_t seed : cfg.seeds) {
+    AMPS_COUNTER_INC("harness.replication_seeds");
     const auto pairs = sample_pairs(catalog, cfg.pairs_per_seed, seed);
     const auto rows = compare_schedulers(runner, pairs, test, reference);
     std::vector<double> improvements;

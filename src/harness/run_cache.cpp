@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/stats.hpp"
 #include "core/hpe.hpp"
 
 namespace amps::harness {
@@ -18,8 +19,8 @@ constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
 
 std::uint64_t fnv1a(std::string_view s) noexcept {
   std::uint64_t h = kFnvOffset;
-  for (unsigned char c : s) {
-    h ^= c;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
     h *= kFnvPrime;
   }
   return h;
@@ -78,6 +79,9 @@ std::string serialize(const metrics::PairRunResult& r) {
   put_u64(&out, r.decision_points);
   put_double(&out, r.total_energy);
   put_u64(&out, r.hit_cycle_bound ? 1 : 0);
+  put_u64(&out, r.windows_observed);
+  put_u64(&out, r.forced_swap_count);
+  for (std::uint64_t count : r.decisions_by_reason) put_u64(&out, count);
   for (const metrics::ThreadRunStats& t : r.threads) {
     put_str(&out, t.benchmark);
     put_u64(&out, t.committed);
@@ -97,6 +101,11 @@ bool deserialize(std::istream& in, metrics::PairRunResult* r) {
       !get_double(in, &r->total_energy) || !get_u64(in, &bound))
     return false;
   r->hit_cycle_bound = bound != 0;
+  if (!get_u64(in, &r->windows_observed) ||
+      !get_u64(in, &r->forced_swap_count))
+    return false;
+  for (std::uint64_t& count : r->decisions_by_reason)
+    if (!get_u64(in, &count)) return false;
   for (metrics::ThreadRunStats& t : r->threads) {
     if (!get_str(in, &t.benchmark) || !get_u64(in, &t.committed) ||
         !get_u64(in, &t.cycles) || !get_u64(in, &t.swaps) ||
@@ -165,7 +174,9 @@ bool deserialize(std::istream& in, std::vector<sched::ProfileSample>* out) {
 
 // ---- disk layer ----------------------------------------------------------
 
-constexpr std::string_view kFileHeader = "amps-run-cache v1";
+// v2: PairRunResult gained the decision-trace summary fields. Old v1 files
+// fail the header check below and are recomputed cleanly.
+constexpr std::string_view kFileHeader = "amps-run-cache v2";
 
 std::filesystem::path cache_dir() {
   const char* dir = std::getenv("AMPS_CACHE_DIR");
@@ -405,6 +416,7 @@ T lookup_or_compute(std::string_view kind, const CacheKey& key, Map* map,
     auto it = map->find(key.text());
     if (it != map->end()) {
       ++stats->hits;
+      AMPS_COUNTER_INC("run_cache.hits");
       return it->second;
     }
   }
@@ -413,6 +425,8 @@ T lookup_or_compute(std::string_view kind, const CacheKey& key, Map* map,
     std::lock_guard<std::mutex> lock(*mutex);
     ++stats->hits;
     ++stats->disk_hits;
+    AMPS_COUNTER_INC("run_cache.hits");
+    AMPS_COUNTER_INC("run_cache.disk_hits");
     map->emplace(key.text(), value);
     return value;
   }
@@ -420,6 +434,7 @@ T lookup_or_compute(std::string_view kind, const CacheKey& key, Map* map,
   {
     std::lock_guard<std::mutex> lock(*mutex);
     ++stats->misses;
+    AMPS_COUNTER_INC("run_cache.misses");
     map->emplace(key.text(), value);
   }
   store_entry(kind, key, value);

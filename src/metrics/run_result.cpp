@@ -35,7 +35,8 @@ PairRunResult snapshot_run(const std::string& scheduler_name,
                            const sim::DualCoreSystem& system,
                            const sim::ThreadContext& t0,
                            const sim::ThreadContext& t1,
-                           std::uint64_t decision_points) {
+                           std::uint64_t decision_points,
+                           const trace::TraceSummary* summary) {
   PairRunResult r;
   r.scheduler = scheduler_name;
   const sim::ThreadContext* ts[2] = {&t0, &t1};
@@ -55,6 +56,11 @@ PairRunResult snapshot_run(const std::string& scheduler_name,
   r.swap_count = system.swap_count();
   r.decision_points = decision_points;
   r.total_energy = system.total_energy();
+  if (summary) {
+    r.windows_observed = summary->windows;
+    r.forced_swap_count = summary->forced_swaps;
+    r.decisions_by_reason = summary->by_reason;
+  }
   return r;
 }
 

@@ -2,9 +2,11 @@
 // comparisons between scheduling schemes the paper's figures plot.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
+#include "common/trace.hpp"
 #include "common/types.hpp"
 #include "sim/system.hpp"
 
@@ -33,6 +35,13 @@ struct PairRunResult {
   /// reached their committed-instruction budget (results are then partial).
   bool hit_cycle_bound = false;
 
+  /// Decision-trace summary (always maintained, independent of AMPS_TRACE):
+  /// windows the scheduler evaluated, forced swaps, and the outcome of each
+  /// decision point keyed by trace::Reason.
+  std::uint64_t windows_observed = 0;
+  std::uint64_t forced_swap_count = 0;
+  std::array<std::uint64_t, trace::kReasonCount> decisions_by_reason{};
+
   /// Per-thread IPC/Watt ratios against a baseline run of the same pair.
   [[nodiscard]] std::vector<double> ipw_ratios_vs(
       const PairRunResult& base) const;
@@ -52,11 +61,14 @@ struct PairRunResult {
   }
 };
 
-/// Captures the end-of-run state of `system` + its threads.
+/// Captures the end-of-run state of `system` + its threads. When the
+/// scheduler's decision-trace summary is available, pass it to fold the
+/// per-reason decision counts into the result.
 PairRunResult snapshot_run(const std::string& scheduler_name,
                            const sim::DualCoreSystem& system,
                            const sim::ThreadContext& t0,
                            const sim::ThreadContext& t1,
-                           std::uint64_t decision_points);
+                           std::uint64_t decision_points,
+                           const trace::TraceSummary* summary = nullptr);
 
 }  // namespace amps::metrics

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "common/stats.hpp"
+
 namespace amps::sim {
 
 DualCoreSystem::DualCoreSystem(const CoreConfig& a, const CoreConfig& b,
@@ -32,6 +34,7 @@ void DualCoreSystem::swap_threads() {
   threads_[0]->count_swap();
   threads_[1]->count_swap();
   ++swaps_;
+  AMPS_COUNTER_INC("sim.thread_swaps");
   swap_pending_ = true;
   swap_resume_at_ = now_ + swap_overhead_;
   swap_idle_energy_start_ = total_energy();
@@ -53,6 +56,7 @@ void DualCoreSystem::morph_cores(const CoreConfig& cfg0,
     ++swaps_;
   }
   ++morphs_;
+  AMPS_COUNTER_INC("sim.core_morphs");
   swap_pending_ = true;
   swap_resume_at_ = now_ + overhead;
   swap_idle_energy_start_ = total_energy();
@@ -86,6 +90,8 @@ Cycles DualCoreSystem::step_until(Cycles until_cycle,
         threads_[1]->committed_total() - base1 >= commit_budget)
       break;
   }
+  // One relaxed add per *batch* (decision interval), not per cycle.
+  AMPS_COUNTER_ADD("sim.batched_cycles", now_ - start);
   return now_ - start;
 }
 

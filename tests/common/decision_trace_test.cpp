@@ -1,0 +1,165 @@
+// DecisionTrace semantics: the summary is always maintained, the ring only
+// fills while tracing is armed, eviction keeps the newest records, and the
+// JSONL line format is stable.
+#include "common/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace amps::trace {
+namespace {
+
+DecisionRecord make_record(std::uint64_t seq, Reason reason,
+                           bool swapped = false) {
+  DecisionRecord r;
+  r.cycle = 100 * seq;
+  r.seq = seq;
+  r.reason = reason;
+  r.swapped = swapped;
+  return r;
+}
+
+/// Restores env-following arming when a test returns (force_arm is
+/// process-wide).
+class ArmGuard {
+ public:
+  explicit ArmGuard(bool on) { DecisionTrace::force_arm(on); }
+  ~ArmGuard() { DecisionTrace::force_arm(false); }
+};
+
+TEST(DecisionTrace, ReasonNamesAreStableAndTotal) {
+  EXPECT_STREQ(to_string(Reason::kNone), "none");
+  EXPECT_STREQ(to_string(Reason::kMajorityPending), "majority-pending");
+  EXPECT_STREQ(to_string(Reason::kBelowThreshold), "below-threshold");
+  EXPECT_STREQ(to_string(Reason::kVetoMemBound), "veto-mem-bound");
+  EXPECT_STREQ(to_string(Reason::kVetoHealthyIpc), "veto-healthy-ipc");
+  EXPECT_STREQ(to_string(Reason::kRuleSwap), "rule-swap");
+  EXPECT_STREQ(to_string(Reason::kForcedSwap), "forced-swap");
+  EXPECT_STREQ(to_string(Reason::kEstimateSwap), "estimate-swap");
+  EXPECT_STREQ(to_string(Reason::kIntervalSwap), "interval-swap");
+  EXPECT_STREQ(to_string(Reason::kSampleKeep), "sample-keep");
+  EXPECT_STREQ(to_string(Reason::kSampleRevert), "sample-revert");
+  EXPECT_STREQ(to_string(Reason::kMorphEnter), "morph-enter");
+  EXPECT_STREQ(to_string(Reason::kMorphExit), "morph-exit");
+  EXPECT_STREQ(to_string(Reason::kAffinitySwap), "affinity-swap");
+  // Every enumerator below kCount has a real name.
+  for (std::size_t i = 0; i < kReasonCount; ++i)
+    EXPECT_STRNE(to_string(static_cast<Reason>(i)), "invalid");
+}
+
+TEST(DecisionTrace, SwapAndNoSwapReasonsAreDisjoint) {
+  EXPECT_FALSE(is_swap_reason(Reason::kNone));
+  EXPECT_FALSE(is_swap_reason(Reason::kMajorityPending));
+  EXPECT_FALSE(is_swap_reason(Reason::kBelowThreshold));
+  EXPECT_FALSE(is_swap_reason(Reason::kVetoMemBound));
+  EXPECT_FALSE(is_swap_reason(Reason::kVetoHealthyIpc));
+  EXPECT_TRUE(is_swap_reason(Reason::kRuleSwap));
+  EXPECT_TRUE(is_swap_reason(Reason::kForcedSwap));
+  EXPECT_TRUE(is_swap_reason(Reason::kEstimateSwap));
+  EXPECT_TRUE(is_swap_reason(Reason::kIntervalSwap));
+  EXPECT_TRUE(is_swap_reason(Reason::kAffinitySwap));
+}
+
+TEST(DecisionTrace, SummaryIsMaintainedEvenWhenDisarmed) {
+  ArmGuard guard(false);
+  DecisionTrace t;
+  t.record(make_record(0, Reason::kNone));
+  t.record(make_record(1, Reason::kRuleSwap, /*swapped=*/true));
+  t.record(make_record(2, Reason::kForcedSwap, /*swapped=*/true));
+  t.record(make_record(3, Reason::kMajorityPending));
+
+#if AMPS_OBSERVABILITY
+  const TraceSummary& s = t.summary();
+  EXPECT_EQ(s.windows, 4u);
+  EXPECT_EQ(s.swaps, 2u);
+  EXPECT_EQ(s.forced_swaps, 1u);
+  EXPECT_EQ(s.by_reason[static_cast<std::size_t>(Reason::kNone)], 1u);
+  EXPECT_EQ(s.by_reason[static_cast<std::size_t>(Reason::kRuleSwap)], 1u);
+  EXPECT_EQ(s.by_reason[static_cast<std::size_t>(Reason::kForcedSwap)], 1u);
+  EXPECT_EQ(s.by_reason[static_cast<std::size_t>(Reason::kMajorityPending)],
+            1u);
+  // Disarmed: nothing buffered.
+  EXPECT_TRUE(t.records().empty());
+#else
+  EXPECT_EQ(t.summary().windows, 0u);  // compiled out entirely
+#endif
+}
+
+#if AMPS_OBSERVABILITY
+
+TEST(DecisionTrace, ArmedRingBuffersRecordsInOrder) {
+  ArmGuard guard(true);
+  DecisionTrace t;
+  for (std::uint64_t i = 0; i < 5; ++i)
+    t.record(make_record(i, Reason::kNone));
+  const std::vector<DecisionRecord> records = t.records();
+  ASSERT_EQ(records.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(records[i].seq, i);
+    EXPECT_EQ(records[i].cycle, 100 * i);
+  }
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(DecisionTrace, RingEvictsOldestAndCountsDrops) {
+  ArmGuard guard(true);
+  DecisionTrace t(/*capacity=*/4);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    t.record(make_record(i, Reason::kNone));
+  const std::vector<DecisionRecord> records = t.records();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest-first over the surviving (newest) window: 6,7,8,9.
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(records[i].seq, 6 + i);
+  EXPECT_EQ(t.dropped(), 6u);
+  EXPECT_EQ(t.summary().windows, 10u);  // the summary never drops
+}
+
+TEST(DecisionTrace, ClearResetsEverything) {
+  ArmGuard guard(true);
+  DecisionTrace t;
+  t.record(make_record(0, Reason::kRuleSwap, true));
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_EQ(t.summary().windows, 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(DecisionTrace, ForceArmOverridesEnvironment) {
+  DecisionTrace::force_arm(true);
+  EXPECT_TRUE(DecisionTrace::armed());
+  DecisionTrace::force_arm(false);
+  EXPECT_FALSE(DecisionTrace::armed());
+}
+
+TEST(DecisionTrace, JsonlLineFormatIsStable) {
+  DecisionRecord r;
+  r.cycle = 12'345;
+  r.seq = 7;
+  r.int_pct[0] = 62.5f;
+  r.fp_pct[0] = 12.5f;
+  r.int_pct[1] = 25.0f;
+  r.fp_pct[1] = 50.0f;
+  r.estimate = 1.0625f;
+  r.votes = 3;
+  r.history = 5;
+  r.swapped = true;
+  r.reason = Reason::kRuleSwap;
+  EXPECT_EQ(format_record("gzip+swim", "proposed", r),
+            "{\"run\":\"gzip+swim\",\"sched\":\"proposed\",\"seq\":7,"
+            "\"cycle\":12345,\"int0\":62.5,\"fp0\":12.5,\"int1\":25,"
+            "\"fp1\":50,\"est\":1.0625,\"votes\":3,\"hist\":5,"
+            "\"swap\":true,\"reason\":\"rule-swap\"}");
+
+  DecisionRecord d;  // defaults: n/a markers and no swap
+  EXPECT_EQ(format_record("a+b", "s", d),
+            "{\"run\":\"a+b\",\"sched\":\"s\",\"seq\":0,\"cycle\":0,"
+            "\"int0\":0,\"fp0\":0,\"int1\":0,\"fp1\":0,\"est\":0,"
+            "\"votes\":-1,\"hist\":-1,\"swap\":false,\"reason\":\"none\"}");
+}
+
+#endif  // AMPS_OBSERVABILITY
+
+}  // namespace
+}  // namespace amps::trace

@@ -1,0 +1,160 @@
+// The stats registry: cheap named counters and histograms with stable
+// references, name-sorted snapshots, and macros that vanish when
+// AMPS_OBSERVABILITY is 0. The registry is process-wide, so tests use a
+// distinct name prefix per test and filter snapshots by it.
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace amps::stats {
+namespace {
+
+std::uint64_t counter_value(std::string_view name) {
+  return Registry::instance().counter(name).value();
+}
+
+TEST(StatsRegistry, CounterAddsAndReads) {
+  Counter& c = Registry::instance().counter("t1.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add(3);
+  c.add();
+  EXPECT_EQ(c.value(), 4u);
+  EXPECT_EQ(c.name(), "t1.counter");
+}
+
+TEST(StatsRegistry, HistogramTracksCountSumMinMaxMean) {
+  Histogram& h = Registry::instance().histogram("t2.hist");
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);  // empty histogram reads as zeros
+  EXPECT_EQ(h.mean(), 0.0);
+  h.record(10);
+  h.record(30);
+  h.record(20);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(StatsRegistry, HistogramExtremesStayInBounds) {
+  // bit_width(2^63) == 64: must land in the top bucket, not past the array.
+  Histogram& h = Registry::instance().histogram("t3.extremes");
+  h.record(0);
+  h.record(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1u);
+}
+
+TEST(StatsRegistry, GetOrCreateReturnsStableReferences) {
+  Registry& reg = Registry::instance();
+  Counter& a = reg.counter("t4.alpha");
+  Counter& a2 = reg.counter("t4.alpha");
+  EXPECT_EQ(&a, &a2);  // same name -> same object
+  Histogram& h = reg.histogram("t4.hist");
+  EXPECT_EQ(&reg.histogram("t4.hist"), &h);
+}
+
+TEST(StatsRegistry, SnapshotsAreSortedByName) {
+  Registry& reg = Registry::instance();
+  reg.counter("t5.zeta").add(1);
+  reg.counter("t5.alpha").add(2);
+  reg.counter("t5.mid").add(3);
+  std::vector<CounterSnapshot> snap = reg.counters();
+  EXPECT_TRUE(std::is_sorted(
+      snap.begin(), snap.end(),
+      [](const CounterSnapshot& x, const CounterSnapshot& y) {
+        return x.name < y.name;
+      }));
+  // Our three entries appear with their values, in name order.
+  std::vector<CounterSnapshot> mine;
+  for (const CounterSnapshot& s : snap)
+    if (s.name.rfind("t5.", 0) == 0) mine.push_back(s);
+  ASSERT_EQ(mine.size(), 3u);
+  EXPECT_EQ(mine[0].name, "t5.alpha");
+  EXPECT_EQ(mine[0].value, 2u);
+  EXPECT_EQ(mine[1].name, "t5.mid");
+  EXPECT_EQ(mine[2].name, "t5.zeta");
+}
+
+TEST(StatsRegistry, ResetZeroesValuesButKeepsReferencesValid) {
+  Registry& reg = Registry::instance();
+  Counter& c = reg.counter("t6.reset_me");
+  c.add(9);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // the same object, zeroed
+  c.add(1);
+  EXPECT_EQ(counter_value("t6.reset_me"), 1u);
+}
+
+TEST(StatsRegistry, ScopedTimerRecordsOneSample) {
+  Histogram& h = Registry::instance().histogram("t7.timer_ns");
+  const std::uint64_t before = h.count();
+  {
+    ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h.count(), before + 1);
+}
+
+TEST(StatsRegistry, CountersAreThreadSafe) {
+  Counter& c = Registry::instance().counter("t8.mt");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(StatsRegistry, DumpMentionsNonZeroMetrics) {
+  Registry& reg = Registry::instance();
+  reg.counter("t9.dumped").add(42);
+  reg.histogram("t9.hist").record(5);
+  std::ostringstream os;
+  reg.dump(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("t9.dumped = 42"), std::string::npos);
+  EXPECT_NE(text.find("t9.hist"), std::string::npos);
+
+  std::ostringstream js;
+  reg.dump_json(js);
+  EXPECT_NE(js.str().find("\"t9.dumped\":42"), std::string::npos);
+}
+
+TEST(StatsRegistry, MacrosFeedTheRegistryWhenCompiledIn) {
+#if AMPS_OBSERVABILITY
+  AMPS_COUNTER_INC("t10.macro");
+  AMPS_COUNTER_ADD("t10.macro", 2);
+  EXPECT_EQ(counter_value("t10.macro"), 3u);
+  const std::uint64_t before =
+      Registry::instance().histogram("t10.macro_timer").count();
+  {
+    AMPS_SCOPED_TIMER("t10.macro_timer");
+  }
+  EXPECT_EQ(Registry::instance().histogram("t10.macro_timer").count(),
+            before + 1);
+#else
+  AMPS_COUNTER_INC("t10.macro");
+  AMPS_COUNTER_ADD("t10.macro", 2);
+  { AMPS_SCOPED_TIMER("t10.macro_timer"); }
+  EXPECT_EQ(counter_value("t10.macro"), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace amps::stats

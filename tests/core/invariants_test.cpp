@@ -1,0 +1,241 @@
+// Behavioral invariants of the scheduler families, checked through the
+// decision trace: Round-Robin's strict periodicity, the proposed scheme's
+// forced fairness swap, HPE's threshold discipline, and the oracle's
+// never-worse-than-static property. Each invariant is asserted under BOTH
+// the fast and the reference engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "core/hpe.hpp"
+#include "core/oracle.hpp"
+#include "core/proposed.hpp"
+#include "core/round_robin.hpp"
+#include "core/static_sched.hpp"
+#include "harness/experiment.hpp"
+#include "sim/core_config.hpp"
+
+namespace amps::sim {
+namespace {
+
+SimScale small_scale() {
+  SimScale s;
+  s.context_switch_interval = 15'000;
+  s.run_length = 40'000;
+  return s;
+}
+
+CoreConfig with_engine(CoreConfig cfg, bool fast) {
+  cfg.fast_engine = fast;
+  return cfg;
+}
+
+harness::ExperimentRunner make_runner(const SimScale& scale, bool fast) {
+  return harness::ExperimentRunner(scale,
+                                   with_engine(int_core_config(), fast),
+                                   with_engine(fp_core_config(), fast));
+}
+
+harness::BenchmarkPair pick_pair(const wl::BenchmarkCatalog& cat,
+                                 std::string_view a, std::string_view b) {
+  return {&cat.by_name(a), &cat.by_name(b)};
+}
+
+/// Arms ring recording for the test body; restores disarmed on exit.
+class ArmGuard {
+ public:
+  ArmGuard() { trace::DecisionTrace::force_arm(true); }
+  ~ArmGuard() { trace::DecisionTrace::force_arm(false); }
+};
+
+const sched::HpeModels& shared_models() {
+  static const sched::HpeModels models = [] {
+    const harness::ExperimentRunner runner(small_scale());
+    const wl::BenchmarkCatalog catalog;
+    return runner.build_models(catalog);
+  }();
+  return models;
+}
+
+// --- Round-Robin: swaps at exact multiples of its interval ----------------
+
+void check_round_robin_periodicity(bool fast_engine) {
+  SCOPED_TRACE(fast_engine ? "fast engine" : "reference engine");
+  ArmGuard armed;
+  const wl::BenchmarkCatalog catalog;
+  const SimScale scale = small_scale();
+  const harness::ExperimentRunner runner = make_runner(scale, fast_engine);
+
+  sched::RoundRobinScheduler rr(scale.context_switch_interval);
+  const auto result =
+      runner.run_pair(pick_pair(catalog, "gzip", "swim"), rr);
+
+  const std::vector<trace::DecisionRecord> records =
+      rr.decision_trace().records();
+  ASSERT_GE(records.size(), 2u) << "run too short to observe RR swaps";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    // Strict periodicity: the i-th swap lands exactly at (i+1) intervals.
+    EXPECT_EQ(records[i].cycle,
+              (i + 1) * scale.context_switch_interval);
+    EXPECT_TRUE(records[i].swapped);
+    EXPECT_EQ(records[i].reason, trace::Reason::kIntervalSwap);
+  }
+  // Every decision point swaps, and the result mirrors the summary.
+  EXPECT_EQ(rr.decision_trace().summary().swaps,
+            rr.decision_trace().summary().windows);
+#if AMPS_OBSERVABILITY
+  EXPECT_EQ(result.windows_observed, records.size());
+  EXPECT_EQ(result.decisions_by_reason[static_cast<std::size_t>(
+                trace::Reason::kIntervalSwap)],
+            records.size());
+#else
+  (void)result;
+#endif
+}
+
+TEST(SchedulerInvariants, RoundRobinSwapsExactlyEveryInterval) {
+#if !AMPS_OBSERVABILITY
+  GTEST_SKIP() << "needs the decision-trace ring (AMPS_OBSERVABILITY=0)";
+#endif
+  check_round_robin_periodicity(/*fast_engine=*/true);
+  check_round_robin_periodicity(/*fast_engine=*/false);
+}
+
+// --- Proposed: forced fairness swap on same-flavor pairs ------------------
+
+void check_forced_swap(bool fast_engine) {
+  SCOPED_TRACE(fast_engine ? "fast engine" : "reference engine");
+  const wl::BenchmarkCatalog catalog;
+  const SimScale scale = small_scale();
+  const harness::ExperimentRunner runner = make_runner(scale, fast_engine);
+  // Two INT-heavy threads: the Fig. 5 composition rules see no flavor
+  // mismatch, so only the fairness rule can ever swap them.
+  const harness::BenchmarkPair pair = pick_pair(catalog, "gzip", "bzip2");
+
+  sched::ProposedConfig cfg;
+  cfg.window_size = scale.window_size;
+  cfg.history_depth = scale.history_depth;
+  cfg.forced_swap_interval = scale.context_switch_interval;
+  sched::ProposedScheduler proposed(cfg);
+  const auto result = runner.run_pair(pair, proposed);
+
+  EXPECT_GE(proposed.forced_swaps(), 1u)
+      << "no forced swap during a run spanning "
+      << result.total_cycles / scale.context_switch_interval
+      << " fairness periods";
+#if AMPS_OBSERVABILITY
+  EXPECT_EQ(result.forced_swap_count, proposed.forced_swaps());
+  EXPECT_EQ(result.decisions_by_reason[static_cast<std::size_t>(
+                trace::Reason::kForcedSwap)],
+            proposed.forced_swaps());
+#endif
+
+  // Ablation: with the fairness rule off, the same pair never swaps.
+  cfg.enable_forced_swap = false;
+  sched::ProposedScheduler no_fairness(cfg);
+  const auto ablated = runner.run_pair(pair, no_fairness);
+  EXPECT_EQ(no_fairness.forced_swaps(), 0u);
+  EXPECT_EQ(ablated.forced_swap_count, 0u);
+}
+
+TEST(SchedulerInvariants, ProposedForcedSwapFiresOnSameFlavorPairs) {
+  check_forced_swap(/*fast_engine=*/true);
+  check_forced_swap(/*fast_engine=*/false);
+}
+
+// --- HPE: swaps exactly when the estimate clears the threshold ------------
+
+void check_hpe_threshold(bool fast_engine) {
+  SCOPED_TRACE(fast_engine ? "fast engine" : "reference engine");
+  ArmGuard armed;
+  const wl::BenchmarkCatalog catalog;
+  const SimScale scale = small_scale();
+  const harness::ExperimentRunner runner = make_runner(scale, fast_engine);
+
+  sched::HpeConfig cfg;
+  cfg.decision_interval = scale.context_switch_interval;
+  const double threshold = cfg.swap_speedup_threshold;
+
+  for (const char* kind : {"matrix", "regression"}) {
+    SCOPED_TRACE(kind);
+    const sched::HpePredictionModel& model =
+        std::string_view(kind) == "matrix"
+            ? static_cast<const sched::HpePredictionModel&>(
+                  *shared_models().matrix)
+            : *shared_models().regression;
+    sched::HpeScheduler hpe(model, cfg);
+    runner.run_pair(pick_pair(catalog, "swim", "gzip"), hpe);
+
+    const std::vector<trace::DecisionRecord> records =
+        hpe.decision_trace().records();
+    ASSERT_FALSE(records.empty());
+    // `estimate` is the recorded (float) weighted speedup; allow float
+    // rounding slack only at the exact threshold.
+    constexpr double kEps = 1e-4;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      SCOPED_TRACE("record " + std::to_string(i));
+      if (records[i].swapped) {
+        EXPECT_GT(records[i].estimate, threshold - kEps);
+        EXPECT_EQ(records[i].reason, trace::Reason::kEstimateSwap);
+      } else {
+        EXPECT_LE(records[i].estimate, threshold + kEps);
+        EXPECT_EQ(records[i].reason, trace::Reason::kBelowThreshold);
+      }
+    }
+  }
+}
+
+TEST(SchedulerInvariants, HpeSwapsOnlyWhenEstimateClearsThreshold) {
+#if !AMPS_OBSERVABILITY
+  GTEST_SKIP() << "needs the decision-trace ring (AMPS_OBSERVABILITY=0)";
+#endif
+  check_hpe_threshold(/*fast_engine=*/true);
+  check_hpe_threshold(/*fast_engine=*/false);
+}
+
+// --- Oracle: never underperforms the static assignment --------------------
+
+void check_oracle_vs_static(bool fast_engine) {
+  SCOPED_TRACE(fast_engine ? "fast engine" : "reference engine");
+  const wl::BenchmarkCatalog catalog;
+  const SimScale scale = small_scale();
+  const harness::ExperimentRunner runner = make_runner(scale, fast_engine);
+  const sched::HpePredictionModel& model = *shared_models().regression;
+
+  // Mismatched start (FP-heavy swim on the INT core, INT-heavy gzip on the
+  // FP core): the oracle must repair it and beat static outright.
+  {
+    const harness::BenchmarkPair pair = pick_pair(catalog, "swim", "gzip");
+    sched::OracleScheduler oracle(model);
+    const auto dyn = runner.run_pair(pair, oracle);
+    sched::StaticScheduler fixed;
+    const auto stat = runner.run_pair(pair, fixed);
+    EXPECT_GE(dyn.weighted_ipw_speedup_vs(stat), 1.0)
+        << "oracle lost to static on a mismatched pair";
+  }
+
+  // Matched start (gzip on INT, swim on FP): static is already optimal;
+  // the oracle may only pay bounded swap overhead, never a real loss.
+  {
+    const harness::BenchmarkPair pair = pick_pair(catalog, "gzip", "swim");
+    sched::OracleScheduler oracle(model);
+    const auto dyn = runner.run_pair(pair, oracle);
+    sched::StaticScheduler fixed;
+    const auto stat = runner.run_pair(pair, fixed);
+    EXPECT_GE(dyn.weighted_ipw_speedup_vs(stat), 0.97)
+        << "oracle paid more than 3% on an already-optimal assignment";
+  }
+}
+
+TEST(SchedulerInvariants, OracleNeverUnderperformsStatic) {
+  check_oracle_vs_static(/*fast_engine=*/true);
+  check_oracle_vs_static(/*fast_engine=*/false);
+}
+
+}  // namespace
+}  // namespace amps::sim

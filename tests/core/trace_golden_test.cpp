@@ -1,0 +1,124 @@
+// Golden-file test for the decision trace: one pinned configuration
+// (proposed scheduler, gzip+swim, small scale) is simulated, its trace is
+// rendered through the same JSONL formatter AMPS_TRACE uses, and every
+// line is compared field-for-field against the committed golden. Any
+// change to scheduler decisions, record contents, or the JSONL schema
+// shows up as a diff here.
+//
+// Regenerate intentionally with:  AMPS_UPDATE_GOLDEN=1 ./trace_golden_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "core/proposed.hpp"
+#include "harness/experiment.hpp"
+#include "sim/core_config.hpp"
+
+#ifndef AMPS_TEST_DATA_DIR
+#error "AMPS_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace amps::sim {
+namespace {
+
+constexpr const char* kGoldenPath = AMPS_TEST_DATA_DIR "/trace_golden.jsonl";
+
+/// The pinned run. Every knob is spelled out: the golden is invalidated on
+/// purpose when any of them changes.
+std::vector<std::string> render_pinned_trace() {
+  trace::DecisionTrace::force_arm(true);
+  SimScale scale;
+  scale.context_switch_interval = 15'000;
+  scale.run_length = 40'000;
+  scale.window_size = 1'000;
+  scale.history_depth = 5;
+  scale.swap_overhead = 100;
+  const harness::ExperimentRunner runner(scale);
+
+  const wl::BenchmarkCatalog catalog;
+  const harness::BenchmarkPair pair{&catalog.by_name("gzip"),
+                                    &catalog.by_name("swim")};
+
+  sched::ProposedConfig cfg;
+  cfg.window_size = scale.window_size;
+  cfg.history_depth = scale.history_depth;
+  cfg.forced_swap_interval = scale.context_switch_interval;
+  sched::ProposedScheduler proposed(cfg);
+  runner.run_pair(pair, proposed);
+  trace::DecisionTrace::force_arm(false);
+
+  std::vector<std::string> lines;
+  for (const trace::DecisionRecord& r : proposed.decision_trace().records())
+    lines.push_back(trace::format_record("gzip+swim", proposed.name(), r));
+  return lines;
+}
+
+std::vector<std::string> read_lines(const char* path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+#if AMPS_OBSERVABILITY
+
+TEST(TraceGolden, PinnedConfigMatchesCommittedJsonl) {
+  const std::vector<std::string> actual = render_pinned_trace();
+  ASSERT_FALSE(actual.empty()) << "pinned run produced no decisions";
+
+  if (std::getenv("AMPS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << kGoldenPath;
+    for (const std::string& line : actual) out << line << "\n";
+    GTEST_SKIP() << "golden regenerated at " << kGoldenPath << " ("
+                 << actual.size() << " lines); rerun without "
+                 << "AMPS_UPDATE_GOLDEN to verify";
+  }
+
+  const std::vector<std::string> golden = read_lines(kGoldenPath);
+  ASSERT_FALSE(golden.empty())
+      << "missing golden " << kGoldenPath
+      << " — regenerate with AMPS_UPDATE_GOLDEN=1";
+  ASSERT_EQ(actual.size(), golden.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    SCOPED_TRACE("line " + std::to_string(i + 1));
+    EXPECT_EQ(actual[i], golden[i]);
+  }
+}
+
+// Field-by-field structural check, independent of exact values: every line
+// carries the full schema in pinned key order.
+TEST(TraceGolden, EveryGoldenLineCarriesTheFullSchema) {
+  const std::vector<std::string> golden = read_lines(kGoldenPath);
+  ASSERT_FALSE(golden.empty());
+  const char* keys[] = {"\"run\":",  "\"sched\":", "\"seq\":",
+                        "\"cycle\":", "\"int0\":",  "\"fp0\":",
+                        "\"int1\":",  "\"fp1\":",   "\"est\":",
+                        "\"votes\":", "\"hist\":",  "\"swap\":",
+                        "\"reason\":"};
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    SCOPED_TRACE("line " + std::to_string(i + 1));
+    const std::string& line = golden[i];
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    std::size_t last = 0;
+    for (const char* key : keys) {
+      const std::size_t at = line.find(key);
+      ASSERT_NE(at, std::string::npos) << "missing " << key;
+      EXPECT_GT(at, last == 0 ? 0u : last) << key << " out of order";
+      last = at;
+    }
+  }
+}
+
+#endif  // AMPS_OBSERVABILITY
+
+}  // namespace
+}  // namespace amps::sim

@@ -1,0 +1,256 @@
+// Differential fuzzing of the fast engine + batched stepping: ~200
+// randomized configurations (benchmark pair, window size, history depth,
+// swap threshold, forced-swap period, scheduler family — all drawn from a
+// seeded PRNG) each run under the fast engine and the reference engine,
+// asserting bit-equal PairRunResults AND identical decision traces
+// record-by-record. Any divergence between the engines, however small,
+// shows up as a concrete config + record index to replay.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "core/extended.hpp"
+#include "core/hpe.hpp"
+#include "core/proposed.hpp"
+#include "core/round_robin.hpp"
+#include "harness/experiment.hpp"
+#include "harness/sampler.hpp"
+#include "sim/core_config.hpp"
+
+namespace amps::sim {
+namespace {
+
+CoreConfig with_engine(CoreConfig cfg, bool fast) {
+  cfg.fast_engine = fast;
+  return cfg;
+}
+
+void expect_same_bits(double a, double b, const char* what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << what << ": " << a << " vs " << b;
+}
+
+void expect_same_bits(float a, float b, const char* what) {
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(a), std::bit_cast<std::uint32_t>(b))
+      << what << ": " << a << " vs " << b;
+}
+
+void expect_identical(const metrics::PairRunResult& a,
+                      const metrics::PairRunResult& b) {
+  EXPECT_EQ(a.scheduler, b.scheduler);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.swap_count, b.swap_count);
+  EXPECT_EQ(a.decision_points, b.decision_points);
+  EXPECT_EQ(a.hit_cycle_bound, b.hit_cycle_bound);
+  EXPECT_EQ(a.windows_observed, b.windows_observed);
+  EXPECT_EQ(a.forced_swap_count, b.forced_swap_count);
+  for (std::size_t i = 0; i < trace::kReasonCount; ++i)
+    EXPECT_EQ(a.decisions_by_reason[i], b.decisions_by_reason[i])
+        << "reason " << trace::to_string(static_cast<trace::Reason>(i));
+  expect_same_bits(a.total_energy, b.total_energy, "total_energy");
+  for (int i = 0; i < 2; ++i) {
+    const metrics::ThreadRunStats& ta = a.threads[i];
+    const metrics::ThreadRunStats& tb = b.threads[i];
+    EXPECT_EQ(ta.benchmark, tb.benchmark);
+    EXPECT_EQ(ta.committed, tb.committed);
+    EXPECT_EQ(ta.cycles, tb.cycles);
+    EXPECT_EQ(ta.swaps, tb.swaps);
+    expect_same_bits(ta.energy, tb.energy, "thread energy");
+    expect_same_bits(ta.ipc, tb.ipc, "thread ipc");
+    expect_same_bits(ta.ipc_per_watt, tb.ipc_per_watt, "thread ipw");
+  }
+}
+
+void expect_same_trace(const trace::DecisionTrace& a,
+                       const trace::DecisionTrace& b) {
+  EXPECT_EQ(a.summary().windows, b.summary().windows);
+  EXPECT_EQ(a.summary().swaps, b.summary().swaps);
+  EXPECT_EQ(a.summary().forced_swaps, b.summary().forced_swaps);
+  const std::vector<trace::DecisionRecord> ra = a.records();
+  const std::vector<trace::DecisionRecord> rb = b.records();
+  ASSERT_EQ(ra.size(), rb.size());
+  EXPECT_EQ(a.dropped(), b.dropped());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    EXPECT_EQ(ra[i].cycle, rb[i].cycle);
+    EXPECT_EQ(ra[i].seq, rb[i].seq);
+    EXPECT_EQ(ra[i].votes, rb[i].votes);
+    EXPECT_EQ(ra[i].history, rb[i].history);
+    EXPECT_EQ(ra[i].swapped, rb[i].swapped);
+    EXPECT_EQ(ra[i].reason, rb[i].reason)
+        << trace::to_string(ra[i].reason) << " vs "
+        << trace::to_string(rb[i].reason);
+    for (int c = 0; c < 2; ++c) {
+      expect_same_bits(ra[i].int_pct[c], rb[i].int_pct[c], "int_pct");
+      expect_same_bits(ra[i].fp_pct[c], rb[i].fp_pct[c], "fp_pct");
+    }
+    expect_same_bits(ra[i].estimate, rb[i].estimate, "estimate");
+  }
+}
+
+/// Arms ring recording for the test body; restores disarmed on exit.
+class ArmGuard {
+ public:
+  ArmGuard() { trace::DecisionTrace::force_arm(true); }
+  ~ArmGuard() { trace::DecisionTrace::force_arm(false); }
+};
+
+/// One randomized configuration, fully derived from the PRNG.
+struct FuzzConfig {
+  SimScale scale;
+  harness::BenchmarkPair pair;
+  int family = 0;  ///< 0 proposed, 1 extended, 2 round-robin, 3 HPE
+  int rr_multiplier = 1;
+  double hpe_threshold = 1.05;
+  bool hpe_matrix = false;
+  std::string label;
+};
+
+FuzzConfig draw_config(std::mt19937_64& rng, const wl::BenchmarkCatalog& cat) {
+  FuzzConfig c;
+  c.scale.context_switch_interval =
+      std::uniform_int_distribution<Cycles>(5'000, 30'000)(rng);
+  c.scale.run_length =
+      std::uniform_int_distribution<InstrCount>(12'000, 25'000)(rng);
+  constexpr InstrCount kWindows[] = {250, 500, 1'000, 2'000};
+  constexpr int kHistories[] = {1, 3, 5, 7};
+  c.scale.window_size =
+      kWindows[std::uniform_int_distribution<int>(0, 3)(rng)];
+  c.scale.history_depth =
+      kHistories[std::uniform_int_distribution<int>(0, 3)(rng)];
+  // One deterministic pair per drawn seed (sample_pairs is seed-stable).
+  c.pair = harness::sample_pairs(
+      cat, 1, std::uniform_int_distribution<std::uint64_t>(0, 1u << 20)(rng))
+               .front();
+  c.family = std::uniform_int_distribution<int>(0, 3)(rng);
+  c.rr_multiplier = std::uniform_int_distribution<int>(1, 2)(rng);
+  c.hpe_threshold = 1.0 + 0.01 * std::uniform_int_distribution<int>(0, 15)(rng);
+  c.hpe_matrix = std::uniform_int_distribution<int>(0, 1)(rng) != 0;
+  c.label = harness::pair_label(c.pair) + " family=" +
+            std::to_string(c.family) +
+            " csi=" + std::to_string(c.scale.context_switch_interval) +
+            " runlen=" + std::to_string(c.scale.run_length) +
+            " window=" + std::to_string(c.scale.window_size) +
+            " history=" + std::to_string(c.scale.history_depth);
+  return c;
+}
+
+std::unique_ptr<sched::Scheduler> make_scheduler(
+    const FuzzConfig& c, const sched::HpeModels& models) {
+  switch (c.family) {
+    case 0: {
+      sched::ProposedConfig cfg;
+      cfg.window_size = c.scale.window_size;
+      cfg.history_depth = c.scale.history_depth;
+      cfg.forced_swap_interval = c.scale.context_switch_interval;
+      return std::make_unique<sched::ProposedScheduler>(cfg);
+    }
+    case 1: {
+      sched::ExtendedConfig cfg;
+      cfg.window_size = c.scale.window_size;
+      cfg.history_depth = c.scale.history_depth;
+      cfg.forced_swap_interval = c.scale.context_switch_interval;
+      return std::make_unique<sched::ExtendedProposedScheduler>(cfg);
+    }
+    case 2:
+      return std::make_unique<sched::RoundRobinScheduler>(
+          c.scale.context_switch_interval *
+          static_cast<Cycles>(c.rr_multiplier));
+    default: {
+      sched::HpeConfig cfg;
+      cfg.decision_interval = c.scale.context_switch_interval;
+      cfg.swap_speedup_threshold = c.hpe_threshold;
+      const sched::HpePredictionModel& model =
+          c.hpe_matrix ? static_cast<const sched::HpePredictionModel&>(
+                             *models.matrix)
+                       : *models.regression;
+      return std::make_unique<sched::HpeScheduler>(model, cfg);
+    }
+  }
+}
+
+/// HPE models are fitted once per process and shared by both engines (the
+/// fuzz compares engine behavior under a *fixed* model).
+const sched::HpeModels& shared_models() {
+  static const sched::HpeModels models = [] {
+    SimScale scale;
+    scale.context_switch_interval = 15'000;
+    scale.run_length = 40'000;
+    const harness::ExperimentRunner runner(scale);
+    const wl::BenchmarkCatalog catalog;
+    return runner.build_models(catalog);
+  }();
+  return models;
+}
+
+void run_fuzz_batch(std::uint64_t seed, int configs) {
+  ArmGuard armed;
+  const wl::BenchmarkCatalog catalog;
+  const sched::HpeModels& models = shared_models();
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < configs; ++i) {
+    const FuzzConfig cfg = draw_config(rng, catalog);
+    SCOPED_TRACE("config " + std::to_string(i) + " [seed " +
+                 std::to_string(seed) + "]: " + cfg.label);
+
+    const harness::ExperimentRunner fast_runner(
+        cfg.scale, with_engine(int_core_config(), true),
+        with_engine(fp_core_config(), true));
+    const harness::ExperimentRunner ref_runner(
+        cfg.scale, with_engine(int_core_config(), false),
+        with_engine(fp_core_config(), false));
+
+    // Scheduler& overload: uncached, and keeps the trace accessible.
+    auto fast_sched = make_scheduler(cfg, models);
+    const auto fast = fast_runner.run_pair(cfg.pair, *fast_sched);
+    auto ref_sched = make_scheduler(cfg, models);
+    const auto ref = ref_runner.run_pair(cfg.pair, *ref_sched);
+
+    expect_identical(fast, ref);
+    expect_same_trace(fast_sched->decision_trace(),
+                      ref_sched->decision_trace());
+    if (::testing::Test::HasFailure()) break;  // one replayable config
+  }
+}
+
+// 200 configurations total, split so a failure narrows to a 50-batch.
+TEST(DifferentialFuzz, Batch0) { run_fuzz_batch(0xA3C5'0001, 50); }
+TEST(DifferentialFuzz, Batch1) { run_fuzz_batch(0xA3C5'0002, 50); }
+TEST(DifferentialFuzz, Batch2) { run_fuzz_batch(0xA3C5'0003, 50); }
+TEST(DifferentialFuzz, Batch3) { run_fuzz_batch(0xA3C5'0004, 50); }
+
+// The batched-vs-per-cycle stepping axis, same differential harness: the
+// fast engine with decision-hint batching against the fast engine ticking
+// every cycle. 20 extra configs.
+TEST(DifferentialFuzz, BatchedSteppingMatchesPerCycle) {
+  ArmGuard armed;
+  const wl::BenchmarkCatalog catalog;
+  const sched::HpeModels& models = shared_models();
+  std::mt19937_64 rng(0xA3C5'0005);
+  for (int i = 0; i < 20; ++i) {
+    const FuzzConfig cfg = draw_config(rng, catalog);
+    SCOPED_TRACE("config " + std::to_string(i) + ": " + cfg.label);
+
+    harness::ExperimentRunner batched(cfg.scale);
+    harness::ExperimentRunner per_cycle(cfg.scale);
+    per_cycle.set_batched_stepping(false);
+
+    auto s1 = make_scheduler(cfg, models);
+    const auto a = batched.run_pair(cfg.pair, *s1);
+    auto s2 = make_scheduler(cfg, models);
+    const auto b = per_cycle.run_pair(cfg.pair, *s2);
+
+    expect_identical(a, b);
+    expect_same_trace(s1->decision_trace(), s2->decision_trace());
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+}  // namespace
+}  // namespace amps::sim

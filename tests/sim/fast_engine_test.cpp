@@ -51,6 +51,9 @@ void expect_identical(const metrics::PairRunResult& a,
   EXPECT_EQ(a.swap_count, b.swap_count);
   EXPECT_EQ(a.decision_points, b.decision_points);
   EXPECT_EQ(a.hit_cycle_bound, b.hit_cycle_bound);
+  EXPECT_EQ(a.windows_observed, b.windows_observed);
+  EXPECT_EQ(a.forced_swap_count, b.forced_swap_count);
+  EXPECT_EQ(a.decisions_by_reason, b.decisions_by_reason);
   expect_same_bits(a.total_energy, b.total_energy, "total_energy");
   for (int i = 0; i < 2; ++i) {
     const metrics::ThreadRunStats& ta = a.threads[i];
