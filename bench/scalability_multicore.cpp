@@ -1,126 +1,176 @@
 // §VI-D scalability claim: "The proposed dynamic thread scheduling scheme
 // is a hardware-based solution which is autonomous and isolated from the
-// OS level scheduler which makes it scalable." This bench runs a 4-core
-// AMP (2 INT + 2 FP cores, 4 threads) under the N-core generalization of
-// the proposed scheme (pairwise-local decisions) against static and
-// rotating Round-Robin baselines, over random 4-thread workloads.
+// OS level scheduler which makes it scalable." This bench sweeps N-core
+// AMPs (N/2 INT + N/2 FP cores, N threads) under the N-core
+// generalization of the proposed scheme (pairwise-local decisions)
+// against static-assignment and rotating Round-Robin baselines, over
+// random N-thread workloads, and records per-core-count cold/warm wall
+// time through the RunCache plus the batched stepping rate.
+//
+// Results go to stdout and to BENCH_multicore.json in the working
+// directory (machine-readable; scripts/check_perf.sh reports the
+// cores-vs-throughput shape informationally when the file is present).
+//
+// Knobs: AMPS_SCALE, AMPS_PAIRS (workloads per core count), AMPS_SEED,
+//        AMPS_THREADS, AMPS_CACHE_DIR,
+//        AMPS_CORES=<comma list> (core counts, default 2,4,8,16).
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
-#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
-#include "core/global_affinity.hpp"
+#include "harness/multicore.hpp"
+#include "harness/parallel.hpp"
+#include "harness/run_cache.hpp"
 #include "mathx/stats.hpp"
-#include "metrics/speedup.hpp"
-#include "sim/multicore.hpp"
 
 namespace {
 
 using namespace amps;
+using Clock = std::chrono::steady_clock;
 
-struct QuadResult {
-  std::vector<double> ipw;  // per-thread IPC/Watt, in thread-id order
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<std::size_t> core_counts_from_env() {
+  std::vector<std::size_t> counts;
+  const std::string spec = env_string("AMPS_CORES").value_or("2,4,8,16");
+  std::istringstream in(spec);
+  std::string tok;
+  while (std::getline(in, tok, ',')) {
+    const long v = std::strtol(tok.c_str(), nullptr, 10);
+    if (v >= 2 && v % 2 == 0) counts.push_back(static_cast<std::size_t>(v));
+  }
+  if (counts.empty()) counts = {2, 4, 8, 16};
+  return counts;
+}
+
+struct SweepPoint {
+  std::size_t cores = 0;
+  double cold_s = 0.0;
+  double warm_s = 0.0;
+  double step_rate = 0.0;  ///< affinity-run sim cycles / cold second
+  double vs_static_pct = 0.0;
+  double vs_rr_pct = 0.0;
+  double swaps_per_run = 0.0;
 };
-
-std::vector<sim::CoreConfig> four_core_amp() {
-  return {sim::int_core_config(), sim::int_core_config(),
-          sim::fp_core_config(), sim::fp_core_config()};
-}
-
-template <typename Scheduler>
-QuadResult run_quad(const std::vector<const wl::BenchmarkSpec*>& specs,
-                    const sim::SimScale& scale, Scheduler& scheduler) {
-  sim::MulticoreSystem system(four_core_amp(), scale.swap_overhead);
-  std::vector<std::unique_ptr<sim::ThreadContext>> threads;
-  std::vector<sim::ThreadContext*> ptrs;
-  for (int i = 0; i < 4; ++i) {
-    threads.push_back(std::make_unique<sim::ThreadContext>(
-        i, *specs[static_cast<std::size_t>(i)]));
-    ptrs.push_back(threads.back().get());
-  }
-  system.attach_threads(ptrs);
-  scheduler.on_start(system);
-
-  const Cycles max_cycles = scale.max_cycles();
-  auto done = [&] {
-    for (const auto& t : threads)
-      if (t->committed_total() >= scale.run_length) return true;
-    return false;
-  };
-  while (!done() && system.now() < max_cycles) {
-    system.step();
-    scheduler.tick(system);
-  }
-
-  QuadResult r;
-  for (const auto& t : threads) {
-    const Energy e = system.live_energy(*t);
-    r.ipw.push_back(e > 0.0 ? static_cast<double>(t->committed_total()) / e
-                            : 0.0);
-  }
-  return r;
-}
-
-struct NullScheduler {
-  void on_start(sim::MulticoreSystem&) {}
-  void tick(sim::MulticoreSystem&) {}
-};
-
-double weighted_improvement(const QuadResult& test, const QuadResult& base) {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < test.ipw.size(); ++i)
-    acc += test.ipw[i] / base.ipw[i];
-  return metrics::to_improvement_pct(acc / static_cast<double>(test.ipw.size()));
-}
 
 }  // namespace
 
 int main() {
-  const auto ctx = bench::make_context(/*default_pairs=*/8);
+  const auto ctx = bench::make_context(/*default_pairs=*/4);
   bench::print_header(
-      "§VI-D — scalability: 4-core AMP (2 INT + 2 FP), 4 threads", ctx);
+      "§VI-D — scalability sweep: N-core AMP (N/2 INT + N/2 FP), N threads",
+      ctx);
 
   const wl::BenchmarkCatalog catalog;
-  // Random 4-thread workloads: reuse the pair sampler twice per workload.
-  const auto pairs_a = harness::sample_pairs(catalog, ctx.pairs, ctx.seed);
-  const auto pairs_b =
-      harness::sample_pairs(catalog, ctx.pairs, ctx.seed ^ 0xBEEF);
+  const auto counts = core_counts_from_env();
 
-  Table table({"workload (threads on cores 0..3)", "affinity vs static %",
-               "affinity vs RR %", "swaps"});
-  std::vector<double> vs_static, vs_rr;
-  for (int w = 0; w < ctx.pairs; ++w) {
-    const auto uw = static_cast<std::size_t>(w);
-    const std::vector<const wl::BenchmarkSpec*> specs = {
-        pairs_a[uw].first, pairs_a[uw].second, pairs_b[uw].first,
-        pairs_b[uw].second};
+  Table table({"cores", "cold s", "warm s", "warm speedup", "vs static %",
+               "vs RR %", "swaps/run"});
+  std::vector<SweepPoint> points;
+  for (const std::size_t n : counts) {
+    const auto workloads = harness::sample_workloads(
+        catalog, n, ctx.pairs, ctx.seed + n);  // distinct draw per count
+    const harness::MulticoreRunner runner =
+        harness::MulticoreRunner::canonical(ctx.scale, n);
+    const auto affinity = runner.affinity_factory();
+    const auto rr = runner.round_robin_factory();
+    const auto stat = runner.static_factory();
 
-    NullScheduler nothing;
-    const QuadResult stat = run_quad(specs, ctx.scale, nothing);
+    const auto sweep_once = [&] {
+      struct {
+        std::vector<harness::MulticoreComparisonRow> vs_static, vs_rr;
+      } r;
+      r.vs_static = harness::compare_multicore(runner, workloads, affinity,
+                                               stat);
+      // The affinity runs memoize, so the second comparison only adds the
+      // Round-Robin baseline.
+      r.vs_rr = harness::compare_multicore(runner, workloads, affinity, rr);
+      return r;
+    };
 
-    sched::MulticoreRoundRobin rr(ctx.scale.context_switch_interval);
-    const QuadResult rr_result = run_quad(specs, ctx.scale, rr);
+    std::cout << "[" << n << " cores, " << workloads.size()
+              << " workload(s): cold sweep...]" << std::endl;
+    harness::RunCache::instance().clear();
+    const auto cold_start = Clock::now();
+    const auto cold = sweep_once();
+    const double cold_s = seconds_since(cold_start);
 
-    sched::GlobalAffinityConfig cfg;
-    cfg.window_size = ctx.scale.window_size;
-    cfg.history_depth = ctx.scale.history_depth;
-    sched::GlobalAffinityScheduler affinity(cfg);
-    const QuadResult aff = run_quad(specs, ctx.scale, affinity);
+    std::cout << "[" << n << " cores: warm sweep...]" << std::endl;
+    const auto warm_start = Clock::now();
+    (void)sweep_once();
+    const double warm_s = seconds_since(warm_start);
 
-    const double ws = weighted_improvement(aff, stat);
-    const double wr = weighted_improvement(aff, rr_result);
-    vs_static.push_back(ws);
-    vs_rr.push_back(wr);
+    SweepPoint p;
+    p.cores = n;
+    p.cold_s = cold_s;
+    p.warm_s = warm_s;
+    std::vector<double> ws, wr, swaps;
+    std::uint64_t affinity_cycles = 0;
+    for (const auto& row : cold.vs_static) {
+      ws.push_back(row.weighted_improvement_pct);
+      swaps.push_back(static_cast<double>(row.swap_count));
+      affinity_cycles += row.total_cycles;
+    }
+    for (const auto& row : cold.vs_rr) wr.push_back(row.weighted_improvement_pct);
+    p.vs_static_pct = mathx::mean(ws);
+    p.vs_rr_pct = mathx::mean(wr);
+    p.swaps_per_run = mathx::mean(swaps);
+    p.step_rate = cold_s > 0.0
+                      ? static_cast<double>(affinity_cycles) *
+                            static_cast<double>(n) / cold_s
+                      : 0.0;
+    points.push_back(p);
+
     table.row()
-        .cell(specs[0]->name + "+" + specs[1]->name + "+" + specs[2]->name +
-              "+" + specs[3]->name)
-        .cell(ws, 2)
-        .cell(wr, 2)
-        .cell(static_cast<long long>(affinity.swaps_requested()));
+        .cell(static_cast<long long>(n))
+        .cell(cold_s, 3)
+        .cell(warm_s, 3)
+        .cell(warm_s > 0.0 ? cold_s / warm_s : 0.0, 1)
+        .cell(p.vs_static_pct, 2)
+        .cell(p.vs_rr_pct, 2)
+        .cell(p.swaps_per_run, 1);
   }
   bench::emit("scalability_multicore", table);
-  std::cout << "\nmeans: vs static " << mathx::mean(vs_static)
-            << "%   vs Round-Robin " << mathx::mean(vs_rr) << "%\n";
-  std::cout << "Shape: the pairwise-local scheme keeps its gains at 4 cores "
-               "— the scalability §VI-D claims.\n";
+  std::cout << "\nShape: the pairwise-local scheme keeps its IPC/Watt gains "
+               "as the core count grows — the §VI-D scalability claim — "
+               "while the RunCache makes warm sweeps near-instant.\n";
+
+  // --- machine-readable record -------------------------------------------
+  std::ofstream json("BENCH_multicore.json");
+  if (json) {
+    json << "{\n"
+         << "  \"scale\": \"" << (env_paper_scale() ? "paper" : "ci")
+         << "\",\n"
+         << "  \"workloads_per_count\": " << ctx.pairs << ",\n"
+         << "  \"seed\": " << ctx.seed << ",\n"
+         << "  \"workers\": " << harness::default_worker_count() << ",\n"
+         << "  \"run_length\": " << ctx.scale.run_length << ",\n"
+         << "  \"core_counts\": \"";
+    for (std::size_t i = 0; i < points.size(); ++i)
+      json << (i ? "," : "") << points[i].cores;
+    json << "\",\n";
+    for (const SweepPoint& p : points) {
+      const std::string k = "c" + std::to_string(p.cores);
+      json << "  \"" << k << "_cold_s\": " << p.cold_s << ",\n"
+           << "  \"" << k << "_warm_s\": " << p.warm_s << ",\n"
+           << "  \"" << k << "_warm_speedup\": "
+           << (p.warm_s > 0.0 ? p.cold_s / p.warm_s : 0.0) << ",\n"
+           << "  \"" << k << "_core_cycle_rate\": " << p.step_rate << ",\n"
+           << "  \"" << k << "_vs_static_pct\": " << p.vs_static_pct << ",\n"
+           << "  \"" << k << "_vs_rr_pct\": " << p.vs_rr_pct << ",\n"
+           << "  \"" << k << "_swaps_per_run\": " << p.swaps_per_run << ",\n";
+    }
+    json << "  \"counts_swept\": " << points.size() << "\n}\n";
+    std::cout << "wrote BENCH_multicore.json\n";
+  } else {
+    std::cerr << "[warn] cannot write BENCH_multicore.json\n";
+  }
   return 0;
 }

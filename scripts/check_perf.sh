@@ -38,6 +38,23 @@ trace_pct=$(json_field "$RESULT" trace_overhead_pct)
 swaps=$(json_field "$RESULT" swaps_per_run)
 [ -n "$trace_pct" ] && echo "check_perf: armed-trace overhead ${trace_pct}% (swaps/run ${swaps})"
 
+# Informational only (no gate): the N-core scalability sweep, when the
+# scalability_multicore bench has run in this directory. Reports how the
+# simulated core-cycle throughput and swap activity move with core count.
+MULTI=BENCH_multicore.json
+if [ -f "$MULTI" ]; then
+  core_counts=$(sed -n 's/.*"core_counts": *"\([0-9,]*\)".*/\1/p' "$MULTI" | head -n 1)
+  echo "check_perf: multicore sweep present (cores: ${core_counts:-?})"
+  for n in $(echo "$core_counts" | tr ',' ' '); do
+    mrate=$(json_field "$MULTI" "c${n}_core_cycle_rate")
+    mwarm=$(json_field "$MULTI" "c${n}_warm_speedup")
+    mswaps=$(json_field "$MULTI" "c${n}_swaps_per_run")
+    [ -n "$mrate" ] && echo "check_perf:   ${n} cores: ${mrate} core-cycles/s cold, warm speedup ${mwarm}x, swaps/run ${mswaps}"
+  done
+else
+  echo "check_perf: no $MULTI (run scalability_multicore to add the N-core report)"
+fi
+
 if [ ! -f "$BASELINE" ]; then
   printf '{\n  "cold_fast_step_rate": %s\n}\n' "$rate" > "$BASELINE"
   echo "check_perf: no baseline found; recorded $BASELINE"

@@ -4,7 +4,7 @@ namespace amps::sched {
 
 GlobalAffinityScheduler::GlobalAffinityScheduler(
     const GlobalAffinityConfig& cfg)
-    : cfg_(cfg) {}
+    : NCoreScheduler("global-affinity"), cfg_(cfg) {}
 
 void GlobalAffinityScheduler::on_start(sim::MulticoreSystem& system) {
   state_.assign(system.num_cores(), CoreState{});
@@ -16,10 +16,14 @@ void GlobalAffinityScheduler::tick(sim::MulticoreSystem& system) {
   const double alpha = 1.0 / static_cast<double>(cfg_.history_depth);
 
   // Bias state travels with *cores* here, but the thread occupying a core
-  // only changes through our own swaps (which reset nothing — the very
-  // next windows re-measure the new occupant, and the EMA converges within
-  // a history depth, mirroring the dual-core scheme's vote refill).
+  // only changes through our own swaps (which move the state along with the
+  // occupant). Migrating cores are skipped entirely — their threads are
+  // detached and commit nothing, so priming or polling them would sample at
+  // the frozen detach-time counters; the first post-resume tick primes and
+  // measures instead, and the EMA still converges within a history depth of
+  // windows on the new core, mirroring the dual-core scheme's vote refill.
   for (std::size_t i = 0; i < system.num_cores(); ++i) {
+    if (system.migrating(i)) continue;
     const sim::ThreadContext* t = system.thread_on(i);
     CoreState& st = state_[i];
     if (!st.primed) {
@@ -39,6 +43,29 @@ void GlobalAffinityScheduler::tick(sim::MulticoreSystem& system) {
   if (!any_window) return;
   if (system.now() - last_swap_ < cfg_.swap_cooldown) return;
   evaluate(system);
+}
+
+DecisionHint GlobalAffinityScheduler::next_decision_at(
+    const sim::MulticoreSystem& system) const {
+  // Migration completions are scheduled events: the first tick after a pair
+  // re-attaches must land on resume+1, the cycle where a per-cycle harness
+  // would first poll the no-longer-migrating cores (which may prime there).
+  const Cycles resume = system.next_resume_at();
+  const Cycles at_cycle = resume == sim::MulticoreSystem::kNoPendingResume
+                              ? kNoPendingCycle
+                              : resume + 1;
+  InstrCount budget = kUnboundedCommits;
+  for (std::size_t i = 0; i < system.num_cores(); ++i) {
+    if (system.migrating(i)) continue;  // frozen; tick skips them too
+    if (!state_[i].primed) return {system.now() + 1, kUnboundedCommits};
+    const InstrCount committed = system.thread_on(i)->committed_total();
+    // A boundary already crossed (but not yet polled) must tick now.
+    const InstrCount remaining = state_[i].next_boundary > committed
+                                     ? state_[i].next_boundary - committed
+                                     : 1;
+    if (remaining < budget) budget = remaining;
+  }
+  return {at_cycle, budget};
 }
 
 void GlobalAffinityScheduler::evaluate(sim::MulticoreSystem& system) {
@@ -90,6 +117,28 @@ void GlobalAffinityScheduler::evaluate(sim::MulticoreSystem& system) {
   std::swap(state_[best_fp_core], state_[best_int_core]);
   ++swaps_;
   last_swap_ = system.now();
+}
+
+void MulticoreRoundRobin::tick(sim::MulticoreSystem& system) {
+  if (system.now() < next_) return;
+  next_ += interval_;
+  ++decisions_;
+  const std::size_t n = system.num_cores();
+  const std::size_t a = pair_ % n;
+  const std::size_t b = (pair_ + 1) % n;
+  ++pair_;
+  // The system ignores the request while either core is still migrating
+  // (only possible when the interval undercuts the swap overhead).
+  const bool accepted = !system.migrating(a) && !system.migrating(b);
+  system.swap_threads(a, b);
+  if (accepted) ++swaps_;
+
+  trace::DecisionRecord rec;
+  rec.cycle = system.now();
+  rec.seq = trace_.summary().windows;
+  rec.swapped = accepted;
+  rec.reason = accepted ? trace::Reason::kIntervalSwap : trace::Reason::kNone;
+  trace_.record(rec);
 }
 
 }  // namespace amps::sched

@@ -10,13 +10,74 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/trace.hpp"
+#include "core/scheduler.hpp"  // DecisionHint + sentinels
 #include "isa/mix.hpp"
 #include "sim/multicore.hpp"
 
 namespace amps::sched {
+
+/// Interface for N-core schedulers driving a MulticoreSystem — the
+/// MulticoreSystem counterpart of sched::Scheduler, with the identical
+/// batched-stepping contract: tick() must be a pure no-op except at the
+/// scheduler's own decision points, and next_decision_at() conservatively
+/// bounds how far the harness may step the system without calling tick().
+/// A harness that ignores the hint and ticks every cycle gets bit-identical
+/// results.
+class NCoreScheduler {
+ public:
+  explicit NCoreScheduler(std::string name) : name_(std::move(name)) {}
+  virtual ~NCoreScheduler() = default;
+
+  NCoreScheduler(const NCoreScheduler&) = delete;
+  NCoreScheduler& operator=(const NCoreScheduler&) = delete;
+  NCoreScheduler(NCoreScheduler&&) = default;
+  NCoreScheduler& operator=(NCoreScheduler&&) = default;
+
+  /// Called once right after threads are attached, before the first cycle.
+  virtual void on_start(sim::MulticoreSystem& /*system*/) {}
+
+  /// Called after a simulated cycle (the batched harness only calls it at
+  /// the boundaries promised by next_decision_at()).
+  virtual void tick(sim::MulticoreSystem& system) = 0;
+
+  /// Earliest point at which tick() could act, given current state. The
+  /// default is maximally conservative (tick every cycle); schedulers
+  /// override it to unlock batched stepping.
+  [[nodiscard]] virtual DecisionHint next_decision_at(
+      const sim::MulticoreSystem& system) const {
+    return {system.now() + 1, kUnboundedCommits};
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t swaps_requested() const noexcept {
+    return swaps_;
+  }
+  [[nodiscard]] std::uint64_t decision_points() const noexcept {
+    return decisions_;
+  }
+
+  /// Per-decision trace: always-on summary (folded into MulticoreRunResult)
+  /// plus a ring of full records while tracing is armed (AMPS_TRACE).
+  [[nodiscard]] const trace::DecisionTrace& decision_trace() const noexcept {
+    return trace_;
+  }
+  [[nodiscard]] trace::DecisionTrace& decision_trace() noexcept {
+    return trace_;
+  }
+
+ protected:
+  std::uint64_t swaps_ = 0;
+  std::uint64_t decisions_ = 0;
+  trace::DecisionTrace trace_;
+
+ private:
+  std::string name_;
+};
 
 struct GlobalAffinityConfig {
   InstrCount window_size = 1000;
@@ -30,31 +91,23 @@ struct GlobalAffinityConfig {
   Cycles swap_cooldown = 10'000;
 };
 
-class GlobalAffinityScheduler {
+class GlobalAffinityScheduler : public NCoreScheduler {
  public:
   explicit GlobalAffinityScheduler(const GlobalAffinityConfig& cfg = {});
 
-  void on_start(sim::MulticoreSystem& system);
-  /// Call once per simulated cycle.
-  void tick(sim::MulticoreSystem& system);
+  void on_start(sim::MulticoreSystem& system) override;
+  void tick(sim::MulticoreSystem& system) override;
+  [[nodiscard]] DecisionHint next_decision_at(
+      const sim::MulticoreSystem& system) const override;
 
-  [[nodiscard]] std::uint64_t swaps_requested() const noexcept {
-    return swaps_;
-  }
-  [[nodiscard]] std::uint64_t decision_points() const noexcept {
-    return decisions_;
-  }
   /// Smoothed flavor bias of the thread currently on core i.
   [[nodiscard]] double bias_of_core(std::size_t i) const noexcept {
     return state_[i].bias;
   }
-
-  /// Decision trace (not a Scheduler subclass, so it carries its own).
-  [[nodiscard]] const trace::DecisionTrace& decision_trace() const noexcept {
-    return trace_;
-  }
-  [[nodiscard]] trace::DecisionTrace& decision_trace() noexcept {
-    return trace_;
+  /// Whether core i's window state has taken its first sample yet
+  /// (diagnostics; migrating cores stay unprimed until they resume).
+  [[nodiscard]] bool core_primed(std::size_t i) const noexcept {
+    return state_[i].primed;
   }
 
  private:
@@ -70,34 +123,41 @@ class GlobalAffinityScheduler {
   GlobalAffinityConfig cfg_;
   std::vector<CoreState> state_;  // indexed by core
   Cycles last_swap_ = 0;
-  std::uint64_t swaps_ = 0;
-  std::uint64_t decisions_ = 0;
-  trace::DecisionTrace trace_;
 };
 
 /// Round-Robin for N cores: every interval, rotate by swapping one pair
 /// (cycling through adjacent pairs) — the obvious fairness baseline.
-class MulticoreRoundRobin {
+class MulticoreRoundRobin : public NCoreScheduler {
  public:
-  explicit MulticoreRoundRobin(Cycles interval) : interval_(interval) {}
+  explicit MulticoreRoundRobin(Cycles interval)
+      : NCoreScheduler("round-robin-n"), interval_(interval) {}
 
-  void on_start(sim::MulticoreSystem& system) {
+  void on_start(sim::MulticoreSystem& system) override {
     next_ = system.now() + interval_;
   }
-  void tick(sim::MulticoreSystem& system) {
-    if (system.now() < next_) return;
-    next_ += interval_;
-    const std::size_t n = system.num_cores();
-    const std::size_t a = pair_ % n;
-    const std::size_t b = (pair_ + 1) % n;
-    ++pair_;
-    system.swap_threads(a, b);
+  void tick(sim::MulticoreSystem& system) override;
+  [[nodiscard]] DecisionHint next_decision_at(
+      const sim::MulticoreSystem& /*system*/) const override {
+    return {next_, kUnboundedCommits};
   }
 
  private:
   Cycles interval_;
   Cycles next_ = 0;
   std::size_t pair_ = 0;
+};
+
+/// Static assignment: never swaps. The baseline every N-core comparison
+/// ratios against (thread i stays on core i for the whole run).
+class MulticoreStaticScheduler : public NCoreScheduler {
+ public:
+  MulticoreStaticScheduler() : NCoreScheduler("static-n") {}
+
+  void tick(sim::MulticoreSystem& /*system*/) override {}
+  [[nodiscard]] DecisionHint next_decision_at(
+      const sim::MulticoreSystem& /*system*/) const override {
+    return {kNoPendingCycle, kUnboundedCommits};
+  }
 };
 
 }  // namespace amps::sched

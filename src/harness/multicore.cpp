@@ -1,0 +1,250 @@
+#include "harness/multicore.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/prng.hpp"
+#include "common/stats.hpp"
+#include "harness/parallel.hpp"
+#include "harness/run_cache.hpp"
+#include "metrics/speedup.hpp"
+#include "sim/multicore.hpp"
+
+namespace amps::harness {
+
+MulticoreRunner::MulticoreRunner(sim::SimScale scale,
+                                 std::vector<sim::CoreConfig> cores)
+    : scale_(scale), cores_(std::move(cores)) {
+  if (cores_.size() < 2)
+    throw std::invalid_argument("MulticoreRunner: need at least 2 cores");
+}
+
+MulticoreRunner MulticoreRunner::canonical(sim::SimScale scale,
+                                           std::size_t n) {
+  if (n < 2 || n % 2 != 0)
+    throw std::invalid_argument("MulticoreRunner::canonical: n must be even");
+  std::vector<sim::CoreConfig> cores;
+  cores.reserve(n);
+  for (std::size_t i = 0; i < n / 2; ++i)
+    cores.push_back(sim::int_core_config());
+  for (std::size_t i = 0; i < n / 2; ++i) cores.push_back(sim::fp_core_config());
+  return {scale, std::move(cores)};
+}
+
+metrics::MulticoreRunResult MulticoreRunner::run(
+    const MulticoreWorkload& workload,
+    sched::NCoreScheduler& scheduler) const {
+  if (workload.size() != cores_.size())
+    throw std::invalid_argument("MulticoreRunner: workload/core count mismatch");
+  AMPS_COUNTER_INC("harness.multicore_runs");
+  AMPS_SCOPED_TIMER("harness.multicore_run_ns");
+
+  sim::MulticoreSystem system(cores_, scale_.swap_overhead);
+  std::vector<sim::ThreadContext> threads;
+  threads.reserve(workload.size());
+  for (std::size_t i = 0; i < workload.size(); ++i)
+    threads.emplace_back(static_cast<int>(i), *workload[i]);
+  std::vector<sim::ThreadContext*> ptrs;
+  ptrs.reserve(threads.size());
+  for (sim::ThreadContext& t : threads) ptrs.push_back(&t);
+  system.attach_threads(ptrs);
+  scheduler.on_start(system);
+
+  // As in the pair runs: "until one of the threads completed" its budget,
+  // with a generous cycle bound guarding against pathological stalls.
+  const Cycles max_cycles = scale_.max_cycles();
+  const auto none_done = [&] {
+    for (const sim::ThreadContext& t : threads)
+      if (t.committed_total() >= scale_.run_length) return false;
+    return true;
+  };
+  if (batched_) {
+    // Fast path: between decision points tick() is a no-op, so step the
+    // system in uninterrupted batches bounded by the scheduler's hint.
+    // Identical contract to ExperimentRunner::run_pair — hints are
+    // conservative, so results are bit-identical to per-cycle stepping.
+    while (none_done() && system.now() < max_cycles) {
+      const sched::DecisionHint hint = scheduler.next_decision_at(system);
+      const Cycles until =
+          std::max(std::min(hint.at_cycle, max_cycles), system.now() + 1);
+      // Cap the commit budget at each thread's remaining budget so the
+      // batch also stops exactly when a thread can have finished.
+      InstrCount budget = hint.commit_budget;
+      for (const sim::ThreadContext& t : threads)
+        budget = std::min(budget, scale_.run_length - t.committed_total());
+      system.step_until(until, budget);
+      scheduler.tick(system);
+    }
+  } else {
+    while (none_done() && system.now() < max_cycles) {
+      system.step();
+      scheduler.tick(system);
+    }
+  }
+
+  metrics::MulticoreRunResult result = metrics::snapshot_multicore_run(
+      scheduler.name(), system,
+      std::span<const sim::ThreadContext* const>(ptrs.data(), ptrs.size()),
+      scheduler.decision_points(), &scheduler.decision_trace().summary());
+  result.hit_cycle_bound = none_done();
+  if (trace::DecisionTrace::armed()) {
+    trace::append_jsonl(workload_label(workload), scheduler.name(),
+                        scheduler.decision_trace());
+  }
+  return result;
+}
+
+CacheKey MulticoreRunner::run_cache_key(
+    const MulticoreWorkload& workload,
+    const NCoreSchedulerFactory& factory) const {
+  CacheKey key("multicore-run");
+  add_scale(key, scale_);
+  key.add("cores", static_cast<std::uint64_t>(cores_.size()));
+  std::string tag;
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    tag = "core" + std::to_string(i);
+    add_core_config(key, tag, cores_[i]);
+  }
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    tag = "bench" + std::to_string(i);
+    add_benchmark(key, tag, *workload[i]);
+  }
+  key.add("sched", factory.cache_key());
+  return key;
+}
+
+metrics::MulticoreRunResult MulticoreRunner::run(
+    const MulticoreWorkload& workload,
+    const NCoreSchedulerFactory& factory) const {
+  // Armed tracing bypasses the cache: a memoized result would skip the
+  // simulation and leave the JSONL dump incomplete. Trace state never
+  // enters CacheKeys, so disarmed runs keep their hits.
+  if (factory.cacheable() && RunCache::enabled() &&
+      !trace::DecisionTrace::armed()) {
+    return RunCache::instance().multicore_run(
+        run_cache_key(workload, factory), [&] {
+          auto scheduler = factory();
+          return run(workload, *scheduler);
+        });
+  }
+  auto scheduler = factory();
+  return run(workload, *scheduler);
+}
+
+NCoreSchedulerFactory MulticoreRunner::affinity_factory() const {
+  sched::GlobalAffinityConfig cfg;
+  cfg.window_size = scale_.window_size;
+  cfg.history_depth = scale_.history_depth;
+  return affinity_factory(cfg);
+}
+
+NCoreSchedulerFactory MulticoreRunner::affinity_factory(
+    const sched::GlobalAffinityConfig& cfg) const {
+  CacheKey key("global-affinity");
+  key.add("window", cfg.window_size);
+  key.add("history", static_cast<std::uint64_t>(cfg.history_depth));
+  key.add("margin", cfg.bias_margin);
+  key.add("cooldown", cfg.swap_cooldown);
+  return {[cfg] { return std::make_unique<sched::GlobalAffinityScheduler>(cfg); },
+          key.text()};
+}
+
+NCoreSchedulerFactory MulticoreRunner::round_robin_factory(
+    int interval_multiplier) const {
+  const Cycles interval =
+      scale_.context_switch_interval *
+      static_cast<Cycles>(std::max(1, interval_multiplier));
+  CacheKey key("round-robin-n");
+  key.add("interval", interval);
+  return {[interval] {
+            return std::make_unique<sched::MulticoreRoundRobin>(interval);
+          },
+          key.text()};
+}
+
+NCoreSchedulerFactory MulticoreRunner::static_factory() const {
+  return {[] { return std::make_unique<sched::MulticoreStaticScheduler>(); },
+          CacheKey("static-n").text()};
+}
+
+std::vector<MulticoreWorkload> sample_workloads(
+    const wl::BenchmarkCatalog& catalog, std::size_t num_threads, int count,
+    std::uint64_t seed) {
+  const auto all = catalog.all();
+  const std::size_t pool = all.size();
+  if (num_threads < 2 || num_threads > pool)
+    throw std::invalid_argument("sample_workloads: num_threads out of range");
+  if (count < 0)
+    throw std::invalid_argument("sample_workloads: count out of range");
+
+  Prng rng(combine_seeds(seed, 0xCA7E5ULL));
+  std::vector<std::vector<std::size_t>> chosen;  // sorted index sets
+  chosen.reserve(static_cast<std::size_t>(count));
+  std::vector<MulticoreWorkload> out;
+  out.reserve(static_cast<std::size_t>(count));
+  // Rejection sampling over distinct sets; bail out after a generous
+  // number of misses so an unsatisfiable request cannot spin forever.
+  std::uint64_t rejects = 0;
+  const std::uint64_t max_rejects =
+      1'000'000 + static_cast<std::uint64_t>(count) * 1'000;
+  std::vector<std::size_t> draw;
+  while (out.size() < static_cast<std::size_t>(count)) {
+    draw.clear();
+    while (draw.size() < num_threads) {
+      const std::size_t c = rng.below(pool);
+      if (std::find(draw.begin(), draw.end(), c) == draw.end())
+        draw.push_back(c);
+    }
+    std::vector<std::size_t> key = draw;
+    std::sort(key.begin(), key.end());
+    if (std::find(chosen.begin(), chosen.end(), key) != chosen.end()) {
+      if (++rejects > max_rejects)
+        throw std::invalid_argument(
+            "sample_workloads: count exceeds the distinct workload pool");
+      continue;
+    }
+    chosen.push_back(std::move(key));
+    MulticoreWorkload w;
+    w.reserve(num_threads);
+    // The draw order (random) is the initial core assignment.
+    for (const std::size_t idx : draw) w.push_back(&all[idx]);
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+std::string workload_label(const MulticoreWorkload& workload) {
+  std::string label;
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    if (i != 0) label += '+';
+    label += workload[i]->name;
+  }
+  return label;
+}
+
+std::vector<MulticoreComparisonRow> compare_multicore(
+    const MulticoreRunner& runner, std::span<const MulticoreWorkload> workloads,
+    const NCoreSchedulerFactory& test, const NCoreSchedulerFactory& reference) {
+  // Workload runs are independent; fan out across the worker pool. Rows
+  // are written into index-stable slots so the output matches a serial run.
+  std::vector<MulticoreComparisonRow> rows(workloads.size());
+  parallel_for(workloads.size(), [&](std::size_t i) {
+    const MulticoreWorkload& workload = workloads[i];
+    const auto test_result = runner.run(workload, test);
+    const auto ref_result = runner.run(workload, reference);
+    MulticoreComparisonRow& row = rows[i];
+    row.label = workload_label(workload);
+    row.weighted_improvement_pct = metrics::to_improvement_pct(
+        test_result.weighted_ipw_speedup_vs(ref_result));
+    row.geometric_improvement_pct = metrics::to_improvement_pct(
+        test_result.geometric_ipw_speedup_vs(ref_result));
+    row.swap_fraction = test_result.swap_fraction();
+    row.swap_count = test_result.swap_count;
+    row.total_cycles = test_result.total_cycles;
+    row.hit_cycle_bound =
+        test_result.hit_cycle_bound || ref_result.hit_cycle_bound;
+  });
+  return rows;
+}
+
+}  // namespace amps::harness

@@ -1,0 +1,150 @@
+// MulticoreRunner: executes one N-thread workload on an N-core asymmetric
+// system under an NCoreScheduler and captures the paper's metrics — the
+// ExperimentRunner generalization behind the §VI-D scalability sweeps.
+// Scheduler comparisons run the identical workload (same seeds, same
+// initial assignment) under each scheme and ratio the per-thread IPC/Watt
+// results against the static assignment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/global_affinity.hpp"
+#include "metrics/run_result.hpp"
+#include "sim/core_config.hpp"
+#include "sim/scale.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::harness {
+
+class CacheKey;  // harness/run_cache.hpp
+
+/// One N-thread workload: thread i starts on core i.
+using MulticoreWorkload = std::vector<const wl::BenchmarkSpec*>;
+
+/// Factory producing a fresh N-core scheduler per run (schedulers are
+/// stateful). Mirrors SchedulerFactory: a factory carrying a cache key
+/// identifies its scheduler's configuration completely, which lets
+/// MulticoreRunner memoize results in the RunCache; plain callables
+/// convert implicitly and stay uncacheable.
+class NCoreSchedulerFactory {
+ public:
+  using Fn = std::function<std::unique_ptr<sched::NCoreScheduler>()>;
+
+  NCoreSchedulerFactory() = default;
+
+  /// Implicit from any callable (uncacheable — no key).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, NCoreSchedulerFactory> &&
+                std::is_invocable_r_v<std::unique_ptr<sched::NCoreScheduler>,
+                                      F&>>>
+  NCoreSchedulerFactory(F&& f)  // NOLINT(google-explicit-constructor)
+      : make_(std::forward<F>(f)) {}
+
+  /// Keyed (cacheable) factory.
+  NCoreSchedulerFactory(Fn make, std::string cache_key)
+      : make_(std::move(make)), key_(std::move(cache_key)) {}
+
+  std::unique_ptr<sched::NCoreScheduler> operator()() const { return make_(); }
+
+  [[nodiscard]] const std::string& cache_key() const noexcept { return key_; }
+  [[nodiscard]] bool cacheable() const noexcept { return !key_.empty(); }
+  explicit operator bool() const noexcept { return static_cast<bool>(make_); }
+
+ private:
+  Fn make_;
+  std::string key_;
+};
+
+class MulticoreRunner {
+ public:
+  /// Arbitrary asymmetric machine; core i's config is `cores[i]`.
+  MulticoreRunner(sim::SimScale scale, std::vector<sim::CoreConfig> cores);
+
+  /// Canonical N-core AMP at this scale: N/2 INT cores (0..N/2-1) then
+  /// N/2 FP cores. N must be even and >= 2.
+  static MulticoreRunner canonical(sim::SimScale scale, std::size_t n);
+
+  /// Runs `workload` (thread i starts on core i; sizes must match) under
+  /// `scheduler` until one thread commits `scale.run_length` instructions.
+  ///
+  /// Fast path: identical batched-stepping contract as
+  /// ExperimentRunner::run_pair — the scheduler's next_decision_at() hint
+  /// bounds each uninterrupted step_until() batch, and the results are
+  /// bit-identical to per-cycle stepping.
+  metrics::MulticoreRunResult run(const MulticoreWorkload& workload,
+                                  sched::NCoreScheduler& scheduler) const;
+
+  /// Build-from-factory and run. Keyed (cacheable) factories are memoized
+  /// through the RunCache; plain callables always simulate.
+  metrics::MulticoreRunResult run(const MulticoreWorkload& workload,
+                                  const NCoreSchedulerFactory& factory) const;
+
+  /// Toggles batched stepping (default on). The slow per-cycle path exists
+  /// for the determinism tests and the scalability bench's cold runs.
+  void set_batched_stepping(bool on) noexcept { batched_ = on; }
+  [[nodiscard]] bool batched_stepping() const noexcept { return batched_; }
+
+  [[nodiscard]] const sim::SimScale& scale() const noexcept { return scale_; }
+  [[nodiscard]] std::size_t num_cores() const noexcept { return cores_.size(); }
+  [[nodiscard]] const sim::CoreConfig& core_config(std::size_t i) const {
+    return cores_[i];
+  }
+
+  // --- canonical scheduler factories at this runner's scale --------------
+  [[nodiscard]] NCoreSchedulerFactory affinity_factory() const;
+  [[nodiscard]] NCoreSchedulerFactory affinity_factory(
+      const sched::GlobalAffinityConfig& cfg) const;
+  [[nodiscard]] NCoreSchedulerFactory round_robin_factory(
+      int interval_multiplier = 1) const;
+  [[nodiscard]] NCoreSchedulerFactory static_factory() const;
+
+ private:
+  /// RunCache key for one (workload, keyed factory) run.
+  [[nodiscard]] CacheKey run_cache_key(
+      const MulticoreWorkload& workload,
+      const NCoreSchedulerFactory& factory) const;
+
+  sim::SimScale scale_;
+  std::vector<sim::CoreConfig> cores_;
+  bool batched_ = true;
+};
+
+/// Samples `count` random workloads of `num_threads` *distinct* benchmarks
+/// each; the drawn benchmark sets are also distinct across workloads.
+/// Thread order within a workload (random) is the initial core assignment.
+/// Deterministic per seed; throws when the request is unsatisfiable.
+std::vector<MulticoreWorkload> sample_workloads(
+    const wl::BenchmarkCatalog& catalog, std::size_t num_threads, int count,
+    std::uint64_t seed);
+
+/// Human-readable "a+b+..." label for a workload.
+std::string workload_label(const MulticoreWorkload& workload);
+
+/// One row of an N-core scheduler comparison.
+struct MulticoreComparisonRow {
+  std::string label;
+  double weighted_improvement_pct = 0.0;
+  double geometric_improvement_pct = 0.0;
+  double swap_fraction = 0.0;
+  std::uint64_t swap_count = 0;   ///< test scheduler's accepted swaps
+  Cycles total_cycles = 0;        ///< test run's simulated cycles
+  /// Either run of this workload truncated at the cycle bound.
+  bool hit_cycle_bound = false;
+};
+
+/// Runs every workload under both factories (fanned out across the worker
+/// pool) and returns per-workload improvements of `test` over `reference`,
+/// in workload order.
+std::vector<MulticoreComparisonRow> compare_multicore(
+    const MulticoreRunner& runner, std::span<const MulticoreWorkload> workloads,
+    const NCoreSchedulerFactory& test, const NCoreSchedulerFactory& reference);
+
+}  // namespace amps::harness

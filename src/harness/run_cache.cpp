@@ -116,6 +116,57 @@ bool deserialize(std::istream& in, metrics::PairRunResult* r) {
   return true;
 }
 
+std::string serialize(const metrics::MulticoreRunResult& r) {
+  std::string out;
+  put_str(&out, r.scheduler);
+  put_u64(&out, r.threads.size());
+  put_u64(&out, r.total_cycles);
+  put_u64(&out, r.swap_count);
+  put_u64(&out, r.decision_points);
+  put_double(&out, r.total_energy);
+  put_u64(&out, r.hit_cycle_bound ? 1 : 0);
+  put_u64(&out, r.windows_observed);
+  put_u64(&out, r.forced_swap_count);
+  for (std::uint64_t count : r.decisions_by_reason) put_u64(&out, count);
+  for (const metrics::ThreadRunStats& t : r.threads) {
+    put_str(&out, t.benchmark);
+    put_u64(&out, t.committed);
+    put_u64(&out, t.cycles);
+    put_u64(&out, t.swaps);
+    put_double(&out, t.energy);
+    put_double(&out, t.ipc);
+    put_double(&out, t.ipc_per_watt);
+  }
+  return out;
+}
+
+bool deserialize(std::istream& in, metrics::MulticoreRunResult* r) {
+  std::uint64_t n = 0;
+  std::uint64_t bound = 0;
+  if (!get_str(in, &r->scheduler) || !get_u64(in, &n) ||
+      !get_u64(in, &r->total_cycles) || !get_u64(in, &r->swap_count) ||
+      !get_u64(in, &r->decision_points) || !get_double(in, &r->total_energy) ||
+      !get_u64(in, &bound))
+    return false;
+  r->hit_cycle_bound = bound != 0;
+  if (!get_u64(in, &r->windows_observed) ||
+      !get_u64(in, &r->forced_swap_count))
+    return false;
+  for (std::uint64_t& count : r->decisions_by_reason)
+    if (!get_u64(in, &count)) return false;
+  // Guard against a corrupt count before resizing.
+  if (n > 4096) return false;
+  r->threads.resize(n);
+  for (metrics::ThreadRunStats& t : r->threads) {
+    if (!get_str(in, &t.benchmark) || !get_u64(in, &t.committed) ||
+        !get_u64(in, &t.cycles) || !get_u64(in, &t.swaps) ||
+        !get_double(in, &t.energy) || !get_double(in, &t.ipc) ||
+        !get_double(in, &t.ipc_per_watt))
+      return false;
+  }
+  return true;
+}
+
 std::string serialize(const sim::SoloResult& r) {
   std::string out;
   put_u64(&out, r.committed);
@@ -174,9 +225,10 @@ bool deserialize(std::istream& in, std::vector<sched::ProfileSample>* out) {
 
 // ---- disk layer ----------------------------------------------------------
 
-// v2: PairRunResult gained the decision-trace summary fields. Old v1 files
-// fail the header check below and are recomputed cleanly.
-constexpr std::string_view kFileHeader = "amps-run-cache v2";
+// v3: adds MulticoreRunResult entries (kind "multi"). v2 added the
+// decision-trace summary fields to PairRunResult. Old files fail the
+// header check below and are recomputed cleanly.
+constexpr std::string_view kFileHeader = "amps-run-cache v3";
 
 std::filesystem::path cache_dir() {
   const char* dir = std::getenv("AMPS_CACHE_DIR");
@@ -451,6 +503,14 @@ metrics::PairRunResult RunCache::pair_run(
                                                    &mutex_, &stats_, compute);
 }
 
+metrics::MulticoreRunResult RunCache::multicore_run(
+    const CacheKey& key,
+    const std::function<metrics::MulticoreRunResult()>& compute) {
+  if (!enabled()) return compute();
+  return lookup_or_compute<metrics::MulticoreRunResult>(
+      "multi", key, &multi_, &mutex_, &stats_, compute);
+}
+
 sim::SoloResult RunCache::solo_run(
     const CacheKey& key, const std::function<sim::SoloResult()>& compute) {
   if (!enabled()) return compute();
@@ -474,6 +534,7 @@ RunCache::Stats RunCache::stats() const {
 void RunCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   pair_.clear();
+  multi_.clear();
   solo_.clear();
   samples_.clear();
   stats_ = Stats{};

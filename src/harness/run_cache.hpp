@@ -81,6 +81,9 @@ class RunCache {
   metrics::PairRunResult pair_run(
       const CacheKey& key,
       const std::function<metrics::PairRunResult()>& compute);
+  metrics::MulticoreRunResult multicore_run(
+      const CacheKey& key,
+      const std::function<metrics::MulticoreRunResult()>& compute);
   sim::SoloResult solo_run(const CacheKey& key,
                            const std::function<sim::SoloResult()>& compute);
   std::vector<sched::ProfileSample> profile_samples(
@@ -104,6 +107,7 @@ class RunCache {
   mutable std::mutex mutex_;
   Stats stats_;
   std::unordered_map<std::string, metrics::PairRunResult> pair_;
+  std::unordered_map<std::string, metrics::MulticoreRunResult> multi_;
   std::unordered_map<std::string, sim::SoloResult> solo_;
   std::unordered_map<std::string, std::vector<sched::ProfileSample>> samples_;
 };

@@ -31,6 +31,67 @@ double PairRunResult::geometric_ipw_speedup_vs(const PairRunResult& base) const 
   return geometric_speedup(ratios);
 }
 
+std::vector<double> MulticoreRunResult::ipw_ratios_vs(
+    const MulticoreRunResult& base) const {
+  if (threads.size() != base.threads.size())
+    throw std::invalid_argument(
+        "ipw_ratios_vs: comparing runs with different thread counts");
+  std::vector<double> ratios;
+  ratios.reserve(threads.size());
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    if (threads[i].benchmark != base.threads[i].benchmark)
+      throw std::invalid_argument(
+          "ipw_ratios_vs: comparing runs of different workloads");
+    if (base.threads[i].ipc_per_watt <= 0.0)
+      throw std::invalid_argument("ipw_ratios_vs: baseline has zero IPC/Watt");
+    ratios.push_back(threads[i].ipc_per_watt / base.threads[i].ipc_per_watt);
+  }
+  return ratios;
+}
+
+double MulticoreRunResult::weighted_ipw_speedup_vs(
+    const MulticoreRunResult& base) const {
+  const auto ratios = ipw_ratios_vs(base);
+  return weighted_speedup(ratios);
+}
+
+double MulticoreRunResult::geometric_ipw_speedup_vs(
+    const MulticoreRunResult& base) const {
+  const auto ratios = ipw_ratios_vs(base);
+  return geometric_speedup(ratios);
+}
+
+MulticoreRunResult snapshot_multicore_run(
+    const std::string& scheduler_name, const sim::MulticoreSystem& system,
+    std::span<const sim::ThreadContext* const> threads,
+    std::uint64_t decision_points, const trace::TraceSummary* summary) {
+  MulticoreRunResult r;
+  r.scheduler = scheduler_name;
+  r.threads.resize(threads.size());
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    const sim::ThreadContext& t = *threads[i];
+    ThreadRunStats& s = r.threads[i];
+    s.benchmark = t.name();
+    s.committed = t.committed_total();
+    s.cycles = t.cycles();
+    s.energy = system.live_energy(t);
+    s.ipc = t.ipc();
+    s.ipc_per_watt =
+        s.energy > 0.0 ? static_cast<double>(s.committed) / s.energy : 0.0;
+    s.swaps = t.swaps();
+  }
+  r.total_cycles = system.now();
+  r.swap_count = system.swap_count();
+  r.decision_points = decision_points;
+  r.total_energy = system.total_energy();
+  if (summary) {
+    r.windows_observed = summary->windows;
+    r.forced_swap_count = summary->forced_swaps;
+    r.decisions_by_reason = summary->by_reason;
+  }
+  return r;
+}
+
 PairRunResult snapshot_run(const std::string& scheduler_name,
                            const sim::DualCoreSystem& system,
                            const sim::ThreadContext& t0,

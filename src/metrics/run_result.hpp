@@ -3,11 +3,13 @@
 #pragma once
 
 #include <array>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/trace.hpp"
 #include "common/types.hpp"
+#include "sim/multicore.hpp"
 #include "sim/system.hpp"
 
 namespace amps::metrics {
@@ -70,5 +72,58 @@ PairRunResult snapshot_run(const std::string& scheduler_name,
                            const sim::ThreadContext& t1,
                            std::uint64_t decision_points,
                            const trace::TraceSummary* summary = nullptr);
+
+/// Snapshot of a completed N-thread run on a MulticoreSystem under one
+/// N-core scheduler — the PairRunResult generalization the §VI-D
+/// scalability experiments ratio against each other.
+struct MulticoreRunResult {
+  std::string scheduler;
+  std::vector<ThreadRunStats> threads;  ///< indexed by thread id
+  Cycles total_cycles = 0;
+  std::uint64_t swap_count = 0;
+  std::uint64_t decision_points = 0;  ///< scheduler evaluations taken
+  Energy total_energy = 0.0;
+  /// True when the run stopped at the hard cycle bound before any thread
+  /// reached its committed-instruction budget (results are then partial).
+  bool hit_cycle_bound = false;
+
+  /// Decision-trace summary (always maintained, independent of AMPS_TRACE).
+  std::uint64_t windows_observed = 0;
+  std::uint64_t forced_swap_count = 0;
+  std::array<std::uint64_t, trace::kReasonCount> decisions_by_reason{};
+
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return threads.size();
+  }
+
+  /// Per-thread IPC/Watt ratios against a baseline run of the same
+  /// workload (same benchmarks, same thread order). Throws on mismatch.
+  [[nodiscard]] std::vector<double> ipw_ratios_vs(
+      const MulticoreRunResult& base) const;
+
+  /// Weighted IPC/Watt speedup over `base` (arithmetic mean of ratios).
+  [[nodiscard]] double weighted_ipw_speedup_vs(
+      const MulticoreRunResult& base) const;
+  /// Geometric IPC/Watt speedup over `base`.
+  [[nodiscard]] double geometric_ipw_speedup_vs(
+      const MulticoreRunResult& base) const;
+
+  /// Fraction of decision points that actually swapped.
+  [[nodiscard]] double swap_fraction() const noexcept {
+    return decision_points
+               ? static_cast<double>(swap_count) /
+                     static_cast<double>(decision_points)
+               : 0.0;
+  }
+};
+
+/// Captures the end-of-run state of an N-core `system` + its threads
+/// (`threads` in thread-id order). Pass the scheduler's trace summary to
+/// fold the per-reason decision counts into the result.
+MulticoreRunResult snapshot_multicore_run(
+    const std::string& scheduler_name, const sim::MulticoreSystem& system,
+    std::span<const sim::ThreadContext* const> threads,
+    std::uint64_t decision_points,
+    const trace::TraceSummary* summary = nullptr);
 
 }  // namespace amps::metrics

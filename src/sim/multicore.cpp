@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
+
+#include "common/stats.hpp"
 
 namespace amps::sim {
 
@@ -30,7 +33,12 @@ void MulticoreSystem::attach_threads(
 }
 
 void MulticoreSystem::swap_threads(std::size_t a, std::size_t b) {
-  if (a == b || a >= slots_.size() || b >= slots_.size()) return;
+  if (a >= slots_.size() || b >= slots_.size())
+    throw std::out_of_range("MulticoreSystem::swap_threads: core index out of "
+                            "range (a=" + std::to_string(a) +
+                            ", b=" + std::to_string(b) + ", cores=" +
+                            std::to_string(slots_.size()) + ")");
+  if (a == b) return;
   if (slots_[a].migrating || slots_[b].migrating) return;
 
   slots_[a].core->detach();
@@ -41,9 +49,10 @@ void MulticoreSystem::swap_threads(std::size_t a, std::size_t b) {
   slots_[a].migrating = true;
   slots_[b].migrating = true;
   ++swaps_;
+  AMPS_COUNTER_INC("sim.thread_swaps");
   pending_.push_back({.a = a, .b = b, .resume_at = now_ + swap_overhead_,
-                      .idle_energy_start = slots_[a].core->energy() +
-                                           slots_[b].core->energy()});
+                      .idle_start_a = slots_[a].core->energy(),
+                      .idle_start_b = slots_[b].core->energy()});
 }
 
 void MulticoreSystem::step() {
@@ -51,10 +60,14 @@ void MulticoreSystem::step() {
   for (std::size_t p = 0; p < pending_.size();) {
     PendingSwap& ps = pending_[p];
     if (now_ >= ps.resume_at) {
-      const Energy idle = slots_[ps.a].core->energy() +
-                          slots_[ps.b].core->energy() - ps.idle_energy_start;
-      slots_[ps.a].thread->add_energy(idle * 0.5);
-      slots_[ps.b].thread->add_energy(idle * 0.5);
+      // Attribute each core's own idle (leakage) energy to the thread
+      // resuming on it: on an asymmetric pair the INT and FP cores burn
+      // different idle power, so a 50/50 split would overcharge the thread
+      // landing on the frugal core.
+      slots_[ps.a].thread->add_energy(slots_[ps.a].core->energy() -
+                                      ps.idle_start_a);
+      slots_[ps.b].thread->add_energy(slots_[ps.b].core->energy() -
+                                      ps.idle_start_b);
       slots_[ps.a].core->attach(slots_[ps.a].thread);
       slots_[ps.b].core->attach(slots_[ps.b].thread);
       slots_[ps.a].migrating = false;
@@ -66,6 +79,39 @@ void MulticoreSystem::step() {
   }
   for (Slot& slot : slots_) slot.core->tick(now_);
   ++now_;
+}
+
+Cycles MulticoreSystem::step_until(Cycles until_cycle,
+                                   InstrCount commit_budget) {
+  const Cycles start = now_;
+  step_until_base_.resize(slots_.size());
+  // Slot -> thread assignment is stable within a batch (swaps are only
+  // requested by scheduler ticks, which happen between batches; pending
+  // migrations completing mid-batch re-attach but do not reassign).
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    step_until_base_[i] = slots_[i].thread->committed_total();
+  while (now_ < until_cycle) {
+    step();
+    bool budget_hit = false;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].thread->committed_total() - step_until_base_[i] >=
+          commit_budget) {
+        budget_hit = true;
+        break;
+      }
+    }
+    if (budget_hit) break;
+  }
+  // One relaxed add per *batch* (decision interval), not per cycle.
+  AMPS_COUNTER_ADD("sim.multicore_batched_cycles", now_ - start);
+  return now_ - start;
+}
+
+Cycles MulticoreSystem::next_resume_at() const noexcept {
+  Cycles earliest = kNoPendingResume;
+  for (const PendingSwap& ps : pending_)
+    if (ps.resume_at < earliest) earliest = ps.resume_at;
+  return earliest;
 }
 
 Energy MulticoreSystem::live_energy(const ThreadContext& t) const {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -26,11 +27,33 @@ class MulticoreSystem {
   /// Requests a pairwise swap between the threads on cores `a` and `b`.
   /// Both pipelines flush; the two cores idle for `swap_overhead` cycles;
   /// all other cores keep running. Ignored when either core is already
-  /// migrating or a == b.
+  /// migrating or a == b; throws std::out_of_range for an invalid core
+  /// index (a scheduler asking for a core that does not exist is a bug,
+  /// never a benign request).
   void swap_threads(std::size_t a, std::size_t b);
 
   /// Advances the whole system one clock cycle.
   void step();
+
+  /// Batched stepping for the harness fast path: advances until `now()`
+  /// reaches `until_cycle`, stopping early at the end of the first cycle in
+  /// which any thread's committed-instruction count has advanced by at
+  /// least `commit_budget` since entry. Always steps at least one cycle
+  /// when `until_cycle > now()`. Equivalent to calling step() in a loop —
+  /// cycle-for-cycle identical state evolution (mirrors
+  /// DualCoreSystem::step_until). Returns cycles stepped.
+  Cycles step_until(Cycles until_cycle, InstrCount commit_budget);
+
+  /// Sentinel for next_resume_at() when no migration is pending.
+  static constexpr Cycles kNoPendingResume =
+      std::numeric_limits<Cycles>::max();
+
+  /// Earliest cycle at which a pending migration completes and its pair of
+  /// cores re-attaches (kNoPendingResume when none is in flight).
+  /// Schedulers that skip migrating cores use this to bound batched
+  /// stepping so their first post-resume tick lands on the same cycle a
+  /// per-cycle harness would poll.
+  [[nodiscard]] Cycles next_resume_at() const noexcept;
 
   [[nodiscard]] Cycles now() const noexcept { return now_; }
   [[nodiscard]] std::size_t num_cores() const noexcept { return slots_.size(); }
@@ -64,11 +87,16 @@ class MulticoreSystem {
     std::size_t a = 0;
     std::size_t b = 0;
     Cycles resume_at = 0;
-    Energy idle_energy_start = 0.0;
+    /// Each core's energy ledger at detach time: the migration idle energy
+    /// is attributed per core (INT and FP cores leak differently), to the
+    /// thread that resumes on that core.
+    Energy idle_start_a = 0.0;
+    Energy idle_start_b = 0.0;
   };
 
   std::vector<Slot> slots_;
   std::vector<PendingSwap> pending_;
+  std::vector<InstrCount> step_until_base_;  // scratch; avoids per-batch alloc
   Cycles now_ = 0;
   Cycles swap_overhead_;
   std::uint64_t swaps_ = 0;

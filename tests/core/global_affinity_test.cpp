@@ -94,6 +94,69 @@ TEST_F(GlobalAffinityTest, MarginSuppressesMarginalSwaps) {
   EXPECT_EQ(run.scheduler.swaps_requested(), 0u);
 }
 
+TEST_F(GlobalAffinityTest, PrimingSkipsMigratingCores) {
+  sim::MulticoreSystem system(four_core_amp(), 100);
+  std::vector<std::unique_ptr<sim::ThreadContext>> threads;
+  const char* names[4] = {"sha", "gzip", "equake", "swim"};
+  for (int i = 0; i < 4; ++i)
+    threads.push_back(std::make_unique<sim::ThreadContext>(
+        i, catalog_.by_name(names[static_cast<std::size_t>(i)])));
+  system.attach_threads({threads[0].get(), threads[1].get(),
+                         threads[2].get(), threads[3].get()});
+  GlobalAffinityScheduler scheduler;
+  scheduler.on_start(system);
+  // Swap before the first tick: cores 0 and 2 are mid-migration when the
+  // scheduler first polls, so they must NOT be primed off frozen counters.
+  system.swap_threads(0, 2);
+  system.step();
+  scheduler.tick(system);
+  EXPECT_FALSE(scheduler.core_primed(0));
+  EXPECT_FALSE(scheduler.core_primed(2));
+  EXPECT_TRUE(scheduler.core_primed(1));
+  EXPECT_TRUE(scheduler.core_primed(3));
+  // Once the migration completes, the first post-resume tick primes them.
+  for (int i = 0; i < 101; ++i) {
+    system.step();
+    scheduler.tick(system);
+  }
+  EXPECT_TRUE(scheduler.core_primed(0));
+  EXPECT_TRUE(scheduler.core_primed(2));
+}
+
+TEST_F(GlobalAffinityTest, BiasFrozenWhileSwapInFlight) {
+  // Fully inverted assignment: the scheduler will swap mid-run. While that
+  // swap's migration is in flight, the window state of the two cores must
+  // not advance — their biases stay bit-frozen until resume.
+  sim::MulticoreSystem system(four_core_amp(), 100);
+  std::vector<std::unique_ptr<sim::ThreadContext>> threads;
+  const char* names[4] = {"equake", "ammp", "bitcount", "sha"};
+  for (int i = 0; i < 4; ++i)
+    threads.push_back(std::make_unique<sim::ThreadContext>(
+        i, catalog_.by_name(names[static_cast<std::size_t>(i)])));
+  system.attach_threads({threads[0].get(), threads[1].get(),
+                         threads[2].get(), threads[3].get()});
+  GlobalAffinityScheduler scheduler;
+  scheduler.on_start(system);
+  Cycles guard = 400'000;
+  while (scheduler.swaps_requested() == 0 && guard-- > 0) {
+    system.step();
+    scheduler.tick(system);
+  }
+  ASSERT_GE(scheduler.swaps_requested(), 1u);
+  std::vector<std::size_t> migrating;
+  for (std::size_t i = 0; i < 4; ++i)
+    if (system.migrating(i)) migrating.push_back(i);
+  ASSERT_EQ(migrating.size(), 2u);
+  const double bias_a = scheduler.bias_of_core(migrating[0]);
+  const double bias_b = scheduler.bias_of_core(migrating[1]);
+  for (int i = 0; i < 50; ++i) {  // well inside the 100-cycle overhead
+    system.step();
+    scheduler.tick(system);
+    EXPECT_EQ(scheduler.bias_of_core(migrating[0]), bias_a);
+    EXPECT_EQ(scheduler.bias_of_core(migrating[1]), bias_b);
+  }
+}
+
 TEST_F(GlobalAffinityTest, RoundRobinRotatesPairs) {
   sim::MulticoreSystem system(four_core_amp(), 100);
   std::vector<std::unique_ptr<sim::ThreadContext>> threads;

@@ -1,0 +1,206 @@
+#include "harness/multicore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "harness/run_cache.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::harness {
+namespace {
+
+sim::SimScale small_scale() {
+  sim::SimScale scale;
+  scale.context_switch_interval = 10'000;
+  scale.run_length = 20'000;
+  return scale;
+}
+
+void expect_identical(const metrics::MulticoreRunResult& a,
+                      const metrics::MulticoreRunResult& b) {
+  EXPECT_EQ(a.scheduler, b.scheduler);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.swap_count, b.swap_count);
+  EXPECT_EQ(a.decision_points, b.decision_points);
+  EXPECT_EQ(a.hit_cycle_bound, b.hit_cycle_bound);
+  EXPECT_EQ(a.windows_observed, b.windows_observed);
+  EXPECT_EQ(a.forced_swap_count, b.forced_swap_count);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.total_energy),
+            std::bit_cast<std::uint64_t>(b.total_energy));
+  ASSERT_EQ(a.threads.size(), b.threads.size());
+  for (std::size_t i = 0; i < a.threads.size(); ++i) {
+    EXPECT_EQ(a.threads[i].benchmark, b.threads[i].benchmark);
+    EXPECT_EQ(a.threads[i].committed, b.threads[i].committed);
+    EXPECT_EQ(a.threads[i].cycles, b.threads[i].cycles);
+    EXPECT_EQ(a.threads[i].swaps, b.threads[i].swaps);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.threads[i].energy),
+              std::bit_cast<std::uint64_t>(b.threads[i].energy));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.threads[i].ipc_per_watt),
+              std::bit_cast<std::uint64_t>(b.threads[i].ipc_per_watt));
+  }
+}
+
+TEST(SampleWorkloads, DeterministicPerSeed) {
+  const wl::BenchmarkCatalog catalog;
+  const auto a = sample_workloads(catalog, 4, 5, 42);
+  const auto b = sample_workloads(catalog, 4, 5, 42);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(workload_label(a[i]), workload_label(b[i]));
+  const auto c = sample_workloads(catalog, 4, 5, 43);
+  bool any_differ = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (workload_label(a[i]) != workload_label(c[i])) any_differ = true;
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(SampleWorkloads, DistinctBenchmarksWithinAndAcrossWorkloads) {
+  const wl::BenchmarkCatalog catalog;
+  const auto workloads = sample_workloads(catalog, 8, 6, 7);
+  std::set<std::string> labels;
+  for (const MulticoreWorkload& w : workloads) {
+    ASSERT_EQ(w.size(), 8u);
+    std::set<std::string> names;
+    for (const wl::BenchmarkSpec* spec : w) names.insert(spec->name);
+    EXPECT_EQ(names.size(), 8u) << "duplicate benchmark within a workload";
+    // The *set* of benchmarks must differ across workloads; use the sorted
+    // name set as identity.
+    std::string key;
+    for (const std::string& n : names) key += n + "|";
+    EXPECT_TRUE(labels.insert(key).second) << "duplicate workload " << key;
+  }
+}
+
+TEST(SampleWorkloads, RejectsImpossibleRequests) {
+  const wl::BenchmarkCatalog catalog;
+  EXPECT_THROW(sample_workloads(catalog, 1, 1, 0), std::invalid_argument);
+  EXPECT_THROW(sample_workloads(catalog, catalog.size() + 1, 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW(sample_workloads(catalog, 2, -1, 0), std::invalid_argument);
+}
+
+TEST(MulticoreRunner, RunCompletesAndReportsPerThreadStats) {
+  const wl::BenchmarkCatalog catalog;
+  const MulticoreRunner runner =
+      MulticoreRunner::canonical(small_scale(), 4);
+  const auto workloads = sample_workloads(catalog, 4, 1, 11);
+  auto scheduler = runner.static_factory()();
+  const auto result = runner.run(workloads[0], *scheduler);
+  EXPECT_EQ(result.scheduler, "static-n");
+  ASSERT_EQ(result.num_threads(), 4u);
+  EXPECT_FALSE(result.hit_cycle_bound);
+  bool any_done = false;
+  for (const auto& t : result.threads) {
+    EXPECT_GT(t.committed, 0u);
+    EXPECT_GT(t.energy, 0.0);
+    EXPECT_GT(t.ipc_per_watt, 0.0);
+    if (t.committed >= small_scale().run_length) any_done = true;
+  }
+  EXPECT_TRUE(any_done);
+  EXPECT_GT(result.total_cycles, 0u);
+  EXPECT_GT(result.total_energy, 0.0);
+}
+
+TEST(MulticoreRunner, WorkloadSizeMustMatchCores) {
+  const wl::BenchmarkCatalog catalog;
+  const MulticoreRunner runner =
+      MulticoreRunner::canonical(small_scale(), 4);
+  const auto workloads = sample_workloads(catalog, 2, 1, 3);
+  auto scheduler = runner.static_factory()();
+  EXPECT_THROW(runner.run(workloads[0], *scheduler), std::invalid_argument);
+}
+
+TEST(MulticoreRunner, KeyedFactoryMemoizes) {
+  const wl::BenchmarkCatalog catalog;
+  const MulticoreRunner runner =
+      MulticoreRunner::canonical(small_scale(), 4);
+  const auto workloads = sample_workloads(catalog, 4, 1, 17);
+  const NCoreSchedulerFactory factory = runner.affinity_factory();
+  ASSERT_TRUE(factory.cacheable());
+
+  RunCache& cache = RunCache::instance();
+  cache.clear();
+  const auto cold = runner.run(workloads[0], factory);
+  const auto s1 = cache.stats();
+  EXPECT_EQ(s1.misses, 1u);
+  EXPECT_EQ(s1.hits, 0u);
+
+  const auto warm = runner.run(workloads[0], factory);
+  const auto s2 = cache.stats();
+  EXPECT_EQ(s2.misses, 1u);
+  EXPECT_EQ(s2.hits, 1u);
+  expect_identical(cold, warm);
+}
+
+TEST(MulticoreRunner, UnkeyedFactoriesBypassTheCache) {
+  const wl::BenchmarkCatalog catalog;
+  const MulticoreRunner runner =
+      MulticoreRunner::canonical(small_scale(), 2);
+  const auto workloads = sample_workloads(catalog, 2, 1, 19);
+  const NCoreSchedulerFactory plain = [] {
+    return std::make_unique<sched::MulticoreStaticScheduler>();
+  };
+  EXPECT_FALSE(plain.cacheable());
+
+  RunCache& cache = RunCache::instance();
+  cache.clear();
+  (void)runner.run(workloads[0], plain);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, 0u);
+}
+
+TEST(MulticoreRunner, DiskRoundTripIsBitIdentical) {
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / "amps-multicore-cache-test";
+  std::filesystem::remove_all(dir);
+  setenv("AMPS_CACHE_DIR", dir.c_str(), 1);
+
+  const wl::BenchmarkCatalog catalog;
+  const MulticoreRunner runner =
+      MulticoreRunner::canonical(small_scale(), 4);
+  const auto workloads = sample_workloads(catalog, 4, 1, 23);
+  const NCoreSchedulerFactory factory = runner.round_robin_factory();
+
+  RunCache& cache = RunCache::instance();
+  cache.clear();
+  const auto cold = runner.run(workloads[0], factory);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_FALSE(std::filesystem::is_empty(dir));
+
+  cache.clear();  // drop memory; force the disk path
+  const auto from_disk = runner.run(workloads[0], factory);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.disk_hits, 1u);
+  expect_identical(cold, from_disk);
+
+  unsetenv("AMPS_CACHE_DIR");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MulticoreRunner, CompareProducesOneRowPerWorkload) {
+  const wl::BenchmarkCatalog catalog;
+  const MulticoreRunner runner =
+      MulticoreRunner::canonical(small_scale(), 2);
+  const auto workloads = sample_workloads(catalog, 2, 3, 29);
+  RunCache::instance().clear();
+  const auto rows = compare_multicore(runner, workloads,
+                                      runner.affinity_factory(),
+                                      runner.static_factory());
+  ASSERT_EQ(rows.size(), 3u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].label, workload_label(workloads[i]));
+    EXPECT_FALSE(rows[i].hit_cycle_bound);
+  }
+}
+
+}  // namespace
+}  // namespace amps::harness

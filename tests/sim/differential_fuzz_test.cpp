@@ -16,12 +16,15 @@
 
 #include "common/trace.hpp"
 #include "core/extended.hpp"
+#include "core/global_affinity.hpp"
 #include "core/hpe.hpp"
 #include "core/proposed.hpp"
 #include "core/round_robin.hpp"
 #include "harness/experiment.hpp"
+#include "harness/multicore.hpp"
 #include "harness/sampler.hpp"
 #include "sim/core_config.hpp"
+#include "sim/multicore.hpp"
 
 namespace amps::sim {
 namespace {
@@ -55,6 +58,34 @@ void expect_identical(const metrics::PairRunResult& a,
         << "reason " << trace::to_string(static_cast<trace::Reason>(i));
   expect_same_bits(a.total_energy, b.total_energy, "total_energy");
   for (int i = 0; i < 2; ++i) {
+    const metrics::ThreadRunStats& ta = a.threads[i];
+    const metrics::ThreadRunStats& tb = b.threads[i];
+    EXPECT_EQ(ta.benchmark, tb.benchmark);
+    EXPECT_EQ(ta.committed, tb.committed);
+    EXPECT_EQ(ta.cycles, tb.cycles);
+    EXPECT_EQ(ta.swaps, tb.swaps);
+    expect_same_bits(ta.energy, tb.energy, "thread energy");
+    expect_same_bits(ta.ipc, tb.ipc, "thread ipc");
+    expect_same_bits(ta.ipc_per_watt, tb.ipc_per_watt, "thread ipw");
+  }
+}
+
+void expect_identical(const metrics::MulticoreRunResult& a,
+                      const metrics::MulticoreRunResult& b) {
+  EXPECT_EQ(a.scheduler, b.scheduler);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.swap_count, b.swap_count);
+  EXPECT_EQ(a.decision_points, b.decision_points);
+  EXPECT_EQ(a.hit_cycle_bound, b.hit_cycle_bound);
+  EXPECT_EQ(a.windows_observed, b.windows_observed);
+  EXPECT_EQ(a.forced_swap_count, b.forced_swap_count);
+  for (std::size_t i = 0; i < trace::kReasonCount; ++i)
+    EXPECT_EQ(a.decisions_by_reason[i], b.decisions_by_reason[i])
+        << "reason " << trace::to_string(static_cast<trace::Reason>(i));
+  expect_same_bits(a.total_energy, b.total_energy, "total_energy");
+  ASSERT_EQ(a.threads.size(), b.threads.size());
+  for (std::size_t i = 0; i < a.threads.size(); ++i) {
+    SCOPED_TRACE("thread " + std::to_string(i));
     const metrics::ThreadRunStats& ta = a.threads[i];
     const metrics::ThreadRunStats& tb = b.threads[i];
     EXPECT_EQ(ta.benchmark, tb.benchmark);
@@ -245,6 +276,143 @@ TEST(DifferentialFuzz, BatchedSteppingMatchesPerCycle) {
     const auto a = batched.run_pair(cfg.pair, *s1);
     auto s2 = make_scheduler(cfg, models);
     const auto b = per_cycle.run_pair(cfg.pair, *s2);
+
+    expect_identical(a, b);
+    expect_same_trace(s1->decision_trace(), s2->decision_trace());
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+// N=2 parity: a 2-core MulticoreSystem driven with the same scripted swap
+// cycles as a DualCoreSystem must evolve cycle-for-cycle identically at
+// the *core* level — committed work, cycles, swaps, and per-core energy
+// bit-equal. (Per-thread energies legitimately differ: the dual-core
+// system splits migration idle energy 50/50 while the N-core system
+// attributes each core's own idle delta to the thread resuming on it.)
+TEST(DifferentialFuzz, DualVsTwoCoreMulticoreParity) {
+  const wl::BenchmarkCatalog catalog;
+  std::mt19937_64 rng(0xA3C5'0006);
+  for (int i = 0; i < 10; ++i) {
+    const harness::BenchmarkPair pair =
+        harness::sample_pairs(
+            catalog, 1,
+            std::uniform_int_distribution<std::uint64_t>(0, 1u << 20)(rng))
+            .front();
+    const Cycles total =
+        std::uniform_int_distribution<Cycles>(10'000, 20'000)(rng);
+    std::vector<Cycles> swap_at;
+    const int swaps = std::uniform_int_distribution<int>(1, 4)(rng);
+    for (int s = 0; s < swaps; ++s)
+      swap_at.push_back(
+          std::uniform_int_distribution<Cycles>(500, total - 500)(rng));
+    std::string label = harness::pair_label(pair) + " total=" +
+                        std::to_string(total) + " swaps=" +
+                        std::to_string(swaps);
+    SCOPED_TRACE("config " + std::to_string(i) + ": " + label);
+
+    DualCoreSystem dual(int_core_config(), fp_core_config(), 100);
+    ThreadContext d0(0, *pair.first);
+    ThreadContext d1(1, *pair.second);
+    dual.attach_threads(&d0, &d1);
+
+    MulticoreSystem multi({int_core_config(), fp_core_config()}, 100);
+    ThreadContext m0(0, *pair.first);
+    ThreadContext m1(1, *pair.second);
+    multi.attach_threads({&m0, &m1});
+
+    while (dual.now() < total) {
+      // Identical request stream; requests landing mid-migration are
+      // ignored by both systems under the same condition.
+      for (const Cycles at : swap_at) {
+        if (dual.now() == at) {
+          dual.swap_threads();
+          multi.swap_threads(0, 1);
+        }
+      }
+      dual.step();
+      multi.step();
+    }
+
+    EXPECT_EQ(multi.now(), dual.now());
+    EXPECT_EQ(multi.swap_count(), dual.swap_count());
+    const ThreadContext* dual_threads[2] = {&d0, &d1};
+    const ThreadContext* multi_threads[2] = {&m0, &m1};
+    for (int t = 0; t < 2; ++t) {
+      SCOPED_TRACE("thread " + std::to_string(t));
+      EXPECT_EQ(multi_threads[t]->committed_total(),
+                dual_threads[t]->committed_total());
+      EXPECT_EQ(multi_threads[t]->cycles(), dual_threads[t]->cycles());
+      EXPECT_EQ(multi_threads[t]->swaps(), dual_threads[t]->swaps());
+    }
+    for (std::size_t c = 0; c < 2; ++c)
+      expect_same_bits(multi.core(c).energy(), dual.core(c).energy(),
+                       "core energy");
+    expect_same_bits(multi.total_energy(), dual.total_energy(),
+                     "total energy");
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+// The MulticoreSystem batched-stepping axis: GlobalAffinity / N-core
+// Round-Robin / static schedulers on 2- and 4-core machines, decision-hint
+// batching against per-cycle ticking, bit-equal results and traces.
+TEST(DifferentialFuzz, MulticoreBatchedSteppingMatchesPerCycle) {
+  ArmGuard armed;
+  const wl::BenchmarkCatalog catalog;
+  std::mt19937_64 rng(0xA3C5'0007);
+  for (int i = 0; i < 20; ++i) {
+    SimScale scale;
+    scale.context_switch_interval =
+        std::uniform_int_distribution<Cycles>(5'000, 30'000)(rng);
+    scale.run_length =
+        std::uniform_int_distribution<InstrCount>(12'000, 25'000)(rng);
+    constexpr InstrCount kWindows[] = {250, 500, 1'000, 2'000};
+    constexpr int kHistories[] = {1, 3, 5, 7};
+    scale.window_size =
+        kWindows[std::uniform_int_distribution<int>(0, 3)(rng)];
+    scale.history_depth =
+        kHistories[std::uniform_int_distribution<int>(0, 3)(rng)];
+    const std::size_t n =
+        std::uniform_int_distribution<int>(0, 1)(rng) == 0 ? 2 : 4;
+    const int family = std::uniform_int_distribution<int>(0, 2)(rng);
+    const harness::MulticoreWorkload workload =
+        harness::sample_workloads(
+            catalog, n, 1,
+            std::uniform_int_distribution<std::uint64_t>(0, 1u << 20)(rng))
+            .front();
+    SCOPED_TRACE("config " + std::to_string(i) + ": " +
+                 harness::workload_label(workload) + " n=" +
+                 std::to_string(n) + " family=" + std::to_string(family) +
+                 " csi=" + std::to_string(scale.context_switch_interval) +
+                 " window=" + std::to_string(scale.window_size) +
+                 " history=" + std::to_string(scale.history_depth));
+
+    const auto make_scheduler = [&]() -> std::unique_ptr<sched::NCoreScheduler> {
+      switch (family) {
+        case 0: {
+          sched::GlobalAffinityConfig cfg;
+          cfg.window_size = scale.window_size;
+          cfg.history_depth = scale.history_depth;
+          return std::make_unique<sched::GlobalAffinityScheduler>(cfg);
+        }
+        case 1:
+          return std::make_unique<sched::MulticoreRoundRobin>(
+              scale.context_switch_interval);
+        default:
+          return std::make_unique<sched::MulticoreStaticScheduler>();
+      }
+    };
+
+    harness::MulticoreRunner batched =
+        harness::MulticoreRunner::canonical(scale, n);
+    harness::MulticoreRunner per_cycle =
+        harness::MulticoreRunner::canonical(scale, n);
+    per_cycle.set_batched_stepping(false);
+
+    auto s1 = make_scheduler();
+    const auto a = batched.run(workload, *s1);
+    auto s2 = make_scheduler();
+    const auto b = per_cycle.run(workload, *s2);
 
     expect_identical(a, b);
     expect_same_trace(s1->decision_trace(), s2->decision_trace());

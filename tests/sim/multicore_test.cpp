@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "workload/benchmark.hpp"
 
 namespace amps::sim {
@@ -76,13 +79,123 @@ TEST_F(MulticoreTest, SwapExchangesAssignment) {
   EXPECT_EQ(threads_[0]->swaps(), 1u);
 }
 
-TEST_F(MulticoreTest, InvalidSwapRequestsIgnored) {
+TEST_F(MulticoreTest, BenignSwapRequestsIgnored) {
   system_.swap_threads(1, 1);
-  system_.swap_threads(0, 99);
   EXPECT_EQ(system_.swap_count(), 0u);
   system_.swap_threads(0, 1);
   system_.swap_threads(1, 2);  // core 1 is migrating: ignored
   EXPECT_EQ(system_.swap_count(), 1u);
+}
+
+TEST_F(MulticoreTest, OutOfRangeSwapThrows) {
+  // A scheduler asking for a core that does not exist is a bug, not a
+  // benign request — it must not be silently dropped.
+  EXPECT_THROW(system_.swap_threads(0, 99), std::out_of_range);
+  EXPECT_THROW(system_.swap_threads(4, 0), std::out_of_range);
+  EXPECT_THROW(system_.swap_threads(7, 7), std::out_of_range);
+  EXPECT_EQ(system_.swap_count(), 0u);
+  // The system is untouched and still accepts valid requests.
+  system_.swap_threads(0, 1);
+  EXPECT_EQ(system_.swap_count(), 1u);
+}
+
+TEST_F(MulticoreTest, MigrationIdleEnergyAttributedPerCore) {
+  // Make the idle (leakage) power of the two swapped cores grossly
+  // asymmetric, so a 50/50 split would be visibly wrong.
+  std::vector<CoreConfig> configs = four_core_amp();
+  configs[0].energy_params.leak_base = 0.50;
+  configs[3].energy_params.leak_base = 0.01;
+  configs[3].energy_params.leak_per_area = 0.0;  // area leakage dominates
+  MulticoreSystem sys(configs, 100);
+  std::vector<std::unique_ptr<ThreadContext>> ts;
+  const char* names[4] = {"sha", "gzip", "equake", "swim"};
+  for (int i = 0; i < 4; ++i)
+    ts.push_back(std::make_unique<ThreadContext>(
+        i, catalog_.by_name(names[static_cast<std::size_t>(i)])));
+  sys.attach_threads({ts[0].get(), ts[1].get(), ts[2].get(), ts[3].get()});
+  for (int i = 0; i < 1'000; ++i) sys.step();
+
+  sys.swap_threads(0, 3);
+  // Detach settled each thread's energy; snapshot the ledgers.
+  const Energy settled0 = ts[0]->energy();
+  const Energy settled3 = ts[3]->energy();
+  const Energy idle_start_a = sys.core(0).energy();
+  const Energy idle_start_b = sys.core(3).energy();
+  // Step past the overhead so the migration completes and re-attaches.
+  for (int i = 0; i < 101; ++i) sys.step();
+  ASSERT_FALSE(sys.migrating(0));
+  ASSERT_FALSE(sys.migrating(3));
+
+  // Each core's own idle delta (detach -> re-attach) goes to the thread
+  // that resumed on it: t3 landed on core 0, t0 on core 3.
+  const Energy idle_a =
+      sys.core(0).energy() - sys.core(0).energy_since_attach() - idle_start_a;
+  const Energy idle_b =
+      sys.core(3).energy() - sys.core(3).energy_since_attach() - idle_start_b;
+  ASSERT_GT(idle_a, 0.0);
+  ASSERT_GT(idle_b, 0.0);
+  // The asymmetry is real: the frugal core's idle bill is far smaller.
+  EXPECT_GT(idle_a, 5.0 * idle_b);
+  EXPECT_DOUBLE_EQ(ts[3]->energy(), settled3 + idle_a);
+  EXPECT_DOUBLE_EQ(ts[0]->energy(), settled0 + idle_b);
+}
+
+TEST_F(MulticoreTest, StepUntilMatchesPerCycleStepping) {
+  auto make = [&](std::vector<std::unique_ptr<ThreadContext>>* ts) {
+    auto sys = std::make_unique<MulticoreSystem>(four_core_amp(), 100);
+    const char* names[4] = {"sha", "gzip", "equake", "swim"};
+    for (int i = 0; i < 4; ++i)
+      ts->push_back(std::make_unique<ThreadContext>(
+          i, catalog_.by_name(names[static_cast<std::size_t>(i)])));
+    sys->attach_threads(
+        {(*ts)[0].get(), (*ts)[1].get(), (*ts)[2].get(), (*ts)[3].get()});
+    return sys;
+  };
+  // Scripted swaps at fixed cycles, including one issued while another
+  // migration is still in flight (ignored identically on both paths).
+  const Cycles swap_at[2] = {1'000, 3'000};
+
+  std::vector<std::unique_ptr<ThreadContext>> ref_ts;
+  auto ref = make(&ref_ts);
+  while (ref->now() < 6'000) {
+    if (ref->now() == swap_at[0]) ref->swap_threads(0, 2);
+    if (ref->now() == swap_at[1]) ref->swap_threads(1, 3);
+    ref->step();
+  }
+
+  std::vector<std::unique_ptr<ThreadContext>> bat_ts;
+  auto bat = make(&bat_ts);
+  bat->step_until(swap_at[0], std::numeric_limits<InstrCount>::max());
+  ASSERT_EQ(bat->now(), swap_at[0]);
+  bat->swap_threads(0, 2);
+  bat->step_until(swap_at[1], std::numeric_limits<InstrCount>::max());
+  bat->swap_threads(1, 3);
+  bat->step_until(6'000, std::numeric_limits<InstrCount>::max());
+
+  EXPECT_EQ(bat->now(), ref->now());
+  EXPECT_EQ(bat->swap_count(), ref->swap_count());
+  for (int i = 0; i < 4; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(bat_ts[idx]->committed_total(), ref_ts[idx]->committed_total());
+    EXPECT_EQ(bat_ts[idx]->cycles(), ref_ts[idx]->cycles());
+    EXPECT_EQ(bat->live_energy(*bat_ts[idx]), ref->live_energy(*ref_ts[idx]));
+  }
+  for (std::size_t c = 0; c < 4; ++c)
+    EXPECT_EQ(bat->core(c).energy(), ref->core(c).energy());
+}
+
+TEST_F(MulticoreTest, StepUntilHonorsCommitBudget) {
+  // With a commit budget of B, the batch must stop at the end of the first
+  // cycle in which some thread has advanced by at least B.
+  const InstrCount budget = 500;
+  system_.step_until(1'000'000, budget);
+  InstrCount max_advanced = 0;
+  for (const auto& t : threads_)
+    max_advanced = std::max(max_advanced, t->committed_total());
+  EXPECT_GE(max_advanced, budget);
+  // No thread can overshoot by more than one cycle's commit width.
+  EXPECT_LT(max_advanced, budget + 16);
+  EXPECT_LT(system_.now(), 1'000'000u);
 }
 
 TEST_F(MulticoreTest, ConcurrentDisjointSwapsAllowed) {
