@@ -1,0 +1,260 @@
+// amps-serve throughput bench, in three parts:
+//
+//  1. Cold serve — an in-process TcpServer answers every (pair, scheduler)
+//     request once with an empty RunCache; concurrent clients measure
+//     requests/sec and per-request p50/p99 latency.
+//  2. Warm serve — the identical request set again: every answer now comes
+//     from the run cache. The warm/cold ratio is what a repeat client
+//     actually experiences, and the warm responses must be byte-identical
+//     to the cold ones.
+//  3. Bit-identity — the cache is cleared and each request is recomputed
+//     directly with ExperimentRunner + the protocol serializer; the served
+//     "result" objects must match byte-for-byte (the cache-identity
+//     guarantee of DESIGN.md §10).
+//
+// A fourth mini-scenario pauses a tiny-queue service and bursts requests
+// at it to show bounded-queue backpressure: the overflow is answered with
+// retriable "queue_full" errors, and everything accepted still completes
+// after the pause lifts.
+//
+// Results go to stdout and to BENCH_serve.json in the working directory.
+// Knobs: AMPS_SCALE, AMPS_PAIRS, AMPS_SEED, AMPS_THREADS.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/parallel.hpp"
+#include "harness/run_cache.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using amps::service::Json;
+
+struct PhaseStats {
+  double seconds = 0.0;
+  double rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+double percentile(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(idx, sorted_us.size() - 1)];
+}
+
+/// Fires every request line at the server from `clients` concurrent
+/// connections (request i goes to client i % clients, synchronously per
+/// client). Fills `responses[i]` and returns wall/latency stats.
+PhaseStats run_phase(std::uint16_t port, const std::vector<std::string>& lines,
+                     std::size_t clients, std::vector<std::string>* responses) {
+  responses->assign(lines.size(), std::string());
+  std::vector<std::vector<double>> latencies(clients);
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      amps::service::LineClient client;
+      client.connect(port);
+      for (std::size_t i = c; i < lines.size(); i += clients) {
+        const auto t0 = Clock::now();
+        (*responses)[i] = client.request(lines[i]);
+        latencies[c].push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                .count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  PhaseStats stats;
+  stats.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  stats.rps = static_cast<double>(lines.size()) / stats.seconds;
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  stats.p50_us = percentile(all, 0.50);
+  stats.p99_us = percentile(all, 0.99);
+  return stats;
+}
+
+/// Extracts the "result" sub-object of a response line, re-serialized.
+std::string result_of(const std::string& response) {
+  std::string error;
+  const Json doc = Json::parse(response, &error);
+  if (!error.empty() || !doc.get("ok").as_bool(false)) return "<error>";
+  return doc.get("result").dump();
+}
+
+}  // namespace
+
+int main() {
+  using namespace amps;
+  const auto ctx = bench::make_context(/*default_pairs=*/8);
+  bench::print_header("amps-serve throughput — cold vs warm cache", ctx);
+
+  const wl::BenchmarkCatalog catalog;
+  const auto pairs = harness::sample_pairs(catalog, ctx.pairs, ctx.seed);
+  const std::vector<std::string> schedulers = {"proposed", "static",
+                                               "round-robin"};
+
+  // One request line per (pair, scheduler); ids index into the set.
+  std::vector<std::string> lines;
+  for (const auto& pair : pairs) {
+    for (const std::string& sched : schedulers) {
+      Json req = Json::object();
+      req.set("id", Json(static_cast<std::uint64_t>(lines.size())));
+      req.set("op", Json("run_pair"));
+      Json bench_names = Json::array();
+      bench_names.push_back(Json(pair.first->name));
+      bench_names.push_back(Json(pair.second->name));
+      req.set("bench", std::move(bench_names));
+      req.set("scheduler", Json(sched));
+      req.set("scale", Json(env_paper_scale() ? "paper" : "ci"));
+      lines.push_back(req.dump());
+    }
+  }
+  const std::size_t clients = std::min<std::size_t>(4, lines.size());
+
+  service::SimulationService svc;
+  service::TcpServer server(svc, /*port=*/0);
+  std::cout << "[serving " << lines.size() << " request(s) ("
+            << pairs.size() << " pair(s) x " << schedulers.size()
+            << " scheduler(s)) from " << clients
+            << " concurrent client(s) on 127.0.0.1:" << server.port()
+            << "]\n\n";
+
+  // --- parts 1+2: cold serve, then the identical warm set ----------------
+  harness::RunCache::instance().clear();
+  std::vector<std::string> cold_responses;
+  const PhaseStats cold = run_phase(server.port(), lines, clients,
+                                    &cold_responses);
+  std::vector<std::string> warm_responses;
+  const PhaseStats warm = run_phase(server.port(), lines, clients,
+                                    &warm_responses);
+  const auto cache = harness::RunCache::instance().stats();
+
+  bool warm_identical = true;
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    warm_identical = warm_identical &&
+                     result_of(cold_responses[i]) == result_of(warm_responses[i]);
+
+  Table phases({"serve phase", "wall s", "req/s", "p50 us", "p99 us"});
+  phases.row()
+      .cell("cold cache")
+      .cell(cold.seconds, 3)
+      .cell(cold.rps, 1)
+      .cell(cold.p50_us, 0)
+      .cell(cold.p99_us, 0);
+  phases.row()
+      .cell("warm cache")
+      .cell(warm.seconds, 3)
+      .cell(warm.rps, 1)
+      .cell(warm.p50_us, 0)
+      .cell(warm.p99_us, 0);
+  bench::emit("serve_phases", phases);
+  const double warm_speedup =
+      warm.seconds > 0.0 ? cold.seconds / warm.seconds : 0.0;
+  std::cout << "warm-serve speedup: " << warm_speedup << "x  (cache: "
+            << cache.hits << " hit(s), " << cache.misses << " miss(es)); "
+            << "warm responses "
+            << (warm_identical ? "byte-identical" : "DIFFER") << "\n\n";
+
+  // --- part 3: served results vs direct recomputation --------------------
+  std::cout << "[bit-identity: recomputing every request directly...]\n";
+  harness::RunCache::instance().clear();
+  bool bit_identical = true;
+  {
+    const harness::ExperimentRunner runner(ctx.scale);
+    std::size_t i = 0;
+    for (const auto& pair : pairs) {
+      for (const std::string& sched : schedulers) {
+        const harness::SchedulerFactory factory =
+            sched == "proposed"  ? runner.proposed_factory()
+            : sched == "static"  ? runner.static_factory()
+                                 : runner.round_robin_factory();
+        const std::string direct =
+            service::to_json(runner.run_pair(pair, factory)).dump();
+        bit_identical = bit_identical && direct == result_of(cold_responses[i]);
+        ++i;
+      }
+    }
+  }
+  std::cout << "served vs direct results: "
+            << (bit_identical ? "byte-identical" : "DIFFER") << "\n\n";
+
+  // --- part 4: bounded-queue backpressure under a paused dispatcher ------
+  service::ServiceConfig tiny;
+  tiny.queue_capacity = 4;
+  tiny.batch_max = 2;
+  service::SimulationService burst_svc(tiny);
+  burst_svc.set_paused(true);
+  const std::size_t burst = 32;
+  std::mutex burst_mutex;
+  std::size_t rejected = 0;
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < burst; ++i) {
+    burst_svc.submit(lines[i % lines.size()], [&](const std::string& resp) {
+      std::string error;
+      const Json doc = Json::parse(resp, &error);
+      std::lock_guard<std::mutex> lock(burst_mutex);
+      if (doc.get("ok").as_bool(false)) {
+        ++completed;
+      } else if (doc.get("error").get("code").as_string() == "queue_full") {
+        ++rejected;
+      }
+    });
+  }
+  burst_svc.set_paused(false);
+  burst_svc.drain();
+  std::cout << "backpressure burst: " << burst << " submitted to a "
+            << tiny.queue_capacity << "-slot queue -> " << rejected
+            << " rejected queue_full (retriable), " << completed
+            << " completed after the pause\n";
+
+  // --- machine-readable record -------------------------------------------
+  std::ofstream json("BENCH_serve.json");
+  if (json) {
+    json << "{\n"
+         << "  \"scale\": \"" << (env_paper_scale() ? "paper" : "ci")
+         << "\",\n"
+         << "  \"pairs\": " << pairs.size() << ",\n"
+         << "  \"seed\": " << ctx.seed << ",\n"
+         << "  \"workers\": " << harness::default_worker_count() << ",\n"
+         << "  \"requests\": " << lines.size() << ",\n"
+         << "  \"clients\": " << clients << ",\n"
+         << "  \"cold_seconds\": " << cold.seconds << ",\n"
+         << "  \"cold_rps\": " << cold.rps << ",\n"
+         << "  \"cold_p50_us\": " << cold.p50_us << ",\n"
+         << "  \"cold_p99_us\": " << cold.p99_us << ",\n"
+         << "  \"warm_seconds\": " << warm.seconds << ",\n"
+         << "  \"warm_rps\": " << warm.rps << ",\n"
+         << "  \"warm_p50_us\": " << warm.p50_us << ",\n"
+         << "  \"warm_p99_us\": " << warm.p99_us << ",\n"
+         << "  \"warm_speedup\": " << warm_speedup << ",\n"
+         << "  \"warm_identical\": " << (warm_identical ? "true" : "false")
+         << ",\n"
+         << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
+         << ",\n"
+         << "  \"burst_submitted\": " << burst << ",\n"
+         << "  \"burst_rejected_queue_full\": " << rejected << ",\n"
+         << "  \"burst_completed\": " << completed << "\n"
+         << "}\n";
+    std::cout << "\nwrote BENCH_serve.json\n";
+  } else {
+    std::cerr << "[warn] cannot write BENCH_serve.json\n";
+  }
+  return (warm_identical && bit_identical) ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+// amps-client: a thin command-line client for amps-serve.
+//
+//   amps_client run_pair ammp sha                 # default scheduler
+//   amps_client --scheduler=hpe-matrix run_pair ammp sha
+//   amps_client run_multicore ammp sha equake gzip
+//   amps_client --deadline-ms=250 run_pair ammp sha
+//   amps_client ping | statsz | shutdown
+//   echo '{"op":"ping"}' | amps_client --raw     # send stdin lines verbatim
+//
+// Connects to 127.0.0.1 on --port=N (default AMPS_SERVE_PORT or 4207),
+// prints each response line to stdout, and exits non-zero when any
+// response carries "ok":false.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "service/json.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+constexpr std::uint16_t kDefaultPort = 4207;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--port=N] [--scheduler=S] [--scale=ci|paper]\n"
+      "          [--deadline-ms=N] <op> [benchmarks...]\n"
+      "       %s [--port=N] --raw        # forward stdin lines verbatim\n"
+      "ops: run_pair A B | run_multicore A B C D ... | ping | statsz |\n"
+      "     shutdown\n",
+      argv0, argv0);
+  return 2;
+}
+
+/// True when the response line says "ok":true (parse failure counts as
+/// not-ok so scripts see a non-zero exit).
+bool response_ok(const std::string& line) {
+  std::string error;
+  const amps::service::Json doc = amps::service::Json::parse(line, &error);
+  return error.empty() && doc.get("ok").as_bool(false);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long port = -1;
+  bool raw = false;
+  std::string scheduler;
+  std::string scale;
+  long deadline_ms = -1;
+  std::vector<std::string> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      port = std::strtol(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--scheduler=", 0) == 0) {
+      scheduler = arg.substr(12);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      scale = arg.substr(8);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      deadline_ms = std::strtol(arg.c_str() + 14, nullptr, 10);
+    } else if (arg == "--raw") {
+      raw = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage(argv[0]);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (port < 0) port = amps::env_int("AMPS_SERVE_PORT", kDefaultPort);
+  if (port < 0 || port > 65535) return usage(argv[0]);
+  if (!raw && positional.empty()) return usage(argv[0]);
+
+  amps::service::LineClient client;
+  try {
+    client.connect(static_cast<std::uint16_t>(port));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "amps_client: %s\n", e.what());
+    return 1;
+  }
+
+  bool all_ok = true;
+  try {
+    if (raw) {
+      std::string line;
+      while (std::getline(std::cin, line)) {
+        if (line.empty()) continue;
+        const std::string resp = client.request(line);
+        std::printf("%s\n", resp.c_str());
+        all_ok = all_ok && response_ok(resp);
+      }
+    } else {
+      const std::string& op = positional[0];
+      amps::service::Json req = amps::service::Json::object();
+      req.set("id", amps::service::Json("cli"));
+      req.set("op", amps::service::Json(op));
+      if (positional.size() > 1) {
+        amps::service::Json names = amps::service::Json::array();
+        for (std::size_t i = 1; i < positional.size(); ++i)
+          names.push_back(amps::service::Json(positional[i]));
+        req.set(op == "run_multicore" ? "workload" : "bench",
+                std::move(names));
+      }
+      if (!scheduler.empty())
+        req.set("scheduler", amps::service::Json(scheduler));
+      if (!scale.empty()) req.set("scale", amps::service::Json(scale));
+      if (deadline_ms >= 0)
+        req.set("deadline_ms",
+                amps::service::Json(static_cast<std::int64_t>(deadline_ms)));
+
+      const std::string resp = client.request(req.dump());
+      std::printf("%s\n", resp.c_str());
+      all_ok = response_ok(resp);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "amps_client: %s\n", e.what());
+    return 1;
+  }
+  return all_ok ? 0 : 1;
+}

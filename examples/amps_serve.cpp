@@ -1,0 +1,115 @@
+// amps-serve: a long-running simulation-request daemon.
+//
+// Accepts line-delimited JSON requests (see src/service/protocol.hpp) over
+// a local TCP socket — or stdin/stdout with --pipe — batches compatible
+// requests into parallel fan-outs over the shared worker pool, answers
+// repeats from the process-wide run cache, and streams results back as
+// JSON lines.
+//
+//   amps_serve                  # listen on AMPS_SERVE_PORT (default 4207)
+//   amps_serve --port=0         # kernel-assigned port (printed on stdout)
+//   amps_serve --pipe           # serve stdin/stdout instead of a socket
+//
+// Stops on SIGINT/SIGTERM or a {"op":"shutdown"} request; both paths take
+// the graceful route: intake closes first, every accepted request is
+// answered, then connections close. Set AMPS_CACHE_DIR to keep the run
+// cache warm across restarts. Knobs: docs/CONFIG.md.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "common/env.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+constexpr std::uint16_t kDefaultPort = 4207;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port=N | --pipe]\n"
+               "  --port=N   listen on 127.0.0.1:N (0 = kernel-assigned;\n"
+               "             default AMPS_SERVE_PORT or %u)\n"
+               "  --pipe     serve stdin/stdout instead of a TCP socket\n",
+               argv0, kDefaultPort);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool pipe_mode = false;
+  long port = -1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--pipe") == 0) {
+      pipe_mode = true;
+    } else if (std::strncmp(arg, "--port=", 7) == 0) {
+      char* end = nullptr;
+      port = std::strtol(arg + 7, &end, 10);
+      if (end == arg + 7 || *end != '\0' || port < 0 || port > 65535)
+        return usage(argv[0]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  amps::service::SimulationService service;
+
+  if (pipe_mode) {
+    amps::service::run_pipe_mode(service, std::cin, std::cout);
+    return 0;
+  }
+
+  if (port < 0)
+    port = amps::env_int("AMPS_SERVE_PORT", kDefaultPort);
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "amps_serve: invalid AMPS_SERVE_PORT %ld\n", port);
+    return 2;
+  }
+
+  // Block the shutdown signals in every thread (workers inherit this mask),
+  // then claim them with sigwait on a dedicated thread: signal-safe by
+  // construction — the handler context runs no code at all.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  try {
+    amps::service::TcpServer server(service,
+                                    static_cast<std::uint16_t>(port));
+    std::printf("amps_serve: listening on 127.0.0.1:%u (queue=%zu batch=%zu)\n",
+                server.port(), service.config().queue_capacity,
+                service.config().batch_max);
+    std::fflush(stdout);
+
+    std::thread signal_thread([&sigs, &server, &service] {
+      int sig = 0;
+      sigwait(&sigs, &sig);
+      if (!service.shutdown_requested())
+        std::fprintf(stderr, "amps_serve: %s — draining\n", strsignal(sig));
+      server.interrupt();
+    });
+
+    server.wait_for_shutdown();
+    server.drain_and_stop();
+
+    // The sigwait thread may still be parked (shutdown came over the
+    // wire); poke it with the signal it is waiting for.
+    pthread_kill(signal_thread.native_handle(), SIGTERM);
+    signal_thread.join();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "amps_serve: %s\n", e.what());
+    return 1;
+  }
+
+  std::fprintf(stderr, "amps_serve: drained, bye\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Doc-drift gate (wired as the `docs_check` ctest).
+#
+#  1. Every AMPS_* environment knob read anywhere in src/ bench/
+#     examples/ tests/ (quoted string literals) or scripts/
+#     (${AMPS_*} expansions) must have a table row in docs/CONFIG.md —
+#     and vice versa: every knob documented there must still be read
+#     somewhere.
+#  2. Every `bench/<name>` referenced by README.md / DESIGN.md /
+#     EXPERIMENTS.md must exist as bench/<name>.cpp.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- knobs: code vs docs/CONFIG.md, both directions -------------------
+# AMPS_TEST_VAR is a synthetic name tests/common/env_test.cpp uses to
+# exercise the env parser itself; it is not a knob.
+code_knobs=$(
+  {
+    grep -rhoE '"AMPS_[A-Z0-9_]+"' src bench examples tests \
+      --include='*.cpp' --include='*.hpp' | tr -d '"'
+    grep -rhoE '\$\{AMPS_[A-Z0-9_]+[:-]' scripts |
+      sed -E 's/^\$\{//; s/[:-]+$//'
+  } | sort -u | grep -v '^AMPS_TEST_VAR$'
+)
+doc_knobs=$(grep -oE '^\| *`AMPS_[A-Z0-9_]+`' docs/CONFIG.md |
+  tr -d '|` ' | sort -u)
+
+undocumented=$(comm -23 <(echo "$code_knobs") <(echo "$doc_knobs"))
+stale=$(comm -13 <(echo "$code_knobs") <(echo "$doc_knobs"))
+if [ -n "$undocumented" ]; then
+  echo "check_docs: knobs read in code but missing from docs/CONFIG.md:" >&2
+  echo "$undocumented" | sed 's/^/  /' >&2
+  fail=1
+fi
+if [ -n "$stale" ]; then
+  echo "check_docs: knobs documented in docs/CONFIG.md but read nowhere:" >&2
+  echo "$stale" | sed 's/^/  /' >&2
+  fail=1
+fi
+
+# --- bench binaries referenced by the docs must exist ------------------
+for doc in README.md DESIGN.md EXPERIMENTS.md; do
+  for b in $(grep -oE 'bench/[a-z0-9_]+' "$doc" | sed 's|bench/||' | sort -u); do
+    if [ ! -f "bench/${b}.cpp" ]; then
+      echo "check_docs: ${doc} references bench/${b}," \
+        "but bench/${b}.cpp does not exist" >&2
+      fail=1
+    fi
+  done
+done
+
+[ "$fail" -eq 0 ] || exit 1
+echo "check_docs: OK ($(echo "$code_knobs" | wc -l) knobs in sync," \
+  "bench references verified)"

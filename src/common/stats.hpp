@@ -167,6 +167,12 @@ class ScopedTimer {
     amps_stat_counter_.add(static_cast<std::uint64_t>(n));              \
   } while (0)
 #define AMPS_COUNTER_INC(name) AMPS_COUNTER_ADD(name, 1)
+#define AMPS_HISTOGRAM_RECORD(name, v)                                  \
+  do {                                                                  \
+    static ::amps::stats::Histogram& amps_stat_hist_ =                  \
+        ::amps::stats::Registry::instance().histogram(name);            \
+    amps_stat_hist_.record(static_cast<std::uint64_t>(v));              \
+  } while (0)
 #define AMPS_SCOPED_TIMER(name)                                         \
   static ::amps::stats::Histogram& amps_stat_timer_hist_ =              \
       ::amps::stats::Registry::instance().histogram(name);              \
@@ -177,6 +183,9 @@ class ScopedTimer {
   } while (0)
 #define AMPS_COUNTER_INC(name) \
   do {                         \
+  } while (0)
+#define AMPS_HISTOGRAM_RECORD(name, v) \
+  do {                                 \
   } while (0)
 #define AMPS_SCOPED_TIMER(name) \
   do {                          \

@@ -1,0 +1,22 @@
+#include "harness/cancel.hpp"
+
+namespace amps::harness {
+
+namespace {
+thread_local CancelToken* tls_token = nullptr;
+}  // namespace
+
+CancelToken* current_cancel_token() noexcept { return tls_token; }
+
+bool cancel_requested() noexcept {
+  return tls_token != nullptr && tls_token->expired();
+}
+
+ScopedCancelToken::ScopedCancelToken(CancelToken* token) noexcept
+    : prev_(tls_token) {
+  tls_token = token;
+}
+
+ScopedCancelToken::~ScopedCancelToken() { tls_token = prev_; }
+
+}  // namespace amps::harness

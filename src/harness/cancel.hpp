@@ -1,0 +1,93 @@
+// Cooperative cancellation / deadline tokens for experiment runs.
+//
+// The service layer (src/service/) answers each simulation request under a
+// per-request deadline. Aborting a cycle-level simulation preemptively is
+// impossible, so cancellation composes with the existing cycle-bound
+// mechanism instead: ExperimentRunner::run_pair / MulticoreRunner::run
+// check the calling thread's installed token between stepping batches and
+// stop early when it has expired, producing the same partial-result shape
+// as a run that hit `SimScale::max_cycles()` (`hit_cycle_bound = true`).
+//
+// The token is installed thread-locally (ScopedCancelToken) so the hook
+// needs no API change on the hot run paths, and two layers honor it:
+//
+//  * RunCache refuses to memoize a result computed while the token was
+//    expired — a deadline-truncated run must never poison the cache;
+//  * WorkerPool::run captures the submitter's token and re-installs it in
+//    every participating worker, and abandons not-yet-started indices once
+//    the token expires (mirroring the existing first-exception cancel, but
+//    without unwinding — the caller observes expiry on the token itself).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace amps::harness {
+
+/// Max cycles a batched run loop advances between deadline polls when a
+/// token is installed. Schedulers that never decide again (e.g. static)
+/// hint one giant batch; this cap keeps expiry checks at wall-clock
+/// granularity (~a few ms at either engine's speed). Token-free runs are
+/// not capped — the hot path is unchanged.
+inline constexpr std::uint64_t kCancelCheckStride = 1'000'000;
+
+/// One-shot cancellation flag with an optional wall-clock deadline.
+/// Expiry is sticky: `cancel()` latches, and a steady-clock deadline once
+/// passed stays passed, so post-hoc checks (e.g. "was this run truncated?")
+/// observe the same answer the run loop did.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Latches the token as expired.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Expire automatically once `deadline` passes (steady clock).
+  void set_deadline(std::chrono::steady_clock::time_point deadline) noexcept {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  /// Convenience: expire `timeout` from now. Non-positive timeouts expire
+  /// immediately.
+  void set_timeout(std::chrono::nanoseconds timeout) noexcept {
+    set_deadline(std::chrono::steady_clock::now() + timeout);
+  }
+
+  [[nodiscard]] bool expired() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t ns = deadline_ns_.load(std::memory_order_relaxed);
+    return ns != 0 &&
+           std::chrono::steady_clock::now().time_since_epoch().count() >= ns;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  ///< 0 = no deadline
+};
+
+/// The calling thread's installed token (nullptr when none).
+[[nodiscard]] CancelToken* current_cancel_token() noexcept;
+
+/// True when the calling thread has a token installed and it has expired.
+/// This is the check the run loops use; it is cheap when no token is
+/// installed (one thread-local load).
+[[nodiscard]] bool cancel_requested() noexcept;
+
+/// RAII install of `token` as the calling thread's current token. Nests:
+/// the previous token is restored on destruction. Passing nullptr shadows
+/// any outer token (useful to protect a scope from an ambient deadline).
+class ScopedCancelToken {
+ public:
+  explicit ScopedCancelToken(CancelToken* token) noexcept;
+  ~ScopedCancelToken();
+
+  ScopedCancelToken(const ScopedCancelToken&) = delete;
+  ScopedCancelToken& operator=(const ScopedCancelToken&) = delete;
+
+ private:
+  CancelToken* prev_;
+};
+
+}  // namespace amps::harness

@@ -7,6 +7,7 @@
 #include "core/proposed.hpp"
 #include "core/round_robin.hpp"
 #include "core/static_sched.hpp"
+#include "harness/cancel.hpp"
 #include "harness/parallel.hpp"
 #include "harness/run_cache.hpp"
 #include "metrics/speedup.hpp"
@@ -34,7 +35,11 @@ metrics::PairRunResult ExperimentRunner::run_pair(
 
   // The paper runs "until one of the threads completed" its instruction
   // budget; a generous cycle bound guards against pathological stalls.
+  // A thread-local CancelToken (installed by the service layer for
+  // per-request deadlines) truncates the run the same way the cycle bound
+  // does: the partial result carries hit_cycle_bound = true.
   const Cycles max_cycles = scale_.max_cycles();
+  const CancelToken* token = current_cancel_token();
   if (batched_) {
     // Fast path: between decision points tick() is a no-op, so step the
     // system in uninterrupted batches bounded by the scheduler's hint.
@@ -44,10 +49,17 @@ metrics::PairRunResult ExperimentRunner::run_pair(
     while (t0.committed_total() < scale_.run_length &&
            t1.committed_total() < scale_.run_length &&
            system.now() < max_cycles) {
+      if (token != nullptr && token->expired()) break;
       const sched::DecisionHint hint = scheduler.next_decision_at(system);
       // Clamp to the run bounds, and always advance at least one cycle.
-      const Cycles until =
+      Cycles until =
           std::max(std::min(hint.at_cycle, max_cycles), system.now() + 1);
+      // A scheduler that never decides again (e.g. static) hints one giant
+      // batch; with a deadline installed, cap batches so expiry is polled
+      // at wall-clock granularity. The extra intermediate tick()s are
+      // no-ops by the fast-path contract, so results stay bit-identical.
+      if (token != nullptr)
+        until = std::min(until, system.now() + kCancelCheckStride);
       // Cap the commit budget at each thread's remaining budget so the
       // batch also stops exactly when a thread can have finished.
       const InstrCount budget = std::min(
@@ -58,9 +70,14 @@ metrics::PairRunResult ExperimentRunner::run_pair(
       scheduler.tick(system);
     }
   } else {
+    // Per-cycle path: poll the token at a coarse stride so the deadline
+    // check never shows up on the (already slow) reference loop.
+    std::uint64_t steps = 0;
     while (t0.committed_total() < scale_.run_length &&
            t1.committed_total() < scale_.run_length &&
            system.now() < max_cycles) {
+      if (token != nullptr && (steps++ & 0xFFF) == 0 && token->expired())
+        break;
       system.step();
       scheduler.tick(system);
     }

@@ -5,6 +5,7 @@
 
 #include "common/prng.hpp"
 #include "common/stats.hpp"
+#include "harness/cancel.hpp"
 #include "harness/parallel.hpp"
 #include "harness/run_cache.hpp"
 #include "metrics/speedup.hpp"
@@ -52,7 +53,10 @@ metrics::MulticoreRunResult MulticoreRunner::run(
 
   // As in the pair runs: "until one of the threads completed" its budget,
   // with a generous cycle bound guarding against pathological stalls.
+  // As in run_pair: a thread-local CancelToken (per-request deadline from
+  // the service layer) truncates exactly like the cycle bound.
   const Cycles max_cycles = scale_.max_cycles();
+  const CancelToken* token = current_cancel_token();
   const auto none_done = [&] {
     for (const sim::ThreadContext& t : threads)
       if (t.committed_total() >= scale_.run_length) return false;
@@ -64,9 +68,15 @@ metrics::MulticoreRunResult MulticoreRunner::run(
     // Identical contract to ExperimentRunner::run_pair — hints are
     // conservative, so results are bit-identical to per-cycle stepping.
     while (none_done() && system.now() < max_cycles) {
+      if (token != nullptr && token->expired()) break;
       const sched::DecisionHint hint = scheduler.next_decision_at(system);
-      const Cycles until =
+      Cycles until =
           std::max(std::min(hint.at_cycle, max_cycles), system.now() + 1);
+      // With a deadline installed, cap batches so expiry is polled at
+      // wall-clock granularity even under schedulers that hint one giant
+      // batch (see ExperimentRunner::run_pair).
+      if (token != nullptr)
+        until = std::min(until, system.now() + kCancelCheckStride);
       // Cap the commit budget at each thread's remaining budget so the
       // batch also stops exactly when a thread can have finished.
       InstrCount budget = hint.commit_budget;
@@ -76,7 +86,10 @@ metrics::MulticoreRunResult MulticoreRunner::run(
       scheduler.tick(system);
     }
   } else {
+    std::uint64_t steps = 0;
     while (none_done() && system.now() < max_cycles) {
+      if (token != nullptr && (steps++ & 0xFFF) == 0 && token->expired())
+        break;
       system.step();
       scheduler.tick(system);
     }

@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "common/env.hpp"
+#include "harness/cancel.hpp"
 
 namespace amps::harness {
 
@@ -59,6 +60,7 @@ void WorkerPool::retire_chunk(Job& job) {
 void WorkerPool::execute_chunk(Job& job, const Chunk& chunk) {
   for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
     if (job.cancel.load(std::memory_order_relaxed)) break;
+    if (job.token != nullptr && job.token->expired()) break;
     try {
       (*job.fn)(i);
     } catch (...) {
@@ -93,6 +95,9 @@ void WorkerPool::participate(Job& job, std::size_t participant) {
       found = true;
     }
     if (!found) return;
+    // Make the submitter's cancellation/deadline token visible to `fn` on
+    // this participant (restored when the chunk finishes).
+    ScopedCancelToken install(job.token);
     execute_chunk(job, chunk);
     retire_chunk(job);
   }
@@ -130,6 +135,7 @@ void WorkerPool::run(std::size_t count,
 
   auto job = std::make_shared<Job>();
   job->fn = &fn;
+  job->token = current_cancel_token();
   const std::size_t participants = threads_.size() + 1;
   for (std::size_t p = 0; p < participants; ++p)
     job->queues.push_back(std::make_unique<Job::Queue>());

@@ -16,6 +16,13 @@
 // chunk stops before its next index), and the exception is rethrown to the
 // caller once the job has fully retired.
 //
+// External cancellation composes the same way: when the submitting thread
+// has a harness::CancelToken installed (see harness/cancel.hpp), run()
+// re-installs it in every participating worker — so per-index deadline
+// checks inside `fn` observe the submitter's token — and expiry abandons
+// not-yet-started indices exactly like the exception path, but without
+// unwinding (the caller inspects the token to learn work was dropped).
+//
 // AMPS_THREADS overrides the worker count (default: hardware concurrency,
 // at least 1).
 #pragma once
@@ -32,6 +39,8 @@
 #include <vector>
 
 namespace amps::harness {
+
+class CancelToken;  // harness/cancel.hpp
 
 /// Number of workers to use: AMPS_THREADS when set, else
 /// std::thread::hardware_concurrency() (minimum 1).
@@ -77,6 +86,10 @@ class WorkerPool {
   /// participant leaves, even after the submitter returned).
   struct Job {
     const std::function<void(std::size_t)>* fn = nullptr;
+    /// The submitter's cancellation/deadline token (may be null). Installed
+    /// in every participant for the duration of its chunks; expiry abandons
+    /// queued indices.
+    CancelToken* token = nullptr;
     struct Queue {
       std::mutex mutex;
       std::deque<Chunk> chunks;

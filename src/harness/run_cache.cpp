@@ -9,6 +9,7 @@
 
 #include "common/stats.hpp"
 #include "core/hpe.hpp"
+#include "harness/cancel.hpp"
 
 namespace amps::harness {
 
@@ -483,6 +484,18 @@ T lookup_or_compute(std::string_view kind, const CacheKey& key, Map* map,
     return value;
   }
   value = compute();
+  // A compute that ran under an expired cancellation/deadline token
+  // produced a truncated (partial) result; returning it is fine — the
+  // caller asked for the deadline — but memoizing it would poison every
+  // future lookup of this key. Expiry is sticky, so re-checking here
+  // observes exactly what the run loop saw.
+  if (cancel_requested()) {
+    std::lock_guard<std::mutex> lock(*mutex);
+    ++stats->misses;
+    AMPS_COUNTER_INC("run_cache.misses");
+    AMPS_COUNTER_INC("run_cache.uncacheable_truncated");
+    return value;
+  }
   {
     std::lock_guard<std::mutex> lock(*mutex);
     ++stats->misses;

@@ -1,0 +1,342 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace amps::service {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  [[nodiscard]] bool at_end() const noexcept { return pos >= text.size(); }
+  [[nodiscard]] char peek() const noexcept {
+    return at_end() ? '\0' : text[pos];
+  }
+
+  void skip_ws() noexcept {
+    while (!at_end()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool fail(const std::string& why) {
+    if (error.empty())
+      error = why + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  bool expect(char c) {
+    if (peek() != c) return fail(std::string("expected '") + c + "'");
+    ++pos;
+    return true;
+  }
+
+  bool parse_value(Json* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = Json(std::move(s));
+        return true;
+      }
+      case 't':
+        if (text.substr(pos, 4) != "true") return fail("bad literal");
+        pos += 4;
+        *out = Json(true);
+        return true;
+      case 'f':
+        if (text.substr(pos, 5) != "false") return fail("bad literal");
+        pos += 5;
+        *out = Json(false);
+        return true;
+      case 'n':
+        if (text.substr(pos, 4) != "null") return fail("bad literal");
+        pos += 4;
+        *out = Json();
+        return true;
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(Json* out, int depth) {
+    ++pos;  // '{'
+    *out = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      Json value;
+      if (!parse_value(&value, depth + 1)) return false;
+      out->set(std::move(key), std::move(value));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      return expect('}');
+    }
+  }
+
+  bool parse_array(Json* out, int depth) {
+    ++pos;  // '['
+    *out = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      Json value;
+      if (!parse_value(&value, depth + 1)) return false;
+      out->push_back(std::move(value));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      return expect(']');
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (peek() != '"') return fail("expected string");
+    ++pos;
+    out->clear();
+    while (!at_end()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("unescaped control character in string");
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (at_end()) break;
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad \\u escape");
+          }
+          // Encode the BMP codepoint as UTF-8 (surrogate pairs are passed
+          // through as two 3-byte sequences — names in the protocol are
+          // ASCII, this path exists for robustness, not fidelity).
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Json* out) {
+    const std::size_t start = pos;
+    if (peek() == '-') ++pos;
+    while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                         peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                         peek() == '+' || peek() == '-'))
+      ++pos;
+    if (pos == start) return fail("expected value");
+    const std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == token.c_str() ||
+        !std::isfinite(v))
+      return fail("bad number '" + token + "'");
+    *out = Json(v);
+    return true;
+  }
+};
+
+void append_number(std::string* out, double v) {
+  // Integral values (the common case: cycles, counts) print exactly;
+  // everything else gets enough digits to round-trip bit-exactly.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    *out += std::to_string(static_cast<long long>(v));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+void append_json_string(std::string* out, std::string_view s) {
+  *out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+Json Json::parse(std::string_view text, std::string* error) {
+  Parser p{text, 0, {}};
+  Json out;
+  if (!p.parse_value(&out, 0)) {
+    if (error != nullptr) *error = p.error;
+    return Json();
+  }
+  p.skip_ws();
+  if (!p.at_end()) {
+    if (error != nullptr)
+      *error = "trailing garbage at offset " + std::to_string(p.pos);
+    return Json();
+  }
+  if (error != nullptr) error->clear();
+  return out;
+}
+
+const Json& Json::get(std::string_view key) const noexcept {
+  static const Json null_value;
+  if (type_ != Type::Object) return null_value;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return v;
+  return null_value;
+}
+
+bool Json::contains(std::string_view key) const noexcept {
+  if (type_ != Type::Object) return false;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return true;
+  return false;
+}
+
+Json& Json::set(std::string key, Json value) {
+  type_ = Type::Object;
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push_back(Json value) {
+  type_ = Type::Array;
+  arr_.push_back(std::move(value));
+  return *this;
+}
+
+void Json::dump_to(std::string* out) const {
+  switch (type_) {
+    case Type::Null:
+      *out += "null";
+      return;
+    case Type::Bool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::Number:
+      append_number(out, num_);
+      return;
+    case Type::String:
+      append_json_string(out, str_);
+      return;
+    case Type::Array: {
+      *out += '[';
+      bool first = true;
+      for (const Json& v : arr_) {
+        if (!first) *out += ',';
+        first = false;
+        v.dump_to(out);
+      }
+      *out += ']';
+      return;
+    }
+    case Type::Object: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) *out += ',';
+        first = false;
+        append_json_string(out, k);
+        *out += ':';
+        v.dump_to(out);
+      }
+      *out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(&out);
+  return out;
+}
+
+}  // namespace amps::service

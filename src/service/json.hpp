@@ -1,0 +1,113 @@
+// Minimal JSON value + strict parser + writer for the amps-serve wire
+// protocol (one JSON object per line). Self-contained on purpose: the
+// container bakes no JSON dependency, and the protocol needs only the
+// basics — objects, arrays, strings, doubles, bools, null.
+//
+// Numbers are stored as doubles. Every quantity the protocol carries
+// (cycles, instruction counts, energies) fits a double exactly at both
+// simulation scales (< 2^53), and doubles are *written* with enough digits
+// (%.17g) to round-trip bit-exactly — which is what lets the serve bench
+// compare a served result against a direct ExperimentRunner run for bit
+// identity at the JSON level.
+//
+// The parser is strict (no trailing garbage, no comments, no NaN/Inf) and
+// depth-limited; malformed input yields an error string, never a crash or
+// a throw — a hostile client must not be able to take the daemon down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amps::service {
+
+class Json {
+ public:
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  /// Keys are kept in insertion order (field order is part of the wire
+  /// format the tests golden-match against).
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::Bool), bool_(b) {}                // NOLINT
+  Json(double n) : type_(Type::Number), num_(n) {}             // NOLINT
+  Json(std::uint64_t n)                                        // NOLINT
+      : type_(Type::Number), num_(static_cast<double>(n)) {}
+  Json(std::int64_t n)                                         // NOLINT
+      : type_(Type::Number), num_(static_cast<double>(n)) {}
+  Json(int n) : type_(Type::Number), num_(n) {}                // NOLINT
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}  // NOLINT
+  Json(std::string_view s) : type_(Type::String), str_(s) {}   // NOLINT
+  Json(const char* s) : type_(Type::String), str_(s) {}        // NOLINT
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+  }
+
+  /// Strict parse of a complete document. On failure returns a null value,
+  /// and `error` (when non-null) describes the first problem.
+  static Json parse(std::string_view text, std::string* error = nullptr);
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::Number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::String;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::Object;
+  }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const noexcept {
+    return is_bool() ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_number(double fallback = 0.0) const noexcept {
+    return is_number() ? num_ : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const noexcept { return str_; }
+
+  [[nodiscard]] const Array& items() const noexcept { return arr_; }
+  [[nodiscard]] const Object& fields() const noexcept { return obj_; }
+
+  /// Object field lookup; returns a shared null value for missing keys or
+  /// non-objects (chainable: req.get("a").get("b")).
+  [[nodiscard]] const Json& get(std::string_view key) const noexcept;
+  [[nodiscard]] bool contains(std::string_view key) const noexcept;
+
+  /// Object field set (replaces an existing key in place, else appends).
+  Json& set(std::string key, Json value);
+  /// Array append.
+  Json& push_back(Json value);
+
+  /// Compact single-line serialization (no spaces). Doubles print with the
+  /// shortest %.17g form; integral doubles print without a fraction.
+  [[nodiscard]] std::string dump() const;
+  void dump_to(std::string* out) const;
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Escapes `s` as a JSON string literal (with quotes) into `out`.
+void append_json_string(std::string* out, std::string_view s);
+
+}  // namespace amps::service

@@ -1,0 +1,224 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+
+namespace amps::service {
+
+namespace {
+
+/// Clamped checked read of an integral override field. Returns false (and
+/// writes `error`) when present but not a non-negative integer in range.
+bool read_u64_field(const Json& obj, const char* name, std::uint64_t* out,
+                    std::string* error) {
+  const Json& v = obj.get(name);
+  if (v.is_null()) return true;
+  const double d = v.as_number(-1.0);
+  if (!v.is_number() || d < 0.0 || d > 9.0e15 ||
+      d != std::floor(d)) {
+    *error = std::string("field '") + name +
+             "' must be a non-negative integer";
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(d);
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(Op op) noexcept {
+  switch (op) {
+    case Op::RunPair: return "run_pair";
+    case Op::RunMulticore: return "run_multicore";
+    case Op::Ping: return "ping";
+    case Op::Statsz: return "statsz";
+    case Op::Shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::optional<Request> parse_request(const std::string& line,
+                                     std::string* error_response) {
+  std::string parse_error;
+  const Json doc = Json::parse(line, &parse_error);
+  if (!parse_error.empty()) {
+    *error_response = make_error_response(Json(), "bad_request", false,
+                                          "malformed JSON: " + parse_error);
+    return std::nullopt;
+  }
+  if (!doc.is_object()) {
+    *error_response = make_error_response(Json(), "bad_request", false,
+                                          "request must be a JSON object");
+    return std::nullopt;
+  }
+
+  Request req;
+  req.id = doc.get("id");
+  const auto reject = [&](const std::string& message) {
+    *error_response =
+        make_error_response(req.id, "bad_request", false, message);
+    return std::nullopt;
+  };
+
+  const Json& op = doc.get("op");
+  if (!op.is_string()) return reject("missing string field 'op'");
+  const std::string& name = op.as_string();
+  if (name == "run_pair") req.op = Op::RunPair;
+  else if (name == "run_multicore") req.op = Op::RunMulticore;
+  else if (name == "ping") req.op = Op::Ping;
+  else if (name == "statsz") req.op = Op::Statsz;
+  else if (name == "shutdown") req.op = Op::Shutdown;
+  else return reject("unknown op '" + name + "'");
+
+  // Scale preset + overrides (run ops only).
+  const Json& scale = doc.get("scale");
+  if (scale.is_string() && scale.as_string() == "paper") {
+    req.paper_scale = true;
+    req.scale = sim::SimScale::paper();
+  } else if (scale.is_null() || (scale.is_string() &&
+                                 scale.as_string() == "ci")) {
+    req.scale = sim::SimScale::ci();
+  } else {
+    return reject("field 'scale' must be \"ci\" or \"paper\"");
+  }
+
+  const Json& overrides = doc.get("overrides");
+  if (!overrides.is_null()) {
+    if (!overrides.is_object())
+      return reject("field 'overrides' must be an object");
+    std::string err;
+    if (!read_u64_field(overrides, "window_size", &req.scale.window_size,
+                        &err) ||
+        !read_u64_field(overrides, "run_length", &req.scale.run_length,
+                        &err) ||
+        !read_u64_field(overrides, "swap_overhead", &req.scale.swap_overhead,
+                        &err) ||
+        !read_u64_field(overrides, "max_cycles",
+                        &req.scale.max_cycles_override, &err))
+      return reject(err);
+    std::uint64_t history = 0;
+    bool have_history = overrides.contains("history_depth");
+    if (!read_u64_field(overrides, "history_depth", &history, &err))
+      return reject(err);
+    if (have_history) {
+      if (history == 0 || history > 64)
+        return reject("field 'history_depth' must be in [1, 64]");
+      req.scale.history_depth = static_cast<int>(history);
+    }
+    if (req.scale.window_size == 0 || req.scale.run_length == 0)
+      return reject("'window_size' and 'run_length' must be positive");
+  }
+
+  const Json& sched = doc.get("scheduler");
+  if (sched.is_string()) req.scheduler = sched.as_string();
+  else if (!sched.is_null())
+    return reject("field 'scheduler' must be a string");
+
+  const Json& deadline = doc.get("deadline_ms");
+  if (deadline.is_number()) {
+    const double d = deadline.as_number();
+    if (d < 0.0 || d > 1.0e9 || d != std::floor(d))
+      return reject("field 'deadline_ms' must be a non-negative integer");
+    req.deadline_ms = static_cast<std::int64_t>(d);
+  } else if (!deadline.is_null()) {
+    return reject("field 'deadline_ms' must be a number");
+  }
+
+  if (req.op == Op::RunPair || req.op == Op::RunMulticore) {
+    const char* field = req.op == Op::RunPair ? "bench" : "workload";
+    const Json& names = doc.get(field);
+    if (!names.is_array())
+      return reject(std::string("missing array field '") + field + "'");
+    for (const Json& n : names.items()) {
+      if (!n.is_string())
+        return reject(std::string("'") + field +
+                      "' entries must be benchmark names");
+      req.benchmarks.push_back(n.as_string());
+    }
+    if (req.op == Op::RunPair && req.benchmarks.size() != 2)
+      return reject("'bench' must name exactly two benchmarks");
+    if (req.op == Op::RunMulticore &&
+        (req.benchmarks.size() < 2 || req.benchmarks.size() % 2 != 0))
+      return reject("'workload' must name an even number (>= 2) of "
+                    "benchmarks, one per core");
+  }
+
+  return req;
+}
+
+std::string make_error_response(const Json& id, std::string_view code,
+                                bool retriable, std::string_view message) {
+  Json error = Json::object();
+  error.set("code", Json(code));
+  error.set("retriable", Json(retriable));
+  error.set("message", Json(message));
+  Json resp = Json::object();
+  if (!id.is_null()) resp.set("id", id);
+  resp.set("ok", Json(false));
+  resp.set("error", std::move(error));
+  return resp.dump();
+}
+
+std::string make_ok_response(const Json& id, Op op, std::uint64_t elapsed_us,
+                             Json result) {
+  Json resp = Json::object();
+  if (!id.is_null()) resp.set("id", id);
+  resp.set("ok", Json(true));
+  resp.set("op", Json(to_string(op)));
+  resp.set("elapsed_us", Json(elapsed_us));
+  resp.set("result", std::move(result));
+  return resp.dump();
+}
+
+namespace {
+
+Json thread_to_json(const metrics::ThreadRunStats& t) {
+  Json j = Json::object();
+  j.set("benchmark", Json(t.benchmark));
+  j.set("committed", Json(t.committed));
+  j.set("cycles", Json(t.cycles));
+  j.set("energy", Json(t.energy));
+  j.set("ipc", Json(t.ipc));
+  j.set("ipc_per_watt", Json(t.ipc_per_watt));
+  j.set("swaps", Json(t.swaps));
+  return j;
+}
+
+template <typename R>
+Json run_common_to_json(const R& r) {
+  Json j = Json::object();
+  j.set("scheduler", Json(r.scheduler));
+  j.set("total_cycles", Json(r.total_cycles));
+  j.set("swap_count", Json(r.swap_count));
+  j.set("decision_points", Json(r.decision_points));
+  j.set("total_energy", Json(r.total_energy));
+  j.set("truncated", Json(r.hit_cycle_bound));
+  j.set("windows_observed", Json(r.windows_observed));
+  j.set("forced_swap_count", Json(r.forced_swap_count));
+  Json reasons = Json::array();
+  for (const std::uint64_t count : r.decisions_by_reason)
+    reasons.push_back(Json(count));
+  j.set("decisions_by_reason", std::move(reasons));
+  return j;
+}
+
+}  // namespace
+
+Json to_json(const metrics::PairRunResult& r) {
+  Json j = run_common_to_json(r);
+  Json threads = Json::array();
+  for (const metrics::ThreadRunStats& t : r.threads)
+    threads.push_back(thread_to_json(t));
+  j.set("threads", std::move(threads));
+  return j;
+}
+
+Json to_json(const metrics::MulticoreRunResult& r) {
+  Json j = run_common_to_json(r);
+  Json threads = Json::array();
+  for (const metrics::ThreadRunStats& t : r.threads)
+    threads.push_back(thread_to_json(t));
+  j.set("threads", std::move(threads));
+  return j;
+}
+
+}  // namespace amps::service

@@ -1,0 +1,82 @@
+// amps-serve wire protocol: line-delimited JSON requests and responses.
+//
+// One request per line, one JSON object per request:
+//
+//   {"id":"r1","op":"run_pair","bench":["ammp","sha"],
+//    "scheduler":"proposed","scale":"ci","deadline_ms":250,
+//    "overrides":{"window_size":1000,"history_depth":5,"run_length":300000}}
+//
+//   {"op":"run_multicore","workload":["ammp","sha","equake","gzip"],
+//    "scheduler":"affinity"}
+//
+//   {"op":"ping"}      {"op":"statsz"}      {"op":"shutdown"}
+//
+// One response line per request, always with "ok":
+//
+//   {"id":"r1","ok":true,"op":"run_pair","elapsed_us":1234,
+//    "result":{...}}                          // simulation outputs only
+//   {"id":"r1","ok":false,
+//    "error":{"code":"queue_full","retriable":true,"message":"..."}}
+//
+// The "result" object is a pure function of the simulation (no timing, no
+// server state), so a served result can be compared byte-for-byte against
+// a locally serialized ExperimentRunner/MulticoreRunner result — the
+// cache-identity guarantee the serve bench and tests assert.
+//
+// Error codes: "bad_request" (unparseable/invalid; not retriable),
+// "queue_full" (bounded-queue backpressure; retriable),
+// "shutting_down" (drain in progress; retriable against a replica),
+// "internal" (unexpected exception; not retriable).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/run_result.hpp"
+#include "service/json.hpp"
+#include "sim/scale.hpp"
+
+namespace amps::service {
+
+enum class Op : std::uint8_t {
+  RunPair,
+  RunMulticore,
+  Ping,
+  Statsz,
+  Shutdown,
+};
+
+const char* to_string(Op op) noexcept;
+
+/// A validated request. Benchmark names are resolved against the catalog
+/// by the service (unknown names fail validation there, not here).
+struct Request {
+  Json id;  ///< echoed verbatim in the response (null when absent)
+  Op op = Op::Ping;
+  std::vector<std::string> benchmarks;  ///< 2 for run_pair, N for multicore
+  std::string scheduler;                ///< empty = service default
+  sim::SimScale scale;                  ///< preset + overrides applied
+  bool paper_scale = false;
+  std::int64_t deadline_ms = -1;  ///< -1 = use the service default
+};
+
+/// Parses + validates one request line. Returns the request, or sets
+/// `error_response` to a complete bad_request response line (without
+/// trailing newline) and returns nullopt. Never throws on hostile input.
+std::optional<Request> parse_request(const std::string& line,
+                                     std::string* error_response);
+
+/// Response builders. All return a single-line JSON string (no newline).
+std::string make_error_response(const Json& id, std::string_view code,
+                                bool retriable, std::string_view message);
+std::string make_ok_response(const Json& id, Op op, std::uint64_t elapsed_us,
+                             Json result);
+
+/// Pure serialization of run results — exactly the simulation outputs, in
+/// a fixed field order. Shared by the server and the bit-identity checks.
+Json to_json(const metrics::PairRunResult& r);
+Json to_json(const metrics::MulticoreRunResult& r);
+
+}  // namespace amps::service

@@ -1,0 +1,285 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/stats.hpp"
+
+namespace amps::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " +
+                           std::strerror(errno));
+}
+
+ssize_t write_all(int fd, const char* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return static_cast<ssize_t>(len);
+}
+
+}  // namespace
+
+/// Shared between the reader thread and every in-flight responder: a run
+/// response can land after the reader exited, so the socket lives until
+/// the last responder (shared_ptr) lets go.
+struct TcpServer::Connection {
+  int fd = -1;
+  std::mutex write_mutex;
+  bool write_closed = false;  // guarded by write_mutex
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  /// Thread-safe line write; silently drops after close (the client left
+  /// before its answer was ready — nothing useful remains to do).
+  void write_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (write_closed) {
+      AMPS_COUNTER_INC("service.responses_dropped");
+      return;
+    }
+    std::string framed = line;
+    framed.push_back('\n');
+    if (write_all(fd, framed.data(), framed.size()) < 0) {
+      AMPS_COUNTER_INC("service.responses_dropped");
+      write_closed = true;
+    }
+  }
+
+  void close_write() {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    write_closed = true;
+  }
+};
+
+TcpServer::TcpServer(SimulationService& service, std::uint16_t port)
+    : service_(service) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("bind 127.0.0.1");
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  acceptor_ = std::thread([this] { accept_main(); });
+}
+
+TcpServer::~TcpServer() { drain_and_stop(); }
+
+void TcpServer::accept_main() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by drain_and_stop()
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    AMPS_COUNTER_INC("service.connections");
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;  // raced with shutdown; Connection dtor closes fd
+    connections_.push_back(conn);
+    readers_.emplace_back([this, conn] { connection_main(conn); });
+  }
+}
+
+void TcpServer::connection_main(const std::shared_ptr<Connection>& conn) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // EOF, error, or SHUT_RD from drain_and_stop()
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos = 0;
+    std::size_t nl;
+    while ((nl = buffer.find('\n', pos)) != std::string::npos) {
+      std::string line = buffer.substr(pos, nl - pos);
+      pos = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      service_.submit(line,
+                      [conn](const std::string& resp) {  // may outlive reader
+                        conn->write_line(resp);
+                      });
+      if (service_.shutdown_requested()) interrupt();
+    }
+    buffer.erase(0, pos);
+  }
+}
+
+void TcpServer::wait_for_shutdown() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  shutdown_cv_.wait(lock, [&] { return shutdown_signaled_; });
+}
+
+void TcpServer::interrupt() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_signaled_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void TcpServer::drain_and_stop() {
+  std::vector<std::shared_ptr<Connection>> conns;
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    shutdown_signaled_ = true;
+    conns = connections_;
+    readers.swap(readers_);
+  }
+  shutdown_cv_.notify_all();
+
+  // 1. No new connections: closing the listener pops accept() with an
+  //    error and the acceptor thread exits.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+
+  // 2. No new requests: readers see EOF, but the write side stays open so
+  //    in-flight responses still reach their clients.
+  for (const auto& conn : conns) ::shutdown(conn->fd, SHUT_RD);
+  for (std::thread& t : readers)
+    if (t.joinable()) t.join();
+
+  // 3. Answer everything already accepted.
+  service_.drain();
+
+  // 4. Now the sockets can go.
+  for (const auto& conn : conns) conn->close_write();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections_.clear();
+  }
+}
+
+void run_pipe_mode(SimulationService& service, std::istream& in,
+                   std::ostream& out) {
+  std::mutex write_mutex;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    service.submit(line, [&](const std::string& resp) {
+      std::lock_guard<std::mutex> lock(write_mutex);
+      out << resp << '\n';
+      out.flush();
+    });
+    if (service.shutdown_requested()) break;
+  }
+  service.drain();
+}
+
+LineClient::~LineClient() { close(); }
+
+void LineClient::connect(std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("connect 127.0.0.1");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  buffer_.clear();
+}
+
+void LineClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+void LineClient::send(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  if (write_all(fd_, framed.data(), framed.size()) < 0)
+    throw_errno("send");
+}
+
+bool LineClient::recv_line(std::string* line) {
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      *line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) throw_errno("recv");
+    if (n == 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string LineClient::request(const std::string& line) {
+  send(line);
+  std::string response;
+  if (!recv_line(&response))
+    throw std::runtime_error("server closed the connection mid-request");
+  return response;
+}
+
+}  // namespace amps::service

@@ -1,0 +1,114 @@
+// Transport layer for amps-serve: puts a SimulationService behind a local
+// TCP socket (line-delimited JSON, one connection per client) or behind a
+// stdin/stdout pipe. The transport owns no request semantics — it only
+// frames lines in, hands them to SimulationService::submit(), and writes
+// each response line back under a per-connection mutex (run responses
+// arrive from worker-pool threads, interleaved with inline control
+// responses from the reader thread).
+//
+// Graceful shutdown (drain_and_stop, also run by the destructor):
+//   1. the listener closes — no new connections;
+//   2. every open connection is shut down for *reading* — clients get no
+//      more requests in, but their sockets stay writable;
+//   3. the service drains — every accepted request is answered and the
+//      response reaches its (still-open) socket;
+//   4. connections close and reader threads join.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace amps::service {
+
+/// Line-delimited JSON server on 127.0.0.1:`port` (0 = kernel-assigned;
+/// read the actual one back with port()). Accepting starts immediately.
+class TcpServer {
+ public:
+  /// Binds + listens + starts the accept thread. Throws std::runtime_error
+  /// when the port cannot be bound.
+  TcpServer(SimulationService& service, std::uint16_t port);
+  ~TcpServer();  ///< drain_and_stop()
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Actual bound port (useful with port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Blocks until a client issued {"op":"shutdown"} or interrupt() was
+  /// called (e.g. from a signal-handling thread).
+  void wait_for_shutdown();
+
+  /// Unblocks wait_for_shutdown() — the SIGINT/SIGTERM path.
+  void interrupt();
+
+  /// The four-step graceful shutdown documented above. Idempotent.
+  void drain_and_stop();
+
+ private:
+  struct Connection;
+
+  void accept_main();
+  void connection_main(const std::shared_ptr<Connection>& conn);
+
+  SimulationService& service_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_signaled_ = false;
+  bool stopped_ = false;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> readers_;
+
+  std::thread acceptor_;
+};
+
+/// Pipe mode: reads request lines from `in` until EOF or a shutdown op,
+/// writing response lines to `out`. Drains the service before returning,
+/// so every accepted request is answered. Used by `amps-serve --pipe` and
+/// by tests that want the protocol without sockets.
+void run_pipe_mode(SimulationService& service, std::istream& in,
+                   std::ostream& out);
+
+/// Minimal blocking client for one TCP connection — used by amps-client,
+/// the serve bench and the server tests. Responses to pipelined requests
+/// can arrive out of request order (batches run in parallel); match on
+/// "id" when pipelining.
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Connects to 127.0.0.1:`port`. Throws std::runtime_error on failure.
+  void connect(std::uint16_t port);
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Writes `line` + '\n'. Throws on a broken connection.
+  void send(const std::string& line);
+  /// Blocks for the next response line (without the newline). Returns
+  /// false on orderly EOF. Throws on error.
+  bool recv_line(std::string* line);
+  /// send() + recv_line(); throws when the server hung up mid-request.
+  std::string request(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace amps::service

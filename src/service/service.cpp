@@ -1,0 +1,331 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/stats.hpp"
+#include "harness/cancel.hpp"
+#include "harness/experiment.hpp"
+#include "harness/multicore.hpp"
+#include "harness/parallel.hpp"
+#include "harness/run_cache.hpp"
+
+namespace amps::service {
+
+using Clock = std::chrono::steady_clock;
+
+ServiceConfig ServiceConfig::from_env() {
+  ServiceConfig cfg;
+  const std::int64_t queue = env_int("AMPS_SERVE_QUEUE", 256);
+  if (queue > 0) cfg.queue_capacity = static_cast<std::size_t>(queue);
+  const std::int64_t batch = env_int("AMPS_SERVE_BATCH", 16);
+  if (batch > 0) cfg.batch_max = static_cast<std::size_t>(batch);
+  const std::int64_t deadline = env_int("AMPS_SERVE_DEADLINE_MS", 0);
+  if (deadline > 0) cfg.default_deadline_ms = deadline;
+  return cfg;
+}
+
+SimulationService::SimulationService(ServiceConfig cfg) : cfg_(cfg) {
+  dispatcher_ = std::thread([this] { dispatcher_main(); });
+}
+
+SimulationService::~SimulationService() { drain(); }
+
+void SimulationService::submit(const std::string& line, Responder respond) {
+  std::string error_response;
+  auto parsed = parse_request(line, &error_response);
+  if (!parsed) {
+    AMPS_COUNTER_INC("service.bad_requests");
+    respond(error_response);
+    return;
+  }
+  Request& req = *parsed;
+
+  // Control ops answer inline, ahead of any queue: introspection and
+  // shutdown must work even when the run queue is saturated.
+  switch (req.op) {
+    case Op::Ping: {
+      AMPS_COUNTER_INC("service.control_requests");
+      Json result = Json::object();
+      result.set("pong", Json(true));
+      respond(make_ok_response(req.id, req.op, 0, std::move(result)));
+      return;
+    }
+    case Op::Statsz: {
+      AMPS_COUNTER_INC("service.control_requests");
+      const auto start = Clock::now();
+      Json result;
+      {
+        std::string statsz = statsz_response();
+        result = Json::parse(statsz);
+      }
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+          Clock::now() - start);
+      respond(make_ok_response(req.id, req.op,
+                               static_cast<std::uint64_t>(us.count()),
+                               std::move(result)));
+      return;
+    }
+    case Op::Shutdown: {
+      AMPS_COUNTER_INC("service.control_requests");
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_requested_ = true;
+      }
+      Json result = Json::object();
+      result.set("draining", Json(true));
+      respond(make_ok_response(req.id, req.op, 0, std::move(result)));
+      return;
+    }
+    case Op::RunPair:
+    case Op::RunMulticore:
+      break;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      AMPS_COUNTER_INC("service.rejected_shutting_down");
+      respond(make_error_response(req.id, "shutting_down", true,
+                                  "service is draining; resubmit elsewhere"));
+      return;
+    }
+    if (queue_.size() >= cfg_.queue_capacity) {
+      AMPS_COUNTER_INC("service.rejected_queue_full");
+      respond(make_error_response(
+          req.id, "queue_full", true,
+          "run queue is at capacity (" +
+              std::to_string(cfg_.queue_capacity) + "); retry with backoff"));
+      return;
+    }
+    AMPS_COUNTER_INC("service.requests");
+    AMPS_HISTOGRAM_RECORD("service.queue_depth", queue_.size() + 1);
+    queue_.push_back(Pending{std::move(req), std::move(respond),
+                             Clock::now()});
+  }
+  work_cv_.notify_one();
+}
+
+void SimulationService::dispatcher_main() {
+  std::vector<Pending> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return (!queue_.empty() && !paused_) || (draining_ && queue_.empty());
+      });
+      if (queue_.empty() && draining_) return;
+      const std::size_t take = std::min(cfg_.batch_max, queue_.size());
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    AMPS_COUNTER_INC("service.batches");
+    AMPS_HISTOGRAM_RECORD("service.batch_size", batch.size());
+    // Requests are independent simulations; fan the batch out over the
+    // shared worker pool. execute() catches everything, so one bad
+    // request cannot cancel its batch mates.
+    harness::parallel_for(batch.size(),
+                          [&](std::size_t i) { execute(batch[i]); });
+  }
+}
+
+void SimulationService::execute(Pending& p) const {
+  AMPS_SCOPED_TIMER("service.request_ns");
+  std::string response;
+  try {
+    // Per-request deadline: compose with the cycle-bound mechanism via a
+    // thread-local token (see harness/cancel.hpp). Explicit request value
+    // wins; otherwise the service default applies.
+    const std::int64_t deadline_ms = p.req.deadline_ms >= 0
+                                         ? p.req.deadline_ms
+                                         : cfg_.default_deadline_ms;
+    harness::CancelToken token;
+    if (deadline_ms > 0)
+      token.set_timeout(std::chrono::milliseconds(deadline_ms));
+    harness::ScopedCancelToken install(deadline_ms > 0 ? &token : nullptr);
+    response = p.req.op == Op::RunPair ? run_pair_response(p.req)
+                                       : run_multicore_response(p.req);
+  } catch (const std::exception& e) {
+    AMPS_COUNTER_INC("service.internal_errors");
+    response = make_error_response(p.req.id, "internal", false, e.what());
+  } catch (...) {
+    AMPS_COUNTER_INC("service.internal_errors");
+    response =
+        make_error_response(p.req.id, "internal", false, "unknown error");
+  }
+  try {
+    p.respond(response);
+  } catch (...) {
+    // A responder that throws (e.g. its connection died mid-write) must
+    // not take down the dispatcher; the request is considered answered.
+    AMPS_COUNTER_INC("service.responder_errors");
+  }
+}
+
+namespace {
+
+std::uint64_t elapsed_us_since(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+}  // namespace
+
+std::string SimulationService::run_pair_response(const Request& req) const {
+  const auto start = Clock::now();
+  for (const std::string& name : req.benchmarks) {
+    if (!catalog_.contains(name))
+      return make_error_response(req.id, "bad_request", false,
+                                 "unknown benchmark '" + name + "'");
+  }
+  const harness::ExperimentRunner runner(req.scale);
+  const std::string scheduler =
+      req.scheduler.empty() ? "proposed" : req.scheduler;
+
+  harness::SchedulerFactory factory;
+  if (scheduler == "proposed") {
+    factory = runner.proposed_factory();
+  } else if (scheduler == "static") {
+    factory = runner.static_factory();
+  } else if (scheduler == "round-robin") {
+    factory = runner.round_robin_factory();
+  } else if (scheduler == "hpe-matrix" || scheduler == "hpe-regression") {
+    const sched::HpeModels& models = hpe_models_for(req.scale);
+    factory = runner.hpe_factory(scheduler == "hpe-matrix"
+                                     ? static_cast<sched::HpePredictionModel&>(
+                                           *models.matrix)
+                                     : *models.regression);
+  } else {
+    return make_error_response(req.id, "bad_request", false,
+                               "unknown scheduler '" + scheduler + "'");
+  }
+
+  const harness::BenchmarkPair pair{&catalog_.by_name(req.benchmarks[0]),
+                                    &catalog_.by_name(req.benchmarks[1])};
+  const metrics::PairRunResult result = runner.run_pair(pair, factory);
+  if (result.hit_cycle_bound && harness::cancel_requested())
+    AMPS_COUNTER_INC("service.deadline_truncated");
+  return make_ok_response(req.id, req.op, elapsed_us_since(start),
+                          to_json(result));
+}
+
+std::string SimulationService::run_multicore_response(
+    const Request& req) const {
+  const auto start = Clock::now();
+  for (const std::string& name : req.benchmarks) {
+    if (!catalog_.contains(name))
+      return make_error_response(req.id, "bad_request", false,
+                                 "unknown benchmark '" + name + "'");
+  }
+  const harness::MulticoreRunner runner =
+      harness::MulticoreRunner::canonical(req.scale, req.benchmarks.size());
+  const std::string scheduler =
+      req.scheduler.empty() ? "affinity" : req.scheduler;
+
+  harness::NCoreSchedulerFactory factory;
+  if (scheduler == "affinity") {
+    factory = runner.affinity_factory();
+  } else if (scheduler == "round-robin") {
+    factory = runner.round_robin_factory();
+  } else if (scheduler == "static") {
+    factory = runner.static_factory();
+  } else {
+    return make_error_response(req.id, "bad_request", false,
+                               "unknown scheduler '" + scheduler + "'");
+  }
+
+  harness::MulticoreWorkload workload;
+  workload.reserve(req.benchmarks.size());
+  for (const std::string& name : req.benchmarks)
+    workload.push_back(&catalog_.by_name(name));
+  const metrics::MulticoreRunResult result = runner.run(workload, factory);
+  if (result.hit_cycle_bound && harness::cancel_requested())
+    AMPS_COUNTER_INC("service.deadline_truncated");
+  return make_ok_response(req.id, req.op, elapsed_us_since(start),
+                          to_json(result));
+}
+
+std::string SimulationService::statsz_response() const {
+  const harness::RunCache::Stats cache = harness::RunCache::instance().stats();
+  Json result = Json::object();
+  result.set("queue_depth", Json(static_cast<std::uint64_t>(queue_depth())));
+  result.set("queue_capacity",
+             Json(static_cast<std::uint64_t>(cfg_.queue_capacity)));
+  result.set("draining", Json(draining()));
+  Json cache_json = Json::object();
+  cache_json.set("hits", Json(cache.hits));
+  cache_json.set("misses", Json(cache.misses));
+  cache_json.set("disk_hits", Json(cache.disk_hits));
+  result.set("run_cache", std::move(cache_json));
+  // The full registry (counters + histograms) comes straight from its own
+  // JSON dump — one source of truth for every service.* metric.
+  std::ostringstream registry;
+  stats::Registry::instance().dump_json(registry);
+  Json stats_json = Json::parse(registry.str());
+  result.set("stats", std::move(stats_json));
+  return result.dump();
+}
+
+const sched::HpeModels& SimulationService::hpe_models_for(
+    const sim::SimScale& scale) const {
+  harness::CacheKey key("serve-hpe-models");
+  add_scale(key, scale);
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  auto it = models_.find(key.text());
+  if (it == models_.end()) {
+    // Model building runs 18 profiling simulations (memoized in the
+    // RunCache). Shadow any ambient request deadline: a truncated profile
+    // would corrupt the fitted models for every later HPE request.
+    harness::ScopedCancelToken shadow(nullptr);
+    const harness::ExperimentRunner runner(scale);
+    auto models = std::make_unique<sched::HpeModels>(
+        runner.build_models(catalog_));
+    it = models_.emplace(key.text(), std::move(models)).first;
+  }
+  return *it->second;
+}
+
+void SimulationService::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_ && !dispatcher_.joinable()) return;
+    draining_ = true;
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+bool SimulationService::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shutdown_requested_;
+}
+
+bool SimulationService::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+std::size_t SimulationService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void SimulationService::set_paused(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = paused;
+  }
+  work_cv_.notify_all();
+}
+
+}  // namespace amps::service

@@ -1,0 +1,124 @@
+// SimulationService: the transport-independent core of amps-serve.
+//
+// Requests arrive as protocol lines (see protocol.hpp) via submit(), which
+// answers *control* ops (ping / statsz / shutdown) inline — introspection
+// keeps working even when the run queue is saturated — and enqueues *run*
+// ops on a bounded queue. A single dispatcher thread pops up to
+// `batch_max` queued requests at a time and fans the batch out over the
+// process-wide harness::WorkerPool with parallel_for; each request builds
+// its runner from the shared catalog, installs its deadline token, and is
+// answered from the process-wide RunCache when the identical configuration
+// has run before (bit-identical to a fresh simulation).
+//
+// Production-shape robustness, by construction:
+//  * backpressure — a full queue rejects immediately with the retriable
+//    "queue_full" error instead of buffering without bound;
+//  * per-request deadlines — a harness::CancelToken truncates the
+//    simulation at the next stepping batch; the partial result is flagged
+//    `truncated` (hit_cycle_bound) and never stored in the RunCache;
+//  * graceful drain — drain() stops intake ("shutting_down" errors),
+//    finishes every queued request, then joins the dispatcher; every
+//    accepted request is answered exactly once.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/hpe.hpp"
+#include "service/protocol.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::service {
+
+/// Service knobs, each with an AMPS_SERVE_* environment override.
+struct ServiceConfig {
+  /// Bounded run-queue capacity (AMPS_SERVE_QUEUE, default 256). A full
+  /// queue answers "queue_full" (retriable) instead of growing.
+  std::size_t queue_capacity = 256;
+  /// Max requests popped into one parallel_for fan-out (AMPS_SERVE_BATCH,
+  /// default 16).
+  std::size_t batch_max = 16;
+  /// Default per-request deadline in ms, applied when a request carries
+  /// none (AMPS_SERVE_DEADLINE_MS, default 0 = no deadline).
+  std::int64_t default_deadline_ms = 0;
+
+  static ServiceConfig from_env();
+};
+
+class SimulationService {
+ public:
+  /// Called exactly once per submitted request with the response line (no
+  /// trailing newline). May be invoked from the submitting thread (control
+  /// ops, rejections) or from a worker-pool thread (run ops); must be
+  /// thread-safe against other responders of the same connection.
+  using Responder = std::function<void(const std::string&)>;
+
+  explicit SimulationService(ServiceConfig cfg = ServiceConfig::from_env());
+  ~SimulationService();  ///< drains
+
+  SimulationService(const SimulationService&) = delete;
+  SimulationService& operator=(const SimulationService&) = delete;
+
+  /// Parses and routes one request line. Never throws on hostile input;
+  /// `respond` is always called exactly once, synchronously for control
+  /// ops / parse errors / backpressure, asynchronously for accepted runs.
+  void submit(const std::string& line, Responder respond);
+
+  /// Stops intake, completes all queued requests, joins the dispatcher.
+  /// Idempotent; subsequent submits answer "shutting_down".
+  void drain();
+
+  /// True once a client issued {"op":"shutdown"} — the transport layer
+  /// polls this and initiates drain().
+  [[nodiscard]] bool shutdown_requested() const;
+  [[nodiscard]] bool draining() const;
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  /// Test/bench hook: a paused dispatcher leaves submissions in the queue
+  /// (deterministic queue-full scenarios). drain() unpauses.
+  void set_paused(bool paused);
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Pending {
+    Request req;
+    Responder respond;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void dispatcher_main();
+  void execute(Pending& p) const;
+  [[nodiscard]] std::string run_pair_response(const Request& req) const;
+  [[nodiscard]] std::string run_multicore_response(const Request& req) const;
+  [[nodiscard]] std::string statsz_response() const;
+  /// Lazily builds (and memoizes) the HPE models for one scale.
+  [[nodiscard]] const sched::HpeModels& hpe_models_for(
+      const sim::SimScale& scale) const;
+
+  ServiceConfig cfg_;
+  wl::BenchmarkCatalog catalog_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<Pending> queue_;
+  bool draining_ = false;
+  bool paused_ = false;
+  bool shutdown_requested_ = false;
+
+  mutable std::mutex models_mutex_;
+  mutable std::map<std::string, std::unique_ptr<sched::HpeModels>> models_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace amps::service

@@ -1,0 +1,143 @@
+// CancelToken / ScopedCancelToken semantics, and their composition with
+// the run loops (deadline truncation -> hit_cycle_bound) and the RunCache
+// (truncated results are never memoized).
+#include "harness/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "harness/experiment.hpp"
+#include "harness/run_cache.hpp"
+#include "harness/sampler.hpp"
+#include "sim/scale.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::harness {
+namespace {
+
+TEST(CancelTokenTest, NoAmbientTokenByDefault) {
+  EXPECT_EQ(current_cancel_token(), nullptr);
+  EXPECT_FALSE(cancel_requested());
+}
+
+TEST(CancelTokenTest, FreshTokenIsNotExpired) {
+  CancelToken token;
+  EXPECT_FALSE(token.expired());
+}
+
+TEST(CancelTokenTest, CancelIsSticky) {
+  CancelToken token;
+  token.cancel();
+  EXPECT_TRUE(token.expired());
+  EXPECT_TRUE(token.expired());  // stays expired
+}
+
+TEST(CancelTokenTest, DeadlineInThePastExpires) {
+  CancelToken token;
+  token.set_timeout(std::chrono::nanoseconds(0));
+  EXPECT_TRUE(token.expired());
+}
+
+TEST(CancelTokenTest, FarDeadlineDoesNotExpire) {
+  CancelToken token;
+  token.set_timeout(std::chrono::hours(1));
+  EXPECT_FALSE(token.expired());
+}
+
+TEST(ScopedCancelTokenTest, InstallsAndRestores) {
+  CancelToken token;
+  EXPECT_EQ(current_cancel_token(), nullptr);
+  {
+    ScopedCancelToken install(&token);
+    EXPECT_EQ(current_cancel_token(), &token);
+    token.cancel();
+    EXPECT_TRUE(cancel_requested());
+  }
+  EXPECT_EQ(current_cancel_token(), nullptr);
+  EXPECT_FALSE(cancel_requested());
+}
+
+TEST(ScopedCancelTokenTest, NestingShadowsAndNullClears) {
+  CancelToken outer;
+  CancelToken inner;
+  ScopedCancelToken install_outer(&outer);
+  {
+    ScopedCancelToken install_inner(&inner);
+    EXPECT_EQ(current_cancel_token(), &inner);
+    {
+      // nullptr shadows any ambient token — the HPE-model-build pattern.
+      ScopedCancelToken shadow(nullptr);
+      EXPECT_EQ(current_cancel_token(), nullptr);
+      EXPECT_FALSE(cancel_requested());
+    }
+    EXPECT_EQ(current_cancel_token(), &inner);
+  }
+  EXPECT_EQ(current_cancel_token(), &outer);
+}
+
+class CancelRunTest : public ::testing::Test {
+ protected:
+  wl::BenchmarkCatalog catalog_;
+  sim::SimScale scale_ = sim::SimScale::ci();
+};
+
+TEST_F(CancelRunTest, ExpiredTokenTruncatesPairRun) {
+  const ExperimentRunner runner(scale_);
+  const auto pairs = sample_pairs(catalog_, 1, /*seed=*/77);
+
+  CancelToken token;
+  token.cancel();
+  ScopedCancelToken install(&token);
+  // Scheduler& overload: bypasses the cache, always simulates.
+  auto scheduler = runner.proposed_factory()();
+  const auto result = runner.run_pair(pairs[0], *scheduler);
+  EXPECT_TRUE(result.hit_cycle_bound);
+  EXPECT_LT(result.threads[0].committed, scale_.run_length);
+  EXPECT_LT(result.threads[1].committed, scale_.run_length);
+}
+
+TEST_F(CancelRunTest, UncancelledRunCompletes) {
+  const ExperimentRunner runner(scale_);
+  const auto pairs = sample_pairs(catalog_, 1, /*seed=*/77);
+  CancelToken token;
+  token.set_timeout(std::chrono::hours(1));
+  ScopedCancelToken install(&token);
+  auto scheduler = runner.proposed_factory()();
+  const auto result = runner.run_pair(pairs[0], *scheduler);
+  EXPECT_FALSE(result.hit_cycle_bound);
+}
+
+TEST_F(CancelRunTest, TruncatedResultIsNotMemoized) {
+  const ExperimentRunner runner(scale_);
+  const auto pairs = sample_pairs(catalog_, 1, /*seed=*/78);
+  RunCache::instance().clear();
+
+  {
+    CancelToken token;
+    token.cancel();
+    ScopedCancelToken install(&token);
+    // Factory overload: would memoize, but must refuse for the truncation.
+    const auto truncated = runner.run_pair(pairs[0], runner.proposed_factory());
+    EXPECT_TRUE(truncated.hit_cycle_bound);
+  }
+  const auto after_truncated = RunCache::instance().stats();
+  EXPECT_EQ(after_truncated.hits, 0u);
+  EXPECT_EQ(after_truncated.misses, 1u);
+
+  // The same request without a token simulates afresh (a hit here would
+  // mean the truncated result had been stored) and completes.
+  const auto full = runner.run_pair(pairs[0], runner.proposed_factory());
+  EXPECT_FALSE(full.hit_cycle_bound);
+  const auto after_full = RunCache::instance().stats();
+  EXPECT_EQ(after_full.hits, 0u);
+  EXPECT_EQ(after_full.misses, 2u);
+
+  // And the complete run *is* memoized.
+  const auto repeat = runner.run_pair(pairs[0], runner.proposed_factory());
+  EXPECT_FALSE(repeat.hit_cycle_bound);
+  EXPECT_EQ(RunCache::instance().stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace amps::harness

@@ -1,0 +1,251 @@
+// Wire-protocol unit tests: the Json value/parser/writer and the request
+// parsing + response building layer, including every structured-error
+// path a hostile client can trigger.
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/json.hpp"
+
+namespace amps::service {
+namespace {
+
+// ---- Json ----------------------------------------------------------------
+
+TEST(JsonTest, ParsesScalars) {
+  std::string error;
+  EXPECT_TRUE(Json::parse("null", &error).is_null());
+  EXPECT_TRUE(error.empty());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool(true));
+  EXPECT_DOUBLE_EQ(Json::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(Json::parse("\"hi\\nthere\"").as_string(), "hi\nthere");
+}
+
+TEST(JsonTest, ParsesNested) {
+  const Json doc = Json::parse(R"({"a":[1,2,{"b":"c"}],"d":{"e":null}})");
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_TRUE(doc.get("a").is_array());
+  EXPECT_EQ(doc.get("a").items().size(), 3u);
+  EXPECT_EQ(doc.get("a").items()[2].get("b").as_string(), "c");
+  EXPECT_TRUE(doc.get("d").get("e").is_null());
+  EXPECT_TRUE(doc.get("missing").is_null());
+  EXPECT_TRUE(doc.get("missing").get("chained").is_null());
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\":1}extra", "nan", "inf", "'single'"}) {
+    std::string error;
+    Json::parse(bad, &error);
+    EXPECT_FALSE(error.empty()) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonTest, RejectsExcessiveDepth) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  std::string error;
+  Json::parse(deep, &error);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, UnicodeEscapes) {
+  EXPECT_EQ(Json::parse("\"\\u0041\\u00e9\"").as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonTest, DumpRoundTripsDoublesBitExactly) {
+  const double v = 0.49942283962902517;
+  const std::string text = Json(v).dump();
+  EXPECT_DOUBLE_EQ(Json::parse(text).as_number(), v);
+  // Re-dumping the parsed value reproduces the same bytes — the property
+  // the serve bit-identity checks stand on.
+  EXPECT_EQ(Json::parse(text).dump(), text);
+}
+
+TEST(JsonTest, IntegralDoublesPrintWithoutFraction) {
+  EXPECT_EQ(Json(std::uint64_t{201084}).dump(), "201084");
+  EXPECT_EQ(Json(0).dump(), "0");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("z", Json(1));
+  obj.set("a", Json(2));
+  obj.set("z", Json(3));  // replaces in place, keeps position
+  EXPECT_EQ(obj.dump(), R"({"z":3,"a":2})");
+}
+
+TEST(JsonTest, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\n\t\x01").dump(),
+            "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+}
+
+// ---- request parsing -----------------------------------------------------
+
+Json parse_response(const std::string& line) {
+  std::string error;
+  Json doc = Json::parse(line, &error);
+  EXPECT_TRUE(error.empty()) << line;
+  return doc;
+}
+
+/// Expects a bad_request rejection and returns its message.
+std::string reject_message(const std::string& request_line) {
+  std::string error_response;
+  const auto req = parse_request(request_line, &error_response);
+  EXPECT_FALSE(req.has_value()) << request_line;
+  const Json doc = parse_response(error_response);
+  EXPECT_FALSE(doc.get("ok").as_bool(true));
+  EXPECT_EQ(doc.get("error").get("code").as_string(), "bad_request");
+  EXPECT_FALSE(doc.get("error").get("retriable").as_bool(true));
+  return doc.get("error").get("message").as_string();
+}
+
+TEST(ParseRequestTest, MalformedJsonYieldsStructuredError) {
+  EXPECT_NE(reject_message("{oops").find("malformed JSON"), std::string::npos);
+  EXPECT_NE(reject_message("42").find("must be a JSON object"),
+            std::string::npos);
+}
+
+TEST(ParseRequestTest, OpValidation) {
+  EXPECT_NE(reject_message(R"({"bench":["a","b"]})").find("'op'"),
+            std::string::npos);
+  EXPECT_NE(reject_message(R"({"op":"evaporate"})").find("unknown op"),
+            std::string::npos);
+}
+
+TEST(ParseRequestTest, MinimalRunPair) {
+  std::string error_response;
+  const auto req =
+      parse_request(R"({"op":"run_pair","bench":["ammp","sha"]})",
+                    &error_response);
+  ASSERT_TRUE(req.has_value()) << error_response;
+  EXPECT_EQ(req->op, Op::RunPair);
+  ASSERT_EQ(req->benchmarks.size(), 2u);
+  EXPECT_EQ(req->benchmarks[0], "ammp");
+  EXPECT_TRUE(req->scheduler.empty());
+  EXPECT_EQ(req->deadline_ms, -1);
+  EXPECT_FALSE(req->paper_scale);
+}
+
+TEST(ParseRequestTest, BenchArityEnforced) {
+  EXPECT_NE(reject_message(R"({"op":"run_pair","bench":["a"]})")
+                .find("exactly two"),
+            std::string::npos);
+  EXPECT_NE(reject_message(R"({"op":"run_pair"})").find("'bench'"),
+            std::string::npos);
+  EXPECT_NE(
+      reject_message(R"({"op":"run_multicore","workload":["a","b","c"]})")
+          .find("even number"),
+      std::string::npos);
+  EXPECT_NE(reject_message(R"({"op":"run_pair","bench":["a",7]})")
+                .find("benchmark names"),
+            std::string::npos);
+}
+
+TEST(ParseRequestTest, ScaleAndOverrides) {
+  std::string error_response;
+  const auto req = parse_request(
+      R"({"op":"run_pair","bench":["a","b"],"scale":"paper",)"
+      R"("overrides":{"window_size":2000,"history_depth":7,)"
+      R"("run_length":1234,"swap_overhead":50,"max_cycles":99999}})",
+      &error_response);
+  ASSERT_TRUE(req.has_value()) << error_response;
+  EXPECT_TRUE(req->paper_scale);
+  EXPECT_EQ(req->scale.window_size, 2000u);
+  EXPECT_EQ(req->scale.history_depth, 7);
+  EXPECT_EQ(req->scale.run_length, 1234u);
+  EXPECT_EQ(req->scale.swap_overhead, 50u);
+  EXPECT_EQ(req->scale.max_cycles(), 99999u);
+
+  EXPECT_NE(reject_message(R"({"op":"run_pair","bench":["a","b"],)"
+                           R"("scale":"huge"})")
+                .find("'scale'"),
+            std::string::npos);
+  EXPECT_NE(reject_message(R"({"op":"run_pair","bench":["a","b"],)"
+                           R"("overrides":{"history_depth":0}})")
+                .find("history_depth"),
+            std::string::npos);
+  EXPECT_NE(reject_message(R"({"op":"run_pair","bench":["a","b"],)"
+                           R"("overrides":{"run_length":-5}})")
+                .find("non-negative"),
+            std::string::npos);
+  EXPECT_NE(reject_message(R"({"op":"run_pair","bench":["a","b"],)"
+                           R"("overrides":{"run_length":0}})")
+                .find("positive"),
+            std::string::npos);
+}
+
+TEST(ParseRequestTest, DeadlineAndScheduler) {
+  std::string error_response;
+  const auto req = parse_request(
+      R"({"op":"run_pair","bench":["a","b"],"scheduler":"static",)"
+      R"("deadline_ms":250})",
+      &error_response);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->scheduler, "static");
+  EXPECT_EQ(req->deadline_ms, 250);
+
+  EXPECT_NE(reject_message(R"({"op":"ping","deadline_ms":-1})")
+                .find("deadline_ms"),
+            std::string::npos);
+  EXPECT_NE(reject_message(R"({"op":"ping","deadline_ms":1.5})")
+                .find("deadline_ms"),
+            std::string::npos);
+  EXPECT_NE(reject_message(R"({"op":"ping","scheduler":7})")
+                .find("scheduler"),
+            std::string::npos);
+}
+
+TEST(ParseRequestTest, IdIsEchoedInErrors) {
+  std::string error_response;
+  parse_request(R"({"id":"req-9","op":"nope"})", &error_response);
+  const Json doc = parse_response(error_response);
+  EXPECT_EQ(doc.get("id").as_string(), "req-9");
+}
+
+// ---- response building ---------------------------------------------------
+
+TEST(ResponseTest, OkShape) {
+  Json result = Json::object();
+  result.set("pong", Json(true));
+  const Json doc = parse_response(
+      make_ok_response(Json("id7"), Op::Ping, 42, std::move(result)));
+  EXPECT_EQ(doc.get("id").as_string(), "id7");
+  EXPECT_TRUE(doc.get("ok").as_bool(false));
+  EXPECT_EQ(doc.get("op").as_string(), "ping");
+  EXPECT_DOUBLE_EQ(doc.get("elapsed_us").as_number(), 42.0);
+  EXPECT_TRUE(doc.get("result").get("pong").as_bool(false));
+}
+
+TEST(ResponseTest, ErrorShapeAndRetriability) {
+  const Json doc = parse_response(
+      make_error_response(Json(), "queue_full", true, "try later"));
+  EXPECT_FALSE(doc.contains("id"));  // null id is omitted
+  EXPECT_FALSE(doc.get("ok").as_bool(true));
+  EXPECT_EQ(doc.get("error").get("code").as_string(), "queue_full");
+  EXPECT_TRUE(doc.get("error").get("retriable").as_bool(false));
+  EXPECT_EQ(doc.get("error").get("message").as_string(), "try later");
+}
+
+TEST(ResponseTest, RunResultSerializationIsFieldOrdered) {
+  metrics::PairRunResult r;
+  r.scheduler = "proposed";
+  r.total_cycles = 10;
+  r.threads[0].benchmark = "a";
+  r.threads[1].benchmark = "b";
+  const std::string dumped = to_json(r).dump();
+  // Field order is part of the wire format (bit-identity comparisons are
+  // byte comparisons) — lock the prefix.
+  EXPECT_EQ(dumped.find(R"({"scheduler":"proposed","total_cycles":10,)"), 0u)
+      << dumped;
+  EXPECT_NE(dumped.find(R"("truncated":false)"), std::string::npos);
+  EXPECT_NE(dumped.find(R"("threads":[{"benchmark":"a")"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amps::service

@@ -1,0 +1,180 @@
+// Transport tests: in-process TcpServer + LineClient round-trips,
+// pipelining across one connection, multiple concurrent clients, the
+// shutdown-op drain path, and pipe mode.
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "service/json.hpp"
+
+namespace amps::service {
+namespace {
+
+Json parsed(const std::string& line) {
+  std::string error;
+  Json doc = Json::parse(line, &error);
+  EXPECT_TRUE(error.empty()) << line;
+  return doc;
+}
+
+/// A cheap run request (tiny run_length) so transport tests stay fast.
+std::string small_run(int id) {
+  Json req = Json::object();
+  req.set("id", Json(id));
+  req.set("op", Json("run_pair"));
+  Json bench = Json::array();
+  bench.push_back(Json("ammp"));
+  bench.push_back(Json("sha"));
+  req.set("bench", std::move(bench));
+  Json overrides = Json::object();
+  overrides.set("run_length", Json(20000));
+  req.set("overrides", std::move(overrides));
+  return req.dump();
+}
+
+TEST(TcpServerTest, BindsAnEphemeralPort) {
+  SimulationService svc;
+  TcpServer server(svc, /*port=*/0);
+  EXPECT_NE(server.port(), 0);
+}
+
+TEST(TcpServerTest, PingRoundTrip) {
+  SimulationService svc;
+  TcpServer server(svc, 0);
+  LineClient client;
+  client.connect(server.port());
+  const Json doc = parsed(client.request(R"({"id":"p","op":"ping"})"));
+  EXPECT_TRUE(doc.get("ok").as_bool(false));
+  EXPECT_EQ(doc.get("id").as_string(), "p");
+}
+
+TEST(TcpServerTest, RunAndMalformedOnOneConnection) {
+  SimulationService svc;
+  TcpServer server(svc, 0);
+  LineClient client;
+  client.connect(server.port());
+
+  const Json run = parsed(client.request(small_run(1)));
+  EXPECT_TRUE(run.get("ok").as_bool(false));
+  EXPECT_GT(run.get("result").get("total_cycles").as_number(), 0.0);
+
+  const Json bad = parsed(client.request("}{ definitely not json"));
+  EXPECT_FALSE(bad.get("ok").as_bool(true));
+  EXPECT_EQ(bad.get("error").get("code").as_string(), "bad_request");
+
+  // The connection survives hostile input.
+  EXPECT_TRUE(parsed(client.request(R"({"op":"ping"})"))
+                  .get("ok")
+                  .as_bool(false));
+}
+
+TEST(TcpServerTest, PipelinedRequestsAllAnswered) {
+  SimulationService svc;
+  TcpServer server(svc, 0);
+  LineClient client;
+  client.connect(server.port());
+
+  // Fire-and-forget four requests, then collect four responses. Order is
+  // not guaranteed (batches fan out in parallel) — match by id.
+  constexpr int kRequests = 4;
+  for (int i = 0; i < kRequests; ++i) client.send(small_run(i));
+  std::set<int> ids;
+  for (int i = 0; i < kRequests; ++i) {
+    std::string line;
+    ASSERT_TRUE(client.recv_line(&line));
+    const Json doc = parsed(line);
+    EXPECT_TRUE(doc.get("ok").as_bool(false)) << line;
+    ids.insert(static_cast<int>(doc.get("id").as_number(-1)));
+  }
+  EXPECT_EQ(ids, (std::set<int>{0, 1, 2, 3}));
+}
+
+TEST(TcpServerTest, MultipleConcurrentClients) {
+  SimulationService svc;
+  TcpServer server(svc, 0);
+  LineClient a;
+  LineClient b;
+  a.connect(server.port());
+  b.connect(server.port());
+  a.send(small_run(100));
+  b.send(small_run(200));
+  std::string ra;
+  std::string rb;
+  ASSERT_TRUE(a.recv_line(&ra));
+  ASSERT_TRUE(b.recv_line(&rb));
+  // Each client sees exactly its own response.
+  EXPECT_DOUBLE_EQ(parsed(ra).get("id").as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(parsed(rb).get("id").as_number(), 200.0);
+}
+
+TEST(TcpServerTest, ShutdownOpDrainsTheServer) {
+  SimulationService svc;
+  TcpServer server(svc, 0);
+  LineClient client;
+  client.connect(server.port());
+  EXPECT_TRUE(parsed(client.request(R"({"op":"shutdown"})"))
+                  .get("ok")
+                  .as_bool(false));
+  // The reader observed shutdown_requested and signaled the server.
+  server.wait_for_shutdown();
+  server.drain_and_stop();
+  EXPECT_TRUE(svc.draining());
+
+  // The drained server hangs up on the old connection...
+  std::string line;
+  EXPECT_FALSE(client.recv_line(&line));
+  // ...and accepts no new ones.
+  LineClient late;
+  EXPECT_THROW(late.connect(server.port()), std::runtime_error);
+}
+
+TEST(TcpServerTest, DrainAndStopIsIdempotent) {
+  SimulationService svc;
+  TcpServer server(svc, 0);
+  server.drain_and_stop();
+  server.drain_and_stop();  // second call is a no-op
+}
+
+TEST(PipeModeTest, ServesLinesAndDrains) {
+  SimulationService svc;
+  std::istringstream in(R"({"id":1,"op":"ping"})"
+                        "\n" +
+                        small_run(2) + "\n");
+  std::ostringstream out;
+  run_pipe_mode(svc, in, out);
+  EXPECT_TRUE(svc.draining());
+
+  std::istringstream responses(out.str());
+  std::string line;
+  std::set<int> ids;
+  while (std::getline(responses, line)) {
+    const Json doc = parsed(line);
+    EXPECT_TRUE(doc.get("ok").as_bool(false)) << line;
+    ids.insert(static_cast<int>(doc.get("id").as_number(-1)));
+  }
+  EXPECT_EQ(ids, (std::set<int>{1, 2}));
+}
+
+TEST(PipeModeTest, StopsAtShutdownOp) {
+  SimulationService svc;
+  std::istringstream in(R"({"id":1,"op":"shutdown"})"
+                        "\n" +
+                        small_run(2) + "\n");  // never read
+  std::ostringstream out;
+  run_pipe_mode(svc, in, out);
+  EXPECT_TRUE(svc.shutdown_requested());
+  // Exactly one response: the shutdown ack; the line after it was not
+  // consumed.
+  std::istringstream responses(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(responses, line)) ++count;
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace amps::service

@@ -1,0 +1,247 @@
+// SimulationService behavior: inline control ops, cache-hit bit-identity
+// against the direct runners, bounded-queue backpressure, deadline
+// truncation (and its not-memoized guarantee), and graceful drain.
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/multicore.hpp"
+#include "harness/run_cache.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::service {
+namespace {
+
+/// Thread-safe response sink: the Responder for async run ops.
+class Collector {
+ public:
+  SimulationService::Responder responder() {
+    return [this](const std::string& line) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      responses_.push_back(line);
+      cv_.notify_all();
+    };
+  }
+
+  std::vector<std::string> wait_for(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return responses_.size() >= n; });
+    return responses_;
+  }
+
+  [[nodiscard]] std::size_t count() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return responses_.size();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::string> responses_;
+};
+
+Json parsed(const std::string& line) {
+  std::string error;
+  Json doc = Json::parse(line, &error);
+  EXPECT_TRUE(error.empty()) << line;
+  return doc;
+}
+
+std::string error_code(const Json& doc) {
+  return doc.get("error").get("code").as_string();
+}
+
+TEST(ServiceTest, PingIsAnsweredInline) {
+  SimulationService svc;
+  Collector out;
+  svc.submit(R"({"id":1,"op":"ping"})", out.responder());
+  // Inline: the response is already there, no waiting involved.
+  ASSERT_EQ(out.count(), 1u);
+  const Json doc = parsed(out.wait_for(1)[0]);
+  EXPECT_TRUE(doc.get("ok").as_bool(false));
+  EXPECT_TRUE(doc.get("result").get("pong").as_bool(false));
+}
+
+TEST(ServiceTest, StatszReportsQueueAndCache) {
+  SimulationService svc;
+  Collector out;
+  svc.submit(R"({"op":"statsz"})", out.responder());
+  const Json doc = parsed(out.wait_for(1)[0]);
+  ASSERT_TRUE(doc.get("ok").as_bool(false));
+  const Json& result = doc.get("result");
+  EXPECT_TRUE(result.get("queue_depth").is_number());
+  EXPECT_DOUBLE_EQ(result.get("queue_capacity").as_number(),
+                   static_cast<double>(svc.config().queue_capacity));
+  EXPECT_FALSE(result.get("draining").as_bool(true));
+  EXPECT_TRUE(result.get("run_cache").get("hits").is_number());
+  EXPECT_TRUE(result.get("run_cache").get("misses").is_number());
+  EXPECT_TRUE(result.get("stats").get("counters").is_object());
+}
+
+TEST(ServiceTest, ShutdownOpSetsTheFlag) {
+  SimulationService svc;
+  Collector out;
+  EXPECT_FALSE(svc.shutdown_requested());
+  svc.submit(R"({"op":"shutdown"})", out.responder());
+  EXPECT_TRUE(parsed(out.wait_for(1)[0]).get("ok").as_bool(false));
+  EXPECT_TRUE(svc.shutdown_requested());
+}
+
+TEST(ServiceTest, BadRequestsAnswerInline) {
+  SimulationService svc;
+  Collector out;
+  svc.submit("not json at all", out.responder());
+  svc.submit(R"({"op":"run_pair","bench":["nonesuch","sha"]})",
+             out.responder());
+  svc.submit(R"({"op":"run_pair","bench":["ammp","sha"],)"
+             R"("scheduler":"bogus"})",
+             out.responder());
+  const auto responses = out.wait_for(3);
+  EXPECT_EQ(error_code(parsed(responses[0])), "bad_request");
+  for (std::size_t i = 1; i < 3; ++i) {
+    const Json doc = parsed(responses[i]);
+    EXPECT_FALSE(doc.get("ok").as_bool(true));
+    EXPECT_EQ(error_code(doc), "bad_request");
+    EXPECT_FALSE(doc.get("error").get("retriable").as_bool(true));
+  }
+}
+
+TEST(ServiceTest, RunPairBitIdenticalToDirectRunner) {
+  SimulationService svc;
+  Collector out;
+  svc.submit(R"({"id":"x","op":"run_pair","bench":["ammp","sha"],)"
+             R"("scheduler":"proposed","scale":"ci"})",
+             out.responder());
+  const Json doc = parsed(out.wait_for(1)[0]);
+  ASSERT_TRUE(doc.get("ok").as_bool(false)) << out.wait_for(1)[0];
+
+  const wl::BenchmarkCatalog catalog;
+  const harness::ExperimentRunner runner(sim::SimScale::ci());
+  const harness::BenchmarkPair pair{&catalog.by_name("ammp"),
+                                    &catalog.by_name("sha")};
+  const auto direct = runner.run_pair(pair, runner.proposed_factory());
+  EXPECT_EQ(doc.get("result").dump(), to_json(direct).dump());
+}
+
+TEST(ServiceTest, RunMulticoreBitIdenticalToDirectRunner) {
+  SimulationService svc;
+  Collector out;
+  svc.submit(R"({"op":"run_multicore",)"
+             R"("workload":["ammp","sha","equake","gzip"],)"
+             R"("scheduler":"affinity"})",
+             out.responder());
+  const Json doc = parsed(out.wait_for(1)[0]);
+  ASSERT_TRUE(doc.get("ok").as_bool(false)) << out.wait_for(1)[0];
+
+  const wl::BenchmarkCatalog catalog;
+  const auto runner = harness::MulticoreRunner::canonical(sim::SimScale::ci(),
+                                                          4);
+  const harness::MulticoreWorkload workload{
+      &catalog.by_name("ammp"), &catalog.by_name("sha"),
+      &catalog.by_name("equake"), &catalog.by_name("gzip")};
+  const auto direct = runner.run(workload, runner.affinity_factory());
+  EXPECT_EQ(doc.get("result").dump(), to_json(direct).dump());
+}
+
+TEST(ServiceTest, QueueFullBackpressure) {
+  ServiceConfig tiny;
+  tiny.queue_capacity = 2;
+  tiny.batch_max = 2;
+  SimulationService svc(tiny);
+  svc.set_paused(true);  // deterministic: nothing leaves the queue
+
+  Collector out;
+  for (int i = 0; i < 4; ++i) {
+    svc.submit(R"({"op":"run_pair","bench":["ammp","sha"]})",
+               out.responder());
+  }
+  // Two fit the queue; the overflow is rejected immediately + retriably.
+  ASSERT_EQ(out.count(), 2u);
+  EXPECT_EQ(svc.queue_depth(), 2u);
+  for (const auto& line : out.wait_for(2)) {
+    const Json doc = parsed(line);
+    EXPECT_EQ(error_code(doc), "queue_full");
+    EXPECT_TRUE(doc.get("error").get("retriable").as_bool(false));
+  }
+
+  // Control ops keep working against a saturated queue.
+  svc.submit(R"({"op":"ping"})", out.responder());
+  ASSERT_EQ(out.count(), 3u);
+
+  // Unpausing answers everything that was accepted.
+  svc.set_paused(false);
+  svc.drain();
+  std::size_t ok = 0;
+  for (const auto& line : out.wait_for(5))
+    if (parsed(line).get("ok").as_bool(false)) ++ok;
+  EXPECT_EQ(ok, 3u);  // 2 runs + 1 ping
+}
+
+TEST(ServiceTest, DrainAnswersAllInFlightThenRejects) {
+  SimulationService svc;
+  svc.set_paused(true);
+  Collector out;
+  for (int i = 0; i < 3; ++i) {
+    svc.submit(R"({"op":"run_pair","bench":["ammp","sha"]})",
+               out.responder());
+  }
+  EXPECT_EQ(out.count(), 0u);
+  svc.drain();  // unpauses, finishes the queue, joins the dispatcher
+  const auto responses = out.wait_for(3);
+  for (const auto& line : responses)
+    EXPECT_TRUE(parsed(line).get("ok").as_bool(false)) << line;
+
+  // Post-drain submissions get the retriable shutting_down error.
+  svc.submit(R"({"op":"run_pair","bench":["ammp","sha"]})",
+             out.responder());
+  const Json doc = parsed(out.wait_for(4)[3]);
+  EXPECT_EQ(error_code(doc), "shutting_down");
+  EXPECT_TRUE(doc.get("error").get("retriable").as_bool(false));
+}
+
+TEST(ServiceTest, DeadlineExpiredTruncatesAndIsNotCached) {
+  harness::RunCache::instance().clear();
+  SimulationService svc;
+  Collector out;
+  // A run_length far beyond what 1 ms of wall clock can simulate, so the
+  // deadline always lands mid-run.
+  const std::string request =
+      R"({"op":"run_pair","bench":["ammp","sha"],"scheduler":"static",)"
+      R"("overrides":{"run_length":50000000},"deadline_ms":1})";
+  svc.submit(request, out.responder());
+  const Json first = parsed(out.wait_for(1)[0]);
+  ASSERT_TRUE(first.get("ok").as_bool(false)) << out.wait_for(1)[0];
+  EXPECT_TRUE(first.get("result").get("truncated").as_bool(false));
+
+  // The truncated result must not have been memoized: the identical
+  // request misses again instead of hitting the poisoned entry.
+  const auto before = harness::RunCache::instance().stats();
+  svc.submit(request, out.responder());
+  const Json second = parsed(out.wait_for(2)[1]);
+  EXPECT_TRUE(second.get("result").get("truncated").as_bool(false));
+  const auto after = harness::RunCache::instance().stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses + 1);
+}
+
+TEST(ServiceTest, DestructorDrains) {
+  Collector out;
+  {
+    SimulationService svc;
+    svc.submit(R"({"op":"run_pair","bench":["ammp","sha"]})",
+               out.responder());
+  }  // ~SimulationService drains
+  const Json doc = parsed(out.wait_for(1)[0]);
+  EXPECT_TRUE(doc.get("ok").as_bool(false));
+}
+
+}  // namespace
+}  // namespace amps::service
