@@ -4,12 +4,19 @@
 // guard the simulator's own performance, not the paper's results.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "sim/core.hpp"
 #include "sim/system.hpp"
 #include "uarch/branch_predictor.hpp"
 #include "uarch/cache.hpp"
 #include "workload/benchmark.hpp"
 #include "workload/stream.hpp"
+#include "workload/trace_store.hpp"
 
 namespace {
 
@@ -28,6 +35,52 @@ void BM_StreamGeneration(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_StreamGeneration);
+
+// Live batched generation vs trace-store replay, micro-ops/second: the
+// generator walks the phase model per op, replay is a chunk memcpy. The
+// gap is the per-op cost the trace store removes from cold runs.
+void BM_StreamGenerationBatched(benchmark::State& state) {
+  wl::InstructionStream stream(catalog().by_name("gcc"));
+  std::vector<isa::MicroOp> buf(wl::kTraceChunkOps);
+  for (auto _ : state) {
+    stream.next_batch(buf.data(), buf.size());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_StreamGenerationBatched);
+
+void BM_StreamReplayFromTraceStore(benchmark::State& state) {
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "amps-microbench-traces";
+  std::filesystem::create_directories(dir);
+  std::vector<isa::MicroOp> buf(wl::kTraceChunkOps);
+  {
+    // Warm the store: one capture pass over the benched span.
+    wl::ReplayOpSource warm(catalog().by_name("gcc"), 0, dir, true, true);
+    for (int i = 0; i < 8; ++i) warm.next_batch(buf.data(), buf.size());
+  }
+  auto src = std::make_unique<wl::ReplayOpSource>(catalog().by_name("gcc"),
+                                                  0, dir, true, false);
+  std::uint64_t served = 0;
+  for (auto _ : state) {
+    if (served >= 8 * wl::kTraceChunkOps) {  // stay on the captured prefix
+      state.PauseTiming();
+      src = std::make_unique<wl::ReplayOpSource>(catalog().by_name("gcc"), 0,
+                                                 dir, true, false);
+      served = 0;
+      state.ResumeTiming();
+    }
+    src->next_batch(buf.data(), buf.size());
+    served += buf.size();
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buf.size()));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_StreamReplayFromTraceStore);
 
 void BM_CacheAccess(benchmark::State& state) {
   uarch::Cache cache(

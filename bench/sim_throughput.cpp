@@ -5,6 +5,12 @@
 //     pipeline state, AMPS_FAST_CORE); reports cold simulated cycles/sec
 //     for both plus the speedup. This is the number that matters for a
 //     first (uncached) run of any experiment.
+//  1b. Trace capture/replay — the same fast-engine runs repeated twice with
+//     the micro-op trace store enabled: a *first-cold* pass that captures
+//     chunk files (measures capture overhead) and a *second-cold* pass that
+//     replays them with zero generator work (trace present, no RunCache —
+//     the Scheduler& overload never caches). The second-cold speedup over
+//     the reference engine is the PR 2 "3x cold-run" metric.
 //  2. Stepping throughput — one pair run under the proposed scheduler with
 //     per-cycle ticking vs. batched stepping; reports simulated cycles/sec
 //     and committed instructions/sec for both, plus the speedup.
@@ -20,6 +26,8 @@
 //
 // Knobs: AMPS_SCALE, AMPS_PAIRS, AMPS_SEED, AMPS_THREADS, AMPS_CACHE_DIR.
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
@@ -103,6 +111,42 @@ int main() {
       .cell(cold_fast.commits_per_sec, 0);
   bench::emit("throughput_engine", engine);
   std::cout << "fast-engine cold-run speedup: " << engine_speedup << "x\n\n";
+
+  // --- part 1b: micro-op trace capture / replay (second-cold runs) -------
+  // Point the trace store at a scratch directory in the working dir so the
+  // bench is hermetic, capture on a first-cold pass, then replay.
+  const std::string trace_dir = "amps_bench_traces";
+  std::filesystem::remove_all(trace_dir);
+  ::setenv("AMPS_TRACE_DIR", trace_dir.c_str(), /*overwrite=*/1);
+  std::cout << "[same fast-engine runs, first-cold (trace capture)...]\n";
+  const SteppingResult cold_capture = measure_engine(/*fast=*/true);
+  std::cout << "[same fast-engine runs, second-cold (trace replay)...]\n";
+  const SteppingResult cold_replay = measure_engine(/*fast=*/true);
+  ::unsetenv("AMPS_TRACE_DIR");
+  const double capture_overhead_pct =
+      cold_fast.seconds > 0.0
+          ? (cold_capture.seconds / cold_fast.seconds - 1.0) * 100.0
+          : 0.0;
+  const double replay_speedup = cold_fast.seconds / cold_replay.seconds;
+  const double replay_speedup_vs_ref = cold_ref.seconds / cold_replay.seconds;
+
+  Table replay({"trace store (cold)", "wall s", "sim cycles/s", "commits/s"});
+  replay.row()
+      .cell("first-cold (capture)")
+      .cell(cold_capture.seconds, 3)
+      .cell(cold_capture.cycles_per_sec, 0)
+      .cell(cold_capture.commits_per_sec, 0);
+  replay.row()
+      .cell("second-cold (replay)")
+      .cell(cold_replay.seconds, 3)
+      .cell(cold_replay.cycles_per_sec, 0)
+      .cell(cold_replay.commits_per_sec, 0);
+  bench::emit("throughput_replay", replay);
+  std::cout << "trace-replay second-cold speedup: " << replay_speedup
+            << "x vs live fast engine, " << replay_speedup_vs_ref
+            << "x vs reference engine (capture overhead "
+            << capture_overhead_pct << "%)\n\n";
+  std::filesystem::remove_all(trace_dir);
 
   // --- part 2: stepping throughput, per-cycle vs batched -----------------
   auto measure = [&](bool stepping) {
@@ -196,6 +240,14 @@ int main() {
          << "  \"cold_fast_commit_rate\": " << cold_fast.commits_per_sec
          << ",\n"
          << "  \"fast_engine_speedup\": " << engine_speedup << ",\n"
+         << "  \"cold_capture_seconds\": " << cold_capture.seconds << ",\n"
+         << "  \"capture_overhead_pct\": " << capture_overhead_pct << ",\n"
+         << "  \"cold_replay_seconds\": " << cold_replay.seconds << ",\n"
+         << "  \"cold_replay_step_rate\": " << cold_replay.cycles_per_sec
+         << ",\n"
+         << "  \"cold_replay_speedup\": " << replay_speedup << ",\n"
+         << "  \"cold_replay_speedup_vs_ref\": " << replay_speedup_vs_ref
+         << ",\n"
          << "  \"per_cycle_seconds\": " << per_cycle.seconds << ",\n"
          << "  \"per_cycle_step_rate\": " << per_cycle.cycles_per_sec << ",\n"
          << "  \"per_cycle_commit_rate\": " << per_cycle.commits_per_sec

@@ -38,6 +38,14 @@ trace_pct=$(json_field "$RESULT" trace_overhead_pct)
 swaps=$(json_field "$RESULT" swaps_per_run)
 [ -n "$trace_pct" ] && echo "check_perf: armed-trace overhead ${trace_pct}% (swaps/run ${swaps})"
 
+# Informational only (no gate — it depends on what the trace store already
+# holds on disk): the second-cold run served from captured micro-op traces,
+# versus the reference engine and the live fast engine in the same process.
+replay_vs_ref=$(json_field "$RESULT" cold_replay_speedup_vs_ref)
+replay_vs_live=$(json_field "$RESULT" cold_replay_speedup)
+capture_pct=$(json_field "$RESULT" capture_overhead_pct)
+[ -n "$replay_vs_ref" ] && echo "check_perf: trace-replay second-cold speedup ${replay_vs_ref}x vs reference (${replay_vs_live}x vs live fast engine, first-capture overhead ${capture_pct}%)"
+
 # Informational only (no gate): the N-core scalability sweep, when the
 # scalability_multicore bench has run in this directory. Reports how the
 # simulated core-cycle throughput and swap activity move with core count.

@@ -1,0 +1,71 @@
+// Shared FNV-1a checksum/hash helpers. One definition serves the run
+// cache's key hashing and the trace store's payload checksums so the two
+// on-disk caches cannot drift apart on hash flavor.
+//
+// FNV-1a is not cryptographic; it guards against truncation, bit rot and
+// partially-written files, not adversaries — both stores also re-validate
+// the full key text on load.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace amps {
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ULL;
+
+/// Folds `n` raw bytes into a running FNV-1a state (pass kFnv1aOffset to
+/// start a fresh checksum; chain calls to checksum disjoint regions).
+inline std::uint64_t fnv1a_bytes(const void* data, std::size_t n,
+                                 std::uint64_t h = kFnv1aOffset) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// FNV-1a of a string (same digest as fnv1a_bytes over its characters).
+inline std::uint64_t fnv1a(std::string_view s,
+                           std::uint64_t h = kFnv1aOffset) noexcept {
+  return fnv1a_bytes(s.data(), s.size(), h);
+}
+
+/// Four-lane FNV-1a over 8-byte little-endian words, for bulk payloads:
+/// the byte-serial chain above runs one multiply per byte back-to-back,
+/// which would dominate megabyte-scale checksums; four independent lanes
+/// process 32 bytes per round of pipelined multiplies (~30x faster). NOT
+/// digest-compatible with fnv1a_bytes — callers pick one flavor per field.
+/// `data` must hold at least n_words * 8 bytes; no alignment requirement.
+inline std::uint64_t fnv1a_words(const void* data, std::size_t n_words,
+                                 std::uint64_t h = kFnv1aOffset) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t lane[4] = {h, h ^ kFnv1aPrime, h ^ (kFnv1aPrime << 1),
+                           h ^ (kFnv1aPrime << 2)};
+  const auto load = [](const unsigned char* q) noexcept {
+    std::uint64_t w;
+    __builtin_memcpy(&w, q, sizeof w);
+    return w;
+  };
+  std::size_t i = 0;
+  for (; i + 4 <= n_words; i += 4) {
+    for (std::size_t l = 0; l < 4; ++l) {
+      lane[l] ^= load(p + (i + l) * 8);
+      lane[l] *= kFnv1aPrime;
+    }
+  }
+  for (; i < n_words; ++i) {
+    lane[i & 3] ^= load(p + i * 8);
+    lane[i & 3] *= kFnv1aPrime;
+  }
+  for (const std::uint64_t l : lane) {
+    h ^= l;
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+}  // namespace amps

@@ -34,4 +34,14 @@ std::uint64_t env_seed() {
 
 bool env_verbose() { return env_int("AMPS_VERBOSE", 0) != 0; }
 
+std::string env_trace_dir() {
+  if (auto dir = env_string("AMPS_TRACE_DIR")) return *dir;
+  if (auto cache = env_string("AMPS_CACHE_DIR")) return *cache + "/traces";
+  return {};
+}
+
+bool env_trace_replay() { return env_int("AMPS_TRACE_REPLAY", 1) != 0; }
+
+bool env_trace_capture() { return env_int("AMPS_TRACE_CAPTURE", 1) != 0; }
+
 }  // namespace amps

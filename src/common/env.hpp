@@ -1,9 +1,12 @@
 // Environment-variable knobs shared by benches and examples.
 //
-//   AMPS_SCALE   = ci | paper      (default ci)   — simulation scale preset
-//   AMPS_PAIRS   = <n>                            — #random benchmark pairs
-//   AMPS_SEED    = <n>                            — master experiment seed
-//   AMPS_VERBOSE = 0|1                            — extra logging
+//   AMPS_SCALE         = ci | paper  (default ci) — simulation scale preset
+//   AMPS_PAIRS         = <n>                      — #random benchmark pairs
+//   AMPS_SEED          = <n>                      — master experiment seed
+//   AMPS_VERBOSE       = 0|1                      — extra logging
+//   AMPS_TRACE_DIR     = <dir>                    — micro-op trace store dir
+//   AMPS_TRACE_REPLAY  = 0|1  (default 1)         — replay captured chunks
+//   AMPS_TRACE_CAPTURE = 0|1  (default 1)         — persist generated chunks
 #pragma once
 
 #include <cstdint>
@@ -30,5 +33,19 @@ std::uint64_t env_seed();
 
 /// True when AMPS_VERBOSE is set to a non-zero value.
 bool env_verbose();
+
+// --- micro-op trace store (workload/trace_store.hpp) ----------------------
+
+/// Directory of the on-disk micro-op trace store: AMPS_TRACE_DIR when set,
+/// otherwise "<AMPS_CACHE_DIR>/traces"; empty string when neither variable
+/// is set (store disabled).
+std::string env_trace_dir();
+
+/// True unless AMPS_TRACE_REPLAY=0: serve captured trace chunks instead of
+/// regenerating the stream.
+bool env_trace_replay();
+
+/// True unless AMPS_TRACE_CAPTURE=0: persist freshly generated chunks.
+bool env_trace_capture();
 
 }  // namespace amps

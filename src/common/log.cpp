@@ -1,5 +1,7 @@
 #include "common/log.hpp"
 
+#include <array>
+#include <atomic>
 #include <cstdarg>
 
 #include "common/env.hpp"
@@ -8,6 +10,7 @@ namespace amps {
 
 namespace {
 LogLevel g_level = env_verbose() ? LogLevel::Debug : LogLevel::Info;
+std::array<std::atomic<std::uint64_t>, 4> g_emitted{};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -23,9 +26,16 @@ const char* level_tag(LogLevel level) {
 LogLevel log_level() { return g_level; }
 void set_log_level(LogLevel level) { g_level = level; }
 
+std::uint64_t log_emit_count(LogLevel level) {
+  return g_emitted[static_cast<std::size_t>(level)].load(
+      std::memory_order_relaxed);
+}
+
 namespace detail {
 void vlog(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  g_emitted[static_cast<std::size_t>(level)].fetch_add(
+      1, std::memory_order_relaxed);
   std::fprintf(stderr, "[amps %s] ", level_tag(level));
   va_list args;
   va_start(args, fmt);

@@ -2,6 +2,8 @@
 // design (the simulator is single-threaded; harness workers log whole lines).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -13,6 +15,11 @@ enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
+/// Messages actually emitted at `level` so far (level-suppressed calls are
+/// not counted). Lets tests assert "exactly one warning" without capturing
+/// stderr.
+std::uint64_t log_emit_count(LogLevel level);
+
 namespace detail {
 void vlog(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
 }  // namespace detail
@@ -21,5 +28,17 @@ void vlog(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2,
 #define AMPS_LOG_INFO(...) ::amps::detail::vlog(::amps::LogLevel::Info, __VA_ARGS__)
 #define AMPS_LOG_WARN(...) ::amps::detail::vlog(::amps::LogLevel::Warn, __VA_ARGS__)
 #define AMPS_LOG_ERROR(...) ::amps::detail::vlog(::amps::LogLevel::Error, __VA_ARGS__)
+
+/// Emits the warning once per call site per process. Degraded-but-working
+/// states (unwritable cache dir, corrupt trace file) warn through this so a
+/// sweep of thousands of runs reports the condition exactly once instead of
+/// flooding stderr or staying silent.
+#define AMPS_LOG_WARN_ONCE(...)                                              \
+  do {                                                                       \
+    static ::std::atomic<bool> amps_warned_once_{false};                     \
+    if (!amps_warned_once_.exchange(true, ::std::memory_order_relaxed)) {    \
+      AMPS_LOG_WARN(__VA_ARGS__);                                            \
+    }                                                                        \
+  } while (0)
 
 }  // namespace amps

@@ -108,6 +108,15 @@ class Prng {
   std::size_t weighted(std::span<const double> weights) noexcept {
     double total = 0;
     for (double w : weights) total += w;
+    return weighted(weights, total);
+  }
+
+  /// Same draw with the weight total precomputed by the caller. The total
+  /// must be the left-to-right sum of `weights` (the order this class sums
+  /// them in) for the pick to be bit-identical to the summing overload;
+  /// hot paths that redraw from a fixed weight vector hoist the sum.
+  std::size_t weighted(std::span<const double> weights,
+                       double total) noexcept {
     double r = uniform() * total;
     for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
       r -= weights[i];

@@ -7,6 +7,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/checksum.hpp"
+#include "common/log.hpp"
 #include "common/stats.hpp"
 #include "core/hpe.hpp"
 #include "harness/cancel.hpp"
@@ -14,18 +16,6 @@
 namespace amps::harness {
 
 namespace {
-
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
-
-std::uint64_t fnv1a(std::string_view s) noexcept {
-  std::uint64_t h = kFnvOffset;
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= kFnvPrime;
-  }
-  return h;
-}
 
 // ---- serialization helpers ----------------------------------------------
 // Payloads are whitespace-separated tokens. Doubles round-trip bit-exactly
@@ -265,8 +255,19 @@ bool load_entry(std::string_view kind, const CacheKey& key, T* out) {
   return deserialize(in, out);
 }
 
-/// Best-effort atomic write (temp file + rename); failures are silent —
-/// the cache is an optimization, never a correctness dependency.
+/// One warning per process when the cache directory is unusable; the cache
+/// is an optimization, never a correctness dependency, so computation
+/// continues uncached — but silently pretending to cache would turn every
+/// "warm" sweep into a cold one with no hint why.
+void warn_cache_dir_unusable(const std::filesystem::path& dir) {
+  AMPS_LOG_WARN_ONCE(
+      "run cache: AMPS_CACHE_DIR '%s' is not writable — results will not "
+      "be persisted (runs continue uncached)",
+      dir.string().c_str());
+}
+
+/// Best-effort atomic write (temp file + rename); a failure warns once per
+/// process and falls through to in-memory-only operation.
 template <typename T>
 void store_entry(std::string_view kind, const CacheKey& key, const T& value) {
   const std::filesystem::path dir = cache_dir();
@@ -278,16 +279,23 @@ void store_entry(std::string_view kind, const CacheKey& key, const T& value) {
   tmp += ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return;
+    if (!out) {
+      warn_cache_dir_unusable(dir);
+      return;
+    }
     out << kFileHeader << '\n' << key.text() << '\n' << serialize(value);
     if (!out) {
       out.close();
       std::filesystem::remove(tmp, ec);
+      warn_cache_dir_unusable(dir);
       return;
     }
   }
   std::filesystem::rename(tmp, final_path, ec);
-  if (ec) std::filesystem::remove(tmp, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    warn_cache_dir_unusable(dir);
+  }
 }
 
 }  // namespace

@@ -54,6 +54,9 @@ class PowerAccountant {
   void on_l2_access() noexcept { ++l2_accesses_; }
   void on_memory_access() noexcept { ++memory_accesses_; }
   void on_cycle() noexcept { ++cycles_; }  // leakage
+  /// `n` cycles at once (quiet-window fast-forward; leakage is the only
+  /// per-cycle charge, so the fold is exact).
+  void on_cycles(std::uint64_t n) noexcept { cycles_ += n; }
 
   // --- queries ----------------------------------------------------------
   [[nodiscard]] Energy total() const noexcept;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <functional>
 #include <stdexcept>
 
 namespace amps::sim {
@@ -12,6 +11,33 @@ constexpr std::uint64_t kLineShift = 6;  // 64-byte fetch lines
 /// Ops the fast engine pre-decodes per stream refill. Any value yields the
 /// same consumed sequence; this just amortizes the source virtual call.
 constexpr std::size_t kFastDecodeBatch = 256;
+
+/// Per-class structural-resource flags. The per-op fetch and commit loops
+/// test these off one table byte instead of re-deriving each predicate;
+/// the bits encode exactly the is_int/is_fp/Load/Store combinations the
+/// reference stages check, in the same order.
+enum : std::uint8_t {
+  kNeedsIntReg = 1 << 0,  // integer arithmetic + loads
+  kNeedsFpReg = 1 << 1,   // fp arithmetic
+  kNeedsIntIsq = 1 << 2,  // integer arithmetic + branches
+  kNeedsFpIsq = 1 << 3,   // fp arithmetic
+  kNeedsLq = 1 << 4,
+  kNeedsSq = 1 << 5,
+};
+constexpr std::array<std::uint8_t, isa::kNumInstrClasses> kClassFlags = [] {
+  std::array<std::uint8_t, isa::kNumInstrClasses> t{};
+  for (std::size_t i = 0; i < isa::kNumInstrClasses; ++i) {
+    const auto c = static_cast<isa::InstrClass>(i);
+    std::uint8_t f = 0;
+    if (isa::is_int(c) || c == isa::InstrClass::Load) f |= kNeedsIntReg;
+    if (isa::is_fp(c)) f |= kNeedsFpReg | kNeedsFpIsq;
+    if (isa::is_int(c) || c == isa::InstrClass::Branch) f |= kNeedsIntIsq;
+    if (c == isa::InstrClass::Load) f |= kNeedsLq;
+    if (c == isa::InstrClass::Store) f |= kNeedsSq;
+    t[i] = f;
+  }
+  return t;
+}();
 
 /// All core-internal latencies are configured in *core* cycles; the
 /// simulator's timebase is the global (reference) clock, so a down-clocked
@@ -61,15 +87,19 @@ Core::Core(const CoreConfig& cfg, bool, uarch::SharedL2* shared_l2)
   lq_.reserve(cfg.lq_entries);
   sq_.reserve(cfg.sq_entries);
   f_op_.assign(cfg.rob_entries, isa::MicroOp{});
-  f_complete_.assign(cfg.rob_entries, 0);
-  f_issued_.assign(cfg.rob_entries, 0);
+  f_cls_.assign(cfg.rob_entries, 0);
+  f_complete_.assign(cfg.rob_entries, kNeverWake);
   f_ready_at_.assign(cfg.rob_entries, 0);
   f_wait_count_.assign(cfg.rob_entries, 0);
-  f_waiters_.resize(cfg.rob_entries);
+  f_waiter_head_.assign(cfg.rob_entries, kWaiterNil);
+  f_waiter_link_[0].assign(cfg.rob_entries, kWaiterNil);
+  f_waiter_link_[1].assign(cfg.rob_entries, kWaiterNil);
   f_int_q_.ready.reserve(cfg.int_isq_entries);
   f_fp_q_.ready.reserve(cfg.fp_isq_entries);
   f_lq_q_.ready.reserve(cfg.lq_entries);
   f_sq_q_.ready.reserve(cfg.sq_entries);
+  wheel_head_.assign(kWheelSlots, kWheelNil);
+  wheel_next_.assign(cfg.rob_entries, kWheelNil);
 }
 
 void Core::attach(ThreadContext* thread) {
@@ -104,11 +134,10 @@ ThreadContext* Core::detach() {
   fp_isq_.clear();
   lq_.clear();
   sq_.clear();
-  for (FastQueue* q : {&f_int_q_, &f_fp_q_, &f_lq_q_, &f_sq_q_}) {
+  for (FastQueue* q : {&f_int_q_, &f_fp_q_, &f_lq_q_, &f_sq_q_})
     q->ready.clear();
-    q->timed.clear();
-  }
-  for (auto& w : f_waiters_) w.clear();
+  wheel_clear();
+  std::fill(f_waiter_head_.begin(), f_waiter_head_.end(), kWaiterNil);
   int_regs_.clear();
   fp_regs_.clear();
   int_isq_slots_.clear();
@@ -152,19 +181,21 @@ void Core::reconfigure(const CoreConfig& cfg) {
 
   rob_.assign(cfg.rob_entries, RobEntry{});
   f_op_.assign(cfg.rob_entries, isa::MicroOp{});
-  f_complete_.assign(cfg.rob_entries, 0);
-  f_issued_.assign(cfg.rob_entries, 0);
+  f_cls_.assign(cfg.rob_entries, 0);
+  f_complete_.assign(cfg.rob_entries, kNeverWake);
   rob_head_ = 0;
   rob_count_ = 0;
   quiet_until_ = 0;
   quiet_stall_ = nullptr;
   f_ready_at_.assign(cfg.rob_entries, 0);
   f_wait_count_.assign(cfg.rob_entries, 0);
-  f_waiters_.assign(cfg.rob_entries, {});
-  for (FastQueue* q : {&f_int_q_, &f_fp_q_, &f_lq_q_, &f_sq_q_}) {
+  f_waiter_head_.assign(cfg.rob_entries, kWaiterNil);
+  f_waiter_link_[0].assign(cfg.rob_entries, kWaiterNil);
+  f_waiter_link_[1].assign(cfg.rob_entries, kWaiterNil);
+  for (FastQueue* q : {&f_int_q_, &f_fp_q_, &f_lq_q_, &f_sq_q_})
     q->ready.clear();
-    q->timed.clear();
-  }
+  wheel_clear();
+  wheel_next_.assign(cfg.rob_entries, kWheelNil);
   int_regs_.reset_capacity(cfg.int_rename_regs);
   fp_regs_.reset_capacity(cfg.fp_rename_regs);
   int_isq_slots_.reset_capacity(cfg.int_isq_entries);
@@ -220,6 +251,10 @@ void Core::tick(Cycles now) {
     }
     f_action_ = false;
     commit_stage_fast(now);
+    if (wheel_pending_ == 0 && wheel_far_.empty())
+      wheel_cursor_ = now;  // nothing parked: skip the bucket scan
+    else
+      wheel_drain(now);
     issue_stage_fast(now);
     fetch_stage_fast(now);
     maybe_quiesce(now);
@@ -228,6 +263,28 @@ void Core::tick(Cycles now) {
     issue_stage(now);
     fetch_stage(now);
   }
+}
+
+void Core::run_quiet(Cycles now, Cycles n) noexcept {
+  assert(cfg_.fast_engine && thread_ != nullptr && now + n <= quiet_until_);
+  // Per-cycle effects of the quiet path, folded: leakage and thread cycles
+  // accrue every global cycle; pool ticks and the stall-counter bump only
+  // happen on this core's own clock edges (tick() returns before them on
+  // divided non-edge cycles).
+  power_.on_cycles(n);
+  thread_->add_cycles(n);
+  Cycles edges = n;
+  if (cfg_.clock_divider > 1) {
+    const Cycles d = cfg_.clock_divider;
+    const Cycles first = (now + d - 1) / d * d;  // first edge >= now
+    edges = first < now + n ? (now + n - 1 - first) / d + 1 : 0;
+  }
+  if (edges == 0) return;
+  int_regs_.tick(edges);
+  fp_regs_.tick(edges);
+  int_isq_slots_.tick(edges);
+  fp_isq_slots_.tick(edges);
+  if (quiet_stall_ != nullptr) stalls_.*quiet_stall_ += edges;
 }
 
 void Core::commit_stage(Cycles now) {
@@ -484,33 +541,93 @@ void Core::fetch_stage(Cycles now) {
 // ---------------------------------------------------------------------------
 
 Core::FastQueue& Core::queue_of(isa::InstrClass cls) noexcept {
-  if (cls == isa::InstrClass::Load) return f_lq_q_;
-  if (cls == isa::InstrClass::Store) return f_sq_q_;
-  return isa::is_fp(cls) ? f_fp_q_ : f_int_q_;
+  static constexpr FastQueue Core::* kQueue[isa::kNumInstrClasses] = {
+      &Core::f_int_q_, &Core::f_int_q_, &Core::f_int_q_,  // INT alu/mul/div
+      &Core::f_fp_q_,  &Core::f_fp_q_,  &Core::f_fp_q_,   // FP alu/mul/div
+      &Core::f_lq_q_,  &Core::f_sq_q_,  &Core::f_int_q_,  // Load/Store/Branch
+  };
+  return this->*kQueue[static_cast<std::size_t>(cls)];
 }
 
 void Core::wake_waiters(std::size_t pidx, Cycles done) {
-  auto& ws = f_waiters_[pidx];
-  for (const std::uint32_t c : ws) {
-    f_ready_at_[c] = std::max(f_ready_at_[c], done);
-    if (--f_wait_count_[c] == 0) {
-      FastQueue& q = queue_of(f_op_[c].cls);
-      q.timed.emplace_back(f_ready_at_[c], c);
-      std::push_heap(q.timed.begin(), q.timed.end(),
-                     std::greater<std::pair<Cycles, std::uint32_t>>{});
-    }
-  }
-  ws.clear();
+  // Callers guard on a non-empty chain, so the first entry is real.
+  std::uint32_t e = f_waiter_head_[pidx];
+  f_waiter_head_[pidx] = kWaiterNil;
+  do {
+    const std::uint32_t c = e & ~(1u << kWaiterDepBit);
+    const std::uint32_t k = e >> kWaiterDepBit;
+    e = f_waiter_link_[k][c];
+    if (f_ready_at_[c] < done) f_ready_at_[c] = done;
+    if (--f_wait_count_[c] == 0) wheel_push(f_ready_at_[c], c);
+  } while (e != kWaiterNil);
 }
 
-void Core::drain_timed(FastQueue& q, Cycles now) {
-  while (!q.timed.empty() && q.timed.front().first <= now) {
-    std::pop_heap(q.timed.begin(), q.timed.end(),
-                  std::greater<std::pair<Cycles, std::uint32_t>>{});
-    const std::uint32_t idx = q.timed.back().second;
-    q.timed.pop_back();
-    insert_by_age(q.ready, idx);
+void Core::wheel_push(Cycles t, std::uint32_t idx) {
+  // Pushes always happen at the cycle the wheel was last drained to, so
+  // t - wheel_cursor_ is the (positive) wake distance. Within the wheel's
+  // span a bucket holds only ops waking exactly at its cycle (no aliasing:
+  // an alias would need a wake distance > kWheelSlots at push time).
+  if (t - wheel_cursor_ > kWheelSlots) {
+    wheel_far_.emplace_back(t, idx);
+    return;
   }
+  const std::size_t b = t & (kWheelSlots - 1);
+  wheel_next_[idx] = wheel_head_[b];
+  wheel_head_[b] = idx;
+  ++wheel_pending_;
+}
+
+void Core::wheel_drain(Cycles now) {
+  if (wheel_pending_ == 0 && wheel_far_.empty()) {
+    wheel_cursor_ = now;
+    return;
+  }
+  for (Cycles c = wheel_cursor_ + 1; c <= now; ++c) {
+    if (wheel_pending_ == 0) break;
+    const std::size_t b = c & (kWheelSlots - 1);
+    std::uint32_t idx = wheel_head_[b];
+    if (idx == kWheelNil) continue;
+    wheel_head_[b] = kWheelNil;
+    do {
+      const std::uint32_t next = wheel_next_[idx];
+      insert_by_age(queue_of(static_cast<isa::InstrClass>(f_cls_[idx])).ready,
+                    idx);
+      --wheel_pending_;
+      idx = next;
+    } while (idx != kWheelNil);
+  }
+  wheel_cursor_ = now;
+  if (!wheel_far_.empty()) {
+    // Far entries (wake distance beyond the wheel span at push time) are
+    // re-homed once they come into range; due ones go straight to ready.
+    // This runs after the bucket scan with the cursor already at `now`, so
+    // a re-homed bucket cannot be visited until its exact wake cycle.
+    for (std::size_t i = 0; i < wheel_far_.size();) {
+      const auto [t, idx] = wheel_far_[i];
+      if (t <= now) {
+        insert_by_age(queue_of(static_cast<isa::InstrClass>(f_cls_[idx])).ready,
+                      idx);
+      } else if (t - now <= kWheelSlots) {
+        const std::size_t b = t & (kWheelSlots - 1);
+        wheel_next_[idx] = wheel_head_[b];
+        wheel_head_[b] = idx;
+        ++wheel_pending_;
+      } else {
+        ++i;
+        continue;
+      }
+      wheel_far_[i] = wheel_far_.back();
+      wheel_far_.pop_back();
+    }
+  }
+}
+
+void Core::wheel_clear() noexcept {
+  if (wheel_pending_ != 0)
+    std::fill(wheel_head_.begin(), wheel_head_.end(), kWheelNil);
+  wheel_far_.clear();
+  wheel_pending_ = 0;
+  wheel_cursor_ = 0;
 }
 
 void Core::insert_by_age(std::vector<std::uint32_t>& ready,
@@ -539,19 +656,20 @@ void Core::commit_stage_fast(Cycles now) {
                                      : cfg_.commit_width;
   while (retired < width) {
     const std::size_t idx = head;
-    if (!f_issued_[idx] || f_complete_[idx] > now) break;
+    if (f_complete_[idx] > now) break;  // kNeverWake while unissued
 
-    const isa::InstrClass cls = f_op_[idx].cls;
+    const isa::InstrClass cls = static_cast<isa::InstrClass>(f_cls_[idx]);
+    const std::uint8_t fl = kClassFlags[f_cls_[idx]];
     thread_->committed().add(cls);
 
-    if (isa::is_int(cls) || cls == isa::InstrClass::Load)
+    if (fl & kNeedsIntReg)
       int_regs_.release();
-    else if (isa::is_fp(cls))
+    else if (fl & kNeedsFpReg)
       fp_regs_.release();
 
-    if (cls == isa::InstrClass::Load) {
+    if (fl & kNeedsLq) {
       lq_slots_.release();
-    } else if (cls == isa::InstrClass::Store) {
+    } else if (fl & kNeedsSq) {
       const auto acc = caches_.data_access(f_op_[idx].mem_addr, true, now);
       charge_mem(acc.level);
       sq_slots_.release();
@@ -573,14 +691,13 @@ void Core::commit_stage_fast(Cycles now) {
 void Core::issue_stage_fast(Cycles now) {
   unsigned budget = cfg_.issue_width;
 
-  // Move every op whose wake time has arrived into the age-ordered ready
-  // list, then select oldest-first exactly like the reference scan would:
-  // a structural hazard keeps the op (out-of-order select passes it over),
-  // an exhausted budget keeps the rest untouched.
+  // wheel_drain already moved every op whose wake time has arrived into
+  // the age-ordered ready lists; select oldest-first exactly like the
+  // reference scan would: a structural hazard keeps the op (out-of-order
+  // select passes it over), an exhausted budget keeps the rest untouched.
   const auto drain = [&](FastQueue& q, bool has_branches,
                          uarch::ResourcePool& slots) {
     if (budget == 0) return;  // nothing can issue; ready ops simply wait
-    drain_timed(q, now);
     std::size_t out = 0;
     const std::size_t n = q.ready.size();
     for (std::size_t i = 0; i < n; ++i) {
@@ -591,7 +708,7 @@ void Core::issue_stage_fast(Cycles now) {
         continue;
       }
       f_action_ = true;  // a ready op issues or contends for a unit
-      const isa::InstrClass cls = f_op_[idx].cls;
+      const auto cls = static_cast<isa::InstrClass>(f_cls_[idx]);
       Cycles done = 0;
       if (has_branches && cls == isa::InstrClass::Branch) {
         if (branch_port_free_ <= now) {
@@ -606,53 +723,42 @@ void Core::issue_stage_fast(Cycles now) {
         ++out;
         continue;
       }
-      f_issued_[idx] = 1;
       f_complete_[idx] = done;
       power_.on_issue(cls);
       slots.release();
       --budget;
-      wake_waiters(idx, done);
+      if (f_waiter_head_[idx] != kWaiterNil) wake_waiters(idx, done);
     }
     q.ready.resize(out);
   };
-  // A queue with nothing ready and nothing due keeps out of the tick
-  // entirely (common for the FP queue on integer code and vice versa).
-  const auto live = [now](const FastQueue& q) {
-    return !q.ready.empty() ||
-           (!q.timed.empty() && q.timed.front().first <= now);
-  };
-  if (live(f_int_q_)) drain(f_int_q_, /*has_branches=*/true, int_isq_slots_);
-  if (live(f_fp_q_)) drain(f_fp_q_, /*has_branches=*/false, fp_isq_slots_);
+  // A queue with nothing ready keeps out of the tick entirely (common for
+  // the FP queue on integer code and vice versa).
+  if (!f_int_q_.ready.empty())
+    drain(f_int_q_, /*has_branches=*/true, int_isq_slots_);
+  if (!f_fp_q_.ready.empty())
+    drain(f_fp_q_, /*has_branches=*/false, fp_isq_slots_);
 
   // One load per cycle through the load port (oldest ready), then one
   // store (address generation only).
-  if (budget > 0 && live(f_lq_q_)) {
-    drain_timed(f_lq_q_, now);
-    if (!f_lq_q_.ready.empty()) {
-      const std::uint32_t idx = f_lq_q_.ready.front();
-      f_action_ = true;
-      const auto acc = caches_.data_access(f_op_[idx].mem_addr, false, now);
-      charge_mem(acc.level);
-      f_issued_[idx] = 1;
-      const Cycles done = now + 1 + acc.latency;
-      f_complete_[idx] = done;
-      power_.on_issue(isa::InstrClass::Load);
-      f_lq_q_.ready.erase(f_lq_q_.ready.begin());
-      --budget;
-      wake_waiters(idx, done);
-    }
+  if (budget > 0 && !f_lq_q_.ready.empty()) {
+    const std::uint32_t idx = f_lq_q_.ready.front();
+    f_action_ = true;
+    const auto acc = caches_.data_access(f_op_[idx].mem_addr, false, now);
+    charge_mem(acc.level);
+    const Cycles done = now + 1 + acc.latency;
+    f_complete_[idx] = done;
+    power_.on_issue(isa::InstrClass::Load);
+    f_lq_q_.ready.erase(f_lq_q_.ready.begin());
+    --budget;
+    if (f_waiter_head_[idx] != kWaiterNil) wake_waiters(idx, done);
   }
-  if (budget > 0 && live(f_sq_q_)) {
-    drain_timed(f_sq_q_, now);
-    if (!f_sq_q_.ready.empty()) {
-      const std::uint32_t idx = f_sq_q_.ready.front();
-      f_action_ = true;
-      f_issued_[idx] = 1;
-      f_complete_[idx] = now + 1;
-      power_.on_issue(isa::InstrClass::Store);
-      f_sq_q_.ready.erase(f_sq_q_.ready.begin());
-      wake_waiters(idx, now + 1);
-    }
+  if (budget > 0 && !f_sq_q_.ready.empty()) {
+    const std::uint32_t idx = f_sq_q_.ready.front();
+    f_action_ = true;
+    f_complete_[idx] = now + 1;
+    power_.on_issue(isa::InstrClass::Store);
+    f_sq_q_.ready.erase(f_sq_q_.ready.begin());
+    if (f_waiter_head_[idx] != kWaiterNil) wake_waiters(idx, now + 1);
   }
 }
 
@@ -661,7 +767,7 @@ void Core::fetch_stage_fast(Cycles now) {
     if (redirect_seq_ < head_seq_) {
       redirect_pending_ = false;
       f_action_ = true;
-    } else if (f_issued_[redirect_idx_] && f_complete_[redirect_idx_] <= now) {
+    } else if (f_complete_[redirect_idx_] <= now) {
       fetch_resume_at_ = std::max(fetch_resume_at_,
                                   f_complete_[redirect_idx_] +
                                       cfg_.mispredict_penalty);
@@ -677,6 +783,7 @@ void Core::fetch_stage_fast(Cycles now) {
     return;
   }
 
+  unsigned dispatched = 0;  // fetch/rename/dispatch counts fold after loop
   for (unsigned i = 0; i < cfg_.fetch_width; ++i) {
     if (rob_count_ == cfg_.rob_entries) {
       ++stalls_.rob_full;
@@ -698,30 +805,28 @@ void Core::fetch_stage_fast(Cycles now) {
     }
 
     const isa::InstrClass cls = op.cls;
-    const bool needs_int_reg = isa::is_int(cls) || cls == isa::InstrClass::Load;
-    const bool needs_fp_reg = isa::is_fp(cls);
-    if (needs_int_reg && int_regs_.available() == 0) {
+    const std::uint8_t fl = kClassFlags[static_cast<std::size_t>(cls)];
+    if ((fl & kNeedsIntReg) && int_regs_.available() == 0) {
       ++stalls_.int_reg;
       break;
     }
-    if (needs_fp_reg && fp_regs_.available() == 0) {
+    if ((fl & kNeedsFpReg) && fp_regs_.available() == 0) {
       ++stalls_.fp_reg;
       break;
     }
-    if ((isa::is_int(cls) || cls == isa::InstrClass::Branch) &&
-        int_isq_slots_.available() == 0) {
+    if ((fl & kNeedsIntIsq) && int_isq_slots_.available() == 0) {
       ++stalls_.int_isq_full;
       break;
     }
-    if (isa::is_fp(cls) && fp_isq_slots_.available() == 0) {
+    if ((fl & kNeedsFpIsq) && fp_isq_slots_.available() == 0) {
       ++stalls_.fp_isq_full;
       break;
     }
-    if (cls == isa::InstrClass::Load && lq_slots_.available() == 0) {
+    if ((fl & kNeedsLq) && lq_slots_.available() == 0) {
       ++stalls_.lsq_full;
       break;
     }
-    if (cls == isa::InstrClass::Store && sq_slots_.available() == 0) {
+    if ((fl & kNeedsSq) && sq_slots_.available() == 0) {
       ++stalls_.lsq_full;
       break;
     }
@@ -732,17 +837,15 @@ void Core::fetch_stage_fast(Cycles now) {
     if (idx >= cfg_.rob_entries) idx -= cfg_.rob_entries;
     const std::uint64_t seq = thread_->next_seq();
     f_op_[idx] = op;
-    f_complete_[idx] = 0;
-    f_issued_[idx] = 0;
+    f_cls_[idx] = static_cast<std::uint8_t>(cls);
+    f_complete_[idx] = kNeverWake;  // doubles as the "unissued" marker
     ++rob_count_;
+    ++dispatched;
     thread_->advance_seq();
     thread_->pop();
 
-    power_.on_fetch(1);
-    power_.on_rename(1);
-    power_.on_dispatch(1);
-    if (needs_int_reg) int_regs_.acquire();
-    if (needs_fp_reg) fp_regs_.acquire();
+    if (fl & kNeedsIntReg) int_regs_.acquire();
+    if (fl & kNeedsFpReg) fp_regs_.acquire();
 
     // Resolve producers once, eagerly: an already-issued producer's
     // completion time is final and folds straight into the op's wake
@@ -750,21 +853,23 @@ void Core::fetch_stage_fast(Cycles now) {
     // retired producer (seq below head) constrains nothing.
     f_ready_at_[idx] = 0;
     f_wait_count_[idx] = 0;
-    const auto link = [&](std::uint16_t dist) {
+    const auto link = [&](std::uint16_t dist, std::uint32_t dep_slot) {
       if (dist == 0 || dist > seq) return;      // no register dependence
       const std::uint64_t ps = seq - dist;
       if (ps < head_seq_) return;               // producer already retired
       std::size_t off = rob_head_ + static_cast<std::size_t>(ps - head_seq_);
       if (off >= cfg_.rob_entries) off -= cfg_.rob_entries;
-      if (f_issued_[off]) {
+      if (f_complete_[off] != kNeverWake) {
         f_ready_at_[idx] = std::max(f_ready_at_[idx], f_complete_[off]);
       } else {
-        f_waiters_[off].push_back(static_cast<std::uint32_t>(idx));
+        f_waiter_link_[dep_slot][idx] = f_waiter_head_[off];
+        f_waiter_head_[off] =
+            static_cast<std::uint32_t>(idx) | (dep_slot << kWaiterDepBit);
         ++f_wait_count_[idx];
       }
     };
-    link(op.dep1);
-    link(op.dep2);
+    link(op.dep1, 0);
+    link(op.dep2, 1);
 
     bool mispredicted = false;
     switch (cls) {
@@ -782,23 +887,19 @@ void Core::fetch_stage_fast(Cycles now) {
         int_isq_slots_.acquire();
         break;
       default:
-        if (needs_fp_reg)
+        if (fl & kNeedsFpReg)
           fp_isq_slots_.acquire();
         else
           int_isq_slots_.acquire();
         break;
     }
     if (f_wait_count_[idx] == 0) {
-      FastQueue& q = queue_of(cls);
       if (f_ready_at_[idx] <= now) {
         // Already wakeable, and as the youngest in-flight op it belongs
-        // at the ready tail — skip the timed heap entirely.
-        q.ready.push_back(static_cast<std::uint32_t>(idx));
+        // at the ready tail — skip the timing wheel entirely.
+        queue_of(cls).ready.push_back(static_cast<std::uint32_t>(idx));
       } else {
-        q.timed.emplace_back(f_ready_at_[idx],
-                             static_cast<std::uint32_t>(idx));
-        std::push_heap(q.timed.begin(), q.timed.end(),
-                       std::greater<std::pair<Cycles, std::uint32_t>>{});
+        wheel_push(f_ready_at_[idx], static_cast<std::uint32_t>(idx));
       }
     }
 
@@ -808,6 +909,11 @@ void Core::fetch_stage_fast(Cycles now) {
       redirect_idx_ = static_cast<std::uint32_t>(idx);
       break;
     }
+  }
+  if (dispatched != 0) {
+    power_.on_fetch(dispatched);
+    power_.on_rename(dispatched);
+    power_.on_dispatch(dispatched);
   }
 }
 
@@ -824,20 +930,31 @@ void Core::maybe_quiesce(Cycles now) noexcept {
   // resume/commit condition. Until then every tick repeats exactly one
   // stall-counter bump, which the quiet path in tick() replays.
   Cycles t = kNeverWake;
-  if (rob_count_ > 0 && f_issued_[rob_head_])
-    t = std::min(t, f_complete_[rob_head_]);
+  if (rob_count_ > 0) t = std::min(t, f_complete_[rob_head_]);
   // Every due op was drained into a ready list this tick and walked (each
   // walked op sets f_action_), so with f_action_ false the ready lists
-  // are empty and each heap's top bounds its queue's next wakeup. Ops
-  // still waiting on producers are transitively behind some timed op or
-  // the head's latched completion.
-  for (const FastQueue* q : {&f_int_q_, &f_fp_q_, &f_lq_q_, &f_sq_q_}) {
+  // are empty and the earliest parked wheel entry bounds the next wakeup.
+  // Ops still waiting on producers are transitively behind some parked op
+  // or the head's latched completion.
+  for (const FastQueue* q : {&f_int_q_, &f_fp_q_, &f_lq_q_, &f_sq_q_})
     if (!q->ready.empty()) return;  // not provably idle
-    if (!q->timed.empty()) t = std::min(t, q->timed.front().first);
+  if (wheel_pending_ != 0) {
+    // Buckets map 1:1 to cycles within the span (see wheel_push), so the
+    // first non-empty bucket past `now` is the exact earliest wake. The
+    // scan stops at `t`: a later wake cannot shrink the window, and each
+    // bucket probed is a cycle the quiet path then skips.
+    const Cycles bound = std::min(t, now + kWheelSlots);
+    for (Cycles c = now + 1; c <= bound; ++c) {
+      if (wheel_head_[c & (kWheelSlots - 1)] != kWheelNil) {
+        t = c;
+        break;
+      }
+    }
   }
+  for (const auto& far : wheel_far_) t = std::min(t, far.first);
 
   if (redirect_pending_) {
-    if (f_issued_[redirect_idx_]) t = std::min(t, f_complete_[redirect_idx_]);
+    t = std::min(t, f_complete_[redirect_idx_]);
     quiet_stall_ = &StallStats::redirect;
   } else if (now < fetch_resume_at_) {
     t = std::min(t, fetch_resume_at_);
@@ -849,20 +966,18 @@ void Core::maybe_quiesce(Cycles now) noexcept {
     // order to find the counter it bumps each cycle. The peeked op cannot
     // change during the window (nothing pops the ring while quiet).
     const isa::InstrClass cls = thread_->peek().cls;
-    const bool needs_int_reg = isa::is_int(cls) || cls == isa::InstrClass::Load;
-    const bool needs_fp_reg = isa::is_fp(cls);
-    if (needs_int_reg && int_regs_.available() == 0)
+    const std::uint8_t fl = kClassFlags[static_cast<std::size_t>(cls)];
+    if ((fl & kNeedsIntReg) && int_regs_.available() == 0)
       quiet_stall_ = &StallStats::int_reg;
-    else if (needs_fp_reg && fp_regs_.available() == 0)
+    else if ((fl & kNeedsFpReg) && fp_regs_.available() == 0)
       quiet_stall_ = &StallStats::fp_reg;
-    else if ((isa::is_int(cls) || cls == isa::InstrClass::Branch) &&
-             int_isq_slots_.available() == 0)
+    else if ((fl & kNeedsIntIsq) && int_isq_slots_.available() == 0)
       quiet_stall_ = &StallStats::int_isq_full;
-    else if (isa::is_fp(cls) && fp_isq_slots_.available() == 0)
+    else if ((fl & kNeedsFpIsq) && fp_isq_slots_.available() == 0)
       quiet_stall_ = &StallStats::fp_isq_full;
-    else if (cls == isa::InstrClass::Load && lq_slots_.available() == 0)
+    else if ((fl & kNeedsLq) && lq_slots_.available() == 0)
       quiet_stall_ = &StallStats::lsq_full;
-    else if (cls == isa::InstrClass::Store && sq_slots_.available() == 0)
+    else if ((fl & kNeedsSq) && sq_slots_.available() == 0)
       quiet_stall_ = &StallStats::lsq_full;
     else
       return;  // would have fetched — not provably idle, keep ticking

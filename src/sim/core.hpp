@@ -70,6 +70,23 @@ class Core {
   /// core only burns leakage.
   void tick(Cycles now);
 
+  /// Exclusive end of the provably-idle window maybe_quiesce latched: every
+  /// tick at a cycle below the horizon takes the quiet path. 0 when the
+  /// core is not quiescent (reference engine, idle core, or active work).
+  /// Systems use this to fast-forward whole quiet spans in O(1).
+  [[nodiscard]] Cycles quiet_horizon() const noexcept {
+    return (cfg_.fast_engine && thread_ != nullptr) ? quiet_until_ : 0;
+  }
+
+  /// Replays `n` consecutive quiet ticks starting at cycle `now` in O(1) —
+  /// bit-identical to calling tick(now) .. tick(now+n-1). Caller must
+  /// guarantee now + n <= quiet_horizon().
+  void run_quiet(Cycles now, Cycles n) noexcept;
+
+  /// Replays `n` idle (no thread attached) ticks in O(1): leakage only,
+  /// exactly like n tick() calls on a detached core.
+  void run_idle(Cycles n) noexcept { power_.on_cycles(n); }
+
   /// Core morphing (paper ref. [5]): rebuilds the execution datapath and
   /// window structures to `cfg` while keeping caches, predictor state and
   /// the accumulated energy ledger. Only legal while no thread is attached
@@ -129,16 +146,14 @@ class Core {
   };
 
   /// One fast-engine wait queue (INT/FP issue queue, LQ or SQ). Waiting
-  /// ops are never scanned: an op with unissued producers sits outside
-  /// both lists until the waiter chains (f_waiters_) deliver its last
-  /// producer's completion; an op whose wake time is known waits in
-  /// `timed` (a min-heap on that time) and moves to `ready` when due.
-  /// `ready` is kept oldest-first, so selection walks exactly the ops the
-  /// reference engine's full scan would have found ready, in the same
-  /// order.
+  /// ops are never scanned: an op with unissued producers sits outside the
+  /// ready list until the waiter chains (f_waiter_head_) deliver its last
+  /// producer's completion; an op whose wake time is known parks in the
+  /// core's timing wheel and moves to `ready` when due. `ready` is kept
+  /// oldest-first, so selection walks exactly the ops the reference
+  /// engine's full scan would have found ready, in the same order.
   struct FastQueue {
     std::vector<std::uint32_t> ready;  ///< ring slots, oldest first
-    std::vector<std::pair<Cycles, std::uint32_t>> timed;  ///< min-heap
   };
 
   // Reference (escape-hatch) engine: one-entry-at-a-time, kept verbatim.
@@ -153,10 +168,17 @@ class Core {
   void fetch_stage_fast(Cycles now);
   void maybe_quiesce(Cycles now) noexcept;
   /// Delivers an issued producer's completion time to every op waiting on
-  /// ring slot `pidx`; ops whose last producer this was enter their
-  /// queue's timed heap.
+  /// ring slot `pidx`; ops whose last producer this was park in the
+  /// timing wheel until their wake time.
   void wake_waiters(std::size_t pidx, Cycles done);
-  void drain_timed(FastQueue& q, Cycles now);
+  /// Parks ring slot `idx` in the timing wheel to wake at cycle `t`
+  /// (strictly in the future of the last wheel_drain).
+  void wheel_push(Cycles t, std::uint32_t idx);
+  /// Moves every parked op whose wake time has arrived into its queue's
+  /// age-ordered ready list. Must run once per pipeline tick, before the
+  /// issue stage.
+  void wheel_drain(Cycles now);
+  void wheel_clear() noexcept;
   void insert_by_age(std::vector<std::uint32_t>& ready, std::uint32_t idx);
   [[nodiscard]] FastQueue& queue_of(isa::InstrClass cls) noexcept;
 
@@ -196,22 +218,48 @@ class Core {
   // rob_head_/rob_count_/head_seq_ are shared). The full op is read at
   // dispatch, load issue, store commit and squash.
   std::vector<isa::MicroOp> f_op_;
+  std::vector<std::uint8_t> f_cls_;  ///< f_op_[i].cls, packed for hot loops
+  /// Completion cycle once issued; kNeverWake while the op sits unissued
+  /// (so commit's head test is a single compare, no separate issued flag).
   std::vector<Cycles> f_complete_;
-  std::vector<std::uint8_t> f_issued_;
 
   // Event-driven wakeup state, indexed by ROB ring slot. At dispatch each
-  // live unissued producer records the new op in its waiter list; when the
+  // live unissued producer records the new op in its waiter chain; when the
   // producer issues, its (final) completion time folds into f_ready_at_
   // and f_wait_count_ drops. A producer cannot retire without issuing
   // first, and a consumer cannot outlive its producers' slots, so waiter
-  // lists drain before any slot is reused. The inner vectors keep their
-  // capacity across clear(), so steady state allocates nothing.
+  // chains drain before any slot is reused.
+  //
+  // Chains are flat and intrusive: a consumer waits on at most two
+  // producers (dep1/dep2), so one link per (consumer, dep slot) threads
+  // every chain with zero heap traffic. Entries pack the consumer slot
+  // with the dep-slot bit (kWaiterDepBit); chain order is reverse dispatch
+  // order, which is invisible — f_ready_at_ folds via max and the timing
+  // wheel re-sorts ready ops by age.
+  static constexpr std::uint32_t kWaiterNil = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kWaiterDepBit = 31;
   std::vector<Cycles> f_ready_at_;          ///< max folded completion
   std::vector<std::uint8_t> f_wait_count_;  ///< unissued producers left
-  std::vector<std::vector<std::uint32_t>> f_waiters_;
+  std::vector<std::uint32_t> f_waiter_head_;     ///< per producer slot
+  std::vector<std::uint32_t> f_waiter_link_[2];  ///< per consumer, per dep
   FastQueue f_int_q_, f_fp_q_, f_lq_q_, f_sq_q_;
   static constexpr Cycles kNeverWake = ~Cycles{0};
   std::uint32_t redirect_idx_ = 0;  // ring slot of the mispredicted branch
+
+  // Timing wheel: O(1) park/wake replacing per-queue binary heaps. One
+  // bucket per future cycle (mod kWheelSlots); each bucket is an intrusive
+  // singly-linked list threaded through wheel_next_ (a ROB slot waits on at
+  // most one wake time, so one link per slot suffices). All wake times lie
+  // within the pipeline's maximum latency (a DRAM access plus small
+  // constants, well under kWheelSlots); the rare farther entry — possible
+  // only through pathological config values — parks in wheel_far_.
+  static constexpr std::size_t kWheelSlots = 2048;  // > max wake distance
+  static constexpr std::uint32_t kWheelNil = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> wheel_head_;  ///< kWheelSlots buckets
+  std::vector<std::uint32_t> wheel_next_;  ///< per-ROB-slot bucket link
+  std::vector<std::pair<Cycles, std::uint32_t>> wheel_far_;
+  std::size_t wheel_pending_ = 0;  ///< entries parked in buckets
+  Cycles wheel_cursor_ = 0;        ///< buckets drained through this cycle
 
   // Fast-engine quiescence. When a full tick performs no architected work
   // (no commit, no wakeup, fetch blocked), every future effect is gated on

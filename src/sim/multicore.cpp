@@ -1,5 +1,6 @@
 #include "sim/multicore.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -81,6 +82,26 @@ void MulticoreSystem::step() {
   ++now_;
 }
 
+Cycles MulticoreSystem::idle_fast_forward(Cycles limit) {
+  Cycles h = std::min(limit, next_resume_at());
+  if (h <= now_) return 0;
+  for (const Slot& slot : slots_) {
+    if (slot.core->thread() == nullptr) continue;  // detached: leakage only
+    h = std::min(h, slot.core->quiet_horizon());
+    if (h <= now_) return 0;
+  }
+  const Cycles jump = h - now_;
+  for (Slot& slot : slots_) {
+    if (slot.core->thread() == nullptr)
+      slot.core->run_idle(jump);
+    else
+      slot.core->run_quiet(now_, jump);
+  }
+  now_ += jump;
+  AMPS_COUNTER_ADD("sim.idle_ff_cycles", jump);
+  return jump;
+}
+
 Cycles MulticoreSystem::step_until(Cycles until_cycle,
                                    InstrCount commit_budget) {
   const Cycles start = now_;
@@ -91,6 +112,7 @@ Cycles MulticoreSystem::step_until(Cycles until_cycle,
   for (std::size_t i = 0; i < slots_.size(); ++i)
     step_until_base_[i] = slots_[i].thread->committed_total();
   while (now_ < until_cycle) {
+    if (idle_fast_forward(until_cycle) != 0) continue;
     step();
     bool budget_hit = false;
     for (std::size_t i = 0; i < slots_.size(); ++i) {

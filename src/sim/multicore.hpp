@@ -78,6 +78,12 @@ class MulticoreSystem {
   [[nodiscard]] Energy total_energy() const noexcept;
 
  private:
+  /// O(1) jump through a span where every core is either detached
+  /// (migrating: leakage only) or quiescent. Bounded by `limit` and by the
+  /// earliest pending-migration resume (step() must observe that cycle to
+  /// re-attach). Returns cycles jumped, 0 when some core has live work.
+  Cycles idle_fast_forward(Cycles limit);
+
   struct Slot {
     std::unique_ptr<Core> core;
     ThreadContext* thread = nullptr;

@@ -1,5 +1,6 @@
 #include "sim/system.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -78,6 +79,32 @@ void DualCoreSystem::step() {
   ++now_;
 }
 
+Cycles DualCoreSystem::idle_fast_forward(Cycles limit) {
+  if (now_ >= limit) return 0;
+  if (swap_pending_) {
+    // Both cores are detached until the swap resumes: pure leakage.
+    if (now_ >= swap_resume_at_) return 0;  // step() re-attaches
+    const Cycles jump = std::min(swap_resume_at_, limit) - now_;
+    cores_[0]->run_idle(jump);
+    cores_[1]->run_idle(jump);
+    now_ += jump;
+    AMPS_COUNTER_ADD("sim.idle_ff_cycles", jump);
+    return jump;
+  }
+  // Both cores quiescent: each tick in the span is a counter bump the
+  // cores replay in bulk. Quiet cycles commit nothing and request nothing,
+  // so no swap/budget condition can arise inside the span.
+  const Cycles h = std::min({cores_[0]->quiet_horizon(),
+                             cores_[1]->quiet_horizon(), limit});
+  if (h <= now_) return 0;
+  const Cycles jump = h - now_;
+  cores_[0]->run_quiet(now_, jump);
+  cores_[1]->run_quiet(now_, jump);
+  now_ += jump;
+  AMPS_COUNTER_ADD("sim.idle_ff_cycles", jump);
+  return jump;
+}
+
 Cycles DualCoreSystem::step_until(Cycles until_cycle,
                                   InstrCount commit_budget) {
   assert(threads_[0] != nullptr && threads_[1] != nullptr);
@@ -85,6 +112,7 @@ Cycles DualCoreSystem::step_until(Cycles until_cycle,
   const InstrCount base0 = threads_[0]->committed_total();
   const InstrCount base1 = threads_[1]->committed_total();
   while (now_ < until_cycle) {
+    if (idle_fast_forward(until_cycle) != 0) continue;
     step();
     if (threads_[0]->committed_total() - base0 >= commit_budget ||
         threads_[1]->committed_total() - base1 >= commit_budget)
@@ -98,9 +126,12 @@ Cycles DualCoreSystem::step_until(Cycles until_cycle,
 Cycles DualCoreSystem::run_until_committed(InstrCount target,
                                            Cycles max_cycles) {
   const Cycles start = now_;
+  const Cycles limit =
+      max_cycles != 0 ? start + max_cycles : ~Cycles{0};
   while (threads_[0]->committed_total() < target ||
          threads_[1]->committed_total() < target) {
     if (max_cycles != 0 && now_ - start >= max_cycles) break;
+    if (idle_fast_forward(limit) != 0) continue;
     step();
   }
   return now_ - start;

@@ -99,6 +99,13 @@ class DualCoreSystem {
   }
 
  private:
+  /// O(1) jump through a provably-idle span: a pending swap window (both
+  /// cores detached, leakage only) or a window where both cores are
+  /// quiescent (each tick a counter bump). Advances now_ by the jumped
+  /// span, never past `limit`, and returns the cycles jumped (0 when not
+  /// idle). Bit-identical to stepping cycle by cycle.
+  Cycles idle_fast_forward(Cycles limit);
+
   std::unique_ptr<uarch::SharedL2> shared_l2_;  // must precede cores_
   std::array<std::unique_ptr<Core>, 2> cores_;
   std::array<ThreadContext*, 2> threads_{};  // logical assignment

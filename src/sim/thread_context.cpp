@@ -2,12 +2,13 @@
 
 #include <vector>
 
+#include "workload/trace_store.hpp"
+
 namespace amps::sim {
 
 ThreadContext::ThreadContext(ThreadId id, const wl::BenchmarkSpec& spec,
                              std::uint64_t instance_seed)
-    : id_(id),
-      source_(std::make_unique<wl::StreamSource>(spec, instance_seed)) {}
+    : id_(id), source_(wl::make_op_source(spec, instance_seed)) {}
 
 ThreadContext::ThreadContext(ThreadId id, std::unique_ptr<wl::OpSource> source)
     : id_(id), source_(std::move(source)) {}

@@ -17,8 +17,10 @@ namespace amps::sim {
 
 class ThreadContext {
  public:
-  /// Statistical-model thread (the default): draws from an
-  /// InstructionStream built over `spec`.
+  /// Statistical-model thread (the default): draws from `spec`'s stream
+  /// via wl::make_op_source, so every runner picks up trace-store
+  /// capture/replay (AMPS_TRACE_* knobs) through this one constructor. The
+  /// consumed op sequence is bit-identical with the store on or off.
   ThreadContext(ThreadId id, const wl::BenchmarkSpec& spec,
                 std::uint64_t instance_seed = 0);
 

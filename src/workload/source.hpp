@@ -37,7 +37,7 @@ class StreamSource final : public OpSource {
 
   isa::MicroOp next() override { return stream_.next(); }
   void next_batch(isa::MicroOp* out, std::size_t n) override {
-    for (std::size_t i = 0; i < n; ++i) out[i] = stream_.next();
+    stream_.next_batch(out, n);
   }
   [[nodiscard]] const std::string& name() const noexcept override {
     return stream_.spec().name;

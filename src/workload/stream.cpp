@@ -1,6 +1,7 @@
 #include "workload/stream.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace amps::wl {
 
@@ -22,20 +23,22 @@ InstructionStream::InstructionStream(const BenchmarkSpec& spec,
   enter_phase(0);
 }
 
-void InstructionStream::enter_phase(std::size_t idx) {
+void InstructionStream::set_phase_constants(std::size_t idx) {
   phase_idx_ = idx;
   const PhaseSpec& p = spec_->phases[idx];
-  const double jit = rng_.uniform(1.0 - p.dwell_jitter, 1.0 + p.dwell_jitter);
-  const double dwell = std::max(1.0, p.dwell_mean * jit);
-  remaining_in_phase_ =
-      dwell >= 1e18 ? ~0ULL : static_cast<std::uint64_t>(dwell);
   for (std::size_t i = 0; i < isa::kNumInstrClasses; ++i)
     class_weights_[i] = p.mix[static_cast<isa::InstrClass>(i)];
-  // Hot-path constants of this phase: the weight total (summed in the same
+  // Hot-path constants of this phase: the weight totals (summed in the same
   // order Prng::weighted would) and the geometric denominators of the four
   // dependence-distance distributions used by next().
   weight_total_ = 0.0;
   for (double w : class_weights_) weight_total_ += w;
+  trans_row_total_ = 0.0;
+  if (!spec_->transitions.empty()) {
+    const std::size_t n = spec_->phases.size();
+    const double* row = spec_->transitions.data() + idx * n;
+    for (std::size_t i = 0; i < n; ++i) trans_row_total_ += row[i];
+  }
   const auto dep = [](double mean) {
     DepDist d;
     const double prob = 1.0 / std::max(1.0, mean);
@@ -50,6 +53,15 @@ void InstructionStream::enter_phase(std::size_t idx) {
   dep_dist_[kDepInt2] = dep(p.dep_mean_int * 2.0);
   dep_dist_[kDepFp] = dep(p.dep_mean_fp);
   dep_dist_[kDepFp2] = dep(p.dep_mean_fp * 2.0);
+}
+
+void InstructionStream::enter_phase(std::size_t idx) {
+  set_phase_constants(idx);
+  const PhaseSpec& p = spec_->phases[idx];
+  const double jit = rng_.uniform(1.0 - p.dwell_jitter, 1.0 + p.dwell_jitter);
+  const double dwell = std::max(1.0, p.dwell_mean * jit);
+  remaining_in_phase_ =
+      dwell >= 1e18 ? ~0ULL : static_cast<std::uint64_t>(dwell);
   code_offset_ = 0;
   stream_ptr_ = 0;
 }
@@ -59,7 +71,7 @@ std::size_t InstructionStream::pick_next_phase() {
   if (n == 1) return 0;
   if (spec_->transitions.empty()) return (phase_idx_ + 1) % n;
   const double* row = spec_->transitions.data() + phase_idx_ * n;
-  return rng_.weighted(std::span<const double>(row, n));
+  return rng_.weighted(std::span<const double>(row, n), trans_row_total_);
 }
 
 std::uint64_t InstructionStream::gen_mem_addr(const PhaseSpec& p) {
@@ -96,8 +108,30 @@ isa::MicroOp InstructionStream::next() {
   }
   --remaining_in_phase_;
   ++emitted_;
+  return gen_op(spec_->phases[phase_idx_]);
+}
 
-  const PhaseSpec& p = spec_->phases[phase_idx_];
+void InstructionStream::next_batch(isa::MicroOp* out, std::size_t n) {
+  // Same sequence as n calls to next(), with the phase bookkeeping hoisted
+  // to phase segments: the dwell check, counter bumps and phase-spec load
+  // run once per segment instead of once per op.
+  while (n > 0) {
+    if (remaining_in_phase_ == 0) {
+      enter_phase(pick_next_phase());
+      ++phase_changes_;
+    }
+    const std::size_t run = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, remaining_in_phase_));
+    remaining_in_phase_ -= run;
+    emitted_ += run;
+    const PhaseSpec& p = spec_->phases[phase_idx_];
+    for (std::size_t i = 0; i < run; ++i) out[i] = gen_op(p);
+    out += run;
+    n -= run;
+  }
+}
+
+isa::MicroOp InstructionStream::gen_op(const PhaseSpec& p) {
   isa::MicroOp op;
   // Inline weighted pick over the phase mix (same scan as Prng::weighted,
   // using the total precomputed at phase entry).
@@ -145,6 +179,59 @@ isa::MicroOp InstructionStream::next() {
       break;
   }
   return op;
+}
+
+void StreamCheckpoint::serialize(std::uint64_t out[kWords]) const noexcept {
+  out[0] = rng[0];
+  out[1] = rng[1];
+  out[2] = rng[2];
+  out[3] = rng[3];
+  out[4] = phase_idx;
+  out[5] = remaining_in_phase;
+  out[6] = phase_changes;
+  out[7] = emitted;
+  out[8] = code_offset;
+  out[9] = stream_ptr;
+  out[10] = far_ptr;
+}
+
+void StreamCheckpoint::deserialize(const std::uint64_t in[kWords]) noexcept {
+  rng = {in[0], in[1], in[2], in[3]};
+  phase_idx = in[4];
+  remaining_in_phase = in[5];
+  phase_changes = in[6];
+  emitted = in[7];
+  code_offset = in[8];
+  stream_ptr = in[9];
+  far_ptr = in[10];
+}
+
+StreamCheckpoint InstructionStream::checkpoint() const noexcept {
+  StreamCheckpoint cp;
+  cp.rng = rng_.state();
+  cp.phase_idx = phase_idx_;
+  cp.remaining_in_phase = remaining_in_phase_;
+  cp.phase_changes = phase_changes_;
+  cp.emitted = emitted_;
+  cp.code_offset = code_offset_;
+  cp.stream_ptr = stream_ptr_;
+  cp.far_ptr = far_ptr_;
+  return cp;
+}
+
+void InstructionStream::restore(const StreamCheckpoint& cp) {
+  if (cp.phase_idx >= spec_->phases.size())
+    throw std::out_of_range("InstructionStream::restore: bad phase index");
+  rng_.set_state(cp.rng);
+  // Recompute the phase-derived constants without consuming randomness
+  // (enter_phase would draw the dwell jitter again and desync the stream).
+  set_phase_constants(static_cast<std::size_t>(cp.phase_idx));
+  remaining_in_phase_ = cp.remaining_in_phase;
+  phase_changes_ = cp.phase_changes;
+  emitted_ = cp.emitted;
+  code_offset_ = cp.code_offset;
+  stream_ptr_ = cp.stream_ptr;
+  far_ptr_ = cp.far_ptr;
 }
 
 }  // namespace amps::wl

@@ -15,6 +15,27 @@
 
 namespace amps::wl {
 
+/// Complete mutable state of an InstructionStream, as plain integers.
+/// Everything else in the stream (address-space bases, per-phase weight and
+/// dependence-distance constants) is a pure function of (spec, seed, phase
+/// index) and is recomputed on restore. Serialized into trace-store chunk
+/// files so replay can resume live generation past a captured prefix.
+struct StreamCheckpoint {
+  std::array<std::uint64_t, 4> rng{};
+  std::uint64_t phase_idx = 0;
+  std::uint64_t remaining_in_phase = 0;
+  std::uint64_t phase_changes = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t code_offset = 0;
+  std::uint64_t stream_ptr = 0;
+  std::uint64_t far_ptr = 0;
+
+  /// Number of u64 words in the flat wire encoding.
+  static constexpr std::size_t kWords = 11;
+  void serialize(std::uint64_t out[kWords]) const noexcept;
+  void deserialize(const std::uint64_t in[kWords]) noexcept;
+};
+
 class InstructionStream {
  public:
   /// `spec` must outlive the stream (catalog-owned in practice).
@@ -25,6 +46,16 @@ class InstructionStream {
 
   /// Generates the next dynamic micro-op.
   isa::MicroOp next();
+
+  /// Generates the next `n` ops — the identical sequence n calls to next()
+  /// would produce, with the per-op phase bookkeeping hoisted to phase
+  /// segments (the cold-capture fast path).
+  void next_batch(isa::MicroOp* out, std::size_t n);
+
+  /// Captures the stream's mutable state. restore() on a stream built over
+  /// the same (spec, instance_seed) resumes the exact generation sequence.
+  [[nodiscard]] StreamCheckpoint checkpoint() const noexcept;
+  void restore(const StreamCheckpoint& cp);
 
   /// Total micro-ops generated so far.
   [[nodiscard]] InstrCount emitted() const noexcept { return emitted_; }
@@ -59,7 +90,12 @@ class InstructionStream {
   enum DepKind : std::size_t { kDepInt = 0, kDepInt2, kDepFp, kDepFp2 };
 
   void enter_phase(std::size_t idx);
+  /// The draw-free part of enter_phase: recomputes every per-phase constant
+  /// (class weights, weight total, transition-row total, dependence-distance
+  /// denominators) without consuming randomness — also used by restore().
+  void set_phase_constants(std::size_t idx);
   std::size_t pick_next_phase();
+  isa::MicroOp gen_op(const PhaseSpec& p);
   std::uint64_t gen_mem_addr(const PhaseSpec& p);
   std::uint16_t gen_dep(const DepDist& d);
 
@@ -71,6 +107,7 @@ class InstructionStream {
   std::uint64_t phase_changes_ = 0;
   std::array<double, isa::kNumInstrClasses> class_weights_{};
   double weight_total_ = 0.0;
+  double trans_row_total_ = 0.0;  ///< sum of this phase's transition row
   std::array<DepDist, 4> dep_dist_{};
 
   InstrCount emitted_ = 0;

@@ -1,0 +1,295 @@
+#include "workload/trace_store.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/checksum.hpp"
+#include "common/env.hpp"
+#include "common/log.hpp"
+#include "common/stats.hpp"
+
+namespace amps::wl {
+
+namespace {
+
+/// Fixed-size chunk file header (see trace_store.hpp for the layout). All
+/// members are naturally aligned, so the struct has no padding and can be
+/// written/read as raw bytes.
+struct ChunkHeader {
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t record_size = 0;
+  std::uint64_t key_hash = 0;
+  std::uint64_t chunk_index = 0;
+  std::uint64_t op_count = 0;
+  std::uint64_t checksum = 0;
+  std::uint32_t key_len = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(ChunkHeader) == 56, "ChunkHeader must be packed");
+static_assert(sizeof(isa::MicroOp) % 8 == 0,
+              "payload checksum folds whole 8-byte words");
+
+void fold_u64(std::uint64_t& h, std::uint64_t v) noexcept {
+  h = fnv1a_bytes(&v, sizeof v, h);
+}
+
+void fold_double(std::uint64_t& h, double v) noexcept {
+  fold_u64(h, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Digest of the complete generative model: every PhaseSpec parameter and
+/// the transition matrix. Retuning any catalog entry (even without a seed
+/// change) therefore invalidates its captured chunks.
+std::uint64_t spec_digest(const BenchmarkSpec& spec) {
+  std::uint64_t h = kFnv1aOffset;
+  h = fnv1a(spec.name, h);
+  fold_u64(h, spec.seed);
+  fold_u64(h, spec.phases.size());
+  for (const PhaseSpec& p : spec.phases) {
+    for (isa::InstrClass c : isa::kAllInstrClasses) fold_double(h, p.mix[c]);
+    fold_double(h, p.dep_mean_int);
+    fold_double(h, p.dep_mean_fp);
+    fold_u64(h, p.working_set);
+    fold_double(h, p.stream_frac);
+    fold_double(h, p.far_miss_frac);
+    fold_u64(h, p.code_footprint);
+    fold_double(h, p.branch_taken_bias);
+    fold_double(h, p.branch_noise);
+    fold_double(h, p.dwell_mean);
+    fold_double(h, p.dwell_jitter);
+  }
+  for (double t : spec.transitions) fold_double(h, t);
+  return h;
+}
+
+/// One failed write disables further capture attempts for the process (the
+/// directory is not going to become writable mid-run, and retrying every
+/// chunk would be a syscall storm on top of the warning storm).
+std::atomic<bool> g_store_write_failed{false};
+
+void note_write_failure(const std::string& dir) {
+  g_store_write_failed.store(true, std::memory_order_relaxed);
+  AMPS_LOG_WARN_ONCE(
+      "trace store: cannot write under '%s' — trace capture disabled for "
+      "this process; runs continue with live generation",
+      dir.c_str());
+}
+
+}  // namespace
+
+TraceStore::TraceStore(const BenchmarkSpec& spec, std::uint64_t instance_seed,
+                       std::string dir)
+    : dir_(std::move(dir)), spec_(&spec) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                " seed=%llu iseed=%llu v=%u chunk=%zu rec=%zu model=%016llx",
+                static_cast<unsigned long long>(spec.seed),
+                static_cast<unsigned long long>(instance_seed),
+                kTraceStoreVersion, kTraceChunkOps, sizeof(isa::MicroOp),
+                static_cast<unsigned long long>(spec_digest(spec)));
+  key_text_ = "trace " + spec.name + buf;
+  key_hash_ = fnv1a(key_text_);
+}
+
+std::string TraceStore::chunk_path(std::uint64_t idx) const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "/amps-trace-%016llx-c%llu.trc",
+                static_cast<unsigned long long>(key_hash_),
+                static_cast<unsigned long long>(idx));
+  return dir_ + buf;
+}
+
+bool TraceStore::load_chunk(std::uint64_t idx, std::vector<isa::MicroOp>* ops,
+                            StreamCheckpoint* end_cp) const {
+  if (!enabled()) return false;
+  std::FILE* f = std::fopen(chunk_path(idx).c_str(), "rb");
+  if (f == nullptr) return false;
+
+  ChunkHeader hdr;
+  std::uint64_t cpw[StreamCheckpoint::kWords];
+  std::string key;
+  bool ok = std::fread(&hdr, sizeof hdr, 1, f) == 1 &&
+            hdr.magic == kTraceStoreMagic &&
+            hdr.version == kTraceStoreVersion &&
+            hdr.record_size == sizeof(isa::MicroOp) &&
+            hdr.key_hash == key_hash_ && hdr.chunk_index == idx &&
+            hdr.op_count == kTraceChunkOps &&
+            hdr.key_len == key_text_.size();
+  if (ok) {
+    key.resize(hdr.key_len);
+    ok = std::fread(key.data(), 1, key.size(), f) == key.size() &&
+         key == key_text_ &&
+         std::fread(cpw, sizeof cpw, 1, f) == 1;
+  }
+  if (ok) {
+    ops->resize(kTraceChunkOps);
+    ok = std::fread(ops->data(), sizeof(isa::MicroOp), kTraceChunkOps, f) ==
+         kTraceChunkOps;
+  }
+  std::fclose(f);
+  if (!ok) {
+    AMPS_COUNTER_INC("trace_store.load_rejected");
+    return false;
+  }
+
+  std::uint64_t sum = fnv1a(key_text_);
+  sum = fnv1a_words(cpw, StreamCheckpoint::kWords, sum);
+  sum = fnv1a_words(ops->data(), kTraceChunkOps * sizeof(isa::MicroOp) / 8,
+                    sum);
+  if (sum != hdr.checksum) {
+    AMPS_COUNTER_INC("trace_store.load_rejected");
+    return false;
+  }
+
+  // Semantic validation: checksummed garbage is astronomically unlikely,
+  // but a bad class would index out of bounds deep in the pipeline and a
+  // bad phase index would fault restore(), so reject rather than trust.
+  for (const isa::MicroOp& op : *ops) {
+    if (static_cast<std::size_t>(op.cls) >= isa::kNumInstrClasses) {
+      AMPS_COUNTER_INC("trace_store.load_rejected");
+      return false;
+    }
+  }
+  end_cp->deserialize(cpw);
+  if (end_cp->phase_idx >= spec_->phases.size()) {
+    AMPS_COUNTER_INC("trace_store.load_rejected");
+    return false;
+  }
+  return true;
+}
+
+void TraceStore::store_chunk(std::uint64_t idx, const isa::MicroOp* ops,
+                             const StreamCheckpoint& end_cp) const {
+  if (!enabled() || g_store_write_failed.load(std::memory_order_relaxed))
+    return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+
+  std::uint64_t cpw[StreamCheckpoint::kWords];
+  end_cp.serialize(cpw);
+  const std::size_t payload_bytes = kTraceChunkOps * sizeof(isa::MicroOp);
+  std::uint64_t sum = fnv1a(key_text_);
+  sum = fnv1a_words(cpw, StreamCheckpoint::kWords, sum);
+  sum = fnv1a_words(ops, payload_bytes / 8, sum);
+
+  ChunkHeader hdr;
+  hdr.magic = kTraceStoreMagic;
+  hdr.version = kTraceStoreVersion;
+  hdr.record_size = sizeof(isa::MicroOp);
+  hdr.key_hash = key_hash_;
+  hdr.chunk_index = idx;
+  hdr.op_count = kTraceChunkOps;
+  hdr.checksum = sum;
+  hdr.key_len = static_cast<std::uint32_t>(key_text_.size());
+
+  // Atomic publish: write a private temp file, rename over the final name.
+  // Concurrent capturers of the same stream write identical contents, so
+  // whoever renames last wins with the same bytes; readers only ever see
+  // complete files.
+  const std::string final_path = chunk_path(idx);
+  char suffix[32];
+  std::snprintf(suffix, sizeof suffix, ".tmp.%llx",
+                static_cast<unsigned long long>(
+                    reinterpret_cast<std::uintptr_t>(this)));
+  const std::string tmp = final_path + suffix;
+
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    note_write_failure(dir_);
+    return;
+  }
+  const bool ok =
+      std::fwrite(&hdr, sizeof hdr, 1, f) == 1 &&
+      std::fwrite(key_text_.data(), 1, key_text_.size(), f) ==
+          key_text_.size() &&
+      std::fwrite(cpw, sizeof cpw, 1, f) == 1 &&
+      std::fwrite(ops, 1, payload_bytes, f) == payload_bytes;
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    std::filesystem::remove(tmp, ec);
+    note_write_failure(dir_);
+    return;
+  }
+  std::filesystem::rename(tmp, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    note_write_failure(dir_);
+    return;
+  }
+  AMPS_COUNTER_INC("trace_store.chunks_stored");
+}
+
+// ---- ReplayOpSource ------------------------------------------------------
+
+ReplayOpSource::ReplayOpSource(const BenchmarkSpec& spec,
+                               std::uint64_t instance_seed, std::string dir,
+                               bool replay, bool capture)
+    : stream_(spec, instance_seed),
+      store_(spec, instance_seed, std::move(dir)),
+      replay_(replay && store_.enabled()),
+      capture_(capture && store_.enabled()),
+      replaying_(replay_ && store_.enabled()) {}
+
+void ReplayOpSource::advance_chunk() {
+  if (replaying_) {
+    StreamCheckpoint cp;
+    if (store_.load_chunk(next_chunk_, &chunk_, &cp)) {
+      resume_cp_ = cp;
+      have_resume_cp_ = true;
+      ++next_chunk_;
+      pos_ = 0;
+      replayed_ops_ += chunk_.size();
+      AMPS_COUNTER_INC("trace_store.chunks_replayed");
+      return;
+    }
+    // Fell off the captured prefix (or hit a bad chunk): resume the live
+    // generator from the last good end-of-chunk checkpoint and continue —
+    // the sequence is bit-identical either way, and capture (when enabled)
+    // re-persists every chunk from here on, healing bad files in place.
+    replaying_ = false;
+    if (have_resume_cp_) stream_.restore(resume_cp_);
+  }
+  chunk_.resize(kTraceChunkOps);
+  stream_.next_batch(chunk_.data(), kTraceChunkOps);
+  generated_ops_ += kTraceChunkOps;
+  pos_ = 0;
+  if (capture_) {
+    store_.store_chunk(next_chunk_, chunk_.data(), stream_.checkpoint());
+    ++chunks_captured_;
+  }
+  ++next_chunk_;
+}
+
+isa::MicroOp ReplayOpSource::next() {
+  if (pos_ >= chunk_.size()) advance_chunk();
+  return chunk_[pos_++];
+}
+
+void ReplayOpSource::next_batch(isa::MicroOp* out, std::size_t n) {
+  while (n > 0) {
+    if (pos_ >= chunk_.size()) advance_chunk();
+    const std::size_t take = std::min(n, chunk_.size() - pos_);
+    std::memcpy(out, chunk_.data() + pos_, take * sizeof(isa::MicroOp));
+    pos_ += take;
+    out += take;
+    n -= take;
+  }
+}
+
+std::unique_ptr<OpSource> make_op_source(const BenchmarkSpec& spec,
+                                         std::uint64_t instance_seed) {
+  std::string dir = env_trace_dir();
+  const bool replay = env_trace_replay();
+  const bool capture = env_trace_capture();
+  if (dir.empty() || (!replay && !capture))
+    return std::make_unique<StreamSource>(spec, instance_seed);
+  return std::make_unique<ReplayOpSource>(spec, instance_seed, std::move(dir),
+                                          replay, capture);
+}
+
+}  // namespace amps::wl

@@ -1,0 +1,135 @@
+// Persistent micro-op trace store: capture a benchmark's decoded stream
+// once, replay it on every later cold run with zero PRNG or distribution
+// work (Sniper-SIFT-style, DESIGN.md §"Trace store").
+//
+// The stream is stored in fixed-size chunks of kTraceChunkOps ops, one
+// flat file per (stream, chunk index), so runs of different lengths share
+// the same prefix and a partial capture is never wasted. Each chunk file
+// carries the generator checkpoint (wl::StreamCheckpoint) taken at its
+// end: replay that falls off the captured prefix — or hits a missing,
+// truncated, corrupted or version-mismatched chunk — restores the live
+// generator from the last good checkpoint and continues bit-identically,
+// extending the capture as it goes.
+//
+// Chunk file layout (host-endian; the store is a per-machine cache,
+// regenerable at any time — record_size and version gate stale layouts):
+//   u64 magic            'AMPSTRC1'
+//   u32 version          kTraceStoreVersion
+//   u32 record_size      sizeof(isa::MicroOp)
+//   u64 key_hash         fnv1a(key text)
+//   u64 chunk_index
+//   u64 op_count         == kTraceChunkOps
+//   u64 checksum         fnv1a(key text || checkpoint words || payload)
+//   u32 key_len          key text follows, then the checkpoint, then ops
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "workload/source.hpp"
+#include "workload/stream.hpp"
+
+namespace amps::wl {
+
+inline constexpr std::uint64_t kTraceStoreMagic = 0x3143525453504D41ULL;
+inline constexpr std::uint32_t kTraceStoreVersion = 1;
+/// Ops per chunk file (~512 KB of payload at the current record size).
+inline constexpr std::size_t kTraceChunkOps = 16384;
+
+/// Path/key resolver and chunk I/O for one stream's trace files. The key
+/// digests the full phase model (not just the benchmark name) so retuning
+/// a catalog entry invalidates its chunks; loads re-validate the stored
+/// key text against hash collisions. All failures are soft: load returns
+/// false, store warns once per process and disables itself.
+class TraceStore {
+ public:
+  /// An empty `dir` disables the store (all loads fail, stores no-op).
+  TraceStore(const BenchmarkSpec& spec, std::uint64_t instance_seed,
+             std::string dir);
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
+  [[nodiscard]] const std::string& key_text() const noexcept {
+    return key_text_;
+  }
+
+  /// Loads chunk `idx` into `ops` (resized to kTraceChunkOps) and the
+  /// end-of-chunk generator checkpoint into `end_cp`. False on any miss or
+  /// validation failure — never throws, never returns partial data.
+  bool load_chunk(std::uint64_t idx, std::vector<isa::MicroOp>* ops,
+                  StreamCheckpoint* end_cp) const;
+
+  /// Persists chunk `idx` (must hold exactly kTraceChunkOps ops) with its
+  /// end-of-chunk checkpoint. Atomic (temp file + rename); best-effort.
+  void store_chunk(std::uint64_t idx, const isa::MicroOp* ops,
+                   const StreamCheckpoint& end_cp) const;
+
+  [[nodiscard]] std::string chunk_path(std::uint64_t idx) const;
+
+ private:
+  std::string dir_;
+  const BenchmarkSpec* spec_;  ///< for validating loaded checkpoints
+  std::string key_text_;
+  std::uint64_t key_hash_ = 0;
+};
+
+/// OpSource that serves the stream from the trace store. Chunks found on
+/// disk are replayed by memcpy; past the captured prefix (or on any
+/// validation failure) it restores the embedded generator from the last
+/// chunk checkpoint and generates — capturing new chunks when enabled.
+/// With the store disabled it degrades to exactly a batched StreamSource.
+///
+/// The replay cursor lives in this object, which lives in the
+/// ThreadContext — so thread migration carries it along like Prng::state(),
+/// and the consumed sequence is bit-identical to live generation.
+class ReplayOpSource final : public OpSource {
+ public:
+  ReplayOpSource(const BenchmarkSpec& spec, std::uint64_t instance_seed,
+                 std::string dir, bool replay, bool capture);
+
+  isa::MicroOp next() override;
+  void next_batch(isa::MicroOp* out, std::size_t n) override;
+  /// The benchmark name — identical to StreamSource so results, cache keys
+  /// and reports cannot tell replayed runs from live ones.
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return stream_.spec().name;
+  }
+
+  [[nodiscard]] std::uint64_t replayed_ops() const noexcept {
+    return replayed_ops_;
+  }
+  [[nodiscard]] std::uint64_t generated_ops() const noexcept {
+    return generated_ops_;
+  }
+  [[nodiscard]] std::uint64_t chunks_captured() const noexcept {
+    return chunks_captured_;
+  }
+
+ private:
+  void advance_chunk();
+
+  InstructionStream stream_;
+  TraceStore store_;
+  bool replay_;
+  bool capture_;
+  bool replaying_;  ///< still inside the captured on-disk prefix
+  std::vector<isa::MicroOp> chunk_;
+  std::size_t pos_ = 0;
+  std::uint64_t next_chunk_ = 0;
+  StreamCheckpoint resume_cp_;  ///< end checkpoint of the last replayed chunk
+  bool have_resume_cp_ = false;
+  std::uint64_t replayed_ops_ = 0;
+  std::uint64_t generated_ops_ = 0;
+  std::uint64_t chunks_captured_ = 0;
+};
+
+/// The workload-source factory every runner goes through (via the
+/// spec-based ThreadContext constructor): a ReplayOpSource when the trace
+/// store is configured (AMPS_CACHE_DIR / AMPS_TRACE_* knobs), otherwise a
+/// plain StreamSource. Both produce bit-identical op sequences.
+std::unique_ptr<OpSource> make_op_source(const BenchmarkSpec& spec,
+                                         std::uint64_t instance_seed);
+
+}  // namespace amps::wl

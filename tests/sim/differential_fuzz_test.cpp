@@ -9,6 +9,8 @@
 
 #include <bit>
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <random>
 #include <string>
@@ -281,6 +283,65 @@ TEST(DifferentialFuzz, BatchedSteppingMatchesPerCycle) {
     expect_same_trace(s1->decision_trace(), s2->decision_trace());
     if (::testing::Test::HasFailure()) break;
   }
+}
+
+/// Arms the trace-store knobs for a scope; restores a clean env on exit.
+class TraceEnvGuard {
+ public:
+  explicit TraceEnvGuard(const std::string& dir) {
+    ::setenv("AMPS_TRACE_DIR", dir.c_str(), 1);
+    ::setenv("AMPS_TRACE_REPLAY", "1", 1);
+    ::setenv("AMPS_TRACE_CAPTURE", "1", 1);
+  }
+  ~TraceEnvGuard() {
+    ::unsetenv("AMPS_TRACE_DIR");
+    ::unsetenv("AMPS_TRACE_REPLAY");
+    ::unsetenv("AMPS_TRACE_CAPTURE");
+  }
+};
+
+// The trace-replay axis: runs whose threads consume ops from the on-disk
+// trace store (workload/trace_store.hpp) must be bit-identical to live
+// generation — for every scheduler family, on both engines. Each config
+// runs three times: live (store off), first-cold (capturing) and
+// second-cold (replaying from disk); results and decision traces must be
+// record-identical across all three.
+TEST(DifferentialFuzz, TraceReplayMatchesLiveGeneration) {
+  ArmGuard armed;
+  const wl::BenchmarkCatalog catalog;
+  const sched::HpeModels& models = shared_models();
+  const std::string dir = ::testing::TempDir() + "amps_difffuzz_traces";
+  std::filesystem::remove_all(dir);
+  std::mt19937_64 rng(0xA3C5'0007);
+  for (int i = 0; i < 8; ++i) {
+    FuzzConfig cfg = draw_config(rng, catalog);
+    cfg.family = i % 4;        // every scheduler family crosses the axis
+    const bool fast = i < 4;   // ... on both engines
+    SCOPED_TRACE("config " + std::to_string(i) + " fast=" +
+                 std::to_string(fast) + ": " + cfg.label);
+
+    const harness::ExperimentRunner runner(
+        cfg.scale, with_engine(int_core_config(), fast),
+        with_engine(fp_core_config(), fast));
+    auto s_live = make_scheduler(cfg, models);
+    const auto live = runner.run_pair(cfg.pair, *s_live);
+    {
+      TraceEnvGuard env(dir);
+      auto s_cap = make_scheduler(cfg, models);
+      const auto captured = runner.run_pair(cfg.pair, *s_cap);
+      ASSERT_FALSE(std::filesystem::is_empty(dir))
+          << "first cold run captured no trace chunks";
+      auto s_rep = make_scheduler(cfg, models);
+      const auto replayed = runner.run_pair(cfg.pair, *s_rep);
+
+      expect_identical(live, captured);
+      expect_same_trace(s_live->decision_trace(), s_cap->decision_trace());
+      expect_identical(live, replayed);
+      expect_same_trace(s_live->decision_trace(), s_rep->decision_trace());
+    }
+    if (::testing::Test::HasFailure()) break;
+  }
+  std::filesystem::remove_all(dir);
 }
 
 // N=2 parity: a 2-core MulticoreSystem driven with the same scripted swap

@@ -201,6 +201,30 @@ TEST_F(StreamTest, TwoInstantiationsDecodeIdenticalSequences) {
   EXPECT_EQ(per_op.stream().emitted(), batched.stream().emitted());
 }
 
+TEST_F(StreamTest, CheckpointRestoreResumesBitIdentically) {
+  // checkpoint() -> serialize -> deserialize -> restore() on a fresh
+  // stream resumes the exact sequence: the trace store leans on this to
+  // fall off a captured prefix mid-run without a replayed-vs-live diff.
+  const auto& spec = catalog_.by_name("mixstress");
+  InstructionStream original(spec, 11);
+  std::vector<isa::MicroOp> skip(12'345);
+  original.next_batch(skip.data(), skip.size());
+
+  std::uint64_t words[StreamCheckpoint::kWords];
+  original.checkpoint().serialize(words);
+  StreamCheckpoint cp;
+  cp.deserialize(words);
+  InstructionStream resumed(spec, 11);
+  resumed.restore(cp);
+
+  std::vector<isa::MicroOp> a(5'000), b(5'000);
+  original.next_batch(a.data(), a.size());
+  resumed.next_batch(b.data(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_TRUE(ops_equal(a[i], b[i])) << "diverged at op " << i;
+  EXPECT_EQ(original.emitted(), resumed.emitted());
+}
+
 TEST_F(StreamTest, DecodedRingYieldsSourceOrderForAnyBatch) {
   const auto& spec = catalog_.by_name("phaseshift");
   StreamSource reference(spec, 9);

@@ -1,0 +1,302 @@
+// Trace-store robustness: every test asserts the one contract that
+// matters — the op sequence a ReplayOpSource serves is bit-identical to
+// live generation no matter what is (or is not, or is wrongly) on disk.
+// A seeded mutation fuzz drives truncation, bit flips, header damage,
+// version skew and deletion through the loader's reject-and-fall-back
+// path; a final test pins the single-warning behavior of an unwritable
+// store directory (it flips a sticky process-global, so it runs last —
+// ctest runs each case in its own process, which keeps the global fresh).
+#include "workload/trace_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "workload/builder.hpp"
+#include "workload/stream.hpp"
+
+namespace amps::wl {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TraceStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "amps_trace_store_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  const BenchmarkSpec& spec() { return catalog_.by_name("gcc"); }
+
+  /// The ground truth: `n` ops straight from the live generator.
+  std::vector<isa::MicroOp> live(std::uint64_t seed, std::size_t n) {
+    std::vector<isa::MicroOp> out(n);
+    InstructionStream s(spec(), seed);
+    s.next_batch(out.data(), n);
+    return out;
+  }
+
+  /// `n` ops through a ReplayOpSource with the given store flags.
+  std::vector<isa::MicroOp> via_source(std::uint64_t seed, std::size_t n,
+                                       bool replay, bool capture) {
+    ReplayOpSource src(spec(), seed, dir_, replay, capture);
+    std::vector<isa::MicroOp> out(n);
+    src.next_batch(out.data(), n);
+    return out;
+  }
+
+  /// Field-wise equality: MicroOp has padding bytes whose content is
+  /// unspecified through struct copies, so memcmp would be over-strict.
+  static bool ops_equal(const isa::MicroOp& a, const isa::MicroOp& b) {
+    return a.cls == b.cls && a.pc == b.pc && a.mem_addr == b.mem_addr &&
+           a.dep1 == b.dep1 && a.dep2 == b.dep2 &&
+           a.branch_taken == b.branch_taken;
+  }
+
+  static void expect_same(const std::vector<isa::MicroOp>& a,
+                          const std::vector<isa::MicroOp>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+      ASSERT_TRUE(ops_equal(a[i], b[i])) << "sequences diverge at op " << i;
+  }
+
+  std::vector<fs::path> chunk_files() {
+    std::vector<fs::path> files;
+    for (const auto& e : fs::directory_iterator(dir_))
+      files.push_back(e.path());
+    std::sort(files.begin(), files.end());
+    return files;
+  }
+
+  BenchmarkCatalog catalog_;
+  std::string dir_;
+};
+
+TEST_F(TraceStoreTest, CaptureThenReplayIsBitIdentical) {
+  const std::size_t n = 2 * kTraceChunkOps + 1000;
+  const auto truth = live(7, n);
+
+  // First cold run: nothing on disk, everything generated and captured.
+  expect_same(via_source(7, n, /*replay=*/true, /*capture=*/true), truth);
+  // Crossing into chunk 2 generates (and stores) it in full.
+  EXPECT_EQ(chunk_files().size(), 3u);
+
+  // Second cold run: everything served from disk.
+  ReplayOpSource probe(spec(), 7, dir_, true, true);
+  std::vector<isa::MicroOp> replayed(n);
+  probe.next_batch(replayed.data(), n);
+  expect_same(replayed, truth);
+  EXPECT_EQ(probe.replayed_ops(), 3 * kTraceChunkOps);
+  EXPECT_EQ(probe.generated_ops(), 0u);
+}
+
+TEST_F(TraceStoreTest, FallingOffTheCapturedPrefixStaysBitIdentical) {
+  // Capture exactly one chunk, then ask a replaying source for three: it
+  // must resume the generator from the chunk-0 checkpoint mid-stream and
+  // extend the capture.
+  via_source(7, kTraceChunkOps, false, true);
+  ASSERT_EQ(chunk_files().size(), 1u);
+
+  const std::size_t n = 3 * kTraceChunkOps;
+  ReplayOpSource extend(spec(), 7, dir_, true, true);
+  std::vector<isa::MicroOp> got(n);
+  extend.next_batch(got.data(), n);
+  expect_same(got, live(7, n));
+  EXPECT_EQ(extend.replayed_ops(), kTraceChunkOps);
+  EXPECT_EQ(extend.generated_ops(), 2 * kTraceChunkOps);
+  EXPECT_EQ(chunk_files().size(), 3u);
+
+  // The extension is a valid capture: a third source replays all of it.
+  ReplayOpSource probe(spec(), 7, dir_, true, false);
+  std::vector<isa::MicroOp> again(n);
+  probe.next_batch(again.data(), n);
+  expect_same(again, live(7, n));
+  EXPECT_EQ(probe.replayed_ops(), n);
+}
+
+TEST_F(TraceStoreTest, SingleOpNextMatchesBatchedReplay) {
+  via_source(3, kTraceChunkOps + 500, true, true);
+  ReplayOpSource src(spec(), 3, dir_, true, false);
+  const auto truth = live(3, kTraceChunkOps + 500);
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    ASSERT_TRUE(ops_equal(src.next(), truth[i])) << "op " << i;
+}
+
+TEST_F(TraceStoreTest, DifferentInstanceSeedSharesNothing) {
+  via_source(7, kTraceChunkOps, true, true);
+  ReplayOpSource other(spec(), 99, dir_, true, false);
+  std::vector<isa::MicroOp> got(kTraceChunkOps);
+  other.next_batch(got.data(), got.size());
+  expect_same(got, live(99, kTraceChunkOps));
+  EXPECT_EQ(other.replayed_ops(), 0u);  // seed 7's chunks never match
+}
+
+TEST_F(TraceStoreTest, VersionSkewRejectsTheChunk) {
+  via_source(7, kTraceChunkOps, false, true);
+  const auto files = chunk_files();
+  ASSERT_EQ(files.size(), 1u);
+  {
+    // Bump the u32 version field (offset 8, after the magic).
+    std::fstream f(files[0], std::ios::in | std::ios::out | std::ios::binary);
+    const std::uint32_t bad = kTraceStoreVersion + 1;
+    f.seekp(8);
+    f.write(reinterpret_cast<const char*>(&bad), sizeof bad);
+  }
+  TraceStore store(spec(), 7, dir_);
+  std::vector<isa::MicroOp> ops;
+  StreamCheckpoint cp;
+  EXPECT_FALSE(store.load_chunk(0, &ops, &cp));
+}
+
+TEST_F(TraceStoreTest, LoadOfMissingChunkFails) {
+  TraceStore store(spec(), 7, dir_);
+  std::vector<isa::MicroOp> ops;
+  StreamCheckpoint cp;
+  EXPECT_FALSE(store.load_chunk(0, &ops, &cp));
+  EXPECT_TRUE(store.enabled());
+  TraceStore disabled(spec(), 7, "");
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_FALSE(disabled.load_chunk(0, &ops, &cp));
+}
+
+TEST_F(TraceStoreTest, SeededMutationsNeverCorruptTheSequence) {
+  // 20 seeded file mutations — bit flips, zeroed spans, truncation,
+  // garbage tails, header damage, deletion — against a 2-chunk capture.
+  // Whatever the loader manages to salvage, the served sequence must stay
+  // bit-identical (bad chunks fall back to the generator mid-stream).
+  const std::size_t n = 2 * kTraceChunkOps;
+  const auto truth = live(7, n);
+  via_source(7, n, false, true);
+  const auto pristine_files = chunk_files();
+  ASSERT_EQ(pristine_files.size(), 2u);
+  std::vector<std::string> pristine;
+  for (const auto& p : pristine_files) {
+    std::ifstream f(p, std::ios::binary);
+    pristine.emplace_back(std::istreambuf_iterator<char>(f),
+                          std::istreambuf_iterator<char>());
+  }
+
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    SCOPED_TRACE("mutation seed " + std::to_string(seed));
+    std::mt19937_64 rng(0xBADF00D + seed);
+    const std::size_t victim = rng() % pristine.size();
+    std::string bytes = pristine[victim];
+    const std::size_t at = rng() % bytes.size();
+    switch (seed % 5) {
+      case 0:  // flip one bit
+        bytes[at] = static_cast<char>(bytes[at] ^ (1 << (rng() % 8)));
+        break;
+      case 1:  // truncate
+        bytes.resize(at);
+        break;
+      case 2:  // zero an 8-byte span
+        for (std::size_t i = at; i < std::min(at + 8, bytes.size()); ++i)
+          bytes[i] = 0;
+        break;
+      case 3:  // garbage tail (read path must ignore trailing junk)
+        bytes.append(1 + rng() % 64, static_cast<char>(rng()));
+        break;
+      case 4:  // delete the file outright
+        bytes.clear();
+        break;
+    }
+    // Restore both files to pristine, then install the mutation.
+    for (std::size_t i = 0; i < pristine.size(); ++i) {
+      std::ofstream f(pristine_files[i], std::ios::binary | std::ios::trunc);
+      f.write(pristine[i].data(),
+              static_cast<std::streamsize>(pristine[i].size()));
+    }
+    if (seed % 5 == 4) {
+      fs::remove(pristine_files[victim]);
+    } else {
+      std::ofstream f(pristine_files[victim],
+                      std::ios::binary | std::ios::trunc);
+      f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+
+    ReplayOpSource src(spec(), 7, dir_, /*replay=*/true, /*capture=*/true);
+    std::vector<isa::MicroOp> got(n);
+    src.next_batch(got.data(), n);
+    expect_same(got, truth);
+    EXPECT_EQ(src.replayed_ops() + src.generated_ops(), n);
+  }
+}
+
+TEST_F(TraceStoreTest, CaptureHealsAMutatedChunkInPlace) {
+  const std::size_t n = 2 * kTraceChunkOps;
+  via_source(7, n, false, true);
+  const auto files = chunk_files();
+  ASSERT_EQ(files.size(), 2u);
+  fs::resize_file(files[0], 100);  // truncate chunk 0
+
+  // Replay+capture run: chunk 0 rejected, regenerated, re-persisted.
+  expect_same(via_source(7, n, true, true), live(7, n));
+  ReplayOpSource probe(spec(), 7, dir_, true, false);
+  std::vector<isa::MicroOp> got(n);
+  probe.next_batch(got.data(), n);
+  EXPECT_EQ(probe.replayed_ops(), n);  // both chunks valid again
+}
+
+TEST_F(TraceStoreTest, ConcurrentCapturersPublishIdenticalChunks) {
+  // Two capturers over the same stream interleave chunk stores into the
+  // same directory; the rename-last-wins publish must leave valid files.
+  ReplayOpSource a(spec(), 7, dir_, false, true);
+  ReplayOpSource b(spec(), 7, dir_, false, true);
+  std::vector<isa::MicroOp> buf_a(kTraceChunkOps), buf_b(kTraceChunkOps);
+  for (int chunk = 0; chunk < 2; ++chunk) {
+    a.next_batch(buf_a.data(), buf_a.size());
+    b.next_batch(buf_b.data(), buf_b.size());
+  }
+  expect_same(buf_a, buf_b);
+
+  ReplayOpSource probe(spec(), 7, dir_, true, false);
+  std::vector<isa::MicroOp> got(2 * kTraceChunkOps);
+  probe.next_batch(got.data(), got.size());
+  expect_same(got, live(7, got.size()));
+  EXPECT_EQ(probe.replayed_ops(), got.size());
+}
+
+// Keep last: the first failed write flips a sticky process-wide "capture
+// disabled" latch (by design — see note_write_failure), which would keep
+// every later test in the same process from capturing.
+TEST_F(TraceStoreTest, UnwritableDirWarnsOnceAndFallsBackToGeneration) {
+  // A directory path routed *through a regular file* cannot be created.
+  const std::string blocker = dir_ + "/blocker";
+  std::ofstream(blocker).put('x');
+  const std::string bad_dir = blocker + "/sub";
+
+  const std::uint64_t warns_before = log_emit_count(LogLevel::Warn);
+  const std::size_t n = 3 * kTraceChunkOps;  // several failed store attempts
+  ReplayOpSource src(spec(), 7, bad_dir, true, true);
+  std::vector<isa::MicroOp> got(n);
+  src.next_batch(got.data(), n);
+  expect_same(got, live(7, n));
+  EXPECT_EQ(src.replayed_ops(), 0u);
+  EXPECT_EQ(src.generated_ops(), n);
+  EXPECT_EQ(log_emit_count(LogLevel::Warn) - warns_before, 1u)
+      << "an unwritable trace dir must warn exactly once per process";
+
+  // And the latch holds: a second source in this process stays quiet.
+  ReplayOpSource again(spec(), 7, bad_dir, true, true);
+  again.next_batch(got.data(), kTraceChunkOps);
+  EXPECT_EQ(log_emit_count(LogLevel::Warn) - warns_before, 1u);
+}
+
+}  // namespace
+}  // namespace amps::wl
