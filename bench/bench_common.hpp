@@ -8,6 +8,7 @@
 //   AMPS_SEED=<n>         pair-sampling seed (default 2012)
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <fstream>
 #include <iostream>
@@ -22,6 +23,26 @@
 #include "workload/benchmark.hpp"
 
 namespace amps::bench {
+
+/// Monotonic wall-clock timer for bench sections. steady_clock is immune
+/// to NTP slews and wall-clock adjustments that system_clock-based timing
+/// would fold into cold-section measurements.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since construction (or the last reset()).
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 struct BenchContext {
   sim::SimScale scale;

@@ -31,11 +31,6 @@
 namespace {
 
 using namespace amps;
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 std::vector<std::size_t> core_counts_from_env() {
   std::vector<std::size_t> counts;
@@ -98,14 +93,14 @@ int main() {
     std::cout << "[" << n << " cores, " << workloads.size()
               << " workload(s): cold sweep...]" << std::endl;
     harness::RunCache::instance().clear();
-    const auto cold_start = Clock::now();
+    const bench::Stopwatch cold_watch;
     const auto cold = sweep_once();
-    const double cold_s = seconds_since(cold_start);
+    const double cold_s = cold_watch.seconds();
 
     std::cout << "[" << n << " cores: warm sweep...]" << std::endl;
-    const auto warm_start = Clock::now();
+    const bench::Stopwatch warm_watch;
     (void)sweep_once();
-    const double warm_s = seconds_since(warm_start);
+    const double warm_s = warm_watch.seconds();
 
     SweepPoint p;
     p.cores = n;

@@ -61,7 +61,7 @@ PhaseStats run_phase(std::uint16_t port, const std::vector<std::string>& lines,
                      std::size_t clients, std::vector<std::string>* responses) {
   responses->assign(lines.size(), std::string());
   std::vector<std::vector<double>> latencies(clients);
-  const auto start = Clock::now();
+  const amps::bench::Stopwatch watch;
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (std::size_t c = 0; c < clients; ++c) {
@@ -80,7 +80,7 @@ PhaseStats run_phase(std::uint16_t port, const std::vector<std::string>& lines,
   for (std::thread& t : threads) t.join();
 
   PhaseStats stats;
-  stats.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  stats.seconds = watch.seconds();
   stats.rps = static_cast<double>(lines.size()) / stats.seconds;
   std::vector<double> all;
   for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "harness/experiment.hpp"
+#include "harness/lanes.hpp"
 #include "sim/core.hpp"
 #include "sim/system.hpp"
 #include "uarch/branch_predictor.hpp"
@@ -149,6 +151,48 @@ void BM_DualCoreStep(benchmark::State& state) {
       t0.committed_total() + t1.committed_total());
 }
 BENCHMARK(BM_DualCoreStep)->ArgNames({"fast"})->Arg(0)->Arg(1);
+
+void BM_LanePairRuns(benchmark::State& state) {
+  // Lane-executor sweep cost at widths 1/4/8/16 over a fixed 16-job batch
+  // (8 pairs x {proposed, round-robin}), small scale so one iteration is
+  // cheap. Width 1 is the scalar fast path; wider lanes share decode.
+  const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+  sim::SimScale scale;
+  scale.context_switch_interval = 5'000;
+  scale.run_length = 10'000;
+  const harness::ExperimentRunner runner(scale);
+  const char* names[] = {"gcc", "swim", "gzip", "mcf",
+                         "sha", "ammp", "bitcount", "equake"};
+  std::vector<harness::BenchmarkPair> pairs;
+  for (std::size_t i = 0; i < 8; ++i)
+    pairs.push_back({&catalog().by_name(names[i]),
+                     &catalog().by_name(names[(i + 1) % 8])});
+  const harness::SchedulerFactory factories[] = {
+      runner.proposed_factory(), runner.round_robin_factory()};
+  std::uint64_t committed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Scheduler& jobs never cache, so every iteration simulates cold.
+    std::vector<std::unique_ptr<sched::Scheduler>> owners;
+    std::vector<harness::LanePairJob> jobs;
+    for (const auto& pair : pairs) {
+      for (const auto& factory : factories) {
+        owners.push_back(factory());
+        jobs.push_back(harness::LanePairJob{&runner, pair, nullptr,
+                                            owners.back().get(), nullptr});
+      }
+    }
+    state.ResumeTiming();
+    const auto results = harness::run_pair_jobs(jobs, lanes);
+    for (const auto& r : results)
+      committed += r.threads[0].committed + r.threads[1].committed;
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+  state.counters["committed"] = static_cast<double>(committed);
+}
+BENCHMARK(BM_LanePairRuns)->ArgNames({"lanes"})->Arg(1)->Arg(4)->Arg(8)->Arg(
+    16);
 
 void BM_SwapCost(benchmark::State& state) {
   // Wall cost of the swap machinery itself (flush + replay bookkeeping).

@@ -11,6 +11,9 @@
 //     replays them with zero generator work (trace present, no RunCache —
 //     the Scheduler& overload never caches). The second-cold speedup over
 //     the reference engine is the PR 2 "3x cold-run" metric.
+//  1c. Lane sweep — the cold fast-engine jobs fanned three schedulers wide
+//     and executed through the lane executor at width 1 (scalar) vs width 8
+//     (lockstep lanes, shared decode); reports the sweep speedup.
 //  2. Stepping throughput — one pair run under the proposed scheduler with
 //     per-cycle ticking vs. batched stepping; reports simulated cycles/sec
 //     and committed instructions/sec for both, plus the speedup.
@@ -25,25 +28,21 @@
 // scripts/check_perf.sh gates on cold_fast_step_rate).
 //
 // Knobs: AMPS_SCALE, AMPS_PAIRS, AMPS_SEED, AMPS_THREADS, AMPS_CACHE_DIR.
-#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "common/trace.hpp"
+#include "harness/lanes.hpp"
 #include "harness/parallel.hpp"
 #include "harness/run_cache.hpp"
 #include "sim/core_config.hpp"
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 struct SteppingResult {
   double seconds = 0.0;
@@ -67,7 +66,7 @@ int main() {
     SteppingResult r;
     std::uint64_t cycles = 0;
     std::uint64_t commits = 0;
-    const auto start = Clock::now();
+    const bench::Stopwatch watch;
     for (const auto& pair : pairs) {
       // Scheduler& overload: no caching, every run simulates.
       auto scheduler = runner.proposed_factory()();
@@ -76,7 +75,7 @@ int main() {
       commits += result.threads[0].committed + result.threads[1].committed;
       r.swaps += result.swap_count;
     }
-    r.seconds = seconds_since(start);
+    r.seconds = watch.seconds();
     r.cycles_per_sec = static_cast<double>(cycles) / r.seconds;
     r.commits_per_sec = static_cast<double>(commits) / r.seconds;
     return r;
@@ -148,6 +147,74 @@ int main() {
             << capture_overhead_pct << "%)\n\n";
   std::filesystem::remove_all(trace_dir);
 
+  double lane_scalar_seconds = 0.0;
+  double lanes_seconds = 0.0;
+  double lane_speedup_vs_scalar = 0.0;
+  double lane_occupancy_pct = 100.0;
+
+  // --- part 1c: lane engine, lockstep lanes vs scalar sweep --------------
+  // Same cold fast-engine workload fanned three schedulers wide (proposed,
+  // round-robin, static — one LanePairJob per pair x scheduler, Scheduler&
+  // form so nothing caches), executed once at lane width 1 (today's scalar
+  // fast path) and once at width 8 (lockstep lanes with shared decode).
+  {
+    sim::CoreConfig big = sim::int_core_config();
+    sim::CoreConfig little = sim::fp_core_config();
+    big.fast_engine = true;
+    little.fast_engine = true;
+    const harness::ExperimentRunner runner(ctx.scale, big, little);
+    const harness::SchedulerFactory factories[] = {
+        runner.proposed_factory(), runner.round_robin_factory(),
+        runner.static_factory()};
+    struct LaneResult {
+      double seconds = 0.0;
+      double occupancy_pct = 100.0;
+    };
+    auto measure_lanes = [&](std::size_t width) {
+      std::vector<std::unique_ptr<sched::Scheduler>> owners;
+      std::vector<harness::LanePairJob> jobs;
+      for (const auto& pair : pairs) {
+        for (const auto& factory : factories) {
+          owners.push_back(factory());
+          jobs.push_back(harness::LanePairJob{&runner, pair, nullptr,
+                                              owners.back().get(), nullptr});
+        }
+      }
+      LaneResult r;
+      const bench::Stopwatch watch;
+      const auto results = harness::run_pair_jobs(jobs, width);
+      r.seconds = watch.seconds();
+      double occ = 0.0;
+      for (const auto& result : results) occ += result.lane_occupancy_pct;
+      r.occupancy_pct = results.empty()
+                            ? 100.0
+                            : occ / static_cast<double>(results.size());
+      return r;
+    };
+    std::cout << "[lane sweep, " << pairs.size() * 3
+              << " cold fast-engine job(s), width 1 vs 8...]\n";
+    const LaneResult lane_scalar = measure_lanes(1);
+    const LaneResult lane_wide = measure_lanes(8);
+    const double lane_speedup = lane_wide.seconds > 0.0
+                                    ? lane_scalar.seconds / lane_wide.seconds
+                                    : 0.0;
+    Table lanes_table({"lane width (cold)", "wall s", "occupancy %"});
+    lanes_table.row()
+        .cell("1 (scalar)")
+        .cell(lane_scalar.seconds, 3)
+        .cell(lane_scalar.occupancy_pct, 1);
+    lanes_table.row()
+        .cell("8 (lockstep lanes)")
+        .cell(lane_wide.seconds, 3)
+        .cell(lane_wide.occupancy_pct, 1);
+    bench::emit("throughput_lanes", lanes_table);
+    std::cout << "lane-engine sweep speedup: " << lane_speedup << "x\n\n";
+    lane_scalar_seconds = lane_scalar.seconds;
+    lanes_seconds = lane_wide.seconds;
+    lane_speedup_vs_scalar = lane_speedup;
+    lane_occupancy_pct = lane_wide.occupancy_pct;
+  }
+
   // --- part 2: stepping throughput, per-cycle vs batched -----------------
   auto measure = [&](bool stepping) {
     harness::ExperimentRunner runner(ctx.scale);
@@ -201,14 +268,14 @@ int main() {
 
   std::cout << "[end-to-end fig7-style comparison, cold cache...]\n";
   harness::RunCache::instance().clear();
-  const auto cold_start = Clock::now();
+  const bench::Stopwatch cold_watch;
   const auto cold_rows = fig7_style();
-  const double cold_s = seconds_since(cold_start);
+  const double cold_s = cold_watch.seconds();
 
   std::cout << "[same comparison, warm cache...]\n";
-  const auto warm_start = Clock::now();
+  const bench::Stopwatch warm_watch;
   const auto warm_rows = fig7_style();
-  const double warm_s = seconds_since(warm_start);
+  const double warm_s = warm_watch.seconds();
   const double warm_speedup = cold_s / warm_s;
 
   const auto stats = harness::RunCache::instance().stats();
@@ -248,6 +315,11 @@ int main() {
          << "  \"cold_replay_speedup\": " << replay_speedup << ",\n"
          << "  \"cold_replay_speedup_vs_ref\": " << replay_speedup_vs_ref
          << ",\n"
+         << "  \"lane_scalar_seconds\": " << lane_scalar_seconds << ",\n"
+         << "  \"lanes_seconds\": " << lanes_seconds << ",\n"
+         << "  \"lane_speedup_vs_scalar\": " << lane_speedup_vs_scalar
+         << ",\n"
+         << "  \"lane_occupancy_pct\": " << lane_occupancy_pct << ",\n"
          << "  \"per_cycle_seconds\": " << per_cycle.seconds << ",\n"
          << "  \"per_cycle_step_rate\": " << per_cycle.cycles_per_sec << ",\n"
          << "  \"per_cycle_commit_rate\": " << per_cycle.commits_per_sec

@@ -46,6 +46,14 @@ replay_vs_live=$(json_field "$RESULT" cold_replay_speedup)
 capture_pct=$(json_field "$RESULT" capture_overhead_pct)
 [ -n "$replay_vs_ref" ] && echo "check_perf: trace-replay second-cold speedup ${replay_vs_ref}x vs reference (${replay_vs_live}x vs live fast engine, first-capture overhead ${capture_pct}%)"
 
+# Informational only (no gate — lane wins depend on how many runs the
+# sweep can overlap and on the host's core budget): the lockstep-lane
+# executor at width 8 versus the same cold jobs at width 1.
+lane_speedup=$(json_field "$RESULT" lane_speedup_vs_scalar)
+lanes_s=$(json_field "$RESULT" lanes_seconds)
+lane_occ=$(json_field "$RESULT" lane_occupancy_pct)
+[ -n "$lane_speedup" ] && echo "check_perf: lane_speedup ${lane_speedup}x at width 8 (${lanes_s}s laned, occupancy ${lane_occ}%)"
+
 # Informational only (no gate): the N-core scalability sweep, when the
 # scalability_multicore bench has run in this directory. Reports how the
 # simulated core-cycle throughput and swap activity move with core count.

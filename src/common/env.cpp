@@ -44,4 +44,6 @@ bool env_trace_replay() { return env_int("AMPS_TRACE_REPLAY", 1) != 0; }
 
 bool env_trace_capture() { return env_int("AMPS_TRACE_CAPTURE", 1) != 0; }
 
+std::int64_t env_lanes() { return env_int("AMPS_LANES", 0); }
+
 }  // namespace amps

@@ -7,6 +7,8 @@
 //   AMPS_TRACE_DIR     = <dir>                    — micro-op trace store dir
 //   AMPS_TRACE_REPLAY  = 0|1  (default 1)         — replay captured chunks
 //   AMPS_TRACE_CAPTURE = 0|1  (default 1)         — persist generated chunks
+//   AMPS_LANES         = <k>  (default 0 = auto)  — lockstep lane width;
+//                                                   1 = scalar fast engine
 #pragma once
 
 #include <cstdint>
@@ -47,5 +49,12 @@ bool env_trace_replay();
 
 /// True unless AMPS_TRACE_CAPTURE=0: persist freshly generated chunks.
 bool env_trace_capture();
+
+// --- lockstep simulation lanes (sim/lanes.hpp, harness/lanes.hpp) ---------
+
+/// Raw AMPS_LANES value: 0 (or unset/invalid) = auto-pick the lane width,
+/// 1 = scalar fast engine, N > 1 = exactly N lockstep lanes. Negative
+/// values are treated as auto. See harness::lane_width for the policy.
+std::int64_t env_lanes();
 
 }  // namespace amps

@@ -8,6 +8,7 @@
 #include "core/round_robin.hpp"
 #include "core/static_sched.hpp"
 #include "harness/cancel.hpp"
+#include "harness/lanes.hpp"
 #include "harness/parallel.hpp"
 #include "harness/run_cache.hpp"
 #include "metrics/speedup.hpp"
@@ -23,76 +24,114 @@ ExperimentRunner::ExperimentRunner(sim::SimScale scale, sim::CoreConfig core_a,
       int_core_(std::move(core_a)),
       fp_core_(std::move(core_b)) {}
 
-metrics::PairRunResult ExperimentRunner::run_pair(
-    const BenchmarkPair& pair, sched::Scheduler& scheduler) const {
-  AMPS_COUNTER_INC("harness.pair_runs");
-  AMPS_SCOPED_TIMER("harness.pair_run_ns");
-  sim::DualCoreSystem system(int_core_, fp_core_, scale_.swap_overhead);
-  sim::ThreadContext t0(0, *pair.first);
-  sim::ThreadContext t1(1, *pair.second);
-  system.attach_threads(&t0, &t1);
-  scheduler.on_start(system);
+namespace {
 
-  // The paper runs "until one of the threads completed" its instruction
-  // budget; a generous cycle bound guards against pathological stalls.
-  // A thread-local CancelToken (installed by the service layer for
-  // per-request deadlines) truncates the run the same way the cycle bound
-  // does: the partial result carries hit_cycle_bound = true.
-  const Cycles max_cycles = scale_.max_cycles();
-  const CancelToken* token = current_cancel_token();
-  if (batched_) {
+/// Builds a ThreadContext from an explicit op source (lane path: a shared
+/// decode cursor) or from the spec's canonical source when none is given.
+sim::ThreadContext make_thread(ThreadId id, const wl::BenchmarkSpec& spec,
+                               std::unique_ptr<wl::OpSource> source) {
+  if (source != nullptr) return sim::ThreadContext(id, std::move(source));
+  return sim::ThreadContext(id, spec);
+}
+
+}  // namespace
+
+PairRunState::PairRunState(const ExperimentRunner& runner,
+                           const BenchmarkPair& pair,
+                           sched::Scheduler& scheduler,
+                           const CancelToken* token,
+                           std::unique_ptr<wl::OpSource> source0,
+                           std::unique_ptr<wl::OpSource> source1)
+    : runner_(runner),
+      scheduler_(scheduler),
+      token_(token),
+      system_(runner.int_core(), runner.fp_core(),
+              runner.scale().swap_overhead),
+      t0_(make_thread(0, *pair.first, std::move(source0))),
+      t1_(make_thread(1, *pair.second, std::move(source1))),
+      max_cycles_(runner.scale().max_cycles()) {
+  AMPS_COUNTER_INC("harness.pair_runs");
+  system_.attach_threads(&t0_, &t1_);
+  scheduler_.on_start(system_);
+}
+
+// The paper runs "until one of the threads completed" its instruction
+// budget; a generous cycle bound guards against pathological stalls. A
+// thread-local CancelToken (installed by the service layer for per-request
+// deadlines) truncates the run the same way the cycle bound does: the
+// partial result carries hit_cycle_bound = true.
+bool PairRunState::done() const noexcept {
+  return stopped_ ||
+         t0_.committed_total() >= runner_.scale().run_length ||
+         t1_.committed_total() >= runner_.scale().run_length ||
+         system_.now() >= max_cycles_;
+}
+
+void PairRunState::advance() {
+  const sim::SimScale& scale = runner_.scale();
+  if (runner_.batched_stepping()) {
     // Fast path: between decision points tick() is a no-op, so step the
     // system in uninterrupted batches bounded by the scheduler's hint.
     // Cycle hints are exact; commit-budget hints make step_until stop at
     // the end of the first cycle a monitored window boundary can have been
     // crossed — precisely when the per-cycle loop's tick() would act.
-    while (t0.committed_total() < scale_.run_length &&
-           t1.committed_total() < scale_.run_length &&
-           system.now() < max_cycles) {
-      if (token != nullptr && token->expired()) break;
-      const sched::DecisionHint hint = scheduler.next_decision_at(system);
-      // Clamp to the run bounds, and always advance at least one cycle.
-      Cycles until =
-          std::max(std::min(hint.at_cycle, max_cycles), system.now() + 1);
-      // A scheduler that never decides again (e.g. static) hints one giant
-      // batch; with a deadline installed, cap batches so expiry is polled
-      // at wall-clock granularity. The extra intermediate tick()s are
-      // no-ops by the fast-path contract, so results stay bit-identical.
-      if (token != nullptr)
-        until = std::min(until, system.now() + kCancelCheckStride);
-      // Cap the commit budget at each thread's remaining budget so the
-      // batch also stops exactly when a thread can have finished.
-      const InstrCount budget = std::min(
-          hint.commit_budget,
-          std::min(scale_.run_length - t0.committed_total(),
-                   scale_.run_length - t1.committed_total()));
-      system.step_until(until, budget);
-      scheduler.tick(system);
+    if (token_ != nullptr && token_->expired()) {
+      stopped_ = true;
+      return;
     }
+    const sched::DecisionHint hint = scheduler_.next_decision_at(system_);
+    // Clamp to the run bounds, and always advance at least one cycle.
+    Cycles until =
+        std::max(std::min(hint.at_cycle, max_cycles_), system_.now() + 1);
+    // A scheduler that never decides again (e.g. static) hints one giant
+    // batch; with a deadline installed, cap batches so expiry is polled
+    // at wall-clock granularity. The extra intermediate tick()s are
+    // no-ops by the fast-path contract, so results stay bit-identical.
+    if (token_ != nullptr)
+      until = std::min(until, system_.now() + kCancelCheckStride);
+    // Lane-engine lockstep cap, same no-op-tick contract as above.
+    if (lane_stride_ != 0)
+      until = std::min(until, system_.now() + lane_stride_);
+    // Cap the commit budget at each thread's remaining budget so the
+    // batch also stops exactly when a thread can have finished.
+    const InstrCount budget = std::min(
+        hint.commit_budget,
+        std::min(scale.run_length - t0_.committed_total(),
+                 scale.run_length - t1_.committed_total()));
+    system_.step_until(until, budget);
+    scheduler_.tick(system_);
   } else {
     // Per-cycle path: poll the token at a coarse stride so the deadline
     // check never shows up on the (already slow) reference loop.
-    std::uint64_t steps = 0;
-    while (t0.committed_total() < scale_.run_length &&
-           t1.committed_total() < scale_.run_length &&
-           system.now() < max_cycles) {
-      if (token != nullptr && (steps++ & 0xFFF) == 0 && token->expired())
-        break;
-      system.step();
-      scheduler.tick(system);
+    if (token_ != nullptr && (steps_++ & 0xFFF) == 0 && token_->expired()) {
+      stopped_ = true;
+      return;
     }
+    system_.step();
+    scheduler_.tick(system_);
   }
+}
 
+metrics::PairRunResult PairRunState::finish() {
   metrics::PairRunResult result = metrics::snapshot_run(
-      scheduler.name(), system, t0, t1, scheduler.decision_points(),
-      &scheduler.decision_trace().summary());
-  result.hit_cycle_bound = t0.committed_total() < scale_.run_length &&
-                           t1.committed_total() < scale_.run_length;
+      scheduler_.name(), system_, t0_, t1_, scheduler_.decision_points(),
+      &scheduler_.decision_trace().summary());
+  result.hit_cycle_bound =
+      t0_.committed_total() < runner_.scale().run_length &&
+      t1_.committed_total() < runner_.scale().run_length;
   if (trace::DecisionTrace::armed()) {
-    trace::append_jsonl(t0.name() + "+" + t1.name(), scheduler.name(),
-                        scheduler.decision_trace());
+    trace::append_jsonl(t0_.name() + "+" + t1_.name(), scheduler_.name(),
+                        scheduler_.decision_trace());
   }
   return result;
+}
+
+metrics::PairRunResult ExperimentRunner::run_pair(
+    const BenchmarkPair& pair, sched::Scheduler& scheduler) const {
+  AMPS_SCOPED_TIMER("harness.pair_run_ns");
+  PairRunState state(*this, pair, scheduler, current_cancel_token());
+  while (!state.done()) state.advance();
+  return state.finish();
 }
 
 CacheKey ExperimentRunner::pair_run_cache_key(
@@ -218,15 +257,26 @@ sched::HpeModels ExperimentRunner::build_models(
 std::vector<ComparisonRow> compare_schedulers(
     const ExperimentRunner& runner, std::span<const BenchmarkPair> pairs,
     const SchedulerFactory& test, const SchedulerFactory& reference) {
-  // Pair runs are independent; fan out across the worker pool. Rows are
-  // written into index-stable slots so the output matches a serial run.
+  // Two runs per pair, adjacent in the job list so the lane executor's
+  // contiguous grouping lets both runs of a pair share decode. The
+  // executor resolves cache hits first, fans lane groups out across the
+  // worker pool, and falls back to the scalar per-run fan-out at
+  // AMPS_LANES=1 — results are bit-identical either way.
+  std::vector<LanePairJob> jobs;
+  jobs.reserve(pairs.size() * 2);
+  for (const BenchmarkPair& pair : pairs) {
+    jobs.push_back(LanePairJob{&runner, pair, &test, nullptr, nullptr});
+    jobs.push_back(LanePairJob{&runner, pair, &reference, nullptr, nullptr});
+  }
+  const std::vector<metrics::PairRunResult> results =
+      run_pair_jobs(jobs, lane_width(jobs.size()));
+
   std::vector<ComparisonRow> rows(pairs.size());
-  parallel_for(pairs.size(), [&](std::size_t i) {
-    const BenchmarkPair& pair = pairs[i];
-    const auto test_result = runner.run_pair(pair, test);
-    const auto ref_result = runner.run_pair(pair, reference);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const metrics::PairRunResult& test_result = results[2 * i];
+    const metrics::PairRunResult& ref_result = results[2 * i + 1];
     ComparisonRow& row = rows[i];
-    row.label = pair_label(pair);
+    row.label = pair_label(pairs[i]);
     row.weighted_improvement_pct = metrics::to_improvement_pct(
         test_result.weighted_ipw_speedup_vs(ref_result));
     row.geometric_improvement_pct = metrics::to_improvement_pct(
@@ -234,7 +284,7 @@ std::vector<ComparisonRow> compare_schedulers(
     row.swap_fraction = test_result.swap_fraction();
     row.hit_cycle_bound =
         test_result.hit_cycle_bound || ref_result.hit_cycle_bound;
-  });
+  }
   return rows;
 }
 

@@ -16,11 +16,13 @@
 #include "core/scheduler.hpp"
 #include "harness/sampler.hpp"
 #include "metrics/run_result.hpp"
+#include "sim/lanes.hpp"
 #include "sim/scale.hpp"
 
 namespace amps::harness {
 
-class CacheKey;  // harness/run_cache.hpp
+class CacheKey;     // harness/run_cache.hpp
+class CancelToken;  // harness/cancel.hpp
 
 /// Factory producing a fresh scheduler per run (schedulers are stateful).
 ///
@@ -112,15 +114,61 @@ class ExperimentRunner {
   [[nodiscard]] sched::HpeModels build_models(
       const wl::BenchmarkCatalog& catalog) const;
 
- private:
   /// RunCache key for one (pair, keyed factory) run.
   [[nodiscard]] CacheKey pair_run_cache_key(
       const BenchmarkPair& pair, const SchedulerFactory& factory) const;
 
+ private:
   sim::SimScale scale_;
   sim::CoreConfig int_core_;
   sim::CoreConfig fp_core_;
   bool batched_ = true;
+};
+
+/// One pair run held as a resumable sim::LaneRun. The scalar run_pair and
+/// the lane engine drive the *same* object through the *same* advance()
+/// body (one scheduler decision quantum — the exact loop body run_pair
+/// always executed), so lane-stepped results and decision traces are
+/// bit-identical to scalar runs by construction.
+///
+/// `source0`/`source1` optionally replace each thread's private op source
+/// (the lane path passes SharedStreamSource cursors so runs in one lane
+/// group share decode); nullptr keeps the canonical wl::make_op_source
+/// path. `runner`, `pair`, `scheduler` and `token` must outlive the state.
+class PairRunState final : public sim::LaneRun {
+ public:
+  PairRunState(const ExperimentRunner& runner, const BenchmarkPair& pair,
+               sched::Scheduler& scheduler, const CancelToken* token,
+               std::unique_ptr<wl::OpSource> source0 = nullptr,
+               std::unique_ptr<wl::OpSource> source1 = nullptr);
+
+  /// Mirrors the scalar loop condition (run budgets, cycle bound, cancel).
+  [[nodiscard]] bool done() const noexcept override;
+  /// One decision quantum: batched (hint-bounded step_until + tick) or
+  /// per-cycle (step + tick), per the runner's stepping mode.
+  void advance() override;
+  /// Snapshots the result; call exactly once, after done().
+  metrics::PairRunResult finish();
+
+  /// Caps each batched advance() at `stride` cycles (0 = no cap). The lane
+  /// engine sets this so co-resident runs stay in lockstep at op-chunk
+  /// granularity instead of one run racing a giant static-scheduler batch
+  /// through its shared stream. The extra intermediate tick()s are no-ops
+  /// by the fast-path contract, so results stay bit-identical (enforced by
+  /// the LaneVsScalarBitIdentity fuzz axes).
+  void set_lane_stride(Cycles stride) noexcept { lane_stride_ = stride; }
+
+ private:
+  const ExperimentRunner& runner_;
+  sched::Scheduler& scheduler_;
+  const CancelToken* token_;
+  sim::DualCoreSystem system_;
+  sim::ThreadContext t0_;
+  sim::ThreadContext t1_;
+  Cycles max_cycles_;
+  Cycles lane_stride_ = 0;    ///< batched-advance cycle cap (0 = none)
+  std::uint64_t steps_ = 0;   ///< per-cycle-mode token-poll stride counter
+  bool stopped_ = false;      ///< cancel-token expiry latch
 };
 
 /// One row of the Fig. 7 / Fig. 8 comparisons.

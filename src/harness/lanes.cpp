@@ -1,0 +1,222 @@
+#include "harness/lanes.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/env.hpp"
+#include "common/stats.hpp"
+#include "harness/cancel.hpp"
+#include "harness/parallel.hpp"
+#include "harness/run_cache.hpp"
+
+namespace amps::harness {
+
+std::size_t lane_width(std::size_t jobs) {
+  const std::int64_t raw = env_lanes();
+  std::size_t width = kDefaultLaneWidth;  // 0 / unset / negative = auto
+  if (raw == 1) width = 1;
+  if (raw > 1) width = static_cast<std::size_t>(raw);
+  return std::clamp<std::size_t>(width, 1, std::max<std::size_t>(jobs, 1));
+}
+
+namespace {
+
+/// The effective deadline token for one lane job: the job's own token when
+/// set, else the ambient thread-local one — evaluated on the worker thread
+/// so it sees exactly the token the scalar path's run loop would read.
+const CancelToken* job_token(CancelToken* own) noexcept {
+  return own != nullptr ? own : current_cancel_token();
+}
+
+/// Batched-advance cycle cap for lane-resident runs, roughly one shared
+/// decode chunk (wl::kTraceChunkOps) at IPC ~1. Without it a static
+/// scheduler's "never" hint lets one advance() race a whole run through
+/// its shared stream — ballooning the buffer and defeating lockstep. The
+/// intermediate tick()s the cap introduces are no-ops by the fast-path
+/// contract, so results stay bit-identical (LaneVsScalarBitIdentity).
+constexpr Cycles kLaneStride = 16'384;
+
+/// A pair job installed in a lane: owns the factory-built scheduler (when
+/// the job is a factory job) and the resumable run state.
+struct PairLaneRun final : sim::LaneRun {
+  PairLaneRun(std::size_t index, const LanePairJob& job,
+              sim::SharedStreamCache& streams)
+      : index(index),
+        token(job_token(job.token)),
+        owned(job.factory != nullptr ? (*job.factory)() : nullptr),
+        state(*job.runner, job.pair,
+              owned != nullptr ? *owned : *job.scheduler, token,
+              streams.open(*job.pair.first), streams.open(*job.pair.second)) {
+    state.set_lane_stride(kLaneStride);
+  }
+
+  [[nodiscard]] bool done() const override { return state.done(); }
+  void advance() override { state.advance(); }
+
+  std::size_t index;
+  const CancelToken* token;
+  std::unique_ptr<sched::Scheduler> owned;
+  PairRunState state;
+};
+
+/// The multicore twin.
+struct MulticoreLaneRun final : sim::LaneRun {
+  MulticoreLaneRun(std::size_t index, const LaneMulticoreJob& job,
+                   sim::SharedStreamCache& streams)
+      : index(index),
+        token(job_token(job.token)),
+        owned(job.factory != nullptr ? (*job.factory)() : nullptr),
+        state(*job.runner, *job.workload,
+              owned != nullptr ? *owned : *job.scheduler, token,
+              [&] {
+                std::vector<std::unique_ptr<wl::OpSource>> sources;
+                sources.reserve(job.workload->size());
+                for (const wl::BenchmarkSpec* spec : *job.workload)
+                  sources.push_back(streams.open(*spec));
+                return sources;
+              }()) {
+    state.set_lane_stride(kLaneStride);
+  }
+
+  [[nodiscard]] bool done() const override { return state.done(); }
+  void advance() override { state.advance(); }
+
+  std::size_t index;
+  const CancelToken* token;
+  std::unique_ptr<sched::NCoreScheduler> owned;
+  MulticoreRunState state;
+};
+
+/// Shared executor skeleton for both job kinds. `Traits` supplies the
+/// job/result/run types and the cache + scalar-run hooks.
+template <typename Traits>
+std::vector<typename Traits::Result> run_jobs(
+    std::span<const typename Traits::Job> jobs, std::size_t lanes) {
+  std::vector<typename Traits::Result> results(jobs.size());
+  std::vector<std::size_t> pending;
+  pending.reserve(jobs.size());
+
+  // Cache pass: warm results never occupy a lane. Armed tracing bypasses
+  // the cache exactly as the closure API does (a memoized result would
+  // leave the JSONL dump incomplete).
+  const bool armed = trace::DecisionTrace::armed();
+  const bool cache_on = RunCache::enabled() && !armed;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& job = jobs[i];
+    if (cache_on && job.factory != nullptr && job.factory->cacheable() &&
+        Traits::cache_lookup(job, &results[i]))
+      continue;
+    pending.push_back(i);
+  }
+  if (pending.empty()) return results;
+
+  if (lanes <= 1 || pending.size() <= 1) {
+    // Scalar fallback (AMPS_LANES=1 or a single miss): the pre-lanes
+    // fan-out, one run per worker task through the closure cache API.
+    parallel_for(pending.size(), [&](std::size_t p) {
+      const std::size_t i = pending[p];
+      results[i] = Traits::run_scalar(jobs[i]);
+    });
+    return results;
+  }
+
+  // Lane groups: contiguous chunks of the miss list, one group per worker
+  // task, each stepping up to `lanes` runs in lockstep over a group-local
+  // shared-decode cache.
+  const std::size_t groups = std::max<std::size_t>(
+      1, std::min(default_worker_count(),
+                  (pending.size() + lanes - 1) / lanes));
+  parallel_for(groups, [&](std::size_t g) {
+    const std::size_t begin = pending.size() * g / groups;
+    const std::size_t end = pending.size() * (g + 1) / groups;
+    if (begin == end) return;
+    sim::SharedStreamCache streams;
+    std::size_t cursor = begin;
+    std::vector<std::size_t> simulated;
+    simulated.reserve(end - begin);
+    sim::LaneEngine engine(
+        std::min(lanes, end - begin),
+        [&]() -> std::unique_ptr<sim::LaneRun> {
+          if (cursor >= end) return nullptr;
+          const std::size_t index = pending[cursor++];
+          return std::make_unique<typename Traits::Run>(index, jobs[index],
+                                                        streams);
+        },
+        [&](std::unique_ptr<sim::LaneRun> done) {
+          auto* run = static_cast<typename Traits::Run*>(done.get());
+          auto result = run->state.finish();
+          const auto& job = jobs[run->index];
+          // Store simulated results for cacheable jobs — unless the run
+          // was deadline-truncated (the closure API's rule: a partial
+          // result must never poison the cache).
+          if (cache_on && job.factory != nullptr &&
+              job.factory->cacheable() &&
+              !(run->token != nullptr && run->token->expired()))
+            Traits::cache_store(job, result);
+          results[run->index] = std::move(result);
+          simulated.push_back(run->index);
+        });
+    const sim::LaneStats stats = engine.run();
+    // Stamp the group's occupancy onto every run it simulated (advisory
+    // metadata — excluded from caching and bit-identity comparisons).
+    for (const std::size_t index : simulated)
+      results[index].lane_occupancy_pct = stats.occupancy_pct();
+  });
+  return results;
+}
+
+struct PairTraits {
+  using Job = LanePairJob;
+  using Result = metrics::PairRunResult;
+  using Run = PairLaneRun;
+
+  static bool cache_lookup(const Job& job, Result* out) {
+    return RunCache::instance().lookup_pair_run(
+        job.runner->pair_run_cache_key(job.pair, *job.factory), out);
+  }
+  static void cache_store(const Job& job, const Result& result) {
+    RunCache::instance().store_pair_run(
+        job.runner->pair_run_cache_key(job.pair, *job.factory), result);
+  }
+  static Result run_scalar(const Job& job) {
+    ScopedCancelToken install(job.token != nullptr ? job.token
+                                                   : current_cancel_token());
+    if (job.factory != nullptr) return job.runner->run_pair(job.pair, *job.factory);
+    return job.runner->run_pair(job.pair, *job.scheduler);
+  }
+};
+
+struct MulticoreTraits {
+  using Job = LaneMulticoreJob;
+  using Result = metrics::MulticoreRunResult;
+  using Run = MulticoreLaneRun;
+
+  static bool cache_lookup(const Job& job, Result* out) {
+    return RunCache::instance().lookup_multicore_run(
+        job.runner->run_cache_key(*job.workload, *job.factory), out);
+  }
+  static void cache_store(const Job& job, const Result& result) {
+    RunCache::instance().store_multicore_run(
+        job.runner->run_cache_key(*job.workload, *job.factory), result);
+  }
+  static Result run_scalar(const Job& job) {
+    ScopedCancelToken install(job.token != nullptr ? job.token
+                                                   : current_cancel_token());
+    if (job.factory != nullptr) return job.runner->run(*job.workload, *job.factory);
+    return job.runner->run(*job.workload, *job.scheduler);
+  }
+};
+
+}  // namespace
+
+std::vector<metrics::PairRunResult> run_pair_jobs(
+    std::span<const LanePairJob> jobs, std::size_t lanes) {
+  return run_jobs<PairTraits>(jobs, lanes);
+}
+
+std::vector<metrics::MulticoreRunResult> run_multicore_jobs(
+    std::span<const LaneMulticoreJob> jobs, std::size_t lanes) {
+  return run_jobs<MulticoreTraits>(jobs, lanes);
+}
+
+}  // namespace amps::harness

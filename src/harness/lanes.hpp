@@ -1,0 +1,67 @@
+// Lane executors: run batches of pair / multicore simulation jobs through
+// sim::LaneEngine lockstep lanes (DESIGN.md §11).
+//
+// These are the harness-level entry points the three fan-out consumers
+// share — compare_schedulers, compare_multicore, and amps-serve's batch
+// dispatch. Each executor:
+//   1. resolves cacheable jobs against the RunCache up front (hits never
+//      occupy a lane),
+//   2. partitions the remaining jobs into contiguous lane groups fanned
+//      out across the worker pool (thread-level parallelism is preserved —
+//      lanes multiply it, they don't replace it),
+//   3. steps each group's runs in lockstep with a per-group
+//      SharedStreamCache so runs of the same benchmark share decode,
+//   4. retires results in place and stores cacheable ones.
+//
+// Lane runs execute the exact scalar loop body (PairRunState /
+// MulticoreRunState), so results and decision traces are bit-identical to
+// scalar execution; the LaneVsScalarBitIdentity fuzz axes enforce this.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/multicore.hpp"
+
+namespace amps::harness {
+
+/// Lane width policy for a batch of `jobs` runs, from AMPS_LANES:
+/// unset/0/negative = auto (kDefaultLaneWidth), 1 = scalar, N = exactly N;
+/// always clamped to the job count so lanes never outnumber work.
+inline constexpr std::size_t kDefaultLaneWidth = 8;
+[[nodiscard]] std::size_t lane_width(std::size_t jobs);
+
+/// One pair-run job. Exactly one of `factory` / `scheduler` is set:
+/// factory jobs are cache-eligible (keyed factories memoize through the
+/// RunCache); scheduler jobs run uncached on the caller's instance, which
+/// keeps its decision trace inspectable afterwards. `token` (optional)
+/// carries a per-job cancellation deadline — the lane path cannot use the
+/// thread-local ambient token because one OS thread interleaves many jobs.
+struct LanePairJob {
+  const ExperimentRunner* runner = nullptr;
+  BenchmarkPair pair{};
+  const SchedulerFactory* factory = nullptr;
+  sched::Scheduler* scheduler = nullptr;
+  CancelToken* token = nullptr;
+};
+
+/// Executes `jobs` (order-stable results) through `lanes` lockstep lanes,
+/// falling back to the scalar parallel_for fan-out when lanes <= 1.
+std::vector<metrics::PairRunResult> run_pair_jobs(
+    std::span<const LanePairJob> jobs, std::size_t lanes);
+
+/// One multicore-run job; the LanePairJob contract, N threads wide.
+struct LaneMulticoreJob {
+  const MulticoreRunner* runner = nullptr;
+  const MulticoreWorkload* workload = nullptr;
+  const NCoreSchedulerFactory* factory = nullptr;
+  sched::NCoreScheduler* scheduler = nullptr;
+  CancelToken* token = nullptr;
+};
+
+std::vector<metrics::MulticoreRunResult> run_multicore_jobs(
+    std::span<const LaneMulticoreJob> jobs, std::size_t lanes);
+
+}  // namespace amps::harness

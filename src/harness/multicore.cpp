@@ -6,6 +6,7 @@
 #include "common/prng.hpp"
 #include "common/stats.hpp"
 #include "harness/cancel.hpp"
+#include "harness/lanes.hpp"
 #include "harness/parallel.hpp"
 #include "harness/run_cache.hpp"
 #include "metrics/speedup.hpp"
@@ -32,79 +33,132 @@ MulticoreRunner MulticoreRunner::canonical(sim::SimScale scale,
   return {scale, std::move(cores)};
 }
 
-metrics::MulticoreRunResult MulticoreRunner::run(
-    const MulticoreWorkload& workload,
-    sched::NCoreScheduler& scheduler) const {
-  if (workload.size() != cores_.size())
-    throw std::invalid_argument("MulticoreRunner: workload/core count mismatch");
-  AMPS_COUNTER_INC("harness.multicore_runs");
-  AMPS_SCOPED_TIMER("harness.multicore_run_ns");
+namespace {
 
-  sim::MulticoreSystem system(cores_, scale_.swap_overhead);
+/// Validates the workload/core shape and materializes the core configs for
+/// the MulticoreSystem (which takes them by value).
+std::vector<sim::CoreConfig> validated_cores(
+    const MulticoreRunner& runner, const MulticoreWorkload& workload) {
+  if (workload.size() != runner.num_cores())
+    throw std::invalid_argument(
+        "MulticoreRunner: workload/core count mismatch");
+  std::vector<sim::CoreConfig> cores;
+  cores.reserve(runner.num_cores());
+  for (std::size_t i = 0; i < runner.num_cores(); ++i)
+    cores.push_back(runner.core_config(i));
+  return cores;
+}
+
+/// Per-thread contexts from explicit op sources (lane path: shared decode
+/// cursors) or the canonical per-spec sources when `sources` is empty.
+std::vector<sim::ThreadContext> make_threads(
+    const MulticoreWorkload& workload,
+    std::vector<std::unique_ptr<wl::OpSource>> sources) {
   std::vector<sim::ThreadContext> threads;
   threads.reserve(workload.size());
-  for (std::size_t i = 0; i < workload.size(); ++i)
-    threads.emplace_back(static_cast<int>(i), *workload[i]);
-  std::vector<sim::ThreadContext*> ptrs;
-  ptrs.reserve(threads.size());
-  for (sim::ThreadContext& t : threads) ptrs.push_back(&t);
-  system.attach_threads(ptrs);
-  scheduler.on_start(system);
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    if (i < sources.size() && sources[i] != nullptr)
+      threads.emplace_back(static_cast<int>(i), std::move(sources[i]));
+    else
+      threads.emplace_back(static_cast<int>(i), *workload[i]);
+  }
+  return threads;
+}
 
-  // As in the pair runs: "until one of the threads completed" its budget,
-  // with a generous cycle bound guarding against pathological stalls.
-  // As in run_pair: a thread-local CancelToken (per-request deadline from
-  // the service layer) truncates exactly like the cycle bound.
-  const Cycles max_cycles = scale_.max_cycles();
-  const CancelToken* token = current_cancel_token();
-  const auto none_done = [&] {
-    for (const sim::ThreadContext& t : threads)
-      if (t.committed_total() >= scale_.run_length) return false;
-    return true;
-  };
-  if (batched_) {
+}  // namespace
+
+MulticoreRunState::MulticoreRunState(
+    const MulticoreRunner& runner, const MulticoreWorkload& workload,
+    sched::NCoreScheduler& scheduler, const CancelToken* token,
+    std::vector<std::unique_ptr<wl::OpSource>> sources)
+    : runner_(runner),
+      workload_(workload),
+      scheduler_(scheduler),
+      token_(token),
+      system_(validated_cores(runner, workload),
+              runner.scale().swap_overhead),
+      threads_(make_threads(workload, std::move(sources))),
+      max_cycles_(runner.scale().max_cycles()) {
+  AMPS_COUNTER_INC("harness.multicore_runs");
+  ptrs_.reserve(threads_.size());
+  for (sim::ThreadContext& t : threads_) ptrs_.push_back(&t);
+  system_.attach_threads(ptrs_);
+  scheduler_.on_start(system_);
+}
+
+bool MulticoreRunState::none_done() const noexcept {
+  for (const sim::ThreadContext& t : threads_)
+    if (t.committed_total() >= runner_.scale().run_length) return false;
+  return true;
+}
+
+// As in the pair runs: "until one of the threads completed" its budget,
+// with a generous cycle bound guarding against pathological stalls, and a
+// thread-local CancelToken (per-request deadline from the service layer)
+// truncating exactly like the cycle bound.
+bool MulticoreRunState::done() const noexcept {
+  return stopped_ || !none_done() || system_.now() >= max_cycles_;
+}
+
+void MulticoreRunState::advance() {
+  const sim::SimScale& scale = runner_.scale();
+  if (runner_.batched_stepping()) {
     // Fast path: between decision points tick() is a no-op, so step the
     // system in uninterrupted batches bounded by the scheduler's hint.
     // Identical contract to ExperimentRunner::run_pair — hints are
     // conservative, so results are bit-identical to per-cycle stepping.
-    while (none_done() && system.now() < max_cycles) {
-      if (token != nullptr && token->expired()) break;
-      const sched::DecisionHint hint = scheduler.next_decision_at(system);
-      Cycles until =
-          std::max(std::min(hint.at_cycle, max_cycles), system.now() + 1);
-      // With a deadline installed, cap batches so expiry is polled at
-      // wall-clock granularity even under schedulers that hint one giant
-      // batch (see ExperimentRunner::run_pair).
-      if (token != nullptr)
-        until = std::min(until, system.now() + kCancelCheckStride);
-      // Cap the commit budget at each thread's remaining budget so the
-      // batch also stops exactly when a thread can have finished.
-      InstrCount budget = hint.commit_budget;
-      for (const sim::ThreadContext& t : threads)
-        budget = std::min(budget, scale_.run_length - t.committed_total());
-      system.step_until(until, budget);
-      scheduler.tick(system);
+    if (token_ != nullptr && token_->expired()) {
+      stopped_ = true;
+      return;
     }
+    const sched::DecisionHint hint = scheduler_.next_decision_at(system_);
+    Cycles until =
+        std::max(std::min(hint.at_cycle, max_cycles_), system_.now() + 1);
+    // With a deadline installed, cap batches so expiry is polled at
+    // wall-clock granularity even under schedulers that hint one giant
+    // batch (see ExperimentRunner::run_pair).
+    if (token_ != nullptr)
+      until = std::min(until, system_.now() + kCancelCheckStride);
+    // Lane-engine lockstep cap, same no-op-tick contract as above.
+    if (lane_stride_ != 0)
+      until = std::min(until, system_.now() + lane_stride_);
+    // Cap the commit budget at each thread's remaining budget so the
+    // batch also stops exactly when a thread can have finished.
+    InstrCount budget = hint.commit_budget;
+    for (const sim::ThreadContext& t : threads_)
+      budget = std::min(budget, scale.run_length - t.committed_total());
+    system_.step_until(until, budget);
+    scheduler_.tick(system_);
   } else {
-    std::uint64_t steps = 0;
-    while (none_done() && system.now() < max_cycles) {
-      if (token != nullptr && (steps++ & 0xFFF) == 0 && token->expired())
-        break;
-      system.step();
-      scheduler.tick(system);
+    if (token_ != nullptr && (steps_++ & 0xFFF) == 0 && token_->expired()) {
+      stopped_ = true;
+      return;
     }
+    system_.step();
+    scheduler_.tick(system_);
   }
+}
 
+metrics::MulticoreRunResult MulticoreRunState::finish() {
   metrics::MulticoreRunResult result = metrics::snapshot_multicore_run(
-      scheduler.name(), system,
-      std::span<const sim::ThreadContext* const>(ptrs.data(), ptrs.size()),
-      scheduler.decision_points(), &scheduler.decision_trace().summary());
+      scheduler_.name(), system_,
+      std::span<const sim::ThreadContext* const>(ptrs_.data(), ptrs_.size()),
+      scheduler_.decision_points(), &scheduler_.decision_trace().summary());
   result.hit_cycle_bound = none_done();
   if (trace::DecisionTrace::armed()) {
-    trace::append_jsonl(workload_label(workload), scheduler.name(),
-                        scheduler.decision_trace());
+    trace::append_jsonl(workload_label(workload_), scheduler_.name(),
+                        scheduler_.decision_trace());
   }
   return result;
+}
+
+metrics::MulticoreRunResult MulticoreRunner::run(
+    const MulticoreWorkload& workload,
+    sched::NCoreScheduler& scheduler) const {
+  AMPS_SCOPED_TIMER("harness.multicore_run_ns");
+  MulticoreRunState state(*this, workload, scheduler, current_cancel_token());
+  while (!state.done()) state.advance();
+  return state.finish();
 }
 
 CacheKey MulticoreRunner::run_cache_key(
@@ -238,15 +292,27 @@ std::string workload_label(const MulticoreWorkload& workload) {
 std::vector<MulticoreComparisonRow> compare_multicore(
     const MulticoreRunner& runner, std::span<const MulticoreWorkload> workloads,
     const NCoreSchedulerFactory& test, const NCoreSchedulerFactory& reference) {
-  // Workload runs are independent; fan out across the worker pool. Rows
-  // are written into index-stable slots so the output matches a serial run.
+  // Two runs per workload, adjacent so the lane executor's contiguous
+  // grouping shares decode across both runs; cache hits resolve before
+  // lanes fill, and AMPS_LANES=1 falls back to the scalar fan-out with
+  // bit-identical results (see compare_schedulers).
+  std::vector<LaneMulticoreJob> jobs;
+  jobs.reserve(workloads.size() * 2);
+  for (const MulticoreWorkload& workload : workloads) {
+    jobs.push_back(
+        LaneMulticoreJob{&runner, &workload, &test, nullptr, nullptr});
+    jobs.push_back(
+        LaneMulticoreJob{&runner, &workload, &reference, nullptr, nullptr});
+  }
+  const std::vector<metrics::MulticoreRunResult> results =
+      run_multicore_jobs(jobs, lane_width(jobs.size()));
+
   std::vector<MulticoreComparisonRow> rows(workloads.size());
-  parallel_for(workloads.size(), [&](std::size_t i) {
-    const MulticoreWorkload& workload = workloads[i];
-    const auto test_result = runner.run(workload, test);
-    const auto ref_result = runner.run(workload, reference);
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const metrics::MulticoreRunResult& test_result = results[2 * i];
+    const metrics::MulticoreRunResult& ref_result = results[2 * i + 1];
     MulticoreComparisonRow& row = rows[i];
-    row.label = workload_label(workload);
+    row.label = workload_label(workloads[i]);
     row.weighted_improvement_pct = metrics::to_improvement_pct(
         test_result.weighted_ipw_speedup_vs(ref_result));
     row.geometric_improvement_pct = metrics::to_improvement_pct(
@@ -256,7 +322,7 @@ std::vector<MulticoreComparisonRow> compare_multicore(
     row.total_cycles = test_result.total_cycles;
     row.hit_cycle_bound =
         test_result.hit_cycle_bound || ref_result.hit_cycle_bound;
-  });
+  }
   return rows;
 }
 

@@ -18,12 +18,14 @@
 #include "core/global_affinity.hpp"
 #include "metrics/run_result.hpp"
 #include "sim/core_config.hpp"
+#include "sim/lanes.hpp"
 #include "sim/scale.hpp"
 #include "workload/benchmark.hpp"
 
 namespace amps::harness {
 
-class CacheKey;  // harness/run_cache.hpp
+class CacheKey;     // harness/run_cache.hpp
+class CancelToken;  // harness/cancel.hpp
 
 /// One N-thread workload: thread i starts on core i.
 using MulticoreWorkload = std::vector<const wl::BenchmarkSpec*>;
@@ -106,15 +108,56 @@ class MulticoreRunner {
       int interval_multiplier = 1) const;
   [[nodiscard]] NCoreSchedulerFactory static_factory() const;
 
- private:
   /// RunCache key for one (workload, keyed factory) run.
   [[nodiscard]] CacheKey run_cache_key(
       const MulticoreWorkload& workload,
       const NCoreSchedulerFactory& factory) const;
 
+ private:
   sim::SimScale scale_;
   std::vector<sim::CoreConfig> cores_;
   bool batched_ = true;
+};
+
+/// One N-core run held as a resumable sim::LaneRun — the MulticoreRunner
+/// twin of PairRunState (harness/experiment.hpp). Scalar run() and the
+/// lane engine drive the same advance() body, so lane-stepped results and
+/// traces are bit-identical to scalar runs by construction. `sources`
+/// optionally replaces thread op sources (lane path: shared decode
+/// cursors); empty keeps the canonical per-thread sources. Throws
+/// std::invalid_argument on a workload/core count mismatch.
+class MulticoreRunState final : public sim::LaneRun {
+ public:
+  MulticoreRunState(const MulticoreRunner& runner,
+                    const MulticoreWorkload& workload,
+                    sched::NCoreScheduler& scheduler,
+                    const CancelToken* token,
+                    std::vector<std::unique_ptr<wl::OpSource>> sources = {});
+
+  [[nodiscard]] bool done() const noexcept override;
+  void advance() override;
+  /// Snapshots the result; call exactly once, after done().
+  metrics::MulticoreRunResult finish();
+
+  /// Caps each batched advance() at `stride` cycles (0 = no cap); see
+  /// PairRunState::set_lane_stride — same no-op-tick contract, same
+  /// bit-identity guarantee.
+  void set_lane_stride(Cycles stride) noexcept { lane_stride_ = stride; }
+
+ private:
+  [[nodiscard]] bool none_done() const noexcept;
+
+  const MulticoreRunner& runner_;
+  const MulticoreWorkload& workload_;
+  sched::NCoreScheduler& scheduler_;
+  const CancelToken* token_;
+  sim::MulticoreSystem system_;
+  std::vector<sim::ThreadContext> threads_;
+  std::vector<sim::ThreadContext*> ptrs_;
+  Cycles max_cycles_;
+  Cycles lane_stride_ = 0;    ///< batched-advance cycle cap (0 = none)
+  std::uint64_t steps_ = 0;   ///< per-cycle-mode token-poll stride counter
+  bool stopped_ = false;      ///< cancel-token expiry latch
 };
 
 /// Samples `count` random workloads of `num_threads` *distinct* benchmarks

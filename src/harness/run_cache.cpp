@@ -514,7 +514,73 @@ T lookup_or_compute(std::string_view kind, const CacheKey& key, Map* map,
   return value;
 }
 
+/// Split-API twin of lookup_or_compute's hit path: memory -> disk -> false.
+template <typename T, typename Map>
+bool lookup_only(std::string_view kind, const CacheKey& key, Map* map,
+                 std::mutex* mutex, RunCache::Stats* stats, T* out) {
+  {
+    std::lock_guard<std::mutex> lock(*mutex);
+    auto it = map->find(key.text());
+    if (it != map->end()) {
+      ++stats->hits;
+      AMPS_COUNTER_INC("run_cache.hits");
+      *out = it->second;
+      return true;
+    }
+  }
+  T value{};
+  if (load_entry(kind, key, &value)) {
+    std::lock_guard<std::mutex> lock(*mutex);
+    ++stats->hits;
+    ++stats->disk_hits;
+    AMPS_COUNTER_INC("run_cache.hits");
+    AMPS_COUNTER_INC("run_cache.disk_hits");
+    map->emplace(key.text(), value);
+    *out = std::move(value);
+    return true;
+  }
+  return false;
+}
+
+/// Split-API twin of lookup_or_compute's store path. The caller enforces
+/// the truncation rule (never store a deadline-truncated result).
+template <typename T, typename Map>
+void store_only(std::string_view kind, const CacheKey& key, Map* map,
+                std::mutex* mutex, RunCache::Stats* stats, const T& value) {
+  {
+    std::lock_guard<std::mutex> lock(*mutex);
+    ++stats->misses;
+    AMPS_COUNTER_INC("run_cache.misses");
+    map->emplace(key.text(), value);
+  }
+  store_entry(kind, key, value);
+}
+
 }  // namespace
+
+bool RunCache::lookup_pair_run(const CacheKey& key,
+                               metrics::PairRunResult* out) {
+  if (!enabled()) return false;
+  return lookup_only("pair", key, &pair_, &mutex_, &stats_, out);
+}
+
+void RunCache::store_pair_run(const CacheKey& key,
+                              const metrics::PairRunResult& result) {
+  if (!enabled()) return;
+  store_only("pair", key, &pair_, &mutex_, &stats_, result);
+}
+
+bool RunCache::lookup_multicore_run(const CacheKey& key,
+                                    metrics::MulticoreRunResult* out) {
+  if (!enabled()) return false;
+  return lookup_only("multi", key, &multi_, &mutex_, &stats_, out);
+}
+
+void RunCache::store_multicore_run(const CacheKey& key,
+                                   const metrics::MulticoreRunResult& result) {
+  if (!enabled()) return;
+  store_only("multi", key, &multi_, &mutex_, &stats_, result);
+}
 
 metrics::PairRunResult RunCache::pair_run(
     const CacheKey& key,

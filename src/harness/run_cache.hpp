@@ -90,6 +90,21 @@ class RunCache {
       const CacheKey& key,
       const std::function<std::vector<sched::ProfileSample>()>& compute);
 
+  // Split lookup/store API for executors that interleave many runs (the
+  // lane engine fills lanes from cache misses only, then stores results as
+  // lanes retire). lookup_* returns true on a hit (memory or disk) and
+  // fills `out`; store_* memoizes (memory + disk) and counts a miss.
+  // No-ops / false when the cache is disabled. Callers own the closure
+  // API's caching rules: never store a deadline-truncated result, and
+  // bypass the cache entirely while decision tracing is armed.
+  bool lookup_pair_run(const CacheKey& key, metrics::PairRunResult* out);
+  void store_pair_run(const CacheKey& key,
+                      const metrics::PairRunResult& result);
+  bool lookup_multicore_run(const CacheKey& key,
+                            metrics::MulticoreRunResult* out);
+  void store_multicore_run(const CacheKey& key,
+                           const metrics::MulticoreRunResult& result);
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;

@@ -44,6 +44,13 @@ struct PairRunResult {
   std::uint64_t forced_swap_count = 0;
   std::array<std::uint64_t, trace::kReasonCount> decisions_by_reason{};
 
+  /// Lane occupancy of the lockstep lane group this run was simulated in
+  /// (100 for scalar runs and cache hits). Advisory execution metadata —
+  /// it describes *how* the run was executed, not its outcome, so it is
+  /// excluded from cache serialization, wire results, and bit-identity
+  /// comparisons.
+  double lane_occupancy_pct = 100.0;
+
   /// Per-thread IPC/Watt ratios against a baseline run of the same pair.
   [[nodiscard]] std::vector<double> ipw_ratios_vs(
       const PairRunResult& base) const;
@@ -91,6 +98,10 @@ struct MulticoreRunResult {
   std::uint64_t windows_observed = 0;
   std::uint64_t forced_swap_count = 0;
   std::array<std::uint64_t, trace::kReasonCount> decisions_by_reason{};
+
+  /// Lane occupancy of the lockstep lane group this run was simulated in
+  /// (100 for scalar runs and cache hits); see PairRunResult.
+  double lane_occupancy_pct = 100.0;
 
   [[nodiscard]] std::size_t num_threads() const noexcept {
     return threads.size();

@@ -9,6 +9,7 @@
 #include "common/stats.hpp"
 #include "harness/cancel.hpp"
 #include "harness/experiment.hpp"
+#include "harness/lanes.hpp"
 #include "harness/multicore.hpp"
 #include "harness/parallel.hpp"
 #include "harness/run_cache.hpp"
@@ -128,13 +129,23 @@ void SimulationService::dispatcher_main() {
     }
     AMPS_COUNTER_INC("service.batches");
     AMPS_HISTOGRAM_RECORD("service.batch_size", batch.size());
-    // Requests are independent simulations; fan the batch out over the
-    // shared worker pool. execute() catches everything, so one bad
-    // request cannot cancel its batch mates.
-    harness::parallel_for(batch.size(),
-                          [&](std::size_t i) { execute(batch[i]); });
+    // Requests are independent simulations; execute_batch fans them out
+    // through the lane executors (or the per-request worker-pool fallback)
+    // and answers every one, so one bad request cannot cancel its mates.
+    execute_batch(batch);
   }
 }
+
+namespace {
+
+std::uint64_t elapsed_us_since(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+}  // namespace
 
 void SimulationService::execute(Pending& p) const {
   AMPS_SCOPED_TIMER("service.request_ns");
@@ -169,16 +180,203 @@ void SimulationService::execute(Pending& p) const {
   }
 }
 
-namespace {
+void SimulationService::execute_batch(std::vector<Pending>& batch) const {
+  const std::size_t lanes = harness::lane_width(batch.size());
+  if (lanes <= 1 || batch.size() <= 1) {
+    // Scalar path (AMPS_LANES=1 or a singleton batch): one request per
+    // worker task, each under its own ambient deadline token.
+    harness::parallel_for(batch.size(),
+                          [&](std::size_t i) { execute(batch[i]); });
+    return;
+  }
 
-std::uint64_t elapsed_us_since(Clock::time_point start) {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                            start)
-          .count());
+  // Lane path. Preparation (validation, runner + factory construction,
+  // deadline token) happens per request on this thread; failures answer
+  // inline and the rest become lane jobs. Jobs carry explicit tokens —
+  // one OS thread interleaves many requests, so the thread-local ambient
+  // token cannot express per-request deadlines.
+  struct Prepared {
+    Clock::time_point start{};
+    std::unique_ptr<harness::CancelToken> token;  ///< null = no deadline
+    std::unique_ptr<harness::ExperimentRunner> pair_runner;
+    harness::SchedulerFactory pair_factory;
+    std::unique_ptr<harness::MulticoreRunner> multi_runner;
+    harness::NCoreSchedulerFactory multi_factory;
+    harness::MulticoreWorkload workload;
+  };
+  std::vector<Prepared> prep(batch.size());
+  std::vector<std::string> responses(batch.size());
+  std::vector<harness::LanePairJob> pair_jobs;
+  std::vector<std::size_t> pair_owner;   ///< batch index per pair job
+  std::vector<harness::LaneMulticoreJob> multi_jobs;
+  std::vector<std::size_t> multi_owner;  ///< batch index per multicore job
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& req = batch[i].req;
+    Prepared& pr = prep[i];
+    pr.start = Clock::now();
+    try {
+      bool bad = false;
+      for (const std::string& name : req.benchmarks) {
+        if (!catalog_.contains(name)) {
+          responses[i] =
+              make_error_response(req.id, "bad_request", false,
+                                  "unknown benchmark '" + name + "'");
+          bad = true;
+          break;
+        }
+      }
+      if (bad) continue;
+      const std::int64_t deadline_ms =
+          req.deadline_ms >= 0 ? req.deadline_ms : cfg_.default_deadline_ms;
+      if (deadline_ms > 0) {
+        pr.token = std::make_unique<harness::CancelToken>();
+        pr.token->set_timeout(std::chrono::milliseconds(deadline_ms));
+      }
+      if (req.op == Op::RunPair) {
+        pr.pair_runner =
+            std::make_unique<harness::ExperimentRunner>(req.scale);
+        if (!pair_factory_for(req, *pr.pair_runner, &pr.pair_factory,
+                              &responses[i]))
+          continue;
+        const harness::BenchmarkPair pair{
+            &catalog_.by_name(req.benchmarks[0]),
+            &catalog_.by_name(req.benchmarks[1])};
+        pair_owner.push_back(i);
+        pair_jobs.push_back(harness::LanePairJob{pr.pair_runner.get(), pair,
+                                                 &pr.pair_factory, nullptr,
+                                                 pr.token.get()});
+      } else {
+        pr.multi_runner = std::make_unique<harness::MulticoreRunner>(
+            harness::MulticoreRunner::canonical(req.scale,
+                                                req.benchmarks.size()));
+        if (!multicore_factory_for(req, *pr.multi_runner, &pr.multi_factory,
+                                   &responses[i]))
+          continue;
+        pr.workload.reserve(req.benchmarks.size());
+        for (const std::string& name : req.benchmarks)
+          pr.workload.push_back(&catalog_.by_name(name));
+        multi_owner.push_back(i);
+        multi_jobs.push_back(harness::LaneMulticoreJob{
+            pr.multi_runner.get(), &pr.workload, &pr.multi_factory, nullptr,
+            pr.token.get()});
+      }
+    } catch (const std::exception& e) {
+      AMPS_COUNTER_INC("service.internal_errors");
+      responses[i] = make_error_response(req.id, "internal", false, e.what());
+    } catch (...) {
+      AMPS_COUNTER_INC("service.internal_errors");
+      responses[i] =
+          make_error_response(req.id, "internal", false, "unknown error");
+    }
+  }
+
+  // Run each job family through its lane executor; a throw (defensive —
+  // the run paths don't throw on valid prepared inputs) answers every
+  // still-unanswered job of that family as an internal error.
+  const auto finish_family = [&](auto run_executor,
+                                 const std::vector<std::size_t>& owner,
+                                 auto make_result_json) {
+    try {
+      const auto results = run_executor();
+      for (std::size_t j = 0; j < owner.size(); ++j) {
+        const std::size_t i = owner[j];
+        if (results[j].hit_cycle_bound && prep[i].token != nullptr &&
+            prep[i].token->expired())
+          AMPS_COUNTER_INC("service.deadline_truncated");
+        responses[i] = make_ok_response(
+            batch[i].req.id, batch[i].req.op,
+            elapsed_us_since(prep[i].start), make_result_json(results[j]));
+      }
+    } catch (const std::exception& e) {
+      AMPS_COUNTER_INC("service.internal_errors");
+      for (const std::size_t i : owner)
+        if (responses[i].empty())
+          responses[i] =
+              make_error_response(batch[i].req.id, "internal", false, e.what());
+    } catch (...) {
+      AMPS_COUNTER_INC("service.internal_errors");
+      for (const std::size_t i : owner)
+        if (responses[i].empty())
+          responses[i] = make_error_response(batch[i].req.id, "internal",
+                                             false, "unknown error");
+    }
+  };
+  if (!pair_jobs.empty())
+    finish_family([&] { return harness::run_pair_jobs(pair_jobs, lanes); },
+                  pair_owner,
+                  [](const metrics::PairRunResult& r) { return to_json(r); });
+  if (!multi_jobs.empty())
+    finish_family(
+        [&] { return harness::run_multicore_jobs(multi_jobs, lanes); },
+        multi_owner,
+        [](const metrics::MulticoreRunResult& r) { return to_json(r); });
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (responses[i].empty()) {
+      AMPS_COUNTER_INC("service.internal_errors");
+      responses[i] = make_error_response(batch[i].req.id, "internal", false,
+                                         "request was not executed");
+    }
+    AMPS_HISTOGRAM_RECORD(
+        "service.request_ns",
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             prep[i].start)
+            .count());
+    try {
+      batch[i].respond(responses[i]);
+    } catch (...) {
+      // A responder that throws (e.g. its connection died mid-write) must
+      // not take down the dispatcher; the request is considered answered.
+      AMPS_COUNTER_INC("service.responder_errors");
+    }
+  }
 }
 
-}  // namespace
+bool SimulationService::pair_factory_for(const Request& req,
+                                         const harness::ExperimentRunner& runner,
+                                         harness::SchedulerFactory* out,
+                                         std::string* error_response) const {
+  const std::string scheduler =
+      req.scheduler.empty() ? "proposed" : req.scheduler;
+  if (scheduler == "proposed") {
+    *out = runner.proposed_factory();
+  } else if (scheduler == "static") {
+    *out = runner.static_factory();
+  } else if (scheduler == "round-robin") {
+    *out = runner.round_robin_factory();
+  } else if (scheduler == "hpe-matrix" || scheduler == "hpe-regression") {
+    const sched::HpeModels& models = hpe_models_for(req.scale);
+    *out = runner.hpe_factory(scheduler == "hpe-matrix"
+                                  ? static_cast<sched::HpePredictionModel&>(
+                                        *models.matrix)
+                                  : *models.regression);
+  } else {
+    *error_response = make_error_response(
+        req.id, "bad_request", false, "unknown scheduler '" + scheduler + "'");
+    return false;
+  }
+  return true;
+}
+
+bool SimulationService::multicore_factory_for(
+    const Request& req, const harness::MulticoreRunner& runner,
+    harness::NCoreSchedulerFactory* out, std::string* error_response) const {
+  const std::string scheduler =
+      req.scheduler.empty() ? "affinity" : req.scheduler;
+  if (scheduler == "affinity") {
+    *out = runner.affinity_factory();
+  } else if (scheduler == "round-robin") {
+    *out = runner.round_robin_factory();
+  } else if (scheduler == "static") {
+    *out = runner.static_factory();
+  } else {
+    *error_response = make_error_response(
+        req.id, "bad_request", false, "unknown scheduler '" + scheduler + "'");
+    return false;
+  }
+  return true;
+}
 
 std::string SimulationService::run_pair_response(const Request& req) const {
   const auto start = Clock::now();
@@ -188,26 +386,9 @@ std::string SimulationService::run_pair_response(const Request& req) const {
                                  "unknown benchmark '" + name + "'");
   }
   const harness::ExperimentRunner runner(req.scale);
-  const std::string scheduler =
-      req.scheduler.empty() ? "proposed" : req.scheduler;
-
   harness::SchedulerFactory factory;
-  if (scheduler == "proposed") {
-    factory = runner.proposed_factory();
-  } else if (scheduler == "static") {
-    factory = runner.static_factory();
-  } else if (scheduler == "round-robin") {
-    factory = runner.round_robin_factory();
-  } else if (scheduler == "hpe-matrix" || scheduler == "hpe-regression") {
-    const sched::HpeModels& models = hpe_models_for(req.scale);
-    factory = runner.hpe_factory(scheduler == "hpe-matrix"
-                                     ? static_cast<sched::HpePredictionModel&>(
-                                           *models.matrix)
-                                     : *models.regression);
-  } else {
-    return make_error_response(req.id, "bad_request", false,
-                               "unknown scheduler '" + scheduler + "'");
-  }
+  std::string error;
+  if (!pair_factory_for(req, runner, &factory, &error)) return error;
 
   const harness::BenchmarkPair pair{&catalog_.by_name(req.benchmarks[0]),
                                     &catalog_.by_name(req.benchmarks[1])};
@@ -228,20 +409,9 @@ std::string SimulationService::run_multicore_response(
   }
   const harness::MulticoreRunner runner =
       harness::MulticoreRunner::canonical(req.scale, req.benchmarks.size());
-  const std::string scheduler =
-      req.scheduler.empty() ? "affinity" : req.scheduler;
-
   harness::NCoreSchedulerFactory factory;
-  if (scheduler == "affinity") {
-    factory = runner.affinity_factory();
-  } else if (scheduler == "round-robin") {
-    factory = runner.round_robin_factory();
-  } else if (scheduler == "static") {
-    factory = runner.static_factory();
-  } else {
-    return make_error_response(req.id, "bad_request", false,
-                               "unknown scheduler '" + scheduler + "'");
-  }
+  std::string error;
+  if (!multicore_factory_for(req, runner, &factory, &error)) return error;
 
   harness::MulticoreWorkload workload;
   workload.reserve(req.benchmarks.size());

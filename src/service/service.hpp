@@ -32,10 +32,18 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/hpe.hpp"
 #include "service/protocol.hpp"
 #include "workload/benchmark.hpp"
+
+namespace amps::harness {
+class ExperimentRunner;
+class MulticoreRunner;
+class NCoreSchedulerFactory;
+class SchedulerFactory;
+}  // namespace amps::harness
 
 namespace amps::service {
 
@@ -97,9 +105,25 @@ class SimulationService {
   };
 
   void dispatcher_main();
+  /// Answers every request in `batch` exactly once. Batches of 2+ run
+  /// requests execute through the harness lane executors (lockstep lanes
+  /// sharing decode, AMPS_LANES policy); a width-1 policy or singleton
+  /// batch falls back to the per-request parallel_for fan-out. Results are
+  /// bit-identical either way.
+  void execute_batch(std::vector<Pending>& batch) const;
   void execute(Pending& p) const;
   [[nodiscard]] std::string run_pair_response(const Request& req) const;
   [[nodiscard]] std::string run_multicore_response(const Request& req) const;
+  /// Resolves a request's scheduler factory at `runner`'s scale. False on
+  /// an unknown scheduler name, with `*error_response` filled.
+  bool pair_factory_for(const Request& req,
+                        const harness::ExperimentRunner& runner,
+                        harness::SchedulerFactory* out,
+                        std::string* error_response) const;
+  bool multicore_factory_for(const Request& req,
+                             const harness::MulticoreRunner& runner,
+                             harness::NCoreSchedulerFactory* out,
+                             std::string* error_response) const;
   [[nodiscard]] std::string statsz_response() const;
   /// Lazily builds (and memoizes) the HPE models for one scale.
   [[nodiscard]] const sched::HpeModels& hpe_models_for(

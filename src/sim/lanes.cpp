@@ -1,0 +1,166 @@
+#include "sim/lanes.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/stats.hpp"
+#include "workload/trace_store.hpp"
+
+namespace amps::sim {
+
+// ---------------------------------------------------------------- LaneEngine
+
+LaneEngine::LaneEngine(std::size_t lanes, NextRun next, Retire retire)
+    : lanes_(std::max<std::size_t>(lanes, 1)),
+      next_(std::move(next)),
+      retire_(std::move(retire)) {
+  slots_.resize(lanes_);
+  stats_.lanes = lanes_;
+}
+
+void LaneEngine::fill_slot(std::size_t slot) {
+  while (slots_[slot] == nullptr) {
+    std::unique_ptr<LaneRun> run = next_();
+    if (run == nullptr) return;  // queue dry; lane stays empty
+    if (run->done()) {
+      // Zero-work run (e.g. cancel token already expired): retire without
+      // ever occupying the lane, exactly as the scalar loop would skip it.
+      ++stats_.retired;
+      retire_(std::move(run));
+      continue;
+    }
+    slots_[slot] = std::move(run);
+  }
+}
+
+LaneStats LaneEngine::run() {
+  for (std::size_t i = 0; i < lanes_; ++i) {
+    const std::size_t before = stats_.retired;
+    fill_slot(i);
+    if (slots_[i] != nullptr || stats_.retired > before) ++stats_.fills;
+  }
+
+  bool any_live = std::any_of(slots_.begin(), slots_.end(),
+                              [](const auto& s) { return s != nullptr; });
+  while (any_live) {
+    ++stats_.sweeps;
+    any_live = false;
+    for (std::size_t i = 0; i < lanes_; ++i) {
+      if (slots_[i] == nullptr) {
+        ++stats_.idle_slices;
+        continue;
+      }
+      ++stats_.occupied_slices;
+      slots_[i]->advance();
+      if (slots_[i]->done()) {
+        ++stats_.retired;
+        retire_(std::move(slots_[i]));
+        slots_[i] = nullptr;
+        const std::size_t before = stats_.retired;
+        fill_slot(i);
+        if (slots_[i] != nullptr || stats_.retired > before)
+          ++stats_.refills;
+      }
+      if (slots_[i] != nullptr) any_live = true;
+    }
+  }
+
+  AMPS_COUNTER_ADD("lanes.fills", stats_.fills);
+  AMPS_COUNTER_ADD("lanes.refills", stats_.refills);
+  AMPS_COUNTER_ADD("lanes.sweeps", stats_.sweeps);
+  AMPS_COUNTER_ADD("lanes.idle_slices", stats_.idle_slices);
+  return stats_;
+}
+
+// -------------------------------------------------------------- SharedStream
+
+SharedStream::SharedStream(std::unique_ptr<wl::OpSource> source)
+    : source_(std::move(source)) {}
+
+void SharedStream::attach(SharedStreamSource* reader) {
+  readers_.push_back(reader);
+}
+
+void SharedStream::detach(SharedStreamSource* reader) noexcept {
+  readers_.erase(std::remove(readers_.begin(), readers_.end(), reader),
+                 readers_.end());
+}
+
+void SharedStream::ensure_through(std::uint64_t end) {
+  while (base_ + buffer_.size() < end) {
+    const std::size_t old = buffer_.size();
+    buffer_.resize(old + wl::kTraceChunkOps);
+    source_->next_batch(buffer_.data() + old, wl::kTraceChunkOps);
+  }
+}
+
+void SharedStream::prune_front() {
+  if (readers_.empty()) return;
+  std::uint64_t min_pos = readers_.front()->pos_;
+  for (const SharedStreamSource* r : readers_)
+    min_pos = std::min(min_pos, r->pos_);
+  // Drop fully consumed whole chunks; keep partial chunks so replays of a
+  // straggling reader never re-decode.
+  const std::uint64_t keep_from =
+      (min_pos / wl::kTraceChunkOps) * wl::kTraceChunkOps;
+  if (keep_from <= base_) return;
+  const std::size_t drop = static_cast<std::size_t>(keep_from - base_);
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(drop));
+  base_ = keep_from;
+}
+
+void SharedStream::read(SharedStreamSource& reader, isa::MicroOp* out,
+                        std::size_t n) {
+  ensure_through(reader.pos_ + n);
+  const std::size_t off = static_cast<std::size_t>(reader.pos_ - base_);
+  std::memcpy(out, buffer_.data() + off, n * sizeof(isa::MicroOp));
+  reader.pos_ += n;
+  prune_front();
+}
+
+// -------------------------------------------------------- SharedStreamSource
+
+SharedStreamSource::SharedStreamSource(std::shared_ptr<SharedStream> stream)
+    : stream_(std::move(stream)) {
+  stream_->attach(this);
+}
+
+SharedStreamSource::~SharedStreamSource() { stream_->detach(this); }
+
+isa::MicroOp SharedStreamSource::next() {
+  isa::MicroOp op;
+  stream_->read(*this, &op, 1);
+  return op;
+}
+
+void SharedStreamSource::next_batch(isa::MicroOp* out, std::size_t n) {
+  stream_->read(*this, out, n);
+}
+
+// --------------------------------------------------------- SharedStreamCache
+
+std::unique_ptr<wl::OpSource> SharedStreamCache::open(
+    const wl::BenchmarkSpec& spec, std::uint64_t instance_seed) {
+  for (Entry& e : streams_) {
+    if (e.spec != &spec || e.instance_seed != instance_seed) continue;
+    if (e.stream->base() == 0) {
+      // Still holds the sequence from op 0 — a fresh cursor can join.
+      AMPS_COUNTER_INC("lanes.stream_shares");
+      return std::make_unique<SharedStreamSource>(e.stream);
+    }
+    // The existing readers pruned the front past op 0 (they raced ahead
+    // before this run was refilled into a lane), so a new reader cannot
+    // join it. Re-decode from scratch and let later opens share that.
+    e.stream = std::make_shared<SharedStream>(
+        wl::make_op_source(spec, instance_seed));
+    return std::make_unique<SharedStreamSource>(e.stream);
+  }
+  auto stream = std::make_shared<SharedStream>(
+      wl::make_op_source(spec, instance_seed));
+  streams_.push_back(Entry{&spec, instance_seed, stream});
+  return std::make_unique<SharedStreamSource>(std::move(stream));
+}
+
+}  // namespace amps::sim

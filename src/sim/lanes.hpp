@@ -1,0 +1,181 @@
+// Lockstep simulation lanes: step K independent runs round-robin so the
+// fan-out consumers (pair sweeps, multicore sweeps, amps-serve batches)
+// amortize dispatch and share decode work across runs (DESIGN.md §11).
+//
+// The engine is deliberately generic: a lane holds any `LaneRun` — an
+// object exposing the *exact* scalar run-loop body as a resumable
+// `advance()` step. Because the lane path executes the very same code the
+// scalar path does (one decision quantum per advance), lane-stepped
+// results and decision traces are bit-identical to scalar runs by
+// construction, not by reimplementation.
+//
+// Lanes retire independently: when a run finishes, its lane is refilled
+// from the pending queue so occupancy stays high across heterogeneous run
+// lengths. `LaneStats` records fills/refills/idle slices for the
+// `lane_occupancy_pct` result field and the AMPS_COUNTER registry.
+//
+// `SharedStream` is the decode-sharing layer: multiple ThreadContexts in
+// one lane group reading the same (benchmark, seed) consume a single
+// generated/replayed op sequence through per-reader cursors, with the
+// consumed prefix pruned as every reader moves past it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "workload/source.hpp"
+
+namespace amps::sim {
+
+/// One resumable simulation occupying a lane. `advance()` performs one
+/// scheduler decision quantum — the same body the scalar run loop executes
+/// — and `done()` mirrors the scalar loop condition.
+class LaneRun {
+ public:
+  virtual ~LaneRun() = default;
+  [[nodiscard]] virtual bool done() const = 0;
+  virtual void advance() = 0;
+};
+
+/// Occupancy accounting for one LaneEngine::run() sweep set.
+struct LaneStats {
+  std::size_t lanes = 0;        ///< configured lane width
+  std::size_t fills = 0;        ///< initial lane fills
+  std::size_t refills = 0;      ///< retire-and-refill events
+  std::size_t retired = 0;      ///< runs completed
+  std::size_t sweeps = 0;       ///< lockstep passes over the lane array
+  std::size_t occupied_slices = 0;  ///< (lane, sweep) slots that advanced
+  std::size_t idle_slices = 0;      ///< (lane, sweep) slots with no run
+
+  /// Percentage of (lane, sweep) slots that held a live run; 100 when the
+  /// engine never went idle (or never ran at all).
+  [[nodiscard]] double occupancy_pct() const noexcept {
+    const std::size_t total = occupied_slices + idle_slices;
+    return total == 0 ? 100.0
+                      : 100.0 * static_cast<double>(occupied_slices) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Steps up to `lanes` LaneRuns in lockstep, refilling finished lanes from
+/// a caller-supplied queue. Single-threaded by design — thread-level
+/// parallelism stays in harness::parallel_for across lane *groups*.
+class LaneEngine {
+ public:
+  /// Produces the next pending run, or nullptr when the queue is dry.
+  using NextRun = std::function<std::unique_ptr<LaneRun>()>;
+  /// Receives each finished run (snapshot results, cache stores, ...).
+  using Retire = std::function<void(std::unique_ptr<LaneRun>)>;
+
+  LaneEngine(std::size_t lanes, NextRun next, Retire retire);
+
+  /// Fills the lanes, sweeps until every run retired, returns the stats.
+  LaneStats run();
+
+ private:
+  /// Installs runs into `slot` until one is unfinished or the queue is
+  /// dry; already-done runs (e.g. zero-length) are retired immediately.
+  void fill_slot(std::size_t slot);
+
+  std::size_t lanes_;
+  NextRun next_;
+  Retire retire_;
+  std::vector<std::unique_ptr<LaneRun>> slots_;
+  LaneStats stats_;
+};
+
+class SharedStreamSource;
+
+/// One op sequence shared by several readers. The buffer grows in
+/// wl::kTraceChunkOps batches pulled from the underlying source (so trace
+/// capture/replay compose unchanged) and the front is pruned once every
+/// registered reader has consumed it.
+class SharedStream {
+ public:
+  SharedStream(std::unique_ptr<wl::OpSource> source);
+
+  /// Copies ops [reader.pos_, reader.pos_ + n) into `out` and advances the
+  /// reader's cursor, growing/pruning the buffer as needed.
+  void read(SharedStreamSource& reader, isa::MicroOp* out, std::size_t n);
+
+  [[nodiscard]] const std::string& name() const noexcept {
+    return source_->name();
+  }
+  /// Ops currently buffered (post-prune) — exposed for tests.
+  [[nodiscard]] std::size_t buffered_ops() const noexcept {
+    return buffer_.size();
+  }
+  /// Absolute index of the first op still buffered. A stream is joinable
+  /// by a fresh reader (which starts at op 0) only while this is 0.
+  [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
+
+  void attach(SharedStreamSource* reader);
+  void detach(SharedStreamSource* reader) noexcept;
+
+ private:
+  void ensure_through(std::uint64_t end);  ///< grow to cover [.., end)
+  void prune_front();
+
+  std::unique_ptr<wl::OpSource> source_;
+  std::vector<isa::MicroOp> buffer_;
+  std::uint64_t base_ = 0;  ///< absolute index of buffer_[0]
+  std::vector<SharedStreamSource*> readers_;
+};
+
+/// Per-reader cursor over a SharedStream; plugs into ThreadContext as a
+/// regular wl::OpSource. name() forwards the benchmark name so metrics
+/// snapshots are identical to private-source runs.
+class SharedStreamSource final : public wl::OpSource {
+ public:
+  explicit SharedStreamSource(std::shared_ptr<SharedStream> stream);
+  ~SharedStreamSource() override;
+
+  SharedStreamSource(const SharedStreamSource&) = delete;
+  SharedStreamSource& operator=(const SharedStreamSource&) = delete;
+
+  isa::MicroOp next() override;
+  void next_batch(isa::MicroOp* out, std::size_t n) override;
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return stream_->name();
+  }
+  [[nodiscard]] std::uint64_t position() const noexcept { return pos_; }
+
+ private:
+  friend class SharedStream;
+  std::shared_ptr<SharedStream> stream_;
+  std::uint64_t pos_ = 0;
+};
+
+/// Deduplicates SharedStreams within one lane group: every run of the same
+/// (benchmark spec, instance seed) decodes the sequence once. Keyed by
+/// spec *identity* — conservative (never aliases two distinct specs that
+/// happen to share a name) and sufficient, since every consumer draws the
+/// jobs of one executor call from a single catalog. Not thread-safe —
+/// create one cache per lane group.
+class SharedStreamCache {
+ public:
+  /// Opens a cursor over the (possibly shared) stream for `spec`. The spec
+  /// must outlive the cache and every cursor.
+  std::unique_ptr<wl::OpSource> open(const wl::BenchmarkSpec& spec,
+                                     std::uint64_t instance_seed = 0);
+
+  /// Distinct underlying streams opened so far — exposed for tests.
+  [[nodiscard]] std::size_t streams() const noexcept {
+    return streams_.size();
+  }
+
+ private:
+  struct Entry {
+    const wl::BenchmarkSpec* spec;
+    std::uint64_t instance_seed;
+    std::shared_ptr<SharedStream> stream;
+  };
+  std::vector<Entry> streams_;
+};
+
+}  // namespace amps::sim

@@ -23,6 +23,7 @@
 #include "core/proposed.hpp"
 #include "core/round_robin.hpp"
 #include "harness/experiment.hpp"
+#include "harness/lanes.hpp"
 #include "harness/multicore.hpp"
 #include "harness/sampler.hpp"
 #include "sim/core_config.hpp"
@@ -477,6 +478,132 @@ TEST(DifferentialFuzz, MulticoreBatchedSteppingMatchesPerCycle) {
 
     expect_identical(a, b);
     expect_same_trace(s1->decision_trace(), s2->decision_trace());
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+// The lane-engine axis: the same configurations executed scalar (the
+// plain Scheduler& run loop) and through the lane executor at width 4
+// (lockstep interleaving with shared decode, harness/lanes.hpp) must be
+// bit-identical — results AND decision traces — for every scheduler
+// family. All 20 lane jobs go through ONE run_pair_jobs call so lanes
+// genuinely interleave runs of different scales and benchmarks.
+TEST(DifferentialFuzz, LaneVsScalarBitIdentityPair) {
+  ArmGuard armed;
+  const wl::BenchmarkCatalog catalog;
+  const sched::HpeModels& models = shared_models();
+  std::mt19937_64 rng(0xA3C5'0008);
+  constexpr int kConfigs = 20;
+
+  std::vector<FuzzConfig> cfgs;
+  std::vector<std::unique_ptr<harness::ExperimentRunner>> runners;
+  std::vector<std::unique_ptr<sched::Scheduler>> scalar_scheds;
+  std::vector<std::unique_ptr<sched::Scheduler>> lane_scheds;
+  std::vector<metrics::PairRunResult> scalar_results;
+  std::vector<harness::LanePairJob> jobs;
+  for (int i = 0; i < kConfigs; ++i) {
+    FuzzConfig cfg = draw_config(rng, catalog);
+    cfg.family = i % 4;  // every scheduler family crosses the axis
+    runners.push_back(std::make_unique<harness::ExperimentRunner>(cfg.scale));
+    scalar_scheds.push_back(make_scheduler(cfg, models));
+    scalar_results.push_back(
+        runners.back()->run_pair(cfg.pair, *scalar_scheds.back()));
+    lane_scheds.push_back(make_scheduler(cfg, models));
+    jobs.push_back(harness::LanePairJob{runners.back().get(), cfg.pair,
+                                        nullptr, lane_scheds.back().get(),
+                                        nullptr});
+    cfgs.push_back(std::move(cfg));
+  }
+
+  const std::vector<metrics::PairRunResult> lane_results =
+      harness::run_pair_jobs(jobs, 4);
+  ASSERT_EQ(lane_results.size(), scalar_results.size());
+  for (int i = 0; i < kConfigs; ++i) {
+    SCOPED_TRACE("config " + std::to_string(i) + ": " + cfgs[i].label);
+    expect_identical(lane_results[i], scalar_results[i]);
+    expect_same_trace(lane_scheds[i]->decision_trace(),
+                      scalar_scheds[i]->decision_trace());
+    if (::testing::Test::HasFailure()) break;  // one replayable config
+  }
+}
+
+// Same axis for the N-core runner: GlobalAffinity / Round-Robin / static
+// on 2- and 4-core machines, scalar run() vs run_multicore_jobs at lane
+// width 4, bit-equal results and record-identical traces.
+TEST(DifferentialFuzz, LaneVsScalarBitIdentityMulticore) {
+  ArmGuard armed;
+  const wl::BenchmarkCatalog catalog;
+  std::mt19937_64 rng(0xA3C5'0009);
+  constexpr int kConfigs = 20;
+
+  std::vector<std::string> labels;
+  std::vector<std::unique_ptr<harness::MulticoreRunner>> runners;
+  std::vector<harness::MulticoreWorkload> workloads;
+  workloads.reserve(kConfigs);  // jobs hold pointers into this vector
+  std::vector<std::unique_ptr<sched::NCoreScheduler>> scalar_scheds;
+  std::vector<std::unique_ptr<sched::NCoreScheduler>> lane_scheds;
+  std::vector<metrics::MulticoreRunResult> scalar_results;
+  std::vector<harness::LaneMulticoreJob> jobs;
+  for (int i = 0; i < kConfigs; ++i) {
+    SimScale scale;
+    scale.context_switch_interval =
+        std::uniform_int_distribution<Cycles>(5'000, 30'000)(rng);
+    scale.run_length =
+        std::uniform_int_distribution<InstrCount>(12'000, 25'000)(rng);
+    constexpr InstrCount kWindows[] = {250, 500, 1'000, 2'000};
+    constexpr int kHistories[] = {1, 3, 5, 7};
+    scale.window_size =
+        kWindows[std::uniform_int_distribution<int>(0, 3)(rng)];
+    scale.history_depth =
+        kHistories[std::uniform_int_distribution<int>(0, 3)(rng)];
+    const std::size_t n = i % 2 == 0 ? 2 : 4;
+    const int family = i % 3;  // affinity / round-robin / static
+    workloads.push_back(
+        harness::sample_workloads(
+            catalog, n, 1,
+            std::uniform_int_distribution<std::uint64_t>(0, 1u << 20)(rng))
+            .front());
+    labels.push_back(harness::workload_label(workloads.back()) + " n=" +
+                     std::to_string(n) + " family=" + std::to_string(family) +
+                     " csi=" + std::to_string(scale.context_switch_interval) +
+                     " window=" + std::to_string(scale.window_size) +
+                     " history=" + std::to_string(scale.history_depth));
+
+    const auto make_ncore = [&]() -> std::unique_ptr<sched::NCoreScheduler> {
+      switch (family) {
+        case 0: {
+          sched::GlobalAffinityConfig cfg;
+          cfg.window_size = scale.window_size;
+          cfg.history_depth = scale.history_depth;
+          return std::make_unique<sched::GlobalAffinityScheduler>(cfg);
+        }
+        case 1:
+          return std::make_unique<sched::MulticoreRoundRobin>(
+              scale.context_switch_interval);
+        default:
+          return std::make_unique<sched::MulticoreStaticScheduler>();
+      }
+    };
+
+    runners.push_back(std::make_unique<harness::MulticoreRunner>(
+        harness::MulticoreRunner::canonical(scale, n)));
+    scalar_scheds.push_back(make_ncore());
+    scalar_results.push_back(
+        runners.back()->run(workloads.back(), *scalar_scheds.back()));
+    lane_scheds.push_back(make_ncore());
+    jobs.push_back(harness::LaneMulticoreJob{
+        runners.back().get(), &workloads.back(), nullptr,
+        lane_scheds.back().get(), nullptr});
+  }
+
+  const std::vector<metrics::MulticoreRunResult> lane_results =
+      harness::run_multicore_jobs(jobs, 4);
+  ASSERT_EQ(lane_results.size(), scalar_results.size());
+  for (int i = 0; i < kConfigs; ++i) {
+    SCOPED_TRACE("config " + std::to_string(i) + ": " + labels[i]);
+    expect_identical(lane_results[i], scalar_results[i]);
+    expect_same_trace(lane_scheds[i]->decision_trace(),
+                      scalar_scheds[i]->decision_trace());
     if (::testing::Test::HasFailure()) break;
   }
 }

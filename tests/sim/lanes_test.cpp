@@ -1,0 +1,195 @@
+#include "sim/lanes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "workload/benchmark.hpp"
+#include "workload/trace_store.hpp"
+
+namespace amps::sim {
+namespace {
+
+// A LaneRun that needs `length` advances; records how many it received so
+// the tests can assert the engine drives every run to completion exactly.
+class FakeLaneRun final : public LaneRun {
+ public:
+  FakeLaneRun(std::size_t length, std::size_t* advances)
+      : length_(length), advances_(advances) {}
+
+  [[nodiscard]] bool done() const override { return stepped_ >= length_; }
+  void advance() override {
+    ++stepped_;
+    ++*advances_;
+  }
+
+ private:
+  std::size_t length_;
+  std::size_t stepped_ = 0;
+  std::size_t* advances_;
+};
+
+/// Drives a LaneEngine over runs of the given lengths; returns the stats
+/// and fills `advances[i]` with the number of advance() calls run i got.
+LaneStats drive(std::size_t lanes, const std::vector<std::size_t>& lengths,
+                std::vector<std::size_t>* advances,
+                std::size_t* retired_count) {
+  advances->assign(lengths.size(), 0);
+  *retired_count = 0;
+  std::size_t cursor = 0;
+  LaneEngine engine(
+      lanes,
+      [&]() -> std::unique_ptr<LaneRun> {
+        if (cursor >= lengths.size()) return nullptr;
+        const std::size_t i = cursor++;
+        return std::make_unique<FakeLaneRun>(lengths[i], &(*advances)[i]);
+      },
+      [&](std::unique_ptr<LaneRun> run) {
+        EXPECT_TRUE(run->done());
+        ++*retired_count;
+      });
+  return engine.run();
+}
+
+TEST(LaneEngineTest, HeterogeneousLengthsRefillFromQueue) {
+  // 10 runs over 4 lanes: 4 initial fills, the other 6 enter via refill.
+  const std::vector<std::size_t> lengths = {1, 7, 2, 5, 3, 1, 6, 2, 4, 1};
+  std::vector<std::size_t> advances;
+  std::size_t retired = 0;
+  const LaneStats stats = drive(4, lengths, &advances, &retired);
+
+  EXPECT_EQ(stats.lanes, 4u);
+  EXPECT_EQ(stats.fills, 4u);
+  EXPECT_EQ(stats.refills, 6u);
+  EXPECT_EQ(stats.retired, 10u);
+  EXPECT_EQ(retired, 10u);
+  for (std::size_t i = 0; i < lengths.size(); ++i)
+    EXPECT_EQ(advances[i], lengths[i]) << "run " << i;
+  // Heterogeneous lengths leave lanes empty near the end of the sweep set.
+  EXPECT_GT(stats.idle_slices, 0u);
+  EXPECT_LT(stats.occupancy_pct(), 100.0);
+  EXPECT_GT(stats.occupancy_pct(), 0.0);
+}
+
+TEST(LaneEngineTest, UnderfilledWiderThanQueue) {
+  // Width 8 but only 3 pending runs: only 3 lanes ever fill, and nothing
+  // refills. Equal lengths keep every filled lane busy to the last sweep.
+  const std::vector<std::size_t> lengths = {5, 5, 5};
+  std::vector<std::size_t> advances;
+  std::size_t retired = 0;
+  const LaneStats stats = drive(8, lengths, &advances, &retired);
+
+  EXPECT_EQ(stats.fills, 3u);
+  EXPECT_EQ(stats.refills, 0u);
+  EXPECT_EQ(stats.retired, 3u);
+  EXPECT_EQ(stats.sweeps, 5u);
+  // 5 of 8 lanes idle for all 5 sweeps.
+  EXPECT_EQ(stats.idle_slices, 25u);
+  EXPECT_EQ(stats.occupied_slices, 15u);
+  for (const std::size_t a : advances) EXPECT_EQ(a, 5u);
+}
+
+TEST(LaneEngineTest, EmptyQueueRunsNothing) {
+  std::vector<std::size_t> advances;
+  std::size_t retired = 0;
+  const LaneStats stats = drive(4, {}, &advances, &retired);
+  EXPECT_EQ(stats.fills, 0u);
+  EXPECT_EQ(stats.retired, 0u);
+  EXPECT_EQ(stats.sweeps, 0u);
+  EXPECT_EQ(stats.occupancy_pct(), 100.0);  // never idle, never occupied
+}
+
+TEST(LaneEngineTest, ZeroLengthRunsRetireWithoutOccupyingLanes) {
+  // Already-done runs (scalar analogue: an expired cancel token) retire at
+  // fill time and never consume a (lane, sweep) slot.
+  const std::vector<std::size_t> lengths = {0, 0, 3, 0};
+  std::vector<std::size_t> advances;
+  std::size_t retired = 0;
+  const LaneStats stats = drive(2, lengths, &advances, &retired);
+  EXPECT_EQ(stats.retired, 4u);
+  EXPECT_EQ(retired, 4u);
+  EXPECT_EQ(advances[0], 0u);
+  EXPECT_EQ(advances[1], 0u);
+  EXPECT_EQ(advances[2], 3u);
+  EXPECT_EQ(advances[3], 0u);
+}
+
+// --- SharedStream / SharedStreamCache -----------------------------------
+
+void expect_same_op(const isa::MicroOp& a, const isa::MicroOp& b,
+                    std::size_t at) {
+  EXPECT_EQ(a.cls, b.cls) << "op " << at;
+  EXPECT_EQ(a.pc, b.pc) << "op " << at;
+  EXPECT_EQ(a.mem_addr, b.mem_addr) << "op " << at;
+  EXPECT_EQ(a.dep1, b.dep1) << "op " << at;
+  EXPECT_EQ(a.dep2, b.dep2) << "op " << at;
+  EXPECT_EQ(a.branch_taken, b.branch_taken) << "op " << at;
+}
+
+TEST(SharedStreamCacheTest, SharedCursorsMatchPrivateSources) {
+  const wl::BenchmarkCatalog catalog;
+  const wl::BenchmarkSpec& spec = catalog.by_name("gcc");
+
+  SharedStreamCache cache;
+  auto shared_a = cache.open(spec);
+  auto shared_b = cache.open(spec);
+  EXPECT_EQ(cache.streams(), 1u);  // same spec, same seed: one decode
+
+  auto private_a = wl::make_op_source(spec, 0);
+  auto private_b = wl::make_op_source(spec, 0);
+
+  // Interleave reads with the cursors deliberately out of step (reader A
+  // pulls big batches, reader B trickles) so growth and pruning happen
+  // mid-stream; every op must match the private sources bit-for-bit.
+  std::vector<isa::MicroOp> got(257);
+  std::vector<isa::MicroOp> want(257);
+  std::size_t a_pos = 0;
+  std::size_t b_pos = 0;
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t a_n = 251;  // co-prime with the chunk size
+    shared_a->next_batch(got.data(), a_n);
+    private_a->next_batch(want.data(), a_n);
+    for (std::size_t i = 0; i < a_n; ++i)
+      expect_same_op(got[i], want[i], a_pos + i);
+    a_pos += a_n;
+
+    expect_same_op(shared_b->next(), private_b->next(), b_pos);
+    ++b_pos;
+  }
+  EXPECT_EQ(shared_a->name(), private_a->name());
+}
+
+TEST(SharedStreamCacheTest, DistinctSpecsAndSeedsGetDistinctStreams) {
+  const wl::BenchmarkCatalog catalog;
+  SharedStreamCache cache;
+  auto a = cache.open(catalog.by_name("gcc"));
+  auto b = cache.open(catalog.by_name("swim"));
+  auto c = cache.open(catalog.by_name("gcc"), /*instance_seed=*/7);
+  EXPECT_EQ(cache.streams(), 3u);
+}
+
+TEST(SharedStreamTest, PrunesChunksBehindSlowestReader) {
+  const wl::BenchmarkCatalog catalog;
+  const wl::BenchmarkSpec& spec = catalog.by_name("gzip");
+  auto stream = std::make_shared<SharedStream>(wl::make_op_source(spec, 0));
+  SharedStreamSource fast(stream);
+  SharedStreamSource slow(stream);
+
+  std::vector<isa::MicroOp> buf(wl::kTraceChunkOps);
+  // The fast reader races 4 chunks ahead: all of them stay buffered
+  // because the slow reader still sits at op 0.
+  for (int i = 0; i < 4; ++i) fast.next_batch(buf.data(), buf.size());
+  EXPECT_GE(stream->buffered_ops(), 4 * wl::kTraceChunkOps);
+
+  // Once the slow reader catches up past chunk 3, the consumed prefix is
+  // dropped; only the partial tail chunk (plus the current one) remains.
+  for (int i = 0; i < 3; ++i) slow.next_batch(buf.data(), buf.size());
+  slow.next_batch(buf.data(), buf.size() / 2);
+  EXPECT_LE(stream->buffered_ops(), 2 * wl::kTraceChunkOps);
+}
+
+}  // namespace
+}  // namespace amps::sim
