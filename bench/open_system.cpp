@@ -1,0 +1,167 @@
+// Open-system sweep: a Poisson job stream on the canonical 4-core AMP
+// (2 INT + 2 FP), oversubscribed (default 12 jobs, 3x the cores), with
+// per-core run queues, idle-core steal, optional time slicing, and modeled
+// I/O blocking. Each scheduler family — static placement, the
+// global-affinity generalization of the paper's scheme, and rotating
+// Round-Robin — serves the identical arrival schedule, so the open-system
+// serving metrics (turnaround, wait, p99 latency, fairness slowdown)
+// isolate the placement policy.
+//
+// Results go to stdout and BENCH_open.json (machine-readable;
+// scripts/check_perf.sh reports the p99-turnaround and migration shape
+// informationally when the file is present).
+//
+// Knobs: AMPS_SCALE, AMPS_SEED, AMPS_LANES,
+//        AMPS_ARRIVAL_JOBS        jobs in the stream (default 12),
+//        AMPS_ARRIVAL_LAMBDA      jobs per 1000 cycles (default 0.25),
+//        AMPS_ARRIVAL_QUANTUM     preemption quantum cycles (default
+//                                 interval/8; 0 disables slicing),
+//        AMPS_ARRIVAL_IO_INTERVAL instrs between I/O stalls (default
+//                                 run_length/16; 0 = CPU-bound),
+//        AMPS_ARRIVAL_IO_LATENCY  cycles blocked per stall (default 2000).
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/lanes.hpp"
+#include "harness/multicore.hpp"
+#include "workload/arrivals.hpp"
+
+namespace {
+
+using namespace amps;
+
+constexpr std::size_t kCores = 4;
+
+struct Row {
+  std::string slug;  ///< json key prefix
+  metrics::OpenRunResult result;
+};
+
+}  // namespace
+
+int main() {
+  const auto ctx = bench::make_context(/*default_pairs=*/2);
+  bench::print_header(
+      "open system — Poisson arrivals, oversubscribed run queues, 4-core AMP",
+      ctx);
+
+  const wl::BenchmarkCatalog catalog;
+
+  wl::PoissonConfig pcfg;
+  pcfg.count = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, env_arrival_jobs(12)));
+  pcfg.jobs_per_kilocycle = env_arrival_lambda(0.25);
+  pcfg.min_job_length = ctx.scale.run_length / 8;
+  pcfg.max_job_length = ctx.scale.run_length / 2;
+  pcfg.io.stall_interval = static_cast<InstrCount>(std::max<std::int64_t>(
+      0, env_arrival_io_interval(
+             static_cast<std::int64_t>(ctx.scale.run_length / 16))));
+  pcfg.io.stall_latency = static_cast<Cycles>(
+      std::max<std::int64_t>(0, env_arrival_io_latency(2000)));
+  const wl::ArrivalSchedule schedule =
+      wl::poisson_arrivals(catalog, pcfg, env_seed());
+
+  sim::OpenConfig open_cfg;
+  open_cfg.quantum = static_cast<Cycles>(std::max<std::int64_t>(
+      0, env_arrival_quantum(
+             static_cast<std::int64_t>(ctx.scale.context_switch_interval / 8))));
+  open_cfg.dispatch_overhead = ctx.scale.swap_overhead;
+
+  std::cout << "jobs=" << schedule.size() << " on " << kCores
+            << " cores (oversubscription "
+            << static_cast<double>(schedule.size()) / kCores
+            << "x), lambda=" << pcfg.jobs_per_kilocycle
+            << "/kcycle, quantum=" << open_cfg.quantum
+            << ", io_interval=" << pcfg.io.stall_interval
+            << ", io_latency=" << pcfg.io.stall_latency << "\n\n";
+
+  const harness::MulticoreRunner runner =
+      harness::MulticoreRunner::canonical(ctx.scale, kCores);
+  const auto affinity = runner.affinity_factory();
+  const auto rr = runner.round_robin_factory();
+  const auto stat = runner.static_factory();
+
+  const std::vector<harness::LaneOpenJob> jobs = {
+      {&runner, &schedule, &open_cfg, harness::OpenStop::kAllExited, &stat,
+       nullptr, nullptr},
+      {&runner, &schedule, &open_cfg, harness::OpenStop::kAllExited,
+       &affinity, nullptr, nullptr},
+      {&runner, &schedule, &open_cfg, harness::OpenStop::kAllExited, &rr,
+       nullptr, nullptr},
+  };
+  const auto results =
+      harness::run_open_jobs(jobs, harness::lane_width(jobs.size()));
+
+  const std::vector<Row> rows = {{"static", results[0]},
+                                 {"affinity", results[1]},
+                                 {"rr", results[2]}};
+
+  Table table({"scheduler", "finished", "p50 turn", "p99 turn", "mean wait",
+               "p99 wait", "slowdown", "migr", "steals", "preempt",
+               "jobs/Mcyc"});
+  for (const Row& row : rows) {
+    const metrics::OpenRunResult& r = row.result;
+    table.row()
+        .cell(r.closed.scheduler)
+        .cell(static_cast<long long>(r.jobs_finished))
+        .cell(r.p50_turnaround, 0)
+        .cell(r.p99_turnaround, 0)
+        .cell(r.mean_wait, 0)
+        .cell(r.p99_wait, 0)
+        .cell(r.mean_slowdown, 2)
+        .cell(static_cast<long long>(r.total_migrations))
+        .cell(static_cast<long long>(r.total_steals))
+        .cell(static_cast<long long>(r.total_preemptions))
+        .cell(r.throughput_jobs_per_mcycle(), 2);
+  }
+  bench::emit("open_system", table);
+  std::cout << "\nShape: every scheduler drains the same oversubscribed "
+               "stream; queueing (wait) dominates turnaround tails, and the "
+               "affinity scheme's placement swaps ride on top of the "
+               "run-queue migrations all families share.\n";
+
+  std::ofstream json("BENCH_open.json");
+  if (json) {
+    json << "{\n"
+         << "  \"scale\": \"" << (env_paper_scale() ? "paper" : "ci")
+         << "\",\n"
+         << "  \"seed\": " << env_seed() << ",\n"
+         << "  \"cores\": " << kCores << ",\n"
+         << "  \"jobs\": " << schedule.size() << ",\n"
+         << "  \"lambda_per_kcycle\": " << pcfg.jobs_per_kilocycle << ",\n"
+         << "  \"quantum\": " << open_cfg.quantum << ",\n"
+         << "  \"io_interval\": " << pcfg.io.stall_interval << ",\n"
+         << "  \"io_latency\": " << pcfg.io.stall_latency << ",\n";
+    for (const Row& row : rows) {
+      const metrics::OpenRunResult& r = row.result;
+      json << "  \"" << row.slug << "_jobs_finished\": " << r.jobs_finished
+           << ",\n"
+           << "  \"" << row.slug << "_p50_turnaround\": " << r.p50_turnaround
+           << ",\n"
+           << "  \"" << row.slug << "_p99_turnaround\": " << r.p99_turnaround
+           << ",\n"
+           << "  \"" << row.slug << "_mean_wait\": " << r.mean_wait << ",\n"
+           << "  \"" << row.slug << "_p99_wait\": " << r.p99_wait << ",\n"
+           << "  \"" << row.slug << "_mean_slowdown\": " << r.mean_slowdown
+           << ",\n"
+           << "  \"" << row.slug << "_max_slowdown\": " << r.max_slowdown
+           << ",\n"
+           << "  \"" << row.slug << "_migrations\": " << r.total_migrations
+           << ",\n"
+           << "  \"" << row.slug << "_steals\": " << r.total_steals << ",\n"
+           << "  \"" << row.slug
+           << "_preemptions\": " << r.total_preemptions << ",\n"
+           << "  \"" << row.slug << "_throughput_jobs_per_mcycle\": "
+           << r.throughput_jobs_per_mcycle() << ",\n";
+    }
+    json << "  \"schedulers\": " << rows.size() << "\n}\n";
+    std::cout << "wrote BENCH_open.json\n";
+  } else {
+    std::cerr << "[warn] cannot write BENCH_open.json\n";
+  }
+  return 0;
+}

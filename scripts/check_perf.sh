@@ -71,6 +71,24 @@ else
   echo "check_perf: no $MULTI (run scalability_multicore to add the N-core report)"
 fi
 
+# Informational only (no gate): the open-system serving sweep, when the
+# open_system bench has run in this directory. Reports the tail latency and
+# migration shape of each scheduler family on the shared Poisson stream.
+OPEN=BENCH_open.json
+if [ -f "$OPEN" ]; then
+  ojobs=$(json_field "$OPEN" jobs)
+  olambda=$(json_field "$OPEN" lambda_per_kcycle)
+  echo "check_perf: open-system sweep present (${ojobs:-?} jobs, lambda ${olambda:-?}/kcycle)"
+  for s in static affinity rr; do
+    op99=$(json_field "$OPEN" "${s}_p99_turnaround")
+    omig=$(json_field "$OPEN" "${s}_migrations")
+    osteal=$(json_field "$OPEN" "${s}_steals")
+    [ -n "$op99" ] && echo "check_perf:   ${s}: p99 turnaround ${op99} cycles, ${omig} migrations, ${osteal} steals"
+  done
+else
+  echo "check_perf: no $OPEN (run open_system to add the serving report)"
+fi
+
 if [ ! -f "$BASELINE" ]; then
   printf '{\n  "cold_fast_step_rate": %s\n}\n' "$rate" > "$BASELINE"
   echo "check_perf: no baseline found; recorded $BASELINE"

@@ -46,4 +46,33 @@ bool env_trace_capture() { return env_int("AMPS_TRACE_CAPTURE", 1) != 0; }
 
 std::int64_t env_lanes() { return env_int("AMPS_LANES", 0); }
 
+double env_double(const char* name, double fallback) {
+  auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(s->c_str(), &end);
+  if (end == s->c_str()) return fallback;
+  return v;
+}
+
+std::int64_t env_arrival_jobs(std::int64_t fallback) {
+  return env_int("AMPS_ARRIVAL_JOBS", fallback);
+}
+
+double env_arrival_lambda(double fallback) {
+  return env_double("AMPS_ARRIVAL_LAMBDA", fallback);
+}
+
+std::int64_t env_arrival_quantum(std::int64_t fallback) {
+  return env_int("AMPS_ARRIVAL_QUANTUM", fallback);
+}
+
+std::int64_t env_arrival_io_interval(std::int64_t fallback) {
+  return env_int("AMPS_ARRIVAL_IO_INTERVAL", fallback);
+}
+
+std::int64_t env_arrival_io_latency(std::int64_t fallback) {
+  return env_int("AMPS_ARRIVAL_IO_LATENCY", fallback);
+}
+
 }  // namespace amps

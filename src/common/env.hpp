@@ -9,6 +9,11 @@
 //   AMPS_TRACE_CAPTURE = 0|1  (default 1)         — persist generated chunks
 //   AMPS_LANES         = <k>  (default 0 = auto)  — lockstep lane width;
 //                                                   1 = scalar fast engine
+//   AMPS_ARRIVAL_JOBS        = <n>   — open-system jobs per sweep run
+//   AMPS_ARRIVAL_LAMBDA      = <x>   — arrival rate, jobs per 1000 cycles
+//   AMPS_ARRIVAL_QUANTUM     = <c>   — preemption quantum cycles (0 = off)
+//   AMPS_ARRIVAL_IO_INTERVAL = <i>   — instrs committed between I/O stalls
+//   AMPS_ARRIVAL_IO_LATENCY  = <c>   — cycles blocked per I/O stall
 #pragma once
 
 #include <cstdint>
@@ -56,5 +61,28 @@ bool env_trace_capture();
 /// 1 = scalar fast engine, N > 1 = exactly N lockstep lanes. Negative
 /// values are treated as auto. See harness::lane_width for the policy.
 std::int64_t env_lanes();
+
+// --- open-system arrivals (workload/arrivals.hpp, bench/open_system) ------
+
+/// Reads a floating-point environment variable; `fallback` when
+/// unset/invalid.
+double env_double(const char* name, double fallback);
+
+/// Jobs per open-system sweep run (AMPS_ARRIVAL_JOBS).
+std::int64_t env_arrival_jobs(std::int64_t fallback);
+
+/// Poisson arrival rate in jobs per 1000 cycles (AMPS_ARRIVAL_LAMBDA).
+double env_arrival_lambda(double fallback);
+
+/// Preemption quantum in cycles, 0 = no time slicing
+/// (AMPS_ARRIVAL_QUANTUM).
+std::int64_t env_arrival_quantum(std::int64_t fallback);
+
+/// Committed instructions between modeled I/O stalls, 0 = CPU-bound
+/// (AMPS_ARRIVAL_IO_INTERVAL).
+std::int64_t env_arrival_io_interval(std::int64_t fallback);
+
+/// Cycles blocked per modeled I/O stall (AMPS_ARRIVAL_IO_LATENCY).
+std::int64_t env_arrival_io_latency(std::int64_t fallback);
 
 }  // namespace amps

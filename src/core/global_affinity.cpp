@@ -26,7 +26,13 @@ void GlobalAffinityScheduler::tick(sim::MulticoreSystem& system) {
     if (system.migrating(i)) continue;
     const sim::ThreadContext* t = system.thread_on(i);
     CoreState& st = state_[i];
-    if (!st.primed) {
+    if (t == nullptr) {  // open-system empty slot: drop any stale state
+      st = CoreState{};
+      continue;
+    }
+    if (!st.primed || st.occupant != t) {
+      st = CoreState{};
+      st.occupant = t;
       st.last_counts = t->committed();
       st.next_boundary = t->committed_total() + cfg_.window_size;
       st.primed = true;
@@ -57,8 +63,13 @@ DecisionHint GlobalAffinityScheduler::next_decision_at(
   InstrCount budget = kUnboundedCommits;
   for (std::size_t i = 0; i < system.num_cores(); ++i) {
     if (system.migrating(i)) continue;  // frozen; tick skips them too
-    if (!state_[i].primed) return {system.now() + 1, kUnboundedCommits};
-    const InstrCount committed = system.thread_on(i)->committed_total();
+    const sim::ThreadContext* t = system.thread_on(i);
+    if (t == nullptr) continue;  // open-system empty slot: nothing to watch
+    // Unprimed (or re-assigned by the open run-queue layer): the next tick
+    // must prime it.
+    if (!state_[i].primed || state_[i].occupant != t)
+      return {system.now() + 1, kUnboundedCommits};
+    const InstrCount committed = t->committed_total();
     // A boundary already crossed (but not yet polled) must tick now.
     const InstrCount remaining = state_[i].next_boundary > committed
                                      ? state_[i].next_boundary - committed
@@ -77,9 +88,10 @@ void GlobalAffinityScheduler::evaluate(sim::MulticoreSystem& system) {
   std::size_t best_fp_core = 0, best_int_core = 0;
   bool found = false;
   for (std::size_t i = 0; i < system.num_cores(); ++i) {
-    if (system.migrating(i)) continue;
+    if (system.migrating(i) || system.thread_on(i) == nullptr) continue;
     for (std::size_t j = 0; j < system.num_cores(); ++j) {
-      if (i == j || system.migrating(j)) continue;
+      if (i == j || system.migrating(j) || system.thread_on(j) == nullptr)
+        continue;
       if (system.core(i).config().kind != CoreKind::Fp ||
           system.core(j).config().kind != CoreKind::Int)
         continue;
@@ -128,8 +140,11 @@ void MulticoreRoundRobin::tick(sim::MulticoreSystem& system) {
   const std::size_t b = (pair_ + 1) % n;
   ++pair_;
   // The system ignores the request while either core is still migrating
-  // (only possible when the interval undercuts the swap overhead).
-  const bool accepted = !system.migrating(a) && !system.migrating(b);
+  // (only possible when the interval undercuts the swap overhead) or — in
+  // open-system runs — holds no thread.
+  const bool accepted = !system.migrating(a) && !system.migrating(b) &&
+                        system.thread_on(a) != nullptr &&
+                        system.thread_on(b) != nullptr;
   system.swap_threads(a, b);
   if (accepted) ++swaps_;
 

@@ -17,6 +17,7 @@
 #include "common/trace.hpp"
 #include "core/scheduler.hpp"  // DecisionHint + sentinels
 #include "isa/mix.hpp"
+#include "sim/lifecycle.hpp"
 #include "sim/multicore.hpp"
 
 namespace amps::sched {
@@ -28,10 +29,15 @@ namespace amps::sched {
 /// bounds how far the harness may step the system without calling tick().
 /// A harness that ignores the hint and ticks every cycle gets bit-identical
 /// results.
-class NCoreScheduler {
+///
+/// Open-system runs additionally deliver thread lifecycle events
+/// (start/stall/resume/exit — the Sniper SchedulerDynamic hook shape)
+/// through the inherited ThreadLifecycleListener interface; all hooks
+/// default to no-ops, and closed-system runs never fire them.
+class NCoreScheduler : public sim::ThreadLifecycleListener {
  public:
   explicit NCoreScheduler(std::string name) : name_(std::move(name)) {}
-  virtual ~NCoreScheduler() = default;
+  ~NCoreScheduler() override = default;
 
   NCoreScheduler(const NCoreScheduler&) = delete;
   NCoreScheduler& operator=(const NCoreScheduler&) = delete;
@@ -116,6 +122,11 @@ class GlobalAffinityScheduler : public NCoreScheduler {
     InstrCount next_boundary = 0;
     double bias = 0.0;  ///< smoothed %INT - %FP of the occupant thread
     bool primed = false;
+    /// The thread this state was primed for. In closed runs occupancy only
+    /// changes through our own swaps (state moves along), so this never
+    /// mismatches; in open runs the run-queue layer re-assigns cores
+    /// between decisions, and a mismatch re-primes from scratch.
+    const sim::ThreadContext* occupant = nullptr;
   };
 
   void evaluate(sim::MulticoreSystem& system);

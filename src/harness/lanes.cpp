@@ -87,6 +87,36 @@ struct MulticoreLaneRun final : sim::LaneRun {
   MulticoreRunState state;
 };
 
+/// The open-system twin: per-arrival shared streams keyed by (spec,
+/// instance_seed), no cache interaction (open runs are uncacheable).
+struct OpenLaneRun final : sim::LaneRun {
+  OpenLaneRun(std::size_t index, const LaneOpenJob& job,
+              sim::SharedStreamCache& streams)
+      : index(index),
+        token(job_token(job.token)),
+        owned(job.factory != nullptr ? (*job.factory)() : nullptr),
+        state(*job.runner, *job.schedule,
+              owned != nullptr ? *owned : *job.scheduler, *job.open_cfg,
+              job.stop, token,
+              [&] {
+                std::vector<std::unique_ptr<wl::OpSource>> sources;
+                sources.reserve(job.schedule->size());
+                for (const wl::Arrival& a : job.schedule->all())
+                  sources.push_back(streams.open(*a.spec, a.instance_seed));
+                return sources;
+              }()) {
+    state.set_lane_stride(kLaneStride);
+  }
+
+  [[nodiscard]] bool done() const override { return state.done(); }
+  void advance() override { state.advance(); }
+
+  std::size_t index;
+  const CancelToken* token;
+  std::unique_ptr<sched::NCoreScheduler> owned;
+  OpenRunState state;
+};
+
 /// Shared executor skeleton for both job kinds. `Traits` supplies the
 /// job/result/run types and the cache + scalar-run hooks.
 template <typename Traits>
@@ -217,6 +247,60 @@ std::vector<metrics::PairRunResult> run_pair_jobs(
 std::vector<metrics::MulticoreRunResult> run_multicore_jobs(
     std::span<const LaneMulticoreJob> jobs, std::size_t lanes) {
   return run_jobs<MulticoreTraits>(jobs, lanes);
+}
+
+std::vector<metrics::OpenRunResult> run_open_jobs(
+    std::span<const LaneOpenJob> jobs, std::size_t lanes) {
+  // The run_jobs skeleton minus the cache pass (open runs never memoize);
+  // same scalar fallback and lane-group partitioning.
+  std::vector<metrics::OpenRunResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  if (lanes <= 1 || jobs.size() <= 1) {
+    parallel_for(jobs.size(), [&](std::size_t i) {
+      const LaneOpenJob& job = jobs[i];
+      ScopedCancelToken install(job.token != nullptr ? job.token
+                                                     : current_cancel_token());
+      if (job.factory != nullptr)
+        results[i] =
+            job.runner->run_open(*job.schedule, *job.factory, *job.open_cfg,
+                                 job.stop);
+      else
+        results[i] =
+            job.runner->run_open(*job.schedule, *job.scheduler, *job.open_cfg,
+                                 job.stop);
+    });
+    return results;
+  }
+
+  const std::size_t groups = std::max<std::size_t>(
+      1,
+      std::min(default_worker_count(), (jobs.size() + lanes - 1) / lanes));
+  parallel_for(groups, [&](std::size_t g) {
+    const std::size_t begin = jobs.size() * g / groups;
+    const std::size_t end = jobs.size() * (g + 1) / groups;
+    if (begin == end) return;
+    sim::SharedStreamCache streams;
+    std::size_t cursor = begin;
+    std::vector<std::size_t> simulated;
+    simulated.reserve(end - begin);
+    sim::LaneEngine engine(
+        std::min(lanes, end - begin),
+        [&]() -> std::unique_ptr<sim::LaneRun> {
+          if (cursor >= end) return nullptr;
+          const std::size_t index = cursor++;
+          return std::make_unique<OpenLaneRun>(index, jobs[index], streams);
+        },
+        [&](std::unique_ptr<sim::LaneRun> done) {
+          auto* run = static_cast<OpenLaneRun*>(done.get());
+          results[run->index] = run->state.finish();
+          simulated.push_back(run->index);
+        });
+    const sim::LaneStats stats = engine.run();
+    for (const std::size_t index : simulated)
+      results[index].closed.lane_occupancy_pct = stats.occupancy_pct();
+  });
+  return results;
 }
 
 }  // namespace amps::harness

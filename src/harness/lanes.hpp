@@ -64,4 +64,22 @@ struct LaneMulticoreJob {
 std::vector<metrics::MulticoreRunResult> run_multicore_jobs(
     std::span<const LaneMulticoreJob> jobs, std::size_t lanes);
 
+/// One open-system run job. Open runs are never RunCache-memoized (their
+/// results carry lifecycle ledgers the cache does not serialize), so the
+/// executor has no cache pass; everything else follows the LanePairJob
+/// contract. `schedule`, `open_cfg`, and exactly one of `factory` /
+/// `scheduler` must be set.
+struct LaneOpenJob {
+  const MulticoreRunner* runner = nullptr;
+  const wl::ArrivalSchedule* schedule = nullptr;
+  const sim::OpenConfig* open_cfg = nullptr;
+  OpenStop stop = OpenStop::kAllExited;
+  const NCoreSchedulerFactory* factory = nullptr;
+  sched::NCoreScheduler* scheduler = nullptr;
+  CancelToken* token = nullptr;
+};
+
+std::vector<metrics::OpenRunResult> run_open_jobs(
+    std::span<const LaneOpenJob> jobs, std::size_t lanes);
+
 }  // namespace amps::harness

@@ -152,6 +152,157 @@ metrics::MulticoreRunResult MulticoreRunState::finish() {
   return result;
 }
 
+namespace {
+
+/// Per-arrival thread contexts, lifecycle-configured. Explicit `sources`
+/// (lane path) replace the canonical per-spec instance streams.
+std::vector<sim::ThreadContext> make_open_threads(
+    const wl::ArrivalSchedule& schedule,
+    std::vector<std::unique_ptr<wl::OpSource>> sources) {
+  std::vector<sim::ThreadContext> threads;
+  threads.reserve(schedule.size());
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const wl::Arrival& a = schedule[i];
+    if (i < sources.size() && sources[i] != nullptr)
+      threads.emplace_back(static_cast<int>(i), std::move(sources[i]));
+    else
+      threads.emplace_back(static_cast<int>(i), *a.spec, a.instance_seed);
+    threads.back().configure_lifecycle(a.job_length, a.io);
+  }
+  return threads;
+}
+
+std::vector<sim::CoreConfig> runner_cores(const MulticoreRunner& runner) {
+  std::vector<sim::CoreConfig> cores;
+  cores.reserve(runner.num_cores());
+  for (std::size_t i = 0; i < runner.num_cores(); ++i)
+    cores.push_back(runner.core_config(i));
+  return cores;
+}
+
+}  // namespace
+
+OpenRunState::OpenRunState(const MulticoreRunner& runner,
+                           const wl::ArrivalSchedule& schedule,
+                           sched::NCoreScheduler& scheduler,
+                           const sim::OpenConfig& open_cfg, OpenStop stop,
+                           const CancelToken* token,
+                           std::vector<std::unique_ptr<wl::OpSource>> sources)
+    : runner_(runner),
+      schedule_(schedule),
+      scheduler_(scheduler),
+      stop_(stop),
+      token_(token),
+      open_(runner_cores(runner), runner.scale().swap_overhead, open_cfg),
+      threads_(make_open_threads(schedule, std::move(sources))),
+      max_cycles_(runner.scale().max_cycles()) {
+  if (schedule.empty())
+    throw std::invalid_argument("OpenRunState: empty arrival schedule");
+  AMPS_COUNTER_INC("harness.open_runs");
+  for (std::size_t i = 0; i < threads_.size(); ++i)
+    open_.admit(&threads_[i], schedule[i].at);
+  open_.add_listener(&scheduler);
+  // Cycle-0 arrivals dispatch before on_start, so a degenerate schedule
+  // presents the scheduler with exactly the closed attach_threads layout.
+  open_.service_events();
+  scheduler_.on_start(open_.system());
+}
+
+bool OpenRunState::any_job_complete() const noexcept {
+  for (const sim::ThreadContext& t : threads_)
+    if (t.job_complete()) return true;
+  return false;
+}
+
+bool OpenRunState::done() const noexcept {
+  if (stopped_ || open_.now() >= max_cycles_) return true;
+  return stop_ == OpenStop::kFirstExit ? any_job_complete()
+                                       : open_.all_exited();
+}
+
+void OpenRunState::advance() {
+  sim::MulticoreSystem& system = open_.system();
+  if (runner_.batched_stepping()) {
+    // MulticoreRunState::advance()'s fast path with the open-system event
+    // bounds folded in. Both extra bounds are exact: next_event_at() is
+    // the cycle the next lifecycle event fires, and the commit budget
+    // stops the batch on the cycle a thread crosses its job end or stall
+    // point — so batched stepping services every event on the same cycle
+    // a per-cycle harness would.
+    if (token_ != nullptr && token_->expired()) {
+      stopped_ = true;
+      return;
+    }
+    open_.service_events();
+    if (done()) return;  // the last exit must not idle-step to the bound
+    const sched::DecisionHint hint = scheduler_.next_decision_at(system);
+    Cycles until = std::max(
+        std::min({hint.at_cycle, max_cycles_, open_.next_event_at()}),
+        system.now() + 1);
+    if (token_ != nullptr)
+      until = std::min(until, system.now() + kCancelCheckStride);
+    if (lane_stride_ != 0)
+      until = std::min(until, system.now() + lane_stride_);
+    const InstrCount budget =
+        std::min(hint.commit_budget, open_.next_commit_event_budget());
+    system.step_until(until, budget);
+    scheduler_.tick(system);
+  } else {
+    if (token_ != nullptr && (steps_++ & 0xFFF) == 0 && token_->expired()) {
+      stopped_ = true;
+      return;
+    }
+    open_.service_events();
+    if (done()) return;
+    system.step();
+    scheduler_.tick(system);
+  }
+}
+
+metrics::OpenRunResult OpenRunState::finish() {
+  std::vector<const sim::ThreadContext*> ptrs;
+  ptrs.reserve(threads_.size());
+  for (const sim::ThreadContext& t : threads_) ptrs.push_back(&t);
+  metrics::MulticoreRunResult closed = metrics::snapshot_multicore_run(
+      scheduler_.name(), open_.system(),
+      std::span<const sim::ThreadContext* const>(ptrs.data(), ptrs.size()),
+      scheduler_.decision_points(), &scheduler_.decision_trace().summary());
+  closed.hit_cycle_bound = stop_ == OpenStop::kFirstExit
+                               ? !any_job_complete()
+                               : !open_.all_exited();
+  if (trace::DecisionTrace::armed()) {
+    trace::append_jsonl(schedule_label(schedule_), scheduler_.name(),
+                        scheduler_.decision_trace());
+  }
+  return metrics::snapshot_open_run(std::move(closed), open_);
+}
+
+metrics::OpenRunResult MulticoreRunner::run_open(
+    const wl::ArrivalSchedule& schedule, sched::NCoreScheduler& scheduler,
+    const sim::OpenConfig& open_cfg, OpenStop stop) const {
+  AMPS_SCOPED_TIMER("harness.open_run_ns");
+  OpenRunState state(*this, schedule, scheduler, open_cfg, stop,
+                     current_cancel_token());
+  while (!state.done()) state.advance();
+  return state.finish();
+}
+
+metrics::OpenRunResult MulticoreRunner::run_open(
+    const wl::ArrivalSchedule& schedule, const NCoreSchedulerFactory& factory,
+    const sim::OpenConfig& open_cfg, OpenStop stop) const {
+  auto scheduler = factory();
+  return run_open(schedule, *scheduler, open_cfg, stop);
+}
+
+std::string schedule_label(const wl::ArrivalSchedule& schedule) {
+  std::string label;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (i != 0) label += '+';
+    label += schedule[i].spec->name;
+  }
+  return label;
+}
+
 metrics::MulticoreRunResult MulticoreRunner::run(
     const MulticoreWorkload& workload,
     sched::NCoreScheduler& scheduler) const {

@@ -16,10 +16,13 @@
 #include <vector>
 
 #include "core/global_affinity.hpp"
+#include "metrics/open_result.hpp"
 #include "metrics/run_result.hpp"
 #include "sim/core_config.hpp"
 #include "sim/lanes.hpp"
+#include "sim/open_system.hpp"
 #include "sim/scale.hpp"
+#include "workload/arrivals.hpp"
 #include "workload/benchmark.hpp"
 
 namespace amps::harness {
@@ -65,6 +68,17 @@ class NCoreSchedulerFactory {
   std::string key_;
 };
 
+/// When an open-system run stops.
+enum class OpenStop : std::uint8_t {
+  /// First job completion ends the run — the closed-system rule ("until
+  /// one of the threads completed"). A degenerate (all-at-zero) schedule
+  /// under this policy is bit-identical to MulticoreRunner::run.
+  kFirstExit,
+  /// Run drains: every admitted job exits (or the cycle bound hits) — the
+  /// open-system default for latency/throughput metrics.
+  kAllExited,
+};
+
 class MulticoreRunner {
  public:
   /// Arbitrary asymmetric machine; core i's config is `cores[i]`.
@@ -88,6 +102,20 @@ class MulticoreRunner {
   /// through the RunCache; plain callables always simulate.
   metrics::MulticoreRunResult run(const MulticoreWorkload& workload,
                                   const NCoreSchedulerFactory& factory) const;
+
+  /// Open-system run: threads arrive per `schedule` (any count — more
+  /// threads than cores queue per core and steal when idle), block on
+  /// modeled I/O, and exit when their job length commits. The scheduler
+  /// sees the same tick()/next_decision_at() contract as closed runs plus
+  /// the lifecycle hooks. Open runs are never RunCache-memoized.
+  metrics::OpenRunResult run_open(const wl::ArrivalSchedule& schedule,
+                                  sched::NCoreScheduler& scheduler,
+                                  const sim::OpenConfig& open_cfg = {},
+                                  OpenStop stop = OpenStop::kAllExited) const;
+  metrics::OpenRunResult run_open(const wl::ArrivalSchedule& schedule,
+                                  const NCoreSchedulerFactory& factory,
+                                  const sim::OpenConfig& open_cfg = {},
+                                  OpenStop stop = OpenStop::kAllExited) const;
 
   /// Toggles batched stepping (default on). The slow per-cycle path exists
   /// for the determinism tests and the scalability bench's cold runs.
@@ -159,6 +187,50 @@ class MulticoreRunState final : public sim::LaneRun {
   std::uint64_t steps_ = 0;   ///< per-cycle-mode token-poll stride counter
   bool stopped_ = false;      ///< cancel-token expiry latch
 };
+
+/// One open-system run held as a resumable sim::LaneRun — the
+/// MulticoreRunState twin for arrival-driven workloads. The advance() body
+/// replicates MulticoreRunState::advance() exactly, with the open-system
+/// bounds (next lifecycle event, next commit-triggered event) folded into
+/// the batch limits; for a degenerate closed schedule those bounds are
+/// vacuous and the run is bit-identical to the closed engine (enforced by
+/// the differential-fuzz layer). `sources[i]` optionally replaces the op
+/// source of schedule entry i (lane path: shared decode cursors).
+class OpenRunState final : public sim::LaneRun {
+ public:
+  OpenRunState(const MulticoreRunner& runner,
+               const wl::ArrivalSchedule& schedule,
+               sched::NCoreScheduler& scheduler,
+               const sim::OpenConfig& open_cfg, OpenStop stop,
+               const CancelToken* token,
+               std::vector<std::unique_ptr<wl::OpSource>> sources = {});
+
+  [[nodiscard]] bool done() const noexcept override;
+  void advance() override;
+  /// Snapshots the result; call exactly once, after done().
+  metrics::OpenRunResult finish();
+
+  /// See MulticoreRunState::set_lane_stride.
+  void set_lane_stride(Cycles stride) noexcept { lane_stride_ = stride; }
+
+ private:
+  [[nodiscard]] bool any_job_complete() const noexcept;
+
+  const MulticoreRunner& runner_;
+  const wl::ArrivalSchedule& schedule_;
+  sched::NCoreScheduler& scheduler_;
+  OpenStop stop_;
+  const CancelToken* token_;
+  sim::OpenSystem open_;
+  std::vector<sim::ThreadContext> threads_;
+  Cycles max_cycles_;
+  Cycles lane_stride_ = 0;
+  std::uint64_t steps_ = 0;
+  bool stopped_ = false;
+};
+
+/// Human-readable "a+b+..." label for an arrival schedule.
+std::string schedule_label(const wl::ArrivalSchedule& schedule);
 
 /// Samples `count` random workloads of `num_threads` *distinct* benchmarks
 /// each; the drawn benchmark sets are also distinct across workloads.

@@ -68,6 +68,18 @@ double mean_highest(std::span<const double> xs, std::size_t k) {
   return mean(std::span<const double>(v.data(), k));
 }
 
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= v.size()) return v.back();
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + (v[lo + 1] - v[lo]) * frac;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
       counts_(bins, 0) {

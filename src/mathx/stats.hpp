@@ -26,6 +26,10 @@ double mean_lowest(std::span<const double> xs, std::size_t k);
 /// Mean of the k largest values (paper Fig. 9: "5 best cases").
 double mean_highest(std::span<const double> xs, std::size_t k);
 
+/// Percentile by linear interpolation between closest ranks, p in [0, 100]
+/// (p=50 matches median). Returns 0 on an empty span; works on a copy.
+double percentile(std::span<const double> xs, double p);
+
 /// Fixed-bin histogram over [lo, hi) used to compute statistical modes of
 /// ratio observations. Values outside the range are clamped to the edge
 /// bins so no observation is lost.

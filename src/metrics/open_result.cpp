@@ -1,0 +1,61 @@
+#include "metrics/open_result.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "mathx/stats.hpp"
+
+namespace amps::metrics {
+
+OpenRunResult snapshot_open_run(MulticoreRunResult closed,
+                                const sim::OpenSystem& open) {
+  OpenRunResult result;
+  result.closed = std::move(closed);
+
+  std::vector<double> turnarounds;
+  std::vector<double> waits;
+  std::vector<double> slowdowns;
+  for (const sim::OpenThreadRecord& rec : open.records()) {
+    OpenJobOutcome job;
+    job.benchmark = rec.thread->name();
+    job.arrival = rec.arrival;
+    job.first_dispatch = rec.started ? rec.first_dispatch : 0;
+    job.exited = rec.state == sim::ThreadState::kExited;
+    job.exit_cycle = rec.exit_cycle;
+    job.committed = rec.thread->committed_total();
+    job.running_cycles = rec.thread->cycles();
+    job.queued_cycles = rec.queued_cycles;
+    job.blocked_cycles = rec.blocked_cycles;
+    job.stalls = rec.stalls;
+    job.resumes = rec.resumes;
+    job.dispatches = rec.dispatches;
+    job.migrations = rec.migrations;
+    job.preemptions = rec.preemptions;
+
+    if (rec.state != sim::ThreadState::kPending) ++result.jobs_arrived;
+    if (job.exited) {
+      ++result.jobs_finished;
+      turnarounds.push_back(static_cast<double>(job.turnaround()));
+      waits.push_back(static_cast<double>(job.queued_cycles));
+      slowdowns.push_back(job.slowdown());
+    }
+    result.jobs.push_back(std::move(job));
+  }
+
+  result.total_dispatches = open.total_dispatches();
+  result.total_migrations = open.total_migrations();
+  result.total_steals = open.total_steals();
+  result.total_preemptions = open.total_preemptions();
+
+  result.mean_turnaround = mathx::mean(turnarounds);
+  result.p50_turnaround = mathx::percentile(turnarounds, 50.0);
+  result.p99_turnaround = mathx::percentile(turnarounds, 99.0);
+  result.mean_wait = mathx::mean(waits);
+  result.p50_wait = mathx::percentile(waits, 50.0);
+  result.p99_wait = mathx::percentile(waits, 99.0);
+  result.mean_slowdown = mathx::mean(slowdowns);
+  result.max_slowdown = mathx::max_of(slowdowns);
+  return result;
+}
+
+}  // namespace amps::metrics

@@ -1,0 +1,89 @@
+// Result records for open-system runs: the queueing metrics a serving
+// system is judged by — turnaround, wait time, tail latency, fairness
+// slowdown — layered on top of the closed-system MulticoreRunResult.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "metrics/run_result.hpp"
+#include "sim/open_system.hpp"
+
+namespace amps::metrics {
+
+/// Lifecycle outcome of one open-system job (thread), in admission order.
+struct OpenJobOutcome {
+  std::string benchmark;
+  Cycles arrival = 0;
+  Cycles first_dispatch = 0;
+  Cycles exit_cycle = 0;         ///< 0 when the job never exited
+  bool exited = false;
+  InstrCount committed = 0;
+  Cycles running_cycles = 0;     ///< cycles attached to a core
+  Cycles queued_cycles = 0;      ///< runnable but waiting in a run queue
+  Cycles blocked_cycles = 0;     ///< in modeled I/O
+  std::uint64_t stalls = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t preemptions = 0;
+
+  /// Arrival-to-exit latency; 0 when the job never exited.
+  [[nodiscard]] Cycles turnaround() const noexcept {
+    return exited ? exit_cycle - arrival : 0;
+  }
+  /// Fairness slowdown: turnaround over pure execution time (>= 1; the
+  /// stretch a job suffers from queueing, blocking, and handoffs). 0 for
+  /// unfinished or zero-run jobs.
+  [[nodiscard]] double slowdown() const noexcept {
+    return exited && running_cycles != 0
+               ? static_cast<double>(turnaround()) /
+                     static_cast<double>(running_cycles)
+               : 0.0;
+  }
+};
+
+/// Snapshot of a completed open-system run under one scheduler.
+struct OpenRunResult {
+  /// The closed-system view of the same run (per-thread IPC/Watt, system
+  /// totals, decision-trace summary). For a degenerate (closed) arrival
+  /// schedule this is bit-identical to MulticoreRunner::run's result — the
+  /// anchor the differential-fuzz layer compares.
+  MulticoreRunResult closed;
+
+  std::vector<OpenJobOutcome> jobs;  ///< admission order
+
+  std::uint64_t jobs_arrived = 0;
+  std::uint64_t jobs_finished = 0;
+  std::uint64_t total_dispatches = 0;
+  std::uint64_t total_migrations = 0;
+  std::uint64_t total_steals = 0;
+  std::uint64_t total_preemptions = 0;
+
+  // Latency distribution over *finished* jobs, in cycles (0 when none).
+  double mean_turnaround = 0.0;
+  double p50_turnaround = 0.0;
+  double p99_turnaround = 0.0;
+  double mean_wait = 0.0;  ///< queued cycles per finished job
+  double p50_wait = 0.0;
+  double p99_wait = 0.0;
+  double mean_slowdown = 0.0;  ///< fairness: mean stretch
+  double max_slowdown = 0.0;   ///< fairness: worst stretch
+
+  /// Finished jobs per million simulated cycles.
+  [[nodiscard]] double throughput_jobs_per_mcycle() const noexcept {
+    return closed.total_cycles != 0
+               ? static_cast<double>(jobs_finished) * 1e6 /
+                     static_cast<double>(closed.total_cycles)
+               : 0.0;
+  }
+};
+
+/// Folds an OpenSystem's lifecycle ledger plus the closed-system snapshot
+/// into one result. `closed` is taken by value (moved in by the harness).
+OpenRunResult snapshot_open_run(MulticoreRunResult closed,
+                                const sim::OpenSystem& open);
+
+}  // namespace amps::metrics

@@ -1,0 +1,52 @@
+// Thread lifecycle events for open-system scheduling. Mirrors the hook
+// shape of Sniper's SchedulerDynamic (threadStart / threadStall /
+// threadResume / threadExit): the OpenSystem fires these as jobs arrive,
+// block on modeled I/O, become runnable again, and finish, and both
+// schedulers and observers (tests, metrics) subscribe through the same
+// listener interface.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace amps::sim {
+
+/// Where a thread sits in the open-system lifecycle.
+enum class ThreadState : std::uint8_t {
+  kPending,  ///< not yet arrived
+  kQueued,   ///< runnable, waiting in a core's run queue
+  kRunning,  ///< dispatched to a core (attached, or attaching after a delay)
+  kBlocked,  ///< stalled on modeled I/O
+  kExited,   ///< job complete — terminal
+};
+
+const char* to_string(ThreadState state) noexcept;
+
+/// Why a running thread stalled off its core.
+enum class StallReason : std::uint8_t {
+  kIo,  ///< modeled I/O blocking (wl::IoProfile)
+};
+
+const char* to_string(StallReason reason) noexcept;
+
+/// Observer of thread lifecycle events. All hooks default to no-ops so
+/// listeners (and schedulers) override only what they react to — the
+/// Sniper SchedulerDynamic shape.
+class ThreadLifecycleListener {
+ public:
+  virtual ~ThreadLifecycleListener() = default;
+
+  /// First dispatch of an arrived thread onto core `core`.
+  virtual void thread_start(ThreadId /*thread*/, Cycles /*now*/,
+                            std::size_t /*core*/) {}
+  /// Thread left its core to block (modeled I/O).
+  virtual void thread_stall(ThreadId /*thread*/, StallReason /*reason*/,
+                            Cycles /*now*/) {}
+  /// Blocked thread became runnable again (re-enqueued, not yet running).
+  virtual void thread_resume(ThreadId /*thread*/, Cycles /*now*/) {}
+  /// Thread committed its full job length; terminal.
+  virtual void thread_exit(ThreadId /*thread*/, Cycles /*now*/) {}
+};
+
+}  // namespace amps::sim

@@ -41,6 +41,7 @@ void MulticoreSystem::swap_threads(std::size_t a, std::size_t b) {
                             std::to_string(slots_.size()) + ")");
   if (a == b) return;
   if (slots_[a].migrating || slots_[b].migrating) return;
+  if (slots_[a].thread == nullptr || slots_[b].thread == nullptr) return;
 
   slots_[a].core->detach();
   slots_[b].core->detach();
@@ -54,6 +55,39 @@ void MulticoreSystem::swap_threads(std::size_t a, std::size_t b) {
   pending_.push_back({.a = a, .b = b, .resume_at = now_ + swap_overhead_,
                       .idle_start_a = slots_[a].core->energy(),
                       .idle_start_b = slots_[b].core->energy()});
+}
+
+void MulticoreSystem::dispatch_thread(std::size_t core, ThreadContext* t,
+                                      Cycles delay) {
+  if (core >= slots_.size())
+    throw std::out_of_range("MulticoreSystem::dispatch_thread: core index " +
+                            std::to_string(core) + " out of range");
+  Slot& slot = slots_[core];
+  if (slot.thread != nullptr || slot.migrating)
+    throw std::logic_error("MulticoreSystem::dispatch_thread: core " +
+                           std::to_string(core) + " is not empty");
+  assert(t != nullptr);
+  slot.thread = t;
+  if (delay == 0) {
+    slot.core->attach(t);
+    return;
+  }
+  slot.migrating = true;
+  attaches_.push_back({.core = core,
+                       .resume_at = now_ + delay,
+                       .idle_start = slot.core->energy()});
+}
+
+void MulticoreSystem::undispatch_thread(std::size_t core) {
+  if (core >= slots_.size())
+    throw std::out_of_range("MulticoreSystem::undispatch_thread: core index " +
+                            std::to_string(core) + " out of range");
+  Slot& slot = slots_[core];
+  if (slot.thread == nullptr || slot.migrating)
+    throw std::logic_error("MulticoreSystem::undispatch_thread: core " +
+                           std::to_string(core) + " has no attached thread");
+  slot.core->detach();
+  slot.thread = nullptr;
 }
 
 void MulticoreSystem::step() {
@@ -74,6 +108,19 @@ void MulticoreSystem::step() {
       slots_[ps.a].migrating = false;
       slots_[ps.b].migrating = false;
       pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(p));
+    } else {
+      ++p;
+    }
+  }
+  // Complete due delayed dispatches (open-system handoffs).
+  for (std::size_t p = 0; p < attaches_.size();) {
+    PendingAttach& pa = attaches_[p];
+    if (now_ >= pa.resume_at) {
+      Slot& slot = slots_[pa.core];
+      slot.thread->add_energy(slot.core->energy() - pa.idle_start);
+      slot.core->attach(slot.thread);
+      slot.migrating = false;
+      attaches_.erase(attaches_.begin() + static_cast<std::ptrdiff_t>(p));
     } else {
       ++p;
     }
@@ -110,13 +157,15 @@ Cycles MulticoreSystem::step_until(Cycles until_cycle,
   // requested by scheduler ticks, which happen between batches; pending
   // migrations completing mid-batch re-attach but do not reassign).
   for (std::size_t i = 0; i < slots_.size(); ++i)
-    step_until_base_[i] = slots_[i].thread->committed_total();
+    step_until_base_[i] =
+        slots_[i].thread != nullptr ? slots_[i].thread->committed_total() : 0;
   while (now_ < until_cycle) {
     if (idle_fast_forward(until_cycle) != 0) continue;
     step();
     bool budget_hit = false;
     for (std::size_t i = 0; i < slots_.size(); ++i) {
-      if (slots_[i].thread->committed_total() - step_until_base_[i] >=
+      if (slots_[i].thread != nullptr &&
+          slots_[i].thread->committed_total() - step_until_base_[i] >=
           commit_budget) {
         budget_hit = true;
         break;
@@ -133,6 +182,8 @@ Cycles MulticoreSystem::next_resume_at() const noexcept {
   Cycles earliest = kNoPendingResume;
   for (const PendingSwap& ps : pending_)
     if (ps.resume_at < earliest) earliest = ps.resume_at;
+  for (const PendingAttach& pa : attaches_)
+    if (pa.resume_at < earliest) earliest = pa.resume_at;
   return earliest;
 }
 

@@ -27,10 +27,25 @@ class MulticoreSystem {
   /// Requests a pairwise swap between the threads on cores `a` and `b`.
   /// Both pipelines flush; the two cores idle for `swap_overhead` cycles;
   /// all other cores keep running. Ignored when either core is already
-  /// migrating or a == b; throws std::out_of_range for an invalid core
-  /// index (a scheduler asking for a core that does not exist is a bug,
-  /// never a benign request).
+  /// migrating, holds no thread (open-system empty slot), or a == b;
+  /// throws std::out_of_range for an invalid core index (a scheduler
+  /// asking for a core that does not exist is a bug, never a benign
+  /// request).
   void swap_threads(std::size_t a, std::size_t b);
+
+  // --- open-system occupancy (used by sim::OpenSystem) -------------------
+  /// Places `t` on empty core `core`. With `delay == 0` the thread
+  /// attaches immediately (an arrival's very first dispatch models no
+  /// migration cost); otherwise the core idles `delay` cycles first — the
+  /// one-sided analogue of a pairwise swap, with the idle (leakage) energy
+  /// attributed to the incoming thread. Throws std::out_of_range on a bad
+  /// index and std::logic_error when the slot is occupied or migrating.
+  void dispatch_thread(std::size_t core, ThreadContext* t, Cycles delay);
+
+  /// Removes the thread from core `core` (pipeline flush, energy settled
+  /// to the thread), leaving the slot empty. Throws std::logic_error when
+  /// the slot is empty or mid-migration.
+  void undispatch_thread(std::size_t core);
 
   /// Advances the whole system one clock cycle.
   void step();
@@ -48,8 +63,9 @@ class MulticoreSystem {
   static constexpr Cycles kNoPendingResume =
       std::numeric_limits<Cycles>::max();
 
-  /// Earliest cycle at which a pending migration completes and its pair of
-  /// cores re-attaches (kNoPendingResume when none is in flight).
+  /// Earliest cycle at which a pending migration (pairwise swap or
+  /// delayed dispatch) completes and re-attaches (kNoPendingResume when
+  /// none is in flight).
   /// Schedulers that skip migrating cores use this to bound batched
   /// stepping so their first post-resume tick lands on the same cycle a
   /// per-cycle harness would poll.
@@ -99,9 +115,16 @@ class MulticoreSystem {
     Energy idle_start_a = 0.0;
     Energy idle_start_b = 0.0;
   };
+  /// A delayed one-sided dispatch (open-system run-queue handoff).
+  struct PendingAttach {
+    std::size_t core = 0;
+    Cycles resume_at = 0;
+    Energy idle_start = 0.0;  ///< core energy at dispatch, see PendingSwap
+  };
 
   std::vector<Slot> slots_;
   std::vector<PendingSwap> pending_;
+  std::vector<PendingAttach> attaches_;
   std::vector<InstrCount> step_until_base_;  // scratch; avoids per-batch alloc
   Cycles now_ = 0;
   Cycles swap_overhead_;

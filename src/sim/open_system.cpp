@@ -1,0 +1,302 @@
+#include "sim/open_system.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace amps::sim {
+
+const char* to_string(ThreadState state) noexcept {
+  switch (state) {
+    case ThreadState::kPending: return "pending";
+    case ThreadState::kQueued: return "queued";
+    case ThreadState::kRunning: return "running";
+    case ThreadState::kBlocked: return "blocked";
+    case ThreadState::kExited: return "exited";
+  }
+  return "?";
+}
+
+const char* to_string(StallReason reason) noexcept {
+  switch (reason) {
+    case StallReason::kIo: return "io";
+  }
+  return "?";
+}
+
+OpenSystem::OpenSystem(std::vector<CoreConfig> configs, Cycles swap_overhead,
+                       OpenConfig cfg)
+    : system_(std::move(configs), swap_overhead),
+      cfg_(cfg),
+      queues_(system_.num_cores()),
+      slice_start_(system_.num_cores(), 0) {}
+
+void OpenSystem::admit(ThreadContext* t, Cycles at) {
+  assert(t != nullptr);
+  if (!records_.empty() && at < records_.back().arrival)
+    throw std::invalid_argument(
+        "OpenSystem::admit: arrivals must be non-decreasing");
+  if (arrival_cursor_ != 0)
+    throw std::logic_error("OpenSystem::admit: events already serviced");
+  OpenThreadRecord rec;
+  rec.thread = t;
+  rec.arrival = at;
+  rec.state_since = at;
+  records_.push_back(rec);
+}
+
+void OpenSystem::add_listener(ThreadLifecycleListener* listener) {
+  assert(listener != nullptr);
+  listeners_.push_back(listener);
+}
+
+bool OpenSystem::attached(const OpenThreadRecord& rec) const noexcept {
+  return rec.state == ThreadState::kRunning && !system_.migrating(rec.core) &&
+         system_.thread_on(rec.core) == rec.thread;
+}
+
+void OpenSystem::enqueue_shortest(std::size_t rec) {
+  // Join-shortest-queue over (queue depth + occupancy), ties to the lowest
+  // core index. With empty queues and empty cores this lands thread i on
+  // core i in admission order — exactly the closed-system attach layout.
+  std::size_t best = 0;
+  std::size_t best_depth = std::numeric_limits<std::size_t>::max();
+  for (std::size_t c = 0; c < queues_.size(); ++c) {
+    const std::size_t depth =
+        queues_[c].size() + (system_.thread_on(c) != nullptr ? 1 : 0);
+    if (depth < best_depth) {
+      best = c;
+      best_depth = depth;
+    }
+  }
+  enqueue_on(best, rec);
+}
+
+void OpenSystem::enqueue_on(std::size_t core, std::size_t rec) {
+  queues_[core].push_back(rec);
+  records_[rec].core = core;
+  records_[rec].state = ThreadState::kQueued;
+  records_[rec].state_since = now();
+}
+
+void OpenSystem::dispatch(std::size_t core, std::size_t rec) {
+  OpenThreadRecord& r = records_[rec];
+  r.queued_cycles += now() - r.state_since;
+  const bool migrated = r.started && r.core != core;
+  // A thread's very first dispatch is free (nothing architectural moves);
+  // every re-dispatch pays the configured handoff idle time.
+  const Cycles delay = r.started ? cfg_.dispatch_overhead : 0;
+  system_.dispatch_thread(core, r.thread, delay);
+  r.state = ThreadState::kRunning;
+  r.state_since = now();
+  r.core = core;
+  ++r.dispatches;
+  ++dispatches_;
+  if (migrated) {
+    ++r.migrations;
+    ++migrations_;
+  }
+  slice_start_[core] = now() + delay;
+  if (!r.started) {
+    r.started = true;
+    r.first_dispatch = now();
+    fire_start(rec, core);
+  }
+}
+
+void OpenSystem::fire_start(std::size_t rec, std::size_t core) {
+  for (ThreadLifecycleListener* l : listeners_)
+    l->thread_start(records_[rec].thread->id(), now(), core);
+}
+
+void OpenSystem::fire_stall(std::size_t rec, StallReason reason) {
+  for (ThreadLifecycleListener* l : listeners_)
+    l->thread_stall(records_[rec].thread->id(), reason, now());
+}
+
+void OpenSystem::fire_resume(std::size_t rec) {
+  for (ThreadLifecycleListener* l : listeners_)
+    l->thread_resume(records_[rec].thread->id(), now());
+}
+
+void OpenSystem::fire_exit(std::size_t rec) {
+  for (ThreadLifecycleListener* l : listeners_)
+    l->thread_exit(records_[rec].thread->id(), now());
+}
+
+void OpenSystem::service_events() {
+  const Cycles t = now();
+
+  // 0. Placement re-sync: an NCoreScheduler may have swapped running
+  // threads between cores (MulticoreSystem::swap_threads) since the last
+  // service. Follow each running thread to the slot that actually holds
+  // it, so exits, stalls, and the commit bound keep tracking swapped
+  // threads. (The closed degenerate path needs this too: without it a
+  // swapped thread would drop out of next_commit_event_budget() and the
+  // batch bound would diverge from the closed engine's.)
+  for (OpenThreadRecord& r : records_) {
+    if (r.state != ThreadState::kRunning) continue;
+    if (system_.thread_on(r.core) == r.thread) continue;
+    for (std::size_t c = 0; c < system_.num_cores(); ++c) {
+      if (system_.thread_on(c) == r.thread) {
+        r.core = c;
+        break;
+      }
+    }
+  }
+
+  // 1. Arrivals (admission order; schedule is sorted by arrival).
+  while (arrival_cursor_ < records_.size() &&
+         records_[arrival_cursor_].arrival <= t) {
+    enqueue_shortest(arrival_cursor_);
+    ++arrival_cursor_;
+  }
+
+  // 2. Exits — before stalls and preemption, so a job that completes on
+  // its stall boundary exits rather than blocking, and no queued thread
+  // can ever hold a completed job.
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    OpenThreadRecord& r = records_[i];
+    if (!attached(r) || !r.thread->job_complete()) continue;
+    system_.undispatch_thread(r.core);
+    r.state = ThreadState::kExited;
+    r.state_since = t;
+    r.exit_cycle = t;
+    fire_exit(i);
+  }
+
+  // 3. Modeled-I/O stalls.
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    OpenThreadRecord& r = records_[i];
+    if (!attached(r) || !r.thread->io_due()) continue;
+    system_.undispatch_thread(r.core);
+    r.state = ThreadState::kBlocked;
+    r.state_since = t;
+    r.resume_at = t + r.thread->io_profile().stall_latency;
+    r.thread->schedule_next_stall();
+    ++r.stalls;
+    fire_stall(i, StallReason::kIo);
+  }
+
+  // 4. I/O resumes — back onto the last core's queue (cache affinity; the
+  // steal pass below rebalances if that core is loaded).
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    OpenThreadRecord& r = records_[i];
+    if (r.state != ThreadState::kBlocked || r.resume_at > t) continue;
+    r.blocked_cycles += t - r.state_since;
+    ++r.resumes;
+    enqueue_on(r.core, i);
+    fire_resume(i);
+  }
+
+  // 5. Quantum expiries — only when a waiter exists on that core's queue
+  // (preempting onto an empty queue would just round-trip the pipeline).
+  // Preemption is a queueing transition, not a lifecycle stall.
+  if (cfg_.quantum != 0) {
+    for (std::size_t c = 0; c < queues_.size(); ++c) {
+      if (system_.thread_on(c) == nullptr || system_.migrating(c)) continue;
+      if (queues_[c].empty() || t < slice_start_[c] + cfg_.quantum) continue;
+      for (std::size_t i = 0; i < records_.size(); ++i) {
+        OpenThreadRecord& r = records_[i];
+        if (r.thread != system_.thread_on(c)) continue;
+        system_.undispatch_thread(c);
+        ++r.preemptions;
+        ++preemptions_;
+        enqueue_on(c, i);
+        break;
+      }
+    }
+  }
+
+  // 6. Fill idle cores: own queue first, then steal the front of the
+  // longest other queue (ties to the lowest index) — work-conserving.
+  for (std::size_t c = 0; c < queues_.size(); ++c) {
+    if (system_.thread_on(c) != nullptr || system_.migrating(c)) continue;
+    std::size_t from = c;
+    if (queues_[c].empty()) {
+      if (!cfg_.steal) continue;
+      std::size_t longest = 0;
+      for (std::size_t o = 0; o < queues_.size(); ++o) {
+        if (o == c) continue;
+        if (queues_[o].size() > longest) {
+          longest = queues_[o].size();
+          from = o;
+        }
+      }
+      if (from == c) continue;  // every other queue is empty too
+      ++steals_;
+    }
+    const std::size_t rec = queues_[from].front();
+    queues_[from].pop_front();
+    dispatch(c, rec);
+  }
+}
+
+Cycles OpenSystem::next_event_at() const noexcept {
+  Cycles earliest = kNoEvent;
+  if (arrival_cursor_ < records_.size())
+    earliest = std::min(earliest, records_[arrival_cursor_].arrival);
+  for (const OpenThreadRecord& r : records_)
+    if (r.state == ThreadState::kBlocked)
+      earliest = std::min(earliest, r.resume_at);
+  // A migration window (swap or delayed dispatch) hides that core's
+  // events from the checks below; servicing again the cycle it ends
+  // keeps every deferred exit / stall / expiry at a batch-independent
+  // cycle.
+  earliest = std::min(earliest, system_.next_resume_at());
+  if (cfg_.quantum != 0) {
+    for (std::size_t c = 0; c < queues_.size(); ++c) {
+      if (system_.thread_on(c) == nullptr || system_.migrating(c)) continue;
+      if (queues_[c].empty()) continue;  // expiry is a no-op until a waiter
+      earliest = std::min(earliest, slice_start_[c] + cfg_.quantum);
+    }
+  }
+  return earliest;
+}
+
+InstrCount OpenSystem::next_commit_event_budget() const noexcept {
+  // Every kRunning thread counts, including mid-migration ones: a
+  // migrating thread commits nothing until it re-attaches, but it
+  // resumes *inside* the next batch, so dropping it here would let the
+  // batch overrun its job end or stall point (the closed engine bounds
+  // over all threads — bit-identity needs the same here).
+  InstrCount budget = kNoCommitBound;
+  for (const OpenThreadRecord& r : records_) {
+    if (r.state != ThreadState::kRunning) continue;
+    const InstrCount committed = r.thread->committed_total();
+    if (r.thread->job_length() != 0 && committed < r.thread->job_length())
+      budget = std::min(budget, r.thread->job_length() - committed);
+    if (r.thread->io_profile().blocking() &&
+        committed < r.thread->next_stall())
+      budget = std::min(budget, r.thread->next_stall() - committed);
+  }
+  return budget;
+}
+
+std::size_t OpenSystem::count(ThreadState state) const noexcept {
+  std::size_t n = 0;
+  for (const OpenThreadRecord& r : records_) n += r.state == state ? 1 : 0;
+  return n;
+}
+
+bool OpenSystem::all_exited() const noexcept {
+  for (const OpenThreadRecord& r : records_)
+    if (r.state != ThreadState::kExited) return false;
+  return !records_.empty();
+}
+
+bool OpenSystem::work_conserving() const noexcept {
+  bool any_waiting = false;
+  for (const auto& q : queues_) any_waiting = any_waiting || !q.empty();
+  for (std::size_t c = 0; c < queues_.size(); ++c) {
+    const bool idle =
+        system_.thread_on(c) == nullptr && !system_.migrating(c);
+    if (!idle) continue;
+    if (!queues_[c].empty()) return false;
+    if (cfg_.steal && any_waiting) return false;
+  }
+  return true;
+}
+
+}  // namespace amps::sim

@@ -1,0 +1,162 @@
+// OpenSystem: the event-driven open-system layer over MulticoreSystem.
+// Threads arrive on a schedule (wl::ArrivalSchedule), wait in per-core FIFO
+// run queues (oversubscription: more threads than cores), block on modeled
+// I/O, optionally get preempted on a time quantum, and exit when their job
+// length commits. Idle cores steal from the longest other queue, keeping
+// the system work-conserving. Every transition fires a ThreadLifecycle
+// hook (sim/lifecycle.hpp).
+//
+// Determinism: all event servicing walks threads in admission order and
+// cores in index order, so a given (schedule, config) pair replays
+// bit-exactly. The degenerate schedule — every thread arrives at cycle 0,
+// one per core, no I/O, no quantum — reduces exactly to the closed-system
+// attach_threads() occupancy, which is how the harness keeps closed runs
+// bit-identical through this path (see DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/core_config.hpp"
+#include "sim/lifecycle.hpp"
+#include "sim/multicore.hpp"
+#include "sim/thread_context.hpp"
+
+namespace amps::sim {
+
+/// Open-system scheduling policy knobs (the queueing layer, not the
+/// NCoreScheduler placement policy — those compose).
+struct OpenConfig {
+  /// Preemption quantum in cycles; 0 disables time slicing. A running
+  /// thread is preempted to the back of its core's queue once its slice
+  /// expires *and* another thread is waiting on that queue.
+  Cycles quantum = 0;
+  /// Core idle cycles charged on every re-dispatch (a thread's very first
+  /// dispatch is free — nothing architectural moves). Models the same cold
+  /// cost a pairwise swap pays via MulticoreSystem's swap_overhead.
+  Cycles dispatch_overhead = 0;
+  /// Idle cores steal the front of the longest other run queue.
+  bool steal = true;
+};
+
+/// Per-thread lifecycle ledger, indexed by admission order.
+struct OpenThreadRecord {
+  ThreadContext* thread = nullptr;
+  Cycles arrival = 0;
+  ThreadState state = ThreadState::kPending;
+  /// Current core while kRunning; last core while kQueued/kBlocked (resume
+  /// prefers it); undefined before the first dispatch.
+  std::size_t core = 0;
+  bool started = false;          ///< first dispatch happened
+  Cycles resume_at = 0;          ///< while kBlocked: runnable again at this cycle
+  Cycles state_since = 0;        ///< cycle the current state was entered
+  Cycles first_dispatch = 0;
+  Cycles exit_cycle = 0;
+  Cycles queued_cycles = 0;      ///< total cycles spent runnable-but-waiting
+  Cycles blocked_cycles = 0;     ///< total cycles spent in modeled I/O
+  std::uint64_t stalls = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t migrations = 0;  ///< re-dispatches onto a different core
+  std::uint64_t preemptions = 0;
+};
+
+class OpenSystem {
+ public:
+  static constexpr Cycles kNoEvent = std::numeric_limits<Cycles>::max();
+  static constexpr InstrCount kNoCommitBound =
+      std::numeric_limits<InstrCount>::max();
+
+  OpenSystem(std::vector<CoreConfig> configs, Cycles swap_overhead,
+             OpenConfig cfg);
+
+  /// Admits a thread arriving at cycle `at`. Must be called in
+  /// non-decreasing arrival order, before the first service_events().
+  /// `t` must already carry its lifecycle config
+  /// (ThreadContext::configure_lifecycle) and outlive this object.
+  void admit(ThreadContext* t, Cycles at);
+
+  /// Registers a lifecycle observer (schedulers are observers too:
+  /// NCoreScheduler derives ThreadLifecycleListener). Not owned.
+  void add_listener(ThreadLifecycleListener* listener);
+
+  /// Services every lifecycle event due at now(), in deterministic order:
+  /// arrivals -> exits -> stalls -> resumes -> quantum expiries -> idle
+  /// dispatch. Call once before each scheduler decision point; between
+  /// calls the underlying system just executes.
+  void service_events();
+
+  /// Earliest future cycle at which a lifecycle event can fire (arrival,
+  /// I/O resume, or armed quantum expiry); kNoEvent when none is pending.
+  /// Commit-triggered events (exit, stall) are bounded separately via
+  /// next_commit_event_budget().
+  [[nodiscard]] Cycles next_event_at() const noexcept;
+
+  /// Tightest commit budget that cannot skip past an exit or I/O stall of
+  /// any attached thread: min over running threads of instructions left
+  /// until its job end or next stall point. kNoCommitBound when nothing
+  /// binds. In the degenerate closed schedule this equals the closed
+  /// engine's per-thread run-length budget, preserving bit-identity.
+  [[nodiscard]] InstrCount next_commit_event_budget() const noexcept;
+
+  [[nodiscard]] MulticoreSystem& system() noexcept { return system_; }
+  [[nodiscard]] const MulticoreSystem& system() const noexcept {
+    return system_;
+  }
+  [[nodiscard]] Cycles now() const noexcept { return system_.now(); }
+  [[nodiscard]] const OpenConfig& config() const noexcept { return cfg_; }
+
+  // --- introspection (invariant tests, metrics) --------------------------
+  [[nodiscard]] const std::vector<OpenThreadRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t count(ThreadState state) const noexcept;
+  [[nodiscard]] bool all_exited() const noexcept;
+  [[nodiscard]] std::size_t queue_depth(std::size_t core) const {
+    return queues_[core].size();
+  }
+  /// Work conservation: no empty, non-migrating core while a runnable
+  /// thread waits in a queue that core may serve (its own; any queue when
+  /// stealing is on).
+  [[nodiscard]] bool work_conserving() const noexcept;
+
+  [[nodiscard]] std::uint64_t total_dispatches() const noexcept {
+    return dispatches_;
+  }
+  [[nodiscard]] std::uint64_t total_migrations() const noexcept {
+    return migrations_;
+  }
+  [[nodiscard]] std::uint64_t total_steals() const noexcept { return steals_; }
+  [[nodiscard]] std::uint64_t total_preemptions() const noexcept {
+    return preemptions_;
+  }
+
+ private:
+  void enqueue_shortest(std::size_t rec);
+  void enqueue_on(std::size_t core, std::size_t rec);
+  void dispatch(std::size_t core, std::size_t rec);
+  void fire_start(std::size_t rec, std::size_t core);
+  void fire_stall(std::size_t rec, StallReason reason);
+  void fire_resume(std::size_t rec);
+  void fire_exit(std::size_t rec);
+  /// True when record `rec`'s thread is attached and executing on its core
+  /// (kRunning and not mid-delayed-dispatch).
+  [[nodiscard]] bool attached(const OpenThreadRecord& rec) const noexcept;
+
+  MulticoreSystem system_;
+  OpenConfig cfg_;
+  std::vector<OpenThreadRecord> records_;   // admission order
+  std::size_t arrival_cursor_ = 0;          // first not-yet-arrived record
+  std::vector<std::deque<std::size_t>> queues_;  // per-core FIFO of records
+  std::vector<Cycles> slice_start_;         // per-core quantum slice anchor
+  std::vector<ThreadLifecycleListener*> listeners_;
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t steals_ = 0;
+  std::uint64_t preemptions_ = 0;
+};
+
+}  // namespace amps::sim

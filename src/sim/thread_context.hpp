@@ -10,6 +10,7 @@
 
 #include "common/types.hpp"
 #include "isa/mix.hpp"
+#include "workload/arrivals.hpp"
 #include "workload/decoded_ring.hpp"
 #include "workload/source.hpp"
 
@@ -88,6 +89,36 @@ class ThreadContext {
   void add_l2_misses(std::uint64_t n) noexcept { l2_misses_ += n; }
   [[nodiscard]] std::uint64_t l2_misses() const noexcept { return l2_misses_; }
 
+  // --- open-system lifecycle (set by the OpenSystem; inert otherwise) ----
+  /// Arms the lifecycle model: the thread exits after committing
+  /// `job_length` instructions (0 = endless) and blocks per `io`.
+  void configure_lifecycle(InstrCount job_length,
+                           const wl::IoProfile& io) noexcept {
+    job_length_ = job_length;
+    io_ = io;
+    next_stall_ = io_.blocking() ? io_.stall_interval : 0;
+  }
+  [[nodiscard]] InstrCount job_length() const noexcept { return job_length_; }
+  [[nodiscard]] const wl::IoProfile& io_profile() const noexcept {
+    return io_;
+  }
+  /// True once the thread has committed its whole job.
+  [[nodiscard]] bool job_complete() const noexcept {
+    return job_length_ != 0 && committed_total() >= job_length_;
+  }
+  /// True when the thread has committed past its next modeled-I/O stall
+  /// point (absolute committed-instruction threshold).
+  [[nodiscard]] bool io_due() const noexcept {
+    return io_.blocking() && committed_total() >= next_stall_;
+  }
+  /// Re-arms the next stall threshold after a stall is taken.
+  void schedule_next_stall() noexcept {
+    next_stall_ = committed_total() + io_.stall_interval;
+  }
+  /// Absolute committed-instruction threshold of the next stall (0 when
+  /// the thread never blocks).
+  [[nodiscard]] InstrCount next_stall() const noexcept { return next_stall_; }
+
   /// IPC over the thread's whole life (0 when no cycles ran).
   [[nodiscard]] double ipc() const noexcept {
     return cycles_ ? static_cast<double>(committed_total()) /
@@ -112,6 +143,10 @@ class ThreadContext {
   Energy energy_ = 0.0;
   std::uint64_t swaps_ = 0;
   std::uint64_t l2_misses_ = 0;
+
+  InstrCount job_length_ = 0;  ///< 0 = endless (closed-system thread)
+  wl::IoProfile io_;
+  InstrCount next_stall_ = 0;  ///< absolute committed count of next stall
 };
 
 }  // namespace amps::sim

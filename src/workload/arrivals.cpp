@@ -1,0 +1,117 @@
+#include "workload/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/prng.hpp"
+
+namespace amps::wl {
+
+namespace {
+
+constexpr char kTraceMagic[] = "amps-arrivals v1";
+
+}  // namespace
+
+ArrivalSchedule::ArrivalSchedule(std::vector<Arrival> arrivals)
+    : arrivals_(std::move(arrivals)) {
+  std::stable_sort(
+      arrivals_.begin(), arrivals_.end(),
+      [](const Arrival& a, const Arrival& b) { return a.at < b.at; });
+}
+
+bool ArrivalSchedule::closed() const noexcept {
+  for (const Arrival& a : arrivals_)
+    if (a.at != 0 || a.io.blocking()) return false;
+  return true;
+}
+
+ArrivalSchedule closed_arrivals(const std::vector<const BenchmarkSpec*>& specs,
+                                InstrCount job_length) {
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(specs.size());
+  for (const BenchmarkSpec* spec : specs)
+    arrivals.push_back(Arrival{.at = 0,
+                               .spec = spec,
+                               .job_length = job_length,
+                               .instance_seed = 0,
+                               .io = {}});
+  return ArrivalSchedule(std::move(arrivals));
+}
+
+ArrivalSchedule poisson_arrivals(const BenchmarkCatalog& catalog,
+                                 const PoissonConfig& cfg,
+                                 std::uint64_t seed) {
+  if (!(cfg.jobs_per_kilocycle > 0.0))
+    throw std::invalid_argument("poisson_arrivals: rate must be > 0");
+  if (cfg.count == 0)
+    throw std::invalid_argument("poisson_arrivals: count must be > 0");
+  if (cfg.min_job_length == 0 || cfg.min_job_length > cfg.max_job_length)
+    throw std::invalid_argument("poisson_arrivals: bad job-length range");
+
+  Prng prng(combine_seeds(seed, 0xA441'5ALL));
+  const double mean_gap = 1000.0 / cfg.jobs_per_kilocycle;  // cycles/job
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(cfg.count);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < cfg.count; ++i) {
+    // Exponential inter-arrival gap: -ln(U) * mean, U in (0, 1].
+    double u = prng.uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    clock += -std::log(u) * mean_gap;
+    const BenchmarkSpec& spec = catalog.all()[prng.below(catalog.size())];
+    const auto length = static_cast<InstrCount>(
+        prng.range(static_cast<std::int64_t>(cfg.min_job_length),
+                   static_cast<std::int64_t>(cfg.max_job_length)));
+    arrivals.push_back(
+        Arrival{.at = static_cast<Cycles>(clock),
+                .spec = &spec,
+                .job_length = length,
+                .instance_seed = combine_seeds(seed, 0xB10B'0000ULL + i),
+                .io = cfg.io});
+  }
+  return ArrivalSchedule(std::move(arrivals));
+}
+
+void write_arrival_trace(const std::string& path,
+                         const ArrivalSchedule& schedule) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_arrival_trace: cannot open " + path);
+  out << kTraceMagic << '\n';
+  for (const Arrival& a : schedule.all()) {
+    out << a.at << ' ' << a.spec->name << ' ' << a.job_length << ' '
+        << a.instance_seed << ' ' << a.io.stall_interval << ' '
+        << a.io.stall_latency << '\n';
+  }
+  if (!out) throw std::runtime_error("write_arrival_trace: write failed");
+}
+
+ArrivalSchedule read_arrival_trace(const std::string& path,
+                                   const BenchmarkCatalog& catalog) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_arrival_trace: cannot open " + path);
+  std::string header;
+  if (!std::getline(in, header) || header != kTraceMagic)
+    throw std::runtime_error("read_arrival_trace: bad header in " + path);
+  std::vector<Arrival> arrivals;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    Arrival a;
+    std::string name;
+    if (!(fields >> a.at >> name >> a.job_length >> a.instance_seed >>
+          a.io.stall_interval >> a.io.stall_latency))
+      throw std::runtime_error("read_arrival_trace: bad line: " + line);
+    if (!catalog.contains(name))
+      throw std::runtime_error("read_arrival_trace: unknown benchmark " + name);
+    a.spec = &catalog.by_name(name);
+    arrivals.push_back(a);
+  }
+  return ArrivalSchedule(std::move(arrivals));
+}
+
+}  // namespace amps::wl

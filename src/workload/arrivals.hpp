@@ -1,0 +1,115 @@
+// Arrival processes for open-system scheduling (DESIGN.md §12): the
+// schedule of thread lifecycle *inputs* — when jobs enter the system, how
+// much work each one carries, and how it blocks on modeled I/O while it
+// runs. A schedule is materialized up front (fully deterministic per
+// seed), so a run can be replayed bit-exactly, persisted to a text trace,
+// and read back.
+//
+// The degenerate process — every thread arrives at cycle 0, never blocks,
+// and carries the closed-system commit budget — reproduces today's
+// fixed-thread runs exactly; the differential-fuzz layer enforces that
+// closed workloads routed through the open path stay bit-identical to the
+// classic MulticoreRunner engine.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::wl {
+
+/// Modeled-I/O profile of an open-system job: after every
+/// `stall_interval` committed instructions the thread blocks (detaches
+/// from its core) for `stall_latency` cycles, then becomes runnable again.
+struct IoProfile {
+  InstrCount stall_interval = 0;  ///< 0 = the thread never blocks
+  Cycles stall_latency = 0;       ///< cycles blocked per stall
+
+  [[nodiscard]] bool blocking() const noexcept {
+    return stall_interval != 0 && stall_latency != 0;
+  }
+  [[nodiscard]] bool operator==(const IoProfile&) const noexcept = default;
+};
+
+/// One thread arrival. `job_length == 0` means the job never exits on its
+/// own (the runner's stop policy or cycle bound ends it) — the closed
+/// degenerate case uses the runner's commit budget instead.
+struct Arrival {
+  Cycles at = 0;                      ///< arrival cycle
+  const BenchmarkSpec* spec = nullptr;
+  InstrCount job_length = 0;          ///< committed instructions to exit
+  std::uint64_t instance_seed = 0;    ///< stream instance seed
+  IoProfile io;
+};
+
+/// A fully materialized arrival schedule, sorted by arrival cycle with a
+/// stable sort (generation order breaks ties — replaying a schedule twice
+/// admits threads in the identical order).
+class ArrivalSchedule {
+ public:
+  ArrivalSchedule() = default;
+  explicit ArrivalSchedule(std::vector<Arrival> arrivals);
+
+  [[nodiscard]] std::size_t size() const noexcept { return arrivals_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return arrivals_.empty(); }
+  [[nodiscard]] const Arrival& operator[](std::size_t i) const {
+    return arrivals_[i];
+  }
+  [[nodiscard]] const std::vector<Arrival>& all() const noexcept {
+    return arrivals_;
+  }
+
+  /// True when every job arrives at cycle 0 and never blocks — the
+  /// degenerate (closed-system) process.
+  [[nodiscard]] bool closed() const noexcept;
+
+ private:
+  std::vector<Arrival> arrivals_;
+};
+
+/// The degenerate process for a fixed workload: thread i arrives at
+/// cycle 0 with `job_length` committed instructions of work (pass the
+/// runner's `scale.run_length` to reproduce a closed run exactly) and no
+/// modeled I/O.
+ArrivalSchedule closed_arrivals(const std::vector<const BenchmarkSpec*>& specs,
+                                InstrCount job_length);
+
+/// Poisson arrival stream configuration.
+struct PoissonConfig {
+  /// Arrival rate in jobs per 1000 cycles (lambda). Must be > 0.
+  double jobs_per_kilocycle = 0.05;
+  std::size_t count = 8;  ///< jobs to generate
+  /// Per-job committed-instruction budget, drawn uniformly per job.
+  InstrCount min_job_length = 8'000;
+  InstrCount max_job_length = 20'000;
+  /// Modeled-I/O profile applied to every job (default: CPU-bound).
+  IoProfile io;
+};
+
+/// Seeded Poisson process: exponential inter-arrival gaps at the
+/// configured rate, each job drawing a uniform benchmark from `catalog`
+/// and a uniform job length from the configured range. Deterministic per
+/// (catalog, cfg, seed); distinct `instance_seed` per job so repeated
+/// benchmarks get independent streams. Throws std::invalid_argument on a
+/// non-positive rate, zero count, or an inverted length range.
+ArrivalSchedule poisson_arrivals(const BenchmarkCatalog& catalog,
+                                 const PoissonConfig& cfg, std::uint64_t seed);
+
+/// Writes `schedule` as a versioned text trace (one line per arrival:
+/// cycle, benchmark name, job length, instance seed, I/O profile). Throws
+/// std::runtime_error when the file cannot be written.
+void write_arrival_trace(const std::string& path,
+                         const ArrivalSchedule& schedule);
+
+/// Reads a trace written by write_arrival_trace, resolving benchmark names
+/// against `catalog` (which must outlive the schedule). Throws
+/// std::runtime_error on open/format/version errors or an unknown
+/// benchmark name.
+ArrivalSchedule read_arrival_trace(const std::string& path,
+                                   const BenchmarkCatalog& catalog);
+
+}  // namespace amps::wl

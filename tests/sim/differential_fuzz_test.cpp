@@ -608,5 +608,253 @@ TEST(DifferentialFuzz, LaneVsScalarBitIdentityMulticore) {
   }
 }
 
+void expect_identical(const metrics::OpenRunResult& a,
+                      const metrics::OpenRunResult& b) {
+  expect_identical(a.closed, b.closed);
+  EXPECT_EQ(a.jobs_arrived, b.jobs_arrived);
+  EXPECT_EQ(a.jobs_finished, b.jobs_finished);
+  EXPECT_EQ(a.total_dispatches, b.total_dispatches);
+  EXPECT_EQ(a.total_migrations, b.total_migrations);
+  EXPECT_EQ(a.total_steals, b.total_steals);
+  EXPECT_EQ(a.total_preemptions, b.total_preemptions);
+  expect_same_bits(a.mean_turnaround, b.mean_turnaround, "mean_turnaround");
+  expect_same_bits(a.p50_turnaround, b.p50_turnaround, "p50_turnaround");
+  expect_same_bits(a.p99_turnaround, b.p99_turnaround, "p99_turnaround");
+  expect_same_bits(a.mean_wait, b.mean_wait, "mean_wait");
+  expect_same_bits(a.p50_wait, b.p50_wait, "p50_wait");
+  expect_same_bits(a.p99_wait, b.p99_wait, "p99_wait");
+  expect_same_bits(a.mean_slowdown, b.mean_slowdown, "mean_slowdown");
+  expect_same_bits(a.max_slowdown, b.max_slowdown, "max_slowdown");
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    const metrics::OpenJobOutcome& ja = a.jobs[i];
+    const metrics::OpenJobOutcome& jb = b.jobs[i];
+    EXPECT_EQ(ja.benchmark, jb.benchmark);
+    EXPECT_EQ(ja.arrival, jb.arrival);
+    EXPECT_EQ(ja.first_dispatch, jb.first_dispatch);
+    EXPECT_EQ(ja.exit_cycle, jb.exit_cycle);
+    EXPECT_EQ(ja.exited, jb.exited);
+    EXPECT_EQ(ja.committed, jb.committed);
+    EXPECT_EQ(ja.running_cycles, jb.running_cycles);
+    EXPECT_EQ(ja.queued_cycles, jb.queued_cycles);
+    EXPECT_EQ(ja.blocked_cycles, jb.blocked_cycles);
+    EXPECT_EQ(ja.stalls, jb.stalls);
+    EXPECT_EQ(ja.resumes, jb.resumes);
+    EXPECT_EQ(ja.dispatches, jb.dispatches);
+    EXPECT_EQ(ja.migrations, jb.migrations);
+    EXPECT_EQ(ja.preemptions, jb.preemptions);
+  }
+}
+
+std::unique_ptr<sched::NCoreScheduler> make_ncore_scheduler(
+    int family, const SimScale& scale) {
+  switch (family) {
+    case 0: {
+      sched::GlobalAffinityConfig cfg;
+      cfg.window_size = scale.window_size;
+      cfg.history_depth = scale.history_depth;
+      return std::make_unique<sched::GlobalAffinityScheduler>(cfg);
+    }
+    case 1:
+      return std::make_unique<sched::MulticoreRoundRobin>(
+          scale.context_switch_interval);
+    default:
+      return std::make_unique<sched::MulticoreStaticScheduler>();
+  }
+}
+
+SimScale draw_multicore_scale(std::mt19937_64& rng) {
+  SimScale scale;
+  scale.context_switch_interval =
+      std::uniform_int_distribution<Cycles>(5'000, 30'000)(rng);
+  scale.run_length =
+      std::uniform_int_distribution<InstrCount>(12'000, 25'000)(rng);
+  constexpr InstrCount kWindows[] = {250, 500, 1'000, 2'000};
+  constexpr int kHistories[] = {1, 3, 5, 7};
+  scale.window_size = kWindows[std::uniform_int_distribution<int>(0, 3)(rng)];
+  scale.history_depth =
+      kHistories[std::uniform_int_distribution<int>(0, 3)(rng)];
+  return scale;
+}
+
+std::vector<CoreConfig> canonical_cores(std::size_t n, bool fast) {
+  std::vector<CoreConfig> cores;
+  for (std::size_t i = 0; i < n; ++i)
+    cores.push_back(with_engine(
+        i < n / 2 ? int_core_config() : fp_core_config(), fast));
+  return cores;
+}
+
+// The open-path closed-workload axis: a fixed workload routed through the
+// event-driven OpenRunState as a degenerate schedule (every thread arrives
+// at cycle 0 carrying the closed commit budget, no I/O, no quantum,
+// first-exit stop) must be bit-identical — results AND decision traces —
+// to MulticoreRunner::run, for every scheduler family, on both engines,
+// batched and per-cycle.
+TEST(DifferentialFuzz, ClosedVsOpenPathBitIdentity) {
+  ArmGuard armed;
+  const wl::BenchmarkCatalog catalog;
+  std::mt19937_64 rng(0xA3C5'000A);
+  for (int i = 0; i < 12; ++i) {
+    const SimScale scale = draw_multicore_scale(rng);
+    const std::size_t n = i % 2 == 0 ? 2 : 4;
+    const int family = i % 3;       // affinity / round-robin / static
+    const bool fast = i < 6;        // ... on both engines
+    const bool batched = i % 4 != 3;
+    const harness::MulticoreWorkload workload =
+        harness::sample_workloads(
+            catalog, n, 1,
+            std::uniform_int_distribution<std::uint64_t>(0, 1u << 20)(rng))
+            .front();
+    SCOPED_TRACE("config " + std::to_string(i) + ": " +
+                 harness::workload_label(workload) + " n=" +
+                 std::to_string(n) + " family=" + std::to_string(family) +
+                 " fast=" + std::to_string(fast) +
+                 " batched=" + std::to_string(batched));
+
+    harness::MulticoreRunner runner(scale, canonical_cores(n, fast));
+    runner.set_batched_stepping(batched);
+
+    auto closed_sched = make_ncore_scheduler(family, scale);
+    const metrics::MulticoreRunResult closed =
+        runner.run(workload, *closed_sched);
+
+    const wl::ArrivalSchedule degenerate =
+        wl::closed_arrivals(workload, scale.run_length);
+    auto open_sched = make_ncore_scheduler(family, scale);
+    const metrics::OpenRunResult open = runner.run_open(
+        degenerate, *open_sched, sim::OpenConfig{},
+        harness::OpenStop::kFirstExit);
+
+    expect_identical(closed, open.closed);
+    expect_same_trace(closed_sched->decision_trace(),
+                      open_sched->decision_trace());
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+// The arrival-replay axis: one seeded Poisson schedule (with modeled I/O
+// and a preemption quantum) run twice under fresh schedulers must produce
+// bit-equal OpenRunResults and record-identical decision traces — and the
+// same again after a trace-file round trip of the schedule.
+TEST(DifferentialFuzz, ArrivalScheduleReplayIsDeterministic) {
+  ArmGuard armed;
+  const wl::BenchmarkCatalog catalog;
+  const std::string path = ::testing::TempDir() + "amps_difffuzz_arrivals.txt";
+  std::mt19937_64 rng(0xA3C5'000B);
+  for (int i = 0; i < 6; ++i) {
+    const SimScale scale = draw_multicore_scale(rng);
+    const std::size_t n = i % 2 == 0 ? 2 : 4;
+    const int family = i % 3;
+    wl::PoissonConfig pcfg;
+    pcfg.jobs_per_kilocycle = 0.5;
+    pcfg.count = n * 3;  // 3x oversubscription
+    pcfg.min_job_length = scale.run_length / 6;
+    pcfg.max_job_length = scale.run_length / 3;
+    if (i % 2 == 0) {
+      pcfg.io.stall_interval = scale.run_length / 8;
+      pcfg.io.stall_latency = 1'000;
+    }
+    const wl::ArrivalSchedule schedule = wl::poisson_arrivals(
+        catalog, pcfg,
+        std::uniform_int_distribution<std::uint64_t>(0, 1u << 20)(rng));
+    sim::OpenConfig open_cfg;
+    open_cfg.quantum = i % 3 == 0 ? 0 : scale.context_switch_interval / 8;
+    open_cfg.dispatch_overhead = scale.swap_overhead;
+    SCOPED_TRACE("config " + std::to_string(i) + ": " +
+                 harness::schedule_label(schedule) + " n=" +
+                 std::to_string(n) + " family=" + std::to_string(family) +
+                 " quantum=" + std::to_string(open_cfg.quantum));
+
+    const harness::MulticoreRunner runner =
+        harness::MulticoreRunner::canonical(scale, n);
+    auto s1 = make_ncore_scheduler(family, scale);
+    const auto first = runner.run_open(schedule, *s1, open_cfg);
+    auto s2 = make_ncore_scheduler(family, scale);
+    const auto second = runner.run_open(schedule, *s2, open_cfg);
+    expect_identical(first, second);
+    expect_same_trace(s1->decision_trace(), s2->decision_trace());
+
+    wl::write_arrival_trace(path, schedule);
+    const wl::ArrivalSchedule reread = wl::read_arrival_trace(path, catalog);
+    auto s3 = make_ncore_scheduler(family, scale);
+    const auto replayed = runner.run_open(reread, *s3, open_cfg);
+    expect_identical(first, replayed);
+    expect_same_trace(s1->decision_trace(), s3->decision_trace());
+    if (::testing::Test::HasFailure()) break;
+  }
+  std::filesystem::remove(path);
+}
+
+// The lane-engine axis for open runs: the same Poisson configurations
+// executed scalar (run_open) and through run_open_jobs at lane width 4
+// must be bit-identical — results AND decision traces — for every N-core
+// scheduler family. All 12 jobs go through ONE run_open_jobs call so lanes
+// genuinely interleave open runs of different scales and schedules.
+TEST(DifferentialFuzz, LaneVsScalarBitIdentityOpen) {
+  ArmGuard armed;
+  const wl::BenchmarkCatalog catalog;
+  std::mt19937_64 rng(0xA3C5'000C);
+  constexpr int kConfigs = 12;
+
+  std::vector<std::string> labels;
+  std::vector<std::unique_ptr<harness::MulticoreRunner>> runners;
+  std::vector<wl::ArrivalSchedule> schedules;
+  schedules.reserve(kConfigs);  // jobs hold pointers into this vector
+  std::vector<sim::OpenConfig> open_cfgs;
+  open_cfgs.reserve(kConfigs);
+  std::vector<std::unique_ptr<sched::NCoreScheduler>> scalar_scheds;
+  std::vector<std::unique_ptr<sched::NCoreScheduler>> lane_scheds;
+  std::vector<metrics::OpenRunResult> scalar_results;
+  std::vector<harness::LaneOpenJob> jobs;
+  for (int i = 0; i < kConfigs; ++i) {
+    const SimScale scale = draw_multicore_scale(rng);
+    const std::size_t n = i % 2 == 0 ? 2 : 4;
+    const int family = i % 3;
+    wl::PoissonConfig pcfg;
+    pcfg.jobs_per_kilocycle = i % 2 == 0 ? 0.5 : 1.0;
+    pcfg.count = n * 3;
+    pcfg.min_job_length = scale.run_length / 6;
+    pcfg.max_job_length = scale.run_length / 3;
+    if (i % 3 != 2) {
+      pcfg.io.stall_interval = scale.run_length / 8;
+      pcfg.io.stall_latency = 1'000;
+    }
+    schedules.push_back(wl::poisson_arrivals(
+        catalog, pcfg,
+        std::uniform_int_distribution<std::uint64_t>(0, 1u << 20)(rng)));
+    sim::OpenConfig open_cfg;
+    open_cfg.quantum = i % 2 == 0 ? scale.context_switch_interval / 8 : 0;
+    open_cfg.dispatch_overhead = scale.swap_overhead;
+    open_cfgs.push_back(open_cfg);
+    labels.push_back(harness::schedule_label(schedules.back()) + " n=" +
+                     std::to_string(n) + " family=" + std::to_string(family) +
+                     " quantum=" + std::to_string(open_cfg.quantum));
+
+    runners.push_back(std::make_unique<harness::MulticoreRunner>(
+        harness::MulticoreRunner::canonical(scale, n)));
+    scalar_scheds.push_back(make_ncore_scheduler(family, scale));
+    scalar_results.push_back(runners.back()->run_open(
+        schedules.back(), *scalar_scheds.back(), open_cfgs.back()));
+    lane_scheds.push_back(make_ncore_scheduler(family, scale));
+    jobs.push_back(harness::LaneOpenJob{
+        runners.back().get(), &schedules.back(), &open_cfgs.back(),
+        harness::OpenStop::kAllExited, nullptr, lane_scheds.back().get(),
+        nullptr});
+  }
+
+  const std::vector<metrics::OpenRunResult> lane_results =
+      harness::run_open_jobs(jobs, 4);
+  ASSERT_EQ(lane_results.size(), scalar_results.size());
+  for (int i = 0; i < kConfigs; ++i) {
+    SCOPED_TRACE("config " + std::to_string(i) + ": " + labels[i]);
+    expect_identical(lane_results[i], scalar_results[i]);
+    expect_same_trace(lane_scheds[i]->decision_trace(),
+                      scalar_scheds[i]->decision_trace());
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
 }  // namespace
 }  // namespace amps::sim

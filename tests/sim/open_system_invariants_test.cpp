@@ -1,0 +1,348 @@
+// Open-system invariant layer: structural checks (one core per thread,
+// state conservation, queue/ledger agreement, work conservation) verified
+// at every lifecycle event and between every event-service call, plus the
+// event-ordering rules — start fires once, no resume before a stall, exit
+// is terminal.
+#include "sim/open_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/multicore.hpp"
+#include "sim/core_config.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::sim {
+namespace {
+
+const wl::BenchmarkCatalog& catalog() {
+  static const wl::BenchmarkCatalog c;
+  return c;
+}
+
+std::vector<CoreConfig> amp_cores(std::size_t n) {
+  std::vector<CoreConfig> cores;
+  for (std::size_t i = 0; i < n; ++i)
+    cores.push_back(i < n / 2 ? int_core_config() : fp_core_config());
+  if (n == 1) cores = {int_core_config()};
+  return cores;
+}
+
+/// Structural invariants that must hold at every lifecycle event and at
+/// every quiescent point (after service_events()).
+void check_structural(const OpenSystem& open) {
+  const MulticoreSystem& sys = open.system();
+  const auto& records = open.records();
+
+  // Conservation: every record is in exactly one lifecycle state, and the
+  // arrived population splits exactly into queued + running + blocked +
+  // exited.
+  const std::size_t pending = open.count(ThreadState::kPending);
+  const std::size_t queued = open.count(ThreadState::kQueued);
+  const std::size_t running = open.count(ThreadState::kRunning);
+  const std::size_t blocked = open.count(ThreadState::kBlocked);
+  const std::size_t exited = open.count(ThreadState::kExited);
+  ASSERT_EQ(pending + queued + running + blocked + exited, records.size());
+
+  // Ledger/queue agreement: the queued population is exactly the union of
+  // the per-core run queues.
+  std::size_t total_depth = 0;
+  for (std::size_t c = 0; c < sys.num_cores(); ++c)
+    total_depth += open.queue_depth(c);
+  EXPECT_EQ(queued, total_depth);
+
+  // No thread occupies two cores at once, and every occupant is a record
+  // in kRunning on that exact core.
+  std::vector<const ThreadContext*> seen;
+  for (std::size_t c = 0; c < sys.num_cores(); ++c) {
+    const ThreadContext* t = sys.thread_on(c);
+    if (t == nullptr) continue;
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), t), 0)
+        << "thread " << t->id() << " on two cores";
+    seen.push_back(t);
+    const auto rec = std::find_if(
+        records.begin(), records.end(),
+        [t](const OpenThreadRecord& r) { return r.thread == t; });
+    ASSERT_NE(rec, records.end());
+    EXPECT_EQ(rec->state, ThreadState::kRunning);
+    EXPECT_EQ(rec->core, c);
+  }
+  EXPECT_EQ(seen.size(), running);
+
+  // Exited threads hold no core and stay exited (committed >= job).
+  for (const OpenThreadRecord& r : records) {
+    if (r.state != ThreadState::kExited) continue;
+    for (std::size_t c = 0; c < sys.num_cores(); ++c)
+      EXPECT_NE(sys.thread_on(c), r.thread) << "exited thread still on core";
+    EXPECT_TRUE(r.thread->job_complete());
+  }
+}
+
+/// Event-ordering invariants, checked as the events fire.
+class InvariantListener : public ThreadLifecycleListener {
+ public:
+  explicit InvariantListener(const OpenSystem& open) : open_(&open) {}
+
+  struct PerThread {
+    std::uint64_t starts = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t resumes = 0;
+    std::uint64_t exits = 0;
+  };
+
+  void thread_start(ThreadId t, Cycles now, std::size_t core) override {
+    PerThread& p = on_event(t, now);
+    EXPECT_EQ(p.starts, 0u) << "start fired twice for thread " << t;
+    EXPECT_LT(core, open_->system().num_cores());
+    ++p.starts;
+  }
+  void thread_stall(ThreadId t, StallReason reason, Cycles now) override {
+    PerThread& p = on_event(t, now);
+    EXPECT_EQ(reason, StallReason::kIo);
+    EXPECT_GT(p.starts, 0u) << "stall before start for thread " << t;
+    ++p.stalls;
+  }
+  void thread_resume(ThreadId t, Cycles now) override {
+    PerThread& p = on_event(t, now);
+    EXPECT_LT(p.resumes, p.stalls) << "resume before stall for thread " << t;
+    ++p.resumes;
+  }
+  void thread_exit(ThreadId t, Cycles now) override {
+    PerThread& p = on_event(t, now);
+    EXPECT_GT(p.starts, 0u) << "exit before start for thread " << t;
+    ++p.exits;
+  }
+
+  [[nodiscard]] const std::map<ThreadId, PerThread>& threads() const {
+    return threads_;
+  }
+  [[nodiscard]] std::uint64_t events() const { return events_; }
+
+ private:
+  PerThread& on_event(ThreadId t, Cycles now) {
+    ++events_;
+    EXPECT_GE(now, last_event_) << "event time went backwards";
+    EXPECT_EQ(now, open_->now());
+    last_event_ = now;
+    check_structural(*open_);
+    PerThread& p = threads_[t];
+    EXPECT_EQ(p.exits, 0u) << "event after exit for thread " << t;
+    return p;
+  }
+
+  const OpenSystem* open_;
+  std::map<ThreadId, PerThread> threads_;
+  Cycles last_event_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+/// A fully materialized run harness around a bare OpenSystem: admit the
+/// schedule, then alternate service_events() with bounded execution until
+/// the system drains, checking structural invariants and work conservation
+/// at every quiescent point.
+class OpenHarness {
+ public:
+  OpenHarness(std::size_t cores, const wl::ArrivalSchedule& schedule,
+              const OpenConfig& cfg)
+      : open_(amp_cores(cores), /*swap_overhead=*/50, cfg),
+        listener_(open_) {
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      const wl::Arrival& a = schedule[i];
+      threads_.emplace_back(static_cast<ThreadId>(i), *a.spec,
+                            a.instance_seed);
+      threads_.back().configure_lifecycle(a.job_length, a.io);
+    }
+    open_.add_listener(&listener_);
+    for (std::size_t i = 0; i < schedule.size(); ++i)
+      open_.admit(&threads_[i], schedule[i].at);
+  }
+
+  /// Drains the system (all jobs exit) under a hard cycle bound.
+  void drain(Cycles bound = 10'000'000) {
+    while (!open_.all_exited()) {
+      ASSERT_LT(open_.now(), bound) << "open system failed to drain";
+      open_.service_events();
+      check_structural(open_);
+      EXPECT_TRUE(open_.work_conserving());
+      if (open_.all_exited()) break;
+      const Cycles until = std::max(
+          std::min(open_.next_event_at(), open_.now() + 256),
+          open_.now() + 1);
+      open_.system().step_until(until, open_.next_commit_event_budget());
+    }
+    check_structural(open_);
+  }
+
+  [[nodiscard]] OpenSystem& open() { return open_; }
+  [[nodiscard]] const InvariantListener& listener() const {
+    return listener_;
+  }
+
+ private:
+  OpenSystem open_;
+  InvariantListener listener_;
+  std::deque<ThreadContext> threads_;
+};
+
+wl::ArrivalSchedule oversubscribed_schedule() {
+  wl::PoissonConfig cfg;
+  cfg.jobs_per_kilocycle = 0.5;
+  cfg.count = 12;
+  cfg.min_job_length = 2'000;
+  cfg.max_job_length = 5'000;
+  cfg.io.stall_interval = 1'500;
+  cfg.io.stall_latency = 400;
+  return wl::poisson_arrivals(catalog(), cfg, 0xA11CE);
+}
+
+TEST(OpenSystemInvariants, OversubscribedDrainHoldsAllInvariants) {
+  const wl::ArrivalSchedule schedule = oversubscribed_schedule();
+  OpenConfig cfg;
+  cfg.quantum = 800;
+  cfg.dispatch_overhead = 50;
+  OpenHarness h(/*cores=*/4, schedule, cfg);
+  h.drain();
+
+  const OpenSystem& open = h.open();
+  EXPECT_TRUE(open.all_exited());
+  EXPECT_EQ(open.count(ThreadState::kExited), schedule.size());
+  ASSERT_EQ(h.listener().threads().size(), schedule.size());
+  for (const auto& [id, p] : h.listener().threads()) {
+    EXPECT_EQ(p.starts, 1u) << "thread " << id;
+    EXPECT_EQ(p.exits, 1u) << "thread " << id;
+    // Drained run: every stall was eventually resumed.
+    EXPECT_EQ(p.stalls, p.resumes) << "thread " << id;
+  }
+  for (const OpenThreadRecord& r : open.records()) {
+    EXPECT_TRUE(r.started);
+    EXPECT_GE(r.first_dispatch, r.arrival);
+    EXPECT_GE(r.exit_cycle, r.first_dispatch);
+    EXPECT_GE(r.thread->committed_total(), r.thread->job_length());
+    EXPECT_EQ(r.stalls, r.resumes);
+    // Accounting: time spent waiting and blocked fits in the turnaround.
+    EXPECT_LE(r.queued_cycles + r.blocked_cycles, r.exit_cycle - r.arrival);
+  }
+  // Oversubscription (12 jobs on 4 cores) with a quantum must preempt.
+  EXPECT_GT(open.total_preemptions(), 0u);
+  EXPECT_GE(open.total_dispatches(), schedule.size());
+}
+
+TEST(OpenSystemInvariants, NoStealKeepsThreadsOnTheirQueueCore) {
+  const auto specs = catalog().representative_nine();
+  const wl::ArrivalSchedule schedule = wl::closed_arrivals(
+      std::vector<const wl::BenchmarkSpec*>(specs.begin(), specs.begin() + 6),
+      /*job_length=*/3'000);
+  OpenConfig cfg;
+  cfg.quantum = 500;
+  cfg.steal = false;
+  OpenHarness h(/*cores=*/2, schedule, cfg);
+  h.drain();
+  // With stealing off and resumes pinned to the last core, a thread never
+  // leaves the queue it joined.
+  EXPECT_EQ(h.open().total_steals(), 0u);
+  EXPECT_EQ(h.open().total_migrations(), 0u);
+  EXPECT_TRUE(h.open().all_exited());
+}
+
+TEST(OpenSystemInvariants, QuantumExpiresOnlyWithAWaiter) {
+  const auto specs = catalog().representative_nine();
+  {
+    // One thread per core: no queue ever has a waiter, so the quantum
+    // never preempts.
+    const wl::ArrivalSchedule two =
+        wl::closed_arrivals({specs[0], specs[1]}, /*job_length=*/4'000);
+    OpenConfig cfg;
+    cfg.quantum = 100;
+    OpenHarness h(/*cores=*/2, two, cfg);
+    h.drain();
+    EXPECT_EQ(h.open().total_preemptions(), 0u);
+  }
+  {
+    // Two threads per core round-robin through the quantum.
+    const wl::ArrivalSchedule four = wl::closed_arrivals(
+        {specs[0], specs[1], specs[2], specs[3]}, /*job_length=*/4'000);
+    OpenConfig cfg;
+    cfg.quantum = 300;
+    OpenHarness h(/*cores=*/2, four, cfg);
+    h.drain();
+    EXPECT_GT(h.open().total_preemptions(), 0u);
+    EXPECT_TRUE(h.open().all_exited());
+  }
+}
+
+TEST(OpenSystemInvariants, IdleCoreStealsFromLoadedQueue) {
+  const auto specs = catalog().representative_nine();
+  // JSQ at cycle 0 lands t0 on core 0, t1 on core 1, t2 queued on core 0.
+  // t1 is short: core 1 drains first and must steal t2 from core 0's queue.
+  std::vector<wl::Arrival> raw;
+  raw.push_back({.at = 0, .spec = specs[0], .job_length = 8'000});
+  raw.push_back({.at = 0, .spec = specs[1], .job_length = 1'000});
+  raw.push_back({.at = 0, .spec = specs[2], .job_length = 4'000});
+  const wl::ArrivalSchedule schedule{std::move(raw)};
+  OpenHarness h(/*cores=*/2, schedule, OpenConfig{});
+  h.drain();
+  EXPECT_GE(h.open().total_steals(), 1u);
+  EXPECT_TRUE(h.open().all_exited());
+}
+
+TEST(OpenSystemInvariants, AdmissionRules) {
+  ThreadContext t0(0, catalog().all()[0]);
+  ThreadContext t1(1, catalog().all()[0]);
+  t0.configure_lifecycle(1'000, {});
+  t1.configure_lifecycle(1'000, {});
+  OpenSystem open(amp_cores(2), 50, OpenConfig{});
+  EXPECT_FALSE(open.all_exited());  // empty system never reads as drained
+  open.admit(&t0, 100);
+  EXPECT_THROW(open.admit(&t1, 99), std::invalid_argument);
+}
+
+TEST(OpenSystemInvariants, HarnessOpenRunDrainsAndReportsMetrics) {
+  sim::SimScale scale;
+  scale.context_switch_interval = 10'000;
+  scale.run_length = 20'000;
+  const harness::MulticoreRunner runner =
+      harness::MulticoreRunner::canonical(scale, 2);
+
+  wl::PoissonConfig pcfg;
+  pcfg.jobs_per_kilocycle = 0.5;
+  pcfg.count = 6;
+  pcfg.min_job_length = 2'000;
+  pcfg.max_job_length = 4'000;
+  pcfg.io.stall_interval = 1'500;
+  pcfg.io.stall_latency = 400;
+  const wl::ArrivalSchedule schedule =
+      wl::poisson_arrivals(catalog(), pcfg, 7);
+
+  OpenConfig open_cfg;
+  open_cfg.quantum = scale.context_switch_interval / 8;
+  open_cfg.dispatch_overhead = scale.swap_overhead;
+  const metrics::OpenRunResult r = runner.run_open(
+      schedule, runner.affinity_factory(), open_cfg,
+      harness::OpenStop::kAllExited);
+
+  EXPECT_FALSE(r.closed.hit_cycle_bound);
+  EXPECT_EQ(r.jobs_arrived, schedule.size());
+  EXPECT_EQ(r.jobs_finished, schedule.size());
+  ASSERT_EQ(r.jobs.size(), schedule.size());
+  for (const metrics::OpenJobOutcome& job : r.jobs) {
+    EXPECT_TRUE(job.exited);
+    EXPECT_GT(job.turnaround(), 0u);
+    EXPECT_GE(job.slowdown(), 1.0);
+    EXPECT_GE(job.committed, 2'000u);
+  }
+  EXPECT_GE(r.p99_turnaround, r.p50_turnaround);
+  EXPECT_GE(r.p99_wait, 0.0);
+  EXPECT_GE(r.mean_slowdown, 1.0);
+  EXPECT_LE(r.mean_slowdown, r.max_slowdown);
+  EXPECT_GT(r.throughput_jobs_per_mcycle(), 0.0);
+}
+
+}  // namespace
+}  // namespace amps::sim

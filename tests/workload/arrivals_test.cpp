@@ -1,0 +1,187 @@
+// Deterministic arrival-process tests: Poisson seed determinism, trace
+// round-trip, empirical-rate tolerance, and the zero-rate / burst edge
+// cases the open-system layer leans on.
+#include "workload/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace amps::wl {
+namespace {
+
+const BenchmarkCatalog& catalog() {
+  static const BenchmarkCatalog c;
+  return c;
+}
+
+void expect_same_schedule(const ArrivalSchedule& a, const ArrivalSchedule& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at) << "arrival " << i;
+    EXPECT_EQ(a[i].spec->name, b[i].spec->name) << "arrival " << i;
+    EXPECT_EQ(a[i].job_length, b[i].job_length) << "arrival " << i;
+    EXPECT_EQ(a[i].instance_seed, b[i].instance_seed) << "arrival " << i;
+    EXPECT_EQ(a[i].io, b[i].io) << "arrival " << i;
+  }
+}
+
+TEST(ArrivalSchedule, SortsByArrivalKeepingGenerationOrderOnTies) {
+  const BenchmarkSpec& spec = catalog().all()[0];
+  std::vector<Arrival> raw;
+  raw.push_back({.at = 50, .spec = &spec, .job_length = 1, .instance_seed = 0});
+  raw.push_back({.at = 10, .spec = &spec, .job_length = 2, .instance_seed = 1});
+  raw.push_back({.at = 50, .spec = &spec, .job_length = 3, .instance_seed = 2});
+  raw.push_back({.at = 10, .spec = &spec, .job_length = 4, .instance_seed = 3});
+  const ArrivalSchedule s(std::move(raw));
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0].job_length, 2u);  // at=10, first generated
+  EXPECT_EQ(s[1].job_length, 4u);  // at=10, second generated
+  EXPECT_EQ(s[2].job_length, 1u);  // at=50, first generated
+  EXPECT_EQ(s[3].job_length, 3u);
+}
+
+TEST(ClosedArrivals, AllAtCycleZeroWithSeedZeroAndNoIo) {
+  const auto specs = catalog().representative_nine();
+  const ArrivalSchedule s = closed_arrivals(specs, 12'345);
+  ASSERT_EQ(s.size(), specs.size());
+  EXPECT_TRUE(s.closed());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s[i].at, 0u);
+    EXPECT_EQ(s[i].spec, specs[i]);  // thread order preserved
+    EXPECT_EQ(s[i].job_length, 12'345u);
+    EXPECT_EQ(s[i].instance_seed, 0u);
+    EXPECT_FALSE(s[i].io.blocking());
+  }
+}
+
+TEST(PoissonArrivals, SameSeedSameStreamDifferentSeedDiffers) {
+  PoissonConfig cfg;
+  cfg.jobs_per_kilocycle = 0.5;
+  cfg.count = 64;
+  const ArrivalSchedule a = poisson_arrivals(catalog(), cfg, 42);
+  const ArrivalSchedule b = poisson_arrivals(catalog(), cfg, 42);
+  expect_same_schedule(a, b);
+
+  const ArrivalSchedule c = poisson_arrivals(catalog(), cfg, 43);
+  ASSERT_EQ(a.size(), c.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    any_diff = any_diff || a[i].at != c[i].at ||
+               a[i].spec->name != c[i].spec->name;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(PoissonArrivals, DistinctInstanceSeedsPerJob) {
+  PoissonConfig cfg;
+  cfg.count = 32;
+  const ArrivalSchedule s = poisson_arrivals(catalog(), cfg, 7);
+  for (std::size_t i = 0; i < s.size(); ++i)
+    for (std::size_t j = i + 1; j < s.size(); ++j)
+      EXPECT_NE(s[i].instance_seed, s[j].instance_seed)
+          << "jobs " << i << " and " << j;
+}
+
+TEST(PoissonArrivals, EmpiricalRateWithinToleranceOfLambda) {
+  PoissonConfig cfg;
+  cfg.jobs_per_kilocycle = 0.5;  // mean gap 2000 cycles
+  cfg.count = 4000;
+  const ArrivalSchedule s = poisson_arrivals(catalog(), cfg, 2012);
+  const double span = static_cast<double>(s[s.size() - 1].at);
+  ASSERT_GT(span, 0.0);
+  const double empirical =
+      static_cast<double>(s.size()) / span * 1000.0;  // jobs per kcycle
+  // 4000 exponential gaps: the sample mean sits well within 10% of 1/lambda.
+  EXPECT_NEAR(empirical, cfg.jobs_per_kilocycle,
+              0.1 * cfg.jobs_per_kilocycle);
+}
+
+TEST(PoissonArrivals, JobLengthsStayInConfiguredRange) {
+  PoissonConfig cfg;
+  cfg.count = 256;
+  cfg.min_job_length = 100;
+  cfg.max_job_length = 200;
+  const ArrivalSchedule s = poisson_arrivals(catalog(), cfg, 5);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_GE(s[i].job_length, cfg.min_job_length);
+    EXPECT_LE(s[i].job_length, cfg.max_job_length);
+  }
+}
+
+TEST(PoissonArrivals, RejectsZeroRateZeroCountAndInvertedRange) {
+  PoissonConfig cfg;
+  cfg.jobs_per_kilocycle = 0.0;
+  EXPECT_THROW(poisson_arrivals(catalog(), cfg, 1), std::invalid_argument);
+  cfg.jobs_per_kilocycle = -1.0;
+  EXPECT_THROW(poisson_arrivals(catalog(), cfg, 1), std::invalid_argument);
+
+  cfg = PoissonConfig{};
+  cfg.count = 0;
+  EXPECT_THROW(poisson_arrivals(catalog(), cfg, 1), std::invalid_argument);
+
+  cfg = PoissonConfig{};
+  cfg.min_job_length = 100;
+  cfg.max_job_length = 50;
+  EXPECT_THROW(poisson_arrivals(catalog(), cfg, 1), std::invalid_argument);
+  cfg.min_job_length = 0;
+  cfg.max_job_length = 10;
+  EXPECT_THROW(poisson_arrivals(catalog(), cfg, 1), std::invalid_argument);
+}
+
+TEST(PoissonArrivals, BurstRateCollapsesGapsButStaysSortedAndOrdered) {
+  PoissonConfig cfg;
+  cfg.jobs_per_kilocycle = 1e9;  // gaps truncate to the same cycle
+  cfg.count = 32;
+  const ArrivalSchedule s = poisson_arrivals(catalog(), cfg, 9);
+  for (std::size_t i = 1; i < s.size(); ++i)
+    EXPECT_GE(s[i].at, s[i - 1].at);
+  // All arrivals land within a handful of cycles — a burst.
+  EXPECT_LE(s[s.size() - 1].at, 4u);
+}
+
+class ArrivalTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "amps_arrivals_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(ArrivalTraceTest, RoundTripIsExact) {
+  PoissonConfig cfg;
+  cfg.count = 48;
+  cfg.io.stall_interval = 5'000;
+  cfg.io.stall_latency = 750;
+  const ArrivalSchedule out = poisson_arrivals(catalog(), cfg, 77);
+  write_arrival_trace(path_, out);
+  const ArrivalSchedule in = read_arrival_trace(path_, catalog());
+  expect_same_schedule(out, in);
+}
+
+TEST_F(ArrivalTraceTest, RejectsBadHeaderAndUnknownBenchmark) {
+  {
+    std::ofstream f(path_);
+    f << "not-an-arrival-trace\n";
+  }
+  EXPECT_THROW(read_arrival_trace(path_, catalog()), std::runtime_error);
+
+  {
+    std::ofstream f(path_);
+    f << "amps-arrivals v1\n0 no_such_benchmark 10 0 0 0\n";
+  }
+  EXPECT_THROW(read_arrival_trace(path_, catalog()), std::runtime_error);
+
+  EXPECT_THROW(read_arrival_trace(path_ + ".missing", catalog()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace amps::wl
