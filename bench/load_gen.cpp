@@ -1,0 +1,324 @@
+// amps-serve load generator: saturation throughput at paper-scale client
+// counts, with exactly-once accounting.
+//
+//  1. Cold serve — 256 concurrent clients (1024 at AMPS_SCALE=paper) fire
+//     a fixed request set at an in-process epoll TcpServer with an empty
+//     RunCache; the distinct configurations are simulated once.
+//  2. Warm serve — the identical set again, every answer a cache hit: the
+//     requests/sec here is the transport's saturation throughput, since
+//     no simulation time hides connection handling costs.
+//  3. Sharded serve — the same warm set through a ShardRouter over two
+//     in-process single-shard servers (run requests route by content key,
+//     responses relay back verbatim).
+//
+// Every phase accounts for requests exactly once: each response's id must
+// echo its request, every request must be answered, and the only accepted
+// rejection is the retriable "queue_full" backpressure error, which the
+// generator retries with backoff (and counts). The 1-shard responses are
+// also checked byte-identical against direct ExperimentRunner
+// recomputation — the epoll rewrite must not perturb a single byte.
+//
+// Results go to stdout and BENCH_loadgen.json in the working directory.
+// Knobs: AMPS_SCALE, AMPS_PAIRS, AMPS_SEED, AMPS_THREADS.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "harness/parallel.hpp"
+#include "harness/run_cache.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+#include "service/shard.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using amps::service::Json;
+
+struct PhaseStats {
+  double seconds = 0.0;
+  double rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::size_t answered = 0;       ///< ok responses with the matching id
+  std::size_t queue_full = 0;     ///< retriable rejections (retried)
+  std::size_t protocol_errors = 0;  ///< anything else — must stay 0
+};
+
+double percentile(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(idx, sorted_us.size() - 1)];
+}
+
+/// `clients` concurrent connections, request i on client i % clients,
+/// synchronous per client. queue_full responses are retried with backoff
+/// until the request is truly answered; the response id must echo the
+/// request id (ids are the request index), which is what "answered
+/// exactly once" means from the client's side.
+PhaseStats run_phase(std::uint16_t port, const std::vector<std::string>& lines,
+                     std::size_t clients,
+                     std::vector<std::string>* responses) {
+  responses->assign(lines.size(), std::string());
+  std::vector<PhaseStats> per_client(clients);
+  std::vector<std::vector<double>> latencies(clients);
+  const amps::bench::Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      amps::service::LineClient client;
+      client.connect(port);
+      for (std::size_t i = c; i < lines.size(); i += clients) {
+        const auto t0 = Clock::now();
+        for (int attempt = 0;; ++attempt) {
+          const std::string resp = client.request(lines[i]);
+          const Json doc = Json::parse(resp);
+          if (doc.get("ok").as_bool(false)) {
+            if (static_cast<std::size_t>(
+                    doc.get("id").as_number(-1.0)) == i)
+              per_client[c].answered++;
+            else
+              per_client[c].protocol_errors++;
+            (*responses)[i] = resp;
+            break;
+          }
+          if (doc.get("error").get("code").as_string() == "queue_full" &&
+              attempt < 1000) {
+            per_client[c].queue_full++;
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                200 * (1 + std::min(attempt, 20))));
+            continue;
+          }
+          per_client[c].protocol_errors++;
+          (*responses)[i] = resp;
+          break;
+        }
+        latencies[c].push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                .count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  PhaseStats stats;
+  stats.seconds = watch.seconds();
+  stats.rps = static_cast<double>(lines.size()) / stats.seconds;
+  for (const PhaseStats& pc : per_client) {
+    stats.answered += pc.answered;
+    stats.queue_full += pc.queue_full;
+    stats.protocol_errors += pc.protocol_errors;
+  }
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  stats.p50_us = percentile(all, 0.50);
+  stats.p99_us = percentile(all, 0.99);
+  return stats;
+}
+
+std::string result_of(const std::string& response) {
+  std::string error;
+  const Json doc = Json::parse(response, &error);
+  if (!error.empty() || !doc.get("ok").as_bool(false)) return "<error>";
+  return doc.get("result").dump();
+}
+
+void raise_nofile_limit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) == 0 && lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &lim);
+  }
+}
+
+std::uint64_t dropped_counter() {
+  return amps::stats::Registry::instance()
+      .counter("service.responses_dropped")
+      .value();
+}
+
+}  // namespace
+
+int main() {
+  using namespace amps;
+  raise_nofile_limit();
+  const auto ctx = bench::make_context(/*default_pairs=*/2);
+  bench::print_header("amps-serve load generator — saturation + shards",
+                      ctx);
+
+  // Paper scale runs the full 1k-client closed-loop; CI keeps the same
+  // shape at 256 clients so the run fits the smoke budget.
+  const std::size_t clients = env_paper_scale() ? 1024 : 256;
+  const std::size_t per_client = 4;
+
+  const wl::BenchmarkCatalog catalog;
+  const auto pairs = harness::sample_pairs(catalog, ctx.pairs, ctx.seed);
+  const std::vector<std::string> schedulers = {"proposed", "static",
+                                               "round-robin"};
+
+  // A small distinct-config pool repeated across the id space: the cold
+  // phase simulates each config once; afterwards every request is a cache
+  // hit and the bench measures the serving layer, not the simulator.
+  std::vector<std::string> configs;
+  for (const auto& pair : pairs) {
+    for (const std::string& sched : schedulers) {
+      Json req = Json::object();
+      req.set("op", Json("run_pair"));
+      Json bench_names = Json::array();
+      bench_names.push_back(Json(pair.first->name));
+      bench_names.push_back(Json(pair.second->name));
+      req.set("bench", std::move(bench_names));
+      req.set("scheduler", Json(sched));
+      req.set("scale", Json(env_paper_scale() ? "paper" : "ci"));
+      configs.push_back(req.dump());
+    }
+  }
+  std::vector<std::string> lines;
+  lines.reserve(clients * per_client);
+  for (std::size_t i = 0; i < clients * per_client; ++i) {
+    Json req = Json::parse(configs[i % configs.size()]);
+    req.set("id", Json(static_cast<std::uint64_t>(i)));
+    lines.push_back(req.dump());
+  }
+  std::cout << "[" << lines.size() << " request(s) over " << configs.size()
+            << " distinct config(s) from " << clients
+            << " concurrent client(s)]\n\n";
+
+  const std::uint64_t dropped_before = dropped_counter();
+
+  // --- phases 1+2: cold, then warm, on one epoll server ------------------
+  harness::RunCache::instance().clear();
+  service::SimulationService svc;
+  service::TcpServer server(svc, /*port=*/0);
+  std::vector<std::string> cold_responses;
+  const PhaseStats cold =
+      run_phase(server.port(), lines, clients, &cold_responses);
+  std::vector<std::string> warm_responses;
+  const PhaseStats warm =
+      run_phase(server.port(), lines, clients, &warm_responses);
+
+  // --- phase 3: the warm set through a 2-shard router ---------------------
+  // In-process workers (forking would re-exec the bench binary); routing
+  // and relaying behave exactly as in the multi-process deployment.
+  service::SimulationService shard_svc_a;
+  service::SimulationService shard_svc_b;
+  service::TcpServer shard_a(shard_svc_a, /*port=*/0);
+  service::TcpServer shard_b(shard_svc_b, /*port=*/0);
+  service::ShardRouter router({shard_a.port(), shard_b.port()},
+                              /*port=*/0);
+  std::vector<std::string> shard_responses;
+  const PhaseStats sharded =
+      run_phase(router.port(), lines, clients, &shard_responses);
+
+  bool shard_identical = true;
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    shard_identical = shard_identical && result_of(warm_responses[i]) ==
+                                             result_of(shard_responses[i]);
+
+  Table phases({"load phase", "wall s", "req/s", "p50 us", "p99 us",
+                "queue_full"});
+  const auto add_row = [&](const char* name, const PhaseStats& s) {
+    phases.row()
+        .cell(name)
+        .cell(s.seconds, 3)
+        .cell(s.rps, 1)
+        .cell(s.p50_us, 0)
+        .cell(s.p99_us, 0)
+        .cell(static_cast<double>(s.queue_full), 0);
+  };
+  add_row("cold 1-shard", cold);
+  add_row("warm 1-shard", warm);
+  add_row("warm 2-shard", sharded);
+  bench::emit("loadgen_phases", phases);
+
+  // --- exactly-once + bit-identity verdicts -------------------------------
+  const std::size_t expected = lines.size();
+  const bool exactly_once =
+      cold.answered == expected && warm.answered == expected &&
+      sharded.answered == expected && cold.protocol_errors == 0 &&
+      warm.protocol_errors == 0 && sharded.protocol_errors == 0;
+
+  harness::RunCache::instance().clear();
+  bool bit_identical = true;
+  {
+    const harness::ExperimentRunner runner(ctx.scale);
+    std::size_t i = 0;
+    for (const auto& pair : pairs) {
+      for (const std::string& sched : schedulers) {
+        const harness::SchedulerFactory factory =
+            sched == "proposed"  ? runner.proposed_factory()
+            : sched == "static"  ? runner.static_factory()
+                                 : runner.round_robin_factory();
+        const std::string direct =
+            service::to_json(runner.run_pair(pair, factory)).dump();
+        bit_identical =
+            bit_identical && direct == result_of(cold_responses[i]);
+        ++i;
+      }
+    }
+  }
+  const std::uint64_t dropped = dropped_counter() - dropped_before;
+
+  std::cout << "exactly-once: "
+            << (exactly_once ? "every request answered once"
+                             : "VIOLATED — see counts")
+            << " (" << cold.queue_full + warm.queue_full + sharded.queue_full
+            << " retriable queue_full retries)\n"
+            << "served vs direct results: "
+            << (bit_identical ? "byte-identical" : "DIFFER") << "\n"
+            << "1-shard vs 2-shard results: "
+            << (shard_identical ? "byte-identical" : "DIFFER") << "\n"
+            << "responses dropped server-side: " << dropped << "\n";
+
+  // --- machine-readable record -------------------------------------------
+  std::ofstream json("BENCH_loadgen.json");
+  if (json) {
+    json << "{\n"
+         << "  \"scale\": \"" << (env_paper_scale() ? "paper" : "ci")
+         << "\",\n"
+         << "  \"pairs\": " << pairs.size() << ",\n"
+         << "  \"seed\": " << ctx.seed << ",\n"
+         << "  \"workers\": " << harness::default_worker_count() << ",\n"
+         << "  \"clients\": " << clients << ",\n"
+         << "  \"requests\": " << lines.size() << ",\n"
+         << "  \"distinct_configs\": " << configs.size() << ",\n"
+         << "  \"cold_seconds\": " << cold.seconds << ",\n"
+         << "  \"cold_rps\": " << cold.rps << ",\n"
+         << "  \"cold_p50_us\": " << cold.p50_us << ",\n"
+         << "  \"cold_p99_us\": " << cold.p99_us << ",\n"
+         << "  \"warm_seconds\": " << warm.seconds << ",\n"
+         << "  \"warm_rps\": " << warm.rps << ",\n"
+         << "  \"warm_p50_us\": " << warm.p50_us << ",\n"
+         << "  \"warm_p99_us\": " << warm.p99_us << ",\n"
+         << "  \"shard_seconds\": " << sharded.seconds << ",\n"
+         << "  \"shard_rps\": " << sharded.rps << ",\n"
+         << "  \"shard_p50_us\": " << sharded.p50_us << ",\n"
+         << "  \"shard_p99_us\": " << sharded.p99_us << ",\n"
+         << "  \"shards\": 2,\n"
+         << "  \"queue_full_retries\": "
+         << cold.queue_full + warm.queue_full + sharded.queue_full << ",\n"
+         << "  \"responses_dropped\": " << dropped << ",\n"
+         << "  \"exactly_once\": " << (exactly_once ? "true" : "false")
+         << ",\n"
+         << "  \"shard_identical\": " << (shard_identical ? "true" : "false")
+         << ",\n"
+         << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
+         << "\n}\n";
+    std::cout << "\nwrote BENCH_loadgen.json\n";
+  } else {
+    std::cerr << "[warn] cannot write BENCH_loadgen.json\n";
+  }
+  return (exactly_once && bit_identical && shard_identical) ? 0 : 1;
+}

@@ -8,12 +8,22 @@
 //
 //   amps_serve                  # listen on AMPS_SERVE_PORT (default 4207)
 //   amps_serve --port=0         # kernel-assigned port (printed on stdout)
+//   amps_serve --shards=4       # fork 4 workers, route by content key
 //   amps_serve --pipe           # serve stdin/stdout instead of a socket
+//
+// With --shards=N (or AMPS_SERVE_SHARDS=N), N > 1, the process forks N
+// single-shard copies of itself and serves through a ShardRouter: run
+// requests route to the worker owning their content key, so each worker's
+// run cache stays hot, and the workers may share one AMPS_CACHE_DIR (the
+// disk cache is a safe multi-process store).
 //
 // Stops on SIGINT/SIGTERM or a {"op":"shutdown"} request; both paths take
 // the graceful route: intake closes first, every accepted request is
-// answered, then connections close. Set AMPS_CACHE_DIR to keep the run
-// cache warm across restarts. Knobs: docs/CONFIG.md.
+// answered, then connections close (and shard workers drain the same
+// way). Set AMPS_CACHE_DIR to keep the run cache warm across restarts.
+// Knobs: docs/CONFIG.md.
+#include <sys/resource.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +35,7 @@
 #include "common/env.hpp"
 #include "service/server.hpp"
 #include "service/service.hpp"
+#include "service/shard.hpp"
 
 namespace {
 
@@ -32,12 +43,71 @@ constexpr std::uint16_t kDefaultPort = 4207;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--port=N | --pipe]\n"
-               "  --port=N   listen on 127.0.0.1:N (0 = kernel-assigned;\n"
-               "             default AMPS_SERVE_PORT or %u)\n"
-               "  --pipe     serve stdin/stdout instead of a TCP socket\n",
+               "usage: %s [--port=N | --pipe] [--shards=N]\n"
+               "  --port=N    listen on 127.0.0.1:N (0 = kernel-assigned;\n"
+               "              default AMPS_SERVE_PORT or %u)\n"
+               "  --shards=N  fork N workers and route by content key\n"
+               "              (default AMPS_SERVE_SHARDS or 1)\n"
+               "  --pipe      serve stdin/stdout instead of a TCP socket\n",
                argv0, kDefaultPort);
   return 2;
+}
+
+/// Raise the fd soft limit to the hard limit: epoll serving holds one fd
+/// per connection, and the 1024 default is below the 1k+ connections this
+/// server is sized for.
+void raise_nofile_limit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) == 0 &&
+      lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &lim);
+  }
+}
+
+bool parse_long_flag(const char* arg, const char* prefix, long* out) {
+  const std::size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) return false;
+  char* end = nullptr;
+  *out = std::strtol(arg + n, &end, 10);
+  return end != arg + n && *end == '\0';
+}
+
+/// Blocks SIGINT/SIGTERM in every thread (started threads inherit the
+/// mask) so they can be claimed with sigwait on a dedicated thread:
+/// signal-safe by construction — the handler context runs no code at all.
+void block_shutdown_signals(sigset_t* sigs) {
+  sigemptyset(sigs);
+  sigaddset(sigs, SIGINT);
+  sigaddset(sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, sigs, nullptr);
+}
+
+/// Runs `server` (TcpServer or ShardRouter — same surface) until shutdown,
+/// with the sigwait thread wired up. Returns 0 on a clean drain.
+template <typename Server>
+int serve_until_shutdown(Server& server, bool& interrupted) {
+  sigset_t sigs;
+  block_shutdown_signals(&sigs);
+  std::thread signal_thread([&sigs, &server, &interrupted] {
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    if (interrupted)  // second wake: the post-shutdown poke, stay quiet
+      return;
+    interrupted = true;
+    std::fprintf(stderr, "amps_serve: %s — draining\n", strsignal(sig));
+    server.interrupt();
+  });
+
+  server.wait_for_shutdown();
+  server.drain_and_stop();
+
+  // The sigwait thread may still be parked (shutdown came over the
+  // wire); poke it with the signal it is waiting for.
+  interrupted = true;
+  pthread_kill(signal_thread.native_handle(), SIGTERM);
+  signal_thread.join();
+  return 0;
 }
 
 }  // namespace
@@ -45,71 +115,79 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   bool pipe_mode = false;
   long port = -1;
+  long shards = -1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--pipe") == 0) {
       pipe_mode = true;
-    } else if (std::strncmp(arg, "--port=", 7) == 0) {
-      char* end = nullptr;
-      port = std::strtol(arg + 7, &end, 10);
-      if (end == arg + 7 || *end != '\0' || port < 0 || port > 65535)
-        return usage(argv[0]);
+    } else if (parse_long_flag(arg, "--port=", &port)) {
+      if (port < 0 || port > 65535) return usage(argv[0]);
+    } else if (parse_long_flag(arg, "--shards=", &shards)) {
+      if (shards < 1 || shards > 64) return usage(argv[0]);
     } else {
       return usage(argv[0]);
     }
   }
 
-  amps::service::SimulationService service;
-
   if (pipe_mode) {
+    amps::service::SimulationService service;
     amps::service::run_pipe_mode(service, std::cin, std::cout);
     return 0;
   }
 
-  if (port < 0)
-    port = amps::env_int("AMPS_SERVE_PORT", kDefaultPort);
+  if (port < 0) port = amps::env_int("AMPS_SERVE_PORT", kDefaultPort);
   if (port < 0 || port > 65535) {
     std::fprintf(stderr, "amps_serve: invalid AMPS_SERVE_PORT %ld\n", port);
     return 2;
   }
+  if (shards < 0)
+    shards = amps::env_int("AMPS_SERVE_SHARDS", 1);
+  if (shards < 1 || shards > 64) {
+    std::fprintf(stderr, "amps_serve: invalid AMPS_SERVE_SHARDS %ld\n",
+                 shards);
+    return 2;
+  }
 
-  // Block the shutdown signals in every thread (workers inherit this mask),
-  // then claim them with sigwait on a dedicated thread: signal-safe by
-  // construction — the handler context runs no code at all.
-  sigset_t sigs;
-  sigemptyset(&sigs);
-  sigaddset(&sigs, SIGINT);
-  sigaddset(&sigs, SIGTERM);
-  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+  raise_nofile_limit();
+  bool interrupted = false;
 
   try {
+    if (shards > 1) {
+      // Fork the workers before anything starts a thread (the
+      // SimulationService constructor does) — fork and threads don't mix.
+      auto workers = amps::service::spawn_shard_workers(
+          static_cast<std::size_t>(shards));
+      std::vector<std::uint16_t> ports;
+      ports.reserve(workers.size());
+      for (const auto& w : workers) ports.push_back(w.port);
+
+      int rc = 1;
+      {
+        amps::service::ShardRouter router(
+            std::move(ports), static_cast<std::uint16_t>(port));
+        std::printf("amps_serve: listening on 127.0.0.1:%u (shards=%ld)\n",
+                    router.port(), shards);
+        std::fflush(stdout);
+        rc = serve_until_shutdown(router, interrupted);
+      }
+      amps::service::stop_shard_workers(workers);
+      std::fprintf(stderr, "amps_serve: drained, bye\n");
+      return rc;
+    }
+
+    amps::service::SimulationService service;
     amps::service::TcpServer server(service,
                                     static_cast<std::uint16_t>(port));
-    std::printf("amps_serve: listening on 127.0.0.1:%u (queue=%zu batch=%zu)\n",
-                server.port(), service.config().queue_capacity,
-                service.config().batch_max);
+    std::printf(
+        "amps_serve: listening on 127.0.0.1:%u (queue=%zu batch=%zu)\n",
+        server.port(), service.config().queue_capacity,
+        service.config().batch_max);
     std::fflush(stdout);
-
-    std::thread signal_thread([&sigs, &server, &service] {
-      int sig = 0;
-      sigwait(&sigs, &sig);
-      if (!service.shutdown_requested())
-        std::fprintf(stderr, "amps_serve: %s — draining\n", strsignal(sig));
-      server.interrupt();
-    });
-
-    server.wait_for_shutdown();
-    server.drain_and_stop();
-
-    // The sigwait thread may still be parked (shutdown came over the
-    // wire); poke it with the signal it is waiting for.
-    pthread_kill(signal_thread.native_handle(), SIGTERM);
-    signal_thread.join();
+    const int rc = serve_until_shutdown(server, interrupted);
+    std::fprintf(stderr, "amps_serve: drained, bye\n");
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "amps_serve: %s\n", e.what());
     return 1;
   }
-
-  std::fprintf(stderr, "amps_serve: drained, bye\n");
-  return 0;
 }

@@ -89,6 +89,36 @@ else
   echo "check_perf: no $OPEN (run open_system to add the serving report)"
 fi
 
+# Informational only (no gate — serving throughput depends on the host's
+# core budget and socket stack): the load_gen saturation sweep against the
+# epoll server, warm vs cold and 1-shard vs sharded, plus its correctness
+# verdicts (exactly-once delivery, served-vs-direct bit-identity).
+LOADGEN=BENCH_loadgen.json
+json_bool() { # json_bool <file> <key>
+  sed -n "s/.*\"$2\": *\(true\|false\).*/\1/p" "$1" | head -n 1
+}
+if [ -f "$LOADGEN" ]; then
+  lclients=$(json_field "$LOADGEN" clients)
+  lreqs=$(json_field "$LOADGEN" requests)
+  lshards=$(json_field "$LOADGEN" shards)
+  cold_rps=$(json_field "$LOADGEN" cold_rps)
+  cold_p99=$(json_field "$LOADGEN" cold_p99_us)
+  warm_rps=$(json_field "$LOADGEN" warm_rps)
+  warm_p99=$(json_field "$LOADGEN" warm_p99_us)
+  shard_rps=$(json_field "$LOADGEN" shard_rps)
+  shard_p99=$(json_field "$LOADGEN" shard_p99_us)
+  once=$(json_bool "$LOADGEN" exactly_once)
+  bitid=$(json_bool "$LOADGEN" bit_identical)
+  shardid=$(json_bool "$LOADGEN" shard_identical)
+  echo "check_perf: load_gen sweep present (${lclients:-?} clients, ${lreqs:-?} requests)"
+  echo "check_perf:   cold  1-shard: ${cold_rps} rps, p99 ${cold_p99}us"
+  echo "check_perf:   warm  1-shard: ${warm_rps} rps, p99 ${warm_p99}us"
+  echo "check_perf:   warm ${lshards:-N}-shard: ${shard_rps} rps, p99 ${shard_p99}us"
+  echo "check_perf:   exactly_once=${once:-?} bit_identical=${bitid:-?} shard_identical=${shardid:-?}"
+else
+  echo "check_perf: no $LOADGEN (run load_gen to add the serving load report)"
+fi
+
 if [ ! -f "$BASELINE" ]; then
   printf '{\n  "cold_fast_step_rate": %s\n}\n' "$rate" > "$BASELINE"
   echo "check_perf: no baseline found; recorded $BASELINE"

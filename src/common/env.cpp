@@ -1,6 +1,9 @@
 #include "common/env.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+
+#include "common/log.hpp"
 
 namespace amps {
 
@@ -10,12 +13,24 @@ std::optional<std::string> env_string(const char* name) {
   return std::string(v);
 }
 
+// Strict numeric parsing: a value with trailing garbage ("8x") or one that
+// overflows the target type is *rejected* — silently honoring the prefix
+// would make a typo'd knob (AMPS_PAIRS=8x) look like a deliberate setting.
+// Rejection warns once per process and falls back, so a sweep of thousands
+// of runs reports the bad knob exactly once.
+
 std::int64_t env_int(const char* name, std::int64_t fallback) {
   auto s = env_string(name);
   if (!s) return fallback;
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(s->c_str(), &end, 10);
-  if (end == s->c_str()) return fallback;
+  if (end == s->c_str() || *end != '\0' || errno == ERANGE) {
+    AMPS_LOG_WARN_ONCE(
+        "env: %s='%s' is not a valid integer — using the default",
+        name, s->c_str());
+    return fallback;
+  }
   return static_cast<std::int64_t>(v);
 }
 
@@ -50,8 +65,14 @@ double env_double(const char* name, double fallback) {
   auto s = env_string(name);
   if (!s) return fallback;
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(s->c_str(), &end);
-  if (end == s->c_str()) return fallback;
+  if (end == s->c_str() || *end != '\0' || errno == ERANGE) {
+    AMPS_LOG_WARN_ONCE(
+        "env: %s='%s' is not a valid number — using the default",
+        name, s->c_str());
+    return fallback;
+  }
   return v;
 }
 

@@ -1,5 +1,8 @@
 #include "harness/run_cache.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
@@ -215,11 +218,29 @@ bool deserialize(std::istream& in, std::vector<sched::ProfileSample>* out) {
 }
 
 // ---- disk layer ----------------------------------------------------------
+//
+// The disk store is shared read-mostly state: with AMPS_SERVE_SHARDS > 1
+// several serve workers read and publish entries in the same AMPS_CACHE_DIR
+// concurrently. Safety rests on three properties:
+//  * single-writer atomic publish — every entry is written to a tmp file
+//    whose name is unique per (process, store) and moved into place with
+//    rename(2), so a reader never observes a partial entry and two writers
+//    racing on one key simply publish the same deterministic bytes twice;
+//  * lock-free readers — a read is one open+parse with no coordination;
+//    the header, generation and full-key-text checks reject anything stale
+//    or foreign;
+//  * generation/epoch invalidation — every entry carries a generation
+//    stamp derived from the cache-header version (disk_generation()).
+//    Bumping kFileHeader when simulation code changes shifts the
+//    generation, and every worker sharing the directory starts rejecting
+//    the old entries at once instead of serving results from a different
+//    build of the simulator.
 
-// v3: adds MulticoreRunResult entries (kind "multi"). v2 added the
-// decision-trace summary fields to PairRunResult. Old files fail the
-// header check below and are recomputed cleanly.
-constexpr std::string_view kFileHeader = "amps-run-cache v3";
+// v4: adds the generation stamp line (shared-store epoch). v3 added
+// MulticoreRunResult entries (kind "multi"); v2 added the decision-trace
+// summary fields to PairRunResult. Old files fail the header check below
+// and are recomputed cleanly.
+constexpr std::string_view kFileHeader = "amps-run-cache v4";
 
 std::filesystem::path cache_dir() {
   const char* dir = std::getenv("AMPS_CACHE_DIR");
@@ -240,8 +261,16 @@ std::filesystem::path entry_path(const std::filesystem::path& dir,
   return dir / name;
 }
 
-/// Loads `key`'s entry of `kind`; the stored key text must match exactly
-/// (guards against hash collisions and stale formats).
+std::string generation_line() {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "gen %016llx",
+                static_cast<unsigned long long>(RunCache::disk_generation()));
+  return buf;
+}
+
+/// Loads `key`'s entry of `kind`; the stored generation and key text must
+/// match exactly (guards against hash collisions, stale formats, and
+/// entries published by a different build of the simulator).
 template <typename T>
 bool load_entry(std::string_view kind, const CacheKey& key, T* out) {
   const std::filesystem::path dir = cache_dir();
@@ -249,8 +278,11 @@ bool load_entry(std::string_view kind, const CacheKey& key, T* out) {
   std::ifstream in(entry_path(dir, kind, key));
   if (!in) return false;
   std::string header;
+  std::string generation;
   std::string stored_key;
   if (!std::getline(in, header) || header != kFileHeader) return false;
+  if (!std::getline(in, generation) || generation != generation_line())
+    return false;
   if (!std::getline(in, stored_key) || stored_key != key.text()) return false;
   return deserialize(in, out);
 }
@@ -267,7 +299,12 @@ void warn_cache_dir_unusable(const std::filesystem::path& dir) {
 }
 
 /// Best-effort atomic write (temp file + rename); a failure warns once per
-/// process and falls through to in-memory-only operation.
+/// process and falls through to in-memory-only operation. The tmp name
+/// folds in the pid and a process-local sequence number so concurrent
+/// writers (shard workers sharing AMPS_CACHE_DIR, or two threads racing on
+/// one key) never scribble on each other's half-written file — each
+/// publishes its own tmp with an atomic rename, last one wins with
+/// identical bytes.
 template <typename T>
 void store_entry(std::string_view kind, const CacheKey& key, const T& value) {
   const std::filesystem::path dir = cache_dir();
@@ -275,15 +312,24 @@ void store_entry(std::string_view kind, const CacheKey& key, const T& value) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   const std::filesystem::path final_path = entry_path(dir, kind, key);
+  static std::atomic<std::uint64_t> tmp_seq{0};
+  char suffix[64];
+  std::snprintf(suffix, sizeof(suffix), ".tmp.%ld.%llu",
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(
+                    tmp_seq.fetch_add(1, std::memory_order_relaxed)));
   std::filesystem::path tmp = final_path;
-  tmp += ".tmp";
+  tmp += suffix;
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) {
       warn_cache_dir_unusable(dir);
       return;
     }
-    out << kFileHeader << '\n' << key.text() << '\n' << serialize(value);
+    out << kFileHeader << '\n'
+        << generation_line() << '\n'
+        << key.text() << '\n'
+        << serialize(value);
     if (!out) {
       out.close();
       std::filesystem::remove(tmp, ec);
@@ -457,6 +503,8 @@ RunCache& RunCache::instance() {
   static RunCache cache;
   return cache;
 }
+
+std::uint64_t RunCache::disk_generation() { return fnv1a(kFileHeader); }
 
 bool RunCache::enabled() {
   const char* v = std::getenv("AMPS_RUN_CACHE");

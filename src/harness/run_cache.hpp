@@ -12,8 +12,13 @@
 // pattern. The in-memory cache is process-wide and thread-safe. Setting
 // AMPS_CACHE_DIR additionally persists entries to disk (one file per
 // entry, doubles stored as hexfloats for bit-exact round-trips), which is
-// what makes *warm* bench reruns fast across processes. AMPS_RUN_CACHE=0
-// turns the whole layer off.
+// what makes *warm* bench reruns fast across processes. The disk layer is
+// a safe shared read-mostly store: writers publish atomically (unique tmp
+// file + rename), readers take no locks, and every entry carries a
+// generation stamp (disk_generation()) so entries from a different build
+// of the simulator are invisible rather than wrong — this is what lets N
+// serve shards share one cache directory. AMPS_RUN_CACHE=0 turns the
+// whole layer off.
 #pragma once
 
 #include <cstdint>
@@ -75,6 +80,14 @@ class RunCache {
   /// False when AMPS_RUN_CACHE=0 (default: enabled). Re-read per call so
   /// tests can toggle it.
   [[nodiscard]] static bool enabled();
+
+  /// Generation/epoch stamp of the on-disk store, derived from the cache
+  /// header version. Every disk entry carries this stamp; entries written
+  /// under a different generation (an older or newer build of the
+  /// simulator) are invisible to lookups, so shard workers sharing one
+  /// AMPS_CACHE_DIR never serve results from a mismatched sim. Exposed so
+  /// `statsz` can report which epoch a worker is on.
+  [[nodiscard]] static std::uint64_t disk_generation();
 
   /// Returns the cached value for `key`, or runs `compute`, stores the
   /// result (memory + disk when AMPS_CACHE_DIR is set), and returns it.

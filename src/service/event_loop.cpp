@@ -1,0 +1,125 @@
+#include "service/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace amps::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    throw_errno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    wake_fd_ = epoll_fd_ = -1;
+    throw_errno("epoll_ctl wake fd");
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add(int fd, std::uint32_t events, IoCallback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0)
+    throw_errno("epoll_ctl add");
+  callbacks_[fd] = std::make_shared<IoCallback>(std::move(cb));
+}
+
+void EventLoop::mod(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EventLoop::del(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // The eventfd counter saturating (EAGAIN) still leaves the loop awake.
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::run_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::run() {
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  while (!stopped_.load(std::memory_order_acquire)) {
+    run_posted();
+    if (stopped_.load(std::memory_order_acquire)) break;
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone — only possible during teardown
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      const auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;  // del()ed earlier in this batch
+      const std::shared_ptr<IoCallback> cb = it->second;
+      (*cb)(events[i].events);
+    }
+  }
+}
+
+void EventLoop::stop() {
+  stopped_.store(true, std::memory_order_release);
+  wake();
+}
+
+}  // namespace amps::service

@@ -1,0 +1,64 @@
+// Minimal epoll reactor for the serving layer. One thread calls run();
+// registered fd callbacks and posted closures all execute on that thread,
+// so everything reached only from callbacks needs no locking. Any thread
+// may post() work (an eventfd wakes the loop) or stop() it.
+//
+// Dispatch discipline: events are delivered level-triggered; callbacks are
+// looked up per event at dispatch time, so a callback that del()s another
+// registered fd during the same batch simply suppresses that fd's stale
+// events. Callbacks must tolerate spurious invocation (non-blocking I/O
+// returning EAGAIN), the standard reactor contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace amps::service {
+
+class EventLoop {
+ public:
+  /// Invoked with the epoll event bits (EPOLLIN / EPOLLOUT / EPOLLERR...).
+  using IoCallback = std::function<void(std::uint32_t events)>;
+
+  /// Throws std::runtime_error when epoll/eventfd creation fails.
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // fd registration — call from the loop thread (or before run() starts).
+  void add(int fd, std::uint32_t events, IoCallback cb);
+  void mod(int fd, std::uint32_t events);
+  void del(int fd);
+
+  /// Enqueues `fn` to run on the loop thread before the next poll.
+  /// Thread-safe; wakes the loop. Closures posted after stop() are
+  /// discarded unrun.
+  void post(std::function<void()> fn);
+
+  /// Runs until stop(). Must be called from exactly one thread.
+  void run();
+
+  /// Thread-safe; run() returns after finishing the current batch.
+  void stop();
+
+ private:
+  void wake();
+  void run_posted();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stopped_{false};
+  std::mutex post_mutex_;
+  std::vector<std::function<void()>> posted_;
+  // shared_ptr so a callback staying mid-invocation survives its own del().
+  std::unordered_map<int, std::shared_ptr<IoCallback>> callbacks_;
+};
+
+}  // namespace amps::service

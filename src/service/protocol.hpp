@@ -26,6 +26,8 @@
 // Error codes: "bad_request" (unparseable/invalid; not retriable),
 // "queue_full" (bounded-queue backpressure; retriable),
 // "shutting_down" (drain in progress; retriable against a replica),
+// "unavailable" (sharded serving lost the owning worker mid-request;
+// retriable — the router reconnects on the next request),
 // "internal" (unexpected exception; not retriable).
 #pragma once
 

@@ -4,18 +4,31 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/epoll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <deque>
+#include <future>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
+#include "common/env.hpp"
+#include "common/log.hpp"
 #include "common/stats.hpp"
 
 namespace amps::service {
 
 namespace {
+
+/// A request line larger than this is a protocol violation (real requests
+/// are a few hundred bytes) — the connection is closed rather than letting
+/// one client buffer unbounded memory.
+constexpr std::size_t kMaxLineBytes = 1 << 20;
 
 [[noreturn]] void throw_errno(const char* what) {
   throw std::runtime_error(std::string(what) + ": " +
@@ -37,117 +50,287 @@ ssize_t write_all(int fd, const char* data, std::size_t len) {
 
 }  // namespace
 
-/// Shared between the reader thread and every in-flight responder: a run
-/// response can land after the reader exited, so the socket lives until
-/// the last responder (shared_ptr) lets go.
+/// Shared between the loop thread and every in-flight responder: a run
+/// response can land after the client hung up, so the object lives until
+/// the last responder (shared_ptr) lets go. Socket I/O happens only on the
+/// loop thread; responders touch nothing but the write queue (under
+/// write_mutex) and the pending counter.
 struct TcpServer::Connection {
   int fd = -1;
+
+  // Loop-thread-only.
+  std::string inbuf;
+  bool read_closed = false;   ///< reader saw EOF (or drain forced SHUT_RD)
+  bool drain_forced = false;  ///< EOF came from drain_and_stop, not client
+  bool want_write = false;    ///< EPOLLOUT currently armed
+
+  /// Requests submitted to the service whose response has not yet been
+  /// enqueued. The connection cannot close gracefully while nonzero.
+  std::atomic<int> pending{0};
+
   std::mutex write_mutex;
-  bool write_closed = false;  // guarded by write_mutex
+  std::deque<std::string> outq;  // framed lines, guarded by write_mutex
+  std::size_t out_off = 0;       // bytes of outq.front() already sent
+  bool write_closed = false;     // guarded by write_mutex
 
   ~Connection() {
     if (fd >= 0) ::close(fd);
   }
-
-  /// Thread-safe line write; silently drops after close (the client left
-  /// before its answer was ready — nothing useful remains to do).
-  void write_line(const std::string& line) {
-    std::lock_guard<std::mutex> lock(write_mutex);
-    if (write_closed) {
-      AMPS_COUNTER_INC("service.responses_dropped");
-      return;
-    }
-    std::string framed = line;
-    framed.push_back('\n');
-    if (write_all(fd, framed.data(), framed.size()) < 0) {
-      AMPS_COUNTER_INC("service.responses_dropped");
-      write_closed = true;
-    }
-  }
-
-  void close_write() {
-    std::lock_guard<std::mutex> lock(write_mutex);
-    write_closed = true;
-  }
 };
 
-TcpServer::TcpServer(SimulationService& service, std::uint16_t port)
-    : service_(service) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw_errno("socket");
+int open_loopback_listener(std::uint16_t port, std::uint16_t* bound_port) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
     throw_errno("bind 127.0.0.1");
   }
-  if (::listen(listen_fd_, 64) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::listen(fd, SOMAXCONN) < 0) {
+    ::close(fd);
     throw_errno("listen");
   }
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    ::close(fd);
     throw_errno("getsockname");
   }
-  port_ = ntohs(bound.sin_port);
+  *bound_port = ntohs(bound.sin_port);
+  return fd;
+}
 
-  acceptor_ = std::thread([this] { accept_main(); });
+TcpServer::TcpServer(SimulationService& service, std::uint16_t port)
+    : service_(service) {
+  max_conns_ = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, env_int("AMPS_SERVE_MAX_CONNS", 4096)));
+
+  listen_fd_ = open_loopback_listener(port, &port_);
+
+  loop_.add(listen_fd_, EPOLLIN, [this](std::uint32_t) { on_accept(); });
+  loop_thread_ = std::thread([this] { loop_.run(); });
 }
 
 TcpServer::~TcpServer() { drain_and_stop(); }
 
-void TcpServer::accept_main() {
+void TcpServer::on_accept() {
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      return;  // listener closed by drain_and_stop()
+      return;  // EAGAIN — the backlog is drained (or the listener closed)
+    }
+    if (stopping_.load(std::memory_order_acquire) ||
+        connections_.size() >= max_conns_) {
+      AMPS_COUNTER_INC("service.connections_rejected");
+      ::close(fd);
+      continue;
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     AMPS_COUNTER_INC("service.connections");
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stopped_) return;  // raced with shutdown; Connection dtor closes fd
-    connections_.push_back(conn);
-    readers_.emplace_back([this, conn] { connection_main(conn); });
+    connections_.emplace(fd, conn);
+    conn_count_.store(connections_.size(), std::memory_order_release);
+    loop_.add(fd, EPOLLIN, [this, conn](std::uint32_t events) {
+      on_connection_event(conn, events);
+    });
   }
 }
 
-void TcpServer::connection_main(const std::shared_ptr<Connection>& conn) {
-  std::string buffer;
-  char chunk[4096];
-  for (;;) {
-    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return;  // EOF, error, or SHUT_RD from drain_and_stop()
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t pos = 0;
-    std::size_t nl;
-    while ((nl = buffer.find('\n', pos)) != std::string::npos) {
-      std::string line = buffer.substr(pos, nl - pos);
-      pos = nl + 1;
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      service_.submit(line,
-                      [conn](const std::string& resp) {  // may outlive reader
-                        conn->write_line(resp);
-                      });
-      if (service_.shutdown_requested()) interrupt();
+void TcpServer::on_connection_event(const std::shared_ptr<Connection>& conn,
+                                    std::uint32_t events) {
+  if (conn->fd < 0) return;  // already closed; stale event in this batch
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    // The peer is gone (reset, or hung up with data in flight). Responses
+    // still pending will be counted dropped as they arrive.
+    close_connection(conn, /*force=*/true);
+    return;
+  }
+  if ((events & EPOLLIN) && !conn->read_closed) {
+    char chunk[16384];
+    for (;;) {
+      const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_connection(conn, /*force=*/true);
+        return;
+      }
+      if (n == 0) {  // EOF (client half-close, or drain's SHUT_RD)
+        conn->read_closed = true;
+        // Stop watching EPOLLIN: level-triggered, an EOF'd socket stays
+        // "readable" forever and would spin the loop while a response is
+        // still being computed.
+        update_interest(conn);
+        // A final request can arrive with EOF instead of a trailing
+        // newline (client wrote its last line and closed). It was
+        // accepted, so it must be answered — but not when the EOF was
+        // forced by drain_and_stop, where a partial line is by
+        // definition an unfinished request.
+        if (!conn->drain_forced && !conn->inbuf.empty()) {
+          std::string line;
+          line.swap(conn->inbuf);
+          process_line(conn, std::move(line));
+        }
+        break;
+      }
+      conn->inbuf.append(chunk, static_cast<std::size_t>(n));
+      std::size_t pos = 0;
+      std::size_t nl;
+      while ((nl = conn->inbuf.find('\n', pos)) != std::string::npos) {
+        std::string line = conn->inbuf.substr(pos, nl - pos);
+        pos = nl + 1;
+        process_line(conn, std::move(line));
+      }
+      conn->inbuf.erase(0, pos);
+      if (conn->inbuf.size() > kMaxLineBytes) {
+        AMPS_LOG_WARN_ONCE(
+            "serve: closing a connection that sent a %zu-byte line "
+            "(limit %zu)",
+            conn->inbuf.size(), kMaxLineBytes);
+        close_connection(conn, /*force=*/true);
+        return;
+      }
+      if (conn->fd < 0 || conn->read_closed) break;  // closed mid-batch
     }
-    buffer.erase(0, pos);
+  }
+  if (conn->fd >= 0 && (events & EPOLLOUT)) flush(conn);
+  if (conn->fd >= 0) maybe_finish(conn);
+}
+
+void TcpServer::process_line(const std::shared_ptr<Connection>& conn,
+                             std::string line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line.empty()) return;
+  conn->pending.fetch_add(1, std::memory_order_acq_rel);
+  service_.submit(line, [this, conn](const std::string& resp) {
+    enqueue_response(conn, resp);  // may run on a worker thread, later
+  });
+  if (service_.shutdown_requested()) interrupt();
+}
+
+void TcpServer::enqueue_response(const std::shared_ptr<Connection>& conn,
+                                 const std::string& resp) {
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (conn->write_closed) {
+      AMPS_COUNTER_INC("service.responses_dropped");
+    } else {
+      std::string framed = resp;
+      framed.push_back('\n');
+      conn->outq.push_back(std::move(framed));
+    }
+  }
+  conn->pending.fetch_sub(1, std::memory_order_acq_rel);
+  // All socket I/O happens on the loop thread. drain_and_stop keeps the
+  // loop alive until the service has drained and every queue has flushed,
+  // so this post cannot be discarded while a response is outstanding.
+  loop_.post([this, conn] {
+    if (conn->fd < 0) return;
+    flush(conn);
+    if (conn->fd >= 0) maybe_finish(conn);
+  });
+}
+
+void TcpServer::flush(const std::shared_ptr<Connection>& conn) {
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (conn->write_closed || conn->fd < 0) return;
+  while (!conn->outq.empty()) {
+    const std::string& front = conn->outq.front();
+    while (conn->out_off < front.size()) {
+      const ssize_t n =
+          ::send(conn->fd, front.data() + conn->out_off,
+                 front.size() - conn->out_off, MSG_NOSIGNAL);
+      if (n >= 0) {
+        conn->out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn->want_write) {
+          conn->want_write = true;
+          update_interest(conn);
+        }
+        return;  // wait for EPOLLOUT
+      }
+      // Hard write error: everything queued (including the partially sent
+      // front) can no longer reach the client.
+      for (std::size_t i = 0; i < conn->outq.size(); ++i)
+        AMPS_COUNTER_INC("service.responses_dropped");
+      conn->outq.clear();
+      conn->out_off = 0;
+      conn->write_closed = true;
+      return;
+    }
+    conn->outq.pop_front();
+    conn->out_off = 0;
+  }
+  if (conn->want_write) {
+    conn->want_write = false;
+    update_interest(conn);
+  }
+}
+
+/// Recomputes the epoll interest set from connection state: EPOLLIN while
+/// the read side is open, EPOLLOUT while the write queue is backed up.
+/// EPOLLHUP/EPOLLERR are always delivered, so an interest set of zero
+/// (EOF seen, queue empty, response pending) still notices a vanishing
+/// peer. Loop thread only.
+void TcpServer::update_interest(const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0) return;
+  std::uint32_t events = 0;
+  if (!conn->read_closed) events |= EPOLLIN;
+  if (conn->want_write) events |= EPOLLOUT;
+  loop_.mod(conn->fd, events);
+}
+
+void TcpServer::maybe_finish(const std::shared_ptr<Connection>& conn) {
+  if (!conn->read_closed) return;
+  if (conn->pending.load(std::memory_order_acquire) != 0) return;
+  bool done;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    done = conn->outq.empty() || conn->write_closed;
+  }
+  if (done) close_connection(conn, /*force=*/false);
+}
+
+void TcpServer::close_connection(const std::shared_ptr<Connection>& conn,
+                                 bool force) {
+  if (conn->fd < 0) return;
+  loop_.del(conn->fd);
+  connections_.erase(conn->fd);
+  conn_count_.store(connections_.size(), std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (force) {
+      for (std::size_t i = 0; i < conn->outq.size(); ++i)
+        AMPS_COUNTER_INC("service.responses_dropped");
+      conn->outq.clear();
+    }
+    conn->write_closed = true;
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+  check_idle();
+}
+
+void TcpServer::check_idle() {
+  if (on_idle_ && connections_.empty()) {
+    auto fn = std::move(on_idle_);
+    on_idle_ = nullptr;
+    fn();
   }
 }
 
@@ -165,48 +348,84 @@ void TcpServer::interrupt() {
 }
 
 void TcpServer::drain_and_stop() {
-  std::vector<std::shared_ptr<Connection>> conns;
-  std::vector<std::thread> readers;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopped_) return;
-    stopped_ = true;
+    if (drained_) return;
+    drained_ = true;
     shutdown_signaled_ = true;
-    conns = connections_;
-    readers.swap(readers_);
   }
   shutdown_cv_.notify_all();
+  stopping_.store(true, std::memory_order_release);
 
-  // 1. No new connections: closing the listener pops accept() with an
-  //    error and the acceptor thread exits.
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  if (acceptor_.joinable()) acceptor_.join();
+  // 1. No new connections, and 2. no new requests: close the listener and
+  //    shut every connection down for reading. The write sides stay open
+  //    so in-flight responses still reach their clients.
+  std::promise<void> quiesced;
+  loop_.post([this, &quiesced] {
+    if (listen_fd_ >= 0) {
+      loop_.del(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (const auto& [fd, conn] : connections_) {
+      conn->drain_forced = true;
+      if (!conn->read_closed) ::shutdown(fd, SHUT_RD);
+    }
+    quiesced.set_value();
+  });
+  quiesced.get_future().wait();
 
-  // 2. No new requests: readers see EOF, but the write side stays open so
-  //    in-flight responses still reach their clients.
-  for (const auto& conn : conns) ::shutdown(conn->fd, SHUT_RD);
-  for (std::thread& t : readers)
-    if (t.joinable()) t.join();
-
-  // 3. Answer everything already accepted.
+  // 3. Answer everything already accepted. Responders enqueue onto the
+  //    (still-running) loop as they complete.
   service_.drain();
 
-  // 4. Now the sockets can go.
-  for (const auto& conn : conns) conn->close_write();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    connections_.clear();
+  // 4. Flush the write queues and close. Connections with backed-up
+  //    sockets finish on EPOLLOUT; the loop keeps running until the last
+  //    one closes.
+  std::promise<void> idle;
+  loop_.post([this, &idle] {
+    on_idle_ = [&idle] { idle.set_value(); };
+    // Snapshot: close_connection mutates connections_ under our feet.
+    std::vector<std::shared_ptr<Connection>> conns;
+    conns.reserve(connections_.size());
+    for (const auto& [fd, conn] : connections_) conns.push_back(conn);
+    for (const auto& conn : conns) {
+      if (conn->fd < 0) continue;
+      conn->read_closed = true;
+      update_interest(conn);
+      flush(conn);
+      if (conn->fd >= 0) maybe_finish(conn);
+    }
+    check_idle();
+  });
+  auto idle_future = idle.get_future();
+  // A peer that never drains its receive buffer could stall step 4
+  // forever; after a generous grace period the remaining responses are
+  // counted dropped and the sockets closed hard.
+  if (idle_future.wait_for(std::chrono::seconds(30)) !=
+      std::future_status::ready) {
+    loop_.post([this] {
+      std::vector<std::shared_ptr<Connection>> conns;
+      conns.reserve(connections_.size());
+      for (const auto& [fd, conn] : connections_) conns.push_back(conn);
+      for (const auto& conn : conns) close_connection(conn, /*force=*/true);
+      check_idle();
+    });
+    idle_future.wait();
   }
+
+  loop_.stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
 }
 
 void run_pipe_mode(SimulationService& service, std::istream& in,
                    std::ostream& out) {
   std::mutex write_mutex;
   std::string line;
+  // std::getline extracts a final line that ends at EOF without a '\n'
+  // (the stream fails only when *no* characters were extracted), so a
+  // last request sent without a trailing newline is still served — same
+  // contract as the TCP reader's EOF path.
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
@@ -254,6 +473,14 @@ void LineClient::send(const std::string& line) {
   framed.push_back('\n');
   if (write_all(fd_, framed.data(), framed.size()) < 0)
     throw_errno("send");
+}
+
+void LineClient::send_raw(const std::string& bytes) {
+  if (write_all(fd_, bytes.data(), bytes.size()) < 0) throw_errno("send");
+}
+
+void LineClient::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
 }
 
 bool LineClient::recv_line(std::string* line) {

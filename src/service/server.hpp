@@ -1,10 +1,15 @@
 // Transport layer for amps-serve: puts a SimulationService behind a local
-// TCP socket (line-delimited JSON, one connection per client) or behind a
-// stdin/stdout pipe. The transport owns no request semantics — it only
-// frames lines in, hands them to SimulationService::submit(), and writes
-// each response line back under a per-connection mutex (run responses
-// arrive from worker-pool threads, interleaved with inline control
-// responses from the reader thread).
+// TCP socket (line-delimited JSON) or behind a stdin/stdout pipe. The
+// transport owns no request semantics — it only frames lines in, hands
+// them to SimulationService::submit(), and writes each response line back.
+//
+// The TCP side is a single-threaded epoll reactor (EventLoop): one loop
+// thread owns every connection — non-blocking accept/read, per-connection
+// input buffering, and a per-connection write queue drained on EPOLLOUT
+// when a socket's send buffer fills. Run responses arrive from worker-pool
+// threads; responders only enqueue bytes and post a flush closure to the
+// loop, so all socket I/O stays on the loop thread and the server scales
+// to thousands of idle-or-active connections without a thread per client.
 //
 // Graceful shutdown (drain_and_stop, also run by the destructor):
 //   1. the listener closes — no new connections;
@@ -12,10 +17,12 @@
 //      more requests in, but their sockets stay writable;
 //   3. the service drains — every accepted request is answered and the
 //      response reaches its (still-open) socket;
-//   4. connections close and reader threads join.
+//   4. connections flush their write queues and close.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <istream>
 #include <memory>
@@ -23,18 +30,28 @@
 #include <ostream>
 #include <string>
 #include <thread>
-#include <vector>
+#include <unordered_map>
 
+#include "service/event_loop.hpp"
 #include "service/service.hpp"
 
 namespace amps::service {
 
+/// Opens a non-blocking, close-on-exec listening socket on
+/// 127.0.0.1:`port` (0 = kernel-assigned) and stores the actual port in
+/// `*bound_port`. Throws std::runtime_error on failure. Shared by
+/// TcpServer and ShardRouter.
+int open_loopback_listener(std::uint16_t port, std::uint16_t* bound_port);
+
 /// Line-delimited JSON server on 127.0.0.1:`port` (0 = kernel-assigned;
 /// read the actual one back with port()). Accepting starts immediately.
+/// AMPS_SERVE_MAX_CONNS (default 4096) caps concurrently open
+/// connections; connections beyond the cap are accepted and immediately
+/// closed (counted in `service.connections_rejected`).
 class TcpServer {
  public:
-  /// Binds + listens + starts the accept thread. Throws std::runtime_error
-  /// when the port cannot be bound.
+  /// Binds + listens + starts the event-loop thread. Throws
+  /// std::runtime_error when the port cannot be bound.
   TcpServer(SimulationService& service, std::uint16_t port);
   ~TcpServer();  ///< drain_and_stop()
 
@@ -54,35 +71,62 @@ class TcpServer {
   /// The four-step graceful shutdown documented above. Idempotent.
   void drain_and_stop();
 
+  /// Connections currently open on the loop (regression hook: the old
+  /// thread-per-connection server leaked a thread handle per connection
+  /// for the lifetime of the server).
+  [[nodiscard]] std::size_t open_connections() const noexcept {
+    return conn_count_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Connection;
 
-  void accept_main();
-  void connection_main(const std::shared_ptr<Connection>& conn);
+  void on_accept();
+  void on_connection_event(const std::shared_ptr<Connection>& conn,
+                           std::uint32_t events);
+  void process_line(const std::shared_ptr<Connection>& conn,
+                    std::string line);
+  void enqueue_response(const std::shared_ptr<Connection>& conn,
+                        const std::string& resp);
+  void flush(const std::shared_ptr<Connection>& conn);
+  void update_interest(const std::shared_ptr<Connection>& conn);
+  void maybe_finish(const std::shared_ptr<Connection>& conn);
+  void close_connection(const std::shared_ptr<Connection>& conn,
+                        bool force);
+  void check_idle();
 
   SimulationService& service_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  std::size_t max_conns_ = 4096;
+
+  EventLoop loop_;
+  std::thread loop_thread_;
+
+  // Loop-thread-only state.
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+  std::function<void()> on_idle_;  // set by drain_and_stop's finale
+
+  std::atomic<std::size_t> conn_count_{0};
+  std::atomic<bool> stopping_{false};
 
   std::mutex mutex_;
   std::condition_variable shutdown_cv_;
   bool shutdown_signaled_ = false;
-  bool stopped_ = false;
-  std::vector<std::shared_ptr<Connection>> connections_;
-  std::vector<std::thread> readers_;
-
-  std::thread acceptor_;
+  bool drained_ = false;
 };
 
 /// Pipe mode: reads request lines from `in` until EOF or a shutdown op,
 /// writing response lines to `out`. Drains the service before returning,
-/// so every accepted request is answered. Used by `amps-serve --pipe` and
-/// by tests that want the protocol without sockets.
+/// so every accepted request is answered — including a final request whose
+/// line reaches EOF without a trailing newline (std::getline extracts it).
+/// Used by `amps-serve --pipe` and by tests that want the protocol without
+/// sockets.
 void run_pipe_mode(SimulationService& service, std::istream& in,
                    std::ostream& out);
 
 /// Minimal blocking client for one TCP connection — used by amps-client,
-/// the serve bench and the server tests. Responses to pipelined requests
+/// the serve benches and the server tests. Responses to pipelined requests
 /// can arrive out of request order (batches run in parallel); match on
 /// "id" when pipelining.
 class LineClient {
@@ -100,6 +144,13 @@ class LineClient {
 
   /// Writes `line` + '\n'. Throws on a broken connection.
   void send(const std::string& line);
+  /// Writes `bytes` exactly as given — no newline appended. Lets tests
+  /// send partial lines.
+  void send_raw(const std::string& bytes);
+  /// Half-closes the write side (shutdown(SHUT_WR)): the server sees EOF
+  /// but can still deliver responses. Tests use this to exercise the
+  /// final-request-without-newline path.
+  void shutdown_write();
   /// Blocks for the next response line (without the newline). Returns
   /// false on orderly EOF. Throws on error.
   bool recv_line(std::string* line);

@@ -1,6 +1,7 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <exception>
 #include <sstream>
 #include <vector>
@@ -431,6 +432,14 @@ std::string SimulationService::statsz_response() const {
   result.set("queue_capacity",
              Json(static_cast<std::uint64_t>(cfg_.queue_capacity)));
   result.set("draining", Json(draining()));
+  // Disk-cache epoch: shards sharing one AMPS_CACHE_DIR only interchange
+  // entries stamped with the same generation (see RunCache). Hex string —
+  // the full 64-bit hash would not survive a JSON double.
+  char generation[32];
+  std::snprintf(generation, sizeof(generation), "%016llx",
+                static_cast<unsigned long long>(
+                    harness::RunCache::disk_generation()));
+  result.set("cache_generation", Json(generation));
   Json cache_json = Json::object();
   cache_json.set("hits", Json(cache.hits));
   cache_json.set("misses", Json(cache.misses));

@@ -1,0 +1,666 @@
+#include "service/shard.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+#include "common/env.hpp"
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "harness/run_cache.hpp"
+#include "service/server.hpp"
+
+namespace amps::service {
+
+namespace {
+
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " +
+                           std::strerror(errno));
+}
+
+enum class FlushResult : std::uint8_t { Drained, Blocked, Error };
+
+/// Sends as much of `outq` as the socket accepts. `off` tracks how much of
+/// the front element already went out.
+FlushResult flush_queue(int fd, std::deque<std::string>& outq,
+                        std::size_t& off) {
+  while (!outq.empty()) {
+    const std::string& front = outq.front();
+    while (off < front.size()) {
+      const ssize_t n =
+          ::send(fd, front.data() + off, front.size() - off, MSG_NOSIGNAL);
+      if (n >= 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return FlushResult::Blocked;
+      return FlushResult::Error;
+    }
+    outq.pop_front();
+    off = 0;
+  }
+  return FlushResult::Drained;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Reads the worker's stdout until its "listening on 127.0.0.1:<port>"
+/// line appears. Throws when the worker exits (EOF) first.
+std::uint16_t parse_worker_port(int stdout_fd) {
+  std::string buf;
+  for (;;) {
+    const std::size_t marker = buf.find("127.0.0.1:");
+    if (marker != std::string::npos) {
+      const std::size_t digits = marker + std::strlen("127.0.0.1:");
+      // Wait until the number is terminated (the line prints atomically,
+      // but the pipe can split reads anywhere).
+      std::size_t end = digits;
+      while (end < buf.size() && buf[end] >= '0' && buf[end] <= '9') ++end;
+      if (end > digits && end < buf.size()) {
+        const long port = std::strtol(buf.c_str() + digits, nullptr, 10);
+        if (port <= 0 || port > 65535)
+          throw std::runtime_error("shard worker printed a bad port");
+        return static_cast<std::uint16_t>(port);
+      }
+    }
+    char chunk[512];
+    const ssize_t n = ::read(stdout_fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read shard worker stdout");
+    }
+    if (n == 0)
+      throw std::runtime_error(
+          "shard worker exited before announcing its port");
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+std::size_t shard_for_request(const Request& req, std::size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  // Same CacheKey machinery as the RunCache: requests that could share a
+  // cache entry produce the same key text, hence the same shard.
+  harness::CacheKey key("shard-route");
+  key.add("op", to_string(req.op));
+  // Normalize the default so "" and the explicit default co-locate.
+  const bool pair = req.op == Op::RunPair;
+  key.add("scheduler", req.scheduler.empty()
+                           ? (pair ? "proposed" : "affinity")
+                           : req.scheduler);
+  for (const std::string& name : req.benchmarks) key.add("bench", name);
+  add_scale(key, req.scale);
+  return static_cast<std::size_t>(key.hash() % num_shards);
+}
+
+std::vector<ShardWorker> spawn_shard_workers(std::size_t num) {
+  std::vector<ShardWorker> workers;
+  workers.reserve(num);
+  try {
+    for (std::size_t i = 0; i < num; ++i) {
+      int pipefd[2];
+      if (::pipe2(pipefd, O_CLOEXEC) < 0) throw_errno("pipe2");
+      const ::pid_t pid = ::fork();
+      if (pid < 0) {
+        ::close(pipefd[0]);
+        ::close(pipefd[1]);
+        throw_errno("fork");
+      }
+      if (pid == 0) {
+        // Child: stdout feeds the parent's port parser (dup2 clears
+        // CLOEXEC on fd 1; the pipe's own fds close at exec). The worker
+        // runs as a plain single-shard server.
+        ::dup2(pipefd[1], STDOUT_FILENO);
+        ::setenv("AMPS_SERVE_SHARDS", "1", 1);
+        ::execl("/proc/self/exe", "amps-serve-shard", "--port=0",
+                static_cast<char*>(nullptr));
+        std::perror("amps_serve: exec shard worker");
+        ::_exit(127);
+      }
+      ::close(pipefd[1]);
+      ShardWorker w;
+      w.pid = pid;
+      w.stdout_fd = pipefd[0];
+      workers.push_back(w);
+    }
+    // Parse ports after all forks so the workers boot in parallel.
+    for (ShardWorker& w : workers) w.port = parse_worker_port(w.stdout_fd);
+  } catch (...) {
+    for (ShardWorker& w : workers) {
+      ::kill(w.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(w.pid, &status, 0);
+      if (w.stdout_fd >= 0) ::close(w.stdout_fd);
+    }
+    throw;
+  }
+  return workers;
+}
+
+void stop_shard_workers(std::vector<ShardWorker>& workers) {
+  for (ShardWorker& w : workers) {
+    bool clean = false;
+    try {
+      LineClient client;
+      client.connect(w.port);
+      client.send("{\"op\":\"shutdown\"}");
+      std::string resp;
+      client.recv_line(&resp);  // worker drains after answering
+      clean = true;
+    } catch (...) {
+      // Worker already gone or not accepting — fall through to SIGTERM.
+    }
+    if (!clean) ::kill(w.pid, SIGTERM);
+    int status = 0;
+    ::waitpid(w.pid, &status, 0);
+    if (w.stdout_fd >= 0) ::close(w.stdout_fd);
+  }
+  workers.clear();
+}
+
+/// One lazily-connected socket to a shard worker, owned by one Client.
+/// pending_ids holds the "id" of every request forwarded and not yet
+/// answered — the exactly-once ledger that turns a lost worker into
+/// per-request "unavailable" errors.
+struct ShardRouter::Upstream {
+  int fd = -1;
+  std::string inbuf;
+  std::deque<std::string> outq;
+  std::size_t out_off = 0;
+  bool want_write = false;
+  std::deque<Json> pending_ids;
+};
+
+struct ShardRouter::Client {
+  int fd = -1;
+  std::string inbuf;
+  bool read_closed = false;
+  bool drain_forced = false;
+  bool want_write = false;
+  bool write_closed = false;
+  std::size_t outstanding = 0;  ///< forwarded requests not yet answered
+  std::deque<std::string> outq;
+  std::size_t out_off = 0;
+  std::vector<std::shared_ptr<Upstream>> ups;  ///< one slot per shard
+};
+
+ShardRouter::ShardRouter(std::vector<std::uint16_t> shard_ports,
+                         std::uint16_t port)
+    : shard_ports_(std::move(shard_ports)) {
+  if (shard_ports_.empty())
+    throw std::runtime_error("ShardRouter: need at least one shard");
+  max_conns_ = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, env_int("AMPS_SERVE_MAX_CONNS", 4096)));
+  listen_fd_ = open_loopback_listener(port, &port_);
+  loop_.add(listen_fd_, EPOLLIN, [this](std::uint32_t) { on_accept(); });
+  loop_thread_ = std::thread([this] { loop_.run(); });
+}
+
+ShardRouter::~ShardRouter() { drain_and_stop(); }
+
+void ShardRouter::on_accept() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (stopping_.load(std::memory_order_acquire) ||
+        clients_.size() >= max_conns_) {
+      AMPS_COUNTER_INC("router.connections_rejected");
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto client = std::make_shared<Client>();
+    client->fd = fd;
+    client->ups.resize(shard_ports_.size());
+    AMPS_COUNTER_INC("router.connections");
+    clients_.emplace(fd, client);
+    conn_count_.store(clients_.size(), std::memory_order_release);
+    loop_.add(fd, EPOLLIN, [this, client](std::uint32_t events) {
+      on_client_event(client, events);
+    });
+  }
+}
+
+void ShardRouter::on_client_event(const std::shared_ptr<Client>& client,
+                                  std::uint32_t events) {
+  if (client->fd < 0) return;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_client(client, /*force=*/true);
+    return;
+  }
+  if ((events & EPOLLIN) && !client->read_closed) {
+    char chunk[16384];
+    for (;;) {
+      const ssize_t n = ::recv(client->fd, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_client(client, /*force=*/true);
+        return;
+      }
+      if (n == 0) {
+        client->read_closed = true;
+        update_client_interest(client);
+        // Same contract as TcpServer: a final request that reached EOF
+        // without a trailing newline was accepted and must be answered —
+        // unless drain forced the EOF, where a partial line is an
+        // unfinished request.
+        if (!client->drain_forced && !client->inbuf.empty()) {
+          std::string line;
+          line.swap(client->inbuf);
+          process_client_line(client, std::move(line));
+        }
+        break;
+      }
+      client->inbuf.append(chunk, static_cast<std::size_t>(n));
+      std::size_t pos = 0;
+      std::size_t nl;
+      while ((nl = client->inbuf.find('\n', pos)) != std::string::npos) {
+        std::string line = client->inbuf.substr(pos, nl - pos);
+        pos = nl + 1;
+        process_client_line(client, std::move(line));
+        if (client->fd < 0) return;
+      }
+      client->inbuf.erase(0, pos);
+      if (client->inbuf.size() > kMaxLineBytes) {
+        AMPS_LOG_WARN_ONCE(
+            "router: closing a connection that sent a %zu-byte line "
+            "(limit %zu)",
+            client->inbuf.size(), kMaxLineBytes);
+        close_client(client, /*force=*/true);
+        return;
+      }
+      if (client->read_closed) break;
+    }
+  }
+  if (client->fd >= 0 && (events & EPOLLOUT)) flush_client(client);
+  if (client->fd >= 0) maybe_finish_client(client);
+}
+
+void ShardRouter::process_client_line(const std::shared_ptr<Client>& client,
+                                      std::string line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line.empty()) return;
+
+  std::string error_response;
+  auto parsed = parse_request(line, &error_response);
+  if (!parsed) {
+    AMPS_COUNTER_INC("router.bad_requests");
+    enqueue_to_client(client, error_response);
+    return;
+  }
+  const Request& req = *parsed;
+
+  switch (req.op) {
+    case Op::Ping: {
+      // Answered locally, byte-identical to a worker's ping response.
+      AMPS_COUNTER_INC("router.control_requests");
+      Json result = Json::object();
+      result.set("pong", Json(true));
+      enqueue_to_client(
+          client, make_ok_response(req.id, req.op, 0, std::move(result)));
+      return;
+    }
+    case Op::Statsz: {
+      AMPS_COUNTER_INC("router.control_requests");
+      enqueue_to_client(client, statsz_line(req));
+      return;
+    }
+    case Op::Shutdown: {
+      AMPS_COUNTER_INC("router.control_requests");
+      Json result = Json::object();
+      result.set("draining", Json(true));
+      enqueue_to_client(
+          client, make_ok_response(req.id, req.op, 0, std::move(result)));
+      interrupt();  // the owner drains us, then stops the workers
+      return;
+    }
+    case Op::RunPair:
+    case Op::RunMulticore:
+      break;
+  }
+
+  AMPS_COUNTER_INC("router.requests");
+  const std::size_t shard = shard_for_request(req, shard_ports_.size());
+  Upstream* up = ensure_upstream(client, shard);
+  if (up == nullptr) {
+    AMPS_COUNTER_INC("router.unavailable");
+    enqueue_to_client(client,
+                      make_error_response(req.id, "unavailable", true,
+                                          "shard worker is unreachable; "
+                                          "retry"));
+    return;
+  }
+  // Forward the client's exact line; the worker's response bytes come
+  // back verbatim, so routing adds no serialization of its own.
+  up->outq.push_back(line + '\n');
+  up->pending_ids.push_back(req.id);
+  client->outstanding++;
+  flush_upstream(client, shard);
+}
+
+ShardRouter::Upstream* ShardRouter::ensure_upstream(
+    const std::shared_ptr<Client>& client, std::size_t shard) {
+  auto& slot = client->ups[shard];
+  if (slot && slot->fd >= 0) return slot.get();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(shard_ports_[shard]);
+  // Blocking connect: the workers are local, so this resolves in one
+  // round-trip; everything after runs non-blocking on the loop.
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  set_nonblocking(fd);
+  slot = std::make_shared<Upstream>();
+  slot->fd = fd;
+  loop_.add(fd, EPOLLIN, [this, client, shard](std::uint32_t events) {
+    on_upstream_event(client, shard, events);
+  });
+  return slot.get();
+}
+
+void ShardRouter::on_upstream_event(const std::shared_ptr<Client>& client,
+                                    std::size_t shard,
+                                    std::uint32_t events) {
+  const auto up = shard < client->ups.size() ? client->ups[shard] : nullptr;
+  if (!up || up->fd < 0) return;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    fail_upstream(client, shard);
+    return;
+  }
+  if (events & EPOLLIN) {
+    char chunk[16384];
+    for (;;) {
+      const ssize_t n = ::recv(up->fd, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        fail_upstream(client, shard);
+        return;
+      }
+      if (n == 0) {  // worker hung up
+        fail_upstream(client, shard);
+        return;
+      }
+      up->inbuf.append(chunk, static_cast<std::size_t>(n));
+      std::size_t pos = 0;
+      std::size_t nl;
+      while ((nl = up->inbuf.find('\n', pos)) != std::string::npos) {
+        std::string resp = up->inbuf.substr(pos, nl - pos);
+        pos = nl + 1;
+        handle_upstream_response(client, *up, std::move(resp));
+      }
+      up->inbuf.erase(0, pos);
+    }
+  }
+  if (up->fd >= 0 && (events & EPOLLOUT)) flush_upstream(client, shard);
+  if (client->fd >= 0) maybe_finish_client(client);
+}
+
+void ShardRouter::handle_upstream_response(
+    const std::shared_ptr<Client>& client, Upstream& up, std::string line) {
+  // Exactly-once ledger: responses can arrive out of request order
+  // (workers batch in parallel), so match by "id". Requests without an id
+  // carry a null id and match count-wise.
+  const Json resp = Json::parse(line);
+  const std::string id_dump = resp.get("id").dump();
+  bool matched = false;
+  for (auto it = up.pending_ids.begin(); it != up.pending_ids.end(); ++it) {
+    if (it->dump() == id_dump) {
+      up.pending_ids.erase(it);
+      matched = true;
+      break;
+    }
+  }
+  if (matched) {
+    if (client->outstanding > 0) client->outstanding--;
+  } else {
+    AMPS_LOG_WARN_ONCE(
+        "router: shard worker sent a response with an unknown id");
+  }
+  enqueue_to_client(client, line);
+}
+
+void ShardRouter::enqueue_to_client(const std::shared_ptr<Client>& client,
+                                    const std::string& resp) {
+  if (client->write_closed || client->fd < 0) {
+    AMPS_COUNTER_INC("router.responses_dropped");
+    return;
+  }
+  std::string framed = resp;
+  framed.push_back('\n');
+  client->outq.push_back(std::move(framed));
+  flush_client(client);
+}
+
+void ShardRouter::flush_client(const std::shared_ptr<Client>& client) {
+  if (client->write_closed || client->fd < 0) return;
+  const FlushResult r =
+      flush_queue(client->fd, client->outq, client->out_off);
+  if (r == FlushResult::Error) {
+    for (std::size_t i = 0; i < client->outq.size(); ++i)
+      AMPS_COUNTER_INC("router.responses_dropped");
+    client->outq.clear();
+    client->out_off = 0;
+    client->write_closed = true;
+    if (client->want_write) {
+      client->want_write = false;
+      update_client_interest(client);
+    }
+    return;
+  }
+  const bool want = r == FlushResult::Blocked;
+  if (want != client->want_write) {
+    client->want_write = want;
+    update_client_interest(client);
+  }
+}
+
+void ShardRouter::flush_upstream(const std::shared_ptr<Client>& client,
+                                 std::size_t shard) {
+  const auto up = client->ups[shard];
+  if (!up || up->fd < 0) return;
+  const FlushResult r = flush_queue(up->fd, up->outq, up->out_off);
+  if (r == FlushResult::Error) {
+    fail_upstream(client, shard);
+    return;
+  }
+  const bool want = r == FlushResult::Blocked;
+  if (want != up->want_write) {
+    up->want_write = want;
+    loop_.mod(up->fd, EPOLLIN | (want ? EPOLLOUT : 0u));
+  }
+}
+
+void ShardRouter::fail_upstream(const std::shared_ptr<Client>& client,
+                                std::size_t shard) {
+  const auto up = client->ups[shard];
+  if (!up || up->fd < 0) return;
+  loop_.del(up->fd);
+  ::close(up->fd);
+  up->fd = -1;
+  // Every request outstanding on this worker gets a retriable error —
+  // answered exactly once, never silently dropped.
+  for (const Json& id : up->pending_ids) {
+    AMPS_COUNTER_INC("router.unavailable");
+    if (client->outstanding > 0) client->outstanding--;
+    enqueue_to_client(client,
+                      make_error_response(id, "unavailable", true,
+                                          "shard worker connection lost; "
+                                          "retry"));
+  }
+  up->pending_ids.clear();
+  client->ups[shard].reset();
+  if (client->fd >= 0) maybe_finish_client(client);
+}
+
+void ShardRouter::update_client_interest(
+    const std::shared_ptr<Client>& client) {
+  if (client->fd < 0) return;
+  std::uint32_t events = 0;
+  if (!client->read_closed) events |= EPOLLIN;
+  if (client->want_write) events |= EPOLLOUT;
+  loop_.mod(client->fd, events);
+}
+
+void ShardRouter::maybe_finish_client(
+    const std::shared_ptr<Client>& client) {
+  if (!client->read_closed) return;
+  if (client->outstanding != 0) return;
+  if (!client->outq.empty() && !client->write_closed) return;
+  close_client(client, /*force=*/false);
+}
+
+void ShardRouter::close_client(const std::shared_ptr<Client>& client,
+                               bool force) {
+  if (client->fd < 0) return;
+  loop_.del(client->fd);
+  clients_.erase(client->fd);
+  conn_count_.store(clients_.size(), std::memory_order_release);
+  for (auto& up : client->ups) {
+    if (up && up->fd >= 0) {
+      // The client left before these answers arrived.
+      for (std::size_t i = 0; i < up->pending_ids.size(); ++i)
+        AMPS_COUNTER_INC("router.responses_dropped");
+      loop_.del(up->fd);
+      ::close(up->fd);
+      up->fd = -1;
+    }
+    up.reset();
+  }
+  if (force) {
+    for (std::size_t i = 0; i < client->outq.size(); ++i)
+      AMPS_COUNTER_INC("router.responses_dropped");
+  }
+  ::close(client->fd);
+  client->fd = -1;
+  check_idle();
+}
+
+void ShardRouter::check_idle() {
+  if (on_idle_ && clients_.empty()) {
+    auto fn = std::move(on_idle_);
+    on_idle_ = nullptr;
+    fn();
+  }
+}
+
+std::string ShardRouter::statsz_line(const Request& req) const {
+  Json result = Json::object();
+  result.set("router", Json(true));
+  result.set("shards",
+             Json(static_cast<std::uint64_t>(shard_ports_.size())));
+  result.set("open_connections",
+             Json(static_cast<std::uint64_t>(clients_.size())));
+  char generation[32];
+  std::snprintf(generation, sizeof(generation), "%016llx",
+                static_cast<unsigned long long>(
+                    harness::RunCache::disk_generation()));
+  result.set("cache_generation", Json(generation));
+  return make_ok_response(req.id, Op::Statsz, 0, std::move(result));
+}
+
+void ShardRouter::wait_for_shutdown() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  shutdown_cv_.wait(lock, [&] { return shutdown_signaled_; });
+}
+
+void ShardRouter::interrupt() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_signaled_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void ShardRouter::drain_and_stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (drained_) return;
+    drained_ = true;
+    shutdown_signaled_ = true;
+  }
+  shutdown_cv_.notify_all();
+  stopping_.store(true, std::memory_order_release);
+
+  // Close the listener and stop reading from clients; outstanding worker
+  // responses keep flowing through the (still-running) loop until every
+  // client has been answered in full and closed.
+  std::promise<void> idle;
+  loop_.post([this, &idle] {
+    if (listen_fd_ >= 0) {
+      loop_.del(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    std::vector<std::shared_ptr<Client>> snapshot;
+    snapshot.reserve(clients_.size());
+    for (const auto& [fd, client] : clients_) snapshot.push_back(client);
+    for (const auto& client : snapshot) {
+      client->drain_forced = true;
+      if (!client->read_closed && client->fd >= 0)
+        ::shutdown(client->fd, SHUT_RD);
+      else if (client->fd >= 0)
+        maybe_finish_client(client);
+    }
+    on_idle_ = [&idle] { idle.set_value(); };
+    check_idle();
+  });
+  auto idle_future = idle.get_future();
+  if (idle_future.wait_for(std::chrono::seconds(30)) !=
+      std::future_status::ready) {
+    loop_.post([this] {
+      std::vector<std::shared_ptr<Client>> snapshot;
+      snapshot.reserve(clients_.size());
+      for (const auto& [fd, client] : clients_) snapshot.push_back(client);
+      for (const auto& client : snapshot)
+        close_client(client, /*force=*/true);
+      check_idle();
+    });
+    idle_future.wait();
+  }
+
+  loop_.stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+}  // namespace amps::service

@@ -1,0 +1,145 @@
+// Key-sharded multi-process serving for amps-serve.
+//
+// One parent process forks N single-shard workers (each a normal
+// amps-serve with its own SimulationService, worker pool and in-memory
+// RunCache) and runs a ShardRouter in front of them. The router owns no
+// simulation state: it frames client lines, routes each run request to the
+// shard that owns its content key, relays the worker's response bytes back
+// verbatim, and answers control ops (ping / statsz / shutdown) locally.
+//
+// Routing is by *content key*, not round-robin: shard_for_request() folds
+// the op, benchmarks, scheduler and full scale through the same CacheKey
+// machinery the RunCache uses, so every request for one cacheable
+// configuration lands on the same worker — its memory cache stays hot and
+// the workers' disk caches (a shared AMPS_CACHE_DIR is safe, see RunCache)
+// never duplicate work.
+//
+// Failure containment: when a worker connection is lost mid-request, every
+// request outstanding on it is answered with the retriable "unavailable"
+// error — never silently dropped, never answered twice — and the next
+// request for that shard reconnects.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/event_loop.hpp"
+#include "service/protocol.hpp"
+
+namespace amps::service {
+
+/// Which shard owns `req`. Stable across processes and runs (FNV-1a of
+/// the request's content key); any request that could share a RunCache
+/// entry maps to the same shard. num_shards == 0 is treated as 1.
+std::size_t shard_for_request(const Request& req, std::size_t num_shards);
+
+/// One forked amps-serve worker process.
+struct ShardWorker {
+  ::pid_t pid = -1;
+  std::uint16_t port = 0;  ///< worker's kernel-assigned listen port
+  int stdout_fd = -1;      ///< parent's read end of the worker's stdout
+};
+
+/// Forks + execs `num` copies of /proc/self/exe as single-shard servers
+/// (`--port=0`, AMPS_SERVE_SHARDS=1 in the child environment) and parses
+/// each child's "listening on 127.0.0.1:<port>" line. Call before
+/// starting any threads — fork() and threads do not mix. Throws
+/// std::runtime_error on failure (already-spawned workers are killed).
+std::vector<ShardWorker> spawn_shard_workers(std::size_t num);
+
+/// Gracefully stops every worker: sends {"op":"shutdown"}, waits for the
+/// response, then reaps the process. Workers that no longer accept
+/// connections are killed. Clears `workers`.
+void stop_shard_workers(std::vector<ShardWorker>& workers);
+
+/// Epoll front-end that serves the amps-serve protocol by routing run
+/// requests to shard workers. Same external surface as TcpServer
+/// (port / wait_for_shutdown / interrupt / drain_and_stop) so amps-serve
+/// treats both uniformly. Stopping the workers afterwards is the owner's
+/// job (stop_shard_workers).
+class ShardRouter {
+ public:
+  /// Binds 127.0.0.1:`port` and starts routing to `shard_ports`.
+  /// Throws std::runtime_error when the port cannot be bound.
+  ShardRouter(std::vector<std::uint16_t> shard_ports, std::uint16_t port);
+  ~ShardRouter();  ///< drain_and_stop()
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Blocks until a client issued {"op":"shutdown"} or interrupt().
+  void wait_for_shutdown();
+  void interrupt();
+
+  /// Graceful drain, mirroring TcpServer: close the listener, stop
+  /// reading from clients, relay every outstanding worker response, then
+  /// close. Every accepted request is answered exactly once. Idempotent.
+  void drain_and_stop();
+
+  [[nodiscard]] std::size_t open_connections() const noexcept {
+    return conn_count_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Upstream;
+  struct Client;
+
+  void on_accept();
+  void on_client_event(const std::shared_ptr<Client>& client,
+                       std::uint32_t events);
+  void on_upstream_event(const std::shared_ptr<Client>& client,
+                         std::size_t shard, std::uint32_t events);
+  void process_client_line(const std::shared_ptr<Client>& client,
+                           std::string line);
+  Upstream* ensure_upstream(const std::shared_ptr<Client>& client,
+                            std::size_t shard);
+  void fail_upstream(const std::shared_ptr<Client>& client,
+                     std::size_t shard);
+  void handle_upstream_response(const std::shared_ptr<Client>& client,
+                                Upstream& up, std::string line);
+  void enqueue_to_client(const std::shared_ptr<Client>& client,
+                         const std::string& resp);
+  void flush_client(const std::shared_ptr<Client>& client);
+  void flush_upstream(const std::shared_ptr<Client>& client,
+                      std::size_t shard);
+  void update_client_interest(const std::shared_ptr<Client>& client);
+  void maybe_finish_client(const std::shared_ptr<Client>& client);
+  void close_client(const std::shared_ptr<Client>& client, bool force);
+  void check_idle();
+  [[nodiscard]] std::string statsz_line(const Request& req) const;
+
+  std::vector<std::uint16_t> shard_ports_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::size_t max_conns_ = 4096;
+
+  EventLoop loop_;
+  std::thread loop_thread_;
+
+  // Loop-thread-only state.
+  std::unordered_map<int, std::shared_ptr<Client>> clients_;
+  std::function<void()> on_idle_;
+
+  std::atomic<std::size_t> conn_count_{0};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_signaled_ = false;
+  bool drained_ = false;
+};
+
+}  // namespace amps::service

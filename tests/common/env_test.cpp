@@ -4,6 +4,8 @@
 
 #include <cstdlib>
 
+#include "common/log.hpp"
+
 namespace amps {
 namespace {
 
@@ -45,6 +47,48 @@ TEST_F(EnvTest, IntParsesAndFallsBack) {
 TEST_F(EnvTest, IntParsesNegative) {
   setenv("AMPS_TEST_VAR", "-5", 1);
   EXPECT_EQ(env_int("AMPS_TEST_VAR", 0), -5);
+}
+
+// Regression: "8x" used to silently parse as 8 (strtol stops at the first
+// non-digit), so a typo'd knob half-applied. Trailing garbage now rejects
+// the whole value and keeps the fallback.
+TEST_F(EnvTest, IntRejectsTrailingGarbage) {
+  setenv("AMPS_TEST_VAR", "8x", 1);
+  EXPECT_EQ(env_int("AMPS_TEST_VAR", 7), 7);
+  setenv("AMPS_TEST_VAR", "8 ", 1);
+  EXPECT_EQ(env_int("AMPS_TEST_VAR", 7), 7);
+  setenv("AMPS_TEST_VAR", "0x8", 1);  // hex is not accepted either
+  EXPECT_EQ(env_int("AMPS_TEST_VAR", 7), 7);
+}
+
+TEST_F(EnvTest, IntRejectsOutOfRange) {
+  // ERANGE: strtoll saturates; saturation is rejected, not applied.
+  setenv("AMPS_TEST_VAR", "99999999999999999999999999", 1);
+  EXPECT_EQ(env_int("AMPS_TEST_VAR", 42), 42);
+  setenv("AMPS_TEST_VAR", "-99999999999999999999999999", 1);
+  EXPECT_EQ(env_int("AMPS_TEST_VAR", 42), 42);
+}
+
+TEST_F(EnvTest, DoubleParsesAndRejects) {
+  setenv("AMPS_TEST_VAR", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("AMPS_TEST_VAR", 1.0), 2.5);
+  setenv("AMPS_TEST_VAR", "2.5x", 1);
+  EXPECT_DOUBLE_EQ(env_double("AMPS_TEST_VAR", 1.0), 1.0);
+  setenv("AMPS_TEST_VAR", "1e999", 1);  // ERANGE overflow
+  EXPECT_DOUBLE_EQ(env_double("AMPS_TEST_VAR", 1.0), 1.0);
+}
+
+TEST_F(EnvTest, RejectionWarnsAtMostOncePerCallSite) {
+  // The rejection warning is AMPS_LOG_WARN_ONCE per call site: a knob read
+  // in a hot loop reports its typo once, not once per read. Other tests in
+  // this binary may already have burned the once — assert the *delta*
+  // stays ≤ 1 across many rejecting reads.
+  const std::uint64_t before = log_emit_count(LogLevel::Warn);
+  setenv("AMPS_TEST_VAR", "12junk", 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(env_int("AMPS_TEST_VAR", 3), 3);
+  }
+  EXPECT_LE(log_emit_count(LogLevel::Warn) - before, 1u);
 }
 
 TEST_F(EnvTest, PaperScaleDetection) {

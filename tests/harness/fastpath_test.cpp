@@ -7,7 +7,9 @@
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <functional>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -286,6 +288,62 @@ TEST(RunCache, DiskRoundTripIsBitIdentical) {
   EXPECT_EQ(s.hits, 1u);
   EXPECT_EQ(s.disk_hits, 1u);
   expect_identical(cold, from_disk);
+
+  unsetenv("AMPS_CACHE_DIR");
+  std::filesystem::remove_all(dir);
+}
+
+// The generation stamp makes entries written by an incompatible build
+// invisible instead of wrongly served: a shared AMPS_CACHE_DIR may hold
+// files from older formats, and readers must treat them as misses.
+TEST(RunCache, StaleGenerationIsInvisible) {
+  EXPECT_NE(RunCache::disk_generation(), 0u);
+  EXPECT_EQ(RunCache::disk_generation(), RunCache::disk_generation());
+
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / "amps-run-cache-gen-test";
+  std::filesystem::remove_all(dir);
+  setenv("AMPS_CACHE_DIR", dir.c_str(), 1);
+
+  const wl::BenchmarkCatalog catalog;
+  const ExperimentRunner runner(small_scale());
+  const auto pairs = sample_pairs(catalog, 1, 47);
+  const SchedulerFactory factory = runner.round_robin_factory();
+
+  RunCache& cache = RunCache::instance();
+  cache.clear();
+  const auto cold = runner.run_pair(pairs[0], factory);
+  ASSERT_FALSE(std::filesystem::is_empty(dir));
+
+  // Rewrite every entry's generation line — simulating files left behind
+  // by a different build of the cache format. (AMPS_CACHE_DIR also hosts
+  // the trace store's traces/ subdirectory; only touch cache files.)
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path());
+    std::string header;
+    std::string gen;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, gen));
+    ASSERT_EQ(gen.rfind("gen ", 0), 0u) << gen;
+    std::string rest((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(entry.path(), std::ios::trunc);
+    out << header << '\n' << "gen 0000000000000000" << '\n' << rest;
+  }
+
+  cache.clear();  // drop memory so only the (stale) disk copy remains
+  const auto rerun = runner.run_pair(pairs[0], factory);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.disk_hits, 0u);  // the stale entry was not served
+  EXPECT_EQ(s.misses, 1u);
+  expect_identical(cold, rerun);  // recomputed, not read
+
+  // The recompute republished the entry; a fresh read now disk-hits.
+  cache.clear();
+  (void)runner.run_pair(pairs[0], factory);
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
 
   unsetenv("AMPS_CACHE_DIR");
   std::filesystem::remove_all(dir);

@@ -1,0 +1,271 @@
+// Sharded-serving tests: shard_for_request routing properties, and a
+// ShardRouter fronting in-process TcpServer "workers" (forking real
+// worker processes needs /proc/self/exe to be amps-serve, so the process
+// lifecycle is exercised by the amps_serve binary itself, not here).
+#include "service/shard.hpp"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/json.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+
+namespace amps::service {
+namespace {
+
+Json parsed(const std::string& line) {
+  std::string error;
+  Json doc = Json::parse(line, &error);
+  EXPECT_TRUE(error.empty()) << line;
+  return doc;
+}
+
+std::string small_run(int id, const std::string& a = "ammp",
+                      const std::string& b = "sha") {
+  Json req = Json::object();
+  req.set("id", Json(id));
+  req.set("op", Json("run_pair"));
+  Json bench = Json::array();
+  bench.push_back(Json(a));
+  bench.push_back(Json(b));
+  req.set("bench", std::move(bench));
+  Json overrides = Json::object();
+  overrides.set("run_length", Json(20000));
+  req.set("overrides", std::move(overrides));
+  return req.dump();
+}
+
+Request request_of(const std::string& line) {
+  std::string error;
+  const std::optional<Request> req = parse_request(line, &error);
+  EXPECT_TRUE(req.has_value()) << error;
+  return req.value_or(Request{});
+}
+
+TEST(ShardForRequestTest, DeterministicAndInRange) {
+  const Request req = request_of(small_run(1));
+  for (std::size_t shards : {1u, 2u, 3u, 8u}) {
+    const std::size_t s = shard_for_request(req, shards);
+    EXPECT_LT(s, shards);
+    // Same request, same shard — every time.
+    EXPECT_EQ(shard_for_request(req, shards), s);
+  }
+  // Zero shards is treated as one.
+  EXPECT_EQ(shard_for_request(req, 0), 0u);
+}
+
+TEST(ShardForRequestTest, IdDoesNotAffectRouting) {
+  // Routing is by content key: two requests for the same configuration
+  // with different ids must land on the same worker (that's what keeps
+  // its caches hot).
+  const Request a = request_of(small_run(1));
+  const Request b = request_of(small_run(999));
+  EXPECT_EQ(shard_for_request(a, 8), shard_for_request(b, 8));
+}
+
+TEST(ShardForRequestTest, DifferentConfigsSpreadAcrossShards) {
+  // Not a uniformity test — just that routing actually discriminates:
+  // across a handful of distinct configurations, more than one shard is
+  // used.
+  const char* benches[] = {"ammp", "sha", "gzip", "mcf", "crafty", "eon"};
+  std::set<std::size_t> used;
+  int id = 0;
+  for (const char* x : benches) {
+    for (const char* y : benches) {
+      if (std::string(x) == y) continue;
+      used.insert(shard_for_request(request_of(small_run(id++, x, y)), 4));
+    }
+  }
+  EXPECT_GT(used.size(), 1u);
+}
+
+TEST(ShardForRequestTest, SchedulerDefaultsNormalize) {
+  // An absent scheduler and the explicit default route identically, so a
+  // client that omits the field still hits the warm shard.
+  Request with = request_of(small_run(1));
+  Request without = with;
+  without.scheduler.clear();
+  EXPECT_EQ(shard_for_request(with, 8), shard_for_request(without, 8));
+}
+
+// In-process harness: N TcpServer workers behind one ShardRouter.
+class ShardRouterTest : public ::testing::Test {
+ protected:
+  void start(std::size_t shards) {
+    std::vector<std::uint16_t> ports;
+    for (std::size_t i = 0; i < shards; ++i) {
+      services_.push_back(std::make_unique<SimulationService>());
+      workers_.push_back(
+          std::make_unique<TcpServer>(*services_.back(), /*port=*/0));
+      ports.push_back(workers_.back()->port());
+    }
+    router_ = std::make_unique<ShardRouter>(ports, /*port=*/0);
+  }
+
+  void TearDown() override {
+    router_.reset();
+    workers_.clear();
+    services_.clear();
+  }
+
+  std::vector<std::unique_ptr<SimulationService>> services_;
+  std::vector<std::unique_ptr<TcpServer>> workers_;
+  std::unique_ptr<ShardRouter> router_;
+};
+
+TEST_F(ShardRouterTest, AnswersControlOpsLocally) {
+  start(2);
+  LineClient client;
+  client.connect(router_->port());
+  const Json pong = parsed(client.request(R"({"id":"p","op":"ping"})"));
+  EXPECT_TRUE(pong.get("ok").as_bool(false));
+  EXPECT_EQ(pong.get("id").as_string(), "p");
+
+  const Json statsz = parsed(client.request(R"({"op":"statsz"})"));
+  EXPECT_TRUE(statsz.get("ok").as_bool(false));
+  EXPECT_TRUE(statsz.get("result").get("router").as_bool(false));
+  EXPECT_DOUBLE_EQ(statsz.get("result").get("shards").as_number(), 2.0);
+  // The generation stamp guards the shared disk cache; it must be a hex
+  // string (64-bit values do not survive a double).
+  EXPECT_FALSE(
+      statsz.get("result").get("cache_generation").as_string().empty());
+}
+
+TEST_F(ShardRouterTest, RoutedRunMatchesDirectServer) {
+  start(2);
+  // Direct un-sharded baseline.
+  SimulationService direct_svc;
+  TcpServer direct(direct_svc, 0);
+  LineClient direct_client;
+  direct_client.connect(direct.port());
+  const std::string want = direct_client.request(small_run(42));
+
+  LineClient client;
+  client.connect(router_->port());
+  const std::string got = client.request(small_run(42));
+  // Identical payload modulo elapsed_us (wall-clock): the router relays
+  // the worker's bytes untouched and workers are deterministic, so the
+  // whole simulation result serializes identically.
+  const Json got_doc = parsed(got);
+  const Json want_doc = parsed(want);
+  EXPECT_TRUE(got_doc.get("ok").as_bool(false)) << got;
+  EXPECT_EQ(got_doc.get("id").dump(), want_doc.get("id").dump());
+  EXPECT_EQ(got_doc.get("result").dump(), want_doc.get("result").dump());
+}
+
+TEST_F(ShardRouterTest, PipelinedMixAcrossShardsAllAnswered) {
+  start(3);
+  LineClient client;
+  client.connect(router_->port());
+  const char* benches[] = {"ammp", "sha", "gzip", "mcf"};
+  constexpr int kRequests = 8;
+  for (int i = 0; i < kRequests; ++i) {
+    client.send(small_run(i, benches[i % 4], benches[(i + 1) % 4]));
+  }
+  std::set<int> ids;
+  for (int i = 0; i < kRequests; ++i) {
+    std::string line;
+    ASSERT_TRUE(client.recv_line(&line));
+    const Json doc = parsed(line);
+    EXPECT_TRUE(doc.get("ok").as_bool(false)) << line;
+    ids.insert(static_cast<int>(doc.get("id").as_number(-1)));
+  }
+  std::set<int> want;
+  for (int i = 0; i < kRequests; ++i) want.insert(i);
+  EXPECT_EQ(ids, want);
+}
+
+TEST_F(ShardRouterTest, MalformedLineAnsweredLocally) {
+  start(2);
+  LineClient client;
+  client.connect(router_->port());
+  const Json bad = parsed(client.request("not json at all"));
+  EXPECT_FALSE(bad.get("ok").as_bool(true));
+  EXPECT_EQ(bad.get("error").get("code").as_string(), "bad_request");
+  // Connection survives.
+  EXPECT_TRUE(
+      parsed(client.request(R"({"op":"ping"})")).get("ok").as_bool(false));
+}
+
+// Worker loss must never leave a request unanswered: the router answers
+// every request outstanding on a dead upstream with the retriable
+// "unavailable" error. The "worker" here is a listener that accepts each
+// connection and slams it shut — deterministic mid-request loss.
+TEST(ShardRouterFailureTest, LostWorkerAnswersUnavailableNotSilence) {
+  int fake_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fake_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fake_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fake_fd, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t fake_port = ntohs(addr.sin_port);
+  ASSERT_EQ(::listen(fake_fd, 8), 0);
+  std::thread acceptor([fake_fd] {
+    for (;;) {
+      const int conn = ::accept(fake_fd, nullptr, nullptr);
+      if (conn < 0) return;  // listener closed: test over
+      ::close(conn);         // the "worker" dies with the request in flight
+    }
+  });
+
+  {
+    ShardRouter router(std::vector<std::uint16_t>{fake_port}, /*port=*/0);
+    LineClient client;
+    client.connect(router.port());
+    client.send(small_run(7));
+    std::string resp;
+    ASSERT_TRUE(client.recv_line(&resp));
+    const Json doc = parsed(resp);
+    EXPECT_FALSE(doc.get("ok").as_bool(true));
+    EXPECT_EQ(doc.get("error").get("code").as_string(), "unavailable");
+    EXPECT_TRUE(doc.get("error").get("retriable").as_bool(false));
+    EXPECT_DOUBLE_EQ(doc.get("id").as_number(), 7.0);
+
+    // The client connection survives, and the router reconnects per
+    // request rather than wedging on the dead slot.
+    const Json again = parsed(client.request(small_run(8)));
+    EXPECT_EQ(again.get("error").get("code").as_string(), "unavailable");
+    EXPECT_DOUBLE_EQ(again.get("id").as_number(), 8.0);
+  }
+  ::shutdown(fake_fd, SHUT_RDWR);
+  ::close(fake_fd);
+  acceptor.join();
+}
+
+TEST_F(ShardRouterTest, DrainAndStopIsIdempotent) {
+  start(2);
+  router_->drain_and_stop();
+  router_->drain_and_stop();
+  LineClient late;
+  EXPECT_THROW(late.connect(router_->port()), std::runtime_error);
+}
+
+TEST_F(ShardRouterTest, ShutdownOpDrainsTheRouter) {
+  start(2);
+  LineClient client;
+  client.connect(router_->port());
+  const Json ack = parsed(client.request(R"({"op":"shutdown"})"));
+  EXPECT_TRUE(ack.get("ok").as_bool(false));
+  router_->wait_for_shutdown();
+  router_->drain_and_stop();
+  std::string line;
+  EXPECT_FALSE(client.recv_line(&line));
+}
+
+}  // namespace
+}  // namespace amps::service
