@@ -1,0 +1,320 @@
+// Online vs offline policy bench (DESIGN.md §13, EXPERIMENTS.md): the
+// offline HPE models are frozen profiles of the 9 representative
+// benchmarks, so they should measurably degrade on workloads outside that
+// set, while the online learners — which fit the cross-core model during
+// the run — should close (most of) the gap to an oracle profiled on the
+// held-out set itself. Two pair pools:
+//   * in-set:     random catalog pairs (the offline models' home turf),
+//   * out-of-set: held-out generated benchmarks (workload/heldout.hpp)
+//                 plus one Saez-style asymmetry-aware data-parallel pair.
+// Results go to stdout and BENCH_online.json (machine-readable; consumed
+// by scripts/check_perf.sh's informational report).
+//
+// Knobs: AMPS_SCALE, AMPS_PAIRS, AMPS_SEED, AMPS_ONLINE_ALPHA,
+// AMPS_ONLINE_EPSILON, AMPS_ONLINE_WARMUP, AMPS_HELDOUT_COUNT,
+// AMPS_HELDOUT_CHUNK (see docs/CONFIG.md).
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/online_model.hpp"
+#include "core/oracle.hpp"
+#include "core/profiler.hpp"
+#include "harness/lanes.hpp"
+#include "mathx/stats.hpp"
+#include "metrics/speedup.hpp"
+#include "workload/heldout.hpp"
+
+namespace {
+
+using namespace amps;
+
+/// Bit-exact result comparison (mirrors the differential-fuzz notion of
+/// identity; lane_occupancy_pct is execution metadata and excluded).
+bool identical(const metrics::PairRunResult& a,
+               const metrics::PairRunResult& b) {
+  if (a.total_cycles != b.total_cycles || a.swap_count != b.swap_count ||
+      a.decision_points != b.decision_points ||
+      a.total_energy != b.total_energy ||
+      a.windows_observed != b.windows_observed ||
+      a.forced_swap_count != b.forced_swap_count ||
+      a.decisions_by_reason != b.decisions_by_reason ||
+      a.hit_cycle_bound != b.hit_cycle_bound)
+    return false;
+  for (int i = 0; i < 2; ++i) {
+    const metrics::ThreadRunStats& x = a.threads[i];
+    const metrics::ThreadRunStats& y = b.threads[i];
+    if (x.committed != y.committed || x.cycles != y.cycles ||
+        x.energy != y.energy || x.ipc != y.ipc ||
+        x.ipc_per_watt != y.ipc_per_watt || x.swaps != y.swaps)
+      return false;
+  }
+  return true;
+}
+
+struct SetResult {
+  double improvement_pct = 0.0;  ///< mean weighted IPC/Watt gain vs static
+  double swaps = 0.0;            ///< mean swaps per run
+};
+
+}  // namespace
+
+int main() {
+  const auto ctx = bench::make_context(/*default_pairs=*/8);
+  bench::print_header("Online-learning policies — in-set vs out-of-set", ctx);
+
+  const wl::BenchmarkCatalog catalog;
+  const harness::ExperimentRunner runner(ctx.scale);
+  const auto models = bench::build_models(runner, catalog);
+
+  // Learner knobs (docs/CONFIG.md "Online-learning policies").
+  sched::OnlineRegressionConfig rls_cfg;
+  rls_cfg.window_size = ctx.scale.window_size;
+  rls_cfg.model.forgetting = env_online_alpha(rls_cfg.model.forgetting);
+  rls_cfg.model.warmup = static_cast<std::uint64_t>(
+      env_online_warmup(static_cast<std::int64_t>(rls_cfg.model.warmup)));
+  sched::BanditConfig bandit_cfg;
+  bandit_cfg.window_size = ctx.scale.window_size;
+  bandit_cfg.epsilon = env_online_epsilon(bandit_cfg.epsilon);
+  // The bandit's warmup counts decisions (each spanning several windows),
+  // so it takes a third of the shared knob's window-granular value.
+  bandit_cfg.warmup = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             env_online_warmup(static_cast<std::int64_t>(
+                 3 * bandit_cfg.warmup))) / 3);
+  bandit_cfg.seed = ctx.seed;
+
+  // In-set: random catalog pairs, the offline profile's home distribution.
+  const auto inset_pairs = harness::sample_pairs(catalog, ctx.pairs, ctx.seed);
+
+  // Out-of-set: held-out benchmarks + the asymmetry-aware data-parallel
+  // pair. Specs live in one stable vector; pairs point into it. The
+  // generator emits adjacent couples of two shapes (pair.first starts on
+  // the INT core): GAIN couples begin with both threads misassigned and
+  // reward one corrective swap, TRAP couples are already truth-optimal and
+  // punish any model whose exaggerated decoy prediction swaps them.
+  wl::HeldoutConfig hcfg;
+  hcfg.count = static_cast<int>(
+      env_heldout_count(std::max(4, 2 * ctx.pairs)));
+  hcfg.seed = ctx.seed + 17;
+  std::vector<wl::BenchmarkSpec> heldout = wl::heldout_benchmarks(hcfg);
+  wl::DataParallelConfig dcfg;
+  dcfg.chunk = static_cast<std::uint64_t>(
+      env_heldout_chunk(static_cast<std::int64_t>(dcfg.chunk)));
+  auto dp = wl::data_parallel_pair(dcfg);
+  heldout.push_back(std::move(dp.first));
+  heldout.push_back(std::move(dp.second));
+  std::vector<harness::BenchmarkPair> outset_pairs;
+  for (std::size_t i = 0; i + 1 < heldout.size() - 2 &&
+                          outset_pairs.size() <
+                              static_cast<std::size_t>(ctx.pairs);
+       i += 2)
+    outset_pairs.push_back({&heldout[i], &heldout[i + 1]});
+  outset_pairs.push_back(
+      {&heldout[heldout.size() - 2], &heldout[heldout.size() - 1]});
+
+  // The out-of-set oracle: offline models refit by profiling the held-out
+  // set itself — the in-distribution upper bound an online learner chases.
+  std::cout << "[profiling the " << heldout.size()
+            << " held-out benchmarks on both cores...]" << std::endl;
+  sched::ProfilerConfig pcfg;
+  pcfg.run_length = ctx.scale.run_length;
+  pcfg.sample_interval =
+      std::max<Cycles>(1, ctx.scale.context_switch_interval / 6);
+  const sched::Profiler profiler(runner.int_core(), runner.fp_core(), pcfg);
+  std::vector<const wl::BenchmarkSpec*> heldout_ptrs;
+  for (const auto& spec : heldout) heldout_ptrs.push_back(&spec);
+  const auto heldout_samples = profiler.profile_all(heldout_ptrs);
+  sched::RegressionSurface heldout_oracle(2);
+  heldout_oracle.fit(heldout_samples);
+  if (env_int("AMPS_DEBUG_SURFACE", 0) != 0) {
+    for (const auto& spec : heldout) {
+      std::vector<sched::ProfileSample> samples;
+      profiler.profile(spec, &samples);
+      for (const auto& s : samples) {
+        std::cout << "  " << spec.name << ": int=" << s.int_pct
+                  << " fp=" << s.fp_pct << " ratio=" << s.ratio << " fit="
+                  << heldout_oracle.predict_ratio(s.int_pct, s.fp_pct)
+                  << " offline="
+                  << models.regression->predict_ratio(s.int_pct, s.fp_pct)
+                  << "\n";
+      }
+    }
+  }
+
+  const auto oracle_factory = [&](const sched::HpePredictionModel& model) {
+    sched::OracleConfig cfg;
+    cfg.window_size = ctx.scale.window_size;
+    // Window-granular reference, but damped: without a real cooldown the
+    // estimate rule thrashes pairs whose two ratios are similar and large,
+    // and without hysteresis a chunked loop's short INT-heavy sync windows
+    // flip the estimate over threshold once per chunk.
+    cfg.swap_cooldown = std::max<Cycles>(
+        cfg.swap_cooldown, ctx.scale.context_switch_interval / 8);
+    cfg.persistence = 4;
+    return harness::SchedulerFactory([cfg, &model] {
+      return std::make_unique<sched::OracleScheduler>(model, cfg);
+    });
+  };
+
+  struct Variant {
+    const char* slug;
+    const char* label;
+    harness::SchedulerFactory factory;
+  };
+  const auto run_set = [&](std::span<const harness::BenchmarkPair> pairs,
+                           const sched::HpePredictionModel& oracle_model) {
+    const Variant variants[] = {
+        {"proposed", "proposed (offline rules)", runner.proposed_factory()},
+        {"hpe", "hpe-regression (offline profile)",
+         runner.hpe_factory(*models.regression)},
+        {"online_rls", "online-regression (RLS)",
+         runner.online_regression_factory(rls_cfg)},
+        {"bandit", "bandit-swap (epsilon-greedy)",
+         runner.bandit_factory(bandit_cfg)},
+        {"oracle", "oracle (offline profile of this set)",
+         oracle_factory(oracle_model)},
+    };
+    std::vector<metrics::PairRunResult> base;
+    for (const auto& p : pairs)
+      base.push_back(runner.run_pair(p, runner.static_factory()));
+    std::vector<std::pair<std::string, SetResult>> out;
+    for (const Variant& v : variants) {
+      std::vector<double> improvements;
+      double swaps = 0.0;
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const auto r = runner.run_pair(pairs[i], v.factory);
+        improvements.push_back(
+            metrics::to_improvement_pct(r.weighted_ipw_speedup_vs(base[i])));
+        swaps += static_cast<double>(r.swap_count);
+        if (env_int("AMPS_DEBUG_PAIRS", 0) != 0)
+          std::printf("    %-10s %s+%s: %+6.2f%%  swaps=%llu\n", v.slug,
+                      pairs[i].first->name.c_str(),
+                      pairs[i].second->name.c_str(), improvements.back(),
+                      static_cast<unsigned long long>(r.swap_count));
+      }
+      out.emplace_back(v.slug,
+                       SetResult{mathx::mean(improvements),
+                                 swaps / static_cast<double>(pairs.size())});
+    }
+    return out;
+  };
+
+  bench::Stopwatch watch;
+  const auto inset = run_set(inset_pairs, *models.regression);
+  const auto outset = run_set(outset_pairs, heldout_oracle);
+  const auto find = [](const auto& rows, const char* slug) {
+    for (const auto& [s, r] : rows)
+      if (s == slug) return r;
+    return SetResult{};
+  };
+
+  Table table({"policy", "in-set vs static %", "out-of-set vs static %",
+               "delta pp", "swaps in", "swaps out"});
+  const char* slugs[] = {"proposed", "hpe", "online_rls", "bandit", "oracle"};
+  for (const char* slug : slugs) {
+    const SetResult in = find(inset, slug);
+    const SetResult out = find(outset, slug);
+    table.row()
+        .cell(slug)
+        .cell(in.improvement_pct, 2)
+        .cell(out.improvement_pct, 2)
+        .cell(out.improvement_pct - in.improvement_pct, 2)
+        .cell(in.swaps, 1)
+        .cell(out.swaps, 1);
+  }
+  bench::emit("online_policy", table);
+
+  // Acceptance shape: offline degrades out-of-set; the best online learner
+  // recovers at least half the gap to the set-specific oracle.
+  const SetResult hpe_in = find(inset, "hpe");
+  const SetResult hpe_out = find(outset, "hpe");
+  const SetResult rls_out = find(outset, "online_rls");
+  const SetResult bandit_out = find(outset, "bandit");
+  const SetResult oracle_out = find(outset, "oracle");
+  const double online_best =
+      std::max(rls_out.improvement_pct, bandit_out.improvement_pct);
+  const double gap = oracle_out.improvement_pct - hpe_out.improvement_pct;
+  const double recovery =
+      gap > 0.1 ? (online_best - hpe_out.improvement_pct) / gap : 0.0;
+  const bool offline_degrades =
+      hpe_out.improvement_pct < hpe_in.improvement_pct;
+  const bool online_recovers = recovery >= 0.5;
+
+  // Bit-identity spot check on the first out-of-set pair: batched scalar,
+  // per-cycle, and a 4-wide lockstep lane must agree bit-for-bit for both
+  // online families (the fuzz suite covers this exhaustively; the bench
+  // records it next to the numbers it vouches for).
+  harness::ExperimentRunner per_cycle(ctx.scale);
+  per_cycle.set_batched_stepping(false);
+  bool bit_identical = true;
+  const harness::BenchmarkPair probe = outset_pairs.front();
+  const auto check_scheduler = [&](auto make) {
+    auto s_batched = make();
+    auto s_cycle = make();
+    auto s_lane = make();
+    const auto r_batched = runner.run_pair(probe, *s_batched);
+    const auto r_cycle = per_cycle.run_pair(probe, *s_cycle);
+    harness::LanePairJob job;
+    job.runner = &runner;
+    job.pair = probe;
+    job.scheduler = s_lane.get();
+    const auto r_lane =
+        harness::run_pair_jobs(std::span<const harness::LanePairJob>(&job, 1),
+                               /*lanes=*/4);
+    if (!identical(r_batched, r_cycle) ||
+        !identical(r_batched, r_lane.front()))
+      bit_identical = false;
+  };
+  check_scheduler([&] {
+    return std::make_unique<sched::OnlineRegressionScheduler>(rls_cfg);
+  });
+  check_scheduler(
+      [&] { return std::make_unique<sched::BanditSwapScheduler>(bandit_cfg); });
+
+  std::cout << "\noffline out-of-set delta: "
+            << hpe_out.improvement_pct - hpe_in.improvement_pct
+            << " pp  |  gap to set oracle: " << gap
+            << " pp  |  best-online recovery: " << recovery * 100.0
+            << " %  |  bit-identical: " << (bit_identical ? "yes" : "NO")
+            << "  (" << watch.seconds() << " s)\n";
+
+  std::ofstream json("BENCH_online.json");
+  if (json) {
+    json << "{\n"
+         << "  \"scale\": \"" << (env_paper_scale() ? "paper" : "ci")
+         << "\",\n"
+         << "  \"seed\": " << ctx.seed << ",\n"
+         << "  \"pairs\": " << inset_pairs.size() << ",\n"
+         << "  \"outset_pairs\": " << outset_pairs.size() << ",\n"
+         << "  \"heldout_benchmarks\": " << heldout.size() << ",\n"
+         << "  \"online_alpha\": " << rls_cfg.model.forgetting << ",\n"
+         << "  \"online_epsilon\": " << bandit_cfg.epsilon << ",\n"
+         << "  \"online_warmup\": " << rls_cfg.model.warmup << ",\n";
+    for (const char* slug : slugs) {
+      json << "  \"" << slug
+           << "_inset_improvement_pct\": " << find(inset, slug).improvement_pct
+           << ",\n"
+           << "  \"" << slug << "_outset_improvement_pct\": "
+           << find(outset, slug).improvement_pct << ",\n";
+    }
+    json << "  \"offline_outset_delta_pp\": "
+         << hpe_out.improvement_pct - hpe_in.improvement_pct << ",\n"
+         << "  \"offline_degrades_outset\": "
+         << (offline_degrades ? "true" : "false") << ",\n"
+         << "  \"oracle_gap_pp\": " << gap << ",\n"
+         << "  \"online_gap_recovery\": " << recovery << ",\n"
+         << "  \"online_recovers_half_gap\": "
+         << (online_recovers ? "true" : "false") << ",\n"
+         << "  \"online_bit_identical\": "
+         << (bit_identical ? "true" : "false") << "\n}\n";
+    std::cout << "wrote BENCH_online.json\n";
+  } else {
+    std::cerr << "[warn] cannot write BENCH_online.json\n";
+  }
+  return 0;
+}

@@ -8,6 +8,10 @@
 #     somewhere.
 #  2. Every `bench/<name>` referenced by README.md / DESIGN.md /
 #     EXPERIMENTS.md must exist as bench/<name>.cpp.
+#  3. Every scheduler family the service dispatches on (the
+#     `scheduler == "<name>"` literals in src/service/service.cpp) must
+#     appear as a backticked `<name>` token in DESIGN.md — i.e. in the
+#     policy table — so a new family can't ship without a docs entry.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,6 +55,18 @@ for doc in README.md DESIGN.md EXPERIMENTS.md; do
   done
 done
 
+# --- scheduler families dispatched by the service must be in DESIGN.md -
+sched_names=$(grep -hoE 'scheduler == "[a-z-]+"' src/service/service.cpp |
+  grep -oE '"[a-z-]+"' | tr -d '"' | sort -u)
+for s in $sched_names; do
+  if ! grep -qF "\`${s}\`" DESIGN.md; then
+    echo "check_docs: scheduler family \"${s}\" is dispatched by" \
+      "src/service/service.cpp but has no \`${s}\` entry in DESIGN.md" >&2
+    fail=1
+  fi
+done
+
 [ "$fail" -eq 0 ] || exit 1
 echo "check_docs: OK ($(echo "$code_knobs" | wc -l) knobs in sync," \
-  "bench references verified)"
+  "bench references verified," \
+  "$(echo "$sched_names" | wc -l) scheduler families documented)"

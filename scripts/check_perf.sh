@@ -71,6 +71,22 @@ else
   echo "check_perf: no $MULTI (run scalability_multicore to add the N-core report)"
 fi
 
+# Informational only (no gate): the online-vs-offline learner comparison,
+# when the online_policy bench has run in this directory. Reports whether
+# the offline fit degraded on the held-out set and how much of the oracle
+# gap the best online learner recovered.
+ONLINE=BENCH_online.json
+if [ -f "$ONLINE" ]; then
+  opairs=$(json_field "$ONLINE" pairs)
+  odeg=$(json_field "$ONLINE" offline_outset_delta_pp)
+  ogap=$(json_field "$ONLINE" oracle_gap_pp)
+  orec=$(json_field "$ONLINE" online_gap_recovery)
+  echo "check_perf: online-policy sweep present (${opairs:-?} pairs/set)"
+  echo "check_perf:   offline out-of-set delta ${odeg:-?}pp, oracle gap ${ogap:-?}pp, online recovery ${orec:-?}"
+else
+  echo "check_perf: no $ONLINE (run online_policy to add the learner report)"
+fi
+
 # Informational only (no gate): the open-system serving sweep, when the
 # open_system bench has run in this directory. Reports the tail latency and
 # migration shape of each scheduler family on the shared Poisson stream.

@@ -96,4 +96,24 @@ std::int64_t env_arrival_io_latency(std::int64_t fallback) {
   return env_int("AMPS_ARRIVAL_IO_LATENCY", fallback);
 }
 
+double env_online_alpha(double fallback) {
+  return env_double("AMPS_ONLINE_ALPHA", fallback);
+}
+
+double env_online_epsilon(double fallback) {
+  return env_double("AMPS_ONLINE_EPSILON", fallback);
+}
+
+std::int64_t env_online_warmup(std::int64_t fallback) {
+  return env_int("AMPS_ONLINE_WARMUP", fallback);
+}
+
+std::int64_t env_heldout_count(std::int64_t fallback) {
+  return env_int("AMPS_HELDOUT_COUNT", fallback);
+}
+
+std::int64_t env_heldout_chunk(std::int64_t fallback) {
+  return env_int("AMPS_HELDOUT_CHUNK", fallback);
+}
+
 }  // namespace amps

@@ -85,4 +85,22 @@ std::int64_t env_arrival_io_interval(std::int64_t fallback);
 /// Cycles blocked per modeled I/O stall (AMPS_ARRIVAL_IO_LATENCY).
 std::int64_t env_arrival_io_latency(std::int64_t fallback);
 
+// --- online-learning policies (core/online_model.hpp, bench/online_policy)
+
+/// RLS forgetting factor lambda in (0, 1] (AMPS_ONLINE_ALPHA).
+double env_online_alpha(double fallback);
+
+/// Bandit exploration rate epsilon in [0, 1] (AMPS_ONLINE_EPSILON).
+double env_online_epsilon(double fallback);
+
+/// Learner warmup: windows per RLS surface / forced-alternation bandit
+/// decisions before the learner may exploit (AMPS_ONLINE_WARMUP).
+std::int64_t env_online_warmup(std::int64_t fallback);
+
+/// Held-out benchmarks generated per sweep (AMPS_HELDOUT_COUNT).
+std::int64_t env_heldout_count(std::int64_t fallback);
+
+/// Data-parallel chunk size in instructions (AMPS_HELDOUT_CHUNK).
+std::int64_t env_heldout_chunk(std::int64_t fallback);
+
 }  // namespace amps

@@ -17,6 +17,7 @@ const char* to_string(Reason r) noexcept {
     case Reason::kBelowThreshold: return "below-threshold";
     case Reason::kVetoMemBound: return "veto-mem-bound";
     case Reason::kVetoHealthyIpc: return "veto-healthy-ipc";
+    case Reason::kColdModel: return "cold-model";
     case Reason::kRuleSwap: return "rule-swap";
     case Reason::kForcedSwap: return "forced-swap";
     case Reason::kEstimateSwap: return "estimate-swap";
@@ -26,6 +27,7 @@ const char* to_string(Reason r) noexcept {
     case Reason::kMorphEnter: return "morph-enter";
     case Reason::kMorphExit: return "morph-exit";
     case Reason::kAffinitySwap: return "affinity-swap";
+    case Reason::kExploreSwap: return "explore-swap";
     case Reason::kCount: break;
   }
   return "invalid";

@@ -43,6 +43,7 @@ enum class Reason : std::uint8_t {
   kBelowThreshold,    ///< estimator output at or below the swap threshold
   kVetoMemBound,      ///< §VII guard: rescued thread is memory-bound
   kVetoHealthyIpc,    ///< §VII guard: rescued thread already runs healthily
+  kColdModel,         ///< online learner still warming up; held the assignment
   // --- swap outcomes ---
   kRuleSwap,          ///< Fig. 5 rule 2 (majority of composition votes)
   kForcedSwap,        ///< rule 3 fairness swap after a quiet interval
@@ -53,6 +54,7 @@ enum class Reason : std::uint8_t {
   kMorphEnter,        ///< morphing: entered the strong/weak configuration
   kMorphExit,         ///< morphing: returned to the baseline INT/FP pair
   kAffinitySwap,      ///< N-core pairwise affinity repair
+  kExploreSwap,       ///< online learner exploration swap (warmup / epsilon)
   kCount
 };
 

@@ -1,0 +1,497 @@
+#include "core/online_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mathx/least_squares.hpp"
+
+namespace amps::sched {
+
+namespace {
+
+/// Same sane-range clamp the offline HPE models apply to their ratios.
+double clamp_ratio(double r) { return std::clamp(r, 0.05, 20.0); }
+
+bool all_finite(const std::vector<double>& v) {
+  for (double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+}  // namespace
+
+// ---- RlsModel ------------------------------------------------------------
+
+RlsModel::RlsModel(const RlsConfig& cfg)
+    : cfg_(cfg), terms_(mathx::poly2_num_terms(cfg.degree)) {
+  w_.assign(terms_, 0.0);
+  p_.assign(terms_ * terms_, 0.0);
+  for (std::size_t i = 0; i < terms_; ++i)
+    p_[i * terms_ + i] = cfg_.prior_variance;
+}
+
+bool RlsModel::observe(double x1, double x2, double y) {
+  if (!std::isfinite(x1) || !std::isfinite(x2) || !std::isfinite(y) ||
+      y <= 0.0) {
+    ++rejected_;
+    return false;
+  }
+  y = std::clamp(y, cfg_.min_target, cfg_.max_target);
+  const std::vector<double> x = mathx::poly2_features(x1, x2, cfg_.degree);
+
+  // px = P x; denom = lambda + x^T P x.
+  std::vector<double> px(terms_, 0.0);
+  for (std::size_t i = 0; i < terms_; ++i)
+    for (std::size_t j = 0; j < terms_; ++j)
+      px[i] += p_[i * terms_ + j] * x[j];
+  double denom = cfg_.forgetting;
+  for (std::size_t i = 0; i < terms_; ++i) denom += x[i] * px[i];
+  if (!std::isfinite(denom) || denom <= 1e-12) {
+    ++rejected_;
+    return false;
+  }
+
+  double err = y;
+  for (std::size_t i = 0; i < terms_; ++i) err -= w_[i] * x[i];
+
+  // Build the candidate state first: a sample that would blow the filter
+  // up (non-finite anywhere) is rejected wholesale, leaving w_/p_ intact.
+  std::vector<double> w_new = w_;
+  for (std::size_t i = 0; i < terms_; ++i)
+    w_new[i] += (px[i] / denom) * err;
+  std::vector<double> p_new(terms_ * terms_);
+  for (std::size_t i = 0; i < terms_; ++i)
+    for (std::size_t j = 0; j < terms_; ++j)
+      p_new[i * terms_ + j] =
+          (p_[i * terms_ + j] - (px[i] / denom) * px[j]) / cfg_.forgetting;
+  // Symmetrize: the update is symmetric in exact arithmetic; rounding drift
+  // left uncorrected eventually corrupts the gain direction.
+  for (std::size_t i = 0; i < terms_; ++i)
+    for (std::size_t j = i + 1; j < terms_; ++j) {
+      const double m =
+          0.5 * (p_new[i * terms_ + j] + p_new[j * terms_ + i]);
+      p_new[i * terms_ + j] = m;
+      p_new[j * terms_ + i] = m;
+    }
+  if (!all_finite(w_new) || !all_finite(p_new)) {
+    ++rejected_;
+    return false;
+  }
+
+  w_ = std::move(w_new);
+  p_ = std::move(p_new);
+  ++updates_;
+  return true;
+}
+
+double RlsModel::predict(double x1, double x2) const {
+  if (updates_ == 0 || !std::isfinite(x1) || !std::isfinite(x2)) return 0.0;
+  const std::vector<double> x = mathx::poly2_features(x1, x2, cfg_.degree);
+  double y = 0.0;
+  for (std::size_t i = 0; i < terms_; ++i) y += w_[i] * x[i];
+  return std::isfinite(y) ? y : 0.0;
+}
+
+// ---- OnlineIpwModel ------------------------------------------------------
+
+namespace {
+
+RlsConfig rls_config(const OnlineModelConfig& cfg) {
+  RlsConfig r;
+  r.degree = cfg.degree;
+  r.forgetting = cfg.forgetting;
+  return r;
+}
+
+}  // namespace
+
+OnlineIpwModel::OnlineIpwModel(const OnlineModelConfig& cfg)
+    : cfg_(cfg),
+      surfaces_{RlsModel(rls_config(cfg)), RlsModel(rls_config(cfg))} {}
+
+void OnlineIpwModel::observe(CoreKind kind, double int_pct, double fp_pct,
+                             double ipc_per_watt) {
+  // Same x/100 feature scaling the offline RegressionSurface fits on.
+  const double x1 = std::clamp(int_pct, 0.0, 100.0) / 100.0;
+  const double x2 = std::clamp(fp_pct, 0.0, 100.0) / 100.0;
+  surfaces_[static_cast<std::size_t>(kind)].observe(x1, x2, ipc_per_watt);
+}
+
+bool OnlineIpwModel::warm() const noexcept {
+  return surfaces_[0].updates() >= cfg_.warmup &&
+         surfaces_[1].updates() >= cfg_.warmup;
+}
+
+double OnlineIpwModel::predict_ratio(double int_pct, double fp_pct) const {
+  const double x1 = std::clamp(int_pct, 0.0, 100.0) / 100.0;
+  const double x2 = std::clamp(fp_pct, 0.0, 100.0) / 100.0;
+  const double on_int =
+      surfaces_[static_cast<std::size_t>(CoreKind::Int)].predict(x1, x2);
+  const double on_fp =
+      surfaces_[static_cast<std::size_t>(CoreKind::Fp)].predict(x1, x2);
+  // A cold or degenerate surface (non-positive prediction) yields the
+  // neutral ratio: estimate 1.0 on both cores, so nothing swaps on it.
+  if (!(on_int > 0.0) || !(on_fp > 0.0)) return 1.0;
+  return clamp_ratio(on_int / on_fp);
+}
+
+// ---- OnlineRegressionScheduler -------------------------------------------
+
+OnlineRegressionScheduler::OnlineRegressionScheduler(
+    const OnlineRegressionConfig& cfg)
+    : Scheduler("online-regression"),
+      cfg_(cfg),
+      model_(cfg.model),
+      monitors_{WindowMonitor(cfg.window_size),
+                WindowMonitor(cfg.window_size)} {}
+
+void OnlineRegressionScheduler::on_start(sim::DualCoreSystem& system) {
+  for (std::size_t i = 0; i < 2; ++i) {
+    sim::ThreadContext* t = system.thread_on(i);
+    monitors_[static_cast<std::size_t>(t->id())].reset(system, *t);
+  }
+  last_swap_ = system.now();
+  streak_ = 0;
+  cold_decisions_ = 0;
+  model_ = OnlineIpwModel(cfg_.model);
+}
+
+DecisionHint OnlineRegressionScheduler::next_decision_at(
+    const sim::DualCoreSystem& system) const {
+  const InstrCount budget = commits_until_window_boundary(monitors_, system);
+  if (budget == 0) return {system.now() + 1, kUnboundedCommits};
+  return {kNoPendingCycle, budget};
+}
+
+void OnlineRegressionScheduler::tick(sim::DualCoreSystem& system) {
+  if (system.swap_in_progress()) return;
+
+  bool new_window = false;
+  for (std::size_t i = 0; i < 2; ++i) {
+    sim::ThreadContext* t = system.thread_on(i);
+    if (auto s = monitors_[static_cast<std::size_t>(t->id())].poll(system,
+                                                                   *t)) {
+      new_window = true;
+      // Train the surface of the core kind the thread just ran on.
+      model_.observe(system.core(i).config().kind, s->int_pct, s->fp_pct,
+                     s->ipc_per_watt);
+    }
+  }
+  if (!new_window) return;
+  if (!monitors_[0].has_sample() || !monitors_[1].has_sample()) return;
+  if (system.now() - last_swap_ < cfg_.swap_cooldown) return;
+  count_decision();
+
+  trace::DecisionRecord rec;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const sim::ThreadContext* t = system.thread_on(i);
+    const WindowSample& s =
+        monitors_[static_cast<std::size_t>(t->id())].latest();
+    rec.int_pct[i] = static_cast<float>(s.int_pct);
+    rec.fp_pct[i] = static_cast<float>(s.fp_pct);
+  }
+
+  if (!model_.warm()) {
+    // Cold phase: the surfaces have only seen the starting assignment.
+    // A deterministic swap every explore_period decisions feeds each
+    // surface samples from the other core kind; everything else holds.
+    ++cold_decisions_;
+    if (cfg_.explore_period != 0 &&
+        cold_decisions_ % cfg_.explore_period == 0) {
+      do_swap(system);
+      last_swap_ = system.now();
+      rec.swapped = true;
+      rec.reason = trace::Reason::kExploreSwap;
+    } else {
+      rec.reason = trace::Reason::kColdModel;
+    }
+    record_decision(system, rec);
+    return;
+  }
+
+  // Warm phase: the HPE estimate rule against the learned surfaces.
+  double est[2] = {1.0, 1.0};
+  for (std::size_t i = 0; i < 2; ++i) {
+    const sim::ThreadContext* t = system.thread_on(i);
+    const WindowSample& s =
+        monitors_[static_cast<std::size_t>(t->id())].latest();
+    const double ratio = model_.predict_ratio(s.int_pct, s.fp_pct);
+    est[i] = system.core(i).config().kind == CoreKind::Int ? 1.0 / ratio
+                                                           : ratio;
+  }
+  const double est_weighted_speedup = 0.5 * (est[0] + est[1]);
+  rec.estimate = static_cast<float>(est_weighted_speedup);
+  if (est_weighted_speedup > cfg_.swap_speedup_threshold) {
+    // Hysteresis: the estimate must clear the threshold `persistence`
+    // decisions in a row — single crossings of a wobbling RLS estimate
+    // would otherwise thrash the assignment.
+    if (++streak_ >= cfg_.persistence) {
+      streak_ = 0;
+      do_swap(system);
+      last_swap_ = system.now();
+      rec.swapped = true;
+      rec.reason = trace::Reason::kEstimateSwap;
+    } else {
+      rec.reason = trace::Reason::kMajorityPending;
+    }
+  } else {
+    streak_ = 0;
+    rec.reason = trace::Reason::kBelowThreshold;
+  }
+  record_decision(system, rec);
+}
+
+// ---- BanditSwapScheduler -------------------------------------------------
+
+BanditSwapScheduler::BanditSwapScheduler(const BanditConfig& cfg)
+    : Scheduler("bandit-swap"),
+      cfg_(cfg),
+      monitors_{WindowMonitor(cfg.window_size),
+                WindowMonitor(cfg.window_size)},
+      prng_(cfg.seed) {}
+
+void BanditSwapScheduler::on_start(sim::DualCoreSystem& system) {
+  InstrCount committed = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    sim::ThreadContext* t = system.thread_on(i);
+    monitors_[static_cast<std::size_t>(t->id())].reset(system, *t);
+    committed += t->committed_total();
+  }
+  last_committed_ = committed;
+  last_energy_ = system.total_energy();
+  prng_.reseed(cfg_.seed);
+  arm_ = 0;
+  windows_since_decision_ = 0;
+  mean_[0] = mean_[1] = 0.0;
+  pulls_[0] = pulls_[1] = 0;
+}
+
+DecisionHint BanditSwapScheduler::next_decision_at(
+    const sim::DualCoreSystem& system) const {
+  const InstrCount budget = commits_until_window_boundary(monitors_, system);
+  if (budget == 0) return {system.now() + 1, kUnboundedCommits};
+  return {kNoPendingCycle, budget};
+}
+
+std::size_t BanditSwapScheduler::choose_next_arm(bool* explored) {
+  *explored = false;
+  // Forced alternation until every decision up to `warmup` sampled both
+  // assignments; decision_points() already counts the current decision.
+  if (decision_points() <= cfg_.warmup) {
+    *explored = true;
+    return arm_ ^ 1U;
+  }
+  if (cfg_.ucb) {
+    const double total = static_cast<double>(pulls_[0] + pulls_[1]);
+    double score[2];
+    for (std::size_t a = 0; a < 2; ++a) {
+      score[a] = pulls_[a] == 0
+                     ? std::numeric_limits<double>::infinity()
+                     : mean_[a] + cfg_.ucb_c *
+                                      std::sqrt(2.0 * std::log(total) /
+                                                static_cast<double>(
+                                                    pulls_[a]));
+    }
+    if (score[0] == score[1]) return arm_;
+    return score[1] > score[0] ? 1 : 0;
+  }
+  if (prng_.uniform() < cfg_.epsilon) {
+    *explored = true;
+    return static_cast<std::size_t>(prng_.below(2));
+  }
+  if (mean_[0] == mean_[1]) return arm_;
+  return mean_[1] > mean_[0] ? 1 : 0;
+}
+
+void BanditSwapScheduler::tick(sim::DualCoreSystem& system) {
+  if (system.swap_in_progress()) return;
+
+  bool new_window = false;
+  for (std::size_t i = 0; i < 2; ++i) {
+    sim::ThreadContext* t = system.thread_on(i);
+    if (monitors_[static_cast<std::size_t>(t->id())].poll(system, *t))
+      new_window = true;
+  }
+  if (!new_window) return;
+  if (!monitors_[0].has_sample() || !monitors_[1].has_sample()) return;
+  if (++windows_since_decision_ < cfg_.windows_per_decision) return;
+  windows_since_decision_ = 0;
+  count_decision();
+
+  // Bank the finished interval's measured IPC/Watt as the running arm's
+  // reward. Power is energy/cycles, so interval IPC/Watt reduces to
+  // instructions per unit energy.
+  const InstrCount committed =
+      system.thread_on(0)->committed_total() +
+      system.thread_on(1)->committed_total();
+  const Energy energy = system.total_energy();
+  const double dc = static_cast<double>(committed - last_committed_);
+  const double de = energy - last_energy_;
+  last_committed_ = committed;
+  last_energy_ = energy;
+  if (de > 1e-12 && std::isfinite(de)) {
+    const double reward = dc / de;
+    if (std::isfinite(reward)) {
+      ++pulls_[arm_];
+      mean_[arm_] += (reward - mean_[arm_]) / static_cast<double>(
+                                                  pulls_[arm_]);
+    }
+  }
+
+  trace::DecisionRecord rec;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const sim::ThreadContext* t = system.thread_on(i);
+    const WindowSample& s =
+        monitors_[static_cast<std::size_t>(t->id())].latest();
+    rec.int_pct[i] = static_cast<float>(s.int_pct);
+    rec.fp_pct[i] = static_cast<float>(s.fp_pct);
+  }
+  rec.estimate = static_cast<float>(mean_[1] - mean_[0]);
+
+  bool explored = false;
+  const std::size_t next = choose_next_arm(&explored);
+  const bool warming = decision_points() <= cfg_.warmup;
+  if (next != arm_) {
+    do_swap(system);
+    arm_ = next;
+    rec.swapped = true;
+    rec.reason = explored || warming ? trace::Reason::kExploreSwap
+                                     : trace::Reason::kEstimateSwap;
+  } else {
+    rec.reason = explored || warming ? trace::Reason::kColdModel
+                                     : trace::Reason::kBelowThreshold;
+  }
+  record_decision(system, rec);
+}
+
+// ---- MulticoreBanditScheduler --------------------------------------------
+
+MulticoreBanditScheduler::MulticoreBanditScheduler(
+    const MulticoreBanditConfig& cfg)
+    : NCoreScheduler("bandit-n"), cfg_(cfg), prng_(cfg.seed) {}
+
+void MulticoreBanditScheduler::on_start(sim::MulticoreSystem& system) {
+  next_ = system.now() + cfg_.interval;
+  rotate_pair_ = 0;
+  threads_.clear();
+  prng_.reseed(cfg_.seed);
+}
+
+MulticoreBanditScheduler::ThreadState& MulticoreBanditScheduler::state_for(
+    int thread_id) {
+  const auto idx = static_cast<std::size_t>(thread_id);
+  if (idx >= threads_.size()) threads_.resize(idx + 1);
+  return threads_[idx];
+}
+
+void MulticoreBanditScheduler::bank_rewards(
+    const sim::MulticoreSystem& system) {
+  for (std::size_t i = 0; i < system.num_cores(); ++i) {
+    if (system.migrating(i)) continue;
+    const sim::ThreadContext* t = system.thread_on(i);
+    if (t == nullptr) continue;
+    ThreadState& st = state_for(t->id());
+    const InstrCount c = t->committed_total();
+    const Energy e = t->energy();
+    if (st.primed) {
+      const double dc = static_cast<double>(c - st.last_committed);
+      const double de = e - st.last_energy;
+      if (de > 1e-12 && std::isfinite(de)) {
+        const double reward = dc / de;
+        if (std::isfinite(reward)) {
+          ArmStats& arm =
+              st.arms[static_cast<std::size_t>(system.core(i).config().kind)];
+          ++arm.pulls;
+          arm.mean += (reward - arm.mean) / static_cast<double>(arm.pulls);
+        }
+      }
+    }
+    st.last_committed = c;
+    st.last_energy = e;
+    st.primed = true;
+  }
+}
+
+void MulticoreBanditScheduler::tick(sim::MulticoreSystem& system) {
+  if (system.now() < next_) return;
+  next_ += cfg_.interval;
+  bank_rewards(system);
+  ++decisions_;
+
+  trace::DecisionRecord rec;
+  rec.cycle = system.now();
+  rec.seq = trace_.summary().windows;
+
+  std::vector<std::size_t> int_cores, fp_cores;
+  for (std::size_t i = 0; i < system.num_cores(); ++i) {
+    if (system.migrating(i) || system.thread_on(i) == nullptr) continue;
+    (system.core(i).config().kind == CoreKind::Int ? int_cores : fp_cores)
+        .push_back(i);
+  }
+  if (int_cores.empty() || fp_cores.empty()) {
+    rec.reason = trace::Reason::kNone;
+    trace_.record(rec);
+    return;
+  }
+
+  std::size_t a = 0, b = 0;
+  bool found = false, explore = false;
+  if (decisions_ <= cfg_.warmup) {
+    // Forced rotation: every thread collects samples on both core kinds.
+    a = int_cores[rotate_pair_ % int_cores.size()];
+    b = fp_cores[rotate_pair_ % fp_cores.size()];
+    ++rotate_pair_;
+    found = true;
+    explore = true;
+  } else if (prng_.uniform() < cfg_.epsilon) {
+    a = int_cores[prng_.below(int_cores.size())];
+    b = fp_cores[prng_.below(fp_cores.size())];
+    found = true;
+    explore = true;
+  } else {
+    // Exploit: the (INT-core, FP-core) pair whose crossed placement has
+    // the best predicted aggregate reward, by the per-thread arm means.
+    double best = 0.0;
+    for (const std::size_t ai : int_cores) {
+      for (const std::size_t bi : fp_cores) {
+        const ThreadState& ta = state_for(system.thread_on(ai)->id());
+        const ThreadState& tb = state_for(system.thread_on(bi)->id());
+        const ArmStats& ta_int =
+            ta.arms[static_cast<std::size_t>(CoreKind::Int)];
+        const ArmStats& ta_fp =
+            ta.arms[static_cast<std::size_t>(CoreKind::Fp)];
+        const ArmStats& tb_int =
+            tb.arms[static_cast<std::size_t>(CoreKind::Int)];
+        const ArmStats& tb_fp =
+            tb.arms[static_cast<std::size_t>(CoreKind::Fp)];
+        if (ta_int.pulls == 0 || ta_fp.pulls == 0 || tb_int.pulls == 0 ||
+            tb_fp.pulls == 0)
+          continue;
+        const double cur = ta_int.mean + tb_fp.mean;
+        const double alt = ta_fp.mean + tb_int.mean;
+        if (cur > 0.0 && alt > cfg_.margin * cur && alt - cur > best) {
+          best = alt - cur;
+          a = ai;
+          b = bi;
+          found = true;
+        }
+      }
+    }
+    rec.estimate = static_cast<float>(best);
+  }
+
+  if (!found) {
+    rec.reason = trace::Reason::kNone;
+    trace_.record(rec);
+    return;
+  }
+  system.swap_threads(a, b);
+  ++swaps_;
+  rec.swapped = true;
+  rec.reason =
+      explore ? trace::Reason::kExploreSwap : trace::Reason::kEstimateSwap;
+  trace_.record(rec);
+}
+
+}  // namespace amps::sched

@@ -1,0 +1,279 @@
+// Online-learning predictors (ROADMAP "online-learning predictors and new
+// policy families", DESIGN.md §13). The paper's HPE schedulers freeze an
+// offline profile of 9 benchmarks (Fig. 3 matrix / Fig. 4 regression); the
+// two families here learn the cross-core IPC/Watt model *during* the run
+// from the same window-monitor counters, so they keep working on workloads
+// the profiling set never saw:
+//
+//  * OnlineRegressionScheduler — one recursive-least-squares surface per
+//    core kind maps instruction composition to IPC/Watt; once both surfaces
+//    are warm it swaps exactly like the HPE estimate rule, before that it
+//    explores on a fixed deterministic cadence to gather cross-core samples.
+//  * BanditSwapScheduler — model-free two-armed bandit over the two thread
+//    assignments (swapped / not swapped), rewarded with the measured
+//    interval IPC/Watt; epsilon-greedy or UCB1 arm selection.
+//  * MulticoreBanditScheduler — the N-core generalization: per-thread arm
+//    statistics per core *kind*, pairwise exploit swaps, epsilon-greedy
+//    exploration (Navarro-style allocation learned from run feedback).
+//
+// All three honor the batched-stepping contract: decisions happen only at
+// window boundaries (or fixed intervals), and next_decision_at() depends
+// only on the window geometry — never on model temperature — so the hints
+// stay conservative while the model is cold (DESIGN.md §13.4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "core/global_affinity.hpp"  // NCoreScheduler
+#include "core/monitor.hpp"
+#include "core/scheduler.hpp"
+
+namespace amps::sched {
+
+/// Recursive least squares over the full bivariate polynomial basis of
+/// (x1, x2) (the same basis mathx::fit_poly2 uses), with exponential
+/// forgetting. Every update is O(terms^2) with no matrix inversion:
+///
+///   k = P x / (lambda + x^T P x)
+///   w <- w + k (y - w^T x)
+///   P <- (P - k x^T P) / lambda
+///
+/// Guards (tested): non-finite or non-positive targets are rejected,
+/// targets are clamped into [min_target, max_target], and an update that
+/// would leave any coefficient or covariance entry non-finite is rolled
+/// back entirely. predict() always returns a finite value.
+struct RlsConfig {
+  int degree = 2;
+  /// Forgetting factor lambda in (0, 1]: 1 weights all history equally,
+  /// smaller values track phase changes faster at the cost of variance.
+  double forgetting = 0.98;
+  /// Initial covariance diagonal (prior uncertainty of the coefficients).
+  double prior_variance = 100.0;
+  double min_target = 1e-6;
+  double max_target = 1e6;
+};
+
+class RlsModel {
+ public:
+  explicit RlsModel(const RlsConfig& cfg = {});
+
+  /// Folds one observation in; returns false when the sample was rejected
+  /// by the guards (state is unchanged in that case).
+  bool observe(double x1, double x2, double y);
+
+  /// Current fit evaluated at (x1, x2); finite for any finite input, 0.0
+  /// before the first accepted observation.
+  [[nodiscard]] double predict(double x1, double x2) const;
+
+  [[nodiscard]] std::uint64_t updates() const noexcept { return updates_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
+    return w_;
+  }
+
+ private:
+  RlsConfig cfg_;
+  std::size_t terms_;
+  std::vector<double> w_;  ///< coefficients
+  std::vector<double> p_;  ///< covariance, terms_ x terms_ row-major
+  std::uint64_t updates_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+/// The online counterpart of the HPE offline models: one RLS surface per
+/// core kind predicting IPC/Watt from window composition. Each closed
+/// window trains the surface of the core the thread was running on; the
+/// cross-core ratio divides the two surface predictions, clamped to the
+/// same sane range the offline models use.
+struct OnlineModelConfig {
+  int degree = 2;
+  double forgetting = 0.98;      ///< AMPS_ONLINE_ALPHA
+  std::uint64_t warmup = 48;     ///< accepted windows per surface before warm
+};
+
+class OnlineIpwModel {
+ public:
+  explicit OnlineIpwModel(const OnlineModelConfig& cfg = {});
+
+  void observe(CoreKind kind, double int_pct, double fp_pct,
+               double ipc_per_watt);
+
+  /// Both surfaces have absorbed at least `warmup` windows.
+  [[nodiscard]] bool warm() const noexcept;
+
+  /// Predicted INT-core / FP-core IPC/Watt ratio for the composition —
+  /// the same semantics as HpePredictionModel::predict_ratio, clamped to
+  /// [0.05, 20] and finite even on a cold or degenerate model.
+  [[nodiscard]] double predict_ratio(double int_pct, double fp_pct) const;
+
+  [[nodiscard]] const RlsModel& surface(CoreKind kind) const noexcept {
+    return surfaces_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] const OnlineModelConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  OnlineModelConfig cfg_;
+  std::array<RlsModel, 2> surfaces_;  // indexed by CoreKind
+};
+
+/// Window-granular scheduler around OnlineIpwModel. Cold phase: hold the
+/// assignment (cold-model records) except for one deterministic exploration
+/// swap every `explore_period` decisions, which feeds both surfaces samples
+/// from both core kinds. Warm phase: the HPE estimate rule against the
+/// learned surfaces (estimate-swap / below-threshold records).
+struct OnlineRegressionConfig {
+  InstrCount window_size = 1000;
+  OnlineModelConfig model;
+  double swap_speedup_threshold = 1.05;
+  /// Longer than the oracle's: the learned surfaces keep moving, so the
+  /// estimate needs room to settle between swaps on top of `persistence`.
+  Cycles swap_cooldown = 20'000;
+  /// Cold-phase exploration cadence: swap on every Nth decision while the
+  /// model is not yet warm (must be >= 1). Each exploration flips the
+  /// assignment until the next one, so both surfaces accumulate samples at
+  /// both compositions before warm; the period trades coverage against the
+  /// cost of running a trap pair inverted.
+  std::uint64_t explore_period = 8;
+  /// Hysteresis: consecutive over-threshold decisions required before a
+  /// warm-phase swap fires. RLS estimates wobble window to window, and
+  /// decisions fire on *either* thread's window closure (roughly twice per
+  /// window), so this should cover ~persistence/2 windows of wobble or
+  /// off-composition phase (e.g. a chunked loop's sync windows).
+  std::uint64_t persistence = 8;
+};
+
+class OnlineRegressionScheduler final : public Scheduler {
+ public:
+  explicit OnlineRegressionScheduler(const OnlineRegressionConfig& cfg = {});
+
+  void on_start(sim::DualCoreSystem& system) override;
+  void tick(sim::DualCoreSystem& system) override;
+  /// Window-boundary driven, exactly like the oracle: the hint depends only
+  /// on monitor geometry, so it is conservative at any model temperature.
+  [[nodiscard]] DecisionHint next_decision_at(
+      const sim::DualCoreSystem& system) const override;
+
+  [[nodiscard]] const OnlineIpwModel& model() const noexcept { return model_; }
+  [[nodiscard]] const OnlineRegressionConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  OnlineRegressionConfig cfg_;
+  OnlineIpwModel model_;
+  WindowMonitor monitors_[2];
+  Cycles last_swap_ = 0;
+  std::uint64_t cold_decisions_ = 0;
+  std::uint64_t streak_ = 0;  ///< consecutive over-threshold decisions
+};
+
+/// Model-free two-armed bandit over the dual-core thread assignment. Arm 0
+/// is the starting assignment, arm 1 the swapped one; every
+/// `windows_per_decision` closed windows the scheduler banks the measured
+/// interval IPC/Watt as the current arm's reward, then picks the next arm:
+/// forced alternation for the first `warmup` decisions, after that
+/// epsilon-greedy (or UCB1 when `ucb` is set) on the running means. All
+/// randomness comes from a Prng seeded by `seed`, so runs are
+/// bit-reproducible per seed.
+struct BanditConfig {
+  InstrCount window_size = 1000;
+  /// Reward horizon: windows between decisions (must be >= 1).
+  std::uint64_t windows_per_decision = 8;
+  double epsilon = 0.1;          ///< AMPS_ONLINE_EPSILON
+  bool ucb = false;              ///< UCB1 instead of epsilon-greedy
+  double ucb_c = 0.5;            ///< UCB exploration scale
+  std::uint64_t warmup = 8;      ///< forced-alternation decisions
+  std::uint64_t seed = 2012;
+};
+
+class BanditSwapScheduler final : public Scheduler {
+ public:
+  explicit BanditSwapScheduler(const BanditConfig& cfg = {});
+
+  void on_start(sim::DualCoreSystem& system) override;
+  void tick(sim::DualCoreSystem& system) override;
+  [[nodiscard]] DecisionHint next_decision_at(
+      const sim::DualCoreSystem& system) const override;
+
+  [[nodiscard]] const BanditConfig& config() const noexcept { return cfg_; }
+  /// Mean interval IPC/Watt observed under arm (0 = starting assignment).
+  [[nodiscard]] double arm_mean(std::size_t arm) const noexcept {
+    return mean_[arm];
+  }
+  [[nodiscard]] std::uint64_t arm_pulls(std::size_t arm) const noexcept {
+    return pulls_[arm];
+  }
+
+ private:
+  [[nodiscard]] std::size_t choose_next_arm(bool* explored);
+
+  BanditConfig cfg_;
+  WindowMonitor monitors_[2];
+  amps::Prng prng_;
+  std::size_t arm_ = 0;  ///< parity of swaps: which assignment is running
+  std::uint64_t windows_since_decision_ = 0;
+  double mean_[2] = {0.0, 0.0};
+  std::uint64_t pulls_[2] = {0, 0};
+  InstrCount last_committed_ = 0;
+  Energy last_energy_ = 0.0;
+};
+
+/// N-core epsilon-greedy learner: per-thread reward statistics per core
+/// *kind* (interval instructions per unit energy while the thread sat on an
+/// INT vs FP core). Each decision interval it banks rewards, then either
+/// explores (forced rotation during warmup, epsilon-random INT/FP pair
+/// after) or exploits by swapping the (INT-core, FP-core) thread pair with
+/// the best predicted aggregate gain. Plugs into the same
+/// NCoreScheduler/MulticoreRunner paths as the affinity scheme.
+struct MulticoreBanditConfig {
+  Cycles interval = 18'750;     ///< decision interval (ci: csi / 8)
+  double epsilon = 0.1;          ///< AMPS_ONLINE_EPSILON
+  std::uint64_t warmup = 6;      ///< forced-rotation decisions
+  /// Exploit swaps require predicted_new > margin * predicted_current.
+  double margin = 1.02;
+  std::uint64_t seed = 2012;
+};
+
+class MulticoreBanditScheduler final : public NCoreScheduler {
+ public:
+  explicit MulticoreBanditScheduler(const MulticoreBanditConfig& cfg = {});
+
+  void on_start(sim::MulticoreSystem& system) override;
+  void tick(sim::MulticoreSystem& system) override;
+  [[nodiscard]] DecisionHint next_decision_at(
+      const sim::MulticoreSystem& /*system*/) const override {
+    return {next_, kUnboundedCommits};
+  }
+
+  [[nodiscard]] const MulticoreBanditConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  struct ArmStats {
+    double mean = 0.0;
+    std::uint64_t pulls = 0;
+  };
+  struct ThreadState {
+    InstrCount last_committed = 0;
+    Energy last_energy = 0.0;
+    bool primed = false;
+    ArmStats arms[2];  // indexed by CoreKind
+  };
+
+  void bank_rewards(const sim::MulticoreSystem& system);
+  ThreadState& state_for(int thread_id);
+
+  MulticoreBanditConfig cfg_;
+  amps::Prng prng_;
+  Cycles next_ = 0;
+  std::size_t rotate_pair_ = 0;
+  std::vector<ThreadState> threads_;  // indexed by ThreadId
+};
+
+}  // namespace amps::sched

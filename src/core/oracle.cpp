@@ -15,6 +15,7 @@ void OracleScheduler::on_start(sim::DualCoreSystem& system) {
     monitors_[static_cast<std::size_t>(t->id())].reset(system, *t);
   }
   last_swap_ = system.now();
+  streak_ = 0;
 }
 
 DecisionHint OracleScheduler::next_decision_at(
@@ -53,11 +54,17 @@ void OracleScheduler::tick(sim::DualCoreSystem& system) {
   const double est_weighted_speedup = 0.5 * (est[0] + est[1]);
   rec.estimate = static_cast<float>(est_weighted_speedup);
   if (est_weighted_speedup > cfg_.swap_speedup_threshold) {
-    do_swap(system);
-    last_swap_ = system.now();
-    rec.swapped = true;
-    rec.reason = trace::Reason::kEstimateSwap;
+    if (++streak_ >= cfg_.persistence) {
+      streak_ = 0;
+      do_swap(system);
+      last_swap_ = system.now();
+      rec.swapped = true;
+      rec.reason = trace::Reason::kEstimateSwap;
+    } else {
+      rec.reason = trace::Reason::kMajorityPending;
+    }
   } else {
+    streak_ = 0;
     rec.reason = trace::Reason::kBelowThreshold;
   }
   record_decision(system, rec);

@@ -17,6 +17,12 @@ struct OracleConfig {
   /// Minimum cycles between swaps (prevents degenerate thrash when the
   /// predictor sits exactly at the threshold).
   Cycles swap_cooldown = 5'000;
+  /// Hysteresis: consecutive over-threshold windows required before a swap
+  /// fires. 1 (the default) reproduces the undamped single-window rule;
+  /// larger values filter short off-composition phases (e.g. a chunked
+  /// loop's synchronization windows) the same way the proposed scheme's
+  /// majority vote does.
+  std::uint64_t persistence = 1;
 };
 
 class OracleScheduler final : public Scheduler {
@@ -35,6 +41,7 @@ class OracleScheduler final : public Scheduler {
   OracleConfig cfg_;
   WindowMonitor monitors_[2];
   Cycles last_swap_ = 0;
+  std::uint64_t streak_ = 0;  ///< consecutive over-threshold windows
 };
 
 }  // namespace amps::sched

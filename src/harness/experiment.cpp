@@ -218,6 +218,49 @@ SchedulerFactory ExperimentRunner::static_factory() const {
           CacheKey("static").text()};
 }
 
+SchedulerFactory ExperimentRunner::online_regression_factory() const {
+  sched::OnlineRegressionConfig cfg;
+  cfg.window_size = scale_.window_size;
+  return online_regression_factory(cfg);
+}
+
+SchedulerFactory ExperimentRunner::online_regression_factory(
+    const sched::OnlineRegressionConfig& cfg) const {
+  CacheKey key("online-regression");
+  key.add("window", cfg.window_size);
+  key.add("degree", static_cast<std::uint64_t>(cfg.model.degree));
+  key.add("alpha", cfg.model.forgetting);
+  key.add("warmup", cfg.model.warmup);
+  key.add("threshold", cfg.swap_speedup_threshold);
+  key.add("cooldown", cfg.swap_cooldown);
+  key.add("explore", cfg.explore_period);
+  key.add("persist", cfg.persistence);
+  return {[cfg] {
+            return std::make_unique<sched::OnlineRegressionScheduler>(cfg);
+          },
+          key.text()};
+}
+
+SchedulerFactory ExperimentRunner::bandit_factory() const {
+  sched::BanditConfig cfg;
+  cfg.window_size = scale_.window_size;
+  return bandit_factory(cfg);
+}
+
+SchedulerFactory ExperimentRunner::bandit_factory(
+    const sched::BanditConfig& cfg) const {
+  CacheKey key("bandit-swap");
+  key.add("window", cfg.window_size);
+  key.add("horizon", cfg.windows_per_decision);
+  key.add("epsilon", cfg.epsilon);
+  key.add("ucb", static_cast<std::uint64_t>(cfg.ucb));
+  key.add("ucb_c", cfg.ucb_c);
+  key.add("warmup", cfg.warmup);
+  key.add("seed", cfg.seed);
+  return {[cfg] { return std::make_unique<sched::BanditSwapScheduler>(cfg); },
+          key.text()};
+}
+
 sched::HpeModels ExperimentRunner::build_models(
     const wl::BenchmarkCatalog& catalog) const {
   sched::ProfilerConfig cfg;

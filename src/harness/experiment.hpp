@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/hpe.hpp"
+#include "core/online_model.hpp"
 #include "core/scheduler.hpp"
 #include "harness/sampler.hpp"
 #include "metrics/run_result.hpp"
@@ -108,6 +109,15 @@ class ExperimentRunner {
   [[nodiscard]] SchedulerFactory round_robin_factory(
       int interval_multiplier = 1) const;
   [[nodiscard]] SchedulerFactory static_factory() const;
+  /// Online RLS learner at this scale (window size from the scale preset;
+  /// everything else from the config defaults).
+  [[nodiscard]] SchedulerFactory online_regression_factory() const;
+  [[nodiscard]] SchedulerFactory online_regression_factory(
+      const sched::OnlineRegressionConfig& cfg) const;
+  /// Two-armed assignment bandit at this scale.
+  [[nodiscard]] SchedulerFactory bandit_factory() const;
+  [[nodiscard]] SchedulerFactory bandit_factory(
+      const sched::BanditConfig& cfg) const;
 
   /// Fits the HPE models once at this scale (profiling the nine
   /// representative benchmarks).

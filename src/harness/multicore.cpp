@@ -385,6 +385,26 @@ NCoreSchedulerFactory MulticoreRunner::static_factory() const {
           CacheKey("static-n").text()};
 }
 
+NCoreSchedulerFactory MulticoreRunner::bandit_factory() const {
+  sched::MulticoreBanditConfig cfg;
+  cfg.interval = std::max<Cycles>(1, scale_.context_switch_interval / 8);
+  return bandit_factory(cfg);
+}
+
+NCoreSchedulerFactory MulticoreRunner::bandit_factory(
+    const sched::MulticoreBanditConfig& cfg) const {
+  CacheKey key("bandit-n");
+  key.add("interval", cfg.interval);
+  key.add("epsilon", cfg.epsilon);
+  key.add("warmup", cfg.warmup);
+  key.add("margin", cfg.margin);
+  key.add("seed", cfg.seed);
+  return {[cfg] {
+            return std::make_unique<sched::MulticoreBanditScheduler>(cfg);
+          },
+          key.text()};
+}
+
 std::vector<MulticoreWorkload> sample_workloads(
     const wl::BenchmarkCatalog& catalog, std::size_t num_threads, int count,
     std::uint64_t seed) {

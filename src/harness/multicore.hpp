@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/global_affinity.hpp"
+#include "core/online_model.hpp"
 #include "metrics/open_result.hpp"
 #include "metrics/run_result.hpp"
 #include "sim/core_config.hpp"
@@ -135,6 +136,11 @@ class MulticoreRunner {
   [[nodiscard]] NCoreSchedulerFactory round_robin_factory(
       int interval_multiplier = 1) const;
   [[nodiscard]] NCoreSchedulerFactory static_factory() const;
+  /// N-core epsilon-greedy learner (interval defaults to an eighth of the
+  /// context-switch interval at this scale).
+  [[nodiscard]] NCoreSchedulerFactory bandit_factory() const;
+  [[nodiscard]] NCoreSchedulerFactory bandit_factory(
+      const sched::MulticoreBanditConfig& cfg) const;
 
   /// RunCache key for one (workload, keyed factory) run.
   [[nodiscard]] CacheKey run_cache_key(

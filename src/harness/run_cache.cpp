@@ -236,11 +236,13 @@ bool deserialize(std::istream& in, std::vector<sched::ProfileSample>* out) {
 //    the old entries at once instead of serving results from a different
 //    build of the simulator.
 
-// v4: adds the generation stamp line (shared-store epoch). v3 added
-// MulticoreRunResult entries (kind "multi"); v2 added the decision-trace
-// summary fields to PairRunResult. Old files fail the header check below
-// and are recomputed cleanly.
-constexpr std::string_view kFileHeader = "amps-run-cache v4";
+// v5: the decision-reason taxonomy grew the online-learning entries
+// (cold-model, explore-swap), changing the length of the per-reason count
+// arrays serialized below. v4 added the generation stamp line (shared-store
+// epoch); v3 added MulticoreRunResult entries (kind "multi"); v2 added the
+// decision-trace summary fields to PairRunResult. Old files fail the header
+// check below and are recomputed cleanly.
+constexpr std::string_view kFileHeader = "amps-run-cache v5";
 
 std::filesystem::path cache_dir() {
   const char* dir = std::getenv("AMPS_CACHE_DIR");

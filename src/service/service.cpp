@@ -352,6 +352,10 @@ bool SimulationService::pair_factory_for(const Request& req,
                                   ? static_cast<sched::HpePredictionModel&>(
                                         *models.matrix)
                                   : *models.regression);
+  } else if (scheduler == "online-regression") {
+    *out = runner.online_regression_factory();
+  } else if (scheduler == "bandit") {
+    *out = runner.bandit_factory();
   } else {
     *error_response = make_error_response(
         req.id, "bad_request", false, "unknown scheduler '" + scheduler + "'");
@@ -371,6 +375,8 @@ bool SimulationService::multicore_factory_for(
     *out = runner.round_robin_factory();
   } else if (scheduler == "static") {
     *out = runner.static_factory();
+  } else if (scheduler == "bandit") {
+    *out = runner.bandit_factory();
   } else {
     *error_response = make_error_response(
         req.id, "bad_request", false, "unknown scheduler '" + scheduler + "'");

@@ -1,0 +1,180 @@
+#include "workload/heldout.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "common/prng.hpp"
+#include "workload/builder.hpp"
+
+namespace amps::wl {
+
+namespace {
+
+/// Catalog convention: stream seeds derive from the name, so adding or
+/// reordering generated benchmarks never perturbs existing streams.
+BenchmarkSpec finish(BenchmarkSpec spec) {
+  spec.seed = stable_hash(spec.name.c_str());
+  std::string why;
+  if (!spec.validate(&why))
+    throw std::logic_error("heldout generator built invalid spec '" +
+                           spec.name + "': " + why);
+  return spec;
+}
+
+// The pool exploits two measured properties of the offline fit (profiled
+// on this machine, see bench/online_policy and EXPERIMENTS.md):
+//  * mid-band FP tilts carry real but *moderate* cross-core ratios
+//    (~0.80-0.86 at fp 38-48%) that the nine's extreme anchors represent
+//    tolerably, and
+//  * large-working-set mid-FP streams are ratio-neutral in truth (~1.0)
+//    while the offline surface exaggerates them to ~0.25 — its worst
+//    wrong-side region.
+// Couples alternate two shapes: GAIN couples (strong-FP + INT-heavy, both
+// starting on the wrong core) that every competent policy fixes with one
+// swap, and TRAP couples (neutral memory decoy + strong-FP, statically
+// optimal) where the offline rule's exaggerated decoy prediction inverts
+// the ranking and swaps the pair into a truly worse assignment.
+
+/// Strong mid-band FP tilt: fp 38-48%, high ILP, cache-resident.
+struct Tilt {
+  double fp;
+  double ilp;
+};
+
+Tilt draw_strong(Prng& rng) {
+  return {rng.uniform(0.38, 0.48), rng.uniform(6.5, 8.5)};
+}
+
+/// Steady strong-FP mix: two same-direction phases, long dwells.
+BenchmarkSpec make_mix(int k, Prng& rng) {
+  const Tilt t = draw_strong(rng);
+  const double off = rng.uniform(0.14, 0.20);
+  const double mem = rng.uniform(0.10, 0.16);
+  const auto ws = static_cast<std::uint64_t>(rng.uniform(8.0, 32.0)) << 10;
+  const double dwell = rng.uniform(80'000.0, 200'000.0);
+  return WorkloadBuilder("heldout-mix-" + std::to_string(k))
+      .mixed_phase("lead", off, t.fp, mem, ws)
+      .dwell(dwell, 0.2)
+      .dependencies(3.0, t.ilp)
+      .mixed_phase("tail", off, t.fp * rng.uniform(0.85, 0.95), mem, ws)
+      .dwell(dwell * rng.uniform(0.6, 1.2), 0.2)
+      .dependencies(3.0, t.ilp)
+      .build();
+}
+
+/// Strong-FP major phase with composition-neutral service interludes kept
+/// shorter than the swap hysteresis, so learners filter them as noise.
+BenchmarkSpec make_bursty(int k, Prng& rng) {
+  const Tilt t = draw_strong(rng);
+  const double major = rng.uniform(50'000.0, 100'000.0);
+  const double minor = rng.uniform(2'000.0, 4'000.0);
+  return WorkloadBuilder("heldout-burst-" + std::to_string(k))
+      .fp_phase("major", t.fp, 0.12, 16 << 10)
+      .dwell(major, 0.15)
+      .dependencies(3.0, t.ilp)
+      .mixed_phase("service", 0.24, 0.24, 0.15, 8 << 10)
+      .dwell(minor, 0.15)
+      .build();
+}
+
+/// One worker of a chunked data-parallel loop (see data_parallel_pair);
+/// drawn strong-FP variant for the generated pool.
+BenchmarkSpec make_chunked(int k, Prng& rng) {
+  const Tilt t = draw_strong(rng);
+  const double chunk = rng.uniform(12'000.0, 40'000.0);
+  return WorkloadBuilder("heldout-chunk-" + std::to_string(k))
+      .mixed_phase("chunk", 0.16, t.fp, 0.15, 48 << 10)
+      .dwell(chunk, 0.05)
+      .dependencies(3.0, t.ilp)
+      .int_phase("sync", 0.40, 0.05, 4 << 10)
+      .dwell(chunk * rng.uniform(0.04, 0.10), 0.05)
+      .build();
+}
+
+/// GAIN-couple partner: cache-resident INT-heavy, high ILP — the strong
+/// integer datapath's home turf, misassigned when started on the FP core.
+BenchmarkSpec make_int_heavy(int k, Prng& rng) {
+  const double frac = rng.uniform(0.55, 0.68);
+  const double ilp = rng.uniform(6.0, 8.5);
+  const auto ws = static_cast<std::uint64_t>(rng.uniform(8.0, 32.0)) << 10;
+  return WorkloadBuilder("heldout-int-" + std::to_string(k))
+      .int_phase("crunch", frac, rng.uniform(0.10, 0.18), ws)
+      .dwell(rng.uniform(80'000.0, 200'000.0), 0.2)
+      .dependencies(ilp, 3.0)
+      .build();
+}
+
+/// TRAP-couple decoy: large-working-set mid-FP stream. Truth: L2 pressure
+/// equalizes the cores (ratio ~1). The offline surface predicts a huge FP
+/// benefit here — exactly the wrong-side exaggeration the trap measures.
+BenchmarkSpec make_decoy(int k, Prng& rng) {
+  const double fp = rng.uniform(0.22, 0.28);
+  const double mem = rng.uniform(0.22, 0.32);
+  const auto ws = static_cast<std::uint64_t>(rng.uniform(256.0, 512.0)) << 10;
+  return WorkloadBuilder("heldout-mem-" + std::to_string(k))
+      .mixed_phase("stream", 0.16, fp, mem, ws)
+      .dwell(rng.uniform(80'000.0, 180'000.0), 0.2)
+      .dependencies(3.0, rng.uniform(4.0, 5.5))
+      .mixed_phase("reduce", 0.16, fp * rng.uniform(0.85, 0.95), mem, ws)
+      .dwell(rng.uniform(60'000.0, 140'000.0), 0.2)
+      .dependencies(3.0, rng.uniform(4.0, 5.5))
+      .build();
+}
+
+BenchmarkSpec make_strong(int couple, int k, Prng& rng) {
+  switch (couple % 3) {
+    case 0: return make_mix(k, rng);
+    case 1: return make_bursty(k, rng);
+    default: return make_chunked(k, rng);
+  }
+}
+
+}  // namespace
+
+std::vector<BenchmarkSpec> heldout_benchmarks(const HeldoutConfig& cfg) {
+  Prng rng(cfg.seed);
+  std::vector<BenchmarkSpec> out;
+  out.reserve(static_cast<std::size_t>(cfg.count > 0 ? cfg.count : 0));
+  for (int i = 0; i < cfg.count; ++i) {
+    const int couple = i / 2;
+    const bool first = (i % 2) == 0;
+    if (couple % 3 == 0) {
+      // GAIN couple: (strong-FP, INT-heavy) — consumed as an adjacent pair
+      // with the strong-FP member starting on the INT core, both threads
+      // begin on their worse core; one swap collects a large true gain.
+      out.push_back(
+          finish(first ? make_strong(couple, i, rng) : make_int_heavy(i, rng)));
+    } else {
+      // TRAP couple: (memory decoy, strong-FP) — the static assignment is
+      // already truth-optimal; only a model fooled by the decoy swaps.
+      out.push_back(
+          finish(first ? make_decoy(i, rng) : make_strong(couple, i, rng)));
+    }
+  }
+  return out;
+}
+
+std::pair<BenchmarkSpec, BenchmarkSpec> data_parallel_pair(
+    const DataParallelConfig& cfg) {
+  const double small_chunk = static_cast<double>(cfg.chunk);
+  const double big_chunk = small_chunk * cfg.asymmetry_ratio;
+  const auto worker = [&cfg](const std::string& suffix, double chunk) {
+    // Chunk bodies are regular loops: tight jitter, high ILP, a short sync
+    // phase of bookkeeping/spin (INT, serial, tiny footprint) at each
+    // boundary. The boundary phase is sized from the worker's own cadence
+    // so both workers spend comparable instruction *fractions* per
+    // rendezvous.
+    return finish(WorkloadBuilder(cfg.name + "-" + suffix)
+                      .mixed_phase("chunk", cfg.int_frac, cfg.fp_frac,
+                                   cfg.mem_frac, cfg.working_set)
+                      .dwell(chunk, 0.05)
+                      .dependencies(3.0, 5.5)
+                      .int_phase("sync", 0.55, 0.05, 4 << 10)
+                      .dwell(chunk * cfg.sync_frac, 0.05)
+                      .dependencies(2.5, 4.0)
+                      .build());
+  };
+  return {worker("big", big_chunk), worker("small", small_chunk)};
+}
+
+}  // namespace amps::wl

@@ -1,0 +1,68 @@
+// Held-out workload generator (DESIGN.md §13.5): parameterized synthetic
+// benchmarks deliberately *outside* the 9-benchmark profiling set the
+// offline HPE models are fit on. The draw ranges target the regions where
+// the frozen offline surface is least trustworthy — the FP-leaning mid
+// band it exaggerates (profiled here: predicted ~0.5 where the truth is
+// ~0.85) and large-working-set streams it calls strongly FP-biased when
+// L2 pressure actually equalizes the cores (predicted ~0.25, truth ~1.0).
+// Benchmarks come in adjacent-index couples of two alternating shapes:
+// GAIN couples (strong-FP member first, INT-heavy second — both start on
+// their worse core, so one swap collects a large true gain) and TRAP
+// couples (ratio-neutral memory decoy first, strong-FP second — already
+// truth-optimal, so any swap is a pure loss). A model fooled by the
+// decoy's exaggerated prediction inverts the trap pairs; a calibrated
+// in-run model fixes the gain pairs and leaves the traps alone
+// (bench/online_policy measures exactly that).
+//
+// Also provides a Saez-style data-parallel pair: two workers splitting a
+// chunked parallel loop with asymmetry-aware chunk distribution (the
+// big-core worker receives proportionally larger chunks so both workers
+// reach the synchronization boundary together).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "workload/benchmark.hpp"
+
+namespace amps::wl {
+
+struct HeldoutConfig {
+  /// Number of benchmarks to generate (AMPS_HELDOUT_COUNT).
+  int count = 8;
+  /// Parameter-draw seed; the per-benchmark stream seeds still derive from
+  /// the names (catalog convention), so two generators with the same seed
+  /// produce bit-identical specs.
+  std::uint64_t seed = 101;
+};
+
+/// Generates `count` validated specs named "heldout-<archetype>-<k>" —
+/// names disjoint from every catalog entry. Deterministic per config.
+std::vector<BenchmarkSpec> heldout_benchmarks(const HeldoutConfig& cfg);
+
+struct DataParallelConfig {
+  std::string name = "heldout-dp";
+  /// Chunk size in instructions handed to the small-core worker per loop
+  /// iteration block (AMPS_HELDOUT_CHUNK).
+  std::uint64_t chunk = 20'000;
+  /// Big-core worker's chunk scale: its chunks are `asymmetry_ratio` times
+  /// larger, matching the cores' expected throughput ratio so the workers
+  /// finish their chunks together (Saez's asymmetry-aware distribution).
+  double asymmetry_ratio = 1.5;
+  /// Synchronization-boundary phase length relative to the chunk.
+  double sync_frac = 0.1;
+  /// Loop-body composition (FP-leaning so core placement matters).
+  double fp_frac = 0.35;
+  double int_frac = 0.25;
+  double mem_frac = 0.2;
+  std::uint64_t working_set = 96 * 1024;
+};
+
+/// Two workers of one chunked data-parallel loop: first = the big-chunk
+/// worker (intended for the strong core), second = the small-chunk worker.
+std::pair<BenchmarkSpec, BenchmarkSpec> data_parallel_pair(
+    const DataParallelConfig& cfg);
+
+}  // namespace amps::wl

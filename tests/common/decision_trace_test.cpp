@@ -44,6 +44,8 @@ TEST(DecisionTrace, ReasonNamesAreStableAndTotal) {
   EXPECT_STREQ(to_string(Reason::kMorphEnter), "morph-enter");
   EXPECT_STREQ(to_string(Reason::kMorphExit), "morph-exit");
   EXPECT_STREQ(to_string(Reason::kAffinitySwap), "affinity-swap");
+  EXPECT_STREQ(to_string(Reason::kColdModel), "cold-model");
+  EXPECT_STREQ(to_string(Reason::kExploreSwap), "explore-swap");
   // Every enumerator below kCount has a real name.
   for (std::size_t i = 0; i < kReasonCount; ++i)
     EXPECT_STRNE(to_string(static_cast<Reason>(i)), "invalid");
@@ -60,6 +62,8 @@ TEST(DecisionTrace, SwapAndNoSwapReasonsAreDisjoint) {
   EXPECT_TRUE(is_swap_reason(Reason::kEstimateSwap));
   EXPECT_TRUE(is_swap_reason(Reason::kIntervalSwap));
   EXPECT_TRUE(is_swap_reason(Reason::kAffinitySwap));
+  EXPECT_FALSE(is_swap_reason(Reason::kColdModel));
+  EXPECT_TRUE(is_swap_reason(Reason::kExploreSwap));
 }
 
 TEST(DecisionTrace, SummaryIsMaintainedEvenWhenDisarmed) {

@@ -1,0 +1,365 @@
+// Tests for the online-learning predictor subsystem (core/online_model.hpp):
+// RLS filter convergence and input guards, the per-core-kind IPC/Watt model,
+// and the determinism / stepping-contract properties of the two online
+// scheduler families.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "common/trace.hpp"
+#include "core/online_model.hpp"
+#include "harness/experiment.hpp"
+#include "harness/multicore.hpp"
+#include "workload/benchmark.hpp"
+
+namespace amps::sched {
+namespace {
+
+/// Arms ring recording for the test body; restores disarmed on exit.
+class ArmGuard {
+ public:
+  ArmGuard() { trace::DecisionTrace::force_arm(true); }
+  ~ArmGuard() { trace::DecisionTrace::force_arm(false); }
+};
+
+void expect_same_trace(const trace::DecisionTrace& a,
+                       const trace::DecisionTrace& b) {
+  const auto& ra = a.records();
+  const auto& rb = b.records();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].cycle, rb[i].cycle) << "record " << i;
+    EXPECT_EQ(ra[i].seq, rb[i].seq) << "record " << i;
+    EXPECT_EQ(ra[i].reason, rb[i].reason) << "record " << i;
+    EXPECT_EQ(ra[i].swapped, rb[i].swapped) << "record " << i;
+    EXPECT_EQ(ra[i].estimate, rb[i].estimate) << "record " << i;
+  }
+}
+
+// ---- RlsModel ------------------------------------------------------------
+
+TEST(RlsModel, ConvergesToSyntheticQuadratic) {
+  // y = 2 + 3 x1 - x2 + 0.5 x1^2 + x1 x2 + 4 (shifted positive so targets
+  // pass the y > 0 guard).
+  const auto truth = [](double x1, double x2) {
+    return 6.0 + 3.0 * x1 - x2 + 0.5 * x1 * x1 + x1 * x2;
+  };
+  RlsConfig cfg;
+  cfg.forgetting = 1.0;  // stationary target: no forgetting
+  RlsModel model(cfg);
+  Prng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    const double x1 = rng.uniform(0.0, 1.0);
+    const double x2 = rng.uniform(0.0, 1.0);
+    ASSERT_TRUE(model.observe(x1, x2, truth(x1, x2)));
+  }
+  EXPECT_EQ(model.updates(), 400u);
+  EXPECT_EQ(model.rejected(), 0u);
+  // The prior covariance regularizes toward zero, so convergence is to a
+  // small residual, not machine epsilon.
+  for (double x1 = 0.0; x1 <= 1.0; x1 += 0.25)
+    for (double x2 = 0.0; x2 <= 1.0; x2 += 0.25)
+      EXPECT_NEAR(model.predict(x1, x2), truth(x1, x2), 0.01)
+          << "at (" << x1 << ", " << x2 << ")";
+}
+
+TEST(RlsModel, RejectsNonFiniteAndNonPositiveTargets) {
+  RlsModel model;
+  ASSERT_TRUE(model.observe(0.3, 0.4, 1.5));
+  const std::vector<double> before = model.coefficients();
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(model.observe(0.3, 0.4, nan));
+  EXPECT_FALSE(model.observe(0.3, 0.4, inf));
+  EXPECT_FALSE(model.observe(0.3, 0.4, -inf));
+  EXPECT_FALSE(model.observe(0.3, 0.4, 0.0));
+  EXPECT_FALSE(model.observe(0.3, 0.4, -2.0));
+  EXPECT_FALSE(model.observe(nan, 0.4, 1.0));
+  EXPECT_FALSE(model.observe(0.3, inf, 1.0));
+  EXPECT_EQ(model.rejected(), 7u);
+  EXPECT_EQ(model.updates(), 1u);
+  // Rejected samples leave the filter untouched.
+  EXPECT_EQ(model.coefficients(), before);
+}
+
+TEST(RlsModel, ClampsExtremeTargetsInsteadOfDiverging) {
+  RlsConfig cfg;
+  cfg.max_target = 100.0;
+  RlsModel model(cfg);
+  for (int i = 0; i < 50; ++i)
+    ASSERT_TRUE(model.observe(0.5, 0.5, 1e12));  // clamped to 100
+  EXPECT_NEAR(model.predict(0.5, 0.5), 100.0, 1.0);
+}
+
+TEST(RlsModel, PredictionIsAlwaysFinite) {
+  RlsModel model;
+  EXPECT_EQ(model.predict(0.5, 0.5), 0.0);  // cold: no observations yet
+  Prng rng(11);
+  for (int i = 0; i < 100; ++i)
+    model.observe(rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0),
+                  rng.uniform(0.1, 10.0));
+  for (double x : {-1e6, -1.0, 0.0, 1.0, 1e6, 1e12})
+    EXPECT_TRUE(std::isfinite(model.predict(x, -x))) << "at x=" << x;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(model.predict(nan, 0.5), 0.0);
+  EXPECT_EQ(model.predict(0.5, nan), 0.0);
+}
+
+// ---- OnlineIpwModel ------------------------------------------------------
+
+TEST(OnlineIpwModel, ColdModelPredictsNeutralRatio) {
+  OnlineIpwModel model;
+  EXPECT_FALSE(model.warm());
+  EXPECT_EQ(model.predict_ratio(40.0, 20.0), 1.0);
+  // One surface warm, the other cold: still neutral (never divides by a
+  // cold surface's zero prediction).
+  for (int i = 0; i < 100; ++i)
+    model.observe(CoreKind::Int, 40.0, 20.0, 2.0);
+  EXPECT_FALSE(model.warm());
+  EXPECT_EQ(model.predict_ratio(40.0, 20.0), 1.0);
+}
+
+TEST(OnlineIpwModel, WarmsAfterBothSurfacesReachWarmup) {
+  OnlineModelConfig cfg;
+  cfg.warmup = 10;
+  OnlineIpwModel model(cfg);
+  for (int i = 0; i < 10; ++i) {
+    model.observe(CoreKind::Int, 40.0, 20.0, 3.0);
+    model.observe(CoreKind::Fp, 40.0, 20.0, 2.0);
+  }
+  EXPECT_TRUE(model.warm());
+  // INT surface sits at ~3, FP at ~2: ratio ~1.5, inside the clamp range.
+  EXPECT_NEAR(model.predict_ratio(40.0, 20.0), 1.5, 0.1);
+}
+
+TEST(OnlineIpwModel, RatioStaysClampedOnDegenerateSurfaces) {
+  OnlineModelConfig cfg;
+  cfg.warmup = 1;
+  OnlineIpwModel model(cfg);
+  model.observe(CoreKind::Int, 40.0, 20.0, 1e6);
+  model.observe(CoreKind::Fp, 40.0, 20.0, 1e-6);
+  for (double i : {0.0, 40.0, 100.0})
+    for (double f : {0.0, 30.0, 100.0}) {
+      const double r = model.predict_ratio(i, f);
+      EXPECT_TRUE(std::isfinite(r));
+      EXPECT_GE(r, 0.05);
+      EXPECT_LE(r, 20.0);
+    }
+}
+
+// ---- scheduler families --------------------------------------------------
+
+sim::SimScale small_scale() {
+  sim::SimScale s;
+  s.context_switch_interval = 15'000;
+  s.run_length = 40'000;
+  return s;
+}
+
+void expect_identical(const metrics::PairRunResult& a,
+                      const metrics::PairRunResult& b) {
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.swap_count, b.swap_count);
+  EXPECT_EQ(a.decision_points, b.decision_points);
+  EXPECT_EQ(a.total_energy, b.total_energy);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(a.threads[i].committed, b.threads[i].committed);
+    EXPECT_EQ(a.threads[i].cycles, b.threads[i].cycles);
+    EXPECT_EQ(a.threads[i].swaps, b.threads[i].swaps);
+  }
+}
+
+class OnlineSchedulerTest : public ::testing::Test {
+ protected:
+  OnlineSchedulerTest() : pairs_(harness::sample_pairs(catalog_, 2, 5)) {}
+
+  OnlineRegressionConfig rls_config() const {
+    OnlineRegressionConfig cfg;
+    cfg.model.warmup = 6;  // reach the warm phase within the short run
+    return cfg;
+  }
+
+  BanditConfig bandit_config() const {
+    BanditConfig cfg;
+    cfg.warmup = 4;
+    cfg.seed = 77;
+    return cfg;
+  }
+
+  wl::BenchmarkCatalog catalog_;
+  std::vector<harness::BenchmarkPair> pairs_;
+};
+
+TEST_F(OnlineSchedulerTest, RegressionIsDeterministicPerConfig) {
+  ArmGuard armed;
+  const harness::ExperimentRunner runner(small_scale());
+  for (const auto& pair : pairs_) {
+    OnlineRegressionScheduler s1(rls_config());
+    OnlineRegressionScheduler s2(rls_config());
+    const auto a = runner.run_pair(pair, s1);
+    const auto b = runner.run_pair(pair, s2);
+    expect_identical(a, b);
+    expect_same_trace(s1.decision_trace(), s2.decision_trace());
+  }
+}
+
+TEST_F(OnlineSchedulerTest, BanditIsDeterministicPerSeed) {
+  ArmGuard armed;
+  const harness::ExperimentRunner runner(small_scale());
+  for (const auto& pair : pairs_) {
+    BanditSwapScheduler s1(bandit_config());
+    BanditSwapScheduler s2(bandit_config());
+    const auto a = runner.run_pair(pair, s1);
+    const auto b = runner.run_pair(pair, s2);
+    expect_identical(a, b);
+    expect_same_trace(s1.decision_trace(), s2.decision_trace());
+  }
+}
+
+TEST_F(OnlineSchedulerTest, ColdModelNeverEstimateSwaps) {
+  ArmGuard armed;
+  const harness::ExperimentRunner runner(small_scale());
+  OnlineRegressionConfig cfg;
+  cfg.model.warmup = 1u << 30;  // never warms within the run
+  OnlineRegressionScheduler sched(cfg);
+  (void)runner.run_pair(pairs_[0], sched);
+  EXPECT_GT(sched.decision_trace().records().size(), 0u);
+  for (const auto& rec : sched.decision_trace().records()) {
+    EXPECT_NE(rec.reason, trace::Reason::kEstimateSwap);
+    EXPECT_TRUE(rec.reason == trace::Reason::kColdModel ||
+                rec.reason == trace::Reason::kExploreSwap)
+        << to_string(rec.reason);
+  }
+  EXPECT_FALSE(sched.model().warm());
+}
+
+TEST_F(OnlineSchedulerTest, RegressionReachesWarmPhaseOnLongRuns) {
+  ArmGuard armed;
+  const harness::ExperimentRunner runner(small_scale());
+  OnlineRegressionScheduler sched(rls_config());
+  (void)runner.run_pair(pairs_[0], sched);
+  EXPECT_TRUE(sched.model().warm());
+  bool saw_warm_reason = false;
+  for (const auto& rec : sched.decision_trace().records())
+    if (rec.reason == trace::Reason::kBelowThreshold ||
+        rec.reason == trace::Reason::kEstimateSwap ||
+        rec.reason == trace::Reason::kMajorityPending)
+      saw_warm_reason = true;
+  EXPECT_TRUE(saw_warm_reason);
+}
+
+TEST_F(OnlineSchedulerTest, BanditAlternatesArmsDuringWarmup) {
+  const harness::ExperimentRunner runner(small_scale());
+  BanditConfig cfg = bandit_config();
+  cfg.windows_per_decision = 2;
+  BanditSwapScheduler sched(cfg);
+  (void)runner.run_pair(pairs_[0], sched);
+  // Forced alternation guarantees both arms were pulled.
+  EXPECT_GT(sched.arm_pulls(0), 0u);
+  EXPECT_GT(sched.arm_pulls(1), 0u);
+  EXPECT_GT(sched.arm_mean(0), 0.0);
+  EXPECT_GT(sched.arm_mean(1), 0.0);
+}
+
+TEST_F(OnlineSchedulerTest, BatchedSteppingBitIdenticalToPerCycle) {
+  ArmGuard armed;
+  harness::ExperimentRunner batched(small_scale());
+  harness::ExperimentRunner per_cycle(small_scale());
+  per_cycle.set_batched_stepping(false);
+  for (const auto& pair : pairs_) {
+    {
+      OnlineRegressionScheduler s1(rls_config());
+      OnlineRegressionScheduler s2(rls_config());
+      const auto a = batched.run_pair(pair, s1);
+      const auto b = per_cycle.run_pair(pair, s2);
+      expect_identical(a, b);
+      expect_same_trace(s1.decision_trace(), s2.decision_trace());
+    }
+    {
+      BanditSwapScheduler s1(bandit_config());
+      BanditSwapScheduler s2(bandit_config());
+      const auto a = batched.run_pair(pair, s1);
+      const auto b = per_cycle.run_pair(pair, s2);
+      expect_identical(a, b);
+      expect_same_trace(s1.decision_trace(), s2.decision_trace());
+    }
+  }
+}
+
+TEST_F(OnlineSchedulerTest, SchedulerIsReusableAcrossRuns) {
+  // on_start must fully reset the *learned* state: the second run through
+  // one scheduler instance simulates exactly like a fresh instance. (The
+  // base-class decision counters and trace ring intentionally accumulate
+  // across runs, so only the simulation outputs are compared, plus the
+  // trace suffix the second run appended.)
+  ArmGuard armed;
+  const harness::ExperimentRunner runner(small_scale());
+  OnlineRegressionScheduler reused(rls_config());
+  (void)runner.run_pair(pairs_[0], reused);
+  const auto second = runner.run_pair(pairs_[0], reused);
+  OnlineRegressionScheduler fresh(rls_config());
+  const auto reference = runner.run_pair(pairs_[0], fresh);
+
+  EXPECT_EQ(second.total_cycles, reference.total_cycles);
+  EXPECT_EQ(second.swap_count, reference.swap_count);
+  EXPECT_EQ(second.total_energy, reference.total_energy);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(second.threads[i].committed, reference.threads[i].committed);
+    EXPECT_EQ(second.threads[i].cycles, reference.threads[i].cycles);
+    EXPECT_EQ(second.threads[i].swaps, reference.threads[i].swaps);
+  }
+  const auto& all = reused.decision_trace().records();
+  const auto& ref = fresh.decision_trace().records();
+  ASSERT_EQ(all.size(), 2 * ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const auto& a = all[ref.size() + i];
+    EXPECT_EQ(a.cycle, ref[i].cycle) << "record " << i;
+    EXPECT_EQ(a.reason, ref[i].reason) << "record " << i;
+    EXPECT_EQ(a.swapped, ref[i].swapped) << "record " << i;
+    EXPECT_EQ(a.estimate, ref[i].estimate) << "record " << i;
+  }
+}
+
+TEST(MulticoreBandit, RunsOnFourCoresAndLearns) {
+  const wl::BenchmarkCatalog catalog;
+  const harness::MulticoreRunner runner =
+      harness::MulticoreRunner::canonical(small_scale(), 4);
+  const auto workloads = harness::sample_workloads(catalog, 4, 1, 13);
+  MulticoreBanditConfig cfg;
+  cfg.interval = 5'000;
+  cfg.seed = 33;
+  MulticoreBanditScheduler sched(cfg);
+  const auto result = runner.run(workloads[0], sched);
+  EXPECT_EQ(result.scheduler, "bandit-n");
+  ASSERT_EQ(result.num_threads(), 4u);
+  EXPECT_GT(result.total_energy, 0.0);
+  for (const auto& t : result.threads) EXPECT_GT(t.committed, 0u);
+  EXPECT_GT(sched.decision_points(), 0u);
+}
+
+TEST(MulticoreBandit, DeterministicPerSeed) {
+  const wl::BenchmarkCatalog catalog;
+  const harness::MulticoreRunner runner =
+      harness::MulticoreRunner::canonical(small_scale(), 4);
+  const auto workloads = harness::sample_workloads(catalog, 4, 1, 13);
+  MulticoreBanditConfig cfg;
+  cfg.interval = 5'000;
+  cfg.seed = 33;
+  MulticoreBanditScheduler s1(cfg);
+  MulticoreBanditScheduler s2(cfg);
+  const auto a = runner.run(workloads[0], s1);
+  const auto b = runner.run(workloads[0], s2);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.swap_count, b.swap_count);
+  EXPECT_EQ(a.total_energy, b.total_energy);
+  for (std::size_t i = 0; i < a.num_threads(); ++i)
+    EXPECT_EQ(a.threads[i].committed, b.threads[i].committed);
+}
+
+}  // namespace
+}  // namespace amps::sched

@@ -16,6 +16,7 @@
 
 #include "core/extended.hpp"
 #include "core/morphing.hpp"
+#include "core/online_model.hpp"
 #include "core/oracle.hpp"
 #include "core/proposed.hpp"
 #include "core/round_robin.hpp"
@@ -124,6 +125,18 @@ std::vector<std::pair<std::string, MakeScheduler>> all_schedulers(
   morph.swap_overhead = scale.swap_overhead;
   out.emplace_back("morphing", [morph] {
     return std::make_unique<sched::MorphScheduler>(morph);
+  });
+  sched::OnlineRegressionConfig online;
+  online.window_size = scale.window_size;
+  online.model.warmup = 6;  // reach the warm phase within the short run
+  out.emplace_back("online-regression", [online] {
+    return std::make_unique<sched::OnlineRegressionScheduler>(online);
+  });
+  sched::BanditConfig bandit;
+  bandit.window_size = scale.window_size;
+  bandit.warmup = 4;
+  out.emplace_back("bandit", [bandit] {
+    return std::make_unique<sched::BanditSwapScheduler>(bandit);
   });
   return out;
 }

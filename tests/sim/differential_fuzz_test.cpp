@@ -20,6 +20,7 @@
 #include "core/extended.hpp"
 #include "core/global_affinity.hpp"
 #include "core/hpe.hpp"
+#include "core/online_model.hpp"
 #include "core/proposed.hpp"
 #include "core/round_robin.hpp"
 #include "harness/experiment.hpp"
@@ -139,10 +140,13 @@ class ArmGuard {
 struct FuzzConfig {
   SimScale scale;
   harness::BenchmarkPair pair;
-  int family = 0;  ///< 0 proposed, 1 extended, 2 round-robin, 3 HPE
+  int family = 0;  ///< 0 proposed, 1 extended, 2 round-robin, 3 HPE,
+                   ///< 4 online-regression, 5 bandit
   int rr_multiplier = 1;
   double hpe_threshold = 1.05;
   bool hpe_matrix = false;
+  std::uint64_t online_seed = 2012;
+  std::uint64_t online_warmup = 4;
   std::string label;
 };
 
@@ -162,16 +166,22 @@ FuzzConfig draw_config(std::mt19937_64& rng, const wl::BenchmarkCatalog& cat) {
   c.pair = harness::sample_pairs(
       cat, 1, std::uniform_int_distribution<std::uint64_t>(0, 1u << 20)(rng))
                .front();
-  c.family = std::uniform_int_distribution<int>(0, 3)(rng);
+  c.family = std::uniform_int_distribution<int>(0, 5)(rng);
   c.rr_multiplier = std::uniform_int_distribution<int>(1, 2)(rng);
   c.hpe_threshold = 1.0 + 0.01 * std::uniform_int_distribution<int>(0, 15)(rng);
   c.hpe_matrix = std::uniform_int_distribution<int>(0, 1)(rng) != 0;
+  c.online_seed = std::uniform_int_distribution<std::uint64_t>(1, 1u << 16)(rng);
+  // Short fuzz runs (12k-25k instructions) only reach the warm phase with a
+  // small warmup, which is the interesting regime to cross the axes.
+  c.online_warmup = std::uniform_int_distribution<std::uint64_t>(2, 6)(rng);
   c.label = harness::pair_label(c.pair) + " family=" +
             std::to_string(c.family) +
             " csi=" + std::to_string(c.scale.context_switch_interval) +
             " runlen=" + std::to_string(c.scale.run_length) +
             " window=" + std::to_string(c.scale.window_size) +
-            " history=" + std::to_string(c.scale.history_depth);
+            " history=" + std::to_string(c.scale.history_depth) +
+            " oseed=" + std::to_string(c.online_seed) +
+            " owarm=" + std::to_string(c.online_warmup);
   return c;
 }
 
@@ -196,6 +206,21 @@ std::unique_ptr<sched::Scheduler> make_scheduler(
       return std::make_unique<sched::RoundRobinScheduler>(
           c.scale.context_switch_interval *
           static_cast<Cycles>(c.rr_multiplier));
+    case 4: {
+      sched::OnlineRegressionConfig cfg;
+      cfg.window_size = c.scale.window_size;
+      cfg.model.warmup = c.online_warmup;
+      cfg.swap_speedup_threshold = c.hpe_threshold;
+      return std::make_unique<sched::OnlineRegressionScheduler>(cfg);
+    }
+    case 5: {
+      sched::BanditConfig cfg;
+      cfg.window_size = c.scale.window_size;
+      cfg.warmup = c.online_warmup;
+      cfg.ucb = c.hpe_matrix;  // cross both arm-selection rules
+      cfg.seed = c.online_seed;
+      return std::make_unique<sched::BanditSwapScheduler>(cfg);
+    }
     default: {
       sched::HpeConfig cfg;
       cfg.decision_interval = c.scale.context_switch_interval;
@@ -314,10 +339,10 @@ TEST(DifferentialFuzz, TraceReplayMatchesLiveGeneration) {
   const std::string dir = ::testing::TempDir() + "amps_difffuzz_traces";
   std::filesystem::remove_all(dir);
   std::mt19937_64 rng(0xA3C5'0007);
-  for (int i = 0; i < 8; ++i) {
+  for (int i = 0; i < 12; ++i) {
     FuzzConfig cfg = draw_config(rng, catalog);
-    cfg.family = i % 4;        // every scheduler family crosses the axis
-    const bool fast = i < 4;   // ... on both engines
+    cfg.family = i % 6;        // every scheduler family crosses the axis
+    const bool fast = i < 6;   // ... on both engines
     SCOPED_TRACE("config " + std::to_string(i) + " fast=" +
                  std::to_string(fast) + ": " + cfg.label);
 
@@ -503,7 +528,7 @@ TEST(DifferentialFuzz, LaneVsScalarBitIdentityPair) {
   std::vector<harness::LanePairJob> jobs;
   for (int i = 0; i < kConfigs; ++i) {
     FuzzConfig cfg = draw_config(rng, catalog);
-    cfg.family = i % 4;  // every scheduler family crosses the axis
+    cfg.family = i % 6;  // every scheduler family crosses the axis
     runners.push_back(std::make_unique<harness::ExperimentRunner>(cfg.scale));
     scalar_scheds.push_back(make_scheduler(cfg, models));
     scalar_results.push_back(

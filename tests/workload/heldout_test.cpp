@@ -1,0 +1,136 @@
+// Tests for the held-out workload generator (workload/heldout.hpp): the
+// out-of-profiling-set pool bench/online_policy evaluates online learners
+// against.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "workload/heldout.hpp"
+
+namespace amps::wl {
+namespace {
+
+TEST(HeldoutBenchmarks, GeneratesRequestedCountOfValidSpecs) {
+  HeldoutConfig cfg;
+  cfg.count = 14;
+  const auto specs = heldout_benchmarks(cfg);
+  ASSERT_EQ(specs.size(), 14u);
+  for (const auto& spec : specs) {
+    std::string why;
+    EXPECT_TRUE(spec.validate(&why)) << spec.name << ": " << why;
+    EXPECT_GT(spec.num_phases(), 0u);
+  }
+}
+
+TEST(HeldoutBenchmarks, NamesAreUniqueAndDisjointFromCatalog) {
+  const BenchmarkCatalog catalog;
+  const auto specs = heldout_benchmarks({});
+  std::set<std::string> names;
+  for (const auto& spec : specs) {
+    EXPECT_TRUE(names.insert(spec.name).second)
+        << "duplicate name " << spec.name;
+    EXPECT_FALSE(catalog.contains(spec.name))
+        << spec.name << " collides with a catalog benchmark";
+  }
+}
+
+TEST(HeldoutBenchmarks, DeterministicPerSeed) {
+  HeldoutConfig cfg;
+  cfg.count = 10;
+  cfg.seed = 123;
+  const auto a = heldout_benchmarks(cfg);
+  const auto b = heldout_benchmarks(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    ASSERT_EQ(a[i].num_phases(), b[i].num_phases());
+    for (std::size_t p = 0; p < a[i].num_phases(); ++p) {
+      EXPECT_EQ(a[i].phases[p].dwell_mean, b[i].phases[p].dwell_mean);
+      EXPECT_EQ(a[i].phases[p].working_set, b[i].phases[p].working_set);
+      EXPECT_EQ(a[i].phases[p].mix.int_fraction(), b[i].phases[p].mix.int_fraction());
+      EXPECT_EQ(a[i].phases[p].mix.fp_fraction(), b[i].phases[p].mix.fp_fraction());
+    }
+  }
+}
+
+TEST(HeldoutBenchmarks, DifferentSeedsDrawDifferentParameters) {
+  HeldoutConfig a_cfg, b_cfg;
+  a_cfg.seed = 1;
+  b_cfg.seed = 2;
+  const auto a = heldout_benchmarks(a_cfg);
+  const auto b = heldout_benchmarks(b_cfg);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t p = 0;
+         p < std::min(a[i].num_phases(), b[i].num_phases()); ++p)
+      if (a[i].phases[p].dwell_mean != b[i].phases[p].dwell_mean)
+        any_different = true;
+  EXPECT_TRUE(any_different);
+}
+
+TEST(HeldoutBenchmarks, CouplesAlternateGainAndTrapShapes) {
+  HeldoutConfig cfg;
+  cfg.count = 12;  // six couples: gain at couple 0 and 3, traps elsewhere
+  const auto specs = heldout_benchmarks(cfg);
+  ASSERT_EQ(specs.size(), 12u);
+  for (int couple = 0; couple < 6; ++couple) {
+    const auto& first = specs[static_cast<std::size_t>(2 * couple)];
+    const auto& second = specs[static_cast<std::size_t>(2 * couple + 1)];
+    if (couple % 3 == 0) {
+      // GAIN couple: strong-FP member first, INT-heavy partner second.
+      EXPECT_GE(first.average_mix().fp_fraction(), 0.30) << first.name;
+      EXPECT_GE(second.average_mix().int_fraction(), 0.50) << second.name;
+    } else {
+      // TRAP couple: ratio-neutral large-working-set decoy first (its mem
+      // pressure is what equalizes the cores), strong-FP member second.
+      EXPECT_EQ(first.name.rfind("heldout-mem-", 0), 0u) << first.name;
+      EXPECT_GE(first.phases[0].working_set, 256u * 1024u) << first.name;
+      EXPECT_GE(second.average_mix().fp_fraction(), 0.30) << second.name;
+    }
+  }
+}
+
+TEST(HeldoutBenchmarks, ZeroAndNegativeCountsYieldEmptyPool) {
+  HeldoutConfig cfg;
+  cfg.count = 0;
+  EXPECT_TRUE(heldout_benchmarks(cfg).empty());
+  cfg.count = -3;
+  EXPECT_TRUE(heldout_benchmarks(cfg).empty());
+}
+
+TEST(DataParallelPair, ChunksFollowTheAsymmetryRatio) {
+  DataParallelConfig cfg;
+  cfg.chunk = 20'000;
+  cfg.asymmetry_ratio = 1.5;
+  const auto [big, small] = data_parallel_pair(cfg);
+  ASSERT_GE(big.num_phases(), 2u);
+  ASSERT_GE(small.num_phases(), 2u);
+  // Phase 0 is the chunk body; the big-core worker's chunks are scaled by
+  // the cores' expected throughput ratio.
+  EXPECT_DOUBLE_EQ(small.phases[0].dwell_mean, 20'000.0);
+  EXPECT_DOUBLE_EQ(big.phases[0].dwell_mean, 30'000.0);
+  EXPECT_DOUBLE_EQ(big.phases[0].dwell_mean / small.phases[0].dwell_mean,
+                   cfg.asymmetry_ratio);
+  // Sync phases scale with each worker's own chunk cadence.
+  EXPECT_DOUBLE_EQ(small.phases[1].dwell_mean, 20'000.0 * cfg.sync_frac);
+  EXPECT_DOUBLE_EQ(big.phases[1].dwell_mean, 30'000.0 * cfg.sync_frac);
+}
+
+TEST(DataParallelPair, WorkersShareCompositionAndAreValid) {
+  const auto [big, small] = data_parallel_pair({});
+  std::string why;
+  EXPECT_TRUE(big.validate(&why)) << why;
+  EXPECT_TRUE(small.validate(&why)) << why;
+  EXPECT_NE(big.name, small.name);
+  // Same loop body: identical mix, different cadence.
+  EXPECT_EQ(big.phases[0].mix.int_fraction(), small.phases[0].mix.int_fraction());
+  EXPECT_EQ(big.phases[0].mix.fp_fraction(), small.phases[0].mix.fp_fraction());
+  EXPECT_EQ(big.phases[0].working_set, small.phases[0].working_set);
+}
+
+}  // namespace
+}  // namespace amps::wl
